@@ -1,0 +1,72 @@
+// Ablation: the error-driven feedback loop (§5) on vs off.
+//
+// The prototype re-tunes the sampling parameter when a window's measured
+// error exceeds the analyst's target. We simulate a drifting workload whose
+// intrinsic noise doubles half-way through the run. Without feedback the
+// accuracy loss blows past the target after the shift; with feedback the
+// controller raises s and pulls the loss back under the target within a few
+// epochs, then decays s when conditions improve.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/budget.h"
+#include "core/privacy.h"
+
+using namespace privapprox;
+
+namespace {
+
+// Measured accuracy loss of one epoch at sampling fraction s for the
+// current population: the analytic expected loss of the pipeline (the same
+// model the initializer uses) with +-15% multiplicative measurement jitter,
+// so the trace shows the control behaviour rather than per-epoch noise.
+double EpochLoss(double s, size_t population, Xoshiro256& rng) {
+  core::ExecutionParams params;
+  params.sampling_fraction = s;
+  params.randomization = {0.9, 0.6};
+  const double expected = core::PredictAccuracyLoss(params, population, 0.6);
+  return expected * (0.85 + 0.3 * rng.NextDouble());
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kTarget = 0.03;
+  constexpr int kEpochs = 30;
+
+  std::printf("Ablation: feedback re-tuning (target accuracy loss %.0f%%)\n",
+              kTarget * 100);
+  std::printf("Population drops 20,000 -> 1,500 at epoch 15 (noise shock).\n\n");
+  std::printf("%6s %12s | %10s %12s | %10s %12s\n", "epoch", "population",
+              "s(fixed)", "loss(fixed)", "s(fb)", "loss(fb)");
+
+  core::ExecutionParams initial;
+  initial.sampling_fraction = 0.2;
+  initial.randomization = {0.9, 0.6};
+  core::FeedbackController controller(initial, kTarget);
+  double s_feedback = initial.sampling_fraction;
+  const double s_fixed = initial.sampling_fraction;
+
+  Xoshiro256 rng(9);
+  int fixed_violations = 0, feedback_violations = 0;
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+    const size_t population = epoch <= 15 ? 20000 : 1500;
+    const double loss_fixed = EpochLoss(s_fixed, population, rng);
+    const double loss_feedback = EpochLoss(s_feedback, population, rng);
+    fixed_violations += loss_fixed > kTarget ? 1 : 0;
+    feedback_violations += loss_feedback > kTarget ? 1 : 0;
+    std::printf("%6d %12zu | %10.2f %11.2f%% | %10.2f %11.2f%%\n", epoch,
+                population, s_fixed, 100 * loss_fixed, s_feedback,
+                100 * loss_feedback);
+    s_feedback =
+        controller.OnEpochCompleted(loss_feedback).sampling_fraction;
+  }
+  std::printf(
+      "\nTarget violations: fixed-s %d/%d epochs, feedback %d/%d epochs.\n"
+      "Shape check: after the shock the feedback column recovers within a\n"
+      "few epochs while fixed-s keeps violating the target.\n",
+      fixed_violations, kEpochs, feedback_violations, kEpochs);
+  return 0;
+}

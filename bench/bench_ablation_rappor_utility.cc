@@ -1,0 +1,120 @@
+// Ablation: utility at matched privacy — PrivApprox vs full RAPPOR.
+//
+// Fig 5c compares privacy at matched utility machinery; this ablation asks
+// the converse question the paper implies: for the SAME differential-
+// privacy level, who estimates a population count more accurately? We give
+// RAPPOR its full pipeline (Bloom k=32/h=1 so the value maps to dedicated
+// bits, PRR + IRR) and PrivApprox its sampling + two-coin RR, tune both to
+// the same one-time epsilon, and measure the relative error of the
+// recovered count of a value held by 30% of 20,000 clients.
+//
+// Expected: PrivApprox wins at every epsilon — its noise budget goes into
+// one mechanism (RR) plus cheap sampling, while RAPPOR pays twice (PRR for
+// longitudinal safety, IRR per report).
+
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/rappor_full.h"
+#include "common/rng.h"
+#include "core/privacy.h"
+#include "core/randomized_response.h"
+
+using namespace privapprox;
+
+namespace {
+
+constexpr size_t kClients = 20000;
+constexpr double kHotFraction = 0.3;
+constexpr int kTrials = 30;
+
+// PrivApprox loss at the given eps: pick p for q = 0.5 at s = 1 via Eq 8.
+double PrivApproxLoss(double epsilon, Xoshiro256& rng) {
+  const double p = core::FirstCoinForEpsilon(0.5, epsilon);
+  const core::RandomizedResponse rr(core::RandomizationParams{p, 0.5});
+  const double truth = kHotFraction * kClients;
+  double loss = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    size_t ry = 0;
+    for (size_t i = 0; i < kClients; ++i) {
+      ry += rr.RandomizeBit(static_cast<double>(i) < truth, rng) ? 1 : 0;
+    }
+    loss += std::fabs(rr.DebiasCount(static_cast<double>(ry), kClients) -
+                      truth) /
+            truth;
+  }
+  return loss / kTrials;
+}
+
+// RAPPOR loss at (approximately) the same one-time epsilon: fix the IRR at
+// the canonical (0.25, 0.75) and solve f by bisection.
+double RapporLossAtEpsilon(double epsilon, Xoshiro256& rng) {
+  baseline::RapporConfig config;
+  config.num_bits = 32;
+  config.num_hashes = 1;
+  config.p_irr = 0.25;
+  config.q_irr = 0.75;
+  double lo = 1e-4, hi = 1.0 - 1e-4;
+  for (int iter = 0; iter < 80; ++iter) {
+    config.f = 0.5 * (lo + hi);
+    if (baseline::RapporEpsilonOneTime(config) > epsilon) {
+      lo = config.f;  // more permanent noise needed
+    } else {
+      hi = config.f;
+    }
+  }
+  // The hot value's Bloom bit.
+  baseline::RapporClient reference(config, 0);
+  const BitVector bloom = reference.BloomEncode("hot");
+  size_t hot_bit = 0;
+  for (size_t i = 0; i < config.num_bits; ++i) {
+    if (bloom.Get(i)) {
+      hot_bit = i;
+    }
+  }
+  const double truth = kHotFraction * kClients;
+  double loss = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double count = 0.0;
+    for (size_t c = 0; c < kClients; ++c) {
+      baseline::RapporClient client(config, trial * kClients + c + 1);
+      const bool is_hot = static_cast<double>(c) < truth;
+      const BitVector report =
+          client.Report(is_hot ? "hot" : "cold" + std::to_string(c % 97));
+      count += report.Get(hot_bit) ? 1.0 : 0.0;
+    }
+    Histogram counts(config.num_bits);
+    counts.SetCount(hot_bit, count);
+    const Histogram debiased = baseline::RapporDebias(
+        config, counts, static_cast<double>(kClients));
+    // Cold values can collide into the hot bit (k=32): subtract the
+    // expected collision mass 1/k of the cold population.
+    const double collisions =
+        (1.0 - kHotFraction) * kClients / static_cast<double>(config.num_bits);
+    loss += std::fabs(debiased.Count(hot_bit) - collisions - truth) / truth;
+  }
+  return loss / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: utility at matched one-time epsilon — PrivApprox\n"
+              "(sampling + two-coin RR) vs full RAPPOR (Bloom + PRR + IRR).\n"
+              "%zu clients, hot value held by %.0f%%.\n\n",
+              kClients, 100.0 * kHotFraction);
+  std::printf("%8s %18s %14s %8s\n", "epsilon", "PrivApprox loss",
+              "RAPPOR loss", "ratio");
+  Xoshiro256 rng(13);
+  for (double epsilon : {0.5, 1.0, 2.0, 3.0}) {
+    const double ours = PrivApproxLoss(epsilon, rng);
+    const double theirs = RapporLossAtEpsilon(epsilon, rng);
+    std::printf("%8.1f %17.3f%% %13.3f%% %7.1fx\n", epsilon, 100.0 * ours,
+                100.0 * theirs, theirs / ours);
+  }
+  std::printf(
+      "\nShape check: PrivApprox's loss is a multiple smaller at every\n"
+      "epsilon — the cost RAPPOR pays for longitudinal memoization (PRR)\n"
+      "on top of per-report noise (IRR).\n");
+  return 0;
+}

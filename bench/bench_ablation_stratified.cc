@@ -1,0 +1,68 @@
+// Ablation: simple random sampling vs stratified sampling (the tech-report
+// extension of §3.2.1) on a population whose clients' data streams follow
+// two very different distributions.
+//
+// Population: 80% "urban" clients answering ~N(20, 5) and 20% "highway"
+// clients answering ~N(70, 8). SRS treats them as one stratum (the paper's
+// base assumption); stratified sampling samples each stratum separately
+// with proportional allocation. Expected: identical means, but the
+// stratified estimator's confidence interval is substantially tighter at
+// every sample budget.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "stats/srs.h"
+#include "stats/stratified.h"
+
+using namespace privapprox;
+
+int main() {
+  constexpr size_t kUrban = 80000, kHighway = 20000;
+  Xoshiro256 rng(5);
+  std::vector<double> urban(kUrban), highway(kHighway);
+  double true_sum = 0.0;
+  for (auto& v : urban) {
+    v = 20.0 + 5.0 * rng.NextGaussian();
+    true_sum += v;
+  }
+  for (auto& v : highway) {
+    v = 70.0 + 8.0 * rng.NextGaussian();
+    true_sum += v;
+  }
+
+  std::printf("Ablation: SRS vs stratified sampling\n");
+  std::printf("(two strata: 80k urban ~N(20,5), 20k highway ~N(70,8); true "
+              "sum %.0f)\n\n",
+              true_sum);
+  std::printf("%10s | %14s %12s | %14s %12s | %8s\n", "samples", "SRS est",
+              "SRS +-", "strat est", "strat +-", "ratio");
+
+  for (size_t budget : {200u, 1000u, 5000u, 20000u}) {
+    stats::SrsSumEstimator srs(kUrban + kHighway);
+    stats::StratifiedSumEstimator stratified({kUrban, kHighway});
+    const auto allocation =
+        stats::ProportionalAllocation({kUrban, kHighway}, budget);
+    for (size_t i = 0; i < budget; ++i) {
+      const size_t index = rng.NextBounded(kUrban + kHighway);
+      srs.Add(index < kUrban ? urban[index] : highway[index - kUrban]);
+    }
+    for (size_t i = 0; i < allocation[0]; ++i) {
+      stratified.Add(0, urban[rng.NextBounded(kUrban)]);
+    }
+    for (size_t i = 0; i < allocation[1]; ++i) {
+      stratified.Add(1, highway[rng.NextBounded(kHighway)]);
+    }
+    const stats::Estimate srs_est = srs.EstimateSum();
+    const stats::Estimate strat_est = stratified.EstimateSum();
+    std::printf("%10zu | %14.0f %12.0f | %14.0f %12.0f | %7.2fx\n", budget,
+                srs_est.value, srs_est.error, strat_est.value,
+                strat_est.error, srs_est.error / strat_est.error);
+  }
+  std::printf(
+      "\nShape check: both estimators bracket the true sum, and the\n"
+      "stratified margin is consistently a multiple tighter — the win the\n"
+      "tech report's stratified extension buys on skewed populations.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4(b): decomposition of the accuracy loss into its two independent
+// sources. Setup per §6 #II: 10,000 answers, 60% yes.
+//   - "Sampling"            : p = 1 (no randomization), sweep s.
+//   - "Randomized response" : s = 1 (census), p = 0.3, q = 0.6, constant.
+//   - "Combined"            : both processes in succession.
+//
+// Expected shape: the combined loss tracks the sum of the two individual
+// losses (statistical independence), converging to the RR-only loss as
+// s -> 100%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace privapprox;
+
+int main() {
+  const int fractions[] = {10, 20, 40, 60, 80, 90, 100};
+  constexpr size_t kTrials = 400;
+
+  std::printf("Figure 4(b): error decomposition (accuracy loss, %%)\n");
+  std::printf("(10,000 answers, 60%% yes; RR uses p=0.3, q=0.6)\n\n");
+  std::printf("%8s %12s %14s %12s %14s\n", "s(%)", "sampling", "rand.resp.",
+              "combined", "sum(s+rr)");
+
+  Xoshiro256 rng(3);
+
+  // RR-only loss is independent of s; measure once.
+  bench::SimulationConfig rr_only;
+  rr_only.sampling_fraction = 1.0;
+  rr_only.p = 0.3;
+  rr_only.q = 0.6;
+  rr_only.trials = kTrials;
+  const double rr_loss = bench::MeasureAccuracyLoss(rr_only, rng);
+
+  for (int fraction : fractions) {
+    bench::SimulationConfig sampling_only;
+    sampling_only.sampling_fraction = fraction / 100.0;
+    sampling_only.p = 1.0;  // no randomization
+    sampling_only.trials = kTrials;
+    const double sampling_loss =
+        bench::MeasureAccuracyLoss(sampling_only, rng);
+
+    bench::SimulationConfig combined = sampling_only;
+    combined.p = 0.3;
+    combined.q = 0.6;
+    const double combined_loss = bench::MeasureAccuracyLoss(combined, rng);
+
+    std::printf("%8d %12.3f %14.3f %12.3f %14.3f\n", fraction,
+                100.0 * sampling_loss, 100.0 * rr_loss,
+                100.0 * combined_loss,
+                100.0 * (sampling_loss + rr_loss));
+  }
+  std::printf(
+      "\nShape check: the two error sources are independent and add (§6 "
+      "#II);\nthe combined column tracks the sum, tightly so for s >= 40%% "
+      "(at very\nsmall s the RR noise itself grows ~1/sqrt(sN), so combined "
+      "sits above\nthe fixed RR-only line plus the sampling line — visible "
+      "in the paper's\nplot as well).\n");
+  return 0;
+}

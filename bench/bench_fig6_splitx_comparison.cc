@@ -1,0 +1,39 @@
+// Figure 6: proxy-side latency of SplitX vs PrivApprox across client
+// populations (10^2 .. 10^8), with SplitX's per-stage breakdown
+// (transmission, computation, shuffling).
+//
+// SplitX's published pipeline is modeled per its SIGCOMM'13 stages; the
+// PrivApprox line is the same transmission model without the other stages
+// (see baseline/splitx.h and DESIGN.md). Calibration targets the paper's
+// reference point: 40.27 s vs 6.21 s at 10^6 clients (6.48x).
+
+#include <cstdio>
+
+#include "baseline/splitx.h"
+
+using namespace privapprox;
+
+int main() {
+  const baseline::SplitXModel splitx;
+  const baseline::PrivApproxProxyModel privapprox;
+
+  std::printf("Figure 6: proxy latency (seconds), SplitX vs PrivApprox\n\n");
+  std::printf("%10s %12s %12s %12s %12s %12s %9s\n", "clients", "sx-transmit",
+              "sx-compute", "sx-shuffle", "SplitX", "PrivApprox", "speedup");
+  for (uint64_t clients = 100; clients <= 100000000; clients *= 10) {
+    const baseline::SplitXStageLatency stages = splitx.Estimate(clients);
+    const double splitx_sec = stages.Total() / 1000.0;
+    const double privapprox_sec = privapprox.EstimateMs(clients) / 1000.0;
+    std::printf("%10llu %12.3f %12.3f %12.3f %12.3f %12.3f %8.2fx\n",
+                static_cast<unsigned long long>(clients),
+                stages.transmission_ms / 1000.0,
+                stages.computation_ms / 1000.0, stages.shuffling_ms / 1000.0,
+                splitx_sec, privapprox_sec, splitx_sec / privapprox_sec);
+  }
+  std::printf(
+      "\nShape check: PrivApprox ~an order of magnitude below SplitX across\n"
+      "the sweep; at 10^6 clients the paper reports 40.27 s vs 6.21 s "
+      "(6.48x).\nThe gap is exactly the synchronization-bound stages "
+      "(computation + shuffling)\nthat PrivApprox's proxies do not have.\n");
+  return 0;
+}

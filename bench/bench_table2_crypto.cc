@@ -1,0 +1,149 @@
+// Table 2: computational overhead of crypto operations (operations/sec) —
+// XOR (PrivApprox) vs RSA, Goldwasser-Micali, and Paillier with 1024-bit
+// keys, encryption and decryption.
+//
+// All four schemes are real implementations over our own bignum substrate.
+// The paper measured a phone, a laptop, and a 32-core server; we measure
+// this host and print the paper's server column alongside. The result that
+// matters is the shape: XOR beats the public-key schemes by 3-5 orders of
+// magnitude, which is why PrivApprox can run on resource-constrained
+// clients.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bignum/biguint.h"
+#include "common/rng.h"
+#include "crypto/goldwasser_micali.h"
+#include "crypto/paillier.h"
+#include "crypto/rsa.h"
+#include "crypto/xor_cipher.h"
+
+using namespace privapprox;
+
+namespace {
+
+constexpr size_t kKeyBits = 1024;
+constexpr size_t kMessageBytes = 128;  // one 1024-bit block
+
+Xoshiro256& Rng() {
+  static Xoshiro256 rng(7);
+  return rng;
+}
+
+const crypto::RsaKeyPair& RsaKey() {
+  static const crypto::RsaKeyPair key =
+      crypto::RsaKeyPair::Generate(Rng(), kKeyBits);
+  return key;
+}
+
+const crypto::GoldwasserMicaliKeyPair& GmKey() {
+  static const crypto::GoldwasserMicaliKeyPair key =
+      crypto::GoldwasserMicaliKeyPair::Generate(Rng(), kKeyBits);
+  return key;
+}
+
+const crypto::PaillierKeyPair& PaillierKey() {
+  static const crypto::PaillierKeyPair key =
+      crypto::PaillierKeyPair::Generate(Rng(), kKeyBits);
+  return key;
+}
+
+void BM_XorEncrypt(benchmark::State& state) {
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(1, 0));
+  const std::vector<uint8_t> message(kMessageBytes, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter.Split(message));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorEncrypt);
+
+void BM_XorDecrypt(benchmark::State& state) {
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(1, 0));
+  const auto shares = splitter.Split(std::vector<uint8_t>(kMessageBytes, 0x5A));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::XorSplitter::Combine(shares));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorDecrypt);
+
+void BM_RsaEncrypt(benchmark::State& state) {
+  const auto& key = RsaKey();
+  const auto m = bignum::BigUint::RandomBelow(Rng(), key.modulus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Encrypt(m));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsaEncrypt);
+
+void BM_RsaDecrypt(benchmark::State& state) {
+  const auto& key = RsaKey();
+  const auto c = key.Encrypt(bignum::BigUint::RandomBelow(Rng(), key.modulus()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Decrypt(c));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsaDecrypt);
+
+void BM_GoldwasserMicaliEncrypt(benchmark::State& state) {
+  const auto& key = GmKey();
+  // One crypto operation = one bit encryption (the unit the compared system
+  // uses per answer bit).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.EncryptBit(true, Rng()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldwasserMicaliEncrypt);
+
+void BM_GoldwasserMicaliDecrypt(benchmark::State& state) {
+  const auto& key = GmKey();
+  const auto c = key.EncryptBit(true, Rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.DecryptBit(c));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldwasserMicaliDecrypt);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  const auto& key = PaillierKey();
+  const auto m = bignum::BigUint::RandomBelow(Rng(), key.modulus());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Encrypt(m, Rng()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaillierEncrypt);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  const auto& key = PaillierKey();
+  const auto c =
+      key.Encrypt(bignum::BigUint::RandomBelow(Rng(), key.modulus()), Rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Decrypt(c));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaillierDecrypt);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Table 2: crypto overhead (ops/sec; 1024-bit keys; this host).\n"
+      "Paper's server column for reference (ops/sec):\n"
+      "  encryption:  RSA 4,909 | GM 22,902 | Paillier 579 | XOR 1,351,937\n"
+      "  decryption:  RSA   859 | GM  7,068 | Paillier 309 | XOR 22,678,285\n"
+      "Shape to reproduce: XOR >> GM > RSA >> Paillier, with XOR 3-5 orders\n"
+      "of magnitude ahead.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table 3: throughput (operations/sec) at clients, broken into the three
+// sub-processes of the answering path — the local database read, the
+// randomized response, and the XOR encryption — plus the total.
+//
+// The paper's finding to reproduce: the database read is the bottleneck;
+// randomization and XOR are orders of magnitude faster, so the privacy
+// machinery adds almost nothing to client cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/answer.h"
+#include "crypto/xor_cipher.h"
+
+using namespace privapprox;
+
+namespace {
+
+constexpr size_t kBuckets = 11;
+
+core::Query MakeQuery() {
+  return core::QueryBuilder()
+      .WithId(1)
+      .WithSql("SELECT speed FROM vehicle WHERE location = 'sf'")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(1000)
+      .WithWindowMs(60000)
+      .WithSlideMs(1000)
+      .Build();
+}
+
+localdb::Database MakeDb(size_t rows) {
+  localdb::Database db;
+  auto& table = db.CreateTable("vehicle", {"speed", "location"});
+  Xoshiro256 rng(1);
+  for (size_t i = 0; i < rows; ++i) {
+    table.Insert(static_cast<int64_t>(i),
+                 {localdb::Value(rng.NextDouble() * 100.0),
+                  localdb::Value(i % 2 == 0 ? "sf" : "nyc")});
+  }
+  return db;
+}
+
+void BM_DatabaseRead(benchmark::State& state) {
+  localdb::Database db = MakeDb(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Execute("SELECT speed FROM vehicle WHERE location = 'sf'", 0,
+                   1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatabaseRead);
+
+void BM_RandomizedResponse(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  const core::RandomizedResponse rr(core::RandomizationParams{0.9, 0.6});
+  BitVector truthful(kBuckets);
+  truthful.Set(3, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rr.RandomizeAnswer(truthful, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomizedResponse);
+
+void BM_XorEncryption(benchmark::State& state) {
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(3, 0));
+  BitVector answer(kBuckets);
+  answer.Set(3, true);
+  const crypto::AnswerMessage message{1, answer};
+  const auto payload = message.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter.Split(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorEncryption);
+
+void BM_TotalAnsweringPath(benchmark::State& state) {
+  client::Client c(client::ClientConfig{0, 2, 7});
+  auto& table = c.database().CreateTable("vehicle", {"speed", "location"});
+  Xoshiro256 rng(4);
+  for (size_t i = 0; i < 1000; ++i) {
+    table.Insert(static_cast<int64_t>(i),
+                 {localdb::Value(rng.NextDouble() * 100.0),
+                  localdb::Value(i % 2 == 0 ? "sf" : "nyc")});
+  }
+  core::ExecutionParams params;
+  params.sampling_fraction = 1.0;
+  params.randomization = {0.9, 0.6};
+  c.Subscribe(MakeQuery(), params);
+  // The query window [now - 60s, now) must cover the stored rows
+  // (timestamps 0..999) so the answering path does the real database scan.
+  const int64_t now = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.AnswerQuery(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TotalAnsweringPath);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Table 3: client answering-path throughput (ops/sec; this host).\n"
+      "Paper's server column for reference: SQLite read 23,418 | randomized\n"
+      "response 1,809,662 | XOR encryption 1,351,937 | total 22,026.\n"
+      "Shape to reproduce: the database read dominates the total; RR and\n"
+      "XOR are 1-2 orders of magnitude faster.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

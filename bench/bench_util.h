@@ -1,0 +1,81 @@
+// Shared simulation helpers for the paper-reproduction benchmarks.
+//
+// The microbenchmarks (§6) all follow one recipe: a population of U truthful
+// binary answers with a fixed yes-fraction, client-side sampling at s,
+// two-coin randomization with (p, q), Eq 5 de-biasing, scaling back to the
+// population, and the Eq 6 accuracy loss against the truth. These helpers
+// implement that recipe once so every bench prints numbers produced the
+// same way the paper's were.
+
+#ifndef PRIVAPPROX_BENCH_BENCH_UTIL_H_
+#define PRIVAPPROX_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.h"
+#include "core/inversion.h"
+#include "core/randomized_response.h"
+
+namespace privapprox::bench {
+
+struct SimulationConfig {
+  size_t population = 10000;
+  double yes_fraction = 0.6;
+  double sampling_fraction = 0.6;  // s
+  double p = 0.9;
+  double q = 0.6;
+  size_t trials = 200;
+  // Measure the loss on the inverted query's counted quantity (§3.3.2).
+  bool inverted = false;
+};
+
+// Mean Eq 6 accuracy loss of the full sample -> randomize -> debias ->
+// scale pipeline over `trials` independent runs.
+inline double MeasureAccuracyLoss(const SimulationConfig& config,
+                                  Xoshiro256& rng) {
+  const core::RandomizedResponse rr(
+      core::RandomizationParams{config.p, config.q});
+  const double yes_fraction =
+      config.inverted ? 1.0 - config.yes_fraction : config.yes_fraction;
+  const double truth =
+      yes_fraction * static_cast<double>(config.population);
+  double total_loss = 0.0;
+  size_t valid_trials = 0;
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    size_t participants = 0;
+    size_t randomized_yes = 0;
+    for (size_t i = 0; i < config.population; ++i) {
+      if (config.sampling_fraction < 1.0 &&
+          !rng.NextBernoulli(config.sampling_fraction)) {
+        continue;
+      }
+      ++participants;
+      const bool truthful =
+          static_cast<double>(i) <
+          yes_fraction * static_cast<double>(config.population);
+      if (config.p >= 1.0 ? truthful
+                          : rr.RandomizeBit(truthful, rng)) {
+        ++randomized_yes;
+      }
+    }
+    if (participants == 0) {
+      continue;
+    }
+    const double debiased =
+        config.p >= 1.0
+            ? static_cast<double>(randomized_yes)
+            : rr.DebiasCount(static_cast<double>(randomized_yes),
+                             static_cast<double>(participants));
+    const double scaled = debiased * static_cast<double>(config.population) /
+                          static_cast<double>(participants);
+    total_loss += core::AccuracyLoss(truth, scaled);
+    ++valid_trials;
+  }
+  return valid_trials == 0 ? 0.0
+                           : total_loss / static_cast<double>(valid_trials);
+}
+
+}  // namespace privapprox::bench
+
+#endif  // PRIVAPPROX_BENCH_BENCH_UTIL_H_

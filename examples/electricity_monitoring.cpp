@@ -1,0 +1,96 @@
+// Household electricity case study (paper §7): the utility analyzes the
+// 30-minute usage distribution across households. Demonstrates the query
+// inversion mechanism (§3.3.2): the top consumption bucket is rare, so the
+// analyst runs both the native and the inverted query and compares
+// accuracy.
+//
+// Build & run:  ./build/examples/electricity_monitoring
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/inversion.h"
+#include "system/system.h"
+#include "workload/electricity.h"
+
+using namespace privapprox;
+
+namespace {
+
+constexpr size_t kHouseholds = 3000;
+constexpr int64_t kWindowMs = 30 * 60 * 1000;
+
+double RunOnce(bool inverted, std::vector<double>* estimates,
+               std::vector<double>* truth_out) {
+  system::SystemConfig config;
+  config.num_clients = kHouseholds;
+  config.seed = 21;
+  config.invert_answers = inverted;
+  system::PrivApproxSystem sys(config);
+
+  workload::ElectricityGenerator generator(5);
+  std::vector<double> truth(6, 0.0);
+  const auto buckets = workload::ElectricityGenerator::UsageBuckets();
+  for (size_t i = 0; i < kHouseholds; ++i) {
+    generator.PopulateClient(sys.client(i).database(), 0, kWindowMs,
+                             60 * 1000);
+    const auto total = sys.client(i).database().Execute(
+        "SELECT SUM(kwh) FROM meter", 0, kWindowMs);
+    if (const auto bucket = buckets.BucketOf(total[0].AsDouble())) {
+      truth[*bucket] += 1.0;
+    }
+  }
+
+  const core::Query query =
+      workload::ElectricityGenerator::MakeUsageQuery(3, kWindowMs, kWindowMs);
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.9;
+  params.randomization = {0.9, 0.6};
+  sys.SubmitQuery(query, params);
+  sys.RunEpoch(kWindowMs);
+  sys.Flush();
+
+  const core::QueryResult& result = sys.results().front().result;
+  double loss_sum = 0.0;
+  size_t loss_buckets = 0;
+  estimates->clear();
+  for (size_t b = 0; b < result.buckets.size(); ++b) {
+    estimates->push_back(result.buckets[b].estimate.value);
+    if (truth[b] > 0.0) {
+      loss_sum += std::fabs(result.buckets[b].estimate.value - truth[b]) /
+                  truth[b];
+      ++loss_buckets;
+    }
+  }
+  if (truth_out != nullptr) {
+    *truth_out = truth;
+  }
+  return loss_buckets == 0 ? 0.0 : loss_sum / static_cast<double>(loss_buckets);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Household electricity usage distribution (%zu households, "
+              "30-minute window)\n\n",
+              kHouseholds);
+
+  std::vector<double> native, inverted, truth;
+  const double native_loss = RunOnce(false, &native, &truth);
+  const double inverted_loss = RunOnce(true, &inverted, nullptr);
+
+  const auto buckets = workload::ElectricityGenerator::UsageBuckets();
+  std::printf("%-12s %10s %10s %10s\n", "bucket(kWh)", "truth", "native",
+              "inverted");
+  for (size_t b = 0; b < truth.size(); ++b) {
+    std::printf("%-12s %10.0f %10.1f %10.1f\n",
+                buckets.BucketLabel(b).c_str(), truth[b], native[b],
+                inverted[b]);
+  }
+  std::printf("\nmean accuracy loss: native=%.4f inverted=%.4f\n", native_loss,
+              inverted_loss);
+  std::printf(
+      "(inversion pays off when a bucket's yes-fraction is far from q; "
+      "see Fig 5a)\n");
+  return 0;
+}

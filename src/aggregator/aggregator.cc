@@ -1,0 +1,143 @@
+#include "aggregator/aggregator.h"
+
+#include <stdexcept>
+
+#include "common/histogram.h"
+#include "core/answer.h"
+#include "core/inversion.h"
+#include "crypto/message.h"
+#include "proxy/proxy.h"
+
+namespace privapprox::aggregator {
+
+Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
+                       const core::ExecutionParams& params,
+                       broker::Broker& broker, ResultFn on_result)
+    : config_(config),
+      query_(query),
+      params_(params),
+      broker_(broker),
+      on_result_(std::move(on_result)),
+      estimator_(params, config.population, config.confidence),
+      stream_watermark_(config.watermark_out_of_orderness_ms) {
+  if (config.num_proxies < 2) {
+    throw std::invalid_argument("Aggregator: need at least two proxies");
+  }
+  if (config.population == 0) {
+    throw std::invalid_argument("Aggregator: population must be > 0");
+  }
+  for (size_t i = 0; i < config.num_proxies; ++i) {
+    const std::string topic = "proxy" + std::to_string(i) + ".out";
+    consumers_.push_back(
+        std::make_unique<broker::Consumer>(broker_.GetTopic(topic)));
+  }
+  joiner_ = std::make_unique<engine::MidJoiner>(
+      config.num_proxies, config.join_timeout_ms,
+      [this](uint64_t mid, std::vector<uint8_t> plaintext, int64_t ts) {
+        OnJoined(mid, std::move(plaintext), ts);
+      });
+  windows_ = std::make_unique<engine::WindowBuffer<BitVector>>(
+      engine::SlidingWindowAssigner(query_.window_length_ms,
+                                    query_.sliding_interval_ms),
+      [this](const engine::Window& window,
+             const std::vector<BitVector>& answers) {
+        OnWindowFired(window, answers);
+      });
+}
+
+void Aggregator::UpdateParams(const core::ExecutionParams& params) {
+  params.Validate();
+  params_ = params;
+  estimator_ = core::ErrorEstimator(params, config_.population,
+                                    config_.confidence);
+}
+
+uint64_t Aggregator::Drain() {
+  uint64_t consumed = 0;
+  for (size_t source = 0; source < consumers_.size(); ++source) {
+    broker::Consumer& consumer = *consumers_[source];
+    for (;;) {
+      std::vector<broker::Record> batch = consumer.Poll(4096);
+      if (batch.empty()) {
+        break;
+      }
+      consumed += batch.size();
+      for (const auto& record : batch) {
+        crypto::MessageShare share;
+        try {
+          share = proxy::Proxy::DecodeShare(record.payload);
+        } catch (const std::invalid_argument&) {
+          ++malformed_dropped_;
+          continue;
+        }
+        joiner_->Add(share, record.timestamp_ms, source);
+      }
+    }
+  }
+  return consumed;
+}
+
+void Aggregator::OnJoined(uint64_t /*mid*/, std::vector<uint8_t> plaintext,
+                          int64_t timestamp_ms) {
+  crypto::AnswerMessage message;
+  try {
+    message = crypto::AnswerMessage::Deserialize(plaintext);
+  } catch (const std::invalid_argument&) {
+    ++malformed_dropped_;
+    return;
+  }
+  if (message.query_id != query_.query_id ||
+      message.answer.size() != query_.answer_format.num_buckets()) {
+    ++wrong_query_dropped_;
+    return;
+  }
+  if (answer_tap_) {
+    answer_tap_(timestamp_ms, message.answer);
+  }
+  stream_watermark_.Observe(timestamp_ms);
+  windows_->Add(timestamp_ms, message.answer);
+}
+
+void Aggregator::OnWindowFired(const engine::Window& window,
+                               const std::vector<BitVector>& answers) {
+  core::AnswerAccumulator acc(query_.answer_format.num_buckets());
+  for (const BitVector& answer : answers) {
+    acc.Add(answer);
+  }
+  core::QueryResult result =
+      estimator_.Estimate(acc.histogram(), acc.num_answers());
+  if (config_.answers_inverted) {
+    // De-invert: yes-count = participants - no-count, bucket-wise, scaled to
+    // the population.
+    const double scaled_total = static_cast<double>(config_.population);
+    for (auto& bucket : result.buckets) {
+      bucket.estimate.value =
+          core::YesCountFromInverted(bucket.estimate.value, scaled_total);
+    }
+  }
+  on_result_(WindowedResult{window, std::move(result)});
+}
+
+void Aggregator::AdvanceWatermark(int64_t watermark_ms) {
+  joiner_->EvictStale(watermark_ms);
+  windows_->AdvanceWatermark(watermark_ms);
+}
+
+void Aggregator::AdvanceWatermarkToStream() {
+  const int64_t watermark = stream_watermark_.Current();
+  if (watermark != INT64_MIN) {
+    AdvanceWatermark(watermark);
+  }
+}
+
+void Aggregator::Flush() { windows_->Flush(); }
+
+const engine::JoinStats& Aggregator::join_stats() const {
+  return joiner_->stats();
+}
+
+size_t Aggregator::pending_join_groups() const {
+  return joiner_->pending_groups();
+}
+
+}  // namespace privapprox::aggregator

@@ -1,0 +1,107 @@
+// The aggregator runtime (paper §3.2.4, §5).
+//
+// Consumes the n proxy share streams, joins shares by MID, XOR-decrypts,
+// deserializes the randomized answers, assigns them to sliding windows, and
+// per fired window de-biases the per-bucket counts and attaches the combined
+// error bound (sampling + randomized response). Results reach the analyst
+// via a callback; joined randomized answers are optionally teed into the
+// historical store (§3.3.1).
+
+#ifndef PRIVAPPROX_AGGREGATOR_AGGREGATOR_H_
+#define PRIVAPPROX_AGGREGATOR_AGGREGATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "core/budget.h"
+#include "core/error_estimation.h"
+#include "core/query.h"
+#include "engine/join.h"
+#include "engine/watermark.h"
+#include "engine/window.h"
+
+namespace privapprox::aggregator {
+
+struct AggregatorConfig {
+  size_t num_proxies = 2;
+  size_t population = 0;       // U, for scaling estimates
+  double confidence = 0.95;
+  int64_t join_timeout_ms = 60000;
+  // Bound for the stream-driven watermark (AdvanceWatermarkToStream): how
+  // far out of order shares may arrive across the proxy paths.
+  int64_t watermark_out_of_orderness_ms = 1000;
+  // De-invert results produced under query inversion (§3.3.2).
+  bool answers_inverted = false;
+};
+
+struct WindowedResult {
+  engine::Window window;
+  core::QueryResult result;
+};
+
+class Aggregator {
+ public:
+  using ResultFn = std::function<void(const WindowedResult&)>;
+  // Optional tee of every joined randomized answer (for historical
+  // analytics): (timestamp, answer bit-vector).
+  using AnswerTapFn = std::function<void(int64_t, const BitVector&)>;
+
+  Aggregator(AggregatorConfig config, const core::Query& query,
+             const core::ExecutionParams& params, broker::Broker& broker,
+             ResultFn on_result);
+
+  void set_answer_tap(AnswerTapFn tap) { answer_tap_ = std::move(tap); }
+
+  // Applies re-tuned execution parameters (§5 feedback loop): future
+  // windows de-bias and error-estimate with the new (s, p, q). Windows
+  // already buffered keep their answers; their estimates use the new
+  // parameters, which is the correct choice once clients have switched.
+  void UpdateParams(const core::ExecutionParams& params);
+
+  // Drains all proxy outbound topics through join -> decrypt -> window.
+  // Returns the number of shares consumed.
+  uint64_t Drain();
+
+  // Advances the event-time watermark, firing complete windows.
+  void AdvanceWatermark(int64_t watermark_ms);
+
+  // Stream-driven alternative: advances to the bounded-out-of-orderness
+  // watermark derived from the event times seen so far (engine/watermark.h).
+  void AdvanceWatermarkToStream();
+  int64_t StreamWatermark() const { return stream_watermark_.Current(); }
+
+  // Fires everything left (end of stream).
+  void Flush();
+
+  const engine::JoinStats& join_stats() const;
+  size_t pending_join_groups() const;
+  uint64_t malformed_dropped() const { return malformed_dropped_; }
+  uint64_t wrong_query_dropped() const { return wrong_query_dropped_; }
+
+ private:
+  void OnJoined(uint64_t mid, std::vector<uint8_t> plaintext,
+                int64_t timestamp_ms);
+  void OnWindowFired(const engine::Window& window,
+                     const std::vector<BitVector>& answers);
+
+  AggregatorConfig config_;
+  core::Query query_;
+  core::ExecutionParams params_;
+  broker::Broker& broker_;
+  ResultFn on_result_;
+  AnswerTapFn answer_tap_;
+  std::vector<std::unique_ptr<broker::Consumer>> consumers_;
+  std::unique_ptr<engine::MidJoiner> joiner_;
+  std::unique_ptr<engine::WindowBuffer<BitVector>> windows_;
+  core::ErrorEstimator estimator_;
+  engine::BoundedOutOfOrdernessWatermark stream_watermark_{1000};
+  uint64_t malformed_dropped_ = 0;
+  uint64_t wrong_query_dropped_ = 0;
+};
+
+}  // namespace privapprox::aggregator
+
+#endif  // PRIVAPPROX_AGGREGATOR_AGGREGATOR_H_

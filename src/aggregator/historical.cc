@@ -1,0 +1,51 @@
+#include "aggregator/historical.h"
+
+#include <stdexcept>
+
+#include "core/answer.h"
+
+namespace privapprox::aggregator {
+
+HistoricalAnalytics::HistoricalAnalytics(const ResponseStore& store,
+                                         core::ExecutionParams client_params,
+                                         size_t population, double confidence)
+    : store_(store),
+      client_params_(client_params),
+      population_(population),
+      confidence_(confidence) {
+  client_params_.Validate();
+  if (population == 0) {
+    throw std::invalid_argument("HistoricalAnalytics: population must be > 0");
+  }
+}
+
+core::QueryResult HistoricalAnalytics::Run(int64_t from_ms, int64_t to_ms,
+                                           const BatchQueryBudget& budget,
+                                           Xoshiro256& rng,
+                                           size_t num_buckets) const {
+  if (!(budget.aggregator_sampling_fraction > 0.0 &&
+        budget.aggregator_sampling_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "HistoricalAnalytics: sampling fraction must be in (0, 1]");
+  }
+  core::AnswerAccumulator acc(num_buckets);
+  for (const ResponseStore::Entry* entry : store_.Range(from_ms, to_ms)) {
+    if (budget.aggregator_sampling_fraction < 1.0 &&
+        !rng.NextBernoulli(budget.aggregator_sampling_fraction)) {
+      continue;
+    }
+    if (entry->answer.size() != num_buckets) {
+      continue;  // answers from a different query shape
+    }
+    acc.Add(entry->answer);
+  }
+  // The second sampling round composes multiplicatively with the client
+  // round: the effective sampling fraction the estimator must use is
+  // s_client * s_aggregator.
+  core::ExecutionParams effective = client_params_;
+  effective.sampling_fraction *= budget.aggregator_sampling_fraction;
+  const core::ErrorEstimator estimator(effective, population_, confidence_);
+  return estimator.Estimate(acc.histogram(), acc.num_answers());
+}
+
+}  // namespace privapprox::aggregator

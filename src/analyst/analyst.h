@@ -1,0 +1,83 @@
+// The analyst runtime (the fourth component of Figure 1).
+//
+// An analyst formulates signed queries, submits them with an execution
+// budget, consumes the windowed results, tracks the measured accuracy
+// loss (against a reference the analyst supplies, e.g. a public prior), and
+// drives the §5 feedback loop: when the error drifts past the budgeted
+// target, re-tuned parameters are redistributed to clients before the next
+// epoch.
+
+#ifndef PRIVAPPROX_ANALYST_ANALYST_H_
+#define PRIVAPPROX_ANALYST_ANALYST_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/query.h"
+#include "system/system.h"
+
+namespace privapprox::analyst {
+
+struct AnalystConfig {
+  uint64_t analyst_id = 1;
+  // Target accuracy loss the feedback loop steers toward; taken from the
+  // budget when it has one, else this default.
+  double default_accuracy_target = 0.05;
+};
+
+class Analyst {
+ public:
+  explicit Analyst(AnalystConfig config);
+
+  uint64_t id() const { return config_.analyst_id; }
+
+  // A builder pre-stamped with this analyst's identity and a fresh serial
+  // query id (QID = analyst id concatenated with a serial, §3.1).
+  core::QueryBuilder NewQuery();
+
+  // Submits to a system; the initializer converts the budget. Returns the
+  // chosen parameters and arms the feedback controller.
+  core::ExecutionParams Submit(system::PrivApproxSystem& sys,
+                               const core::Query& query,
+                               const core::QueryBudget& budget,
+                               double expected_yes_fraction = 0.5);
+
+  // Variant with explicit starting parameters (the analyst picks the
+  // opening bid; the controller takes over from there). `accuracy_target`
+  // is the loss the loop steers toward; `max_epsilon` optionally caps the
+  // amplified differential-privacy level the loop may spend.
+  void Submit(system::PrivApproxSystem& sys, const core::Query& query,
+              const core::ExecutionParams& params, double accuracy_target,
+              std::optional<double> max_epsilon = std::nullopt);
+
+  // Runs one epoch and collects any windows that completed. When a
+  // reference histogram provider is installed the measured loss feeds the
+  // controller, and changed parameters are redistributed (re-submitted)
+  // before returning.
+  using ReferenceFn = std::function<Histogram(const engine::Window&)>;
+  void set_reference(ReferenceFn reference) {
+    reference_ = std::move(reference);
+  }
+
+  std::vector<aggregator::WindowedResult> RunEpoch(
+      system::PrivApproxSystem& sys, int64_t now_ms);
+
+  const core::ExecutionParams& current_params() const;
+  const std::vector<double>& loss_history() const { return loss_history_; }
+
+ private:
+  AnalystConfig config_;
+  uint64_t next_serial_ = 1;
+  std::optional<core::Query> query_;
+  std::optional<core::ExecutionParams> params_;
+  std::optional<core::FeedbackController> feedback_;
+  ReferenceFn reference_;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace privapprox::analyst
+
+#endif  // PRIVAPPROX_ANALYST_ANALYST_H_

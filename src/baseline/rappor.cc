@@ -1,0 +1,57 @@
+#include "baseline/rappor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace privapprox::baseline {
+
+Rappor::Rappor(double f, size_t num_hashes) : f_(f), num_hashes_(num_hashes) {
+  if (!(f > 0.0 && f < 1.0)) {
+    throw std::invalid_argument("Rappor: f must be in (0, 1)");
+  }
+  if (num_hashes == 0) {
+    throw std::invalid_argument("Rappor: need >= 1 hash function");
+  }
+}
+
+BitVector Rappor::PermanentRandomize(const BitVector& truthful,
+                                     Xoshiro256& rng) const {
+  BitVector randomized(truthful.size());
+  for (size_t i = 0; i < truthful.size(); ++i) {
+    const double u = rng.NextDouble();
+    bool bit;
+    if (u < f_ / 2.0) {
+      bit = true;
+    } else if (u < f_) {
+      bit = false;
+    } else {
+      bit = truthful.Get(i);
+    }
+    randomized.Set(i, bit);
+  }
+  return randomized;
+}
+
+double Rappor::DebiasCount(double randomized_count, double total) const {
+  return (randomized_count - (f_ / 2.0) * total) / (1.0 - f_);
+}
+
+Histogram Rappor::DebiasHistogram(const Histogram& randomized,
+                                  double total) const {
+  Histogram out(randomized.num_buckets());
+  for (size_t i = 0; i < randomized.num_buckets(); ++i) {
+    out.SetCount(i, DebiasCount(randomized.Count(i), total));
+  }
+  return out;
+}
+
+double Rappor::EpsilonOneTime() const {
+  return 2.0 * static_cast<double>(num_hashes_) *
+         std::log((1.0 - f_ / 2.0) / (f_ / 2.0));
+}
+
+core::RandomizationParams Rappor::ToPrivApproxParams() const {
+  return core::RandomizationParams{1.0 - f_, 0.5};
+}
+
+}  // namespace privapprox::baseline

@@ -1,0 +1,54 @@
+// RAPPOR baseline (Erlingsson et al., CCS'14) — comparator for Fig 5c.
+//
+// RAPPOR's permanent randomized response with parameter f reports each
+// Bloom-filter bit b as: 1 with probability f/2, 0 with probability f/2,
+// and b itself with probability 1 - f. The paper's apples-to-apples mapping
+// (§6 #VIII): set h = 1 hash function, and note that RAPPOR's randomization
+// equals PrivApprox's randomized response with p = 1 - f, q = 0.5 — but
+// RAPPOR has no client-side sampling (s = 1), so PrivApprox's amplified
+// epsilon is strictly lower for s < 1.
+
+#ifndef PRIVAPPROX_BASELINE_RAPPOR_H_
+#define PRIVAPPROX_BASELINE_RAPPOR_H_
+
+#include <cstddef>
+
+#include "common/bitvector.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/randomized_response.h"
+
+namespace privapprox::baseline {
+
+class Rappor {
+ public:
+  // `f` in (0, 1): RAPPOR's longitudinal privacy parameter; `num_hashes` = h.
+  Rappor(double f, size_t num_hashes = 1);
+
+  double f() const { return f_; }
+  size_t num_hashes() const { return num_hashes_; }
+
+  // Permanent randomized response over a bit-vector report.
+  BitVector PermanentRandomize(const BitVector& truthful,
+                               Xoshiro256& rng) const;
+
+  // Unbiased estimate of the truthful per-bit count from randomized counts:
+  // t = (c - (f/2) N) / (1 - f).
+  double DebiasCount(double randomized_count, double total) const;
+  Histogram DebiasHistogram(const Histogram& randomized, double total) const;
+
+  // One-time differential privacy of the permanent RR:
+  // eps = 2 h ln((1 - f/2) / (f/2)).
+  double EpsilonOneTime() const;
+
+  // The paper's parameter mapping into PrivApprox's (p, q) space.
+  core::RandomizationParams ToPrivApproxParams() const;
+
+ private:
+  double f_;
+  size_t num_hashes_;
+};
+
+}  // namespace privapprox::baseline
+
+#endif  // PRIVAPPROX_BASELINE_RAPPOR_H_

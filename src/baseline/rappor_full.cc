@@ -1,0 +1,112 @@
+#include "baseline/rappor_full.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace privapprox::baseline {
+namespace {
+
+// FNV-1a with per-hash seed; double hashing would also do, but k distinct
+// seeded hashes keep the code obvious.
+uint64_t SeededHash(const std::string& value, uint64_t seed) {
+  uint64_t hash = 0xCBF29CE484222325ULL ^ (seed * 0x9E3779B97F4A7C15ULL);
+  for (char c : value) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  // Final avalanche.
+  hash ^= hash >> 33;
+  hash *= 0xFF51AFD7ED558CCDULL;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+}  // namespace
+
+void RapporConfig::Validate() const {
+  if (num_bits == 0 || num_hashes == 0 || num_hashes > num_bits) {
+    throw std::invalid_argument("RapporConfig: bad k/h");
+  }
+  if (!(f > 0.0 && f < 1.0)) {
+    throw std::invalid_argument("RapporConfig: f must be in (0, 1)");
+  }
+  if (!(p_irr >= 0.0 && p_irr < q_irr && q_irr <= 1.0)) {
+    throw std::invalid_argument("RapporConfig: need 0 <= p_irr < q_irr <= 1");
+  }
+}
+
+RapporClient::RapporClient(RapporConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.Validate();
+}
+
+BitVector RapporClient::BloomEncode(const std::string& value) const {
+  BitVector bits(config_.num_bits);
+  for (size_t h = 0; h < config_.num_hashes; ++h) {
+    bits.Set(SeededHash(value, h) % config_.num_bits, true);
+  }
+  return bits;
+}
+
+const BitVector& RapporClient::PermanentFor(const std::string& value) {
+  const auto it = permanent_.find(value);
+  if (it != permanent_.end()) {
+    return it->second;
+  }
+  const BitVector bloom = BloomEncode(value);
+  BitVector prr(config_.num_bits);
+  for (size_t i = 0; i < config_.num_bits; ++i) {
+    const double u = rng_.NextDouble();
+    bool bit;
+    if (u < config_.f / 2.0) {
+      bit = true;
+    } else if (u < config_.f) {
+      bit = false;
+    } else {
+      bit = bloom.Get(i);
+    }
+    prr.Set(i, bit);
+  }
+  return permanent_.emplace(value, std::move(prr)).first->second;
+}
+
+BitVector RapporClient::Report(const std::string& value) {
+  const BitVector& prr = PermanentFor(value);
+  BitVector report(config_.num_bits);
+  for (size_t i = 0; i < config_.num_bits; ++i) {
+    const double pr = prr.Get(i) ? config_.q_irr : config_.p_irr;
+    report.Set(i, rng_.NextBernoulli(pr));
+  }
+  return report;
+}
+
+Histogram RapporDebias(const RapporConfig& config, const Histogram& counts,
+                       double total) {
+  config.Validate();
+  const double bias = config.p_irr + config.f * config.q_irr / 2.0 -
+                      config.f * config.p_irr / 2.0;
+  const double gain = (1.0 - config.f) * (config.q_irr - config.p_irr);
+  Histogram out(counts.num_buckets());
+  for (size_t i = 0; i < counts.num_buckets(); ++i) {
+    out.SetCount(i, (counts.Count(i) - bias * total) / gain);
+  }
+  return out;
+}
+
+double RapporEpsilonOneTime(const RapporConfig& config) {
+  config.Validate();
+  // Effective report probabilities conditioned on the true Bloom bit:
+  // P[S=1|B=1] = q* = (f/2)(p+q) + (1-f) q_irr; P[S=1|B=0] = p* likewise.
+  const double q_star = (config.f / 2.0) * (config.p_irr + config.q_irr) +
+                        (1.0 - config.f) * config.q_irr;
+  const double p_star = (config.f / 2.0) * (config.p_irr + config.q_irr) +
+                        (1.0 - config.f) * config.p_irr;
+  const double h = static_cast<double>(config.num_hashes);
+  // The odds ratio q*(1-p*) / (p*(1-q*)) already accounts for both report
+  // values; h set Bloom bits multiply the exponent (RAPPOR paper, Thm 1:
+  // eps = 2h ln((1-f/2)/(f/2)) in the IRR-degenerate case, which this
+  // expression reduces to).
+  return h * std::log((q_star * (1.0 - p_star)) / (p_star * (1.0 - q_star)));
+}
+
+}  // namespace privapprox::baseline

@@ -1,0 +1,79 @@
+// Full RAPPOR pipeline (Erlingsson, Pihur, Korolova — CCS'14), as the
+// comparator system actually deploys it: Bloom-filter encoding of a string
+// value with h hash functions into k bits, a *memoized* permanent randomized
+// response (longitudinal privacy: the same value always maps to the same
+// noisy bits), and an instantaneous randomized response on every report.
+//
+// The simple `Rappor` class in rappor.h is the h = 1 mapping the paper's
+// Fig 5c comparison uses; this file is the complete system for the
+// head-to-head tests and the heavy-hitter style decoding.
+//
+// Report bit i:
+//   B    = Bloom(value)                       (h bits of k set)
+//   B'   = PRR(B):  1 w.p. f/2, 0 w.p. f/2, B_i w.p. 1-f   [memoized]
+//   S    = IRR(B'): 1 w.p. q_irr if B'_i = 1, w.p. p_irr if B'_i = 0
+// Count de-bias across N reports of bit i:
+//   t_i = (c_i - (p_irr + f*q_irr/2 - f*p_irr/2) N) / ((1-f)(q_irr - p_irr))
+
+#ifndef PRIVAPPROX_BASELINE_RAPPOR_FULL_H_
+#define PRIVAPPROX_BASELINE_RAPPOR_FULL_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "common/bitvector.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace privapprox::baseline {
+
+struct RapporConfig {
+  size_t num_bits = 128;   // k: Bloom filter width
+  size_t num_hashes = 2;   // h
+  double f = 0.5;          // permanent RR parameter
+  double p_irr = 0.25;     // IRR: P[report 1 | PRR bit 0]
+  double q_irr = 0.75;     // IRR: P[report 1 | PRR bit 1]
+
+  void Validate() const;
+};
+
+class RapporClient {
+ public:
+  explicit RapporClient(RapporConfig config, uint64_t seed);
+
+  const RapporConfig& config() const { return config_; }
+
+  // Deterministic Bloom encoding of `value` (no noise).
+  BitVector BloomEncode(const std::string& value) const;
+
+  // The memoized permanent randomized response for `value`: computed once
+  // per distinct value per client, then reused for every future report —
+  // RAPPOR's defense against longitudinal averaging attacks.
+  const BitVector& PermanentFor(const std::string& value);
+
+  // One report: IRR over the memoized PRR.
+  BitVector Report(const std::string& value);
+
+  size_t memoized_values() const { return permanent_.size(); }
+
+ private:
+  RapporConfig config_;
+  Xoshiro256 rng_;
+  std::unordered_map<std::string, BitVector> permanent_;
+};
+
+// Aggregate decoding: de-biased per-bit counts from `reports` accumulated
+// per-bit counts over `total` reports.
+Histogram RapporDebias(const RapporConfig& config, const Histogram& counts,
+                       double total);
+
+// One-time epsilon of the full pipeline (PRR composed with IRR), h hashes:
+// h times the log odds-ratio of P[S_i = 1 | B_i = 1] vs P[S_i = 1 | B_i = 0]
+// (the odds ratio covers both report values; h set bits compose), matching
+// the RAPPOR paper's eps = 2h ln((1-f/2)/(f/2)) when the IRR is degenerate.
+double RapporEpsilonOneTime(const RapporConfig& config);
+
+}  // namespace privapprox::baseline
+
+#endif  // PRIVAPPROX_BASELINE_RAPPOR_FULL_H_

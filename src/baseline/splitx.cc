@@ -1,0 +1,23 @@
+#include "baseline/splitx.h"
+
+namespace privapprox::baseline {
+
+SplitXStageLatency SplitXModel::Estimate(uint64_t num_clients) const {
+  const double n = static_cast<double>(num_clients);
+  SplitXStageLatency latency;
+  latency.transmission_ms =
+      costs_.transmission_fixed_ms + n * costs_.transmission_us / 1000.0;
+  latency.computation_ms =
+      costs_.computation_fixed_ms + n * costs_.computation_us / 1000.0;
+  latency.shuffling_ms =
+      costs_.shuffling_fixed_ms + n * costs_.shuffling_us / 1000.0;
+  latency.synchronization_ms = costs_.synchronization_fixed_ms;
+  return latency;
+}
+
+double PrivApproxProxyModel::EstimateMs(uint64_t num_clients) const {
+  return costs_.transmission_fixed_ms +
+         static_cast<double>(num_clients) * costs_.transmission_us / 1000.0;
+}
+
+}  // namespace privapprox::baseline

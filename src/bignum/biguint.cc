@@ -1,0 +1,463 @@
+#include "bignum/biguint.h"
+
+#include <algorithm>
+#include <span>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+namespace privapprox::bignum {
+namespace {
+
+using uint128 = unsigned __int128;
+
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(value);
+  }
+}
+
+const BigUint& BigUint::Zero() {
+  static const BigUint kZero;
+  return kZero;
+}
+
+const BigUint& BigUint::One() {
+  static const BigUint kOne(1);
+  return kOne;
+}
+
+const BigUint& BigUint::Two() {
+  static const BigUint kTwo(2);
+  return kTwo;
+}
+
+BigUint BigUint::FromLimbs(std::vector<uint64_t> limbs) {
+  BigUint out;
+  out.limbs_ = std::move(limbs);
+  out.Trim();
+  return out;
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigUint BigUint::FromHex(const std::string& hex) {
+  size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    start = 2;
+  }
+  if (start == hex.size()) {
+    throw std::invalid_argument("BigUint::FromHex: empty string");
+  }
+  BigUint out;
+  const size_t digits = hex.size() - start;
+  out.limbs_.assign((digits + 15) / 16, 0);
+  size_t bit = 0;
+  for (size_t i = hex.size(); i > start; --i) {
+    const char c = hex[i - 1];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      throw std::invalid_argument("BigUint::FromHex: bad digit");
+    }
+    out.limbs_[bit / 64] |= nibble << (bit % 64);
+    bit += 4;
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::FromDecimal(const std::string& dec) {
+  if (dec.empty()) {
+    throw std::invalid_argument("BigUint::FromDecimal: empty string");
+  }
+  BigUint out;
+  for (char c : dec) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("BigUint::FromDecimal: bad digit");
+    }
+    out = out * BigUint(10) + BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+std::string BigUint::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const uint64_t nibble = (limbs_[i - 1] >> shift) & 0xF;
+      if (out.empty() && nibble == 0) {
+        continue;
+      }
+      out.push_back(kDigits[nibble]);
+    }
+  }
+  return out;
+}
+
+std::string BigUint::ToDecimal() const {
+  if (IsZero()) {
+    return "0";
+  }
+  std::string out;
+  BigUint value = *this;
+  const BigUint ten(10);
+  while (!value.IsZero()) {
+    DivModResult dm = value.DivMod(ten);
+    out.push_back(static_cast<char>('0' + dm.remainder.Low64()));
+    value = std::move(dm.quotient);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  return 64 * (limbs_.size() - 1) +
+         (64 - static_cast<size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUint::GetBit(size_t index) const {
+  const size_t limb = index / 64;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (index % 64)) & 1u;
+}
+
+void BigUint::SetBit(size_t index, bool value) {
+  const size_t limb = index / 64;
+  if (limb >= limbs_.size()) {
+    if (!value) {
+      return;
+    }
+    limbs_.resize(limb + 1, 0);
+  }
+  if (value) {
+    limbs_[limb] |= (uint64_t{1} << (index % 64));
+  } else {
+    limbs_[limb] &= ~(uint64_t{1} << (index % 64));
+    Trim();
+  }
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i > 0; --i) {
+    if (limbs_[i - 1] != other.limbs_[i - 1]) {
+      return limbs_[i - 1] < other.limbs_[i - 1] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  std::vector<uint64_t> result(std::max(limbs_.size(), other.limbs_.size()) + 1,
+                               0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < result.size() - 1; ++i) {
+    uint128 sum = static_cast<uint128>(carry);
+    if (i < limbs_.size()) {
+      sum += limbs_[i];
+    }
+    if (i < other.limbs_.size()) {
+      sum += other.limbs_[i];
+    }
+    result[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  result.back() = carry;
+  return FromLimbs(std::move(result));
+}
+
+BigUint BigUint::operator-(const BigUint& other) const {
+  if (*this < other) {
+    throw std::underflow_error("BigUint::operator-: negative result");
+  }
+  std::vector<uint64_t> result(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const uint128 lhs = static_cast<uint128>(limbs_[i]);
+    const uint128 sub = static_cast<uint128>(rhs) + borrow;
+    if (lhs >= sub) {
+      result[i] = static_cast<uint64_t>(lhs - sub);
+      borrow = 0;
+    } else {
+      result[i] = static_cast<uint64_t>((uint128{1} << 64) + lhs - sub);
+      borrow = 1;
+    }
+  }
+  return FromLimbs(std::move(result));
+}
+
+namespace {
+
+// Karatsuba kicks in above this limb count; below it, schoolbook's cache
+// behaviour wins. 32 limbs = 2048 bits, i.e. Paillier's n^2 products.
+constexpr size_t kKaratsubaThreshold = 32;
+
+// result[i..] += a * b (schoolbook), result must be large enough.
+void SchoolbookMulInto(std::span<const uint64_t> a,
+                       std::span<const uint64_t> b,
+                       std::span<uint64_t> result) {
+  using uint128 = unsigned __int128;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      const uint128 acc =
+          static_cast<uint128>(a[i]) * b[j] + result[i + j] + carry;
+      result[i + j] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    // Propagate the final carry (the slot may already hold a value from a
+    // previous partial product).
+    size_t k = i + b.size();
+    while (carry != 0) {
+      const uint128 acc = static_cast<uint128>(result[k]) + carry;
+      result[k] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+      ++k;
+    }
+  }
+}
+
+}  // namespace
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) {
+    return Zero();
+  }
+  if (std::min(limbs_.size(), other.limbs_.size()) < kKaratsubaThreshold) {
+    std::vector<uint64_t> result(limbs_.size() + other.limbs_.size(), 0);
+    SchoolbookMulInto(limbs_, other.limbs_, result);
+    return FromLimbs(std::move(result));
+  }
+  // Karatsuba: split both operands at half the larger size.
+  //   x = x1*B + x0, y = y1*B + y0  (B = 2^(64*half))
+  //   x*y = z2*B^2 + z1*B + z0 with
+  //   z0 = x0*y0, z2 = x1*y1, z1 = (x0+x1)(y0+y1) - z0 - z2.
+  const size_t half = std::max(limbs_.size(), other.limbs_.size()) / 2;
+  auto split = [half](const std::vector<uint64_t>& limbs) {
+    const size_t lo_size = std::min(half, limbs.size());
+    BigUint lo = FromLimbs({limbs.begin(), limbs.begin() + static_cast<long>(lo_size)});
+    BigUint hi = lo_size < limbs.size()
+                     ? FromLimbs({limbs.begin() + static_cast<long>(lo_size),
+                                  limbs.end()})
+                     : Zero();
+    return std::pair<BigUint, BigUint>(std::move(lo), std::move(hi));
+  };
+  const auto [x0, x1] = split(limbs_);
+  const auto [y0, y1] = split(other.limbs_);
+  const BigUint z0 = x0 * y0;
+  const BigUint z2 = x1 * y1;
+  const BigUint z1 = (x0 + x1) * (y0 + y1) - z0 - z2;
+  return (z2 << (128 * half)) + (z1 << (64 * half)) + z0;
+}
+
+BigUint::DivModResult BigUint::DivMod(const BigUint& divisor) const {
+  if (divisor.IsZero()) {
+    throw std::domain_error("BigUint::DivMod: division by zero");
+  }
+  if (*this < divisor) {
+    return {Zero(), *this};
+  }
+  // Fast path: single-limb divisor.
+  if (divisor.limbs_.size() == 1) {
+    const uint64_t d = divisor.limbs_[0];
+    std::vector<uint64_t> quotient(limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = limbs_.size(); i > 0; --i) {
+      const uint128 cur = (static_cast<uint128>(rem) << 64) | limbs_[i - 1];
+      quotient[i - 1] = static_cast<uint64_t>(cur / d);
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    return {FromLimbs(std::move(quotient)), BigUint(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set.
+  const int shift = std::countl_zero(divisor.limbs_.back());
+  const BigUint u_norm = *this << static_cast<size_t>(shift);
+  const BigUint v_norm = divisor << static_cast<size_t>(shift);
+  const size_t n = v_norm.limbs_.size();
+  const size_t m = u_norm.limbs_.size() - n;
+
+  std::vector<uint64_t> u = u_norm.limbs_;
+  u.push_back(0);  // u has m + n + 1 limbs
+  const std::vector<uint64_t>& v = v_norm.limbs_;
+  std::vector<uint64_t> q(m + 1, 0);
+
+  const uint64_t v_hi = v[n - 1];
+  const uint64_t v_lo = v[n - 2];
+
+  for (size_t j = m + 1; j > 0; --j) {
+    const size_t jj = j - 1;
+    // Estimate q_hat = (u[jj+n]*B + u[jj+n-1]) / v_hi.
+    const uint128 numerator =
+        (static_cast<uint128>(u[jj + n]) << 64) | u[jj + n - 1];
+    uint128 q_hat = numerator / v_hi;
+    uint128 r_hat = numerator % v_hi;
+    while (q_hat >= (uint128{1} << 64) ||
+           q_hat * v_lo > ((r_hat << 64) | u[jj + n - 2])) {
+      --q_hat;
+      r_hat += v_hi;
+      if (r_hat >= (uint128{1} << 64)) {
+        break;
+      }
+    }
+    // Multiply-subtract: u[jj .. jj+n] -= q_hat * v.
+    uint64_t mul_carry = 0;
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint128 prod =
+          static_cast<uint128>(static_cast<uint64_t>(q_hat)) * v[i] + mul_carry;
+      const uint64_t prod_lo = static_cast<uint64_t>(prod);
+      mul_carry = static_cast<uint64_t>(prod >> 64);
+      const uint128 lhs = static_cast<uint128>(u[jj + i]);
+      const uint128 sub = static_cast<uint128>(prod_lo) + borrow;
+      if (lhs >= sub) {
+        u[jj + i] = static_cast<uint64_t>(lhs - sub);
+        borrow = 0;
+      } else {
+        u[jj + i] = static_cast<uint64_t>((uint128{1} << 64) + lhs - sub);
+        borrow = 1;
+      }
+    }
+    {
+      const uint128 lhs = static_cast<uint128>(u[jj + n]);
+      const uint128 sub = static_cast<uint128>(mul_carry) + borrow;
+      if (lhs >= sub) {
+        u[jj + n] = static_cast<uint64_t>(lhs - sub);
+        borrow = 0;
+      } else {
+        u[jj + n] = static_cast<uint64_t>((uint128{1} << 64) + lhs - sub);
+        borrow = 1;
+      }
+    }
+    q[jj] = static_cast<uint64_t>(q_hat);
+    if (borrow) {
+      // q_hat was one too large: add back.
+      --q[jj];
+      uint64_t carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint128 sum =
+            static_cast<uint128>(u[jj + i]) + v[i] + carry;
+        u[jj + i] = static_cast<uint64_t>(sum);
+        carry = static_cast<uint64_t>(sum >> 64);
+      }
+      u[jj + n] += carry;
+    }
+  }
+
+  u.resize(n);
+  BigUint remainder = FromLimbs(std::move(u)) >> static_cast<size_t>(shift);
+  return {FromLimbs(std::move(q)), std::move(remainder)};
+}
+
+BigUint BigUint::operator/(const BigUint& other) const {
+  return DivMod(other).quotient;
+}
+
+BigUint BigUint::operator%(const BigUint& other) const {
+  return DivMod(other).remainder;
+}
+
+BigUint BigUint::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    return *this;
+  }
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  std::vector<uint64_t> result(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    result[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      result[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  return FromLimbs(std::move(result));
+}
+
+BigUint BigUint::operator>>(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    return *this;
+  }
+  const size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) {
+    return Zero();
+  }
+  const size_t bit_shift = bits % 64;
+  std::vector<uint64_t> result(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      result[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  return FromLimbs(std::move(result));
+}
+
+BigUint BigUint::FromLittleEndianLimbs(std::vector<uint64_t> limbs) {
+  return FromLimbs(std::move(limbs));
+}
+
+BigUint BigUint::RandomBits(Xoshiro256& rng, size_t bits) {
+  if (bits == 0) {
+    return Zero();
+  }
+  std::vector<uint64_t> limbs((bits + 63) / 64, 0);
+  for (auto& limb : limbs) {
+    limb = rng.Next();
+  }
+  const size_t top_bits = bits % 64;
+  if (top_bits != 0) {
+    limbs.back() &= (uint64_t{1} << top_bits) - 1;
+  }
+  BigUint out = FromLimbs(std::move(limbs));
+  out.SetBit(bits - 1, true);
+  return out;
+}
+
+BigUint BigUint::RandomBelow(Xoshiro256& rng, const BigUint& bound) {
+  if (bound.IsZero()) {
+    throw std::invalid_argument("BigUint::RandomBelow: bound must be > 0");
+  }
+  const size_t bits = bound.BitLength();
+  // Rejection sampling: uniform in [0, 2^bits), retry until < bound.
+  for (;;) {
+    std::vector<uint64_t> limbs((bits + 63) / 64, 0);
+    for (auto& limb : limbs) {
+      limb = rng.Next();
+    }
+    const size_t top_bits = bits % 64;
+    if (top_bits != 0) {
+      limbs.back() &= (uint64_t{1} << top_bits) - 1;
+    }
+    BigUint candidate = FromLimbs(std::move(limbs));
+    if (candidate < bound) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace privapprox::bignum

@@ -1,0 +1,103 @@
+// Arbitrary-precision unsigned integers.
+//
+// Substrate for the public-key comparators of Table 2 (RSA,
+// Goldwasser-Micali, Paillier with 1024-bit keys). Little-endian 64-bit
+// limbs; schoolbook multiplication and Knuth Algorithm D division, which is
+// ample for 1024-4096 bit operands.
+
+#ifndef PRIVAPPROX_BIGNUM_BIGUINT_H_
+#define PRIVAPPROX_BIGNUM_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privapprox::bignum {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal interop
+
+  static const BigUint& Zero();
+  static const BigUint& One();
+  static const BigUint& Two();
+
+  // Parses a hexadecimal string (no 0x prefix required; accepts it).
+  static BigUint FromHex(const std::string& hex);
+  // Parses a decimal string.
+  static BigUint FromDecimal(const std::string& dec);
+
+  std::string ToHex() const;
+  std::string ToDecimal() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsEven() const { return !IsOdd(); }
+
+  // Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  bool GetBit(size_t index) const;
+  void SetBit(size_t index, bool value);
+
+  // Low 64 bits (0 for zero).
+  uint64_t Low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  // Three-way comparison: -1, 0, +1.
+  int Compare(const BigUint& other) const;
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  BigUint operator+(const BigUint& other) const;
+  // Throws std::underflow_error if other > *this.
+  BigUint operator-(const BigUint& other) const;
+  BigUint operator*(const BigUint& other) const;
+  // Throws std::domain_error on division by zero.
+  BigUint operator/(const BigUint& other) const;
+  BigUint operator%(const BigUint& other) const;
+  BigUint operator<<(size_t bits) const;
+  BigUint operator>>(size_t bits) const;
+
+  BigUint& operator+=(const BigUint& o) { return *this = *this + o; }
+  BigUint& operator-=(const BigUint& o) { return *this = *this - o; }
+  BigUint& operator*=(const BigUint& o) { return *this = *this * o; }
+  BigUint& operator/=(const BigUint& o) { return *this = *this / o; }
+  BigUint& operator%=(const BigUint& o) { return *this = *this % o; }
+
+  // Quotient and remainder in one pass (definition follows the class).
+  struct DivModResult;
+  DivModResult DivMod(const BigUint& divisor) const;
+
+  // Builds from little-endian 64-bit limbs (trailing zero limbs are trimmed).
+  static BigUint FromLittleEndianLimbs(std::vector<uint64_t> limbs);
+
+  // Uniform random integer with exactly `bits` bits (top bit set) — used for
+  // prime candidates.
+  static BigUint RandomBits(Xoshiro256& rng, size_t bits);
+  // Uniform random integer in [0, bound).
+  static BigUint RandomBelow(Xoshiro256& rng, const BigUint& bound);
+
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+  static BigUint FromLimbs(std::vector<uint64_t> limbs);
+
+  // Little-endian limbs; empty means zero; no trailing zero limbs.
+  std::vector<uint64_t> limbs_;
+};
+
+struct BigUint::DivModResult {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+}  // namespace privapprox::bignum
+
+#endif  // PRIVAPPROX_BIGNUM_BIGUINT_H_

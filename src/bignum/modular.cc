@@ -1,0 +1,227 @@
+#include "bignum/modular.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace privapprox::bignum {
+namespace {
+
+using uint128 = unsigned __int128;
+
+// -m^-1 mod 2^64 via Newton iteration on the low limb.
+uint64_t NegInverse64(uint64_t m) {
+  // m odd. x = m^-1 mod 2^64 by Hensel lifting: x_{k+1} = x_k (2 - m x_k).
+  uint64_t x = m;  // correct mod 2^3
+  for (int i = 0; i < 5; ++i) {
+    x *= 2 - m * x;
+  }
+  return ~x + 1;  // -x
+}
+
+}  // namespace
+
+BigUint Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::optional<BigUint> ModInverse(const BigUint& a, const BigUint& m) {
+  if (m.IsZero()) {
+    throw std::domain_error("ModInverse: zero modulus");
+  }
+  if (m == BigUint::One()) {
+    return BigUint::Zero();
+  }
+  // Extended Euclid tracking only the coefficient of `a`, with sign handled
+  // as (value, is_negative) since BigUint is unsigned.
+  BigUint r0 = m, r1 = a % m;
+  BigUint t0 = BigUint::Zero(), t1 = BigUint::One();
+  bool neg0 = false, neg1 = false;
+  while (!r1.IsZero()) {
+    const BigUint::DivModResult dm = r0.DivMod(r1);
+    // t2 = t0 - q * t1 with signed bookkeeping.
+    const BigUint qt1 = dm.quotient * t1;
+    BigUint t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // t0 and q*t1 have the same sign: result keeps sign of the larger.
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        neg2 = neg0;
+      } else {
+        t2 = qt1 - t0;
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0 + qt1;
+      neg2 = neg0;
+    }
+    r0 = std::move(r1);
+    r1 = dm.remainder;
+    t0 = std::move(t1);
+    neg0 = neg1;
+    t1 = std::move(t2);
+    neg1 = neg2;
+  }
+  if (r0 != BigUint::One()) {
+    return std::nullopt;
+  }
+  BigUint inv = t0 % m;
+  if (neg0 && !inv.IsZero()) {
+    inv = m - inv;
+  }
+  return inv;
+}
+
+BigUint ModAdd(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a % m + b % m) % m;
+}
+
+BigUint ModSub(const BigUint& a, const BigUint& b, const BigUint& m) {
+  const BigUint ar = a % m;
+  const BigUint br = b % m;
+  if (ar >= br) {
+    return ar - br;
+  }
+  return m - (br - ar);
+}
+
+BigUint ModMul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return (a * b) % m;
+}
+
+BigUint ModExp(const BigUint& base, const BigUint& exp, const BigUint& m) {
+  if (m.IsZero()) {
+    throw std::domain_error("ModExp: zero modulus");
+  }
+  if (m == BigUint::One()) {
+    return BigUint::Zero();
+  }
+  if (m.IsOdd()) {
+    return MontgomeryContext(m).Exp(base, exp);
+  }
+  // Plain square-and-multiply for even moduli.
+  BigUint result = BigUint::One();
+  BigUint b = base % m;
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.GetBit(i)) {
+      result = (result * b) % m;
+    }
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+int Jacobi(BigUint a, BigUint n) {
+  if (n.IsZero() || n.IsEven()) {
+    throw std::invalid_argument("Jacobi: n must be odd and positive");
+  }
+  a = a % n;
+  int result = 1;
+  while (!a.IsZero()) {
+    while (a.IsEven()) {
+      a = a >> 1;
+      const uint64_t n_mod_8 = n.Low64() & 7;
+      if (n_mod_8 == 3 || n_mod_8 == 5) {
+        result = -result;
+      }
+    }
+    std::swap(a, n);
+    if ((a.Low64() & 3) == 3 && (n.Low64() & 3) == 3) {
+      result = -result;
+    }
+    a = a % n;
+  }
+  return n == BigUint::One() ? result : 0;
+}
+
+MontgomeryContext::MontgomeryContext(const BigUint& modulus)
+    : modulus_(modulus) {
+  if (modulus.IsZero() || modulus.IsEven() || modulus == BigUint::One()) {
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd > 1");
+  }
+  num_limbs_ = modulus_.limbs().size();
+  inv_neg_m_ = NegInverse64(modulus_.limbs()[0]);
+  const BigUint r = BigUint::One() << (64 * num_limbs_);
+  r_mod_m_ = r % modulus_;
+  r2_mod_m_ = (r_mod_m_ * r_mod_m_) % modulus_;
+}
+
+BigUint MontgomeryContext::ToMontgomery(const BigUint& x) const {
+  return Multiply(x % modulus_, r2_mod_m_);
+}
+
+BigUint MontgomeryContext::FromMontgomery(const BigUint& x) const {
+  return Multiply(x, BigUint::One());
+}
+
+BigUint MontgomeryContext::Multiply(const BigUint& a, const BigUint& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  const size_t n = num_limbs_;
+  const auto& m = modulus_.limbs();
+  std::vector<uint64_t> t(n + 2, 0);
+
+  const auto& al = a.limbs();
+  const auto& bl = b.limbs();
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t ai = i < al.size() ? al[i] : 0;
+    // t += ai * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t bj = j < bl.size() ? bl[j] : 0;
+      const uint128 acc = static_cast<uint128>(ai) * bj + t[j] + carry;
+      t[j] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    {
+      const uint128 acc = static_cast<uint128>(t[n]) + carry;
+      t[n] = static_cast<uint64_t>(acc);
+      t[n + 1] += static_cast<uint64_t>(acc >> 64);
+    }
+    // Reduce: u = t[0] * (-m^-1) mod 2^64; t += u * m; t >>= 64.
+    const uint64_t u = t[0] * inv_neg_m_;
+    carry = 0;
+    {
+      const uint128 acc = static_cast<uint128>(u) * m[0] + t[0];
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    for (size_t j = 1; j < n; ++j) {
+      const uint128 acc = static_cast<uint128>(u) * m[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    {
+      const uint128 acc = static_cast<uint128>(t[n]) + carry;
+      t[n - 1] = static_cast<uint64_t>(acc);
+      t[n] = t[n + 1] + static_cast<uint64_t>(acc >> 64);
+      t[n + 1] = 0;
+    }
+  }
+  t.resize(n + 1);
+  BigUint value = BigUint::FromLittleEndianLimbs(std::move(t));
+  if (value >= modulus_) {
+    value = value - modulus_;
+  }
+  return value;
+}
+
+BigUint MontgomeryContext::Exp(const BigUint& base, const BigUint& exp) const {
+  BigUint result = r_mod_m_;  // 1 in Montgomery form
+  BigUint b = ToMontgomery(base);
+  const size_t bits = exp.BitLength();
+  for (size_t i = bits; i > 0; --i) {
+    result = Multiply(result, result);
+    if (exp.GetBit(i - 1)) {
+      result = Multiply(result, b);
+    }
+  }
+  return FromMontgomery(result);
+}
+
+}  // namespace privapprox::bignum

@@ -1,0 +1,65 @@
+// Modular arithmetic over BigUint: gcd / extended gcd, modular inverse,
+// Jacobi symbol (needed by Goldwasser-Micali), and modular exponentiation
+// with a Montgomery fast path for odd moduli (RSA/Paillier/GM all use odd
+// moduli, so every hot path is Montgomery).
+
+#ifndef PRIVAPPROX_BIGNUM_MODULAR_H_
+#define PRIVAPPROX_BIGNUM_MODULAR_H_
+
+#include <optional>
+
+#include "bignum/biguint.h"
+
+namespace privapprox::bignum {
+
+BigUint Gcd(BigUint a, BigUint b);
+
+// Modular inverse of a mod m; nullopt when gcd(a, m) != 1.
+std::optional<BigUint> ModInverse(const BigUint& a, const BigUint& m);
+
+// (a + b) mod m, operands already reduced or not.
+BigUint ModAdd(const BigUint& a, const BigUint& b, const BigUint& m);
+// (a - b) mod m.
+BigUint ModSub(const BigUint& a, const BigUint& b, const BigUint& m);
+// (a * b) mod m.
+BigUint ModMul(const BigUint& a, const BigUint& b, const BigUint& m);
+
+// base^exp mod m. Uses Montgomery ladder when m is odd, plain
+// square-and-multiply otherwise. Throws std::domain_error for m == 0.
+BigUint ModExp(const BigUint& base, const BigUint& exp, const BigUint& m);
+
+// Jacobi symbol (a/n) for odd n > 0: returns -1, 0, or +1.
+int Jacobi(BigUint a, BigUint n);
+
+// Montgomery multiplication context for a fixed odd modulus. Amortizes the
+// per-modulus setup across many multiplications (the shape of every
+// public-key hot loop).
+class MontgomeryContext {
+ public:
+  // Requires an odd modulus > 1.
+  explicit MontgomeryContext(const BigUint& modulus);
+
+  const BigUint& modulus() const { return modulus_; }
+
+  // Converts into / out of Montgomery form.
+  BigUint ToMontgomery(const BigUint& x) const;
+  BigUint FromMontgomery(const BigUint& x) const;
+
+  // Montgomery product: returns aR * bR * R^-1 = (ab)R mod m, for inputs in
+  // Montgomery form.
+  BigUint Multiply(const BigUint& a, const BigUint& b) const;
+
+  // base^exp mod m (inputs/outputs in ordinary form).
+  BigUint Exp(const BigUint& base, const BigUint& exp) const;
+
+ private:
+  BigUint modulus_;
+  size_t num_limbs_;       // R = 2^(64 * num_limbs_)
+  uint64_t inv_neg_m_;     // -m^-1 mod 2^64
+  BigUint r_mod_m_;        // R mod m
+  BigUint r2_mod_m_;       // R^2 mod m
+};
+
+}  // namespace privapprox::bignum
+
+#endif  // PRIVAPPROX_BIGNUM_MODULAR_H_

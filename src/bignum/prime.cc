@@ -1,0 +1,99 @@
+#include "bignum/prime.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "bignum/modular.h"
+
+namespace privapprox::bignum {
+namespace {
+
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round with base `a`: returns false if `a` witnesses
+// compositeness of n = d * 2^r + 1.
+bool MillerRabinRound(const MontgomeryContext& ctx, const BigUint& n,
+                      const BigUint& n_minus_1, const BigUint& d, size_t r,
+                      const BigUint& a) {
+  BigUint x = ctx.Exp(a, d);
+  if (x == BigUint::One() || x == n_minus_1) {
+    return true;
+  }
+  for (size_t i = 1; i < r; ++i) {
+    x = (x * x) % n;
+    if (x == n_minus_1) {
+      return true;
+    }
+    if (x == BigUint::One()) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigUint& n, Xoshiro256& rng, int rounds) {
+  if (n < BigUint(2)) {
+    return false;
+  }
+  for (uint64_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) {
+      return true;
+    }
+    if ((n % bp).IsZero()) {
+      return false;
+    }
+  }
+  // n is odd and > 251 here; write n - 1 = d * 2^r.
+  const BigUint n_minus_1 = n - BigUint::One();
+  BigUint d = n_minus_1;
+  size_t r = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++r;
+  }
+  const MontgomeryContext ctx(n);
+  const BigUint upper = n - BigUint(3);  // bases in [2, n-2]
+  for (int round = 0; round < rounds; ++round) {
+    const BigUint a = BigUint::RandomBelow(rng, upper) + BigUint::Two();
+    if (!MillerRabinRound(ctx, n, n_minus_1, d, r, a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BigUint RandomPrime(Xoshiro256& rng, size_t bits, int rounds) {
+  if (bits < 2) {
+    throw std::invalid_argument("RandomPrime: bits must be >= 2");
+  }
+  for (;;) {
+    BigUint candidate = BigUint::RandomBits(rng, bits);
+    candidate.SetBit(0, true);  // force odd
+    if (IsProbablePrime(candidate, rng, rounds)) {
+      return candidate;
+    }
+  }
+}
+
+BigUint RandomBlumPrime(Xoshiro256& rng, size_t bits, int rounds) {
+  if (bits < 3) {
+    throw std::invalid_argument("RandomBlumPrime: bits must be >= 3");
+  }
+  for (;;) {
+    BigUint candidate = BigUint::RandomBits(rng, bits);
+    candidate.SetBit(0, true);
+    candidate.SetBit(1, true);  // candidate % 4 == 3
+    if (IsProbablePrime(candidate, rng, rounds)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace privapprox::bignum

@@ -1,0 +1,26 @@
+// Probabilistic primality testing and random prime generation — key
+// generation substrate for the RSA / Goldwasser-Micali / Paillier
+// comparators (Table 2 uses 1024-bit keys, i.e. 512-bit primes).
+
+#ifndef PRIVAPPROX_BIGNUM_PRIME_H_
+#define PRIVAPPROX_BIGNUM_PRIME_H_
+
+#include "bignum/biguint.h"
+#include "common/rng.h"
+
+namespace privapprox::bignum {
+
+// Miller-Rabin with `rounds` random bases (error probability <= 4^-rounds).
+// Deterministic small-case handling and trial division by small primes first.
+bool IsProbablePrime(const BigUint& n, Xoshiro256& rng, int rounds = 24);
+
+// Uniform random probable prime with exactly `bits` bits (bits >= 2).
+BigUint RandomPrime(Xoshiro256& rng, size_t bits, int rounds = 24);
+
+// Random probable prime p with exactly `bits` bits and p % 4 == 3 — the
+// Blum-prime shape Goldwasser-Micali uses so that -1 is a non-residue.
+BigUint RandomBlumPrime(Xoshiro256& rng, size_t bits, int rounds = 24);
+
+}  // namespace privapprox::bignum
+
+#endif  // PRIVAPPROX_BIGNUM_PRIME_H_

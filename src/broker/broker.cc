@@ -1,0 +1,82 @@
+#include "broker/broker.h"
+
+#include <stdexcept>
+
+namespace privapprox::broker {
+
+Topic& Broker::CreateTopic(const std::string& name, size_t num_partitions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
+  if (!inserted) {
+    throw std::invalid_argument("Broker::CreateTopic: topic '" + name +
+                                "' already exists");
+  }
+  return *it->second;
+}
+
+bool Broker::HasTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.contains(name);
+}
+
+Topic& Broker::GetTopic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    throw std::invalid_argument("Broker::GetTopic: no topic '" + name + "'");
+  }
+  return *it->second;
+}
+
+const Topic& Broker::GetTopic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    throw std::invalid_argument("Broker::GetTopic: no topic '" + name + "'");
+  }
+  return *it->second;
+}
+
+void Broker::Produce(const std::string& topic, uint64_t key,
+                     std::vector<uint8_t> payload, int64_t timestamp_ms) {
+  GetTopic(topic).Append(key, std::move(payload), timestamp_ms);
+}
+
+std::vector<std::string> Broker::TopicNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Consumer::Consumer(Topic& topic)
+    : topic_(topic), offsets_(topic.num_partitions(), 0) {}
+
+std::vector<Record> Consumer::Poll(size_t max_records) {
+  std::vector<Record> out;
+  for (size_t p = 0; p < offsets_.size() && out.size() < max_records; ++p) {
+    std::vector<Record> batch =
+        topic_.Read(p, offsets_[p], max_records - out.size());
+    offsets_[p] += batch.size();
+    consumed_ += batch.size();
+    for (auto& record : batch) {
+      out.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+bool Consumer::CaughtUp() const {
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    if (offsets_[p] < topic_.EndOffset(p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace privapprox::broker

@@ -1,0 +1,62 @@
+// The broker: topic management plus producer/consumer facades. Consumers
+// track per-partition offsets, so independent consumer groups (e.g. the
+// aggregator's join stage and the historical-analytics sink) can read the
+// same streams at their own pace.
+
+#ifndef PRIVAPPROX_BROKER_BROKER_H_
+#define PRIVAPPROX_BROKER_BROKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "broker/topic.h"
+
+namespace privapprox::broker {
+
+class Broker {
+ public:
+  // Creates a topic; throws if it exists.
+  Topic& CreateTopic(const std::string& name, size_t num_partitions);
+
+  bool HasTopic(const std::string& name) const;
+  Topic& GetTopic(const std::string& name);
+  const Topic& GetTopic(const std::string& name) const;
+
+  // Produce one record to a topic.
+  void Produce(const std::string& topic, uint64_t key,
+               std::vector<uint8_t> payload, int64_t timestamp_ms);
+
+  std::vector<std::string> TopicNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+};
+
+// A polling consumer over one topic, reading all partitions round-robin and
+// remembering its offsets.
+class Consumer {
+ public:
+  explicit Consumer(Topic& topic);
+
+  // Pulls up to `max_records` available records across partitions.
+  std::vector<Record> Poll(size_t max_records);
+
+  // Total records consumed so far.
+  uint64_t consumed() const { return consumed_; }
+
+  // True when the consumer has caught up with every partition.
+  bool CaughtUp() const;
+
+ private:
+  Topic& topic_;
+  std::vector<uint64_t> offsets_;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace privapprox::broker
+
+#endif  // PRIVAPPROX_BROKER_BROKER_H_

@@ -1,0 +1,82 @@
+#include "broker/topic.h"
+
+#include <stdexcept>
+
+namespace privapprox::broker {
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Topic::Topic(std::string name, size_t num_partitions)
+    : name_(std::move(name)), partitions_(std::max<size_t>(1, num_partitions)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("Topic: empty name");
+  }
+}
+
+size_t Topic::PartitionOf(uint64_t key) const {
+  return static_cast<size_t>(Mix64(key) % partitions_.size());
+}
+
+uint64_t Topic::Append(uint64_t key, std::vector<uint8_t> payload,
+                       int64_t timestamp_ms) {
+  const size_t bytes = payload.size();
+  Partition& partition = partitions_[PartitionOf(key)];
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    offset = partition.log.size();
+    partition.log.push_back(
+        Record{offset, timestamp_ms, key, std::move(payload)});
+  }
+  records_in_.fetch_add(1, std::memory_order_relaxed);
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  return offset;
+}
+
+std::vector<Record> Topic::Read(size_t partition_index, uint64_t offset,
+                                size_t max_records) const {
+  if (partition_index >= partitions_.size()) {
+    throw std::out_of_range("Topic::Read: bad partition");
+  }
+  const Partition& partition = partitions_[partition_index];
+  std::vector<Record> out;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    const uint64_t end = partition.log.size();
+    for (uint64_t i = offset; i < end && out.size() < max_records; ++i) {
+      out.push_back(partition.log[static_cast<size_t>(i)]);
+      bytes += out.back().payload.size();
+    }
+  }
+  records_out_.fetch_add(out.size(), std::memory_order_relaxed);
+  bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t Topic::EndOffset(size_t partition_index) const {
+  if (partition_index >= partitions_.size()) {
+    throw std::out_of_range("Topic::EndOffset: bad partition");
+  }
+  const Partition& partition = partitions_[partition_index];
+  std::lock_guard<std::mutex> lock(partition.mu);
+  return partition.log.size();
+}
+
+TopicMetrics Topic::metrics() const {
+  TopicMetrics metrics;
+  metrics.records_in = records_in_.load(std::memory_order_relaxed);
+  metrics.records_out = records_out_.load(std::memory_order_relaxed);
+  metrics.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  metrics.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return metrics;
+}
+
+}  // namespace privapprox::broker

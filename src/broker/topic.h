@@ -1,0 +1,76 @@
+// A pub/sub topic: an append-only, partitioned record log.
+//
+// This is the Kafka stand-in (see DESIGN.md): PrivApprox proxies are Kafka
+// brokers with two topics — `key` and `answer` — carrying the two halves of
+// the XOR-split message streams (§5). Records are opaque payloads keyed by
+// message id; a key-hash assigns partitions so one MID's shares always land
+// in the same partition of each topic.
+
+#ifndef PRIVAPPROX_BROKER_TOPIC_H_
+#define PRIVAPPROX_BROKER_TOPIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace privapprox::broker {
+
+struct Record {
+  uint64_t offset = 0;
+  int64_t timestamp_ms = 0;
+  uint64_t key = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Per-topic counters used by the throughput/network benchmarks.
+struct TopicMetrics {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class Topic {
+ public:
+  Topic(std::string name, size_t num_partitions);
+
+  const std::string& name() const { return name_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  // The partition a key maps to (splitmix hash of the key).
+  size_t PartitionOf(uint64_t key) const;
+
+  // Appends to the key's partition; returns the assigned offset.
+  uint64_t Append(uint64_t key, std::vector<uint8_t> payload,
+                  int64_t timestamp_ms);
+
+  // Reads up to `max_records` records from `partition` starting at `offset`.
+  std::vector<Record> Read(size_t partition, uint64_t offset,
+                           size_t max_records) const;
+
+  // Next offset to be assigned in `partition` (== current log length).
+  uint64_t EndOffset(size_t partition) const;
+
+  TopicMetrics metrics() const;
+
+ private:
+  struct Partition {
+    mutable std::mutex mu;
+    std::vector<Record> log;
+  };
+
+  std::string name_;
+  std::vector<Partition> partitions_;
+  // Lock-free counters: metrics updates sit on the hot produce/consume paths
+  // and must not serialize parallel workers.
+  mutable std::atomic<uint64_t> records_in_{0};
+  mutable std::atomic<uint64_t> records_out_{0};
+  mutable std::atomic<uint64_t> bytes_in_{0};
+  mutable std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace privapprox::broker
+
+#endif  // PRIVAPPROX_BROKER_TOPIC_H_

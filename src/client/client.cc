@@ -1,0 +1,94 @@
+#include "client/client.h"
+
+#include <stdexcept>
+
+#include "core/answer.h"
+#include "core/inversion.h"
+#include "core/query_wire.h"
+
+namespace privapprox::client {
+
+Client::Client(ClientConfig config)
+    : config_(config),
+      coin_rng_(config.seed ^ (config.client_id * 0x9E3779B97F4A7C15ULL)),
+      splitter_(config.num_proxies,
+                crypto::ChaCha20Rng::FromSeed(config.seed, config.client_id)) {}
+
+void Client::Subscribe(const core::Query& query,
+                       const core::ExecutionParams& params) {
+  if (!query.VerifySignature()) {
+    throw std::invalid_argument("Client::Subscribe: bad query signature");
+  }
+  params.Validate();
+  query_ = query;
+  params_ = params;
+}
+
+void Client::OnAnnouncement(const std::vector<uint8_t>& announcement) {
+  const core::QueryAnnouncement ann =
+      core::DeserializeAnnouncement(announcement);
+  Subscribe(ann.query, ann.params);
+}
+
+const core::Query& Client::query() const {
+  if (!query_.has_value()) {
+    throw std::logic_error("Client::query: no subscription");
+  }
+  return *query_;
+}
+
+BitVector Client::ComputeTruthful(int64_t now_ms) {
+  const core::Query& query = *query_;
+  const int64_t from_ms = now_ms - query.window_length_ms;
+  std::vector<localdb::Value> values;
+  try {
+    values = db_.Execute(query.sql, from_ms, now_ms);
+  } catch (const localdb::SqlError&) {
+    // A query this client cannot answer (missing table/column) yields the
+    // all-zero vector; participation still looks normal from outside.
+    return core::EmptyAnswer(query.answer_format);
+  }
+  if (values.empty()) {
+    return core::EmptyAnswer(query.answer_format);
+  }
+  // Bucketize the (first) result value; aggregates return exactly one.
+  const localdb::Value& value = values.front();
+  BitVector truthful =
+      value.IsNumeric()
+          ? core::EncodeAnswer(query.answer_format, value.AsDouble())
+          : core::EncodeAnswer(query.answer_format, value.AsString());
+  if (config_.invert_answers) {
+    truthful = core::InvertAnswer(truthful);
+  }
+  return truthful;
+}
+
+BitVector Client::TruthfulAnswer(int64_t now_ms) {
+  if (!query_.has_value()) {
+    throw std::logic_error("Client::TruthfulAnswer: no subscription");
+  }
+  return ComputeTruthful(now_ms);
+}
+
+std::optional<EpochAnswer> Client::AnswerQuery(int64_t now_ms) {
+  if (!query_.has_value()) {
+    return std::nullopt;
+  }
+  // Step I: the sampling coin.
+  const core::SamplingPolicy sampling(params_->sampling_fraction);
+  if (!sampling.ShouldParticipate(coin_rng_)) {
+    return std::nullopt;
+  }
+  // Step II: local execution + randomized response.
+  const BitVector truthful = ComputeTruthful(now_ms);
+  const core::RandomizedResponse rr(params_->randomization);
+  const BitVector randomized = rr.RandomizeAnswer(truthful, coin_rng_);
+  // Step III: frame and split.
+  const crypto::AnswerMessage message{query_->query_id, randomized};
+  EpochAnswer answer;
+  answer.timestamp_ms = now_ms;
+  answer.shares = splitter_.Split(message.Serialize());
+  return answer;
+}
+
+}  // namespace privapprox::client

@@ -1,0 +1,89 @@
+// The client runtime (paper §3.2 steps I-III, §5).
+//
+// Each client stores the user's private data in a local database, subscribes
+// to analyst queries, and in each answering epoch:
+//   1. flips the sampling coin (participate or not)            — Step I
+//   2. executes the SQL locally and bucketizes the result
+//   3. randomizes the answer bit-vector with two-coin RR       — Step II
+//   4. XOR-splits <QID, answer> into n shares under a fresh MID and hands
+//      one share to each proxy                                 — Step III
+// No client ever talks to another client and nothing here requires
+// synchronization — the property the paper's latency wins come from.
+
+#ifndef PRIVAPPROX_CLIENT_CLIENT_H_
+#define PRIVAPPROX_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/budget.h"
+#include "core/query.h"
+#include "core/randomized_response.h"
+#include "core/sampling.h"
+#include "crypto/xor_cipher.h"
+#include "localdb/database.h"
+
+namespace privapprox::client {
+
+struct ClientConfig {
+  uint64_t client_id = 0;
+  size_t num_proxies = 2;
+  uint64_t seed = 1;
+  // When true, the client answers the inverted query (§3.3.2): bucket bits
+  // are flipped before randomization, and the aggregator de-inverts.
+  bool invert_answers = false;
+};
+
+// Everything a client ships in one epoch: one share per proxy.
+struct EpochAnswer {
+  std::vector<crypto::MessageShare> shares;  // shares[i] goes to proxy i
+  int64_t timestamp_ms = 0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  uint64_t id() const { return config_.client_id; }
+  localdb::Database& database() { return db_; }
+
+  // Installs the active query and its execution parameters (delivered via
+  // aggregator -> proxies -> client in the submission phase). Rejects
+  // queries whose signature does not verify.
+  void Subscribe(const core::Query& query, const core::ExecutionParams& params);
+
+  // Wire-level subscription: parses a serialized query announcement as
+  // received from a proxy's query topic, verifies it, and subscribes.
+  // Throws core::WireError on malformed bytes and std::invalid_argument on
+  // a bad signature or parameters.
+  void OnAnnouncement(const std::vector<uint8_t>& announcement);
+
+  bool subscribed() const { return query_.has_value(); }
+  const core::Query& query() const;
+
+  // Runs one answering epoch at `now_ms`. Returns nullopt when the sampling
+  // coin says "do not participate" this epoch, or when no query is
+  // installed. A client whose local query yields no rows still answers with
+  // an all-zero truthful vector (its non-participation must not be visible).
+  std::optional<EpochAnswer> AnswerQuery(int64_t now_ms);
+
+  // The truthful (pre-randomization) answer, for test/benchmark reference
+  // only — a real deployment never exposes this.
+  BitVector TruthfulAnswer(int64_t now_ms);
+
+ private:
+  BitVector ComputeTruthful(int64_t now_ms);
+
+  ClientConfig config_;
+  localdb::Database db_;
+  Xoshiro256 coin_rng_;                 // sampling + randomization coins
+  crypto::XorSplitter splitter_;        // pads from ChaCha20
+  std::optional<core::Query> query_;
+  std::optional<core::ExecutionParams> params_;
+};
+
+}  // namespace privapprox::client
+
+#endif  // PRIVAPPROX_CLIENT_CLIENT_H_

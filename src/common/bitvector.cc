@@ -1,0 +1,84 @@
+#include "common/bitvector.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace privapprox {
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), bytes_((num_bits + 7) / 8, 0) {}
+
+BitVector BitVector::FromBytes(std::vector<uint8_t> bytes, size_t num_bits) {
+  if (num_bits > bytes.size() * 8) {
+    throw std::invalid_argument("BitVector::FromBytes: num_bits too large");
+  }
+  BitVector bv;
+  bv.num_bits_ = num_bits;
+  bytes.resize((num_bits + 7) / 8);
+  bv.bytes_ = std::move(bytes);
+  bv.MaskTail();
+  return bv;
+}
+
+bool BitVector::Get(size_t index) const {
+  if (index >= num_bits_) {
+    throw std::out_of_range("BitVector::Get: index out of range");
+  }
+  return (bytes_[index / 8] >> (index % 8)) & 1u;
+}
+
+void BitVector::Set(size_t index, bool value) {
+  if (index >= num_bits_) {
+    throw std::out_of_range("BitVector::Set: index out of range");
+  }
+  const uint8_t mask = static_cast<uint8_t>(1u << (index % 8));
+  if (value) {
+    bytes_[index / 8] |= mask;
+  } else {
+    bytes_[index / 8] &= static_cast<uint8_t>(~mask);
+  }
+}
+
+void BitVector::Flip(size_t index) { Set(index, !Get(index)); }
+
+size_t BitVector::PopCount() const {
+  size_t count = 0;
+  for (uint8_t b : bytes_) {
+    count += static_cast<size_t>(std::popcount(b));
+  }
+  return count;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (num_bits_ != other.num_bits_) {
+    throw std::invalid_argument("BitVector::operator^=: size mismatch");
+  }
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    bytes_[i] ^= other.bytes_[i];
+  }
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return num_bits_ == other.num_bits_ && bytes_ == other.bytes_;
+}
+
+void BitVector::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    out.push_back(Get(i) ? '1' : '0');
+  }
+  return out;
+}
+
+void BitVector::MaskTail() {
+  const size_t tail_bits = num_bits_ % 8;
+  if (tail_bits != 0 && !bytes_.empty()) {
+    bytes_.back() &= static_cast<uint8_t>((1u << tail_bits) - 1);
+  }
+}
+
+}  // namespace privapprox

@@ -1,0 +1,67 @@
+// Dynamic bit vector used for client answers A[n] and XOR one-time pads.
+//
+// Client answers in PrivApprox are n-bit vectors, one bit per histogram
+// bucket (§2.2). The XOR-based encryption (§3.2.3) operates on these vectors
+// bit-wise; the aggregator pops counts per bucket out of them.
+
+#ifndef PRIVAPPROX_COMMON_BITVECTOR_H_
+#define PRIVAPPROX_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privapprox {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  // Creates a vector of `num_bits` zero bits.
+  explicit BitVector(size_t num_bits);
+
+  // Builds from raw bytes; the vector has bytes.size()*8 bits unless
+  // `num_bits` (<= bytes.size()*8) trims it.
+  static BitVector FromBytes(std::vector<uint8_t> bytes, size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Get(size_t index) const;
+  void Set(size_t index, bool value);
+  void Flip(size_t index);
+
+  // Number of set bits.
+  size_t PopCount() const;
+
+  // In-place XOR with `other`. Both vectors must have the same size.
+  BitVector& operator^=(const BitVector& other);
+  friend BitVector operator^(BitVector lhs, const BitVector& rhs) {
+    lhs ^= rhs;
+    return lhs;
+  }
+
+  bool operator==(const BitVector& other) const;
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  // Sets all bits to zero.
+  void Clear();
+
+  // Raw little-endian byte serialization (ceil(num_bits/8) bytes; trailing
+  // pad bits are zero).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t ByteSize() const { return bytes_.size(); }
+
+  // "0101..." debug rendering, most significant index last.
+  std::string ToString() const;
+
+ private:
+  void MaskTail();
+
+  size_t num_bits_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_BITVECTOR_H_

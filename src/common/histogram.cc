@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace privapprox {
+
+double Histogram::Count(size_t bucket) const {
+  if (bucket >= counts_.size()) {
+    throw std::out_of_range("Histogram::Count: bucket out of range");
+  }
+  return counts_[bucket];
+}
+
+void Histogram::Add(size_t bucket, double weight) {
+  if (bucket >= counts_.size()) {
+    throw std::out_of_range("Histogram::Add: bucket out of range");
+  }
+  counts_[bucket] += weight;
+}
+
+void Histogram::SetCount(size_t bucket, double count) {
+  if (bucket >= counts_.size()) {
+    throw std::out_of_range("Histogram::SetCount: bucket out of range");
+  }
+  counts_[bucket] = count;
+}
+
+double Histogram::Total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+Histogram& Histogram::Merge(const Histogram& other) {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::Merge: bucket count mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  return *this;
+}
+
+std::vector<double> Histogram::Fractions() const {
+  std::vector<double> fractions(counts_.size(), 0.0);
+  const double total = Total();
+  if (total <= 0.0) {
+    return fractions;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    fractions[i] = counts_[i] / total;
+  }
+  return fractions;
+}
+
+double Histogram::MeanRelativeError(const Histogram& exact) const {
+  if (counts_.size() != exact.counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::MeanRelativeError: bucket count mismatch");
+  }
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (exact.counts_[i] == 0.0) {
+      continue;
+    }
+    sum += std::fabs(counts_[i] - exact.counts_[i]) / exact.counts_[i];
+    ++used;
+  }
+  return used == 0 ? 0.0 : sum / static_cast<double>(used);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << counts_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace privapprox

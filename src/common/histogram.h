@@ -1,0 +1,54 @@
+// Bucketed counts — the aggregate form of all PrivApprox query results.
+//
+// Every query result in the paper's model is "counts within histogram
+// buckets" (§2.2). Histogram accumulates per-bucket counts, supports
+// merging partial aggregates (across windows / workers), and converts to
+// fractions for accuracy-loss computations.
+
+#ifndef PRIVAPPROX_COMMON_HISTOGRAM_H_
+#define PRIVAPPROX_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privapprox {
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(size_t num_buckets) : counts_(num_buckets, 0.0) {}
+  explicit Histogram(std::vector<double> counts) : counts_(std::move(counts)) {}
+
+  size_t num_buckets() const { return counts_.size(); }
+
+  double Count(size_t bucket) const;
+  void Add(size_t bucket, double weight = 1.0);
+  void SetCount(size_t bucket, double count);
+
+  // Sum of all bucket counts.
+  double Total() const;
+
+  // Element-wise merge of another histogram with the same bucket count.
+  Histogram& Merge(const Histogram& other);
+
+  // Per-bucket fraction of the total; zero vector if the total is zero.
+  std::vector<double> Fractions() const;
+
+  // Mean absolute relative error against `exact`, skipping buckets where the
+  // exact count is zero (matches the paper's accuracy-loss metric
+  // |estimate - exact| / exact averaged over buckets).
+  double MeanRelativeError(const Histogram& exact) const;
+
+  const std::vector<double>& counts() const { return counts_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> counts_;
+};
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_HISTOGRAM_H_

@@ -1,0 +1,58 @@
+// Minimal leveled logging. Off by default below kWarning so benchmarks stay
+// quiet; tests and examples can raise verbosity.
+
+#ifndef PRIVAPPROX_COMMON_LOGGING_H_
+#define PRIVAPPROX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace privapprox {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets/returns the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits `message` to stderr if `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+// Stream-style helper: accumulates a line, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+inline internal::LogLine LogDebug() {
+  return internal::LogLine(LogLevel::kDebug);
+}
+inline internal::LogLine LogInfo() { return internal::LogLine(LogLevel::kInfo); }
+inline internal::LogLine LogWarning() {
+  return internal::LogLine(LogLevel::kWarning);
+}
+inline internal::LogLine LogError() {
+  return internal::LogLine(LogLevel::kError);
+}
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_LOGGING_H_

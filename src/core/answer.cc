@@ -1,0 +1,44 @@
+#include "core/answer.h"
+
+#include <stdexcept>
+
+namespace privapprox::core {
+
+BitVector EncodeAnswer(const AnswerFormat& format, double value) {
+  BitVector answer(format.num_buckets());
+  if (const auto bucket = format.BucketOf(value); bucket.has_value()) {
+    answer.Set(*bucket, true);
+  }
+  return answer;
+}
+
+BitVector EncodeAnswer(const AnswerFormat& format, const std::string& value) {
+  BitVector answer(format.num_buckets());
+  if (const auto bucket = format.BucketOf(value); bucket.has_value()) {
+    answer.Set(*bucket, true);
+  }
+  return answer;
+}
+
+BitVector EmptyAnswer(const AnswerFormat& format) {
+  return BitVector(format.num_buckets());
+}
+
+void AnswerAccumulator::Add(const BitVector& answer) {
+  if (answer.size() != histogram_.num_buckets()) {
+    throw std::invalid_argument("AnswerAccumulator::Add: width mismatch");
+  }
+  for (size_t i = 0; i < answer.size(); ++i) {
+    if (answer.Get(i)) {
+      histogram_.Add(i);
+    }
+  }
+  ++num_answers_;
+}
+
+void AnswerAccumulator::Merge(const AnswerAccumulator& other) {
+  histogram_.Merge(other.histogram_);
+  num_answers_ += other.num_answers_;
+}
+
+}  // namespace privapprox::core

@@ -1,0 +1,165 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/privacy.h"
+
+namespace privapprox::core {
+namespace {
+
+constexpr double kMinSampling = 0.01;
+constexpr double kDefaultP = 0.9;
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+}  // namespace
+
+void ExecutionParams::Validate() const {
+  if (!(sampling_fraction > 0.0 && sampling_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "ExecutionParams: sampling_fraction must be in (0, 1]");
+  }
+  randomization.Validate();
+}
+
+double PredictAccuracyLoss(const ExecutionParams& params, size_t population,
+                           double yes_fraction) {
+  if (population == 0) {
+    throw std::invalid_argument("PredictAccuracyLoss: empty population");
+  }
+  yes_fraction = Clamp(yes_fraction, 1e-6, 1.0 - 1e-6);
+  const double u = static_cast<double>(population);
+  const double s = params.sampling_fraction;
+  const double n = std::max(1.0, s * u);  // expected participants
+  const double p = params.randomization.p;
+  const double q = params.randomization.q;
+  const double y = yes_fraction;
+
+  // Sampling standard error of the scaled count (U/N * sum of indicators):
+  // Var = U^2/N * y(1-y) * (U-N)/U.
+  const double var_sampling = (u * u / n) * y * (1.0 - y) * (u - n) / u;
+  // Randomized-response standard error after de-biasing and scaling, with
+  // the per-class Bernoulli variance (see RandomizedResponse::DebiasStdDev).
+  const double pi_yes = p + (1.0 - p) * q;
+  const double pi_no = (1.0 - p) * q;
+  const double per_answer = y * pi_yes * (1.0 - pi_yes) +
+                            (1.0 - y) * pi_no * (1.0 - pi_no);
+  const double var_rr = (u * u) * per_answer / (n * p * p);
+
+  const double stddev = std::sqrt(var_sampling + var_rr);
+  const double truthful_count = u * y;
+  // Expected |error| of a normal is sqrt(2/pi) * sigma.
+  return std::sqrt(2.0 / M_PI) * stddev / truthful_count;
+}
+
+ExecutionParams BudgetInitializer::Convert(
+    const QueryBudget& budget, const PopulationInfo& population) const {
+  if (population.num_clients == 0) {
+    throw std::invalid_argument("BudgetInitializer: empty population");
+  }
+  ExecutionParams params;
+  // 1. Utility heuristic: center q on the expected yes-fraction (§6 #I shows
+  //    accuracy loss is minimized when q matches the yes-fraction).
+  params.randomization.q = Clamp(population.expected_yes_fraction, 0.1, 0.9);
+  params.randomization.p = kDefaultP;
+  params.sampling_fraction = 1.0;
+
+  // 2. Privacy cap.
+  if (budget.max_epsilon.has_value()) {
+    const double target = *budget.max_epsilon;
+    const double eps_default = EpsilonDp(params.randomization);
+    if (eps_default > target) {
+      // First try to meet it with p alone (bounded below to keep utility).
+      const double p_needed =
+          FirstCoinForEpsilon(params.randomization.q, target);
+      params.randomization.p = Clamp(p_needed, 0.3, kDefaultP);
+      const double eps_base = EpsilonDp(params.randomization);
+      if (eps_base > target) {
+        params.sampling_fraction = Clamp(
+            SamplingFractionForEpsilon(eps_base, target), kMinSampling, 1.0);
+      }
+    }
+  }
+
+  // 3. Latency / resource caps bound s from above.
+  const double u = static_cast<double>(population.num_clients);
+  if (budget.max_latency_ms.has_value()) {
+    const double max_answers = budget.answers_per_ms * *budget.max_latency_ms;
+    params.sampling_fraction = std::min(
+        params.sampling_fraction, Clamp(max_answers / u, kMinSampling, 1.0));
+  }
+  if (budget.max_answers.has_value()) {
+    const double cap = static_cast<double>(*budget.max_answers);
+    params.sampling_fraction = std::min(
+        params.sampling_fraction, Clamp(cap / u, kMinSampling, 1.0));
+  }
+
+  // 4. Accuracy cap bounds s from below — never loosen the caps above.
+  if (budget.max_accuracy_loss.has_value()) {
+    const double target = *budget.max_accuracy_loss;
+    double lo = kMinSampling;
+    double hi = params.sampling_fraction;
+    ExecutionParams probe = params;
+    probe.sampling_fraction = hi;
+    if (PredictAccuracyLoss(probe, population.num_clients,
+                            population.expected_yes_fraction) <= target) {
+      // Binary search for the cheapest s that still meets the target.
+      for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        probe.sampling_fraction = mid;
+        if (PredictAccuracyLoss(probe, population.num_clients,
+                                population.expected_yes_fraction) <= target) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      params.sampling_fraction = hi;
+    }
+    // else: caps conflict; keep the capped s (privacy/resources win).
+  }
+
+  params.Validate();
+  return params;
+}
+
+FeedbackController::FeedbackController(ExecutionParams initial,
+                                       double target_accuracy_loss,
+                                       std::optional<double> max_epsilon)
+    : params_(initial), target_(target_accuracy_loss),
+      max_epsilon_(max_epsilon) {
+  params_.Validate();
+  if (target_accuracy_loss <= 0.0) {
+    throw std::invalid_argument("FeedbackController: target must be > 0");
+  }
+}
+
+const ExecutionParams& FeedbackController::OnEpochCompleted(
+    double measured_accuracy_loss) {
+  if (measured_accuracy_loss > target_) {
+    // Error too high: sample more aggressively next epoch.
+    params_.sampling_fraction =
+        std::min(1.0, params_.sampling_fraction * 1.5);
+  } else if (measured_accuracy_loss < 0.5 * target_) {
+    // Comfortably within budget: decay to save resources.
+    params_.sampling_fraction =
+        std::max(kMinSampling, params_.sampling_fraction * 0.9);
+  }
+  // Higher s weakens the subsampling amplification, so a privacy cap bounds
+  // how far the feedback loop may raise s.
+  if (max_epsilon_.has_value()) {
+    const double eps_base = EpsilonDp(params_.randomization);
+    if (eps_base > *max_epsilon_) {
+      const double s_cap =
+          SamplingFractionForEpsilon(eps_base, *max_epsilon_);
+      params_.sampling_fraction = std::min(params_.sampling_fraction, s_cap);
+    }
+  }
+  return params_;
+}
+
+}  // namespace privapprox::core

@@ -1,0 +1,98 @@
+// Query execution budget and the initializer that converts it into system
+// parameters (paper §2.1, §3.1, §5).
+//
+// "The query execution budget can either be in the form of latency
+// guarantees/SLAs, output quality/accuracy, or the computing resources for
+// query processing." The aggregator's initializer module converts the budget
+// into the sampling parameter (s) and randomization parameters (p, q) before
+// distributing the query. A feedback controller re-tunes the parameters
+// between epochs when the measured error exceeds the target (§5).
+
+#ifndef PRIVAPPROX_CORE_BUDGET_H_
+#define PRIVAPPROX_CORE_BUDGET_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "core/randomized_response.h"
+
+namespace privapprox::core {
+
+// The (s, p, q) triple every client receives along with the query.
+struct ExecutionParams {
+  double sampling_fraction = 1.0;  // s
+  RandomizationParams randomization;  // p, q
+
+  void Validate() const;
+};
+
+// What the analyst is willing to pay / requires. All fields optional; the
+// initializer satisfies the tightest constraint set it can.
+struct QueryBudget {
+  // Privacy requirement: upper bound on the differential-privacy level after
+  // sampling amplification (eps_s = ln(1 + s(e^eps_dp - 1))).
+  std::optional<double> max_epsilon;
+  // Utility requirement: upper bound on expected relative accuracy loss.
+  std::optional<double> max_accuracy_loss;
+  // Latency SLA: upper bound on per-epoch processing latency, paired with
+  // the system's measured per-answer processing rate.
+  std::optional<double> max_latency_ms;
+  double answers_per_ms = 1000.0;  // calibrated processing rate
+  // Resource cap: maximum number of client answers per epoch.
+  std::optional<size_t> max_answers;
+};
+
+// Environment facts the initializer needs.
+struct PopulationInfo {
+  size_t num_clients = 0;
+  // Analyst's prior for the per-bucket truthful yes-fraction; used both to
+  // center q (utility is best when q is close to the yes fraction, §6 #I)
+  // and to predict the accuracy loss analytically.
+  double expected_yes_fraction = 0.5;
+};
+
+// Analytic prediction of the expected relative accuracy loss of one bucket
+// count under (s, p, q) for a population of U clients with yes-fraction y.
+// Combines the sampling and randomized-response standard errors the same way
+// the error estimator does (they are independent, §6 #II).
+double PredictAccuracyLoss(const ExecutionParams& params, size_t population,
+                           double yes_fraction);
+
+class BudgetInitializer {
+ public:
+  // Converts the analyst budget into execution parameters. Resolution order:
+  //   1. q is centered on the expected yes-fraction (clamped to [0.1, 0.9]).
+  //   2. A privacy cap fixes p (at s=1) and then tightens s further if the
+  //      cap is still not met with the default p.
+  //   3. Latency / resource caps bound s from above (s <= rate*T/U, n/U).
+  //   4. An accuracy cap bounds s from below via PredictAccuracyLoss;
+  //      if it conflicts with (2)/(3) the privacy and resource caps win and
+  //      the result reports the achievable loss.
+  // Throws std::invalid_argument for an empty population.
+  ExecutionParams Convert(const QueryBudget& budget,
+                          const PopulationInfo& population) const;
+};
+
+// Per-epoch feedback re-tuning (§5): if the measured error exceeds the
+// target, raise the sampling fraction multiplicatively; if it is comfortably
+// below, decay s to save budget. Never violates a privacy cap.
+class FeedbackController {
+ public:
+  FeedbackController(ExecutionParams initial, double target_accuracy_loss,
+                     std::optional<double> max_epsilon = std::nullopt);
+
+  const ExecutionParams& params() const { return params_; }
+
+  // Feeds the accuracy loss measured in the finished epoch; returns the
+  // parameters to use for the next epoch.
+  const ExecutionParams& OnEpochCompleted(double measured_accuracy_loss);
+
+ private:
+  ExecutionParams params_;
+  double target_;
+  std::optional<double> max_epsilon_;
+};
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_BUDGET_H_

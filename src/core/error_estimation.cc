@@ -1,0 +1,151 @@
+#include "core/error_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace privapprox::core {
+
+Histogram QueryResult::PointEstimates() const {
+  Histogram hist(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    hist.SetCount(i, buckets[i].estimate.value);
+  }
+  return hist;
+}
+
+double QueryResult::AccuracyLossAgainst(const Histogram& exact) const {
+  return PointEstimates().MeanRelativeError(exact);
+}
+
+double QueryResult::WeightedAccuracyLossAgainst(const Histogram& exact) const {
+  if (exact.num_buckets() != buckets.size()) {
+    throw std::invalid_argument(
+        "QueryResult::WeightedAccuracyLossAgainst: bucket count mismatch");
+  }
+  const double total = exact.Total();
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double abs_error = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    abs_error += std::fabs(buckets[i].estimate.value - exact.Count(i));
+  }
+  return abs_error / total;
+}
+
+ErrorEstimator::ErrorEstimator(ExecutionParams params, size_t population,
+                               double confidence)
+    : params_(params),
+      population_(population),
+      confidence_(confidence),
+      rr_(params.randomization) {
+  params_.Validate();
+  if (population == 0) {
+    throw std::invalid_argument("ErrorEstimator: empty population");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("ErrorEstimator: confidence must be in (0,1)");
+  }
+}
+
+double ErrorEstimator::SamplingStdDev(double debiased_fraction,
+                                      size_t participants) const {
+  const double u = static_cast<double>(population_);
+  const double n = static_cast<double>(participants);
+  if (participants == 0 || participants >= population_) {
+    return 0.0;  // no sampling (s = 1) contributes no sampling error
+  }
+  const double y = std::clamp(debiased_fraction, 0.0, 1.0);
+  // Eq 4 with Bernoulli sample variance y(1-y).
+  const double variance = (u * u / n) * y * (1.0 - y) * (u - n) / u;
+  return std::sqrt(std::max(0.0, variance));
+}
+
+double ErrorEstimator::RandomizationStdDev(double debiased_fraction,
+                                           size_t participants) const {
+  if (participants == 0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(participants);
+  const double u = static_cast<double>(population_);
+  const double y = std::clamp(debiased_fraction, 0.0, 1.0);
+  // Stddev of the de-biased count among participants, scaled to population.
+  const double sd_participants = rr_.DebiasStdDev(y, n);
+  return sd_participants * (u / n);
+}
+
+QueryResult ErrorEstimator::Estimate(const Histogram& randomized_counts,
+                                     size_t participants) const {
+  QueryResult result;
+  result.participants = participants;
+  result.population = population_;
+  result.confidence = confidence_;
+  result.buckets.resize(randomized_counts.num_buckets());
+
+  if (participants == 0) {
+    return result;  // empty window: all-zero estimates, zero confidence info
+  }
+  const double n = static_cast<double>(participants);
+  const double u = static_cast<double>(population_);
+  // t critical value per Eq 3; for n == 1 fall back to the normal quantile.
+  const double t =
+      participants >= 2
+          ? stats::StudentTCriticalValue(confidence_, n - 1.0)
+          : stats::NormalQuantile(1.0 - (1.0 - confidence_) / 2.0);
+
+  for (size_t i = 0; i < randomized_counts.num_buckets(); ++i) {
+    BucketEstimate& bucket = result.buckets[i];
+    bucket.randomized_count = randomized_counts.Count(i);
+    const double debiased = rr_.DebiasCount(bucket.randomized_count, n);
+    const double fraction = debiased / n;
+    bucket.estimate.value = debiased * (u / n);  // scale to population (Eq 2)
+    bucket.estimate.confidence = confidence_;
+    bucket.estimate.sample_size = participants;
+    const double sd_sampling = SamplingStdDev(fraction, participants);
+    const double sd_rr = RandomizationStdDev(fraction, participants);
+    // Independent components (§6 #II): variances add.
+    bucket.estimate.error =
+        t * std::sqrt(sd_sampling * sd_sampling + sd_rr * sd_rr);
+  }
+  return result;
+}
+
+RrCalibrator::RrCalibrator(RandomizationParams params, size_t num_answers,
+                           double yes_fraction)
+    : params_(params), num_answers_(num_answers), yes_fraction_(yes_fraction) {
+  params_.Validate();
+  if (num_answers == 0) {
+    throw std::invalid_argument("RrCalibrator: num_answers must be > 0");
+  }
+  if (yes_fraction < 0.0 || yes_fraction > 1.0) {
+    throw std::invalid_argument("RrCalibrator: yes_fraction must be in [0,1]");
+  }
+}
+
+double RrCalibrator::MeasureAccuracyLoss(size_t trials,
+                                         Xoshiro256& rng) const {
+  const RandomizedResponse rr(params_);
+  const double actual_yes =
+      yes_fraction_ * static_cast<double>(num_answers_);
+  const size_t yes_count = static_cast<size_t>(std::llround(actual_yes));
+  double total_loss = 0.0;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    size_t randomized_yes = 0;
+    for (size_t i = 0; i < num_answers_; ++i) {
+      const bool truthful = i < yes_count;
+      if (rr.RandomizeBit(truthful, rng)) {
+        ++randomized_yes;
+      }
+    }
+    const double estimated =
+        rr.DebiasCount(static_cast<double>(randomized_yes),
+                       static_cast<double>(num_answers_));
+    total_loss += AccuracyLoss(static_cast<double>(yes_count), estimated);
+  }
+  return trials == 0 ? 0.0 : total_loss / static_cast<double>(trials);
+}
+
+}  // namespace privapprox::core

@@ -1,0 +1,94 @@
+// Error-bound estimation for aggregate query results (paper §3.2.4).
+//
+// The accuracy loss has two statistically independent sources — sampling and
+// randomized response (§6 #II) — so PrivApprox estimates each separately and
+// adds them. Sampling error uses the SRS theory (Eqs 2-4, t-distribution
+// margins); randomized-response error is either derived analytically from
+// the de-biasing variance or calibrated empirically by running the
+// randomization without sampling, exactly like the paper's micro-benchmark
+// method.
+
+#ifndef PRIVAPPROX_CORE_ERROR_ESTIMATION_H_
+#define PRIVAPPROX_CORE_ERROR_ESTIMATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/budget.h"
+#include "core/randomized_response.h"
+#include "stats/srs.h"
+
+namespace privapprox::core {
+
+// One bucket of a query result: estimated truthful population count with a
+// confidence bound.
+struct BucketEstimate {
+  stats::Estimate estimate;
+  double randomized_count = 0.0;  // raw per-bucket count pre-debias
+};
+
+// A full windowed query result.
+struct QueryResult {
+  std::vector<BucketEstimate> buckets;
+  size_t participants = 0;   // U' (answers aggregated in this window)
+  size_t population = 0;     // U
+  double confidence = 0.95;
+
+  // Per-bucket point estimates as a histogram.
+  Histogram PointEstimates() const;
+  // Mean relative accuracy loss against an exact reference histogram
+  // (unweighted Eq 6 per bucket — sensitive to near-empty tail buckets).
+  double AccuracyLossAgainst(const Histogram& exact) const;
+  // Mass-weighted loss: sum_b |est_b - exact_b| / sum_b exact_b (normalized
+  // L1 distance). The distribution-level metric the feedback loop steers
+  // on, since it is not dominated by tail buckets.
+  double WeightedAccuracyLossAgainst(const Histogram& exact) const;
+};
+
+class ErrorEstimator {
+ public:
+  ErrorEstimator(ExecutionParams params, size_t population,
+                 double confidence = 0.95);
+
+  // Turns the aggregator's raw per-bucket randomized counts (out of
+  // `participants` answers) into de-biased, population-scaled estimates with
+  // combined error bounds.
+  QueryResult Estimate(const Histogram& randomized_counts,
+                       size_t participants) const;
+
+  // The two error components for one bucket, exposed for Fig 4b's
+  // decomposition bench: stddev of the population-scaled count.
+  double SamplingStdDev(double debiased_fraction, size_t participants) const;
+  double RandomizationStdDev(double debiased_fraction,
+                             size_t participants) const;
+
+ private:
+  ExecutionParams params_;
+  size_t population_;
+  double confidence_;
+  RandomizedResponse rr_;
+};
+
+// Empirical calibration of the randomized-response accuracy loss, following
+// the paper: "We run several micro-benchmarks at the beginning of the query
+// answering process (without performing the sampling process) to estimate
+// the accuracy loss caused by randomized response."
+class RrCalibrator {
+ public:
+  RrCalibrator(RandomizationParams params, size_t num_answers,
+               double yes_fraction);
+
+  // Runs `trials` randomization rounds and returns the mean accuracy loss
+  // (Eq 6) of the de-biased estimate.
+  double MeasureAccuracyLoss(size_t trials, Xoshiro256& rng) const;
+
+ private:
+  RandomizationParams params_;
+  size_t num_answers_;
+  double yes_fraction_;
+};
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_ERROR_ESTIMATION_H_

@@ -1,0 +1,23 @@
+#include "core/inversion.h"
+
+#include <cmath>
+
+namespace privapprox::core {
+
+bool ShouldInvertQuery(double yes_fraction, double q) {
+  return std::fabs((1.0 - yes_fraction) - q) < std::fabs(yes_fraction - q);
+}
+
+BitVector InvertAnswer(const BitVector& truthful) {
+  BitVector inverted(truthful.size());
+  for (size_t i = 0; i < truthful.size(); ++i) {
+    inverted.Set(i, !truthful.Get(i));
+  }
+  return inverted;
+}
+
+double YesCountFromInverted(double estimated_no, double total) {
+  return total - estimated_no;
+}
+
+}  // namespace privapprox::core

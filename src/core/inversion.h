@@ -1,0 +1,31 @@
+// Query inversion (paper §3.3.2).
+//
+// Utility of the de-biased result degrades when the truthful "yes" fraction
+// is far from the second-coin parameter q (Fig 5a). When it is, the analyst
+// can invert the query — count truthful "No" answers instead — which moves
+// the counted fraction to 1 - y, closer to q, and recover the "Yes" count as
+// N - E_no.
+
+#ifndef PRIVAPPROX_CORE_INVERSION_H_
+#define PRIVAPPROX_CORE_INVERSION_H_
+
+#include "common/bitvector.h"
+#include "core/randomized_response.h"
+
+namespace privapprox::core {
+
+// True when inverting brings the counted fraction closer to q, i.e.
+// |(1 - y) - q| < |y - q| for the (estimated) yes-fraction y.
+bool ShouldInvertQuery(double yes_fraction, double q);
+
+// Client-side inversion of a truthful answer: each bucket bit is flipped, so
+// a "1" now means "my answer is NOT in this bucket".
+BitVector InvertAnswer(const BitVector& truthful);
+
+// Recovers the estimated "Yes" count from a de-biased "No" count estimate
+// over `total` answers.
+double YesCountFromInverted(double estimated_no, double total);
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_INVERSION_H_

@@ -1,0 +1,100 @@
+#include "core/privacy.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace privapprox::core {
+
+double EpsilonDp(const RandomizationParams& params) {
+  params.Validate();
+  if (params.p >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double forced_yes = (1.0 - params.p) * params.q;
+  return std::log((params.p + forced_yes) / forced_yes);
+}
+
+double AmplifyBySampling(double epsilon, double sampling_fraction) {
+  if (!(sampling_fraction > 0.0 && sampling_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "AmplifyBySampling: sampling_fraction must be in (0, 1]");
+  }
+  if (epsilon < 0.0) {
+    throw std::invalid_argument("AmplifyBySampling: epsilon must be >= 0");
+  }
+  return std::log1p(sampling_fraction * std::expm1(epsilon));
+}
+
+double EpsilonZk(const RandomizationParams& params, double sampling_fraction) {
+  if (!(sampling_fraction > 0.0 && sampling_fraction <= 1.0)) {
+    throw std::invalid_argument("EpsilonZk: sampling_fraction must be in (0, 1]");
+  }
+  const double eps_dp = EpsilonDp(params);
+  if (std::isinf(eps_dp) || sampling_fraction >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double s = sampling_fraction;
+  // Tech report Eq 19 (reproduces Table 1's epsilon column at s = 0.6).
+  return std::log((1.0 + s * (2.0 - s) * std::expm1(eps_dp)) / (1.0 - s));
+}
+
+double SamplingFractionForEpsilonZk(const RandomizationParams& params,
+                                    double target_epsilon_zk) {
+  const double eps_dp = EpsilonDp(params);
+  if (std::isinf(eps_dp)) {
+    throw std::invalid_argument(
+        "SamplingFractionForEpsilonZk: p = 1 has no finite zk level");
+  }
+  if (target_epsilon_zk <= 0.0) {
+    throw std::invalid_argument(
+        "SamplingFractionForEpsilonZk: target must be > 0");
+  }
+  // eps_zk is strictly increasing in s on (0, 1); bisect.
+  double lo = 1e-9, hi = 1.0 - 1e-9;
+  if (EpsilonZk(params, lo) >= target_epsilon_zk) {
+    return lo;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (EpsilonZk(params, mid) < target_epsilon_zk) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double SamplingFractionForEpsilon(double base_epsilon, double target_epsilon) {
+  if (base_epsilon <= 0.0) {
+    throw std::invalid_argument(
+        "SamplingFractionForEpsilon: base_epsilon must be > 0");
+  }
+  if (target_epsilon >= base_epsilon) {
+    return 1.0;  // no subsampling needed
+  }
+  if (target_epsilon <= 0.0) {
+    throw std::invalid_argument(
+        "SamplingFractionForEpsilon: target_epsilon must be > 0");
+  }
+  // Invert eps = ln(1 + s(e^base - 1)).
+  const double s = std::expm1(target_epsilon) / std::expm1(base_epsilon);
+  return std::min(1.0, std::max(std::numeric_limits<double>::min(), s));
+}
+
+double FirstCoinForEpsilon(double q, double target_epsilon) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("FirstCoinForEpsilon: q must be in (0, 1)");
+  }
+  if (target_epsilon <= 0.0) {
+    throw std::invalid_argument(
+        "FirstCoinForEpsilon: target_epsilon must be > 0");
+  }
+  // Solve eps = ln((p + (1-p)q) / ((1-p)q)) for p:
+  //   p = q (e^eps - 1) / (1 + q (e^eps - 1)).
+  const double k = q * std::expm1(target_epsilon);
+  return k / (1.0 + k);
+}
+
+}  // namespace privapprox::core

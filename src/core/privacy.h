@@ -1,0 +1,60 @@
+// Privacy accounting (paper §4; tech report Eq 19).
+//
+// Randomized response alone is eps_dp-differentially private with
+//   eps_dp = ln( (p + (1-p)q) / ((1-p)q) )                       (Eq 8).
+//
+// Two derived quantities appear in the evaluation:
+//
+// 1. The *differential privacy* level after client-side sampling — the
+//    standard privacy amplification by subsampling:
+//      eps_s = ln( 1 + s * (e^{eps_dp} - 1) ),
+//    which Fig 5c plots (RAPPOR at s = 1 vs PrivApprox at s < 1).
+//
+// 2. The *zero-knowledge privacy* level of the combined pipeline — the
+//    tech report's Eq 19, which Table 1 and Fig 7b report:
+//      eps_zk = ln( (1 + s(2-s) * (e^{eps_dp} - 1)) / (1 - s) ).
+//    (Table 1's epsilon column is exactly this at s = 0.6.) Note eps_zk
+//    accounts for the aggregate-information adversary of the
+//    zero-knowledge definition and diverges as s -> 1: with everyone
+//    sampled, the mechanism is only as strong as plain randomized response
+//    and the zero-knowledge bound becomes vacuous.
+
+#ifndef PRIVAPPROX_CORE_PRIVACY_H_
+#define PRIVAPPROX_CORE_PRIVACY_H_
+
+#include "core/randomized_response.h"
+
+namespace privapprox::core {
+
+// Eq 8: differential-privacy level of randomized response with (p, q).
+// p == 1 (no randomization) yields +infinity.
+double EpsilonDp(const RandomizationParams& params);
+
+// Privacy amplification by subsampling: the epsilon achieved when a base
+// eps-DP mechanism is applied only to a fraction `s` of the population.
+double AmplifyBySampling(double epsilon, double sampling_fraction);
+
+// Tech report Eq 19: the zero-knowledge privacy level of the combined
+// sampling (s) + randomized response (p, q) pipeline. Returns +infinity at
+// s = 1 (see header comment).
+double EpsilonZk(const RandomizationParams& params, double sampling_fraction);
+
+// Inverse of EpsilonZk in s for fixed (p, q): the sampling fraction that
+// achieves `target_epsilon_zk`. Used by the Fig 7 sweep, where the paper
+// derives s from the target privacy level via Eq 19.
+double SamplingFractionForEpsilonZk(const RandomizationParams& params,
+                                    double target_epsilon_zk);
+
+// Inverse of AmplifyBySampling in s: the sampling fraction required to reach
+// `target_epsilon` given the base randomized-response epsilon. Returns a
+// value clamped to (0, 1].
+double SamplingFractionForEpsilon(double base_epsilon, double target_epsilon);
+
+// Solves for the first-coin probability p that achieves `target_epsilon`
+// for a fixed q at sampling fraction s = 1 (used by the budget initializer).
+// Returns p in (0, 1).
+double FirstCoinForEpsilon(double q, double target_epsilon);
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_PRIVACY_H_

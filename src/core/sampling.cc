@@ -1,0 +1,30 @@
+#include "core/sampling.h"
+
+#include <stdexcept>
+
+namespace privapprox::core {
+
+SamplingPolicy::SamplingPolicy(double fraction) : fraction_(fraction) {
+  if (!(fraction > 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument("SamplingPolicy: fraction must be in (0, 1]");
+  }
+}
+
+bool SamplingPolicy::ShouldParticipate(Xoshiro256& rng) const {
+  return rng.NextBernoulli(fraction_);
+}
+
+std::vector<size_t> SamplingPolicy::SampleParticipants(size_t population,
+                                                       Xoshiro256& rng) const {
+  std::vector<size_t> participants;
+  participants.reserve(
+      static_cast<size_t>(static_cast<double>(population) * fraction_) + 16);
+  for (size_t i = 0; i < population; ++i) {
+    if (ShouldParticipate(rng)) {
+      participants.push_back(i);
+    }
+  }
+  return participants;
+}
+
+}  // namespace privapprox::core

@@ -1,0 +1,41 @@
+// Client-side simple random sampling (paper §3.2.1, Step I).
+//
+// The aggregator passes the sampling parameter s to clients as the
+// probability of participating in the query answering process; each client
+// flips a coin locally and decides whether to answer in this epoch. Sampling
+// at the data source — not at a central collector — is what lets PrivApprox
+// shed load at the very first stage of the pipeline and what turns
+// differential privacy into zero-knowledge privacy (§4).
+
+#ifndef PRIVAPPROX_CORE_SAMPLING_H_
+#define PRIVAPPROX_CORE_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privapprox::core {
+
+class SamplingPolicy {
+ public:
+  // `fraction` = s in (0, 1].
+  explicit SamplingPolicy(double fraction);
+
+  double fraction() const { return fraction_; }
+
+  // The client-side coin flip for one epoch.
+  bool ShouldParticipate(Xoshiro256& rng) const;
+
+  // Simulation helper: draws the participation decision for `population`
+  // clients, returning the participant indices.
+  std::vector<size_t> SampleParticipants(size_t population,
+                                         Xoshiro256& rng) const;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_SAMPLING_H_

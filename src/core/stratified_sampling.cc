@@ -1,0 +1,134 @@
+#include "core/stratified_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace privapprox::core {
+
+StratifiedExecutionPlan::StratifiedExecutionPlan(std::vector<Stratum> strata)
+    : strata_(std::move(strata)) {
+  if (strata_.empty()) {
+    throw std::invalid_argument("StratifiedExecutionPlan: no strata");
+  }
+  for (const Stratum& stratum : strata_) {
+    if (stratum.population == 0) {
+      throw std::invalid_argument("StratifiedExecutionPlan: empty stratum");
+    }
+    if (!(stratum.sampling_fraction > 0.0 &&
+          stratum.sampling_fraction <= 1.0)) {
+      throw std::invalid_argument(
+          "StratifiedExecutionPlan: s_h must be in (0, 1]");
+    }
+  }
+}
+
+StratifiedExecutionPlan StratifiedExecutionPlan::Proportional(
+    const std::vector<size_t>& stratum_sizes, size_t total_answer_budget) {
+  size_t population = 0;
+  for (size_t size : stratum_sizes) {
+    population += size;
+  }
+  if (population == 0) {
+    throw std::invalid_argument(
+        "StratifiedExecutionPlan::Proportional: empty population");
+  }
+  const double fraction = std::min(
+      1.0, static_cast<double>(total_answer_budget) /
+               static_cast<double>(population));
+  std::vector<Stratum> strata;
+  strata.reserve(stratum_sizes.size());
+  for (size_t size : stratum_sizes) {
+    strata.push_back(Stratum{size, std::max(fraction, 1e-9)});
+  }
+  return StratifiedExecutionPlan(std::move(strata));
+}
+
+const Stratum& StratifiedExecutionPlan::stratum(size_t h) const {
+  if (h >= strata_.size()) {
+    throw std::out_of_range("StratifiedExecutionPlan: bad stratum");
+  }
+  return strata_[h];
+}
+
+bool StratifiedExecutionPlan::ShouldParticipate(size_t h,
+                                                Xoshiro256& rng) const {
+  return rng.NextBernoulli(stratum(h).sampling_fraction);
+}
+
+double StratifiedExecutionPlan::ExpectedAnswers() const {
+  double expected = 0.0;
+  for (const Stratum& stratum : strata_) {
+    expected += stratum.sampling_fraction *
+                static_cast<double>(stratum.population);
+  }
+  return expected;
+}
+
+StratifiedQueryEstimator::StratifiedQueryEstimator(
+    const StratifiedExecutionPlan& plan, RandomizationParams randomization,
+    double confidence)
+    : plan_(plan), rr_(randomization), confidence_(confidence) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument(
+        "StratifiedQueryEstimator: confidence must be in (0, 1)");
+  }
+}
+
+std::vector<stats::Estimate> StratifiedQueryEstimator::Estimate(
+    const std::vector<StratumWindow>& windows) const {
+  if (windows.size() != plan_.num_strata()) {
+    throw std::invalid_argument(
+        "StratifiedQueryEstimator: window count != strata count");
+  }
+  size_t num_buckets = 0;
+  for (const StratumWindow& window : windows) {
+    num_buckets = std::max(num_buckets, window.randomized_counts.num_buckets());
+  }
+  std::vector<stats::Estimate> estimates(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    double value = 0.0;
+    double variance = 0.0;
+    double min_df = 1e18;
+    size_t total_participants = 0;
+    for (size_t h = 0; h < windows.size(); ++h) {
+      const StratumWindow& window = windows[h];
+      if (window.participants == 0) {
+        continue;
+      }
+      if (b >= window.randomized_counts.num_buckets()) {
+        throw std::invalid_argument(
+            "StratifiedQueryEstimator: ragged bucket counts");
+      }
+      const double n_h = static_cast<double>(window.participants);
+      const double u_h = static_cast<double>(plan_.stratum(h).population);
+      total_participants += window.participants;
+      const double debiased =
+          rr_.DebiasCount(window.randomized_counts.Count(b), n_h);
+      const double fraction = std::clamp(debiased / n_h, 0.0, 1.0);
+      value += debiased * (u_h / n_h);
+      // Sampling variance within the stratum (Eq 4, Bernoulli variance).
+      if (window.participants < plan_.stratum(h).population) {
+        variance += (u_h * u_h / n_h) * fraction * (1.0 - fraction) *
+                    (u_h - n_h) / u_h;
+      }
+      // Randomization variance, scaled to the stratum population.
+      const double sd_rr = rr_.DebiasStdDev(fraction, n_h) * (u_h / n_h);
+      variance += sd_rr * sd_rr;
+      min_df = std::min(min_df, n_h - 1.0);
+    }
+    stats::Estimate& est = estimates[b];
+    est.value = value;
+    est.confidence = confidence_;
+    est.sample_size = total_participants;
+    if (total_participants >= 2 && min_df >= 1.0) {
+      const double t = stats::StudentTCriticalValue(confidence_, min_df);
+      est.error = t * std::sqrt(std::max(0.0, variance));
+    }
+  }
+  return estimates;
+}
+
+}  // namespace privapprox::core

@@ -1,0 +1,85 @@
+// Client-side stratified sampling — the tech-report extension of §3.2.1 for
+// populations whose clients' data streams follow different distributions
+// ("we further extend our sampling mechanism with the stratified sampling
+// technique to deal with varying distributions of data streams").
+//
+// The population is partitioned into strata by a coarse public attribute
+// (region, device class). The plan assigns each stratum its own sampling
+// fraction s_h — proportional allocation by default, or budget-driven —
+// and the estimator combines per-stratum de-biased counts with the
+// stratified variance, which beats plain SRS whenever stratum means differ
+// (see bench_ablation_stratified).
+//
+// Stratum membership is treated as public metadata: clients tag their
+// answers with the stratum index only (never an identity), so the
+// aggregator can aggregate per stratum without linking answers to clients.
+
+#ifndef PRIVAPPROX_CORE_STRATIFIED_SAMPLING_H_
+#define PRIVAPPROX_CORE_STRATIFIED_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/budget.h"
+#include "core/randomized_response.h"
+#include "stats/srs.h"
+
+namespace privapprox::core {
+
+struct Stratum {
+  size_t population = 0;         // U_h
+  double sampling_fraction = 1.0;  // s_h
+};
+
+class StratifiedExecutionPlan {
+ public:
+  // Explicit per-stratum fractions.
+  explicit StratifiedExecutionPlan(std::vector<Stratum> strata);
+
+  // Proportional allocation: spread a total per-epoch answer budget over
+  // the strata in proportion to their sizes (each stratum sampled at the
+  // same fraction, capped at 1), matching the tech report's default.
+  static StratifiedExecutionPlan Proportional(
+      const std::vector<size_t>& stratum_sizes, size_t total_answer_budget);
+
+  size_t num_strata() const { return strata_.size(); }
+  const Stratum& stratum(size_t h) const;
+
+  // The sampling coin for a client in stratum h.
+  bool ShouldParticipate(size_t h, Xoshiro256& rng) const;
+
+  // Expected number of answers per epoch across all strata.
+  double ExpectedAnswers() const;
+
+ private:
+  std::vector<Stratum> strata_;
+};
+
+// Combines per-stratum randomized per-bucket counts into population
+// estimates: de-bias each stratum with Eq 5, scale by U_h / n_h, and add
+// the per-stratum variances (stats::StratifiedSumEstimator semantics).
+class StratifiedQueryEstimator {
+ public:
+  StratifiedQueryEstimator(const StratifiedExecutionPlan& plan,
+                           RandomizationParams randomization,
+                           double confidence = 0.95);
+
+  struct StratumWindow {
+    Histogram randomized_counts;  // per-bucket randomized yes counts
+    size_t participants = 0;      // n_h
+  };
+
+  // One estimate per bucket; `windows` must have one entry per stratum.
+  std::vector<stats::Estimate> Estimate(
+      const std::vector<StratumWindow>& windows) const;
+
+ private:
+  const StratifiedExecutionPlan& plan_;
+  RandomizedResponse rr_;
+  double confidence_;
+};
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_STRATIFIED_SAMPLING_H_

@@ -1,0 +1,138 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace privapprox::crypto {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 7);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
+                                      const std::array<uint8_t, 12>& nonce,
+                                      uint32_t counter) {
+  uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646E;
+  state[2] = 0x79622D32;
+  state[3] = 0x6B206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = Load32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = Load32(nonce.data() + 4 * i);
+  }
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(working));
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    // Diagonal rounds.
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    Store32(out.data() + 4 * i, working[i] + state[i]);
+  }
+  return out;
+}
+
+ChaCha20Rng::ChaCha20Rng(const std::array<uint8_t, 32>& key,
+                         uint64_t stream_id)
+    : key_(key) {
+  nonce_.fill(0);
+  for (int i = 0; i < 8; ++i) {
+    nonce_[i] = static_cast<uint8_t>(stream_id >> (8 * i));
+  }
+}
+
+ChaCha20Rng ChaCha20Rng::FromSeed(uint64_t seed, uint64_t stream_id) {
+  // Expand the seed with SplitMix-style mixing into a 256-bit key.
+  std::array<uint8_t, 32> key{};
+  uint64_t state = seed;
+  for (int w = 0; w < 4; ++w) {
+    uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z = z ^ (z >> 31);
+    for (int b = 0; b < 8; ++b) {
+      key[8 * w + b] = static_cast<uint8_t>(z >> (8 * b));
+    }
+  }
+  return ChaCha20Rng(key, stream_id);
+}
+
+void ChaCha20Rng::Refill() {
+  block_ = ChaCha20Block(key_, nonce_, counter_++);
+  offset_ = 0;
+}
+
+uint64_t ChaCha20Rng::NextUint64() {
+  uint8_t bytes[8];
+  FillBytes(bytes, sizeof(bytes));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return out;
+}
+
+void ChaCha20Rng::FillBytes(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (offset_ >= block_.size()) {
+      Refill();
+    }
+    const size_t take = std::min(len, block_.size() - offset_);
+    std::memcpy(out, block_.data() + offset_, take);
+    offset_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+std::vector<uint8_t> ChaCha20Rng::Bytes(size_t len) {
+  std::vector<uint8_t> out(len);
+  FillBytes(out.data(), len);
+  return out;
+}
+
+}  // namespace privapprox::crypto

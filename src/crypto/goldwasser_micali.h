@@ -1,0 +1,55 @@
+// Goldwasser-Micali bit encryption — comparator for Table 2
+// ("Goldwasser [27]", the scheme used by the PDA system of Chen et al.,
+// NSDI'12). Probabilistic, bit-by-bit: the natural fit for PrivApprox-style
+// bit-vector answers, which is exactly why the paper benchmarks it.
+//
+// Keygen: n = p*q with p ≡ q ≡ 3 (mod 4) (Blum primes), so x = n - 1 is a
+// pseudo-residue (Jacobi +1, non-residue mod both factors).
+// Encrypt(b): c = y^2 * x^b mod n for random y in Z_n^*.
+// Decrypt(c): b = 0 iff c is a quadratic residue mod p (Euler criterion).
+
+#ifndef PRIVAPPROX_CRYPTO_GOLDWASSER_MICALI_H_
+#define PRIVAPPROX_CRYPTO_GOLDWASSER_MICALI_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "bignum/biguint.h"
+#include "bignum/modular.h"
+#include "common/bitvector.h"
+#include "common/rng.h"
+
+namespace privapprox::crypto {
+
+class GoldwasserMicaliKeyPair {
+ public:
+  static GoldwasserMicaliKeyPair Generate(Xoshiro256& rng,
+                                          size_t modulus_bits);
+
+  const bignum::BigUint& modulus() const { return n_; }
+
+  // Encrypts a single bit.
+  bignum::BigUint EncryptBit(bool bit, Xoshiro256& rng) const;
+  bool DecryptBit(const bignum::BigUint& c) const;
+
+  // Encrypts / decrypts a whole answer bit-vector, one ciphertext per bit.
+  std::vector<bignum::BigUint> EncryptBits(const BitVector& bits,
+                                           Xoshiro256& rng) const;
+  BitVector DecryptBits(const std::vector<bignum::BigUint>& cts) const;
+
+  // XOR-homomorphism: Enc(a) * Enc(b) mod n = Enc(a ^ b).
+  bignum::BigUint HomomorphicXor(const bignum::BigUint& c1,
+                                 const bignum::BigUint& c2) const;
+
+ private:
+  GoldwasserMicaliKeyPair() = default;
+
+  bignum::BigUint n_, p_, q_, x_;
+  bignum::BigUint p_half_;  // (p - 1) / 2, Euler-criterion exponent
+  std::shared_ptr<bignum::MontgomeryContext> ctx_n_, ctx_p_;
+};
+
+}  // namespace privapprox::crypto
+
+#endif  // PRIVAPPROX_CRYPTO_GOLDWASSER_MICALI_H_

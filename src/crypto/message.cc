@@ -1,0 +1,49 @@
+#include "crypto/message.h"
+
+#include <stdexcept>
+
+namespace privapprox::crypto {
+
+std::vector<uint8_t> AnswerMessage::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(WireSize(answer.size()));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(query_id >> (8 * i)));
+  }
+  const uint32_t bits = static_cast<uint32_t>(answer.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+  const auto& bytes = answer.bytes();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+  return out;
+}
+
+AnswerMessage AnswerMessage::Deserialize(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 12) {
+    throw std::invalid_argument("AnswerMessage::Deserialize: truncated header");
+  }
+  AnswerMessage msg;
+  for (int i = 0; i < 8; ++i) {
+    msg.query_id |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<uint32_t>(bytes[8 + i]) << (8 * i);
+  }
+  const size_t answer_bytes = (static_cast<size_t>(bits) + 7) / 8;
+  if (bytes.size() < 12 + answer_bytes) {
+    throw std::invalid_argument("AnswerMessage::Deserialize: truncated answer");
+  }
+  msg.answer = BitVector::FromBytes(
+      std::vector<uint8_t>(bytes.begin() + 12,
+                           bytes.begin() + 12 + static_cast<long>(answer_bytes)),
+      bits);
+  return msg;
+}
+
+size_t AnswerMessage::WireSize(size_t answer_bits) {
+  return 12 + (answer_bits + 7) / 8;
+}
+
+}  // namespace privapprox::crypto

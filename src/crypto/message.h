@@ -1,0 +1,49 @@
+// Message framing for the answer path (paper Eqs 9-12).
+//
+// A client's randomized answer is concatenated with the query identifier to
+// form M = <QID, RandomizedAnswer> (Eq 9), split into n shares via the XOR
+// one-time pad, and each share is sent as <MID, payload> to a distinct proxy
+// (Eq 12). MID is a random unique message identifier that lets the
+// aggregator re-join the shares; the payloads themselves are
+// computationally indistinguishable from random so a proxy cannot tell
+// ciphertext from key material.
+
+#ifndef PRIVAPPROX_CRYPTO_MESSAGE_H_
+#define PRIVAPPROX_CRYPTO_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace privapprox::crypto {
+
+// The plaintext message M = <QID, RandomizedAnswer> (Eq 9).
+struct AnswerMessage {
+  uint64_t query_id = 0;
+  BitVector answer;
+
+  // Wire format: QID (8 bytes LE) | answer bit count (4 bytes LE) | answer
+  // bytes.
+  std::vector<uint8_t> Serialize() const;
+  static AnswerMessage Deserialize(const std::vector<uint8_t>& bytes);
+
+  bool operator==(const AnswerMessage& other) const = default;
+
+  // Serialized size for an answer of `answer_bits` bits.
+  static size_t WireSize(size_t answer_bits);
+};
+
+// One share of a split message: <MID, payload> (Eq 12). `payload` is either
+// the encrypted message ME or one of the key strings MKi — indistinguishable
+// by design, so the struct deliberately does not say which.
+struct MessageShare {
+  uint64_t message_id = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const MessageShare& other) const = default;
+};
+
+}  // namespace privapprox::crypto
+
+#endif  // PRIVAPPROX_CRYPTO_MESSAGE_H_

@@ -1,0 +1,75 @@
+#include "crypto/paillier.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+
+namespace privapprox::crypto {
+
+using bignum::BigUint;
+
+PaillierKeyPair PaillierKeyPair::Generate(Xoshiro256& rng,
+                                          size_t modulus_bits) {
+  if (modulus_bits < 64) {
+    throw std::invalid_argument("PaillierKeyPair: modulus too small");
+  }
+  PaillierKeyPair key;
+  for (;;) {
+    const BigUint p = bignum::RandomPrime(rng, modulus_bits / 2);
+    const BigUint q = bignum::RandomPrime(rng, modulus_bits - modulus_bits / 2);
+    if (p == q) {
+      continue;
+    }
+    key.n_ = p * q;
+    key.n_squared_ = key.n_ * key.n_;
+    const BigUint p1 = p - BigUint::One();
+    const BigUint q1 = q - BigUint::One();
+    key.lambda_ = (p1 * q1) / bignum::Gcd(p1, q1);  // lcm(p-1, q-1)
+    key.ctx_n2_ = std::make_shared<bignum::MontgomeryContext>(key.n_squared_);
+    // mu = (L(g^lambda mod n^2))^-1 mod n, with g = n + 1.
+    const BigUint g = key.n_ + BigUint::One();
+    const BigUint u = key.ctx_n2_->Exp(g, key.lambda_);
+    const BigUint l = (u - BigUint::One()) / key.n_;
+    auto mu = bignum::ModInverse(l, key.n_);
+    if (!mu.has_value()) {
+      continue;  // degenerate key; redraw
+    }
+    key.mu_ = std::move(*mu);
+    return key;
+  }
+}
+
+BigUint PaillierKeyPair::Encrypt(const BigUint& m, Xoshiro256& rng) const {
+  if (m >= n_) {
+    throw std::invalid_argument("PaillierKeyPair::Encrypt: message >= n");
+  }
+  BigUint r;
+  do {
+    r = BigUint::RandomBelow(rng, n_);
+  } while (r.IsZero() || bignum::Gcd(r, n_) != BigUint::One());
+  // g^m = (1 + n)^m = 1 + m*n (mod n^2): one multiplication, no modexp.
+  const BigUint g_m = (BigUint::One() + m * n_) % n_squared_;
+  const BigUint r_n = ctx_n2_->Exp(r, n_);
+  return bignum::ModMul(g_m, r_n, n_squared_);
+}
+
+BigUint PaillierKeyPair::Decrypt(const BigUint& c) const {
+  if (c >= n_squared_) {
+    throw std::invalid_argument("PaillierKeyPair::Decrypt: ciphertext >= n^2");
+  }
+  const BigUint u = ctx_n2_->Exp(c, lambda_);
+  const BigUint l = (u - BigUint::One()) / n_;
+  return bignum::ModMul(l, mu_, n_);
+}
+
+BigUint PaillierKeyPair::HomomorphicAdd(const BigUint& c1,
+                                        const BigUint& c2) const {
+  return bignum::ModMul(c1, c2, n_squared_);
+}
+
+BigUint PaillierKeyPair::HomomorphicScale(const BigUint& c,
+                                          const BigUint& k) const {
+  return ctx_n2_->Exp(c, k);
+}
+
+}  // namespace privapprox::crypto

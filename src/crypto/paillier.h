@@ -1,0 +1,52 @@
+// Paillier additively homomorphic encryption — comparator for Table 2
+// ("Paillier [66]", the scheme used by Rastogi & Nath, SIGMOD'10, for
+// differentially private aggregation of distributed time series).
+//
+// Keygen: n = p*q, g = n + 1, lambda = lcm(p-1, q-1),
+//         mu = (L(g^lambda mod n^2))^-1 mod n where L(u) = (u - 1) / n.
+// Encrypt(m): c = g^m * r^n mod n^2 = (1 + m*n) * r^n mod n^2.
+// Decrypt(c): m = L(c^lambda mod n^2) * mu mod n.
+// Homomorphism: Enc(a) * Enc(b) mod n^2 = Enc(a + b mod n).
+
+#ifndef PRIVAPPROX_CRYPTO_PAILLIER_H_
+#define PRIVAPPROX_CRYPTO_PAILLIER_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "bignum/biguint.h"
+#include "bignum/modular.h"
+#include "common/rng.h"
+
+namespace privapprox::crypto {
+
+class PaillierKeyPair {
+ public:
+  static PaillierKeyPair Generate(Xoshiro256& rng, size_t modulus_bits);
+
+  const bignum::BigUint& modulus() const { return n_; }
+
+  // c = (1 + m*n) * r^n mod n^2. Requires m < n.
+  bignum::BigUint Encrypt(const bignum::BigUint& m, Xoshiro256& rng) const;
+
+  // m = L(c^lambda mod n^2) * mu mod n.
+  bignum::BigUint Decrypt(const bignum::BigUint& c) const;
+
+  // Enc(a + b mod n) from Enc(a), Enc(b).
+  bignum::BigUint HomomorphicAdd(const bignum::BigUint& c1,
+                                 const bignum::BigUint& c2) const;
+
+  // Enc(k * a mod n) from Enc(a) and plaintext scalar k.
+  bignum::BigUint HomomorphicScale(const bignum::BigUint& c,
+                                   const bignum::BigUint& k) const;
+
+ private:
+  PaillierKeyPair() = default;
+
+  bignum::BigUint n_, n_squared_, lambda_, mu_;
+  std::shared_ptr<bignum::MontgomeryContext> ctx_n2_;
+};
+
+}  // namespace privapprox::crypto
+
+#endif  // PRIVAPPROX_CRYPTO_PAILLIER_H_

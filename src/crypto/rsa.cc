@@ -1,0 +1,62 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "bignum/prime.h"
+
+namespace privapprox::crypto {
+
+using bignum::BigUint;
+
+RsaKeyPair RsaKeyPair::Generate(Xoshiro256& rng, size_t modulus_bits) {
+  if (modulus_bits < 64) {
+    throw std::invalid_argument("RsaKeyPair: modulus too small");
+  }
+  RsaKeyPair key;
+  key.e_ = BigUint(65537);
+  for (;;) {
+    key.p_ = bignum::RandomPrime(rng, modulus_bits / 2);
+    key.q_ = bignum::RandomPrime(rng, modulus_bits - modulus_bits / 2);
+    if (key.p_ == key.q_) {
+      continue;
+    }
+    const BigUint p1 = key.p_ - BigUint::One();
+    const BigUint q1 = key.q_ - BigUint::One();
+    const BigUint phi = p1 * q1;
+    auto d = bignum::ModInverse(key.e_, phi);
+    if (!d.has_value()) {
+      continue;  // gcd(e, phi) != 1; rare — redraw primes
+    }
+    key.n_ = key.p_ * key.q_;
+    key.d_ = std::move(*d);
+    key.d_p_ = key.d_ % p1;
+    key.d_q_ = key.d_ % q1;
+    key.q_inv_ = *bignum::ModInverse(key.q_, key.p_);
+    key.ctx_n_ = std::make_shared<bignum::MontgomeryContext>(key.n_);
+    key.ctx_p_ = std::make_shared<bignum::MontgomeryContext>(key.p_);
+    key.ctx_q_ = std::make_shared<bignum::MontgomeryContext>(key.q_);
+    return key;
+  }
+}
+
+BigUint RsaKeyPair::Encrypt(const BigUint& m) const {
+  if (m >= n_) {
+    throw std::invalid_argument("RsaKeyPair::Encrypt: message >= modulus");
+  }
+  return ctx_n_->Exp(m, e_);
+}
+
+BigUint RsaKeyPair::Decrypt(const BigUint& c) const {
+  if (c >= n_) {
+    throw std::invalid_argument("RsaKeyPair::Decrypt: ciphertext >= modulus");
+  }
+  // CRT: m_p = c^{d_p} mod p, m_q = c^{d_q} mod q,
+  // h = q_inv * (m_p - m_q) mod p, m = m_q + h * q.
+  const BigUint m_p = ctx_p_->Exp(c % p_, d_p_);
+  const BigUint m_q = ctx_q_->Exp(c % q_, d_q_);
+  const BigUint diff = bignum::ModSub(m_p, m_q, p_);
+  const BigUint h = bignum::ModMul(q_inv_, diff, p_);
+  return m_q + h * q_;
+}
+
+}  // namespace privapprox::crypto

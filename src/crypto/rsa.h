@@ -1,0 +1,45 @@
+// Textbook RSA — comparator for Table 2 ("RSA [10]", 1024-bit keys).
+//
+// Implements exactly the operations the paper benchmarks: modular-
+// exponentiation encryption and CRT decryption. No padding — the compared
+// systems use RSA as a raw transport primitive over fixed-size answers.
+
+#ifndef PRIVAPPROX_CRYPTO_RSA_H_
+#define PRIVAPPROX_CRYPTO_RSA_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "bignum/biguint.h"
+#include "bignum/modular.h"
+#include "common/rng.h"
+
+namespace privapprox::crypto {
+
+class RsaKeyPair {
+ public:
+  // Generates an RSA key with a modulus of `modulus_bits` bits, e = 65537.
+  static RsaKeyPair Generate(Xoshiro256& rng, size_t modulus_bits);
+
+  const bignum::BigUint& modulus() const { return n_; }
+  size_t modulus_bits() const { return n_.BitLength(); }
+
+  // c = m^e mod n. Requires m < n.
+  bignum::BigUint Encrypt(const bignum::BigUint& m) const;
+
+  // m = c^d mod n via CRT (Garner recombination).
+  bignum::BigUint Decrypt(const bignum::BigUint& c) const;
+
+ private:
+  RsaKeyPair() = default;
+
+  bignum::BigUint n_, e_, d_;
+  bignum::BigUint p_, q_;
+  bignum::BigUint d_p_, d_q_;   // d mod (p-1), d mod (q-1)
+  bignum::BigUint q_inv_;       // q^-1 mod p
+  std::shared_ptr<bignum::MontgomeryContext> ctx_n_, ctx_p_, ctx_q_;
+};
+
+}  // namespace privapprox::crypto
+
+#endif  // PRIVAPPROX_CRYPTO_RSA_H_

@@ -1,0 +1,53 @@
+#include "crypto/xor_cipher.h"
+
+#include <stdexcept>
+
+namespace privapprox::crypto {
+
+XorSplitter::XorSplitter(size_t num_shares, ChaCha20Rng rng)
+    : num_shares_(num_shares), rng_(rng) {
+  if (num_shares < 2) {
+    throw std::invalid_argument("XorSplitter: need at least two shares");
+  }
+}
+
+std::vector<MessageShare> XorSplitter::Split(
+    const std::vector<uint8_t>& plaintext) {
+  const uint64_t mid = rng_.NextUint64();
+  std::vector<MessageShare> shares(num_shares_);
+  // ME starts as M and absorbs every key string (Eqs 10-11).
+  shares[0].message_id = mid;
+  shares[0].payload = plaintext;
+  for (size_t i = 1; i < num_shares_; ++i) {
+    shares[i].message_id = mid;
+    shares[i].payload = rng_.Bytes(plaintext.size());
+    for (size_t b = 0; b < plaintext.size(); ++b) {
+      shares[0].payload[b] ^= shares[i].payload[b];
+    }
+  }
+  return shares;
+}
+
+std::vector<uint8_t> XorSplitter::Combine(
+    const std::vector<MessageShare>& shares) {
+  if (shares.size() < 2) {
+    throw std::invalid_argument("XorSplitter::Combine: need >= 2 shares");
+  }
+  const uint64_t mid = shares[0].message_id;
+  const size_t len = shares[0].payload.size();
+  std::vector<uint8_t> out(shares[0].payload);
+  for (size_t i = 1; i < shares.size(); ++i) {
+    if (shares[i].message_id != mid) {
+      throw std::invalid_argument("XorSplitter::Combine: MID mismatch");
+    }
+    if (shares[i].payload.size() != len) {
+      throw std::invalid_argument("XorSplitter::Combine: length mismatch");
+    }
+    for (size_t b = 0; b < len; ++b) {
+      out[b] ^= shares[i].payload[b];
+    }
+  }
+  return out;
+}
+
+}  // namespace privapprox::crypto

@@ -1,0 +1,69 @@
+#include "engine/join.h"
+
+#include <stdexcept>
+
+#include "crypto/xor_cipher.h"
+
+namespace privapprox::engine {
+
+MidJoiner::MidJoiner(size_t expected_shares, int64_t timeout_ms, EmitFn emit)
+    : expected_shares_(expected_shares),
+      timeout_ms_(timeout_ms),
+      emit_(std::move(emit)) {
+  if (expected_shares < 2) {
+    throw std::invalid_argument("MidJoiner: need at least two shares");
+  }
+  if (timeout_ms <= 0) {
+    throw std::invalid_argument("MidJoiner: timeout must be > 0");
+  }
+}
+
+void MidJoiner::Add(const crypto::MessageShare& share, int64_t timestamp_ms,
+                    size_t source) {
+  if (source >= expected_shares_) {
+    throw std::out_of_range("MidJoiner::Add: bad source index");
+  }
+  if (completed_mids_.contains(share.message_id)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  Group& group = pending_[share.message_id];
+  if (group.shares.empty()) {
+    group.shares.resize(expected_shares_);
+    group.first_seen_ms = timestamp_ms;
+  }
+  if (group.shares[source].has_value()) {
+    // Redelivery on the same stream (or a replay through it).
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  group.shares[source] = share;
+  ++group.filled;
+  if (group.filled == expected_shares_) {
+    std::vector<crypto::MessageShare> shares;
+    shares.reserve(expected_shares_);
+    for (auto& slot : group.shares) {
+      shares.push_back(std::move(*slot));
+    }
+    std::vector<uint8_t> plaintext = crypto::XorSplitter::Combine(shares);
+    const int64_t first_seen = group.first_seen_ms;
+    pending_.erase(share.message_id);
+    completed_mids_.insert(share.message_id);
+    ++stats_.joined;
+    emit_(share.message_id, std::move(plaintext), first_seen);
+  }
+}
+
+void MidJoiner::EvictStale(int64_t now_ms) {
+  const int64_t cutoff = now_ms - timeout_ms_;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.first_seen_ms < cutoff) {
+      ++stats_.evicted_partial;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace privapprox::engine

@@ -1,0 +1,73 @@
+// MID share join (paper §3.2.4).
+//
+// The aggregator receives n share streams — one per proxy — and joins shares
+// by message identifier. Each group holds one slot per source stream; when
+// all n slots of one MID are filled the shares are XOR-combined into the
+// original randomized message. Source slots make the join robust against
+// redelivery: the same share arriving twice from one proxy cannot
+// self-combine into garbage, it is counted as a duplicate. Replayed MIDs (a
+// malicious client re-answering to distort the result) are detected and
+// dropped; partial groups are evicted after a timeout so a share lost on one
+// proxy path cannot leak memory.
+
+#ifndef PRIVAPPROX_ENGINE_JOIN_H_
+#define PRIVAPPROX_ENGINE_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/message.h"
+
+namespace privapprox::engine {
+
+struct JoinStats {
+  uint64_t joined = 0;            // complete messages emitted
+  uint64_t duplicates_dropped = 0;  // replayed MIDs
+  uint64_t evicted_partial = 0;     // timed-out incomplete groups
+};
+
+class MidJoiner {
+ public:
+  using EmitFn =
+      std::function<void(uint64_t mid, std::vector<uint8_t> plaintext,
+                         int64_t timestamp_ms)>;
+
+  // `expected_shares` = number of proxies n; `timeout_ms` bounds how long a
+  // partial group may wait for its remaining shares.
+  MidJoiner(size_t expected_shares, int64_t timeout_ms, EmitFn emit);
+
+  // Feeds one share from stream `source` (the proxy index, < n);
+  // `timestamp_ms` is the share's event time. Emits the joined plaintext as
+  // soon as every source slot of the MID is filled. Throws
+  // std::out_of_range for source >= n.
+  void Add(const crypto::MessageShare& share, int64_t timestamp_ms,
+           size_t source);
+
+  // Evicts partial groups whose first share is older than now - timeout.
+  void EvictStale(int64_t now_ms);
+
+  const JoinStats& stats() const { return stats_; }
+  size_t pending_groups() const { return pending_.size(); }
+
+ private:
+  struct Group {
+    std::vector<std::optional<crypto::MessageShare>> shares;  // per source
+    size_t filled = 0;
+    int64_t first_seen_ms = 0;
+  };
+
+  size_t expected_shares_;
+  int64_t timeout_ms_;
+  EmitFn emit_;
+  std::unordered_map<uint64_t, Group> pending_;
+  std::unordered_set<uint64_t> completed_mids_;
+  JoinStats stats_;
+};
+
+}  // namespace privapprox::engine
+
+#endif  // PRIVAPPROX_ENGINE_JOIN_H_

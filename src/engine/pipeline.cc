@@ -1,0 +1,42 @@
+#include "engine/pipeline.h"
+
+namespace privapprox::engine {
+
+PipelineStats PullPipeline::DrainSequential(broker::Consumer& consumer,
+                                            const BatchFn& process,
+                                            size_t batch_size) {
+  PipelineStats stats;
+  for (;;) {
+    std::vector<broker::Record> batch = consumer.Poll(batch_size);
+    if (batch.empty()) {
+      break;
+    }
+    stats.records += batch.size();
+    ++stats.batches;
+    process(std::move(batch));
+  }
+  return stats;
+}
+
+PipelineStats PullPipeline::DrainParallel(
+    broker::Consumer& consumer, ThreadPool& pool,
+    const std::function<void(const broker::Record&)>& process_record,
+    size_t batch_size) {
+  PipelineStats stats;
+  for (;;) {
+    std::vector<broker::Record> batch = consumer.Poll(batch_size);
+    if (batch.empty()) {
+      break;
+    }
+    stats.records += batch.size();
+    ++stats.batches;
+    pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        process_record(batch[i]);
+      }
+    });
+  }
+  return stats;
+}
+
+}  // namespace privapprox::engine

@@ -1,0 +1,45 @@
+// A minimal dataflow pipeline: a pull loop that drains broker consumers in
+// batches through a processing function, optionally parallelized across a
+// worker pool per batch. This is the execution skeleton of both the proxy
+// (transmission-only) and the aggregator (join + decrypt + window) and the
+// unit the Fig 8 scalability bench scales over cores.
+
+#ifndef PRIVAPPROX_ENGINE_PIPELINE_H_
+#define PRIVAPPROX_ENGINE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/thread_pool.h"
+
+namespace privapprox::engine {
+
+struct PipelineStats {
+  uint64_t batches = 0;
+  uint64_t records = 0;
+};
+
+class PullPipeline {
+ public:
+  using BatchFn = std::function<void(std::vector<broker::Record>&&)>;
+
+  // Drains `consumer` through `process` in batches of `batch_size` until the
+  // consumer is caught up. Single-threaded; ordering is preserved.
+  static PipelineStats DrainSequential(broker::Consumer& consumer,
+                                       const BatchFn& process,
+                                       size_t batch_size = 4096);
+
+  // Drains with record-level parallelism: each batch is partitioned over the
+  // pool and `process_record` is applied concurrently. `process_record` must
+  // be thread-safe. Per-batch barrier keeps watermark handling simple.
+  static PipelineStats DrainParallel(
+      broker::Consumer& consumer, ThreadPool& pool,
+      const std::function<void(const broker::Record&)>& process_record,
+      size_t batch_size = 4096);
+};
+
+}  // namespace privapprox::engine
+
+#endif  // PRIVAPPROX_ENGINE_PIPELINE_H_

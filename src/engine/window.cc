@@ -1,0 +1,35 @@
+#include "engine/window.h"
+
+#include <stdexcept>
+
+namespace privapprox::engine {
+
+SlidingWindowAssigner::SlidingWindowAssigner(int64_t length_ms,
+                                             int64_t slide_ms)
+    : length_ms_(length_ms), slide_ms_(slide_ms) {
+  if (slide_ms <= 0 || length_ms <= 0) {
+    throw std::invalid_argument("SlidingWindowAssigner: periods must be > 0");
+  }
+  if (slide_ms > length_ms) {
+    throw std::invalid_argument(
+        "SlidingWindowAssigner: slide must not exceed length");
+  }
+}
+
+std::vector<Window> SlidingWindowAssigner::WindowsFor(
+    int64_t timestamp_ms) const {
+  // The most recent window start at or before the timestamp (floor division
+  // that also works for negative timestamps).
+  int64_t last_start = timestamp_ms / slide_ms_ * slide_ms_;
+  if (timestamp_ms < 0 && last_start > timestamp_ms) {
+    last_start -= slide_ms_;
+  }
+  std::vector<Window> windows;
+  for (int64_t start = last_start; start > timestamp_ms - length_ms_;
+       start -= slide_ms_) {
+    windows.push_back(Window{start, start + length_ms_});
+  }
+  return windows;
+}
+
+}  // namespace privapprox::engine

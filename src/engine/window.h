@@ -1,0 +1,100 @@
+// Sliding event-time windows (paper §2.2, §3.2.4).
+//
+// Queries execute as sliding-window computations: window length w, sliding
+// interval delta (Eq 1). The assigner maps an event timestamp to every
+// window containing it; WindowBuffer keeps per-window state and emits
+// windows whose end has passed the watermark, mirroring how the aggregator
+// "adapts the computation window to the current start time t by removing
+// all old data items ... then adds the newly incoming data items".
+
+#ifndef PRIVAPPROX_ENGINE_WINDOW_H_
+#define PRIVAPPROX_ENGINE_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace privapprox::engine {
+
+struct Window {
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+  bool operator==(const Window&) const = default;
+  auto operator<=>(const Window&) const = default;
+};
+
+class SlidingWindowAssigner {
+ public:
+  // length >= slide > 0; windows start at multiples of `slide`.
+  SlidingWindowAssigner(int64_t length_ms, int64_t slide_ms);
+
+  int64_t length_ms() const { return length_ms_; }
+  int64_t slide_ms() const { return slide_ms_; }
+
+  // All windows [start, start + length) that contain `timestamp`.
+  std::vector<Window> WindowsFor(int64_t timestamp_ms) const;
+
+ private:
+  int64_t length_ms_;
+  int64_t slide_ms_;
+};
+
+// Accumulates items into their windows and fires complete windows when the
+// event-time watermark advances past a window's end.
+template <typename T>
+class WindowBuffer {
+ public:
+  using FireFn = std::function<void(const Window&, const std::vector<T>&)>;
+
+  WindowBuffer(SlidingWindowAssigner assigner, FireFn on_fire)
+      : assigner_(assigner), on_fire_(std::move(on_fire)) {}
+
+  void Add(int64_t timestamp_ms, const T& item) {
+    // Late data (behind the watermark) is dropped, as in the prototype's
+    // event-time join.
+    if (timestamp_ms < watermark_ms_) {
+      ++late_dropped_;
+      return;
+    }
+    for (const Window& window : assigner_.WindowsFor(timestamp_ms)) {
+      pending_[window].push_back(item);
+    }
+  }
+
+  // Advances the watermark and fires every window that is now complete.
+  void AdvanceWatermark(int64_t watermark_ms) {
+    if (watermark_ms <= watermark_ms_) {
+      return;
+    }
+    watermark_ms_ = watermark_ms;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first.end_ms <= watermark_ms_) {
+      on_fire_(it->first, it->second);
+      it = pending_.erase(it);
+    }
+  }
+
+  // Fires all remaining windows regardless of the watermark (end of stream).
+  void Flush() {
+    for (const auto& [window, items] : pending_) {
+      on_fire_(window, items);
+    }
+    pending_.clear();
+  }
+
+  size_t pending_windows() const { return pending_.size(); }
+  uint64_t late_dropped() const { return late_dropped_; }
+  int64_t watermark_ms() const { return watermark_ms_; }
+
+ private:
+  SlidingWindowAssigner assigner_;
+  FireFn on_fire_;
+  std::map<Window, std::vector<T>> pending_;
+  int64_t watermark_ms_ = INT64_MIN;
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace privapprox::engine
+
+#endif  // PRIVAPPROX_ENGINE_WINDOW_H_

@@ -1,0 +1,54 @@
+#include "localdb/database.h"
+
+#include <stdexcept>
+
+namespace privapprox::localdb {
+
+Table& Database::CreateTable(const std::string& name,
+                             std::vector<std::string> columns) {
+  const auto [it, inserted] =
+      tables_.emplace(name, Table(name, std::move(columns)));
+  if (!inserted) {
+    throw std::invalid_argument("Database::CreateTable: table '" + name +
+                                "' already exists");
+  }
+  return it->second;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.contains(name);
+}
+
+Table& Database::GetTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("Database::GetTable: no table '" + name + "'");
+  }
+  return it->second;
+}
+
+const Table& Database::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("Database::GetTable: no table '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<Value> Database::Execute(const std::string& sql, int64_t from_ms,
+                                     int64_t to_ms) {
+  const SelectStatement stmt = ParseSql(sql);
+  const auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    throw SqlError("unknown table '" + stmt.table + "'");
+  }
+  return ExecuteSelect(stmt, it->second, from_ms, to_ms);
+}
+
+void Database::EvictBefore(int64_t cutoff_ms) {
+  for (auto& [name, table] : tables_) {
+    table.EvictBefore(cutoff_ms);
+  }
+}
+
+}  // namespace privapprox::localdb

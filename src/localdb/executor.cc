@@ -1,0 +1,133 @@
+#include "localdb/executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace privapprox::localdb {
+namespace {
+
+bool CompareWith(CompareOp op, const Value& lhs, const Value& rhs) {
+  const int cmp = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+size_t ResolveColumn(const Table& table, const std::string& column) {
+  const auto index = table.ColumnIndex(column);
+  if (!index.has_value()) {
+    throw SqlError("unknown column '" + column + "' in table '" +
+                   table.name() + "'");
+  }
+  return *index;
+}
+
+}  // namespace
+
+bool EvaluatePredicate(const Predicate& predicate, const Table& table,
+                       const Row& row) {
+  switch (predicate.kind) {
+    case Predicate::Kind::kComparison: {
+      const size_t column = ResolveColumn(table, predicate.column);
+      return CompareWith(predicate.op, row[column], predicate.literal);
+    }
+    case Predicate::Kind::kAnd:
+      return std::all_of(predicate.children.begin(), predicate.children.end(),
+                         [&](const Predicate& child) {
+                           return EvaluatePredicate(child, table, row);
+                         });
+    case Predicate::Kind::kOr:
+      return std::any_of(predicate.children.begin(), predicate.children.end(),
+                         [&](const Predicate& child) {
+                           return EvaluatePredicate(child, table, row);
+                         });
+    case Predicate::Kind::kNot:
+      return !EvaluatePredicate(predicate.children.front(), table, row);
+    case Predicate::Kind::kIn: {
+      const size_t column = ResolveColumn(table, predicate.column);
+      return std::any_of(
+          predicate.literal_set.begin(), predicate.literal_set.end(),
+          [&](const Value& v) { return row[column] == v; });
+    }
+    case Predicate::Kind::kBetween: {
+      const size_t column = ResolveColumn(table, predicate.column);
+      return row[column] >= predicate.between_lo &&
+             row[column] <= predicate.between_hi;
+    }
+  }
+  return false;
+}
+
+std::vector<Value> ExecuteSelect(const SelectStatement& stmt,
+                                 const Table& table, int64_t from_ms,
+                                 int64_t to_ms) {
+  if (stmt.table != table.name()) {
+    throw SqlError("unknown table '" + stmt.table + "'");
+  }
+  std::optional<size_t> column;
+  if (!stmt.count_star) {
+    column = ResolveColumn(table, stmt.column);
+  }
+
+  size_t count = 0;
+  double sum = 0.0;
+  double min_value = std::numeric_limits<double>::infinity();
+  double max_value = -std::numeric_limits<double>::infinity();
+  std::vector<Value> results;
+
+  for (const TimestampedRow* row : table.RowsInRange(from_ms, to_ms)) {
+    if (stmt.has_where && !EvaluatePredicate(stmt.where, table, row->values)) {
+      continue;
+    }
+    ++count;
+    if (stmt.aggregate == Aggregate::kNone) {
+      results.push_back(row->values[*column]);
+      continue;
+    }
+    if (stmt.aggregate != Aggregate::kCount) {
+      const Value& value = row->values[*column];
+      if (!value.IsNumeric()) {
+        throw SqlError("aggregate over non-numeric column '" + stmt.column +
+                       "'");
+      }
+      const double x = value.AsDouble();
+      sum += x;
+      min_value = std::min(min_value, x);
+      max_value = std::max(max_value, x);
+    }
+  }
+
+  switch (stmt.aggregate) {
+    case Aggregate::kNone:
+      return results;
+    case Aggregate::kCount:
+      return {Value(static_cast<int64_t>(count))};
+    case Aggregate::kSum:
+      return count == 0 ? std::vector<Value>{} : std::vector<Value>{Value(sum)};
+    case Aggregate::kAvg:
+      return count == 0
+                 ? std::vector<Value>{}
+                 : std::vector<Value>{Value(sum / static_cast<double>(count))};
+    case Aggregate::kMin:
+      return count == 0 ? std::vector<Value>{}
+                        : std::vector<Value>{Value(min_value)};
+    case Aggregate::kMax:
+      return count == 0 ? std::vector<Value>{}
+                        : std::vector<Value>{Value(max_value)};
+  }
+  return {};
+}
+
+}  // namespace privapprox::localdb

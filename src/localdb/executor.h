@@ -1,0 +1,32 @@
+// Executes a parsed SELECT statement against a client's local table over a
+// time range — the "query answering" module of the client (paper §5).
+
+#ifndef PRIVAPPROX_LOCALDB_EXECUTOR_H_
+#define PRIVAPPROX_LOCALDB_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "localdb/sql.h"
+#include "localdb/table.h"
+
+namespace privapprox::localdb {
+
+// Evaluates the WHERE predicate against one row.
+bool EvaluatePredicate(const Predicate& predicate, const Table& table,
+                       const Row& row);
+
+// Executes `stmt` over rows of `table` with timestamps in [from_ms, to_ms).
+// - Non-aggregate SELECT col: returns all matching values of the column.
+// - Aggregate: returns a single value (or empty when no rows match and the
+//   aggregate is undefined, i.e. everything except COUNT).
+// Throws SqlError if the statement references an unknown table/column or
+// aggregates a non-numeric column.
+std::vector<Value> ExecuteSelect(const SelectStatement& stmt,
+                                 const Table& table, int64_t from_ms,
+                                 int64_t to_ms);
+
+}  // namespace privapprox::localdb
+
+#endif  // PRIVAPPROX_LOCALDB_EXECUTOR_H_

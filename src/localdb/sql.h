@@ -1,0 +1,69 @@
+// SQL subset for client-side query execution (the paper's query model,
+// §2.2: analysts formulate SQL queries that clients run on their private
+// data, e.g. "SELECT speed FROM vehicle WHERE location='San Francisco'").
+//
+// Grammar:
+//   query      := SELECT select FROM ident [WHERE or_expr]
+//   select     := ident | fn '(' ident ')' | COUNT '(' '*' ')'
+//   fn         := SUM | AVG | MIN | MAX | COUNT
+//   or_expr    := and_expr (OR and_expr)*
+//   and_expr   := primary (AND primary)*
+//   primary    := '(' or_expr ')' | ident op literal
+//   op         := = | != | <> | < | <= | > | >=
+//   literal    := number | 'string'
+
+#ifndef PRIVAPPROX_LOCALDB_SQL_H_
+#define PRIVAPPROX_LOCALDB_SQL_H_
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "localdb/value.h"
+
+namespace privapprox::localdb {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// WHERE-clause expression tree.
+struct Predicate {
+  enum class Kind { kComparison, kAnd, kOr, kNot, kIn, kBetween };
+  Kind kind = Kind::kComparison;
+
+  // kComparison / kIn / kBetween:
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;                   // kComparison
+  std::vector<Value> literal_set;  // kIn: the value list
+  Value between_lo, between_hi;    // kBetween (inclusive, SQL semantics)
+
+  // kAnd / kOr / kNot (kNot has exactly one child):
+  std::vector<Predicate> children;
+};
+
+enum class Aggregate { kNone, kSum, kAvg, kMin, kMax, kCount };
+
+// Parsed SELECT statement.
+struct SelectStatement {
+  Aggregate aggregate = Aggregate::kNone;
+  std::string column;      // empty for COUNT(*)
+  bool count_star = false;
+  std::string table;
+  bool has_where = false;
+  Predicate where;
+};
+
+// Parses `sql`; throws SqlError with a position-annotated message on any
+// lexical or syntactic problem.
+SelectStatement ParseSql(const std::string& sql);
+
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+}  // namespace privapprox::localdb
+
+#endif  // PRIVAPPROX_LOCALDB_SQL_H_

@@ -1,0 +1,66 @@
+#include "localdb/value.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace privapprox::localdb {
+
+int64_t Value::AsInt() const {
+  if (IsInt()) {
+    return std::get<int64_t>(data_);
+  }
+  if (IsDouble()) {
+    return static_cast<int64_t>(std::get<double>(data_));
+  }
+  throw std::invalid_argument("Value::AsInt: string value");
+}
+
+double Value::AsDouble() const {
+  if (IsDouble()) {
+    return std::get<double>(data_);
+  }
+  if (IsInt()) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  throw std::invalid_argument("Value::AsDouble: string value");
+}
+
+const std::string& Value::AsString() const {
+  if (!IsString()) {
+    throw std::invalid_argument("Value::AsString: numeric value");
+  }
+  return std::get<std::string>(data_);
+}
+
+int Value::Compare(const Value& other) const {
+  if (IsString() != other.IsString()) {
+    throw std::invalid_argument("Value::Compare: type mismatch");
+  }
+  if (IsString()) {
+    const int cmp = AsString().compare(other.AsString());
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  if (IsInt() && other.IsInt()) {
+    const int64_t a = std::get<int64_t>(data_);
+    const int64_t b = std::get<int64_t>(other.data_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const double a = AsDouble();
+  const double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (IsString()) {
+    return AsString();
+  }
+  std::ostringstream out;
+  if (IsInt()) {
+    out << std::get<int64_t>(data_);
+  } else {
+    out << std::get<double>(data_);
+  }
+  return out.str();
+}
+
+}  // namespace privapprox::localdb

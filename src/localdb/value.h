@@ -1,0 +1,54 @@
+// Typed values for the client-local database (the SQLite stand-in; see
+// DESIGN.md substitution table). Clients execute the analyst's SQL against
+// rows of these values.
+
+#ifndef PRIVAPPROX_LOCALDB_VALUE_H_
+#define PRIVAPPROX_LOCALDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace privapprox::localdb {
+
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}             // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  bool IsInt() const { return std::holds_alternative<int64_t>(data_); }
+  bool IsDouble() const { return std::holds_alternative<double>(data_); }
+  bool IsString() const { return std::holds_alternative<std::string>(data_); }
+  bool IsNumeric() const { return IsInt() || IsDouble(); }
+
+  int64_t AsInt() const;
+  // Numeric coercion: ints convert; strings throw.
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Three-way comparison with numeric coercion between int and double.
+  // Comparing a string with a number throws std::invalid_argument.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace privapprox::localdb
+
+#endif  // PRIVAPPROX_LOCALDB_VALUE_H_

@@ -1,0 +1,58 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace privapprox::net {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config.num_nodes == 0 || config.node.cores == 0) {
+    throw std::invalid_argument("Cluster: need >= 1 node and >= 1 core");
+  }
+  if (config.node.records_per_ms_per_core <= 0.0) {
+    throw std::invalid_argument("Cluster: bad processing rate");
+  }
+  if (config.node.core_efficiency <= 0.0 ||
+      config.node.core_efficiency > 1.0) {
+    throw std::invalid_argument("Cluster: core_efficiency must be in (0, 1]");
+  }
+}
+
+double Cluster::NodeRate() const {
+  const double cores = static_cast<double>(config_.node.cores);
+  const double effective =
+      1.0 + config_.node.core_efficiency * (cores - 1.0);
+  return effective * config_.node.records_per_ms_per_core;
+}
+
+double Cluster::ClusterRate() const {
+  return NodeRate() * static_cast<double>(config_.num_nodes);
+}
+
+double Cluster::CompletionTimeMs(uint64_t records,
+                                 double bytes_per_record) const {
+  if (records == 0) {
+    return 0.0;
+  }
+  const double per_node_records =
+      static_cast<double>(records) / static_cast<double>(config_.num_nodes);
+  const double compute_ms = per_node_records / NodeRate();
+  const double network_ms =
+      per_node_records * bytes_per_record / config_.link.bandwidth_bytes_per_ms +
+      config_.link.latency_ms;
+  const double overhead_ms =
+      config_.per_node_overhead_ms * static_cast<double>(config_.num_nodes);
+  // Receive overlaps compute; the slower of the two gates the node.
+  return std::max(compute_ms, network_ms) + overhead_ms;
+}
+
+double Cluster::ThroughputPerSec(uint64_t records,
+                                 double bytes_per_record) const {
+  const double ms = CompletionTimeMs(records, bytes_per_record);
+  if (ms <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(records) / ms * 1000.0;
+}
+
+}  // namespace privapprox::net

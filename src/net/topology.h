@@ -1,0 +1,67 @@
+// Cluster topology model for scale-up / scale-out experiments.
+//
+// The paper's testbed: 44 nodes, Gigabit Ethernet, 2x quad-core Xeon per
+// node; 2 Kafka proxies (4 brokers + 3 Zookeeper each), 20 Flink nodes
+// (§7.1). We model a cluster as N worker nodes with C cores each, behind
+// per-node links, and provide an analytic completion-time estimate for a
+// bulk workload: records are partitioned over nodes, each node overlaps
+// network receive with per-core processing. That is enough to reproduce the
+// scaling shapes of Fig 8 and the latency curves of Figs 6 and 9.
+
+#ifndef PRIVAPPROX_NET_TOPOLOGY_H_
+#define PRIVAPPROX_NET_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/link.h"
+
+namespace privapprox::net {
+
+struct NodeConfig {
+  size_t cores = 8;
+  // Per-core processing rate for one record of the workload in question.
+  double records_per_ms_per_core = 100.0;
+  // Parallel efficiency per extra core (sub-linear scale-up, locks/memory
+  // bandwidth): effective cores = 1 + e*(c-1).
+  double core_efficiency = 0.85;
+};
+
+struct ClusterConfig {
+  size_t num_nodes = 1;
+  NodeConfig node;
+  LinkConfig link;
+  // Coordination overhead per node added to a distributed run (scale-out is
+  // sub-linear too).
+  double per_node_overhead_ms = 1.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  // Effective processing rate (records/ms) of one node with its cores.
+  double NodeRate() const;
+
+  // Aggregate effective rate of the cluster.
+  double ClusterRate() const;
+
+  // Completion time for processing `records` records of `bytes_per_record`
+  // each, fanned out evenly over the nodes: per-node time is
+  // max(network time, compute time) + overhead, and the cluster finishes
+  // when the slowest (here: any, they are equal) node finishes.
+  double CompletionTimeMs(uint64_t records, double bytes_per_record) const;
+
+  // Throughput (records/sec) implied by CompletionTimeMs for the workload.
+  double ThroughputPerSec(uint64_t records, double bytes_per_record) const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace privapprox::net
+
+#endif  // PRIVAPPROX_NET_TOPOLOGY_H_

@@ -1,0 +1,108 @@
+#include "proxy/proxy.h"
+
+#include <stdexcept>
+
+namespace privapprox::proxy {
+
+Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
+    : config_(config), broker_(broker) {
+  const std::string prefix = "proxy" + std::to_string(config.proxy_index);
+  in_topic_ = prefix + ".in";
+  out_topic_ = prefix + ".out";
+  query_in_topic_ = prefix + ".query.in";
+  query_out_topic_ = prefix + ".query.out";
+  broker_.CreateTopic(in_topic_, config.num_partitions);
+  broker_.CreateTopic(out_topic_, config.num_partitions);
+  broker_.CreateTopic(query_in_topic_, 1);
+  broker_.CreateTopic(query_out_topic_, 1);
+  consumer_ = std::make_unique<broker::Consumer>(broker_.GetTopic(in_topic_));
+  query_consumer_ =
+      std::make_unique<broker::Consumer>(broker_.GetTopic(query_in_topic_));
+}
+
+void Proxy::Receive(const crypto::MessageShare& share, int64_t timestamp_ms) {
+  broker_.Produce(in_topic_, share.message_id, EncodeShare(share),
+                  timestamp_ms);
+}
+
+uint64_t Proxy::Forward() {
+  broker::Topic& out = broker_.GetTopic(out_topic_);
+  uint64_t count = 0;
+  for (;;) {
+    std::vector<broker::Record> batch = consumer_->Poll(4096);
+    if (batch.empty()) {
+      break;
+    }
+    for (auto& record : batch) {
+      out.Append(record.key, std::move(record.payload), record.timestamp_ms);
+      ++count;
+    }
+  }
+  forwarded_ += count;
+  return count;
+}
+
+uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
+  broker::Topic& out = broker_.GetTopic(out_topic_);
+  uint64_t count = 0;
+  for (;;) {
+    std::vector<broker::Record> batch = consumer_->Poll(8192);
+    if (batch.empty()) {
+      break;
+    }
+    count += batch.size();
+    pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out.Append(batch[i].key, std::move(batch[i].payload),
+                   batch[i].timestamp_ms);
+      }
+    });
+  }
+  forwarded_ += count;
+  return count;
+}
+
+void Proxy::AnnounceQuery(const std::vector<uint8_t>& announcement,
+                          int64_t timestamp_ms) {
+  broker_.Produce(query_in_topic_, /*key=*/0, announcement, timestamp_ms);
+}
+
+uint64_t Proxy::ForwardQueries() {
+  broker::Topic& out = broker_.GetTopic(query_out_topic_);
+  uint64_t count = 0;
+  for (;;) {
+    std::vector<broker::Record> batch = query_consumer_->Poll(64);
+    if (batch.empty()) {
+      break;
+    }
+    for (auto& record : batch) {
+      out.Append(record.key, std::move(record.payload), record.timestamp_ms);
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<uint8_t> Proxy::EncodeShare(const crypto::MessageShare& share) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + share.payload.size());
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(share.message_id >> (8 * i)));
+  }
+  out.insert(out.end(), share.payload.begin(), share.payload.end());
+  return out;
+}
+
+crypto::MessageShare Proxy::DecodeShare(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 8) {
+    throw std::invalid_argument("Proxy::DecodeShare: truncated share");
+  }
+  crypto::MessageShare share;
+  for (int i = 0; i < 8; ++i) {
+    share.message_id |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  share.payload.assign(bytes.begin() + 8, bytes.end());
+  return share;
+}
+
+}  // namespace privapprox::proxy

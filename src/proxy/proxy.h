@@ -1,0 +1,78 @@
+// The proxy runtime (paper §3.2.3, §5).
+//
+// A PrivApprox proxy does exactly one thing on the answer path: transmit
+// opaque shares from clients to the aggregator. There is no noise addition,
+// no answer intersection, no shuffling and — crucially — no synchronization
+// with the other proxies (contrast: baseline::SplitX). Each proxy owns an
+// inbound topic (clients produce into it) and an outbound topic (the
+// aggregator consumes from it); Forward() moves pending records across,
+// which is the operation Fig 5b / Fig 8a measure.
+
+#ifndef PRIVAPPROX_PROXY_PROXY_H_
+#define PRIVAPPROX_PROXY_PROXY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "broker/broker.h"
+#include "common/thread_pool.h"
+#include "crypto/message.h"
+
+namespace privapprox::proxy {
+
+struct ProxyConfig {
+  size_t proxy_index = 0;
+  size_t num_partitions = 4;  // Kafka brokers per proxy in the paper's setup
+};
+
+class Proxy {
+ public:
+  Proxy(ProxyConfig config, broker::Broker& broker);
+
+  size_t index() const { return config_.proxy_index; }
+  const std::string& in_topic() const { return in_topic_; }
+  const std::string& out_topic() const { return out_topic_; }
+  const std::string& query_in_topic() const { return query_in_topic_; }
+  const std::string& query_out_topic() const { return query_out_topic_; }
+
+  // Client-facing entry: enqueue one share.
+  void Receive(const crypto::MessageShare& share, int64_t timestamp_ms);
+
+  // Transmits all pending inbound records to the outbound topic. Returns the
+  // number of records forwarded.
+  uint64_t Forward();
+
+  // Query distribution (§3.1, submission phase): the aggregator publishes
+  // serialized query announcements into the proxy's query inbound topic;
+  // ForwardQueries moves them to the client-facing outbound topic. Proxies
+  // treat announcements as opaque bytes, exactly like answer shares.
+  void AnnounceQuery(const std::vector<uint8_t>& announcement,
+                     int64_t timestamp_ms);
+  uint64_t ForwardQueries();
+
+  // Parallel variant used by the scalability bench: forwarding fans out over
+  // the pool in record batches.
+  uint64_t ForwardParallel(ThreadPool& pool);
+
+  // Serialization helpers shared with the aggregator side.
+  static std::vector<uint8_t> EncodeShare(const crypto::MessageShare& share);
+  static crypto::MessageShare DecodeShare(const std::vector<uint8_t>& bytes);
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  ProxyConfig config_;
+  broker::Broker& broker_;
+  std::string in_topic_;
+  std::string out_topic_;
+  std::string query_in_topic_;
+  std::string query_out_topic_;
+  std::unique_ptr<broker::Consumer> consumer_;
+  std::unique_ptr<broker::Consumer> query_consumer_;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace privapprox::proxy
+
+#endif  // PRIVAPPROX_PROXY_PROXY_H_

@@ -1,0 +1,81 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace privapprox::stats {
+namespace {
+
+// Asymptotic Kolmogorov survival function Q(lambda).
+double KolmogorovQ(double lambda) {
+  if (lambda < 1e-10) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) {
+      break;
+    }
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+TestResult KolmogorovSmirnovTwoSample(std::vector<double> a,
+                                      std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("KS test: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0, ib = 0;
+  double d_max = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) {
+      ++ia;
+    }
+    while (ib < b.size() && b[ib] <= x) {
+      ++ib;
+    }
+    d_max = std::max(d_max, std::fabs(static_cast<double>(ia) / na -
+                                      static_cast<double>(ib) / nb));
+  }
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d_max;
+  return TestResult{d_max, KolmogorovQ(lambda)};
+}
+
+TestResult ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                  const std::vector<double>& expected,
+                                  int df_reduction) {
+  if (observed.size() != expected.size() || observed.empty()) {
+    throw std::invalid_argument("chi-square: size mismatch or empty");
+  }
+  double statistic = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      throw std::invalid_argument("chi-square: expected counts must be > 0");
+    }
+    const double diff = observed[i] - expected[i];
+    statistic += diff * diff / expected[i];
+  }
+  const double df =
+      static_cast<double>(observed.size()) - 1.0 - df_reduction;
+  if (df <= 0.0) {
+    throw std::invalid_argument("chi-square: non-positive degrees of freedom");
+  }
+  return TestResult{statistic, ChiSquareSurvival(statistic, df)};
+}
+
+}  // namespace privapprox::stats

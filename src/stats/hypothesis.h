@@ -1,0 +1,35 @@
+// Hypothesis tests used to validate distributional claims in the paper's
+// analysis: the two-sample Kolmogorov-Smirnov test (does sampling-then-
+// randomizing produce the same distribution as randomizing-then-sampling,
+// §4's commutativity) and the chi-square goodness-of-fit test (do generated
+// workloads match their target bucket distributions).
+
+#ifndef PRIVAPPROX_STATS_HYPOTHESIS_H_
+#define PRIVAPPROX_STATS_HYPOTHESIS_H_
+
+#include <vector>
+
+namespace privapprox::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+// Two-sample KS test. Inputs need not be sorted (copies are sorted
+// internally). p-value via the asymptotic Kolmogorov distribution
+// Q(lambda) = 2 sum (-1)^{j-1} e^{-2 j^2 lambda^2}.
+TestResult KolmogorovSmirnovTwoSample(std::vector<double> a,
+                                      std::vector<double> b);
+
+// Chi-square goodness of fit of observed counts against expected counts
+// (same length; expected entries must be > 0). `df_reduction` degrees of
+// freedom are subtracted beyond the standard k-1 (e.g. estimated
+// parameters).
+TestResult ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                  const std::vector<double>& expected,
+                                  int df_reduction = 0);
+
+}  // namespace privapprox::stats
+
+#endif  // PRIVAPPROX_STATS_HYPOTHESIS_H_

@@ -1,0 +1,57 @@
+#include "stats/moments.h"
+
+#include <cmath>
+
+namespace privapprox::stats {
+
+void RunningMoments::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+}
+
+double RunningMoments::SampleVariance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningMoments::PopulationVariance() const {
+  if (count_ < 1) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningMoments::SampleStdDev() const {
+  return std::sqrt(SampleVariance());
+}
+
+RunningMoments MomentsOf(std::span<const double> values) {
+  RunningMoments moments;
+  for (double v : values) {
+    moments.Add(v);
+  }
+  return moments;
+}
+
+}  // namespace privapprox::stats

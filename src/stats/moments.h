@@ -1,0 +1,42 @@
+// Single-pass running moments (Welford) used to compute the sample variance
+// sigma^2 in the SRS variance estimator (Eq 4) and by the window aggregator.
+
+#ifndef PRIVAPPROX_STATS_MOMENTS_H_
+#define PRIVAPPROX_STATS_MOMENTS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace privapprox::stats {
+
+class RunningMoments {
+ public:
+  void Add(double x);
+
+  // Merges another accumulator (Chan's parallel combination), so per-worker
+  // partial moments can be reduced.
+  void Merge(const RunningMoments& other);
+
+  size_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  // Unbiased sample variance (n - 1 denominator); 0 for n < 2.
+  double SampleVariance() const;
+
+  // Population variance (n denominator); 0 for n < 1.
+  double PopulationVariance() const;
+
+  double SampleStdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Convenience: moments of a whole span.
+RunningMoments MomentsOf(std::span<const double> values);
+
+}  // namespace privapprox::stats
+
+#endif  // PRIVAPPROX_STATS_MOMENTS_H_

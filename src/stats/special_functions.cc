@@ -1,0 +1,240 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace privapprox::stats {
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta function
+// (Lentz's method, as in Numerical Recipes betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw std::invalid_argument("RegularizedIncompleteBeta: a, b must be > 0");
+  }
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= 1.0) {
+    return 1.0;
+  }
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                         a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_beta);
+  // Use the continued fraction directly for x < (a+1)/(a+b+2), else use the
+  // symmetry relation for faster convergence.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("NormalQuantile: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step against the true CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double StudentTCdf(double t, double df) {
+  if (df <= 0.0) {
+    throw std::invalid_argument("StudentTCdf: df must be > 0");
+  }
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("StudentTQuantile: p must be in (0, 1)");
+  }
+  if (df <= 0.0) {
+    throw std::invalid_argument("StudentTQuantile: df must be > 0");
+  }
+  if (df >= 1e6) {
+    return NormalQuantile(p);
+  }
+  if (p == 0.5) {
+    return 0.0;
+  }
+  // Start from the normal quantile with the Cornish-Fisher-style expansion,
+  // then polish with Newton iterations on the exact CDF.
+  const double z = NormalQuantile(p);
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5.0 * std::pow(z, 5) + 16.0 * z * z * z + 3.0 * z) / 96.0;
+  double t = z + g1 / df + g2 / (df * df);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double cdf = StudentTCdf(t, df);
+    // Student-t pdf at t.
+    const double ln_pdf = std::lgamma((df + 1.0) / 2.0) -
+                          std::lgamma(df / 2.0) -
+                          0.5 * std::log(df * M_PI) -
+                          (df + 1.0) / 2.0 * std::log1p(t * t / df);
+    const double pdf = std::exp(ln_pdf);
+    if (pdf <= 0.0) {
+      break;
+    }
+    const double step = (cdf - p) / pdf;
+    t -= step;
+    if (std::fabs(step) < 1e-12 * (1.0 + std::fabs(t))) {
+      break;
+    }
+  }
+  return t;
+}
+
+double RegularizedGammaP(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("RegularizedGammaP: need a > 0, x >= 0");
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+  const double ln_prefix = a * std::log(x) - x - std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = e^{-x} x^a / Gamma(a) * sum x^n / (a)_{n+1}.
+    double term = 1.0 / a;
+    double sum = term;
+    for (int n = 1; n < 500; ++n) {
+      term *= x / (a + n);
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) {
+        break;
+      }
+    }
+    return sum * std::exp(ln_prefix);
+  }
+  // Continued fraction for Q(a,x) (Lentz), then P = 1 - Q.
+  constexpr double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) {
+      break;
+    }
+  }
+  return 1.0 - std::exp(ln_prefix) * h;
+}
+
+double ChiSquareSurvival(double x, double df) {
+  if (df <= 0.0) {
+    throw std::invalid_argument("ChiSquareSurvival: df must be > 0");
+  }
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 - RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double StudentTCriticalValue(double confidence_level, double df) {
+  if (confidence_level <= 0.0 || confidence_level >= 1.0) {
+    throw std::invalid_argument(
+        "StudentTCriticalValue: confidence_level must be in (0, 1)");
+  }
+  const double alpha = 1.0 - confidence_level;
+  return StudentTQuantile(1.0 - alpha / 2.0, df);
+}
+
+}  // namespace privapprox::stats

@@ -1,0 +1,43 @@
+// Statistical special functions needed for the error-bound machinery (§3.2.4):
+// the t-distribution quantile used in Eq 3 (`t` at the 1 - alpha/2 level with
+// U' - 1 degrees of freedom) and the normal quantile used for large-sample
+// approximations. Implemented from scratch: regularized incomplete beta via
+// Lentz's continued fraction, normal quantile via Acklam's rational
+// approximation refined with one Halley step.
+
+#ifndef PRIVAPPROX_STATS_SPECIAL_FUNCTIONS_H_
+#define PRIVAPPROX_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace privapprox::stats {
+
+// Regularized incomplete beta function I_x(a, b), for a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+// Standard normal quantile (inverse CDF), p in (0, 1).
+double NormalQuantile(double p);
+
+// Student-t CDF with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+// Student-t quantile (inverse CDF), p in (0, 1), df > 0.
+// For df >= 1e6 falls back to the normal quantile.
+double StudentTQuantile(double p, double df);
+
+// Two-sided critical value t_{1 - alpha/2, df}: the multiplier in Eq 3 for a
+// (1 - alpha) confidence interval.
+double StudentTCriticalValue(double confidence_level, double df);
+
+// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0 (series for
+// x < a + 1, continued fraction otherwise).
+double RegularizedGammaP(double a, double x);
+
+// Chi-square survival function: P[X > x] for df degrees of freedom
+// (= 1 - P(df/2, x/2)). Used by the goodness-of-fit tests.
+double ChiSquareSurvival(double x, double df);
+
+}  // namespace privapprox::stats
+
+#endif  // PRIVAPPROX_STATS_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,87 @@
+#include "stats/srs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace privapprox::stats {
+
+double Estimate::RelativeError() const {
+  if (value == 0.0) {
+    return 0.0;
+  }
+  return error / std::fabs(value);
+}
+
+SrsSumEstimator::SrsSumEstimator(size_t population_size,
+                                 double confidence_level)
+    : population_size_(population_size), confidence_level_(confidence_level) {
+  if (population_size == 0) {
+    throw std::invalid_argument("SrsSumEstimator: population_size must be > 0");
+  }
+  if (confidence_level <= 0.0 || confidence_level >= 1.0) {
+    throw std::invalid_argument(
+        "SrsSumEstimator: confidence_level must be in (0, 1)");
+  }
+}
+
+void SrsSumEstimator::Add(double value) {
+  if (moments_.count() >= population_size_) {
+    throw std::logic_error("SrsSumEstimator: sample larger than population");
+  }
+  moments_.Add(value);
+}
+
+void SrsSumEstimator::Merge(const SrsSumEstimator& other) {
+  if (other.population_size_ != population_size_) {
+    throw std::invalid_argument("SrsSumEstimator::Merge: population mismatch");
+  }
+  moments_.Merge(other.moments_);
+  if (moments_.count() > population_size_) {
+    throw std::logic_error("SrsSumEstimator: merged sample exceeds population");
+  }
+}
+
+Estimate SrsSumEstimator::EstimateSum() const {
+  Estimate est;
+  est.confidence = confidence_level_;
+  est.sample_size = moments_.count();
+  const double u = static_cast<double>(population_size_);
+  const double u_prime = static_cast<double>(moments_.count());
+  if (moments_.count() == 0) {
+    return est;
+  }
+  // Eq 2: tau_hat = U/U' * sum(a_i) = U * mean.
+  est.value = u * moments_.Mean();
+  if (moments_.count() < 2) {
+    return est;
+  }
+  // Eq 4 with finite-population correction.
+  const double sigma2 = moments_.SampleVariance();
+  const double variance = (u * u / u_prime) * sigma2 * (u - u_prime) / u;
+  // Eq 3.
+  const double t = StudentTCriticalValue(confidence_level_, u_prime - 1.0);
+  est.error = t * std::sqrt(std::max(0.0, variance));
+  return est;
+}
+
+Estimate SrsSumEstimator::EstimateMean() const {
+  Estimate est = EstimateSum();
+  const double u = static_cast<double>(population_size_);
+  est.value /= u;
+  est.error /= u;
+  return est;
+}
+
+Estimate EstimatePopulationSum(std::span<const double> sample,
+                               size_t population_size,
+                               double confidence_level) {
+  SrsSumEstimator estimator(population_size, confidence_level);
+  for (double v : sample) {
+    estimator.Add(v);
+  }
+  return estimator.EstimateSum();
+}
+
+}  // namespace privapprox::stats

@@ -1,0 +1,71 @@
+// Simple Random Sampling estimator (paper §3.2.1, Eqs 2-4).
+//
+// Given a population of U clients of which a sample of U' answered, the
+// population sum is estimated as
+//     tau_hat = (U / U') * sum(a_i)                               (Eq 2)
+// with variance
+//     Var(tau_hat) = U^2 / U' * sigma^2 * (U - U') / U            (Eq 4)
+// (sigma^2 the sample variance, (U - U')/U the finite-population
+// correction) and a confidence bound
+//     error = t_{1-alpha/2, U'-1} * sqrt(Var(tau_hat))            (Eq 3).
+
+#ifndef PRIVAPPROX_STATS_SRS_H_
+#define PRIVAPPROX_STATS_SRS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "stats/moments.h"
+
+namespace privapprox::stats {
+
+// An estimate with a symmetric confidence bound: value +/- error.
+struct Estimate {
+  double value = 0.0;
+  double error = 0.0;         // margin at the stated confidence level
+  double confidence = 0.95;   // confidence level of `error`
+  size_t sample_size = 0;
+
+  double Lower() const { return value - error; }
+  double Upper() const { return value + error; }
+  // Relative error margin (error / |value|), 0 when value == 0.
+  double RelativeError() const;
+};
+
+// Streaming estimator for a population sum from an SRS sample.
+class SrsSumEstimator {
+ public:
+  // `population_size` is U; `confidence_level` governs the t critical value.
+  SrsSumEstimator(size_t population_size, double confidence_level = 0.95);
+
+  // Adds one sampled observation a_i.
+  void Add(double value);
+
+  // Merges a partial estimator over the same population (parallel workers).
+  void Merge(const SrsSumEstimator& other);
+
+  size_t sample_size() const { return moments_.count(); }
+  size_t population_size() const { return population_size_; }
+
+  // Current estimate of the population sum with its confidence bound.
+  // With fewer than 2 samples the error is reported as 0 (undefined
+  // variance); callers should treat tiny samples as low-confidence.
+  Estimate EstimateSum() const;
+
+  // Current estimate of the population mean.
+  Estimate EstimateMean() const;
+
+ private:
+  size_t population_size_;
+  double confidence_level_;
+  RunningMoments moments_;
+};
+
+// One-shot helper over a materialized sample.
+Estimate EstimatePopulationSum(std::span<const double> sample,
+                               size_t population_size,
+                               double confidence_level = 0.95);
+
+}  // namespace privapprox::stats
+
+#endif  // PRIVAPPROX_STATS_SRS_H_

@@ -1,0 +1,88 @@
+#include "stats/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace privapprox::stats {
+
+StratifiedSumEstimator::StratifiedSumEstimator(
+    std::vector<size_t> stratum_sizes, double confidence_level)
+    : confidence_level_(confidence_level) {
+  if (stratum_sizes.empty()) {
+    throw std::invalid_argument("StratifiedSumEstimator: no strata");
+  }
+  strata_.reserve(stratum_sizes.size());
+  for (size_t size : stratum_sizes) {
+    strata_.emplace_back(size, confidence_level);
+  }
+}
+
+void StratifiedSumEstimator::Add(size_t stratum, double value) {
+  if (stratum >= strata_.size()) {
+    throw std::out_of_range("StratifiedSumEstimator::Add: bad stratum");
+  }
+  strata_[stratum].Add(value);
+}
+
+Estimate StratifiedSumEstimator::EstimateSum() const {
+  Estimate combined;
+  combined.confidence = confidence_level_;
+  double variance_sum = 0.0;
+  double min_df = 1e18;
+  bool any_variance = false;
+  for (const auto& stratum : strata_) {
+    const Estimate est = stratum.EstimateSum();
+    combined.value += est.value;
+    combined.sample_size += est.sample_size;
+    if (est.sample_size >= 2) {
+      // Recover the stratum variance from its margin: error = t * sqrt(var).
+      const double t = StudentTCriticalValue(
+          confidence_level_, static_cast<double>(est.sample_size) - 1.0);
+      const double sd = est.error / t;
+      variance_sum += sd * sd;
+      min_df = std::min(min_df, static_cast<double>(est.sample_size) - 1.0);
+      any_variance = true;
+    }
+  }
+  if (any_variance) {
+    const double t = StudentTCriticalValue(confidence_level_, min_df);
+    combined.error = t * std::sqrt(variance_sum);
+  }
+  return combined;
+}
+
+std::vector<Estimate> StratifiedSumEstimator::PerStratumEstimates() const {
+  std::vector<Estimate> estimates;
+  estimates.reserve(strata_.size());
+  for (const auto& stratum : strata_) {
+    estimates.push_back(stratum.EstimateSum());
+  }
+  return estimates;
+}
+
+std::vector<size_t> ProportionalAllocation(
+    const std::vector<size_t>& stratum_sizes, size_t total_sample,
+    size_t min_per_stratum) {
+  size_t population = 0;
+  for (size_t size : stratum_sizes) {
+    population += size;
+  }
+  std::vector<size_t> allocation(stratum_sizes.size(), 0);
+  if (population == 0) {
+    return allocation;
+  }
+  for (size_t h = 0; h < stratum_sizes.size(); ++h) {
+    const double share = static_cast<double>(stratum_sizes[h]) /
+                         static_cast<double>(population);
+    size_t n_h = static_cast<size_t>(
+        std::llround(share * static_cast<double>(total_sample)));
+    n_h = std::max(n_h, min_per_stratum);
+    allocation[h] = std::min(n_h, stratum_sizes[h]);
+  }
+  return allocation;
+}
+
+}  // namespace privapprox::stats

@@ -1,0 +1,53 @@
+// Stratified sampling estimator — the tech-report extension of §3.2.1 for
+// client populations whose data streams follow different distributions.
+//
+// The population is partitioned into H strata of sizes U_h; each stratum is
+// sampled independently (SRS within stratum). The stratified estimator is
+//     tau_hat = sum_h (U_h / U'_h) * sum(a_hi)
+// with variance the sum of per-stratum SRS variances. This dominates plain
+// SRS whenever strata means differ (ablation `bench_ablation_stratified`).
+
+#ifndef PRIVAPPROX_STATS_STRATIFIED_H_
+#define PRIVAPPROX_STATS_STRATIFIED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/srs.h"
+
+namespace privapprox::stats {
+
+class StratifiedSumEstimator {
+ public:
+  // `stratum_sizes[h]` is U_h, the total client population of stratum h.
+  explicit StratifiedSumEstimator(std::vector<size_t> stratum_sizes,
+                                  double confidence_level = 0.95);
+
+  size_t num_strata() const { return strata_.size(); }
+
+  // Adds one sampled observation belonging to stratum `h`.
+  void Add(size_t stratum, double value);
+
+  // Sum over all strata with a combined confidence bound. The degrees of
+  // freedom use the conservative min over strata (Satterthwaite would be
+  // tighter; min-df never understates the error).
+  Estimate EstimateSum() const;
+
+  // Per-stratum sums, for inspecting the decomposition.
+  std::vector<Estimate> PerStratumEstimates() const;
+
+ private:
+  double confidence_level_;
+  std::vector<SrsSumEstimator> strata_;
+};
+
+// Proportional allocation: splits a total sample budget n across strata in
+// proportion to stratum sizes, each at least `min_per_stratum` (clamped to
+// stratum size). Returns per-stratum sample counts.
+std::vector<size_t> ProportionalAllocation(
+    const std::vector<size_t>& stratum_sizes, size_t total_sample,
+    size_t min_per_stratum = 2);
+
+}  // namespace privapprox::stats
+
+#endif  // PRIVAPPROX_STATS_STRATIFIED_H_

@@ -1,0 +1,42 @@
+#include "storage/crc32.h"
+
+#include <array>
+
+namespace privapprox::storage {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected 0x04C11DB7
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ Table()[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace privapprox::storage

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven) — integrity
+// checksum for the durable answer log's records.
+
+#ifndef PRIVAPPROX_STORAGE_CRC32_H_
+#define PRIVAPPROX_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privapprox::storage {
+
+// CRC of `len` bytes starting at `data`, with standard init/final xor.
+uint32_t Crc32(const void* data, size_t len);
+
+// Incremental form: continue a CRC previously returned by Crc32/Crc32Update.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace privapprox::storage
+
+#endif  // PRIVAPPROX_STORAGE_CRC32_H_

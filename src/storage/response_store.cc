@@ -1,0 +1,20 @@
+#include "storage/response_store.h"
+
+namespace privapprox::storage {
+
+void ResponseStore::Append(int64_t timestamp_ms, const BitVector& answer) {
+  entries_.push_back(Entry{timestamp_ms, answer});
+}
+
+std::vector<const ResponseStore::Entry*> ResponseStore::Range(
+    int64_t from_ms, int64_t to_ms) const {
+  std::vector<const Entry*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.timestamp_ms >= from_ms && entry.timestamp_ms < to_ms) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace privapprox::storage

@@ -1,0 +1,34 @@
+// In-memory time-ordered store of joined randomized answers — the working
+// set of historical analytics (§3.3.1). The durable SegmentedAnswerLog
+// loads ranges of itself into one of these for batch processing.
+
+#ifndef PRIVAPPROX_STORAGE_RESPONSE_STORE_H_
+#define PRIVAPPROX_STORAGE_RESPONSE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace privapprox::storage {
+
+class ResponseStore {
+ public:
+  void Append(int64_t timestamp_ms, const BitVector& answer);
+
+  size_t size() const { return entries_.size(); }
+
+  struct Entry {
+    int64_t timestamp_ms;
+    BitVector answer;
+  };
+  // Entries with timestamp in [from_ms, to_ms).
+  std::vector<const Entry*> Range(int64_t from_ms, int64_t to_ms) const;
+
+ private:
+  std::vector<Entry> entries_;  // append order == time order
+};
+
+}  // namespace privapprox::storage
+
+#endif  // PRIVAPPROX_STORAGE_RESPONSE_STORE_H_

@@ -1,0 +1,89 @@
+// Durable, segmented answer log — the HDFS stand-in of the historical
+// analytics pipeline (paper §3.3.1: "analyze users' responses stored in a
+// fault-tolerant distributed storage (e.g., HDFS) at the aggregator").
+//
+// Joined randomized answers append to size-bounded segment files under one
+// directory. Each record is length-prefixed and CRC-32 protected:
+//
+//   [u32 payload_len][u32 crc][i64 timestamp][u32 num_bits][answer bytes]
+//    \_____________ crc covers timestamp..answer bytes ______________/
+//
+// A crash can leave at most one torn record at the tail of the newest
+// segment; Open() detects it (short read or CRC mismatch), truncates it,
+// and continues appending. Older segments are immutable, so batch analytics
+// can scan them while the stream keeps appending to the active one.
+
+#ifndef PRIVAPPROX_STORAGE_SEGMENT_LOG_H_
+#define PRIVAPPROX_STORAGE_SEGMENT_LOG_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "storage/response_store.h"
+
+namespace privapprox::storage {
+
+class SegmentLogError : public std::runtime_error {
+ public:
+  explicit SegmentLogError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class SegmentedAnswerLog {
+ public:
+  struct Options {
+    // Rotate to a new segment once the active one exceeds this size.
+    uint64_t max_segment_bytes = 4 * 1024 * 1024;
+  };
+
+  // Opens (creating if needed) the log under `directory`. Recovers from a
+  // torn tail record by truncating it. Throws SegmentLogError on IO
+  // failures or unrecoverable corruption (a bad record that is not at the
+  // tail of the newest segment).
+  explicit SegmentedAnswerLog(std::filesystem::path directory);
+  SegmentedAnswerLog(std::filesystem::path directory, Options options);
+  ~SegmentedAnswerLog();
+
+  SegmentedAnswerLog(const SegmentedAnswerLog&) = delete;
+  SegmentedAnswerLog& operator=(const SegmentedAnswerLog&) = delete;
+
+  // Appends one answer; buffered, call Sync() to force it to disk.
+  void Append(int64_t timestamp_ms, const BitVector& answer);
+
+  // Flushes the active segment.
+  void Sync();
+
+  size_t num_records() const { return num_records_; }
+  size_t num_segments() const { return segment_names_.size(); }
+  const std::filesystem::path& directory() const { return directory_; }
+
+  // Loads every record with timestamp in [from_ms, to_ms) into an in-memory
+  // ResponseStore for batch analytics. Reads through the OS cache; the
+  // active segment is flushed first.
+  ResponseStore LoadRange(int64_t from_ms, int64_t to_ms);
+
+ private:
+  void OpenActiveSegment();
+  void RotateIfNeeded();
+  // Scans one segment; appends its valid records to `store` (filtered to
+  // the time range). Returns the byte offset of the first invalid record,
+  // or the file size if all records are valid.
+  uint64_t ScanSegment(const std::filesystem::path& path,
+                       ResponseStore* store, int64_t from_ms,
+                       int64_t to_ms, size_t* records_seen) const;
+
+  std::filesystem::path directory_;
+  Options options_;
+  std::vector<std::string> segment_names_;  // sorted, oldest first
+  std::ofstream active_;
+  uint64_t active_bytes_ = 0;
+  size_t num_records_ = 0;
+};
+
+}  // namespace privapprox::storage
+
+#endif  // PRIVAPPROX_STORAGE_SEGMENT_LOG_H_

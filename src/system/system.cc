@@ -1,0 +1,209 @@
+#include "system/system.h"
+
+#include "core/query_wire.h"
+
+#include <stdexcept>
+
+namespace privapprox::system {
+
+PrivApproxSystem::PrivApproxSystem(SystemConfig config)
+    : config_(config), historical_rng_(config.seed ^ 0xA5A5A5A5ULL) {
+  if (config.num_clients == 0) {
+    throw std::invalid_argument("PrivApproxSystem: need >= 1 client");
+  }
+  if (config.num_proxies < 2) {
+    throw std::invalid_argument("PrivApproxSystem: need >= 2 proxies");
+  }
+  proxies_.reserve(config.num_proxies);
+  for (size_t i = 0; i < config.num_proxies; ++i) {
+    proxies_.push_back(std::make_unique<proxy::Proxy>(
+        proxy::ProxyConfig{i, /*num_partitions=*/4}, broker_));
+  }
+  clients_.reserve(config.num_clients);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    clients_.push_back(std::make_unique<client::Client>(client::ClientConfig{
+        /*client_id=*/i, config.num_proxies, config.seed,
+        config.invert_answers}));
+  }
+}
+
+PrivApproxSystem::~PrivApproxSystem() = default;
+
+core::ExecutionParams PrivApproxSystem::SubmitQuery(
+    const core::Query& query, const core::QueryBudget& budget,
+    double expected_yes_fraction) {
+  const core::BudgetInitializer initializer;
+  const core::ExecutionParams params = initializer.Convert(
+      budget,
+      core::PopulationInfo{clients_.size(), expected_yes_fraction});
+  SubmitQuery(query, params);
+  return params;
+}
+
+void PrivApproxSystem::SubmitQuery(const core::Query& query,
+                                   const core::ExecutionParams& params) {
+  params.Validate();
+  if (!query.VerifySignature()) {
+    throw std::invalid_argument("PrivApproxSystem: query signature invalid");
+  }
+  query_ = query;
+  params_ = params;
+
+  // Submission phase (§3.1): the announcement travels aggregator -> proxy
+  // query topics -> clients as opaque bytes; every client re-parses and
+  // re-verifies it locally.
+  const std::vector<uint8_t> announcement =
+      core::SerializeAnnouncement(core::QueryAnnouncement{query, params});
+  for (auto& proxy : proxies_) {
+    proxy->AnnounceQuery(announcement, /*timestamp_ms=*/0);
+    proxy->ForwardQueries();
+  }
+  for (size_t p = 0; p < proxies_.size(); ++p) {
+    broker::Consumer consumer(
+        broker_.GetTopic(proxies_[p]->query_out_topic()));
+    std::vector<broker::Record> records = consumer.Poll(16);
+    if (records.empty()) {
+      throw std::logic_error("PrivApproxSystem: query distribution failed");
+    }
+    const std::vector<uint8_t>& bytes = records.back().payload;
+    for (size_t i = p; i < clients_.size(); i += proxies_.size()) {
+      clients_[i]->OnAnnouncement(bytes);
+    }
+  }
+  aggregator::AggregatorConfig agg_config;
+  agg_config.num_proxies = config_.num_proxies;
+  agg_config.population = clients_.size();
+  agg_config.confidence = config_.confidence;
+  agg_config.answers_inverted = config_.invert_answers;
+  aggregator_ = std::make_unique<aggregator::Aggregator>(
+      agg_config, query, params, broker_,
+      [this](const aggregator::WindowedResult& result) {
+        results_.push_back(result);
+      });
+  if (config_.enable_historical) {
+    if (!config_.historical_dir.empty() && historical_log_ == nullptr) {
+      historical_log_ = std::make_unique<storage::SegmentedAnswerLog>(
+          std::filesystem::path(config_.historical_dir));
+    }
+    aggregator_->set_answer_tap(
+        [this](int64_t timestamp_ms, const BitVector& answer) {
+          if (historical_log_ != nullptr) {
+            historical_log_->Append(timestamp_ms, answer);
+          } else {
+            historical_store_.Append(timestamp_ms, answer);
+          }
+        });
+  }
+}
+
+void PrivApproxSystem::UpdateParams(const core::ExecutionParams& params) {
+  if (!query_.has_value() || aggregator_ == nullptr) {
+    throw std::logic_error("PrivApproxSystem::UpdateParams: no active query");
+  }
+  params.Validate();
+  params_ = params;
+  const std::vector<uint8_t> announcement =
+      core::SerializeAnnouncement(core::QueryAnnouncement{*query_, params});
+  for (auto& proxy : proxies_) {
+    proxy->AnnounceQuery(announcement, 0);
+    proxy->ForwardQueries();
+  }
+  for (size_t p = 0; p < proxies_.size(); ++p) {
+    broker::Consumer consumer(
+        broker_.GetTopic(proxies_[p]->query_out_topic()));
+    std::vector<broker::Record> records;
+    for (;;) {
+      auto batch = consumer.Poll(64);
+      if (batch.empty()) {
+        break;
+      }
+      for (auto& r : batch) {
+        records.push_back(std::move(r));
+      }
+    }
+    if (records.empty()) {
+      throw std::logic_error("PrivApproxSystem: parameter update failed");
+    }
+    const std::vector<uint8_t>& bytes = records.back().payload;
+    for (size_t i = p; i < clients_.size(); i += proxies_.size()) {
+      clients_[i]->OnAnnouncement(bytes);
+    }
+  }
+  aggregator_->UpdateParams(params);
+}
+
+EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
+  if (!aggregator_) {
+    throw std::logic_error("PrivApproxSystem::RunEpoch: no query submitted");
+  }
+  EpochStats stats;
+  for (auto& client : clients_) {
+    std::optional<client::EpochAnswer> answer = client->AnswerQuery(now_ms);
+    if (!answer.has_value()) {
+      continue;
+    }
+    ++stats.participants;
+    for (size_t i = 0; i < answer->shares.size(); ++i) {
+      proxies_[i]->Receive(answer->shares[i], answer->timestamp_ms);
+      ++stats.shares_sent;
+    }
+  }
+  for (auto& proxy : proxies_) {
+    stats.shares_forwarded += proxy->Forward();
+  }
+  stats.shares_consumed = aggregator_->Drain();
+  return stats;
+}
+
+void PrivApproxSystem::AdvanceWatermark(int64_t watermark_ms) {
+  if (aggregator_) {
+    aggregator_->AdvanceWatermark(watermark_ms);
+  }
+}
+
+void PrivApproxSystem::Flush() {
+  if (aggregator_) {
+    aggregator_->Flush();
+  }
+}
+
+std::vector<aggregator::WindowedResult> PrivApproxSystem::TakeResults() {
+  std::vector<aggregator::WindowedResult> out = std::move(results_);
+  results_.clear();
+  return out;
+}
+
+uint64_t PrivApproxSystem::ClientToProxyBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& proxy : proxies_) {
+    bytes += broker_.GetTopic(proxy->in_topic()).metrics().bytes_in;
+  }
+  return bytes;
+}
+
+core::QueryResult PrivApproxSystem::RunHistorical(
+    int64_t from_ms, int64_t to_ms,
+    const aggregator::BatchQueryBudget& budget) {
+  if (!config_.enable_historical) {
+    throw std::logic_error(
+        "PrivApproxSystem::RunHistorical: historical store disabled");
+  }
+  if (!query_.has_value() || !params_.has_value()) {
+    throw std::logic_error("PrivApproxSystem::RunHistorical: no query");
+  }
+  if (historical_log_ != nullptr) {
+    // Durable path: read back from the segmented log on disk.
+    const aggregator::ResponseStore store =
+        historical_log_->LoadRange(from_ms, to_ms);
+    const aggregator::HistoricalAnalytics analytics(
+        store, *params_, clients_.size(), config_.confidence);
+    return analytics.Run(from_ms, to_ms, budget, historical_rng_,
+                         query_->answer_format.num_buckets());
+  }
+  const aggregator::HistoricalAnalytics analytics(
+      historical_store_, *params_, clients_.size(), config_.confidence);
+  return analytics.Run(from_ms, to_ms, budget, historical_rng_,
+                       query_->answer_format.num_buckets());
+}
+
+}  // namespace privapprox::system

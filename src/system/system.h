@@ -1,0 +1,120 @@
+// End-to-end wiring: clients + proxies + aggregator + analyst interface
+// (paper Figure 3). This is the facade examples and case-study benches use.
+//
+// The driving model is discrete epochs: the harness feeds client databases,
+// then calls RunEpoch(now) once per answer period. Each epoch runs the full
+// pipeline — sampling/randomization/splitting at every client, transmission
+// through every proxy, join/decrypt/window at the aggregator — and window
+// results surface through the analyst callback once the event-time
+// watermark passes their end.
+
+#ifndef PRIVAPPROX_SYSTEM_SYSTEM_H_
+#define PRIVAPPROX_SYSTEM_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aggregator/aggregator.h"
+#include "aggregator/historical.h"
+#include "broker/broker.h"
+#include "client/client.h"
+#include "core/budget.h"
+#include "core/query.h"
+#include "proxy/proxy.h"
+#include "storage/segment_log.h"
+
+namespace privapprox::system {
+
+struct SystemConfig {
+  size_t num_clients = 100;
+  size_t num_proxies = 2;
+  uint64_t seed = 42;
+  double confidence = 0.95;
+  // Tee joined answers into the historical store (§3.3.1).
+  bool enable_historical = false;
+  // When non-empty (and historical is enabled), persist the historical
+  // store to a durable segmented log under this directory — the HDFS
+  // stand-in — instead of keeping it only in memory. RunHistorical then
+  // reads back from disk.
+  std::string historical_dir;
+  // Clients answer the inverted query (§3.3.2).
+  bool invert_answers = false;
+};
+
+struct EpochStats {
+  size_t participants = 0;   // clients that passed the sampling coin
+  uint64_t shares_sent = 0;  // client -> proxy messages
+  uint64_t shares_forwarded = 0;
+  uint64_t shares_consumed = 0;
+};
+
+class PrivApproxSystem {
+ public:
+  explicit PrivApproxSystem(SystemConfig config);
+  ~PrivApproxSystem();
+
+  size_t num_clients() const { return clients_.size(); }
+  client::Client& client(size_t index) { return *clients_[index]; }
+
+  // Analyst entry point: converts the budget into execution parameters via
+  // the initializer and distributes the query to all clients. Returns the
+  // chosen parameters.
+  core::ExecutionParams SubmitQuery(const core::Query& query,
+                                    const core::QueryBudget& budget,
+                                    double expected_yes_fraction = 0.5);
+
+  // Variant with explicit parameters (micro-benchmarks sweep them directly).
+  void SubmitQuery(const core::Query& query,
+                   const core::ExecutionParams& params);
+
+  // Redistributes re-tuned execution parameters for the active query (§5
+  // feedback loop) without disturbing in-flight window state: a fresh
+  // announcement reaches every client and the aggregator's estimator
+  // switches to the new (s, p, q).
+  void UpdateParams(const core::ExecutionParams& params);
+
+  // Runs one answering epoch at `now_ms`.
+  EpochStats RunEpoch(int64_t now_ms);
+
+  // Advances the watermark; fires completed windows into results().
+  void AdvanceWatermark(int64_t watermark_ms);
+  // Fires everything pending (end of run).
+  void Flush();
+
+  const std::vector<aggregator::WindowedResult>& results() const {
+    return results_;
+  }
+  std::vector<aggregator::WindowedResult> TakeResults();
+
+  // Bytes produced by clients into proxy inbound topics so far — the
+  // client->proxy network traffic of Fig 9a.
+  uint64_t ClientToProxyBytes() const;
+
+  // Historical analytics over everything collected so far (§3.3.1);
+  // requires enable_historical.
+  core::QueryResult RunHistorical(int64_t from_ms, int64_t to_ms,
+                                  const aggregator::BatchQueryBudget& budget);
+
+  broker::Broker& broker() { return broker_; }
+  aggregator::Aggregator& aggregator() { return *aggregator_; }
+
+ private:
+  SystemConfig config_;
+  broker::Broker broker_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
+  std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
+  std::unique_ptr<aggregator::Aggregator> aggregator_;
+  std::optional<core::Query> query_;
+  std::optional<core::ExecutionParams> params_;
+  std::vector<aggregator::WindowedResult> results_;
+  aggregator::ResponseStore historical_store_;
+  std::unique_ptr<storage::SegmentedAnswerLog> historical_log_;
+  Xoshiro256 historical_rng_;
+};
+
+}  // namespace privapprox::system
+
+#endif  // PRIVAPPROX_SYSTEM_SYSTEM_H_

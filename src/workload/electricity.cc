@@ -1,0 +1,63 @@
+#include "workload/electricity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privapprox::workload {
+namespace {
+
+constexpr double kMeanKwh = 1.1;
+constexpr double kStdDevKwh = 0.55;
+constexpr double kMaxKwh = 3.0;
+
+}  // namespace
+
+ElectricityGenerator::ElectricityGenerator(uint64_t seed) : rng_(seed) {}
+
+double ElectricityGenerator::NextConsumptionKwh() {
+  // Truncated normal via rejection into [0, kMaxKwh].
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = kMeanKwh + kStdDevKwh * rng_.NextGaussian();
+    if (x >= 0.0 && x <= kMaxKwh) {
+      return x;
+    }
+  }
+  return std::clamp(kMeanKwh, 0.0, kMaxKwh);
+}
+
+void ElectricityGenerator::PopulateClient(localdb::Database& db,
+                                          int64_t from_ms, int64_t to_ms,
+                                          int64_t interval_ms) {
+  localdb::Table& table = db.HasTable("meter")
+                              ? db.GetTable("meter")
+                              : db.CreateTable("meter", {"kwh"});
+  for (int64_t ts = from_ms; ts < to_ms; ts += interval_ms) {
+    // Scale the 30-minute distribution down to one reading per interval so
+    // the windowed SUM lands back on the 30-minute distribution.
+    const double intervals_per_30min =
+        static_cast<double>(30 * 60 * 1000) / static_cast<double>(interval_ms);
+    table.Insert(ts,
+                 {localdb::Value(NextConsumptionKwh() / intervals_per_30min)});
+  }
+}
+
+core::Query ElectricityGenerator::MakeUsageQuery(uint64_t query_id,
+                                                 int64_t window_ms,
+                                                 int64_t slide_ms) {
+  return core::QueryBuilder()
+      .WithId(query_id)
+      .WithAnalyst(2)
+      .WithSql("SELECT SUM(kwh) FROM meter")
+      .WithAnswerFormat(UsageBuckets())
+      .WithFrequencyMs(slide_ms)
+      .WithWindowMs(window_ms)
+      .WithSlideMs(slide_ms)
+      .Build();
+}
+
+core::AnswerFormat ElectricityGenerator::UsageBuckets() {
+  // 6 buckets of 0.5 kWh over [0, 3).
+  return core::AnswerFormat::UniformNumeric(0.0, 3.0, 6);
+}
+
+}  // namespace privapprox::workload

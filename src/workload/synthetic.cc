@@ -1,0 +1,74 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace privapprox::workload {
+
+std::vector<bool> BinaryAnswers(size_t count, double yes_fraction,
+                                Xoshiro256& rng) {
+  if (yes_fraction < 0.0 || yes_fraction > 1.0) {
+    throw std::invalid_argument("BinaryAnswers: yes_fraction in [0,1]");
+  }
+  const size_t yes =
+      static_cast<size_t>(std::llround(static_cast<double>(count) * yes_fraction));
+  std::vector<bool> answers(count, false);
+  for (size_t i = 0; i < yes && i < count; ++i) {
+    answers[i] = true;
+  }
+  // Fisher-Yates shuffle.
+  for (size_t i = count; i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(i));
+    const bool tmp = answers[i - 1];
+    answers[i - 1] = answers[j];
+    answers[j] = tmp;
+  }
+  return answers;
+}
+
+std::vector<BitVector> BucketAnswers(
+    size_t count, const std::vector<double>& bucket_probabilities,
+    Xoshiro256& rng) {
+  if (bucket_probabilities.empty()) {
+    throw std::invalid_argument("BucketAnswers: need >= 1 bucket");
+  }
+  const double total = std::accumulate(bucket_probabilities.begin(),
+                                       bucket_probabilities.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("BucketAnswers: probabilities sum to 0");
+  }
+  std::vector<BitVector> answers;
+  answers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble() * total;
+    double cumulative = 0.0;
+    size_t bucket = bucket_probabilities.size() - 1;
+    for (size_t b = 0; b < bucket_probabilities.size(); ++b) {
+      cumulative += bucket_probabilities[b];
+      if (u < cumulative) {
+        bucket = b;
+        break;
+      }
+    }
+    BitVector answer(bucket_probabilities.size());
+    answer.Set(bucket, true);
+    answers.push_back(std::move(answer));
+  }
+  return answers;
+}
+
+Histogram ExactCounts(const std::vector<BitVector>& answers,
+                      size_t num_buckets) {
+  Histogram hist(num_buckets);
+  for (const BitVector& answer : answers) {
+    for (size_t b = 0; b < answer.size() && b < num_buckets; ++b) {
+      if (answer.Get(b)) {
+        hist.Add(b);
+      }
+    }
+  }
+  return hist;
+}
+
+}  // namespace privapprox::workload

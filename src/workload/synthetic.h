@@ -1,0 +1,39 @@
+// Synthetic answer populations for the microbenchmarks (§6).
+//
+// The microbenchmarks operate on "10,000 original answers, 60% of which are
+// 'Yes' answers" — i.e. a population of single-bit truthful answers with a
+// controlled yes-fraction. This generator produces exactly that, plus
+// multi-bucket populations with a chosen bucket distribution.
+
+#ifndef PRIVAPPROX_WORKLOAD_SYNTHETIC_H_
+#define PRIVAPPROX_WORKLOAD_SYNTHETIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace privapprox::workload {
+
+// `count` single-bit truthful answers with exactly
+// round(count * yes_fraction) "yes" entries, in shuffled order.
+std::vector<bool> BinaryAnswers(size_t count, double yes_fraction,
+                                Xoshiro256& rng);
+
+// `count` one-hot truthful answers over `bucket_probabilities.size()`
+// buckets, bucket chosen i.i.d. from the given distribution (need not sum
+// to 1; it is normalized).
+std::vector<BitVector> BucketAnswers(
+    size_t count, const std::vector<double>& bucket_probabilities,
+    Xoshiro256& rng);
+
+// Exact per-bucket counts of a set of answers (the ground truth the
+// accuracy-loss metric compares against).
+Histogram ExactCounts(const std::vector<BitVector>& answers,
+                      size_t num_buckets);
+
+}  // namespace privapprox::workload
+
+#endif  // PRIVAPPROX_WORKLOAD_SYNTHETIC_H_

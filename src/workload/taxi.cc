@@ -1,0 +1,84 @@
+#include "workload/taxi.h"
+
+#include <array>
+#include <cmath>
+
+namespace privapprox::workload {
+namespace {
+
+// Log-normal parameters: sigma = 1.0 and mu chosen so that
+// P[X < 1] = Phi(-mu) = 0.3357 -> mu = 0.4247.
+constexpr double kMu = 0.4247;
+constexpr double kSigma = 1.0;
+
+constexpr std::array<const char*, 5> kBoroughs = {
+    "manhattan", "brooklyn", "queens", "bronx", "staten_island"};
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+TaxiGenerator::TaxiGenerator(uint64_t seed) : rng_(seed) {}
+
+TaxiRide TaxiGenerator::NextRide(int64_t from_ms, int64_t to_ms) {
+  TaxiRide ride;
+  ride.distance_miles = rng_.NextLogNormal(kMu, kSigma);
+  // Fare model: $2.50 flag drop + $2.50/mile with noise.
+  ride.fare_usd =
+      2.5 + 2.5 * ride.distance_miles + 0.5 * rng_.NextGaussian();
+  ride.pickup_ms = rng_.NextInRange(from_ms, to_ms - 1);
+  ride.borough =
+      kBoroughs[static_cast<size_t>(rng_.NextBounded(kBoroughs.size()))];
+  return ride;
+}
+
+void TaxiGenerator::PopulateClient(localdb::Database& db,
+                                   size_t rides_per_client, int64_t from_ms,
+                                   int64_t to_ms) {
+  localdb::Table& table =
+      db.HasTable("rides")
+          ? db.GetTable("rides")
+          : db.CreateTable("rides", {"distance", "fare", "borough"});
+  for (size_t i = 0; i < rides_per_client; ++i) {
+    const TaxiRide ride = NextRide(from_ms, to_ms);
+    table.Insert(ride.pickup_ms, {localdb::Value(ride.distance_miles),
+                                  localdb::Value(ride.fare_usd),
+                                  localdb::Value(ride.borough)});
+  }
+}
+
+core::Query TaxiGenerator::MakeDistanceQuery(uint64_t query_id,
+                                             int64_t window_ms,
+                                             int64_t slide_ms) {
+  return core::QueryBuilder()
+      .WithId(query_id)
+      .WithAnalyst(1)
+      .WithSql("SELECT distance FROM rides")
+      .WithAnswerFormat(DistanceBuckets())
+      .WithFrequencyMs(slide_ms)
+      .WithWindowMs(window_ms)
+      .WithSlideMs(slide_ms)
+      .Build();
+}
+
+core::AnswerFormat TaxiGenerator::DistanceBuckets() {
+  // [0,1), [1,2), ..., [9,10), [10, +inf): 11 buckets as in §7.1.
+  return core::AnswerFormat::UniformNumeric(0.0, 10.0, 10,
+                                            /*with_overflow=*/true);
+}
+
+std::vector<double> TaxiGenerator::TrueBucketProbabilities() {
+  std::vector<double> probs;
+  probs.reserve(11);
+  double previous_cdf = 0.0;
+  for (int edge = 1; edge <= 10; ++edge) {
+    const double cdf =
+        NormalCdf((std::log(static_cast<double>(edge)) - kMu) / kSigma);
+    probs.push_back(cdf - previous_cdf);
+    previous_cdf = cdf;
+  }
+  probs.push_back(1.0 - previous_cdf);  // overflow bucket
+  return probs;
+}
+
+}  // namespace privapprox::workload

@@ -1,0 +1,59 @@
+// NYC Taxi Ride workload (case study 1, §7).
+//
+// Stand-in for the DEBS 2015 Grand Challenge dataset: synthetic rides whose
+// trip-distance distribution matches the published marginals — the paper's
+// utility analysis notes that "the fraction of truthful 'Yes' answers in the
+// dataset is 33.57%" for the dominant bucket, which a log-normal with
+// median ~1.53 miles reproduces (P[X < 1 mile] ~= 0.336).
+//
+// The case-study query: "What is the distance distribution of taxi rides in
+// New York?" with 11 buckets: [0,1), [1,2), ..., [9,10), [10, +inf) miles.
+
+#ifndef PRIVAPPROX_WORKLOAD_TAXI_H_
+#define PRIVAPPROX_WORKLOAD_TAXI_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/query.h"
+#include "localdb/database.h"
+
+namespace privapprox::workload {
+
+struct TaxiRide {
+  double distance_miles = 0.0;
+  double fare_usd = 0.0;
+  int64_t pickup_ms = 0;
+  std::string borough;
+};
+
+class TaxiGenerator {
+ public:
+  explicit TaxiGenerator(uint64_t seed);
+
+  // One synthetic ride picked up in [from_ms, to_ms).
+  TaxiRide NextRide(int64_t from_ms, int64_t to_ms);
+
+  // Creates the client-side `rides` table (distance, fare, borough) and
+  // fills it with `rides_per_client` rides in the given time range.
+  void PopulateClient(localdb::Database& db, size_t rides_per_client,
+                      int64_t from_ms, int64_t to_ms);
+
+  // The case-study query over the `rides` table.
+  static core::Query MakeDistanceQuery(uint64_t query_id, int64_t window_ms,
+                                       int64_t slide_ms);
+
+  // Answer format: 11 distance buckets.
+  static core::AnswerFormat DistanceBuckets();
+
+  // Exact bucket probabilities of the generator's distance distribution
+  // (closed-form from the log-normal), for ground-truth comparisons.
+  static std::vector<double> TrueBucketProbabilities();
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace privapprox::workload
+
+#endif  // PRIVAPPROX_WORKLOAD_TAXI_H_

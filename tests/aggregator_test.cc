@@ -1,0 +1,326 @@
+// Tests for the aggregator: join -> decrypt -> window -> estimate, plus the
+// historical batch path with second-round sampling.
+
+#include <gtest/gtest.h>
+
+#include "aggregator/aggregator.h"
+#include <cmath>
+
+#include "aggregator/historical.h"
+#include "broker/broker.h"
+#include "client/client.h"
+#include "proxy/proxy.h"
+
+namespace privapprox::aggregator {
+namespace {
+
+core::Query MakeQuery() {
+  return core::QueryBuilder()
+      .WithId(1)
+      .WithSql("SELECT speed FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(1000)
+      .WithWindowMs(10000)
+      .WithSlideMs(10000)
+      .Build();
+}
+
+core::ExecutionParams NoNoiseParams() {
+  core::ExecutionParams params;
+  params.sampling_fraction = 1.0;
+  params.randomization = {1.0, 0.5};
+  return params;
+}
+
+struct Harness {
+  explicit Harness(size_t population, core::ExecutionParams params,
+                   bool inverted = false)
+      : query(MakeQuery()),
+        proxy0(proxy::ProxyConfig{0, 2}, broker),
+        proxy1(proxy::ProxyConfig{1, 2}, broker) {
+    AggregatorConfig config;
+    config.num_proxies = 2;
+    config.population = population;
+    config.answers_inverted = inverted;
+    aggregator = std::make_unique<Aggregator>(
+        config, query, params, broker,
+        [this](const WindowedResult& r) { results.push_back(r); });
+  }
+
+  // Ships one client answer (already-built shares) through both proxies.
+  void Ship(const std::vector<crypto::MessageShare>& shares, int64_t ts) {
+    proxy0.Receive(shares[0], ts);
+    proxy1.Receive(shares[1], ts);
+  }
+
+  void Pump() {
+    proxy0.Forward();
+    proxy1.Forward();
+    aggregator->Drain();
+  }
+
+  broker::Broker broker;
+  core::Query query;
+  proxy::Proxy proxy0;
+  proxy::Proxy proxy1;
+  std::unique_ptr<Aggregator> aggregator;
+  std::vector<WindowedResult> results;
+};
+
+client::Client MakeClient(uint64_t id, double speed) {
+  client::Client c(client::ClientConfig{id, 2, 99});
+  c.database().CreateTable("vehicle", {"speed"})
+      .Insert(500, {localdb::Value(speed)});
+  return c;
+}
+
+TEST(AggregatorTest, EndToEndExactWhenNoNoise) {
+  const size_t population = 50;
+  Harness harness(population, NoNoiseParams());
+  // 50 clients: 30 at 15 mph (bucket 1), 20 at 42 mph (bucket 4).
+  for (size_t i = 0; i < population; ++i) {
+    client::Client c = MakeClient(i, i < 30 ? 15.0 : 42.0);
+    c.Subscribe(harness.query, NoNoiseParams());
+    const auto answer = c.AnswerQuery(5000);
+    ASSERT_TRUE(answer.has_value());
+    harness.Ship(answer->shares, answer->timestamp_ms);
+  }
+  harness.Pump();
+  harness.aggregator->AdvanceWatermark(10000);
+  ASSERT_EQ(harness.results.size(), 1u);
+  const core::QueryResult& result = harness.results[0].result;
+  EXPECT_EQ(result.participants, population);
+  EXPECT_NEAR(result.buckets[1].estimate.value, 30.0, 1e-9);
+  EXPECT_NEAR(result.buckets[4].estimate.value, 20.0, 1e-9);
+  EXPECT_NEAR(result.buckets[0].estimate.value, 0.0, 1e-9);
+  EXPECT_EQ(harness.aggregator->join_stats().joined, population);
+}
+
+TEST(AggregatorTest, WindowsFireOnlyPastWatermark) {
+  Harness harness(10, NoNoiseParams());
+  client::Client c = MakeClient(0, 15.0);
+  c.Subscribe(harness.query, NoNoiseParams());
+  const auto answer = c.AnswerQuery(5000);
+  harness.Ship(answer->shares, answer->timestamp_ms);
+  harness.Pump();
+  harness.aggregator->AdvanceWatermark(9999);
+  EXPECT_TRUE(harness.results.empty());
+  harness.aggregator->AdvanceWatermark(10000);
+  EXPECT_EQ(harness.results.size(), 1u);
+}
+
+TEST(AggregatorTest, FlushFiresPendingWindows) {
+  Harness harness(10, NoNoiseParams());
+  client::Client c = MakeClient(0, 15.0);
+  c.Subscribe(harness.query, NoNoiseParams());
+  const auto answer = c.AnswerQuery(5000);
+  harness.Ship(answer->shares, answer->timestamp_ms);
+  harness.Pump();
+  harness.aggregator->Flush();
+  EXPECT_EQ(harness.results.size(), 1u);
+}
+
+TEST(AggregatorTest, MalformedSharesAreCountedAndDropped) {
+  Harness harness(10, NoNoiseParams());
+  // Feed garbage directly into the proxy path: two shares whose combined
+  // payload is too short for an AnswerMessage.
+  harness.Ship({crypto::MessageShare{77, {1, 2}},
+                crypto::MessageShare{77, {3, 4}}},
+               100);
+  harness.Pump();
+  EXPECT_EQ(harness.aggregator->malformed_dropped(), 1u);
+  harness.aggregator->Flush();
+  EXPECT_TRUE(harness.results.empty());
+}
+
+TEST(AggregatorTest, WrongQueryIdIsDropped) {
+  Harness harness(10, NoNoiseParams());
+  // A valid message for a different query id.
+  crypto::AnswerMessage message{/*query_id=*/999, BitVector(11)};
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(3, 0));
+  harness.Ship(splitter.Split(message.Serialize()), 100);
+  harness.Pump();
+  EXPECT_EQ(harness.aggregator->wrong_query_dropped(), 1u);
+}
+
+TEST(AggregatorTest, WrongWidthAnswerIsDropped) {
+  Harness harness(10, NoNoiseParams());
+  crypto::AnswerMessage message{/*query_id=*/1, BitVector(5)};  // wrong width
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(4, 0));
+  harness.Ship(splitter.Split(message.Serialize()), 100);
+  harness.Pump();
+  EXPECT_EQ(harness.aggregator->wrong_query_dropped(), 1u);
+}
+
+TEST(AggregatorTest, LostShareNeverJoins) {
+  Harness harness(10, NoNoiseParams());
+  client::Client c = MakeClient(0, 15.0);
+  c.Subscribe(harness.query, NoNoiseParams());
+  const auto answer = c.AnswerQuery(5000);
+  // Only proxy 0 receives its share; proxy 1's is lost.
+  harness.proxy0.Receive(answer->shares[0], 5000);
+  harness.Pump();
+  EXPECT_EQ(harness.aggregator->join_stats().joined, 0u);
+  harness.aggregator->AdvanceWatermark(100000);
+  // No complete message ever entered a window: nothing fires, and the
+  // partial group is eventually evicted by the join timeout.
+  EXPECT_TRUE(harness.results.empty());
+  EXPECT_EQ(harness.aggregator->join_stats().evicted_partial, 1u);
+}
+
+TEST(AggregatorTest, DebiasesRandomizedAnswers) {
+  // With RR on and many answers, the de-biased estimate approaches truth.
+  const size_t population = 3000;
+  core::ExecutionParams params;
+  params.sampling_fraction = 1.0;
+  params.randomization = {0.5, 0.5};
+  Harness harness(population, params);
+  for (size_t i = 0; i < population; ++i) {
+    client::Client c = MakeClient(i, i < 1800 ? 15.0 : 42.0);  // 60% bucket 1
+    c.Subscribe(harness.query, params);
+    const auto answer = c.AnswerQuery(5000);
+    harness.Ship(answer->shares, answer->timestamp_ms);
+  }
+  harness.Pump();
+  harness.aggregator->Flush();
+  ASSERT_EQ(harness.results.size(), 1u);
+  const auto& buckets = harness.results[0].result.buckets;
+  EXPECT_NEAR(buckets[1].estimate.value, 1800.0, 150.0);
+  EXPECT_NEAR(buckets[4].estimate.value, 1200.0, 150.0);
+  // Error bars should cover the truth.
+  EXPECT_LE(std::fabs(buckets[1].estimate.value - 1800.0),
+            buckets[1].estimate.error * 1.5);
+}
+
+TEST(AggregatorTest, InvertedModeRecoversYesCounts) {
+  const size_t population = 40;
+  Harness harness(population, NoNoiseParams(), /*inverted=*/true);
+  for (size_t i = 0; i < population; ++i) {
+    client::Client c = [&] {
+      client::ClientConfig config;
+      config.client_id = i;
+      config.num_proxies = 2;
+      config.seed = 99;
+      config.invert_answers = true;
+      client::Client cl(config);
+      cl.database().CreateTable("vehicle", {"speed"})
+          .Insert(500, {localdb::Value(15.0)});
+      return cl;
+    }();
+    c.Subscribe(harness.query, NoNoiseParams());
+    const auto answer = c.AnswerQuery(5000);
+    harness.Ship(answer->shares, answer->timestamp_ms);
+  }
+  harness.Pump();
+  harness.aggregator->Flush();
+  ASSERT_EQ(harness.results.size(), 1u);
+  // All 40 clients are in bucket 1; the inverted pipeline must recover 40.
+  EXPECT_NEAR(harness.results[0].result.buckets[1].estimate.value, 40.0,
+              1e-6);
+  // And 0 for an empty bucket.
+  EXPECT_NEAR(harness.results[0].result.buckets[0].estimate.value, 0.0, 1e-6);
+}
+
+TEST(AggregatorTest, RejectsBadConfig) {
+  broker::Broker b;
+  proxy::Proxy p0(proxy::ProxyConfig{0, 2}, b);
+  proxy::Proxy p1(proxy::ProxyConfig{1, 2}, b);
+  AggregatorConfig config;
+  config.num_proxies = 1;
+  config.population = 10;
+  EXPECT_THROW(Aggregator(config, MakeQuery(), NoNoiseParams(), b,
+                          [](const WindowedResult&) {}),
+               std::invalid_argument);
+  config.num_proxies = 2;
+  config.population = 0;
+  EXPECT_THROW(Aggregator(config, MakeQuery(), NoNoiseParams(), b,
+                          [](const WindowedResult&) {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- historical
+
+TEST(ResponseStoreTest, RangeQueries) {
+  ResponseStore store;
+  BitVector answer(3);
+  answer.Set(1, true);
+  for (int64_t ts = 0; ts < 100; ts += 10) {
+    store.Append(ts, answer);
+  }
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.Range(20, 50).size(), 3u);
+  EXPECT_EQ(store.Range(200, 300).size(), 0u);
+}
+
+TEST(HistoricalAnalyticsTest, FullBudgetMatchesStreamCounts) {
+  ResponseStore store;
+  BitVector yes(2), no(2);
+  yes.Set(0, true);
+  no.Set(1, true);
+  for (int i = 0; i < 60; ++i) {
+    store.Append(i, yes);
+  }
+  for (int i = 60; i < 100; ++i) {
+    store.Append(i, no);
+  }
+  core::ExecutionParams params;
+  params.randomization = {1.0, 0.5};
+  HistoricalAnalytics analytics(store, params, /*population=*/100);
+  Xoshiro256 rng(1);
+  const core::QueryResult result =
+      analytics.Run(0, 100, BatchQueryBudget{1.0}, rng, 2);
+  EXPECT_NEAR(result.buckets[0].estimate.value, 60.0, 1e-9);
+  EXPECT_NEAR(result.buckets[1].estimate.value, 40.0, 1e-9);
+}
+
+TEST(HistoricalAnalyticsTest, SecondRoundSamplingStillUnbiased) {
+  ResponseStore store;
+  BitVector yes(1);
+  yes.Set(0, true);
+  for (int i = 0; i < 6000; ++i) {
+    store.Append(i, yes);
+  }
+  for (int i = 6000; i < 10000; ++i) {
+    store.Append(i, BitVector(1));
+  }
+  core::ExecutionParams params;
+  params.randomization = {1.0, 0.5};
+  HistoricalAnalytics analytics(store, params, /*population=*/10000);
+  Xoshiro256 rng(2);
+  const core::QueryResult result =
+      analytics.Run(0, 10000, BatchQueryBudget{0.3}, rng, 1);
+  // Estimate scaled back to population despite processing ~30%.
+  EXPECT_NEAR(result.buckets[0].estimate.value, 6000.0, 400.0);
+  EXPECT_LT(result.participants, 3600u);
+  EXPECT_GT(result.buckets[0].estimate.error, 0.0);
+}
+
+TEST(HistoricalAnalyticsTest, TimeRangeRestrictsData) {
+  ResponseStore store;
+  BitVector yes(1);
+  yes.Set(0, true);
+  for (int i = 0; i < 100; ++i) {
+    store.Append(i, yes);
+  }
+  core::ExecutionParams params;
+  params.randomization = {1.0, 0.5};
+  HistoricalAnalytics analytics(store, params, 100);
+  Xoshiro256 rng(3);
+  const core::QueryResult result =
+      analytics.Run(0, 50, BatchQueryBudget{1.0}, rng, 1);
+  EXPECT_EQ(result.participants, 50u);
+}
+
+TEST(HistoricalAnalyticsTest, RejectsBadBudget) {
+  ResponseStore store;
+  core::ExecutionParams params;
+  HistoricalAnalytics analytics(store, params, 10);
+  Xoshiro256 rng(4);
+  EXPECT_THROW(analytics.Run(0, 10, BatchQueryBudget{0.0}, rng, 1),
+               std::invalid_argument);
+  EXPECT_THROW(analytics.Run(0, 10, BatchQueryBudget{1.5}, rng, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::aggregator

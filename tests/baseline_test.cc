@@ -1,0 +1,129 @@
+// Tests for the comparator baselines: RAPPOR (Fig 5c) and the SplitX
+// latency model (Fig 6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/rappor.h"
+#include "baseline/splitx.h"
+#include "core/privacy.h"
+
+namespace privapprox::baseline {
+namespace {
+
+TEST(RapporTest, ValidatesParameters) {
+  EXPECT_THROW(Rappor(0.0), std::invalid_argument);
+  EXPECT_THROW(Rappor(1.0), std::invalid_argument);
+  EXPECT_THROW(Rappor(0.5, 0), std::invalid_argument);
+}
+
+TEST(RapporTest, PermanentRandomizationRates) {
+  // Bit reported true with prob f/2 + (1-f) for truthful 1, f/2 for 0.
+  Xoshiro256 rng(1);
+  const Rappor rappor(0.4);
+  BitVector ones(1), zeros(1);
+  ones.Set(0, true);
+  int one_kept = 0, zero_flipped = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    one_kept += rappor.PermanentRandomize(ones, rng).Get(0) ? 1 : 0;
+    zero_flipped += rappor.PermanentRandomize(zeros, rng).Get(0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(one_kept) / n, 0.2 + 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(zero_flipped) / n, 0.2, 0.01);
+}
+
+TEST(RapporTest, DebiasRecoversTruth) {
+  Xoshiro256 rng(2);
+  const Rappor rappor(0.5);
+  const size_t n = 50000, truthful = 30000;
+  double randomized_count = 0;
+  BitVector yes(1), no(1);
+  yes.Set(0, true);
+  for (size_t i = 0; i < n; ++i) {
+    randomized_count +=
+        rappor.PermanentRandomize(i < truthful ? yes : no, rng).Get(0) ? 1 : 0;
+  }
+  EXPECT_NEAR(rappor.DebiasCount(randomized_count, n), 30000.0, 600.0);
+}
+
+TEST(RapporTest, EpsilonOneTimeFormula) {
+  const Rappor rappor(0.5, 1);
+  EXPECT_NEAR(rappor.EpsilonOneTime(), 2.0 * std::log(0.75 / 0.25), 1e-12);
+  const Rappor two_hashes(0.5, 2);
+  EXPECT_NEAR(two_hashes.EpsilonOneTime(), 2.0 * rappor.EpsilonOneTime(),
+              1e-12);
+}
+
+TEST(RapporTest, MappingToPrivApproxMatchesPaper) {
+  // §6 #VIII: p = 1 - f, q = 0.5 gives the same randomized response.
+  const Rappor rappor(0.3);
+  const core::RandomizationParams params = rappor.ToPrivApproxParams();
+  EXPECT_NEAR(params.p, 0.7, 1e-12);
+  EXPECT_NEAR(params.q, 0.5, 1e-12);
+}
+
+TEST(RapporTest, PrivApproxWithSamplingBeatsRappor) {
+  // The Fig 5c claim: for the mapped parameters, PrivApprox's amplified
+  // epsilon is strictly below RAPPOR's for every s < 1 and equal at s = 1.
+  const Rappor rappor(0.5);
+  const double eps_rappor = core::EpsilonDp(rappor.ToPrivApproxParams());
+  for (double s : {0.1, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+    EXPECT_LT(core::AmplifyBySampling(eps_rappor, s), eps_rappor);
+  }
+  EXPECT_NEAR(core::AmplifyBySampling(eps_rappor, 1.0), eps_rappor, 1e-12);
+}
+
+// -------------------------------------------------------------------- SplitX
+
+TEST(SplitXTest, LatencyGrowsLinearlyInClients) {
+  const SplitXModel model;
+  const double at_1e4 = model.Estimate(10000).Total();
+  const double at_1e6 = model.Estimate(1000000).Total();
+  EXPECT_GT(at_1e6, at_1e4);
+  // Asymptotically linear: 100x clients ~ <=100x latency.
+  EXPECT_LT(at_1e6, 100.0 * at_1e4);
+}
+
+TEST(SplitXTest, ReproducesPaperReferencePoint) {
+  // Fig 6: at 10^6 clients SplitX ~ 40.27 s, PrivApprox ~ 6.21 s (6.48x).
+  const SplitXModel splitx;
+  const PrivApproxProxyModel privapprox;
+  const double splitx_sec = splitx.Estimate(1000000).Total() / 1000.0;
+  const double privapprox_sec = privapprox.EstimateMs(1000000) / 1000.0;
+  EXPECT_NEAR(splitx_sec, 40.27, 4.0);
+  EXPECT_NEAR(privapprox_sec, 6.21, 0.7);
+  const double speedup = splitx_sec / privapprox_sec;
+  EXPECT_GT(speedup, 5.0);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(SplitXTest, SynchronizationStagesDominateAtScale) {
+  // PrivApprox's advantage is exactly the non-transmission stages.
+  const SplitXModel model;
+  const auto latency = model.Estimate(10000000);
+  EXPECT_GT(latency.computation_ms + latency.shuffling_ms,
+            latency.transmission_ms);
+}
+
+TEST(SplitXTest, FixedCostsDominateAtSmallScale) {
+  const SplitXModel model;
+  const auto tiny = model.Estimate(100);
+  // At 100 clients the per-record costs are negligible vs fixed costs.
+  EXPECT_GT(tiny.Total(), 200.0);
+  EXPECT_LT(tiny.Total(), 400.0);
+}
+
+TEST(SplitXTest, PrivApproxAlwaysFaster) {
+  const SplitXModel splitx;
+  const PrivApproxProxyModel privapprox;
+  for (uint64_t clients = 100; clients <= 100000000; clients *= 10) {
+    EXPECT_LT(privapprox.EstimateMs(clients),
+              splitx.Estimate(clients).Total())
+        << "clients=" << clients;
+  }
+}
+
+}  // namespace
+}  // namespace privapprox::baseline

@@ -1,0 +1,337 @@
+// Unit + property tests for the arbitrary-precision substrate.
+
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.h"
+#include "bignum/modular.h"
+#include "bignum/prime.h"
+#include "common/rng.h"
+
+namespace privapprox::bignum {
+namespace {
+
+TEST(BigUintTest, ZeroProperties) {
+  const BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsEven());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToDecimal(), "0");
+  EXPECT_EQ(zero.ToHex(), "0");
+  EXPECT_EQ(zero, BigUint::Zero());
+}
+
+TEST(BigUintTest, SmallArithmetic) {
+  const BigUint a(1000), b(37);
+  EXPECT_EQ((a + b).Low64(), 1037u);
+  EXPECT_EQ((a - b).Low64(), 963u);
+  EXPECT_EQ((a * b).Low64(), 37000u);
+  EXPECT_EQ((a / b).Low64(), 27u);
+  EXPECT_EQ((a % b).Low64(), 1u);
+}
+
+TEST(BigUintTest, DecimalRoundTrip) {
+  const std::string decimal =
+      "123456789012345678901234567890123456789012345678901234567890";
+  const BigUint x = BigUint::FromDecimal(decimal);
+  EXPECT_EQ(x.ToDecimal(), decimal);
+}
+
+TEST(BigUintTest, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef";
+  const BigUint x = BigUint::FromHex(hex);
+  EXPECT_EQ(x.ToHex(), hex);
+  EXPECT_EQ(BigUint::FromHex("0xFF").Low64(), 255u);
+}
+
+TEST(BigUintTest, ParseErrors) {
+  EXPECT_THROW(BigUint::FromHex(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::FromHex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigUint::FromDecimal(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::FromDecimal("12a"), std::invalid_argument);
+}
+
+TEST(BigUintTest, KnownBigProduct) {
+  const BigUint a = BigUint::FromDecimal("123456789012345678901234567890");
+  const BigUint b = BigUint::FromDecimal("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToDecimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigUintTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), std::underflow_error);
+}
+
+TEST(BigUintTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint(1) / BigUint::Zero(), std::domain_error);
+  EXPECT_THROW(BigUint(1) % BigUint::Zero(), std::domain_error);
+}
+
+TEST(BigUintTest, ShiftRoundTrip) {
+  const BigUint x = BigUint::FromHex("123456789abcdef0123456789abcdef");
+  for (size_t shift : {1u, 13u, 64u, 65u, 130u}) {
+    EXPECT_EQ((x << shift) >> shift, x) << "shift=" << shift;
+  }
+  EXPECT_TRUE((BigUint(1) >> 1).IsZero());
+}
+
+TEST(BigUintTest, CompareOrdering) {
+  const BigUint small(5), big = BigUint::FromHex("ffffffffffffffffff");
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_LE(small, small);
+  EXPECT_EQ(small.Compare(small), 0);
+}
+
+TEST(BigUintTest, BitAccess) {
+  BigUint x;
+  x.SetBit(100, true);
+  EXPECT_TRUE(x.GetBit(100));
+  EXPECT_FALSE(x.GetBit(99));
+  EXPECT_EQ(x.BitLength(), 101u);
+  x.SetBit(100, false);
+  EXPECT_TRUE(x.IsZero());
+}
+
+// Property: a = (a/b)*b + (a%b) and a%b < b, over random operands.
+TEST(BigUintProperty, DivModIdentity) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t abits = 16 + rng.NextBounded(512);
+    const size_t bbits = 8 + rng.NextBounded(256);
+    const BigUint a = BigUint::RandomBits(rng, abits);
+    const BigUint b = BigUint::RandomBits(rng, bbits);
+    const auto dm = a.DivMod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+// Property: (a + b) - b == a; distributivity a*(b+c) == a*b + a*c.
+TEST(BigUintProperty, AlgebraicIdentities) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BigUint a = BigUint::RandomBits(rng, 8 + rng.NextBounded(300));
+    const BigUint b = BigUint::RandomBits(rng, 8 + rng.NextBounded(300));
+    const BigUint c = BigUint::RandomBits(rng, 8 + rng.NextBounded(300));
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+// Property: Karatsuba (large operands) agrees with schoolbook (reachable
+// via small chunks): verify big products against the divide-and-recombine
+// identity and a growing set of random sizes straddling the threshold.
+TEST(BigUintProperty, KaratsubaMatchesSchoolbookAcrossThreshold) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Sizes from well below to well above the 32-limb Karatsuba threshold.
+    const size_t abits = 512 + rng.NextBounded(6144);
+    const size_t bbits = 512 + rng.NextBounded(6144);
+    const BigUint a = BigUint::RandomBits(rng, abits);
+    const BigUint b = BigUint::RandomBits(rng, bbits);
+    const BigUint product = a * b;
+    // Cross-check with an independent decomposition: a*b =
+    // (a_hi*2^k + a_lo)*b computed via shifts and smaller products.
+    const size_t k = abits / 2;
+    const BigUint a_lo = a % (BigUint::One() << k);
+    const BigUint a_hi = a >> k;
+    EXPECT_EQ(product, ((a_hi * b) << k) + a_lo * b);
+    // And the divmod identity must hold for the product.
+    EXPECT_EQ(product % a, BigUint::Zero());
+    EXPECT_EQ(product / a, b);
+  }
+}
+
+TEST(BigUintProperty, KaratsubaAsymmetricOperands) {
+  Xoshiro256 rng(101);
+  // One huge, one tiny operand exercises the empty-high-half split path.
+  const BigUint huge = BigUint::RandomBits(rng, 8192);
+  const BigUint tiny(12345);
+  EXPECT_EQ(huge * tiny, tiny * huge);
+  EXPECT_EQ((huge * tiny) / tiny, huge);
+  // Squaring a large value.
+  const BigUint square = huge * huge;
+  EXPECT_EQ(square / huge, huge);
+}
+
+TEST(BigUintTest, RandomBitsHasExactBitLength) {
+  Xoshiro256 rng(3);
+  for (size_t bits : {2u, 63u, 64u, 65u, 512u, 1024u}) {
+    EXPECT_EQ(BigUint::RandomBits(rng, bits).BitLength(), bits);
+  }
+}
+
+TEST(BigUintTest, RandomBelowIsBelow) {
+  Xoshiro256 rng(4);
+  const BigUint bound = BigUint::FromDecimal("1000000000000000000000");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigUint::RandomBelow(rng, bound), bound);
+  }
+  EXPECT_THROW(BigUint::RandomBelow(rng, BigUint::Zero()),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- modular
+
+TEST(ModularTest, GcdKnownValues) {
+  EXPECT_EQ(Gcd(BigUint(48), BigUint(18)).Low64(), 6u);
+  EXPECT_EQ(Gcd(BigUint(17), BigUint(13)).Low64(), 1u);
+  EXPECT_EQ(Gcd(BigUint(0), BigUint(5)).Low64(), 5u);
+}
+
+TEST(ModularTest, ModInverseProperty) {
+  Xoshiro256 rng(5);
+  int tested = 0;
+  while (tested < 100) {
+    const BigUint m = BigUint::RandomBits(rng, 128);
+    const BigUint a = BigUint::RandomBelow(rng, m);
+    if (a.IsZero() || Gcd(a, m) != BigUint::One()) {
+      continue;
+    }
+    const auto inv = ModInverse(a, m);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(ModMul(a, *inv, m), BigUint::One());
+    ++tested;
+  }
+}
+
+TEST(ModularTest, ModInverseOfNonCoprimeIsNull) {
+  EXPECT_FALSE(ModInverse(BigUint(6), BigUint(9)).has_value());
+  EXPECT_EQ(ModInverse(BigUint(5), BigUint::One()).value(), BigUint::Zero());
+}
+
+TEST(ModularTest, ModExpKnownValues) {
+  // 2^10 = 1024; 1024 mod 1000 = 24.
+  EXPECT_EQ(ModExp(BigUint(2), BigUint(10), BigUint(1000)).Low64(), 24u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(ModExp(BigUint(7), BigUint(1000000006), BigUint(1000000007)),
+            BigUint::One());
+  EXPECT_EQ(ModExp(BigUint(2), BigUint(1000), BigUint(1000000007)).Low64(),
+            688423210u);
+}
+
+TEST(ModularTest, ModExpEdgeCases) {
+  EXPECT_EQ(ModExp(BigUint(5), BigUint::Zero(), BigUint(7)), BigUint::One());
+  EXPECT_EQ(ModExp(BigUint::Zero(), BigUint(5), BigUint(7)), BigUint::Zero());
+  EXPECT_TRUE(ModExp(BigUint(5), BigUint(3), BigUint::One()).IsZero());
+  EXPECT_THROW(ModExp(BigUint(2), BigUint(3), BigUint::Zero()),
+               std::domain_error);
+}
+
+// Property: Montgomery path (odd modulus) agrees with naive square-multiply.
+TEST(ModularProperty, MontgomeryMatchesNaive) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    BigUint m = BigUint::RandomBits(rng, 64 + rng.NextBounded(200));
+    m.SetBit(0, true);  // odd
+    const BigUint base = BigUint::RandomBelow(rng, m);
+    const BigUint exp = BigUint::RandomBits(rng, 48);
+    const BigUint fast = ModExp(base, exp, m);
+    BigUint slow = BigUint::One();
+    for (size_t i = exp.BitLength(); i > 0; --i) {
+      slow = (slow * slow) % m;
+      if (exp.GetBit(i - 1)) {
+        slow = (slow * base) % m;
+      }
+    }
+    EXPECT_EQ(fast, slow);
+  }
+}
+
+TEST(ModularTest, MontgomeryContextRoundTrip) {
+  Xoshiro256 rng(7);
+  BigUint m = BigUint::RandomBits(rng, 256);
+  m.SetBit(0, true);
+  const MontgomeryContext ctx(m);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint x = BigUint::RandomBelow(rng, m);
+    EXPECT_EQ(ctx.FromMontgomery(ctx.ToMontgomery(x)), x);
+  }
+}
+
+TEST(ModularTest, MontgomeryRejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryContext(BigUint(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigUint::One()), std::invalid_argument);
+}
+
+TEST(ModularTest, JacobiKnownValues) {
+  // (1/n) = 1 always.
+  EXPECT_EQ(Jacobi(BigUint(1), BigUint(9)), 1);
+  // Quadratic residues mod 7: 1, 2, 4.
+  EXPECT_EQ(Jacobi(BigUint(2), BigUint(7)), 1);
+  EXPECT_EQ(Jacobi(BigUint(3), BigUint(7)), -1);
+  EXPECT_EQ(Jacobi(BigUint(4), BigUint(7)), 1);
+  // Shared factor -> 0.
+  EXPECT_EQ(Jacobi(BigUint(6), BigUint(9)), 0);
+  EXPECT_THROW(Jacobi(BigUint(3), BigUint(8)), std::invalid_argument);
+}
+
+TEST(ModularTest, JacobiMatchesEulerForPrimes) {
+  // For odd prime p, Jacobi == Legendre == a^((p-1)/2) mod p mapped to +-1.
+  Xoshiro256 rng(8);
+  const BigUint p(1000003);  // prime
+  const BigUint exponent = (p - BigUint::One()) >> 1;
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = BigUint::RandomBelow(rng, p);
+    if (a.IsZero()) {
+      continue;
+    }
+    const BigUint euler = ModExp(a, exponent, p);
+    const int expected = euler == BigUint::One() ? 1 : -1;
+    EXPECT_EQ(Jacobi(a, p), expected);
+  }
+}
+
+// ------------------------------------------------------------------- prime
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  Xoshiro256 rng(9);
+  for (uint64_t p : {2u, 3u, 5u, 7u, 11u, 97u, 251u, 257u, 65537u}) {
+    EXPECT_TRUE(IsProbablePrime(BigUint(p), rng)) << p;
+  }
+  for (uint64_t c : {0u, 1u, 4u, 9u, 91u, 561u, 65536u}) {
+    EXPECT_FALSE(IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  Xoshiro256 rng(10);
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  for (uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u}) {
+    EXPECT_FALSE(IsProbablePrime(BigUint(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrime) {
+  Xoshiro256 rng(11);
+  // 2^89 - 1 is a Mersenne prime.
+  const BigUint mersenne89 = (BigUint::One() << 89) - BigUint::One();
+  EXPECT_TRUE(IsProbablePrime(mersenne89, rng));
+  // 2^67 - 1 is famously composite.
+  const BigUint mersenne67 = (BigUint::One() << 67) - BigUint::One();
+  EXPECT_FALSE(IsProbablePrime(mersenne67, rng));
+}
+
+TEST(PrimeTest, RandomPrimeHasRequestedSize) {
+  Xoshiro256 rng(12);
+  const BigUint p = RandomPrime(rng, 128);
+  EXPECT_EQ(p.BitLength(), 128u);
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+}
+
+TEST(PrimeTest, BlumPrimeIsThreeModFour) {
+  Xoshiro256 rng(13);
+  const BigUint p = RandomBlumPrime(rng, 96);
+  EXPECT_EQ(p.Low64() & 3, 3u);
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+}
+
+TEST(PrimeTest, RejectsTinyRequests) {
+  Xoshiro256 rng(14);
+  EXPECT_THROW(RandomPrime(rng, 1), std::invalid_argument);
+  EXPECT_THROW(RandomBlumPrime(rng, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::bignum

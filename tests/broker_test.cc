@@ -1,0 +1,194 @@
+// Tests for the pub/sub broker substrate: topics, partitions, offsets,
+// consumers, metrics, and concurrent producers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "broker/broker.h"
+
+namespace privapprox::broker {
+namespace {
+
+std::vector<uint8_t> Payload(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+TEST(TopicTest, AppendAssignsSequentialOffsets) {
+  Topic topic("t", 1);
+  EXPECT_EQ(topic.Append(1, Payload({1}), 0), 0u);
+  EXPECT_EQ(topic.Append(2, Payload({2}), 0), 1u);
+  EXPECT_EQ(topic.EndOffset(0), 2u);
+}
+
+TEST(TopicTest, PartitionAssignmentIsStableAndInRange) {
+  Topic topic("t", 4);
+  for (uint64_t key = 0; key < 100; ++key) {
+    const size_t p1 = topic.PartitionOf(key);
+    const size_t p2 = topic.PartitionOf(key);
+    EXPECT_EQ(p1, p2);
+    EXPECT_LT(p1, 4u);
+  }
+}
+
+TEST(TopicTest, PartitionsSpreadKeys) {
+  Topic topic("t", 4);
+  std::array<int, 4> counts{};
+  for (uint64_t key = 0; key < 4000; ++key) {
+    counts[topic.PartitionOf(key)]++;
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(TopicTest, ReadRespectsOffsetAndLimit) {
+  Topic topic("t", 1);
+  for (int i = 0; i < 10; ++i) {
+    topic.Append(0, Payload({static_cast<uint8_t>(i)}), i);
+  }
+  const auto records = topic.Read(0, 4, 3);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload[0], 4);
+  EXPECT_EQ(records[0].timestamp_ms, 4);
+  EXPECT_EQ(records[2].offset, 6u);
+  EXPECT_TRUE(topic.Read(0, 10, 5).empty());
+}
+
+TEST(TopicTest, BadPartitionThrows) {
+  Topic topic("t", 2);
+  EXPECT_THROW(topic.Read(2, 0, 1), std::out_of_range);
+  EXPECT_THROW(topic.EndOffset(2), std::out_of_range);
+}
+
+TEST(TopicTest, MetricsTrackBytes) {
+  Topic topic("t", 1);
+  topic.Append(0, Payload({1, 2, 3}), 0);
+  topic.Append(0, Payload({4, 5}), 0);
+  (void)topic.Read(0, 0, 10);
+  const TopicMetrics metrics = topic.metrics();
+  EXPECT_EQ(metrics.records_in, 2u);
+  EXPECT_EQ(metrics.bytes_in, 5u);
+  EXPECT_EQ(metrics.records_out, 2u);
+  EXPECT_EQ(metrics.bytes_out, 5u);
+}
+
+TEST(TopicTest, ConcurrentProducersLoseNothing) {
+  Topic topic("t", 4);
+  constexpr int kThreads = 8, kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&topic, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        topic.Append(static_cast<uint64_t>(t * kPerThread + i), {1, 2}, 0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  uint64_t total = 0;
+  for (size_t p = 0; p < topic.num_partitions(); ++p) {
+    total += topic.EndOffset(p);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(TopicTest, ConcurrentProduceAndConsume) {
+  // A producer thread races a consumer; the consumer must eventually see
+  // every record exactly once, in per-partition order.
+  Topic topic("t", 2);
+  constexpr uint64_t kTotal = 20000;
+  std::thread producer([&topic] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      topic.Append(i, {static_cast<uint8_t>(i & 0xFF)}, static_cast<int64_t>(i));
+    }
+  });
+  Consumer consumer(topic);
+  uint64_t seen = 0;
+  std::array<int64_t, 2> last_ts = {-1, -1};
+  while (seen < kTotal) {
+    for (const auto& record : consumer.Poll(512)) {
+      const size_t p = topic.PartitionOf(record.key);
+      EXPECT_GT(record.timestamp_ms, last_ts[p]);  // per-partition order
+      last_ts[p] = record.timestamp_ms;
+      ++seen;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(seen, kTotal);
+  EXPECT_TRUE(consumer.CaughtUp());
+}
+
+TEST(BrokerTest, TopicLifecycle) {
+  Broker broker;
+  broker.CreateTopic("answers", 2);
+  EXPECT_TRUE(broker.HasTopic("answers"));
+  EXPECT_FALSE(broker.HasTopic("keys"));
+  EXPECT_THROW(broker.CreateTopic("answers", 2), std::invalid_argument);
+  EXPECT_THROW(broker.GetTopic("keys"), std::invalid_argument);
+  broker.CreateTopic("keys", 2);
+  const auto names = broker.TopicNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(BrokerTest, ProduceRoutesToTopic) {
+  Broker broker;
+  broker.CreateTopic("t", 1);
+  broker.Produce("t", 7, {9}, 123);
+  const auto records = broker.GetTopic("t").Read(0, 0, 10);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, 7u);
+}
+
+TEST(ConsumerTest, PollDrainsAllPartitions) {
+  Broker broker;
+  Topic& topic = broker.CreateTopic("t", 3);
+  for (uint64_t key = 0; key < 100; ++key) {
+    topic.Append(key, {static_cast<uint8_t>(key)}, 0);
+  }
+  Consumer consumer(topic);
+  size_t total = 0;
+  while (!consumer.CaughtUp()) {
+    total += consumer.Poll(7).size();
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(consumer.consumed(), 100u);
+  EXPECT_TRUE(consumer.Poll(10).empty());
+}
+
+TEST(ConsumerTest, ResumesFromOffsetAfterNewData) {
+  Broker broker;
+  Topic& topic = broker.CreateTopic("t", 1);
+  topic.Append(0, {1}, 0);
+  Consumer consumer(topic);
+  EXPECT_EQ(consumer.Poll(10).size(), 1u);
+  EXPECT_TRUE(consumer.CaughtUp());
+  topic.Append(0, {2}, 0);
+  EXPECT_FALSE(consumer.CaughtUp());
+  const auto batch = consumer.Poll(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].payload[0], 2);
+}
+
+TEST(ConsumerTest, IndependentConsumersSeeAllData) {
+  Broker broker;
+  Topic& topic = broker.CreateTopic("t", 2);
+  for (uint64_t key = 0; key < 50; ++key) {
+    topic.Append(key, {0}, 0);
+  }
+  Consumer a(topic), b(topic);
+  size_t count_a = 0, count_b = 0;
+  while (!a.CaughtUp()) {
+    count_a += a.Poll(8).size();
+  }
+  while (!b.CaughtUp()) {
+    count_b += b.Poll(8).size();
+  }
+  EXPECT_EQ(count_a, 50u);
+  EXPECT_EQ(count_b, 50u);
+}
+
+}  // namespace
+}  // namespace privapprox::broker

@@ -1,0 +1,191 @@
+// Tests for the budget initializer (budget -> (s, p, q)) and the per-epoch
+// feedback controller of §5.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/budget.h"
+#include "core/privacy.h"
+
+namespace privapprox::core {
+namespace {
+
+TEST(ExecutionParamsTest, Validation) {
+  ExecutionParams params;
+  EXPECT_NO_THROW(params.Validate());
+  params.sampling_fraction = 0.0;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+  params.sampling_fraction = 0.5;
+  params.randomization.q = 1.5;
+  EXPECT_THROW(params.Validate(), std::invalid_argument);
+}
+
+TEST(PredictAccuracyLossTest, DecreasesWithSampling) {
+  ExecutionParams params;
+  params.randomization = {0.9, 0.6};
+  double previous = 1e9;
+  for (double s : {0.1, 0.3, 0.6, 0.9}) {
+    params.sampling_fraction = s;
+    const double loss = PredictAccuracyLoss(params, 100000, 0.6);
+    EXPECT_LT(loss, previous);
+    previous = loss;
+  }
+}
+
+TEST(PredictAccuracyLossTest, DecreasesWithPopulation) {
+  ExecutionParams params;
+  params.randomization = {0.9, 0.6};
+  params.sampling_fraction = 0.6;
+  EXPECT_GT(PredictAccuracyLoss(params, 1000, 0.6),
+            PredictAccuracyLoss(params, 1000000, 0.6));
+}
+
+TEST(PredictAccuracyLossTest, RejectsEmptyPopulation) {
+  EXPECT_THROW(PredictAccuracyLoss(ExecutionParams{}, 0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(BudgetInitializerTest, DefaultBudgetIsFullSampling) {
+  const BudgetInitializer initializer;
+  const ExecutionParams params =
+      initializer.Convert(QueryBudget{}, PopulationInfo{10000, 0.6});
+  EXPECT_DOUBLE_EQ(params.sampling_fraction, 1.0);
+  EXPECT_NEAR(params.randomization.q, 0.6, 1e-12);  // centered on prior
+}
+
+TEST(BudgetInitializerTest, QClampedToSafeRange) {
+  const BudgetInitializer initializer;
+  EXPECT_NEAR(initializer.Convert(QueryBudget{}, PopulationInfo{100, 0.01})
+                  .randomization.q,
+              0.1, 1e-12);
+  EXPECT_NEAR(initializer.Convert(QueryBudget{}, PopulationInfo{100, 0.99})
+                  .randomization.q,
+              0.9, 1e-12);
+}
+
+TEST(BudgetInitializerTest, PrivacyCapIsHonored) {
+  const BudgetInitializer initializer;
+  QueryBudget budget;
+  budget.max_epsilon = 1.0;
+  const ExecutionParams params =
+      initializer.Convert(budget, PopulationInfo{100000, 0.5});
+  const double achieved = AmplifyBySampling(EpsilonDp(params.randomization),
+                                            params.sampling_fraction);
+  EXPECT_LE(achieved, 1.0 + 1e-9);
+}
+
+TEST(BudgetInitializerTest, ResourceCapBoundsSampling) {
+  const BudgetInitializer initializer;
+  QueryBudget budget;
+  budget.max_answers = 5000;
+  const ExecutionParams params =
+      initializer.Convert(budget, PopulationInfo{100000, 0.5});
+  EXPECT_NEAR(params.sampling_fraction, 0.05, 1e-9);
+}
+
+TEST(BudgetInitializerTest, LatencyCapBoundsSampling) {
+  const BudgetInitializer initializer;
+  QueryBudget budget;
+  budget.max_latency_ms = 10.0;
+  budget.answers_per_ms = 100.0;  // at most 1000 answers
+  const ExecutionParams params =
+      initializer.Convert(budget, PopulationInfo{100000, 0.5});
+  EXPECT_NEAR(params.sampling_fraction, 0.01, 1e-9);
+}
+
+TEST(BudgetInitializerTest, AccuracyCapPicksCheapestSampling) {
+  const BudgetInitializer initializer;
+  QueryBudget budget;
+  budget.max_accuracy_loss = 0.05;
+  const ExecutionParams params =
+      initializer.Convert(budget, PopulationInfo{1000000, 0.5});
+  EXPECT_LT(params.sampling_fraction, 1.0);  // did not need a census
+  EXPECT_LE(
+      PredictAccuracyLoss(params, 1000000, 0.5),
+      0.05 + 1e-9);
+}
+
+TEST(BudgetInitializerTest, ConflictingCapsKeepResourceBound) {
+  // Accuracy wants lots of samples; the resource cap forbids it. The cap
+  // must win (privacy/resources are hard constraints).
+  const BudgetInitializer initializer;
+  QueryBudget budget;
+  budget.max_accuracy_loss = 1e-6;
+  budget.max_answers = 100;
+  const ExecutionParams params =
+      initializer.Convert(budget, PopulationInfo{100000, 0.5});
+  // 100/100000 would be s = 0.001, floored at the initializer's minimum
+  // workable sampling fraction (0.01); the accuracy cap must not raise it.
+  EXPECT_NEAR(params.sampling_fraction, 0.01, 1e-9);
+}
+
+TEST(BudgetInitializerTest, RejectsEmptyPopulation) {
+  const BudgetInitializer initializer;
+  EXPECT_THROW(initializer.Convert(QueryBudget{}, PopulationInfo{0, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(FeedbackControllerTest, RaisesSamplingWhenErrorTooHigh) {
+  ExecutionParams initial;
+  initial.sampling_fraction = 0.4;
+  FeedbackController controller(initial, /*target_accuracy_loss=*/0.05);
+  const ExecutionParams& next = controller.OnEpochCompleted(0.2);
+  EXPECT_GT(next.sampling_fraction, 0.4);
+}
+
+TEST(FeedbackControllerTest, DecaysSamplingWhenComfortable) {
+  ExecutionParams initial;
+  initial.sampling_fraction = 0.8;
+  FeedbackController controller(initial, 0.05);
+  const ExecutionParams& next = controller.OnEpochCompleted(0.001);
+  EXPECT_LT(next.sampling_fraction, 0.8);
+}
+
+TEST(FeedbackControllerTest, HoldsInsideDeadband) {
+  ExecutionParams initial;
+  initial.sampling_fraction = 0.5;
+  FeedbackController controller(initial, 0.05);
+  const ExecutionParams& next = controller.OnEpochCompleted(0.04);
+  EXPECT_DOUBLE_EQ(next.sampling_fraction, 0.5);
+}
+
+TEST(FeedbackControllerTest, NeverExceedsPrivacyCap) {
+  ExecutionParams initial;
+  initial.sampling_fraction = 0.2;
+  initial.randomization = {0.9, 0.6};
+  const double cap = 2.0;
+  FeedbackController controller(initial, 0.001, cap);
+  // Repeatedly report terrible accuracy; s wants to grow to 1 but the cap
+  // must hold it down.
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const ExecutionParams& params = controller.OnEpochCompleted(0.5);
+    const double eps = AmplifyBySampling(EpsilonDp(params.randomization),
+                                         params.sampling_fraction);
+    EXPECT_LE(eps, cap + 1e-9);
+  }
+}
+
+TEST(FeedbackControllerTest, ConvergesTowardTarget) {
+  // Simulate: measured loss ~ c / sqrt(s). Controller should settle at an s
+  // whose loss is within [target/2, target].
+  ExecutionParams initial;
+  initial.sampling_fraction = 0.05;
+  FeedbackController controller(initial, 0.05);
+  double s = initial.sampling_fraction;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    const double measured = 0.02 / std::sqrt(s);
+    s = controller.OnEpochCompleted(measured).sampling_fraction;
+  }
+  const double final_loss = 0.02 / std::sqrt(s);
+  EXPECT_LE(final_loss, 0.05 * 1.6);
+  EXPECT_GE(final_loss, 0.05 * 0.4);
+}
+
+TEST(FeedbackControllerTest, RejectsBadTarget) {
+  EXPECT_THROW(FeedbackController(ExecutionParams{}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::core

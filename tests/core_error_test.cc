@@ -1,0 +1,245 @@
+// Tests for the error estimator (§3.2.4), the empirical RR calibrator, and
+// query inversion (§3.3.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_estimation.h"
+#include "core/inversion.h"
+#include "stats/special_functions.h"
+#include "workload/synthetic.h"
+
+namespace privapprox::core {
+namespace {
+
+ExecutionParams MakeParams(double s, double p, double q) {
+  ExecutionParams params;
+  params.sampling_fraction = s;
+  params.randomization = {p, q};
+  return params;
+}
+
+TEST(ErrorEstimatorTest, NoSamplingNoRandomizationIsExact) {
+  // s = 1 and p = 1: the pipeline is a plain census; estimates must equal
+  // the raw counts with zero error.
+  const ErrorEstimator estimator(MakeParams(1.0, 1.0, 0.5), 1000);
+  Histogram counts(std::vector<double>{600.0, 400.0});
+  const QueryResult result = estimator.Estimate(counts, 1000);
+  EXPECT_NEAR(result.buckets[0].estimate.value, 600.0, 1e-9);
+  EXPECT_NEAR(result.buckets[1].estimate.value, 400.0, 1e-9);
+  EXPECT_NEAR(result.buckets[0].estimate.error, 0.0, 1e-9);
+}
+
+TEST(ErrorEstimatorTest, EmptyWindowGivesZeroEstimates) {
+  const ErrorEstimator estimator(MakeParams(0.5, 0.9, 0.6), 1000);
+  const QueryResult result = estimator.Estimate(Histogram(3), 0);
+  EXPECT_EQ(result.participants, 0u);
+  for (const auto& bucket : result.buckets) {
+    EXPECT_DOUBLE_EQ(bucket.estimate.value, 0.0);
+    EXPECT_DOUBLE_EQ(bucket.estimate.error, 0.0);
+  }
+}
+
+TEST(ErrorEstimatorTest, ScalesSampleToPopulation) {
+  const ErrorEstimator estimator(MakeParams(0.1, 1.0, 0.5), 10000);
+  Histogram counts(std::vector<double>{500.0});
+  const QueryResult result = estimator.Estimate(counts, 1000);
+  // 500 yes among 1000 participants -> 5000 in a population of 10000.
+  EXPECT_NEAR(result.buckets[0].estimate.value, 5000.0, 1e-9);
+  EXPECT_GT(result.buckets[0].estimate.error, 0.0);
+}
+
+TEST(ErrorEstimatorTest, ErrorComponentsAreIndependentAndAdd) {
+  const ErrorEstimator estimator(MakeParams(0.5, 0.7, 0.5), 10000);
+  const double fraction = 0.4;
+  const size_t participants = 5000;
+  const double sd_sampling = estimator.SamplingStdDev(fraction, participants);
+  const double sd_rr = estimator.RandomizationStdDev(fraction, participants);
+  EXPECT_GT(sd_sampling, 0.0);
+  EXPECT_GT(sd_rr, 0.0);
+  // The combined margin in Estimate must be t * sqrt(sa^2 + sr^2); verify
+  // against a manual reconstruction.
+  Histogram counts(std::vector<double>{0.0});
+  // Build randomized count whose debias yields exactly `fraction`:
+  // Ry = p*y*N + (1-p)q N.
+  const double n = static_cast<double>(participants);
+  counts.SetCount(0, 0.7 * fraction * n + 0.3 * 0.5 * n);
+  const QueryResult result = estimator.Estimate(counts, participants);
+  const double t = stats::StudentTCriticalValue(0.95, n - 1.0);
+  EXPECT_NEAR(result.buckets[0].estimate.error,
+              t * std::sqrt(sd_sampling * sd_sampling + sd_rr * sd_rr),
+              1e-6 * result.buckets[0].estimate.error + 1e-9);
+}
+
+TEST(ErrorEstimatorTest, FullCensusHasNoSamplingError) {
+  const ErrorEstimator estimator(MakeParams(1.0, 0.9, 0.6), 1000);
+  EXPECT_DOUBLE_EQ(estimator.SamplingStdDev(0.5, 1000), 0.0);
+  EXPECT_GT(estimator.RandomizationStdDev(0.5, 1000), 0.0);
+}
+
+TEST(ErrorEstimatorTest, ConfidenceIntervalCoversTruth) {
+  // End-to-end statistical property: sample + randomize a known population,
+  // estimate, and check the CI covers the true count at roughly the stated
+  // rate.
+  Xoshiro256 rng(17);
+  const size_t population = 20000;
+  const double yes_fraction = 0.6;
+  const ExecutionParams params = MakeParams(0.3, 0.7, 0.5);
+  const ErrorEstimator estimator(params, population);
+  const RandomizedResponse rr(params.randomization);
+  int covered = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    size_t participants = 0, randomized_yes = 0;
+    for (size_t i = 0; i < population; ++i) {
+      if (!rng.NextBernoulli(params.sampling_fraction)) {
+        continue;
+      }
+      ++participants;
+      const bool truthful =
+          static_cast<double>(i) < yes_fraction * population;
+      if (rr.RandomizeBit(truthful, rng)) {
+        ++randomized_yes;
+      }
+    }
+    Histogram counts(std::vector<double>{static_cast<double>(randomized_yes)});
+    const QueryResult result = estimator.Estimate(counts, participants);
+    const double truth = yes_fraction * population;
+    if (truth >= result.buckets[0].estimate.Lower() &&
+        truth <= result.buckets[0].estimate.Upper()) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered) / trials, 0.90);
+}
+
+TEST(ErrorEstimatorTest, RejectsBadConstruction) {
+  EXPECT_THROW(ErrorEstimator(MakeParams(0.5, 0.9, 0.6), 0),
+               std::invalid_argument);
+  EXPECT_THROW(ErrorEstimator(MakeParams(0.5, 0.9, 0.6), 10, 1.0),
+               std::invalid_argument);
+}
+
+TEST(QueryResultTest, AccuracyLossAgainstExact) {
+  ErrorEstimator estimator(MakeParams(1.0, 1.0, 0.5), 100);
+  Histogram counts(std::vector<double>{60.0, 40.0});
+  const QueryResult result = estimator.Estimate(counts, 100);
+  Histogram exact(std::vector<double>{50.0, 50.0});
+  EXPECT_NEAR(result.AccuracyLossAgainst(exact), 0.2, 1e-9);
+}
+
+TEST(QueryResultTest, WeightedAccuracyLossAgainstExact) {
+  ErrorEstimator estimator(MakeParams(1.0, 1.0, 0.5), 100);
+  Histogram counts(std::vector<double>{60.0, 40.0});
+  const QueryResult result = estimator.Estimate(counts, 100);
+  // Reference {50, 50}: |60-50| + |40-50| = 20 over total 100 -> 0.2.
+  EXPECT_NEAR(result.WeightedAccuracyLossAgainst(
+                  Histogram(std::vector<double>{50.0, 50.0})),
+              0.2, 1e-9);
+  // Perfect match -> 0.
+  EXPECT_NEAR(result.WeightedAccuracyLossAgainst(
+                  Histogram(std::vector<double>{60.0, 40.0})),
+              0.0, 1e-9);
+  EXPECT_THROW(result.WeightedAccuracyLossAgainst(Histogram(3)),
+               std::invalid_argument);
+  // Empty reference yields 0 (nothing to compare against).
+  EXPECT_DOUBLE_EQ(result.WeightedAccuracyLossAgainst(Histogram(2)), 0.0);
+}
+
+TEST(QueryResultTest, WeightedLossIgnoresTailDomination) {
+  // A tiny tail bucket with large *relative* error barely moves the
+  // weighted metric but dominates the unweighted one.
+  ErrorEstimator estimator(MakeParams(1.0, 1.0, 0.5), 1000);
+  Histogram counts(std::vector<double>{995.0, 5.0});
+  const QueryResult result = estimator.Estimate(counts, 1000);
+  Histogram exact(std::vector<double>{1000.0, 1.0});  // tail off by 5x
+  EXPECT_GT(result.AccuracyLossAgainst(exact), 1.0);           // ~200% mean
+  EXPECT_LT(result.WeightedAccuracyLossAgainst(exact), 0.02);  // ~0.9%
+}
+
+TEST(RrCalibratorTest, LossShrinksWithMoreTruth) {
+  Xoshiro256 rng(19);
+  const RrCalibrator noisy(RandomizationParams{0.3, 0.6}, 10000, 0.6);
+  const RrCalibrator faithful(RandomizationParams{0.9, 0.6}, 10000, 0.6);
+  const double loss_noisy = noisy.MeasureAccuracyLoss(30, rng);
+  const double loss_faithful = faithful.MeasureAccuracyLoss(30, rng);
+  EXPECT_GT(loss_noisy, loss_faithful);
+}
+
+TEST(RrCalibratorTest, Table1MagnitudeAtP03Q06) {
+  // Table 1: p=0.3, q=0.6 at 10,000 answers, 60% yes -> eta ~ 0.026. Allow
+  // a factor-2 band (it is a noisy statistic).
+  Xoshiro256 rng(23);
+  const RrCalibrator calibrator(RandomizationParams{0.3, 0.6}, 10000, 0.6);
+  const double loss = calibrator.MeasureAccuracyLoss(100, rng);
+  EXPECT_GT(loss, 0.005);
+  EXPECT_LT(loss, 0.06);
+}
+
+TEST(RrCalibratorTest, RejectsBadArgs) {
+  EXPECT_THROW(RrCalibrator(RandomizationParams{0.5, 0.5}, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(RrCalibrator(RandomizationParams{0.5, 0.5}, 10, 1.5),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- inversion
+
+TEST(InversionTest, ShouldInvertWhenYesFractionFarFromQ) {
+  // q = 0.6: a 10% yes-fraction is far from q, its complement (90%) is
+  // closer -> invert. A 60% fraction matches q -> don't.
+  EXPECT_TRUE(ShouldInvertQuery(0.1, 0.6));
+  EXPECT_FALSE(ShouldInvertQuery(0.6, 0.6));
+  EXPECT_FALSE(ShouldInvertQuery(0.9, 0.6));  // 0.9 closer to 0.6 than 0.1
+}
+
+TEST(InversionTest, InvertAnswerFlipsEveryBit) {
+  BitVector answer(5);
+  answer.Set(2, true);
+  const BitVector inverted = InvertAnswer(answer);
+  EXPECT_EQ(inverted.PopCount(), 4u);
+  EXPECT_FALSE(inverted.Get(2));
+  EXPECT_EQ(InvertAnswer(inverted), answer);
+}
+
+TEST(InversionTest, YesCountRecovery) {
+  EXPECT_DOUBLE_EQ(YesCountFromInverted(9000.0, 10000.0), 1000.0);
+}
+
+TEST(InversionTest, InversionImprovesUtilityForRareYes) {
+  // Fig 5a's core claim: with y = 0.1 and q = 0.6, the inverted query (which
+  // counts the truthful "No" answers, §3.3.2) has much lower accuracy loss
+  // than the native query — the paper reports 2.54% -> 0.4%. The loss is
+  // measured on the counted quantity, as in the paper.
+  Xoshiro256 rng(29);
+  const size_t n = 10000;
+  const double y = 0.1;
+  const RandomizedResponse rr(RandomizationParams{0.9, 0.6});
+  double native_loss = 0.0, inverted_loss = 0.0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    size_t native_yes = 0, inverted_yes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool truthful = static_cast<double>(i) < y * n;
+      if (rr.RandomizeBit(truthful, rng)) {
+        ++native_yes;
+      }
+      if (rr.RandomizeBit(!truthful, rng)) {
+        ++inverted_yes;
+      }
+    }
+    const double yes_truth = y * n;
+    const double no_truth = (1.0 - y) * n;
+    native_loss += AccuracyLoss(
+        yes_truth, rr.DebiasCount(static_cast<double>(native_yes), n));
+    inverted_loss += AccuracyLoss(
+        no_truth, rr.DebiasCount(static_cast<double>(inverted_yes), n));
+  }
+  // The inverted query's relative loss should be several times smaller
+  // (the counted "No" population is 9x larger).
+  EXPECT_LT(inverted_loss * 3.0, native_loss);
+}
+
+}  // namespace
+}  // namespace privapprox::core

@@ -1,0 +1,154 @@
+// Tests for privacy accounting: Eq 8 epsilon, amplification by sampling
+// (tech report Eq 19), and the inverse solvers the budget initializer uses.
+// The Table 1 epsilon column is reproduced exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/privacy.h"
+
+namespace privapprox::core {
+namespace {
+
+TEST(EpsilonDpTest, ReproducesTable1Column) {
+  // Table 1 privacy levels for the nine (p, q) combinations. The paper
+  // reports the *zero-knowledge* level at s = 0.6; the relation is
+  // eps_zk = ln(1 + s(e^eps_dp - 1)). We verify both columns.
+  struct Row {
+    double p, q, eps_table;
+  };
+  const Row rows[] = {
+      {0.3, 0.3, 1.7047}, {0.3, 0.6, 1.3862}, {0.3, 0.9, 1.2527},
+      {0.6, 0.3, 2.5649}, {0.6, 0.6, 2.0476}, {0.6, 0.9, 1.7917},
+      {0.9, 0.3, 4.1820}, {0.9, 0.6, 3.5263}, {0.9, 0.9, 3.1570},
+  };
+  for (const Row& row : rows) {
+    const double eps_zk = EpsilonZk(RandomizationParams{row.p, row.q}, 0.6);
+    // Table 1's epsilon column is the Eq 19 zero-knowledge level at s = 0.6.
+    EXPECT_NEAR(eps_zk, row.eps_table, 5e-4)
+        << "p=" << row.p << " q=" << row.q;
+  }
+}
+
+TEST(EpsilonDpTest, ClosedForm) {
+  // eps = ln((p + (1-p)q) / ((1-p)q)) for p=0.5, q=0.5: ln(0.75/0.25)=ln 3.
+  EXPECT_NEAR(EpsilonDp(RandomizationParams{0.5, 0.5}), std::log(3.0), 1e-12);
+}
+
+TEST(EpsilonDpTest, NoRandomizationIsInfinite) {
+  EXPECT_TRUE(std::isinf(EpsilonDp(RandomizationParams{1.0, 0.5})));
+}
+
+TEST(EpsilonDpTest, MonotoneInP) {
+  double previous = 0.0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double eps = EpsilonDp(RandomizationParams{p, 0.5});
+    EXPECT_GT(eps, previous);
+    previous = eps;
+  }
+}
+
+TEST(EpsilonDpTest, MonotoneDecreasingInQ) {
+  // Higher q -> more forced yes -> more deniability -> lower eps.
+  double previous = 1e18;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double eps = EpsilonDp(RandomizationParams{0.6, q});
+    EXPECT_LT(eps, previous);
+    previous = eps;
+  }
+}
+
+TEST(AmplifyBySamplingTest, IdentityAtFullSampling) {
+  EXPECT_NEAR(AmplifyBySampling(2.0, 1.0), 2.0, 1e-12);
+}
+
+TEST(AmplifyBySamplingTest, StrictlyTightensForSubsampling) {
+  for (double s : {0.1, 0.4, 0.6, 0.9}) {
+    EXPECT_LT(AmplifyBySampling(2.0, s), 2.0);
+  }
+}
+
+TEST(AmplifyBySamplingTest, MonotoneInS) {
+  double previous = 0.0;
+  for (double s : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double eps = AmplifyBySampling(1.5, s);
+    EXPECT_GT(eps, previous);
+    previous = eps;
+  }
+}
+
+TEST(AmplifyBySamplingTest, SmallSApproachesLinear) {
+  // For small s, eps(s) ~= s * (e^eps - 1).
+  const double eps = 1.0, s = 1e-4;
+  EXPECT_NEAR(AmplifyBySampling(eps, s), s * std::expm1(eps), 1e-7);
+}
+
+TEST(AmplifyBySamplingTest, RejectsBadArgs) {
+  EXPECT_THROW(AmplifyBySampling(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(AmplifyBySampling(1.0, 1.1), std::invalid_argument);
+  EXPECT_THROW(AmplifyBySampling(-1.0, 0.5), std::invalid_argument);
+}
+
+TEST(EpsilonZkTest, MonotoneInSamplingFraction) {
+  const RandomizationParams params{0.9, 0.6};
+  double previous = 0.0;
+  for (double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double eps = EpsilonZk(params, s);
+    EXPECT_GT(eps, previous) << "s=" << s;
+    previous = eps;
+  }
+}
+
+TEST(EpsilonZkTest, DivergesAtFullSampling) {
+  EXPECT_TRUE(std::isinf(EpsilonZk(RandomizationParams{0.9, 0.6}, 1.0)));
+}
+
+TEST(SamplingFractionForEpsilonZkTest, InvertsEq19) {
+  const RandomizationParams params{0.6, 0.6};
+  for (double target : {1.0, 2.0, 3.0}) {
+    const double s = SamplingFractionForEpsilonZk(params, target);
+    EXPECT_NEAR(EpsilonZk(params, s), target, 1e-6);
+  }
+}
+
+TEST(SamplingFractionForEpsilonZkTest, RejectsBadArgs) {
+  EXPECT_THROW(
+      SamplingFractionForEpsilonZk(RandomizationParams{1.0, 0.5}, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SamplingFractionForEpsilonZk(RandomizationParams{0.5, 0.5}, 0.0),
+      std::invalid_argument);
+}
+
+TEST(SamplingFractionForEpsilonTest, InvertsAmplification) {
+  const double base = 2.5;
+  for (double target : {0.5, 1.0, 2.0}) {
+    const double s = SamplingFractionForEpsilon(base, target);
+    EXPECT_NEAR(AmplifyBySampling(base, s), target, 1e-9);
+  }
+}
+
+TEST(SamplingFractionForEpsilonTest, SaturatesAtOne) {
+  EXPECT_DOUBLE_EQ(SamplingFractionForEpsilon(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(SamplingFractionForEpsilon(1.0, 1.0), 1.0);
+}
+
+TEST(FirstCoinForEpsilonTest, InvertsEquation8) {
+  for (double q : {0.3, 0.5, 0.7}) {
+    for (double target : {0.5, 1.0, 2.0, 3.0}) {
+      const double p = FirstCoinForEpsilon(q, target);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+      EXPECT_NEAR(EpsilonDp(RandomizationParams{p, q}), target, 1e-9);
+    }
+  }
+}
+
+TEST(FirstCoinForEpsilonTest, RejectsBadArgs) {
+  EXPECT_THROW(FirstCoinForEpsilon(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(FirstCoinForEpsilon(0.5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::core

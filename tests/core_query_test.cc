@@ -1,0 +1,200 @@
+// Tests for the query model: buckets, answer formats, the builder, the
+// signature stand-in, and answer encoding.
+
+#include <gtest/gtest.h>
+
+#include "core/answer.h"
+#include "core/query.h"
+
+namespace privapprox::core {
+namespace {
+
+TEST(NumericBucketTest, HalfOpenInterval) {
+  const NumericBucket bucket{1.0, 2.0};
+  EXPECT_FALSE(bucket.Contains(0.99));
+  EXPECT_TRUE(bucket.Contains(1.0));
+  EXPECT_TRUE(bucket.Contains(1.999));
+  EXPECT_FALSE(bucket.Contains(2.0));
+}
+
+TEST(MatchBucketTest, ExactMatch) {
+  const MatchBucket bucket{"san_francisco", false};
+  EXPECT_TRUE(bucket.Contains("san_francisco"));
+  EXPECT_FALSE(bucket.Contains("San_Francisco"));
+  EXPECT_FALSE(bucket.Contains("san"));
+}
+
+TEST(MatchBucketTest, WildcardMatch) {
+  const MatchBucket star{"error*", true};
+  EXPECT_TRUE(star.Contains("error"));
+  EXPECT_TRUE(star.Contains("error: disk full"));
+  EXPECT_FALSE(star.Contains("warning"));
+  const MatchBucket question{"v?.0", true};
+  EXPECT_TRUE(question.Contains("v1.0"));
+  EXPECT_TRUE(question.Contains("v2.0"));
+  EXPECT_FALSE(question.Contains("v10.0"));
+  const MatchBucket mixed{"*taxi*ride*", true};
+  EXPECT_TRUE(mixed.Contains("nyc taxi and ride data"));
+  EXPECT_FALSE(mixed.Contains("ride taxi"));  // order matters
+}
+
+TEST(AnswerFormatTest, UniformNumericCoversRange) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0.0, 10.0, 10, true);
+  EXPECT_EQ(format.num_buckets(), 11u);
+  EXPECT_EQ(format.BucketOf(0.0).value(), 0u);
+  EXPECT_EQ(format.BucketOf(9.99).value(), 9u);
+  EXPECT_EQ(format.BucketOf(10.0).value(), 10u);   // overflow bucket
+  EXPECT_EQ(format.BucketOf(1234.5).value(), 10u);
+  EXPECT_FALSE(format.BucketOf(-0.1).has_value());
+}
+
+TEST(AnswerFormatTest, WithoutOverflowRejectsLargeValues) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0.0, 3.0, 6);
+  EXPECT_EQ(format.num_buckets(), 6u);
+  EXPECT_EQ(format.BucketOf(2.6).value(), 5u);
+  EXPECT_FALSE(format.BucketOf(3.0).has_value());
+}
+
+TEST(AnswerFormatTest, BadRangeThrows) {
+  EXPECT_THROW(AnswerFormat::UniformNumeric(0.0, 0.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(AnswerFormat::UniformNumeric(0.0, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(AnswerFormatTest, StringBuckets) {
+  const AnswerFormat format(std::vector<Bucket>{
+      MatchBucket{"manhattan", false}, MatchBucket{"brooklyn", false},
+      MatchBucket{"*", true}});
+  EXPECT_EQ(format.BucketOf(std::string("manhattan")).value(), 0u);
+  EXPECT_EQ(format.BucketOf(std::string("brooklyn")).value(), 1u);
+  // First matching bucket wins; the catch-all takes the rest.
+  EXPECT_EQ(format.BucketOf(std::string("queens")).value(), 2u);
+}
+
+TEST(AnswerFormatTest, BucketLabels) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0.0, 2.0, 2, true);
+  EXPECT_EQ(format.BucketLabel(0), "[0, 1)");
+  EXPECT_EQ(format.BucketLabel(2), "[2, +inf)");
+  EXPECT_THROW(format.BucketLabel(3), std::out_of_range);
+}
+
+TEST(QueryBuilderTest, BuildsSignedQuery) {
+  const Query query = QueryBuilder()
+                          .WithId(7)
+                          .WithAnalyst(99)
+                          .WithSql("SELECT speed FROM vehicle")
+                          .WithAnswerFormat(
+                              AnswerFormat::UniformNumeric(0, 100, 10, true))
+                          .WithFrequencyMs(1000)
+                          .WithWindowMs(600000)
+                          .WithSlideMs(60000)
+                          .Build();
+  EXPECT_EQ(query.query_id, 7u);
+  EXPECT_TRUE(query.VerifySignature());
+}
+
+TEST(QueryBuilderTest, TamperedQueryFailsVerification) {
+  Query query = QueryBuilder()
+                    .WithId(7)
+                    .WithSql("SELECT speed FROM vehicle")
+                    .WithAnswerFormat(AnswerFormat::UniformNumeric(0, 10, 5))
+                    .Build();
+  query.sql = "SELECT salary FROM employees";
+  EXPECT_FALSE(query.VerifySignature());
+}
+
+TEST(QueryBuilderTest, ValidationErrors) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0, 10, 5);
+  EXPECT_THROW(QueryBuilder().WithAnswerFormat(format).Build(),
+               std::invalid_argument);  // empty SQL
+  EXPECT_THROW(QueryBuilder().WithSql("SELECT a FROM t").Build(),
+               std::invalid_argument);  // no buckets
+  EXPECT_THROW(QueryBuilder()
+                   .WithSql("SELECT a FROM t")
+                   .WithAnswerFormat(format)
+                   .WithWindowMs(1000)
+                   .WithSlideMs(2000)
+                   .Build(),
+               std::invalid_argument);  // slide > window
+  EXPECT_THROW(QueryBuilder()
+                   .WithSql("SELECT a FROM t")
+                   .WithAnswerFormat(format)
+                   .WithFrequencyMs(0)
+                   .Build(),
+               std::invalid_argument);  // non-positive period
+}
+
+TEST(EncodeAnswerTest, OneHotEncoding) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0, 10, 10, true);
+  const BitVector answer = EncodeAnswer(format, 1.5);
+  EXPECT_EQ(answer.size(), 11u);
+  EXPECT_EQ(answer.PopCount(), 1u);
+  EXPECT_TRUE(answer.Get(1));
+}
+
+TEST(EncodeAnswerTest, PaperSpeedExample) {
+  // §2.2: 12 speed buckets; a vehicle at 15 mph answers '1' for the third
+  // bucket ('11~20') and '0' for all others. Buckets: [0,1) ~ '0',
+  // [1,11) ~ '1~10', [11,21) ~ '11~20', ...
+  std::vector<Bucket> buckets;
+  buckets.push_back(NumericBucket{0, 1});
+  for (int lo = 1; lo <= 91; lo += 10) {
+    buckets.push_back(NumericBucket{static_cast<double>(lo),
+                                    static_cast<double>(lo + 10)});
+  }
+  buckets.push_back(
+      NumericBucket{101, std::numeric_limits<double>::infinity()});
+  const AnswerFormat format((std::vector<Bucket>(buckets)));
+  EXPECT_EQ(format.num_buckets(), 12u);
+  const BitVector answer = EncodeAnswer(format, 15.0);
+  EXPECT_TRUE(answer.Get(2));
+  EXPECT_EQ(answer.PopCount(), 1u);
+}
+
+TEST(EncodeAnswerTest, OutOfRangeValueGivesAllZero) {
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0, 10, 10);
+  EXPECT_EQ(EncodeAnswer(format, -5.0).PopCount(), 0u);
+  EXPECT_EQ(EncodeAnswer(format, 10.0).PopCount(), 0u);
+}
+
+TEST(EncodeAnswerTest, StringEncoding) {
+  const AnswerFormat format(std::vector<Bucket>{MatchBucket{"a", false},
+                                                MatchBucket{"b", false}});
+  EXPECT_TRUE(EncodeAnswer(format, std::string("b")).Get(1));
+  EXPECT_EQ(EncodeAnswer(format, std::string("c")).PopCount(), 0u);
+}
+
+TEST(AnswerAccumulatorTest, CountsPerBucket) {
+  AnswerAccumulator acc(3);
+  BitVector a(3), b(3);
+  a.Set(0, true);
+  b.Set(0, true);
+  b.Set(2, true);  // randomized answers may have several bits set
+  acc.Add(a);
+  acc.Add(b);
+  EXPECT_EQ(acc.num_answers(), 2u);
+  EXPECT_DOUBLE_EQ(acc.histogram().Count(0), 2.0);
+  EXPECT_DOUBLE_EQ(acc.histogram().Count(1), 0.0);
+  EXPECT_DOUBLE_EQ(acc.histogram().Count(2), 1.0);
+}
+
+TEST(AnswerAccumulatorTest, WidthMismatchThrows) {
+  AnswerAccumulator acc(3);
+  EXPECT_THROW(acc.Add(BitVector(4)), std::invalid_argument);
+}
+
+TEST(AnswerAccumulatorTest, MergeCombines) {
+  AnswerAccumulator a(2), b(2);
+  BitVector yes(2);
+  yes.Set(0, true);
+  a.Add(yes);
+  b.Add(yes);
+  b.Add(BitVector(2));
+  a.Merge(b);
+  EXPECT_EQ(a.num_answers(), 3u);
+  EXPECT_DOUBLE_EQ(a.histogram().Count(0), 2.0);
+}
+
+}  // namespace
+}  // namespace privapprox::core

@@ -1,0 +1,292 @@
+// Tests for the dataflow engine: sliding-window assignment, the windowed
+// buffer with watermarks and late data, the MID share join (including
+// replay/duplicate defense and partial-group eviction), and the pull
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/xor_cipher.h"
+#include "engine/join.h"
+#include "engine/pipeline.h"
+#include "engine/window.h"
+
+namespace privapprox::engine {
+namespace {
+
+// ------------------------------------------------------------------ windows
+
+TEST(SlidingWindowAssignerTest, TumblingWindow) {
+  const SlidingWindowAssigner assigner(10, 10);
+  const auto windows = assigner.WindowsFor(25);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ms, 20);
+  EXPECT_EQ(windows[0].end_ms, 30);
+}
+
+TEST(SlidingWindowAssignerTest, OverlappingWindows) {
+  // Window 30 ms sliding by 10 ms: each timestamp is in 3 windows.
+  const SlidingWindowAssigner assigner(30, 10);
+  const auto windows = assigner.WindowsFor(35);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start_ms, 30);
+  EXPECT_EQ(windows[1].start_ms, 20);
+  EXPECT_EQ(windows[2].start_ms, 10);
+  for (const Window& w : windows) {
+    EXPECT_LE(w.start_ms, 35);
+    EXPECT_GT(w.end_ms, 35);
+  }
+}
+
+TEST(SlidingWindowAssignerTest, BoundaryTimestampBelongsToNewWindow) {
+  const SlidingWindowAssigner assigner(20, 10);
+  const auto windows = assigner.WindowsFor(20);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start_ms, 20);  // [20, 40)
+  EXPECT_EQ(windows[1].start_ms, 10);  // [10, 30)
+}
+
+TEST(SlidingWindowAssignerTest, NegativeTimestamps) {
+  const SlidingWindowAssigner assigner(10, 10);
+  const auto windows = assigner.WindowsFor(-5);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ms, -10);
+  EXPECT_EQ(windows[0].end_ms, 0);
+}
+
+TEST(SlidingWindowAssignerTest, RejectsBadPeriods) {
+  EXPECT_THROW(SlidingWindowAssigner(0, 1), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowAssigner(10, 0), std::invalid_argument);
+  EXPECT_THROW(SlidingWindowAssigner(10, 20), std::invalid_argument);
+}
+
+TEST(WindowBufferTest, FiresOnWatermark) {
+  std::map<int64_t, size_t> fired;  // window start -> item count
+  WindowBuffer<int> buffer(SlidingWindowAssigner(10, 10),
+                           [&](const Window& w, const std::vector<int>& items) {
+                             fired[w.start_ms] = items.size();
+                           });
+  buffer.Add(1, 100);
+  buffer.Add(5, 101);
+  buffer.Add(12, 102);
+  EXPECT_TRUE(fired.empty());
+  buffer.AdvanceWatermark(10);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2u);
+  buffer.AdvanceWatermark(20);
+  EXPECT_EQ(fired[10], 1u);
+}
+
+TEST(WindowBufferTest, LateDataIsDroppedAndCounted) {
+  int fired = 0;
+  WindowBuffer<int> buffer(SlidingWindowAssigner(10, 10),
+                           [&](const Window&, const std::vector<int>&) {
+                             ++fired;
+                           });
+  buffer.AdvanceWatermark(50);
+  buffer.Add(30, 1);  // behind the watermark
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+  buffer.AdvanceWatermark(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(WindowBufferTest, WatermarkNeverMovesBackwards) {
+  WindowBuffer<int> buffer(SlidingWindowAssigner(10, 10),
+                           [](const Window&, const std::vector<int>&) {});
+  buffer.AdvanceWatermark(100);
+  buffer.AdvanceWatermark(50);
+  EXPECT_EQ(buffer.watermark_ms(), 100);
+}
+
+TEST(WindowBufferTest, FlushFiresEverythingPending) {
+  int fired = 0;
+  WindowBuffer<int> buffer(SlidingWindowAssigner(30, 10),
+                           [&](const Window&, const std::vector<int>&) {
+                             ++fired;
+                           });
+  buffer.Add(25, 1);  // 3 overlapping windows
+  EXPECT_EQ(buffer.pending_windows(), 3u);
+  buffer.Flush();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(buffer.pending_windows(), 0u);
+}
+
+TEST(WindowBufferTest, SlidingWindowsShareItems) {
+  std::map<int64_t, std::vector<int>> fired;
+  WindowBuffer<int> buffer(SlidingWindowAssigner(20, 10),
+                           [&](const Window& w, const std::vector<int>& items) {
+                             fired[w.start_ms] = items;
+                           });
+  buffer.Add(15, 7);  // in [0,20) and [10,30)
+  buffer.AdvanceWatermark(40);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], std::vector<int>{7});
+  EXPECT_EQ(fired[10], std::vector<int>{7});
+}
+
+// --------------------------------------------------------------------- join
+
+crypto::MessageShare Share(uint64_t mid, std::vector<uint8_t> payload) {
+  return crypto::MessageShare{mid, std::move(payload)};
+}
+
+TEST(MidJoinerTest, JoinsWhenAllSharesArrive) {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> emitted;
+  MidJoiner joiner(2, 1000,
+                   [&](uint64_t mid, std::vector<uint8_t> plaintext, int64_t) {
+                     emitted.emplace_back(mid, std::move(plaintext));
+                   });
+  joiner.Add(Share(7, {0xF0}), 10, /*source=*/0);
+  EXPECT_TRUE(emitted.empty());
+  joiner.Add(Share(7, {0x0F}), 12, /*source=*/1);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].first, 7u);
+  EXPECT_EQ(emitted[0].second, std::vector<uint8_t>{0xFF});
+  EXPECT_EQ(joiner.stats().joined, 1u);
+}
+
+TEST(MidJoinerTest, EmitsWithFirstSeenTimestamp) {
+  int64_t emitted_ts = -1;
+  MidJoiner joiner(2, 1000,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t ts) {
+                     emitted_ts = ts;
+                   });
+  joiner.Add(Share(1, {0}), 100, 0);
+  joiner.Add(Share(1, {0}), 250, 1);
+  EXPECT_EQ(emitted_ts, 100);
+}
+
+TEST(MidJoinerTest, ThreeWayJoinRoundTrip) {
+  crypto::XorSplitter splitter(3, crypto::ChaCha20Rng::FromSeed(1, 0));
+  const std::vector<uint8_t> plaintext = {1, 2, 3, 4};
+  const auto shares = splitter.Split(plaintext);
+  std::vector<uint8_t> recovered;
+  MidJoiner joiner(3, 1000,
+                   [&](uint64_t, std::vector<uint8_t> out, int64_t) {
+                     recovered = std::move(out);
+                   });
+  // Arrive out of order (the share's own source index still identifies the
+  // stream it traveled on).
+  joiner.Add(shares[2], 1, 2);
+  joiner.Add(shares[0], 2, 0);
+  joiner.Add(shares[1], 3, 1);
+  EXPECT_EQ(recovered, plaintext);
+}
+
+TEST(MidJoinerTest, ReplayedMidIsDropped) {
+  int emitted = 0;
+  MidJoiner joiner(2, 1000,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  joiner.Add(Share(5, {1}), 0, 0);
+  joiner.Add(Share(5, {2}), 0, 1);
+  EXPECT_EQ(emitted, 1);
+  // A malicious client replays the same MID to distort the count (§3.2.4).
+  joiner.Add(Share(5, {1}), 1, 0);
+  joiner.Add(Share(5, {2}), 1, 1);
+  EXPECT_EQ(emitted, 1);
+  EXPECT_EQ(joiner.stats().duplicates_dropped, 2u);
+}
+
+TEST(MidJoinerTest, EvictsStalePartialGroups) {
+  int emitted = 0;
+  MidJoiner joiner(2, 100,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  joiner.Add(Share(9, {1}), 0, 0);  // second share never arrives
+  EXPECT_EQ(joiner.pending_groups(), 1u);
+  joiner.EvictStale(200);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  EXPECT_EQ(joiner.stats().evicted_partial, 1u);
+  // The straggler share now starts a fresh (doomed) group, not a crash.
+  joiner.Add(Share(9, {2}), 201, 1);
+  EXPECT_EQ(emitted, 0);
+}
+
+TEST(MidJoinerTest, RejectsBadConfig) {
+  const auto noop = [](uint64_t, std::vector<uint8_t>, int64_t) {};
+  EXPECT_THROW(MidJoiner(1, 1000, noop), std::invalid_argument);
+  EXPECT_THROW(MidJoiner(2, 0, noop), std::invalid_argument);
+}
+
+TEST(MidJoinerTest, RejectsBadSource) {
+  MidJoiner joiner(2, 1000, [](uint64_t, std::vector<uint8_t>, int64_t) {});
+  EXPECT_THROW(joiner.Add(Share(1, {0}), 0, 2), std::out_of_range);
+}
+
+TEST(MidJoinerTest, SameStreamRedeliveryCannotSelfJoin) {
+  // The same share delivered twice on one stream must not XOR with itself
+  // into a zero "plaintext" — it fills one slot and the copy is dropped.
+  int emitted = 0;
+  std::vector<uint8_t> plaintext_out;
+  MidJoiner joiner(2, 1000,
+                   [&](uint64_t, std::vector<uint8_t> plaintext, int64_t) {
+                     ++emitted;
+                     plaintext_out = std::move(plaintext);
+                   });
+  joiner.Add(Share(3, {0xAA}), 0, 0);
+  joiner.Add(Share(3, {0xAA}), 1, 0);  // redelivery on stream 0
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(joiner.stats().duplicates_dropped, 1u);
+  joiner.Add(Share(3, {0x55}), 2, 1);  // the real sibling
+  EXPECT_EQ(emitted, 1);
+  EXPECT_EQ(plaintext_out, std::vector<uint8_t>{0xFF});
+}
+
+TEST(MidJoinerTest, ManyInterleavedGroups) {
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(2, 0));
+  std::vector<std::vector<crypto::MessageShare>> all;
+  for (uint8_t i = 0; i < 100; ++i) {
+    all.push_back(splitter.Split({i}));
+  }
+  size_t emitted = 0;
+  MidJoiner joiner(2, 1000,
+                   [&](uint64_t, std::vector<uint8_t> plaintext, int64_t) {
+                     ++emitted;
+                     ASSERT_EQ(plaintext.size(), 1u);
+                   });
+  // First shares of everyone, then second shares of everyone.
+  for (const auto& shares : all) {
+    joiner.Add(shares[0], 0, 0);
+  }
+  for (const auto& shares : all) {
+    joiner.Add(shares[1], 1, 1);
+  }
+  EXPECT_EQ(emitted, 100u);
+}
+
+// ----------------------------------------------------------------- pipeline
+
+TEST(PullPipelineTest, SequentialDrainSeesEveryRecord) {
+  broker::Broker b;
+  broker::Topic& topic = b.CreateTopic("t", 2);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    topic.Append(key, {1}, 0);
+  }
+  broker::Consumer consumer(topic);
+  size_t seen = 0;
+  const auto stats = PullPipeline::DrainSequential(
+      consumer,
+      [&](std::vector<broker::Record>&& batch) { seen += batch.size(); },
+      128);
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(stats.records, 1000u);
+  EXPECT_GT(stats.batches, 1u);
+}
+
+TEST(PullPipelineTest, ParallelDrainCountsMatch) {
+  broker::Broker b;
+  broker::Topic& topic = b.CreateTopic("t", 4);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    topic.Append(key, {1}, 0);
+  }
+  broker::Consumer consumer(topic);
+  ThreadPool pool(4);
+  std::atomic<size_t> seen{0};
+  const auto stats = PullPipeline::DrainParallel(
+      consumer, pool, [&](const broker::Record&) { seen++; }, 512);
+  EXPECT_EQ(seen.load(), 5000u);
+  EXPECT_EQ(stats.records, 5000u);
+}
+
+}  // namespace
+}  // namespace privapprox::engine

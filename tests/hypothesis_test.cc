@@ -1,0 +1,145 @@
+// Tests for the hypothesis-testing utilities (KS two-sample, chi-square
+// GOF, incomplete gamma) and their application to the paper's §4
+// commutativity claim.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/randomized_response.h"
+#include "stats/hypothesis.h"
+#include "stats/special_functions.h"
+
+namespace privapprox::stats {
+namespace {
+
+// --------------------------------------------------------- incomplete gamma
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_THROW(RegularizedGammaP(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareSurvivalTest, KnownCriticalValues) {
+  // Classic chi-square table: P[X > 3.841 | df=1] = 0.05,
+  // P[X > 5.991 | df=2] = 0.05, P[X > 18.307 | df=10] = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(5.991, 2), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 3), 1.0);
+}
+
+// --------------------------------------------------------------------- KS
+
+TEST(KsTest, IdenticalSamplesHaveHighPValue) {
+  Xoshiro256 rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian());
+  }
+  const TestResult result = KolmogorovSmirnovTwoSample(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.06);
+}
+
+TEST(KsTest, ShiftedSamplesRejected) {
+  Xoshiro256 rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian() + 0.5);
+  }
+  const TestResult result = KolmogorovSmirnovTwoSample(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTest, StatisticIsExactForDisjointSamples) {
+  const TestResult result =
+      KolmogorovSmirnovTwoSample({1.0, 2.0, 3.0}, {10.0, 11.0});
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+  EXPECT_LT(result.p_value, 0.2);
+}
+
+TEST(KsTest, EmptySampleThrows) {
+  EXPECT_THROW(KolmogorovSmirnovTwoSample({}, {1.0}), std::invalid_argument);
+}
+
+TEST(KsTest, CommutativityOfSamplingAndRandomization) {
+  // The §4 claim, tested properly: the distribution of de-biased estimates
+  // is the same whichever order the two mechanisms run in.
+  Xoshiro256 rng(3);
+  const core::RandomizedResponse rr(core::RandomizationParams{0.7, 0.5});
+  const size_t population = 5000;
+  const double s = 0.5;
+  std::vector<double> order_a, order_b;
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t n_a = 0, ry_a = 0, n_b = 0, ry_b = 0;
+    for (size_t i = 0; i < population; ++i) {
+      const bool truth = i < population * 6 / 10;
+      if (rng.NextBernoulli(s)) {
+        ++n_a;
+        ry_a += rr.RandomizeBit(truth, rng) ? 1 : 0;
+      }
+      const bool randomized = rr.RandomizeBit(truth, rng);
+      if (rng.NextBernoulli(s)) {
+        ++n_b;
+        ry_b += randomized ? 1 : 0;
+      }
+    }
+    order_a.push_back(rr.DebiasCount(ry_a, n_a) / n_a);
+    order_b.push_back(rr.DebiasCount(ry_b, n_b) / n_b);
+  }
+  const TestResult result = KolmogorovSmirnovTwoSample(order_a, order_b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+// -------------------------------------------------------------- chi-square
+
+TEST(ChiSquareGofTest, PerfectFitHasPValueOne) {
+  const TestResult result =
+      ChiSquareGoodnessOfFit({10.0, 20.0, 30.0}, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(ChiSquareGofTest, UniformSamplesFitUniform) {
+  Xoshiro256 rng(4);
+  std::vector<double> observed(10, 0.0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    observed[rng.NextBounded(10)] += 1.0;
+  }
+  const std::vector<double> expected(10, n / 10.0);
+  const TestResult result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(ChiSquareGofTest, SkewedSamplesRejected) {
+  const std::vector<double> observed = {150.0, 50.0, 100.0};
+  const std::vector<double> expected = {100.0, 100.0, 100.0};
+  const TestResult result = ChiSquareGoodnessOfFit(observed, expected);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquareGofTest, ValidatesInput) {
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1.0, 2.0}, {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ChiSquareGoodnessOfFit({1.0, 2.0}, {1.0, 2.0}, 1),
+               std::invalid_argument);  // df hits zero
+}
+
+}  // namespace
+}  // namespace privapprox::stats

@@ -1,0 +1,103 @@
+// Tests for the simulated network: link serialization/latency accounting and
+// the cluster scaling model used by Figs 6, 8, 9.
+
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/topology.h"
+
+namespace privapprox::net {
+namespace {
+
+TEST(LinkTest, TransferTimeIsLatencyPlusSerialization) {
+  Link link(LinkConfig{1000.0, 2.0});  // 1000 B/ms, 2 ms latency
+  const double arrival = link.Transfer(0.0, 5000);
+  EXPECT_DOUBLE_EQ(arrival, 5.0 + 2.0);
+  EXPECT_EQ(link.bytes_transferred(), 5000u);
+}
+
+TEST(LinkTest, BackToBackTransfersSerialize) {
+  Link link(LinkConfig{1000.0, 1.0});
+  const double first = link.Transfer(0.0, 1000);   // leaves at 1, arrives 2
+  const double second = link.Transfer(0.0, 1000);  // must wait for the first
+  EXPECT_DOUBLE_EQ(first, 2.0);
+  EXPECT_DOUBLE_EQ(second, 3.0);
+  EXPECT_EQ(link.transfers(), 2u);
+}
+
+TEST(LinkTest, IdleLinkStartsImmediately) {
+  Link link(LinkConfig{1000.0, 1.0});
+  link.Transfer(0.0, 1000);
+  const double later = link.Transfer(10.0, 1000);  // link idle again
+  EXPECT_DOUBLE_EQ(later, 12.0);
+}
+
+TEST(LinkTest, ResetClearsState) {
+  Link link(LinkConfig{1000.0, 1.0});
+  link.Transfer(0.0, 12345);
+  link.Reset();
+  EXPECT_EQ(link.bytes_transferred(), 0u);
+  EXPECT_DOUBLE_EQ(link.busy_until_ms(), 0.0);
+}
+
+TEST(LinkTest, RejectsBadConfig) {
+  EXPECT_THROW(Link(LinkConfig{0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Link(LinkConfig{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ClusterTest, NodeRateScalesSubLinearlyWithCores) {
+  ClusterConfig config;
+  config.node.cores = 1;
+  config.node.records_per_ms_per_core = 100.0;
+  config.node.core_efficiency = 0.8;
+  const double rate1 = Cluster(config).NodeRate();
+  config.node.cores = 8;
+  const double rate8 = Cluster(config).NodeRate();
+  EXPECT_DOUBLE_EQ(rate1, 100.0);
+  EXPECT_GT(rate8, 4.0 * rate1);  // clearly parallel
+  EXPECT_LT(rate8, 8.0 * rate1);  // but sub-linear
+}
+
+TEST(ClusterTest, ThroughputImprovesWithNodes) {
+  ClusterConfig config;
+  config.num_nodes = 1;
+  const double t1 = Cluster(config).ThroughputPerSec(1000000, 16.0);
+  config.num_nodes = 8;
+  const double t8 = Cluster(config).ThroughputPerSec(1000000, 16.0);
+  EXPECT_GT(t8, 2.0 * t1);
+  EXPECT_LT(t8, 8.0 * t1);  // coordination overhead keeps it sub-linear
+}
+
+TEST(ClusterTest, CompletionTimeGatedBySlowerOfComputeAndNetwork) {
+  ClusterConfig config;
+  config.num_nodes = 1;
+  config.per_node_overhead_ms = 0.0;
+  config.link.latency_ms = 0.0;
+  config.node.cores = 1;
+  config.node.records_per_ms_per_core = 1000.0;
+  config.link.bandwidth_bytes_per_ms = 100.0;
+  // 1000 records * 10B = 10000B -> 100ms network; compute = 1ms. Network
+  // gates.
+  EXPECT_NEAR(Cluster(config).CompletionTimeMs(1000, 10.0), 100.0, 1e-9);
+  config.link.bandwidth_bytes_per_ms = 1e9;
+  EXPECT_NEAR(Cluster(config).CompletionTimeMs(1000, 10.0), 1.0, 1e-9);
+}
+
+TEST(ClusterTest, ZeroRecordsIsFree) {
+  EXPECT_DOUBLE_EQ(Cluster(ClusterConfig{}).CompletionTimeMs(0, 100.0), 0.0);
+}
+
+TEST(ClusterTest, RejectsBadConfig) {
+  ClusterConfig config;
+  config.num_nodes = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  config.num_nodes = 1;
+  config.node.cores = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  config.node.cores = 1;
+  config.node.core_efficiency = 1.5;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::net

@@ -1,0 +1,240 @@
+// Parameterized property sweeps (TEST_P) over the core invariants:
+//  - randomized response de-biasing is unbiased for every (p, q) grid point
+//  - the privacy accountant is consistent across the (p, q, s) grid
+//  - XOR split/combine round-trips for every share count and payload size
+//  - sampling + randomization commute distributionally (paper §4)
+//  - the end-to-end estimator's error bound covers the truth across
+//    parameter combinations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/error_estimation.h"
+#include "core/inversion.h"
+#include "core/privacy.h"
+#include "core/randomized_response.h"
+#include "crypto/xor_cipher.h"
+#include "workload/synthetic.h"
+
+namespace privapprox {
+namespace {
+
+using core::RandomizationParams;
+using core::RandomizedResponse;
+
+// ------------------------------------------------ RR unbiasedness over grid
+
+class RrGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RrGridTest, DebiasIsUnbiased) {
+  const auto [p, q] = GetParam();
+  Xoshiro256 rng(static_cast<uint64_t>(p * 1000 + q * 10));
+  const RandomizedResponse rr(RandomizationParams{p, q});
+  const size_t n = 20000;
+  const size_t truthful_yes = 12000;
+  double mean_estimate = 0.0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    size_t ry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ry += rr.RandomizeBit(i < truthful_yes, rng) ? 1 : 0;
+    }
+    mean_estimate += rr.DebiasCount(static_cast<double>(ry),
+                                    static_cast<double>(n));
+  }
+  mean_estimate /= trials;
+  const double se = rr.DebiasStdDev(0.6, n) / std::sqrt(trials);
+  EXPECT_NEAR(mean_estimate, 12000.0, 4.0 * se)
+      << "p=" << p << " q=" << q;
+}
+
+TEST_P(RrGridTest, PrivacyAccountingConsistent) {
+  const auto [p, q] = GetParam();
+  const RandomizationParams params{p, q};
+  const double eps = core::EpsilonDp(params);
+  EXPECT_GT(eps, 0.0);
+  // Eq 8 really is the log-ratio of the two response probabilities.
+  const double yes_given_yes = p + (1 - p) * q;
+  const double yes_given_no = (1 - p) * q;
+  EXPECT_NEAR(eps, std::log(yes_given_yes / yes_given_no), 1e-12);
+  // Amplification bracketed and monotone.
+  double previous = 0.0;
+  for (double s : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double amplified = core::AmplifyBySampling(eps, s);
+    EXPECT_GT(amplified, previous);
+    EXPECT_LE(amplified, eps + 1e-12);
+    previous = amplified;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PqGrid, RrGridTest,
+    ::testing::Combine(::testing::Values(0.3, 0.6, 0.9),
+                       ::testing::Values(0.3, 0.6, 0.9)),
+    [](const auto& info) {
+      return "p" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_q" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// -------------------------------------------------- XOR split/combine sweep
+
+class XorSplitTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(XorSplitTest, RoundTripsAnyShareCountAndSize) {
+  const auto [num_shares, payload_size] = GetParam();
+  crypto::XorSplitter splitter(
+      num_shares, crypto::ChaCha20Rng::FromSeed(num_shares, payload_size));
+  Xoshiro256 rng(payload_size * 31 + num_shares);
+  std::vector<uint8_t> plaintext(payload_size);
+  FillRandomBytes(rng, plaintext);
+  const auto shares = splitter.Split(plaintext);
+  ASSERT_EQ(shares.size(), num_shares);
+  for (const auto& share : shares) {
+    EXPECT_EQ(share.payload.size(), payload_size);
+  }
+  EXPECT_EQ(crypto::XorSplitter::Combine(shares), plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShareGrid, XorSplitTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(1, 13, 128, 4096)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------ sampling/randomization commutativity
+
+class CommuteTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CommuteTest, SampleThenRandomizeEqualsRandomizeThenSample) {
+  // §4: sampling and randomized response commute. Compare the distribution
+  // of the de-biased, scaled estimate under both orders.
+  const double s = GetParam();
+  Xoshiro256 rng(static_cast<uint64_t>(s * 1e6));
+  const RandomizedResponse rr(RandomizationParams{0.7, 0.5});
+  const size_t population = 30000;
+  const size_t truthful_yes = 18000;
+
+  double mean_a = 0.0, mean_b = 0.0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Order A: sample first, then randomize the participants.
+    size_t n_a = 0, ry_a = 0;
+    // Order B: randomize everyone, then sample the randomized answers.
+    size_t n_b = 0, ry_b = 0;
+    for (size_t i = 0; i < population; ++i) {
+      const bool truth = i < truthful_yes;
+      if (rng.NextBernoulli(s)) {
+        ++n_a;
+        ry_a += rr.RandomizeBit(truth, rng) ? 1 : 0;
+      }
+      const bool randomized = rr.RandomizeBit(truth, rng);
+      if (rng.NextBernoulli(s)) {
+        ++n_b;
+        ry_b += randomized ? 1 : 0;
+      }
+    }
+    mean_a += rr.DebiasCount(ry_a, n_a) / n_a;
+    mean_b += rr.DebiasCount(ry_b, n_b) / n_b;
+  }
+  mean_a /= trials;
+  mean_b /= trials;
+  EXPECT_NEAR(mean_a, 0.6, 0.02);
+  EXPECT_NEAR(mean_b, 0.6, 0.02);
+  EXPECT_NEAR(mean_a, mean_b, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(SamplingFractions, CommuteTest,
+                         ::testing::Values(0.2, 0.5, 0.8),
+                         [](const auto& info) {
+                           return "s" + std::to_string(static_cast<int>(
+                                            info.param * 10));
+                         });
+
+// -------------------------------------------- end-to-end coverage property
+
+class CoverageTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(CoverageTest, ErrorBoundCoversTruth) {
+  const auto [s, p, q] = GetParam();
+  Xoshiro256 rng(static_cast<uint64_t>(s * 100 + p * 10 + q));
+  core::ExecutionParams params;
+  params.sampling_fraction = s;
+  params.randomization = {p, q};
+  const size_t population = 20000;
+  const double yes_fraction = 0.6;
+  const core::ErrorEstimator estimator(params, population, 0.95);
+  const RandomizedResponse rr(params.randomization);
+  int covered = 0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    size_t participants = 0, ry = 0;
+    for (size_t i = 0; i < population; ++i) {
+      if (!rng.NextBernoulli(s)) {
+        continue;
+      }
+      ++participants;
+      ry += rr.RandomizeBit(static_cast<double>(i) < yes_fraction * population,
+                            rng)
+                ? 1
+                : 0;
+    }
+    Histogram counts(std::vector<double>{static_cast<double>(ry)});
+    const core::QueryResult result = estimator.Estimate(counts, participants);
+    const double truth = yes_fraction * population;
+    if (truth >= result.buckets[0].estimate.Lower() &&
+        truth <= result.buckets[0].estimate.Upper()) {
+      ++covered;
+    }
+  }
+  // 95% CI should cover >= ~85% of the time even with only 60 trials.
+  EXPECT_GE(covered, 51) << "s=" << s << " p=" << p << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, CoverageTest,
+    ::testing::Combine(::testing::Values(0.3, 0.9),
+                       ::testing::Values(0.6, 0.9),
+                       ::testing::Values(0.3, 0.6)),
+    [](const auto& info) {
+      return "s" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_p" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_q" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+// -------------------------------------------- inversion decision property
+
+class InversionDecisionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InversionDecisionTest, DecisionMatchesDistanceToQ) {
+  const double q = GetParam();
+  for (double y = 0.05; y < 1.0; y += 0.05) {
+    const bool invert = core::ShouldInvertQuery(y, q);
+    const double native_distance = std::fabs(y - q);
+    const double inverted_distance = std::fabs((1.0 - y) - q);
+    EXPECT_EQ(invert, inverted_distance < native_distance)
+        << "y=" << y << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QValues, InversionDecisionTest,
+                         ::testing::Values(0.3, 0.5, 0.6, 0.9),
+                         [](const auto& info) {
+                           return "q" + std::to_string(static_cast<int>(
+                                            info.param * 10));
+                         });
+
+}  // namespace
+}  // namespace privapprox

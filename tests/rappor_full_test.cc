@@ -1,0 +1,160 @@
+// Tests for the full RAPPOR pipeline: Bloom encoding, memoized permanent
+// randomized response, instantaneous randomized response, aggregate
+// decoding, and the privacy accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/rappor_full.h"
+
+namespace privapprox::baseline {
+namespace {
+
+RapporConfig DefaultConfig() {
+  RapporConfig config;
+  config.num_bits = 64;
+  config.num_hashes = 2;
+  config.f = 0.5;
+  config.p_irr = 0.25;
+  config.q_irr = 0.75;
+  return config;
+}
+
+TEST(RapporConfigTest, Validation) {
+  EXPECT_NO_THROW(DefaultConfig().Validate());
+  RapporConfig bad = DefaultConfig();
+  bad.num_hashes = 0;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad = DefaultConfig();
+  bad.num_hashes = 100;  // > num_bits
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad = DefaultConfig();
+  bad.f = 1.0;
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  bad = DefaultConfig();
+  bad.p_irr = 0.8;  // p >= q
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+}
+
+TEST(RapporClientTest, BloomEncodingDeterministicAndSized) {
+  RapporClient client(DefaultConfig(), 1);
+  const BitVector a = client.BloomEncode("value_a");
+  EXPECT_EQ(a, client.BloomEncode("value_a"));
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_LE(a.PopCount(), 2u);
+  EXPECT_GE(a.PopCount(), 1u);  // hash collision can merge the two bits
+}
+
+TEST(RapporClientTest, DifferentValuesUsuallyDiffer) {
+  RapporClient client(DefaultConfig(), 2);
+  int distinct = 0;
+  for (int i = 0; i < 50; ++i) {
+    const BitVector a = client.BloomEncode("v" + std::to_string(i));
+    const BitVector b = client.BloomEncode("v" + std::to_string(i + 1000));
+    distinct += (a == b) ? 0 : 1;
+  }
+  EXPECT_GE(distinct, 48);
+}
+
+TEST(RapporClientTest, PermanentResponseIsMemoized) {
+  // The longitudinal defense: reporting the same value twice must reuse the
+  // identical PRR bits, or an observer could average the noise away.
+  RapporClient client(DefaultConfig(), 3);
+  const BitVector& first = client.PermanentFor("home_page");
+  const BitVector& again = client.PermanentFor("home_page");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(client.memoized_values(), 1u);
+  client.PermanentFor("other_page");
+  EXPECT_EQ(client.memoized_values(), 2u);
+}
+
+TEST(RapporClientTest, ReportsVaryButPrrDoesNot) {
+  RapporClient client(DefaultConfig(), 4);
+  const BitVector r1 = client.Report("x");
+  const BitVector r2 = client.Report("x");
+  // IRR draws fresh noise per report: reports almost surely differ...
+  EXPECT_NE(r1, r2);
+  // ...while the underlying PRR stayed fixed.
+  EXPECT_EQ(client.memoized_values(), 1u);
+}
+
+TEST(RapporClientTest, IrrRatesMatchConfig) {
+  RapporConfig config = DefaultConfig();
+  config.num_bits = 1;
+  config.num_hashes = 1;
+  config.f = 0.0001;  // essentially no PRR noise so PRR ~= Bloom
+  RapporClient client(config, 5);
+  // Value hashing to bit 0: the single bit is set.
+  const BitVector bloom = client.BloomEncode("v");
+  const bool bit_set = bloom.Get(0);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ones += client.Report("v").Get(0) ? 1 : 0;
+  }
+  const double expected = bit_set ? config.q_irr : config.p_irr;
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected, 0.02);
+}
+
+TEST(RapporDecodeTest, RecoversHotValueCount) {
+  // 5000 clients all reporting the same value: the de-biased counts at the
+  // value's Bloom bits should approach 5000, other bits approach 0.
+  const RapporConfig config = DefaultConfig();
+  const size_t clients = 5000;
+  Histogram counts(config.num_bits);
+  BitVector bloom(config.num_bits);
+  {
+    RapporClient reference(config, 0);
+    bloom = reference.BloomEncode("popular");
+  }
+  for (size_t c = 0; c < clients; ++c) {
+    RapporClient client(config, 100 + c);
+    const BitVector report = client.Report("popular");
+    for (size_t i = 0; i < config.num_bits; ++i) {
+      if (report.Get(i)) {
+        counts.Add(i);
+      }
+    }
+  }
+  const Histogram debiased =
+      RapporDebias(config, counts, static_cast<double>(clients));
+  // Per-bit de-bias noise: sd ~ sqrt(N * 0.24) / ((1-f)(q-p)) ~ 137; allow
+  // ~4.5 sigma so the max over 64 bits stays within tolerance.
+  for (size_t i = 0; i < config.num_bits; ++i) {
+    if (bloom.Get(i)) {
+      EXPECT_NEAR(debiased.Count(i), 5000.0, 620.0) << "bit " << i;
+    } else {
+      EXPECT_NEAR(debiased.Count(i), 0.0, 620.0) << "bit " << i;
+    }
+  }
+}
+
+TEST(RapporEpsilonTest, AccountingBehaves) {
+  RapporConfig config = DefaultConfig();
+  const double base = RapporEpsilonOneTime(config);
+  EXPECT_GT(base, 0.0);
+  // More hashes leak more.
+  config.num_hashes = 4;
+  EXPECT_NEAR(RapporEpsilonOneTime(config), 2.0 * base, 1e-9);
+  // Stronger permanent noise (higher f) leaks less.
+  config.num_hashes = 2;
+  config.f = 0.9;
+  EXPECT_LT(RapporEpsilonOneTime(config), base);
+}
+
+TEST(RapporEpsilonTest, DegenerateIrrApproachesPrrOnly) {
+  // As q_irr -> 1 and p_irr -> 0 the IRR adds no deniability; epsilon is
+  // dominated by the PRR. Compare against the simple one-time formula.
+  RapporConfig config = DefaultConfig();
+  config.p_irr = 1e-9;
+  config.q_irr = 1.0 - 1e-9;
+  config.num_hashes = 1;
+  const double eps = RapporEpsilonOneTime(config);
+  const double prr_only = 2.0 * std::log((1.0 - config.f / 2.0) /
+                                         (config.f / 2.0));
+  EXPECT_NEAR(eps, prr_only, 1e-3);
+}
+
+}  // namespace
+}  // namespace privapprox::baseline

@@ -1,0 +1,335 @@
+// Unit tests for the statistics substrate: special functions (t quantiles),
+// running moments, and the SRS / stratified estimators of Eqs 2-4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/moments.h"
+#include "stats/special_functions.h"
+#include "stats/srs.h"
+#include "stats/stratified.h"
+
+namespace privapprox::stats {
+namespace {
+
+// ------------------------------------------------------- special functions
+
+TEST(SpecialFunctionsTest, IncompleteBetaEndpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaSymmetry) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.25, 0.5, 0.73, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaUniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaInvalidArgsThrow) {
+  EXPECT_THROW(RegularizedIncompleteBeta(0.0, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(RegularizedIncompleteBeta(1.0, -1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(SpecialFunctionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(SpecialFunctionsTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232306, 1e-6);
+}
+
+TEST(SpecialFunctionsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+  }
+}
+
+TEST(SpecialFunctionsTest, NormalQuantileRejectsBoundaries) {
+  EXPECT_THROW(NormalQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(NormalQuantile(1.0), std::invalid_argument);
+}
+
+TEST(SpecialFunctionsTest, StudentTCdfSymmetry) {
+  for (double df : {1.0, 5.0, 30.0}) {
+    for (double t : {0.5, 1.3, 2.7}) {
+      EXPECT_NEAR(StudentTCdf(t, df) + StudentTCdf(-t, df), 1.0, 1e-10);
+    }
+  }
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+}
+
+TEST(SpecialFunctionsTest, StudentTQuantileKnownValues) {
+  // Classic t-table entries (two-sided 95% -> p = 0.975).
+  EXPECT_NEAR(StudentTQuantile(0.975, 1.0), 12.7062, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 5.0), 2.5706, 1e-4);
+  EXPECT_NEAR(StudentTQuantile(0.975, 10.0), 2.2281, 1e-4);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30.0), 2.0423, 1e-4);
+  EXPECT_NEAR(StudentTQuantile(0.95, 10.0), 1.8125, 1e-4);
+}
+
+TEST(SpecialFunctionsTest, StudentTQuantileConvergesToNormal) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 1e7), NormalQuantile(0.975), 1e-4);
+}
+
+TEST(SpecialFunctionsTest, StudentTQuantileInvertsCdf) {
+  for (double df : {2.0, 9.0, 40.0}) {
+    for (double p : {0.05, 0.3, 0.5, 0.8, 0.975}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, df), df), p, 1e-8);
+    }
+  }
+}
+
+TEST(SpecialFunctionsTest, CriticalValueMatchesQuantile) {
+  EXPECT_NEAR(StudentTCriticalValue(0.95, 10.0),
+              StudentTQuantile(0.975, 10.0), 1e-12);
+  EXPECT_THROW(StudentTCriticalValue(1.0, 10.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- moments
+
+TEST(RunningMomentsTest, MatchesDirectComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningMoments moments = MomentsOf(values);
+  EXPECT_EQ(moments.count(), values.size());
+  EXPECT_NEAR(moments.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(moments.PopulationVariance(), 4.0, 1e-12);
+  EXPECT_NEAR(moments.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningMomentsTest, EmptyAndSingle) {
+  RunningMoments moments;
+  EXPECT_EQ(moments.count(), 0u);
+  EXPECT_DOUBLE_EQ(moments.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(moments.SampleVariance(), 0.0);
+  moments.Add(3.0);
+  EXPECT_DOUBLE_EQ(moments.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(moments.SampleVariance(), 0.0);
+}
+
+TEST(RunningMomentsTest, MergeEqualsSequential) {
+  Xoshiro256 rng(5);
+  RunningMoments all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 1.0;
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(left.SampleVariance(), all.SampleVariance(), 1e-9);
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.Mean(), 1.5, 1e-12);
+}
+
+// ------------------------------------------------------------------ SRS
+
+TEST(SrsEstimatorTest, FullCensusIsExactWithZeroError) {
+  // When the "sample" is the entire population the finite-population
+  // correction kills the error term.
+  SrsSumEstimator estimator(5);
+  const std::vector<double> population = {1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double v : population) {
+    estimator.Add(v);
+  }
+  const Estimate est = estimator.EstimateSum();
+  EXPECT_NEAR(est.value, 15.0, 1e-12);
+  EXPECT_NEAR(est.error, 0.0, 1e-9);
+}
+
+TEST(SrsEstimatorTest, EstimateScalesByInverseSamplingFraction) {
+  SrsSumEstimator estimator(100);
+  for (int i = 0; i < 10; ++i) {
+    estimator.Add(2.0);
+  }
+  const Estimate est = estimator.EstimateSum();
+  EXPECT_NEAR(est.value, 200.0, 1e-12);  // U/U' * sum = 10 * 20
+  EXPECT_NEAR(est.error, 0.0, 1e-9);     // zero variance sample
+}
+
+TEST(SrsEstimatorTest, ErrorMatchesManualFormula) {
+  // Sample {1, 3} from population of 10: mean 2, sigma^2 = 2,
+  // Var = U^2/n * sigma^2 * (U-n)/U = 100/2 * 2 * 0.8 = 80.
+  SrsSumEstimator estimator(10, 0.95);
+  estimator.Add(1.0);
+  estimator.Add(3.0);
+  const Estimate est = estimator.EstimateSum();
+  EXPECT_NEAR(est.value, 20.0, 1e-12);
+  const double t = StudentTCriticalValue(0.95, 1.0);
+  EXPECT_NEAR(est.error, t * std::sqrt(80.0), 1e-9);
+}
+
+TEST(SrsEstimatorTest, MeanIsSumOverPopulation) {
+  SrsSumEstimator estimator(50);
+  estimator.Add(4.0);
+  estimator.Add(6.0);
+  const Estimate mean = estimator.EstimateMean();
+  EXPECT_NEAR(mean.value, 5.0, 1e-12);
+}
+
+TEST(SrsEstimatorTest, CoverageAtStatedConfidence) {
+  // Property: the 95% CI must contain the true population sum ~95% of the
+  // time. Allow a generous tolerance band for 400 trials.
+  Xoshiro256 rng(99);
+  const size_t population_size = 2000;
+  std::vector<double> population(population_size);
+  double true_sum = 0.0;
+  for (auto& v : population) {
+    v = rng.NextDouble() * 10.0;
+    true_sum += v;
+  }
+  int covered = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    SrsSumEstimator estimator(population_size, 0.95);
+    for (size_t i = 0; i < population_size; ++i) {
+      if (rng.NextBernoulli(0.05)) {
+        estimator.Add(population[i]);
+      }
+    }
+    const Estimate est = estimator.EstimateSum();
+    if (est.sample_size < 2) {
+      continue;
+    }
+    if (true_sum >= est.Lower() && true_sum <= est.Upper()) {
+      ++covered;
+    }
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(SrsEstimatorTest, RejectsBadArguments) {
+  EXPECT_THROW(SrsSumEstimator(0), std::invalid_argument);
+  EXPECT_THROW(SrsSumEstimator(10, 1.5), std::invalid_argument);
+  SrsSumEstimator estimator(2);
+  estimator.Add(1.0);
+  estimator.Add(1.0);
+  EXPECT_THROW(estimator.Add(1.0), std::logic_error);
+}
+
+TEST(SrsEstimatorTest, MergePartials) {
+  SrsSumEstimator a(100), b(100);
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.sample_size(), 4u);
+  EXPECT_NEAR(a.EstimateSum().value, 250.0, 1e-12);
+  SrsSumEstimator c(50);
+  EXPECT_THROW(a.Merge(c), std::invalid_argument);
+}
+
+TEST(EstimatePopulationSumTest, OneShotHelper) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0};
+  const Estimate est = EstimatePopulationSum(sample, 30);
+  EXPECT_NEAR(est.value, 60.0, 1e-12);
+  EXPECT_GT(est.error, 0.0);
+}
+
+TEST(EstimateTest, RelativeError) {
+  Estimate est;
+  est.value = 200.0;
+  est.error = 10.0;
+  EXPECT_NEAR(est.RelativeError(), 0.05, 1e-12);
+  est.value = 0.0;
+  EXPECT_DOUBLE_EQ(est.RelativeError(), 0.0);
+}
+
+// ------------------------------------------------------------- stratified
+
+TEST(StratifiedTest, CombinesStratumSums) {
+  StratifiedSumEstimator estimator({10, 20});
+  estimator.Add(0, 1.0);  // stratum 0 scaled by 10/1
+  estimator.Add(1, 2.0);
+  estimator.Add(1, 2.0);  // stratum 1 scaled by 20/2
+  const Estimate est = estimator.EstimateSum();
+  EXPECT_NEAR(est.value, 10.0 + 40.0, 1e-12);
+}
+
+TEST(StratifiedTest, BeatsSrsOnSkewedStrata) {
+  // Two strata with very different means: stratified variance should be
+  // much smaller than plain SRS variance at the same sample size.
+  Xoshiro256 rng(7);
+  const size_t u1 = 5000, u2 = 5000;
+  std::vector<double> pop;
+  for (size_t i = 0; i < u1; ++i) {
+    pop.push_back(10.0 + rng.NextGaussian());
+  }
+  for (size_t i = 0; i < u2; ++i) {
+    pop.push_back(100.0 + rng.NextGaussian());
+  }
+  StratifiedSumEstimator stratified({u1, u2});
+  SrsSumEstimator srs(u1 + u2);
+  // 200 samples per stratum for stratified; 400 mixed for SRS.
+  for (int i = 0; i < 200; ++i) {
+    stratified.Add(0, pop[rng.NextBounded(u1)]);
+    stratified.Add(1, pop[u1 + rng.NextBounded(u2)]);
+    srs.Add(pop[rng.NextBounded(u1 + u2)]);
+    srs.Add(pop[rng.NextBounded(u1 + u2)]);
+  }
+  EXPECT_LT(stratified.EstimateSum().error, srs.EstimateSum().error);
+}
+
+TEST(StratifiedTest, PerStratumEstimates) {
+  StratifiedSumEstimator estimator({4, 6});
+  estimator.Add(0, 1.0);
+  estimator.Add(0, 1.0);
+  estimator.Add(1, 2.0);
+  const auto per_stratum = estimator.PerStratumEstimates();
+  ASSERT_EQ(per_stratum.size(), 2u);
+  EXPECT_NEAR(per_stratum[0].value, 4.0, 1e-12);
+  EXPECT_NEAR(per_stratum[1].value, 12.0, 1e-12);
+}
+
+TEST(StratifiedTest, RejectsBadInput) {
+  EXPECT_THROW(StratifiedSumEstimator({}), std::invalid_argument);
+  StratifiedSumEstimator estimator({5});
+  EXPECT_THROW(estimator.Add(1, 1.0), std::out_of_range);
+}
+
+TEST(ProportionalAllocationTest, SplitsProportionally) {
+  const auto alloc = ProportionalAllocation({100, 300}, 40);
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_EQ(alloc[0], 10u);
+  EXPECT_EQ(alloc[1], 30u);
+}
+
+TEST(ProportionalAllocationTest, EnforcesMinimumAndCaps) {
+  const auto alloc = ProportionalAllocation({2, 998}, 10, 3);
+  EXPECT_EQ(alloc[0], 2u);  // min 3 capped at stratum size 2
+  EXPECT_GE(alloc[1], 3u);
+}
+
+}  // namespace
+}  // namespace privapprox::stats

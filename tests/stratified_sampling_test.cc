@@ -1,0 +1,168 @@
+// Tests for the client-side stratified sampling extension (tech report /
+// §3.2.1): plan construction and allocation, per-stratum participation, and
+// the stratified query estimator's unbiasedness and variance advantage over
+// plain SRS on skewed strata.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_estimation.h"
+#include "core/stratified_sampling.h"
+
+namespace privapprox::core {
+namespace {
+
+TEST(StratifiedPlanTest, Validation) {
+  EXPECT_THROW(StratifiedExecutionPlan({}), std::invalid_argument);
+  EXPECT_THROW(StratifiedExecutionPlan({Stratum{0, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(StratifiedExecutionPlan({Stratum{10, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(StratifiedExecutionPlan({Stratum{10, 1.5}}),
+               std::invalid_argument);
+  const StratifiedExecutionPlan plan({Stratum{10, 0.5}, Stratum{20, 1.0}});
+  EXPECT_EQ(plan.num_strata(), 2u);
+  EXPECT_THROW(plan.stratum(2), std::out_of_range);
+}
+
+TEST(StratifiedPlanTest, ProportionalAllocation) {
+  const StratifiedExecutionPlan plan =
+      StratifiedExecutionPlan::Proportional({1000, 3000}, 2000);
+  // 2000 answers over 4000 clients -> every stratum sampled at 0.5.
+  EXPECT_NEAR(plan.stratum(0).sampling_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(plan.stratum(1).sampling_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(plan.ExpectedAnswers(), 2000.0, 1e-9);
+  // Budget above the population caps at a census.
+  const StratifiedExecutionPlan census =
+      StratifiedExecutionPlan::Proportional({100, 100}, 10000);
+  EXPECT_NEAR(census.stratum(0).sampling_fraction, 1.0, 1e-12);
+}
+
+TEST(StratifiedPlanTest, ParticipationMatchesStratumFraction) {
+  const StratifiedExecutionPlan plan({Stratum{100, 0.2}, Stratum{100, 0.9}});
+  Xoshiro256 rng(1);
+  int in0 = 0, in1 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    in0 += plan.ShouldParticipate(0, rng) ? 1 : 0;
+    in1 += plan.ShouldParticipate(1, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(in0) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(in1) / n, 0.9, 0.01);
+}
+
+// Simulates one epoch over a two-stratum population with different
+// yes-fractions; returns per-stratum windows plus the true total yes count.
+struct SimResult {
+  std::vector<StratifiedQueryEstimator::StratumWindow> windows;
+  double truth = 0.0;
+};
+
+SimResult Simulate(const StratifiedExecutionPlan& plan,
+                   const RandomizedResponse& rr,
+                   const std::vector<double>& yes_fractions,
+                   Xoshiro256& rng) {
+  SimResult out;
+  out.windows.resize(plan.num_strata());
+  for (size_t h = 0; h < plan.num_strata(); ++h) {
+    auto& window = out.windows[h];
+    window.randomized_counts = Histogram(1);
+    const size_t u_h = plan.stratum(h).population;
+    out.truth += yes_fractions[h] * static_cast<double>(u_h);
+    for (size_t i = 0; i < u_h; ++i) {
+      if (!plan.ShouldParticipate(h, rng)) {
+        continue;
+      }
+      ++window.participants;
+      const bool truthful =
+          static_cast<double>(i) < yes_fractions[h] * static_cast<double>(u_h);
+      if (rr.RandomizeBit(truthful, rng)) {
+        window.randomized_counts.Add(0);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StratifiedQueryEstimatorTest, UnbiasedAcrossSkewedStrata) {
+  // Stratum 0: 8000 clients, 10% yes; stratum 1: 2000 clients, 90% yes.
+  const StratifiedExecutionPlan plan({Stratum{8000, 0.3}, Stratum{2000, 0.9}});
+  const RandomizedResponse rr(RandomizationParams{0.7, 0.5});
+  const StratifiedQueryEstimator estimator(plan, RandomizationParams{0.7, 0.5});
+  Xoshiro256 rng(7);
+  double mean = 0.0;
+  const int trials = 60;
+  double truth = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SimResult sim = Simulate(plan, rr, {0.1, 0.9}, rng);
+    truth = sim.truth;
+    mean += estimator.Estimate(sim.windows)[0].value;
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, truth, 0.03 * truth);
+}
+
+TEST(StratifiedQueryEstimatorTest, CoverageOfConfidenceInterval) {
+  const StratifiedExecutionPlan plan({Stratum{5000, 0.4}, Stratum{5000, 0.4}});
+  const RandomizedResponse rr(RandomizationParams{0.8, 0.5});
+  const StratifiedQueryEstimator estimator(plan, RandomizationParams{0.8, 0.5});
+  Xoshiro256 rng(11);
+  int covered = 0;
+  const int trials = 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    const SimResult sim = Simulate(plan, rr, {0.3, 0.7}, rng);
+    const stats::Estimate est = estimator.Estimate(sim.windows)[0];
+    if (sim.truth >= est.Lower() && sim.truth <= est.Upper()) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 88);  // 95% nominal, wide tolerance for 100 trials
+}
+
+TEST(StratifiedQueryEstimatorTest, TighterThanPlainSrsOnSkewedStrata) {
+  // Same total answers, but stratified bookkeeping: the margin must be
+  // smaller because the within-stratum indicator variance is tiny when the
+  // strata are internally homogeneous.
+  const size_t u0 = 6000, u1 = 4000;
+  const StratifiedExecutionPlan plan({Stratum{u0, 0.5}, Stratum{u1, 0.5}});
+  const RandomizedResponse rr(RandomizationParams{1.0, 0.5});  // isolate sampling
+  const StratifiedQueryEstimator estimator(plan,
+                                           RandomizationParams{1.0, 0.5});
+  Xoshiro256 rng(13);
+  const SimResult sim = Simulate(plan, rr, {0.02, 0.98}, rng);
+  const stats::Estimate stratified = estimator.Estimate(sim.windows)[0];
+
+  // Plain SRS over the pooled population with the same answers.
+  const ExecutionParams pooled_params = [] {
+    ExecutionParams p;
+    p.sampling_fraction = 0.5;
+    p.randomization = {1.0, 0.5};
+    return p;
+  }();
+  const ErrorEstimator pooled(pooled_params, u0 + u1);
+  Histogram counts(1);
+  counts.SetCount(0, sim.windows[0].randomized_counts.Count(0) +
+                         sim.windows[1].randomized_counts.Count(0));
+  const QueryResult srs = pooled.Estimate(
+      counts, sim.windows[0].participants + sim.windows[1].participants);
+
+  EXPECT_GT(stratified.error, 0.0);
+  EXPECT_LT(stratified.error, srs.buckets[0].estimate.error);
+  // Both estimates agree on the value within noise.
+  EXPECT_NEAR(stratified.value, srs.buckets[0].estimate.value,
+              0.05 * stratified.value);
+}
+
+TEST(StratifiedQueryEstimatorTest, ValidatesInput) {
+  const StratifiedExecutionPlan plan({Stratum{10, 0.5}});
+  EXPECT_THROW(
+      StratifiedQueryEstimator(plan, RandomizationParams{0.9, 0.6}, 1.0),
+      std::invalid_argument);
+  const StratifiedQueryEstimator estimator(plan,
+                                           RandomizationParams{0.9, 0.6});
+  EXPECT_THROW(estimator.Estimate({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::core

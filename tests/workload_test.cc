@@ -1,0 +1,203 @@
+// Tests for the workload generators: synthetic answer populations and the
+// two case-study generators (NYC taxi, household electricity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/electricity.h"
+#include "workload/synthetic.h"
+#include "workload/taxi.h"
+
+namespace privapprox::workload {
+namespace {
+
+TEST(BinaryAnswersTest, ExactYesCount) {
+  Xoshiro256 rng(1);
+  const auto answers = BinaryAnswers(10000, 0.6, rng);
+  EXPECT_EQ(answers.size(), 10000u);
+  size_t yes = 0;
+  for (bool a : answers) {
+    yes += a ? 1 : 0;
+  }
+  EXPECT_EQ(yes, 6000u);
+}
+
+TEST(BinaryAnswersTest, ShuffledNotSorted) {
+  Xoshiro256 rng(2);
+  const auto answers = BinaryAnswers(1000, 0.5, rng);
+  // If sorted, the first 500 would all be yes.
+  size_t yes_in_first_half = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    yes_in_first_half += answers[i] ? 1 : 0;
+  }
+  EXPECT_GT(yes_in_first_half, 150u);
+  EXPECT_LT(yes_in_first_half, 350u);
+}
+
+TEST(BinaryAnswersTest, EdgeFractions) {
+  Xoshiro256 rng(3);
+  for (bool a : BinaryAnswers(100, 0.0, rng)) {
+    EXPECT_FALSE(a);
+  }
+  for (bool a : BinaryAnswers(100, 1.0, rng)) {
+    EXPECT_TRUE(a);
+  }
+  EXPECT_THROW(BinaryAnswers(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(BucketAnswersTest, OneHotWithGivenDistribution) {
+  Xoshiro256 rng(4);
+  const std::vector<double> probs = {0.5, 0.3, 0.2};
+  const auto answers = BucketAnswers(30000, probs, rng);
+  const Histogram counts = ExactCounts(answers, 3);
+  EXPECT_NEAR(counts.Count(0) / 30000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts.Count(1) / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts.Count(2) / 30000.0, 0.2, 0.02);
+  for (const auto& a : answers) {
+    EXPECT_EQ(a.PopCount(), 1u);
+  }
+}
+
+TEST(BucketAnswersTest, NormalizesWeights) {
+  Xoshiro256 rng(5);
+  const auto answers = BucketAnswers(10000, {5.0, 5.0}, rng);
+  const Histogram counts = ExactCounts(answers, 2);
+  EXPECT_NEAR(counts.Count(0) / 10000.0, 0.5, 0.03);
+}
+
+TEST(BucketAnswersTest, RejectsBadInput) {
+  Xoshiro256 rng(6);
+  EXPECT_THROW(BucketAnswers(10, {}, rng), std::invalid_argument);
+  EXPECT_THROW(BucketAnswers(10, {0.0, 0.0}, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- taxi
+
+TEST(TaxiGeneratorTest, FirstBucketFractionMatchesPaper) {
+  // §7.2 #III: "the fraction of truthful 'Yes' answers in the dataset is
+  // 33.57%" for the [0, 1) mile bucket.
+  TaxiGenerator generator(7);
+  size_t in_first_bucket = 0;
+  const size_t n = 200000;
+  for (size_t i = 0; i < n; ++i) {
+    if (generator.NextRide(0, 1000).distance_miles < 1.0) {
+      ++in_first_bucket;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(in_first_bucket) / n, 0.3357, 0.01);
+}
+
+TEST(TaxiGeneratorTest, TrueBucketProbabilitiesSumToOne) {
+  const auto probs = TaxiGenerator::TrueBucketProbabilities();
+  ASSERT_EQ(probs.size(), 11u);
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(probs[0], 0.3357, 0.005);
+}
+
+TEST(TaxiGeneratorTest, EmpiricalDistributionMatchesClosedForm) {
+  TaxiGenerator generator(8);
+  const auto probs = TaxiGenerator::TrueBucketProbabilities();
+  const auto format = TaxiGenerator::DistanceBuckets();
+  std::vector<size_t> counts(11, 0);
+  const size_t n = 200000;
+  for (size_t i = 0; i < n; ++i) {
+    const auto bucket =
+        format.BucketOf(generator.NextRide(0, 10).distance_miles);
+    ASSERT_TRUE(bucket.has_value());
+    counts[*bucket]++;
+  }
+  for (size_t b = 0; b < 11; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, probs[b], 0.01)
+        << "bucket " << b;
+  }
+}
+
+TEST(TaxiGeneratorTest, PopulateClientFillsTable) {
+  TaxiGenerator generator(9);
+  localdb::Database db;
+  generator.PopulateClient(db, 25, 0, 10000);
+  const auto& table = db.GetTable("rides");
+  EXPECT_EQ(table.num_rows(), 25u);
+  const auto values = db.Execute("SELECT distance FROM rides");
+  EXPECT_EQ(values.size(), 25u);
+  for (const auto& v : values) {
+    EXPECT_GT(v.AsDouble(), 0.0);
+  }
+  // Populating again appends.
+  generator.PopulateClient(db, 5, 0, 10000);
+  EXPECT_EQ(table.num_rows(), 30u);
+}
+
+TEST(TaxiGeneratorTest, QueryIsWellFormed) {
+  const core::Query query = TaxiGenerator::MakeDistanceQuery(1, 60000, 10000);
+  EXPECT_TRUE(query.VerifySignature());
+  EXPECT_EQ(query.answer_format.num_buckets(), 11u);
+  EXPECT_EQ(query.sql, "SELECT distance FROM rides");
+}
+
+TEST(TaxiGeneratorTest, RidesHavePlausibleFields) {
+  TaxiGenerator generator(10);
+  for (int i = 0; i < 100; ++i) {
+    const TaxiRide ride = generator.NextRide(500, 1500);
+    EXPECT_GE(ride.pickup_ms, 500);
+    EXPECT_LT(ride.pickup_ms, 1500);
+    EXPECT_FALSE(ride.borough.empty());
+  }
+}
+
+// --------------------------------------------------------------- electricity
+
+TEST(ElectricityGeneratorTest, ConsumptionWithinPhysicalRange) {
+  ElectricityGenerator generator(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double kwh = generator.NextConsumptionKwh();
+    EXPECT_GE(kwh, 0.0);
+    EXPECT_LE(kwh, 3.0);
+  }
+}
+
+TEST(ElectricityGeneratorTest, MeanNearModel) {
+  ElectricityGenerator generator(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += generator.NextConsumptionKwh();
+  }
+  EXPECT_NEAR(sum / n, 1.1, 0.05);
+}
+
+TEST(ElectricityGeneratorTest, WindowedSumLandsInBuckets) {
+  ElectricityGenerator generator(13);
+  localdb::Database db;
+  const int64_t window = 30 * 60 * 1000;
+  generator.PopulateClient(db, 0, window, 60 * 1000);  // 30 readings
+  const auto values = db.Execute("SELECT SUM(kwh) FROM meter", 0, window);
+  ASSERT_EQ(values.size(), 1u);
+  const double total = values[0].AsDouble();
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, 3.0);
+  EXPECT_TRUE(
+      ElectricityGenerator::UsageBuckets().BucketOf(total).has_value());
+}
+
+TEST(ElectricityGeneratorTest, QueryIsWellFormed) {
+  const core::Query query =
+      ElectricityGenerator::MakeUsageQuery(2, 30 * 60 * 1000, 60 * 1000);
+  EXPECT_TRUE(query.VerifySignature());
+  EXPECT_EQ(query.answer_format.num_buckets(), 6u);
+}
+
+TEST(ElectricityGeneratorTest, SmallerAnswerThanTaxi) {
+  // The property Figs 8-9 rely on: electricity answers are smaller.
+  EXPECT_LT(ElectricityGenerator::UsageBuckets().num_buckets(),
+            TaxiGenerator::DistanceBuckets().num_buckets());
+}
+
+}  // namespace
+}  // namespace privapprox::workload
