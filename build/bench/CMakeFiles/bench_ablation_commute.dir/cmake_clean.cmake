@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_commute.dir/bench_ablation_commute.cc.o"
+  "CMakeFiles/bench_ablation_commute.dir/bench_ablation_commute.cc.o.d"
+  "bench_ablation_commute"
+  "bench_ablation_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

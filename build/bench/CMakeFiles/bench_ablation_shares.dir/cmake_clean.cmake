@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shares.dir/bench_ablation_shares.cc.o"
+  "CMakeFiles/bench_ablation_shares.dir/bench_ablation_shares.cc.o.d"
+  "bench_ablation_shares"
+  "bench_ablation_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stratified.dir/bench_ablation_stratified.cc.o"
+  "CMakeFiles/bench_ablation_stratified.dir/bench_ablation_stratified.cc.o.d"
+  "bench_ablation_stratified"
+  "bench_ablation_stratified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

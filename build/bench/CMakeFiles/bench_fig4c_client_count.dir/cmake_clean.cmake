@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_client_count.dir/bench_fig4c_client_count.cc.o"
+  "CMakeFiles/bench_fig4c_client_count.dir/bench_fig4c_client_count.cc.o.d"
+  "bench_fig4c_client_count"
+  "bench_fig4c_client_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_client_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

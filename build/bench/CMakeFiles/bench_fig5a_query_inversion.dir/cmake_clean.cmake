@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_query_inversion.dir/bench_fig5a_query_inversion.cc.o"
+  "CMakeFiles/bench_fig5a_query_inversion.dir/bench_fig5a_query_inversion.cc.o.d"
+  "bench_fig5a_query_inversion"
+  "bench_fig5a_query_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_query_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_utility_privacy.dir/bench_table1_utility_privacy.cc.o"
+  "CMakeFiles/bench_table1_utility_privacy.dir/bench_table1_utility_privacy.cc.o.d"
+  "bench_table1_utility_privacy"
+  "bench_table1_utility_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_utility_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_analyst.dir/adaptive_analyst.cpp.o"
+  "CMakeFiles/adaptive_analyst.dir/adaptive_analyst.cpp.o.d"
+  "adaptive_analyst"
+  "adaptive_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electricity_monitoring.dir/electricity_monitoring.cpp.o"
+  "CMakeFiles/electricity_monitoring.dir/electricity_monitoring.cpp.o.d"
+  "electricity_monitoring"
+  "electricity_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electricity_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_batch.dir/historical_batch.cpp.o"
+  "CMakeFiles/historical_batch.dir/historical_batch.cpp.o.d"
+  "historical_batch"
+  "historical_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/rappor.cc" "src/CMakeFiles/privapprox_baseline.dir/baseline/rappor.cc.o" "gcc" "src/CMakeFiles/privapprox_baseline.dir/baseline/rappor.cc.o.d"
+  "/root/repo/src/baseline/rappor_full.cc" "src/CMakeFiles/privapprox_baseline.dir/baseline/rappor_full.cc.o" "gcc" "src/CMakeFiles/privapprox_baseline.dir/baseline/rappor_full.cc.o.d"
+  "/root/repo/src/baseline/splitx.cc" "src/CMakeFiles/privapprox_baseline.dir/baseline/splitx.cc.o" "gcc" "src/CMakeFiles/privapprox_baseline.dir/baseline/splitx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

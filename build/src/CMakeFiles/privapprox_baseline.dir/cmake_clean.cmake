@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_baseline.dir/baseline/rappor.cc.o"
+  "CMakeFiles/privapprox_baseline.dir/baseline/rappor.cc.o.d"
+  "CMakeFiles/privapprox_baseline.dir/baseline/rappor_full.cc.o"
+  "CMakeFiles/privapprox_baseline.dir/baseline/rappor_full.cc.o.d"
+  "CMakeFiles/privapprox_baseline.dir/baseline/splitx.cc.o"
+  "CMakeFiles/privapprox_baseline.dir/baseline/splitx.cc.o.d"
+  "libprivapprox_baseline.a"
+  "libprivapprox_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_bignum.dir/bignum/biguint.cc.o"
+  "CMakeFiles/privapprox_bignum.dir/bignum/biguint.cc.o.d"
+  "CMakeFiles/privapprox_bignum.dir/bignum/modular.cc.o"
+  "CMakeFiles/privapprox_bignum.dir/bignum/modular.cc.o.d"
+  "CMakeFiles/privapprox_bignum.dir/bignum/prime.cc.o"
+  "CMakeFiles/privapprox_bignum.dir/bignum/prime.cc.o.d"
+  "libprivapprox_bignum.a"
+  "libprivapprox_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/broker.cc" "src/CMakeFiles/privapprox_broker.dir/broker/broker.cc.o" "gcc" "src/CMakeFiles/privapprox_broker.dir/broker/broker.cc.o.d"
+  "/root/repo/src/broker/topic.cc" "src/CMakeFiles/privapprox_broker.dir/broker/topic.cc.o" "gcc" "src/CMakeFiles/privapprox_broker.dir/broker/topic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_broker.dir/broker/broker.cc.o"
+  "CMakeFiles/privapprox_broker.dir/broker/broker.cc.o.d"
+  "CMakeFiles/privapprox_broker.dir/broker/topic.cc.o"
+  "CMakeFiles/privapprox_broker.dir/broker/topic.cc.o.d"
+  "libprivapprox_broker.a"
+  "libprivapprox_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

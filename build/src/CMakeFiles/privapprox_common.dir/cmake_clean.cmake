@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_common.dir/common/bitvector.cc.o"
+  "CMakeFiles/privapprox_common.dir/common/bitvector.cc.o.d"
+  "CMakeFiles/privapprox_common.dir/common/histogram.cc.o"
+  "CMakeFiles/privapprox_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/privapprox_common.dir/common/logging.cc.o"
+  "CMakeFiles/privapprox_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/privapprox_common.dir/common/rng.cc.o"
+  "CMakeFiles/privapprox_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/privapprox_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/privapprox_common.dir/common/thread_pool.cc.o.d"
+  "libprivapprox_common.a"
+  "libprivapprox_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer.cc" "src/CMakeFiles/privapprox_core.dir/core/answer.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/answer.cc.o.d"
+  "/root/repo/src/core/budget.cc" "src/CMakeFiles/privapprox_core.dir/core/budget.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/budget.cc.o.d"
+  "/root/repo/src/core/error_estimation.cc" "src/CMakeFiles/privapprox_core.dir/core/error_estimation.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/error_estimation.cc.o.d"
+  "/root/repo/src/core/inversion.cc" "src/CMakeFiles/privapprox_core.dir/core/inversion.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/inversion.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "src/CMakeFiles/privapprox_core.dir/core/privacy.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/privacy.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/privapprox_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/query_wire.cc" "src/CMakeFiles/privapprox_core.dir/core/query_wire.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/query_wire.cc.o.d"
+  "/root/repo/src/core/randomized_response.cc" "src/CMakeFiles/privapprox_core.dir/core/randomized_response.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/randomized_response.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/CMakeFiles/privapprox_core.dir/core/sampling.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/sampling.cc.o.d"
+  "/root/repo/src/core/stratified_sampling.cc" "src/CMakeFiles/privapprox_core.dir/core/stratified_sampling.cc.o" "gcc" "src/CMakeFiles/privapprox_core.dir/core/stratified_sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_core.dir/core/answer.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/answer.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/budget.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/budget.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/error_estimation.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/error_estimation.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/inversion.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/inversion.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/privacy.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/privacy.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/query.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/query.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/query_wire.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/query_wire.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/randomized_response.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/randomized_response.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/sampling.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/sampling.cc.o.d"
+  "CMakeFiles/privapprox_core.dir/core/stratified_sampling.cc.o"
+  "CMakeFiles/privapprox_core.dir/core/stratified_sampling.cc.o.d"
+  "libprivapprox_core.a"
+  "libprivapprox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha20.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/chacha20.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/goldwasser_micali.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/goldwasser_micali.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/goldwasser_micali.cc.o.d"
+  "/root/repo/src/crypto/message.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/message.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/message.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/paillier.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/rsa.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/rsa.cc.o.d"
+  "/root/repo/src/crypto/xor_cipher.cc" "src/CMakeFiles/privapprox_crypto.dir/crypto/xor_cipher.cc.o" "gcc" "src/CMakeFiles/privapprox_crypto.dir/crypto/xor_cipher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_crypto.dir/crypto/chacha20.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/chacha20.cc.o.d"
+  "CMakeFiles/privapprox_crypto.dir/crypto/goldwasser_micali.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/goldwasser_micali.cc.o.d"
+  "CMakeFiles/privapprox_crypto.dir/crypto/message.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/message.cc.o.d"
+  "CMakeFiles/privapprox_crypto.dir/crypto/paillier.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/paillier.cc.o.d"
+  "CMakeFiles/privapprox_crypto.dir/crypto/rsa.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/rsa.cc.o.d"
+  "CMakeFiles/privapprox_crypto.dir/crypto/xor_cipher.cc.o"
+  "CMakeFiles/privapprox_crypto.dir/crypto/xor_cipher.cc.o.d"
+  "libprivapprox_crypto.a"
+  "libprivapprox_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

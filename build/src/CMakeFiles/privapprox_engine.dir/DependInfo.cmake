@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/join.cc" "src/CMakeFiles/privapprox_engine.dir/engine/join.cc.o" "gcc" "src/CMakeFiles/privapprox_engine.dir/engine/join.cc.o.d"
+  "/root/repo/src/engine/pipeline.cc" "src/CMakeFiles/privapprox_engine.dir/engine/pipeline.cc.o" "gcc" "src/CMakeFiles/privapprox_engine.dir/engine/pipeline.cc.o.d"
+  "/root/repo/src/engine/window.cc" "src/CMakeFiles/privapprox_engine.dir/engine/window.cc.o" "gcc" "src/CMakeFiles/privapprox_engine.dir/engine/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

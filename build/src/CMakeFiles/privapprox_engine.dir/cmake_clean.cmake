@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_engine.dir/engine/join.cc.o"
+  "CMakeFiles/privapprox_engine.dir/engine/join.cc.o.d"
+  "CMakeFiles/privapprox_engine.dir/engine/pipeline.cc.o"
+  "CMakeFiles/privapprox_engine.dir/engine/pipeline.cc.o.d"
+  "CMakeFiles/privapprox_engine.dir/engine/window.cc.o"
+  "CMakeFiles/privapprox_engine.dir/engine/window.cc.o.d"
+  "libprivapprox_engine.a"
+  "libprivapprox_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

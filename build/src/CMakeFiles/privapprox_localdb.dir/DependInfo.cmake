@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localdb/database.cc" "src/CMakeFiles/privapprox_localdb.dir/localdb/database.cc.o" "gcc" "src/CMakeFiles/privapprox_localdb.dir/localdb/database.cc.o.d"
+  "/root/repo/src/localdb/executor.cc" "src/CMakeFiles/privapprox_localdb.dir/localdb/executor.cc.o" "gcc" "src/CMakeFiles/privapprox_localdb.dir/localdb/executor.cc.o.d"
+  "/root/repo/src/localdb/sql.cc" "src/CMakeFiles/privapprox_localdb.dir/localdb/sql.cc.o" "gcc" "src/CMakeFiles/privapprox_localdb.dir/localdb/sql.cc.o.d"
+  "/root/repo/src/localdb/table.cc" "src/CMakeFiles/privapprox_localdb.dir/localdb/table.cc.o" "gcc" "src/CMakeFiles/privapprox_localdb.dir/localdb/table.cc.o.d"
+  "/root/repo/src/localdb/value.cc" "src/CMakeFiles/privapprox_localdb.dir/localdb/value.cc.o" "gcc" "src/CMakeFiles/privapprox_localdb.dir/localdb/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

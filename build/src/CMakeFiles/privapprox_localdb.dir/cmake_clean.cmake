@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_localdb.dir/localdb/database.cc.o"
+  "CMakeFiles/privapprox_localdb.dir/localdb/database.cc.o.d"
+  "CMakeFiles/privapprox_localdb.dir/localdb/executor.cc.o"
+  "CMakeFiles/privapprox_localdb.dir/localdb/executor.cc.o.d"
+  "CMakeFiles/privapprox_localdb.dir/localdb/sql.cc.o"
+  "CMakeFiles/privapprox_localdb.dir/localdb/sql.cc.o.d"
+  "CMakeFiles/privapprox_localdb.dir/localdb/table.cc.o"
+  "CMakeFiles/privapprox_localdb.dir/localdb/table.cc.o.d"
+  "CMakeFiles/privapprox_localdb.dir/localdb/value.cc.o"
+  "CMakeFiles/privapprox_localdb.dir/localdb/value.cc.o.d"
+  "libprivapprox_localdb.a"
+  "libprivapprox_localdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_localdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_net.dir/net/link.cc.o"
+  "CMakeFiles/privapprox_net.dir/net/link.cc.o.d"
+  "CMakeFiles/privapprox_net.dir/net/topology.cc.o"
+  "CMakeFiles/privapprox_net.dir/net/topology.cc.o.d"
+  "libprivapprox_net.a"
+  "libprivapprox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

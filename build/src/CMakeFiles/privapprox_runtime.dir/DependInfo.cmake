@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregator/aggregator.cc" "src/CMakeFiles/privapprox_runtime.dir/aggregator/aggregator.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/aggregator/aggregator.cc.o.d"
+  "/root/repo/src/aggregator/historical.cc" "src/CMakeFiles/privapprox_runtime.dir/aggregator/historical.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/aggregator/historical.cc.o.d"
+  "/root/repo/src/analyst/analyst.cc" "src/CMakeFiles/privapprox_runtime.dir/analyst/analyst.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/analyst/analyst.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/privapprox_runtime.dir/client/client.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/client/client.cc.o.d"
+  "/root/repo/src/proxy/proxy.cc" "src/CMakeFiles/privapprox_runtime.dir/proxy/proxy.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/proxy/proxy.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/privapprox_runtime.dir/system/system.cc.o" "gcc" "src/CMakeFiles/privapprox_runtime.dir/system/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_localdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

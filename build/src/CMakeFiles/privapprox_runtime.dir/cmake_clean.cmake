@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_runtime.dir/aggregator/aggregator.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/aggregator/aggregator.cc.o.d"
+  "CMakeFiles/privapprox_runtime.dir/aggregator/historical.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/aggregator/historical.cc.o.d"
+  "CMakeFiles/privapprox_runtime.dir/analyst/analyst.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/analyst/analyst.cc.o.d"
+  "CMakeFiles/privapprox_runtime.dir/client/client.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/client/client.cc.o.d"
+  "CMakeFiles/privapprox_runtime.dir/proxy/proxy.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/proxy/proxy.cc.o.d"
+  "CMakeFiles/privapprox_runtime.dir/system/system.cc.o"
+  "CMakeFiles/privapprox_runtime.dir/system/system.cc.o.d"
+  "libprivapprox_runtime.a"
+  "libprivapprox_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/hypothesis.cc" "src/CMakeFiles/privapprox_stats.dir/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/privapprox_stats.dir/stats/hypothesis.cc.o.d"
+  "/root/repo/src/stats/moments.cc" "src/CMakeFiles/privapprox_stats.dir/stats/moments.cc.o" "gcc" "src/CMakeFiles/privapprox_stats.dir/stats/moments.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/privapprox_stats.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/privapprox_stats.dir/stats/special_functions.cc.o.d"
+  "/root/repo/src/stats/srs.cc" "src/CMakeFiles/privapprox_stats.dir/stats/srs.cc.o" "gcc" "src/CMakeFiles/privapprox_stats.dir/stats/srs.cc.o.d"
+  "/root/repo/src/stats/stratified.cc" "src/CMakeFiles/privapprox_stats.dir/stats/stratified.cc.o" "gcc" "src/CMakeFiles/privapprox_stats.dir/stats/stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

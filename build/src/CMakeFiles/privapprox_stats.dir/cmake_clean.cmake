@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_stats.dir/stats/hypothesis.cc.o"
+  "CMakeFiles/privapprox_stats.dir/stats/hypothesis.cc.o.d"
+  "CMakeFiles/privapprox_stats.dir/stats/moments.cc.o"
+  "CMakeFiles/privapprox_stats.dir/stats/moments.cc.o.d"
+  "CMakeFiles/privapprox_stats.dir/stats/special_functions.cc.o"
+  "CMakeFiles/privapprox_stats.dir/stats/special_functions.cc.o.d"
+  "CMakeFiles/privapprox_stats.dir/stats/srs.cc.o"
+  "CMakeFiles/privapprox_stats.dir/stats/srs.cc.o.d"
+  "CMakeFiles/privapprox_stats.dir/stats/stratified.cc.o"
+  "CMakeFiles/privapprox_stats.dir/stats/stratified.cc.o.d"
+  "libprivapprox_stats.a"
+  "libprivapprox_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_storage.dir/storage/crc32.cc.o"
+  "CMakeFiles/privapprox_storage.dir/storage/crc32.cc.o.d"
+  "CMakeFiles/privapprox_storage.dir/storage/response_store.cc.o"
+  "CMakeFiles/privapprox_storage.dir/storage/response_store.cc.o.d"
+  "CMakeFiles/privapprox_storage.dir/storage/segment_log.cc.o"
+  "CMakeFiles/privapprox_storage.dir/storage/segment_log.cc.o.d"
+  "libprivapprox_storage.a"
+  "libprivapprox_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

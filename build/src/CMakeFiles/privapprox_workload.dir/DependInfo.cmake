@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/electricity.cc" "src/CMakeFiles/privapprox_workload.dir/workload/electricity.cc.o" "gcc" "src/CMakeFiles/privapprox_workload.dir/workload/electricity.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/privapprox_workload.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/privapprox_workload.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/taxi.cc" "src/CMakeFiles/privapprox_workload.dir/workload/taxi.cc.o" "gcc" "src/CMakeFiles/privapprox_workload.dir/workload/taxi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privapprox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_localdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/privapprox_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privapprox_workload.dir/workload/electricity.cc.o"
+  "CMakeFiles/privapprox_workload.dir/workload/electricity.cc.o.d"
+  "CMakeFiles/privapprox_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/privapprox_workload.dir/workload/synthetic.cc.o.d"
+  "CMakeFiles/privapprox_workload.dir/workload/taxi.cc.o"
+  "CMakeFiles/privapprox_workload.dir/workload/taxi.cc.o.d"
+  "libprivapprox_workload.a"
+  "libprivapprox_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privapprox_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprivapprox_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localdb_test.dir/localdb_test.cc.o"
+  "CMakeFiles/localdb_test.dir/localdb_test.cc.o.d"
+  "localdb_test"
+  "localdb_test.pdb"
+  "localdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_wire_test.dir/query_wire_test.cc.o"
+  "CMakeFiles/query_wire_test.dir/query_wire_test.cc.o.d"
+  "query_wire_test"
+  "query_wire_test.pdb"
+  "query_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

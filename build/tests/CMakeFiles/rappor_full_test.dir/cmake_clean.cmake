@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rappor_full_test.dir/rappor_full_test.cc.o"
+  "CMakeFiles/rappor_full_test.dir/rappor_full_test.cc.o.d"
+  "rappor_full_test"
+  "rappor_full_test.pdb"
+  "rappor_full_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rappor_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
