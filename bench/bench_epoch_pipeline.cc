@@ -1,0 +1,153 @@
+// End-to-end epoch pipeline throughput at 1/2/4/N worker threads.
+//
+// Runs the full client -> proxy -> aggregator epoch loop (system/system.cc)
+// on the Table 3 configuration — 100k clients, sampling fraction s=0.6,
+// (p, q) = (0.9, 0.6), the 11-bucket speed query, two proxies — and reports
+// clients/sec and shares/sec per thread count, plus the speedup over the
+// single-threaded run. The parallel pipeline is bit-deterministic
+// (tests/parallel_epoch_test.cc), so every row processes identical work.
+//
+// The last line printed is a single JSON row so the measurement lands in the
+// benchmark trajectory; later PRs diff it to see epoch-throughput movement.
+// Flags: --clients=N --epochs=N (defaults 100000 / 3).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "system/system.h"
+
+using namespace privapprox;
+
+namespace {
+
+struct BenchConfig {
+  size_t clients = 100000;
+  size_t epochs = 3;
+};
+
+struct Row {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double clients_per_sec = 0.0;
+  double shares_per_sec = 0.0;
+  uint64_t participants = 0;
+  uint64_t shares_consumed = 0;
+};
+
+core::Query SpeedQuery() {
+  return core::QueryBuilder()
+      .WithId(1)
+      .WithSql("SELECT speed FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(1000)
+      .WithWindowMs(60000)
+      .WithSlideMs(60000)
+      .Build();
+}
+
+Row RunAtThreads(size_t threads, const BenchConfig& bench) {
+  system::SystemConfig config;
+  config.num_clients = bench.clients;
+  config.num_proxies = 2;
+  config.seed = 42;
+  config.num_worker_threads = threads;
+  system::PrivApproxSystem sys(config);
+  for (size_t i = 0; i < bench.clients; ++i) {
+    auto& db = sys.client(i).database();
+    auto& table = db.CreateTable("vehicle", {"speed"});
+    table.Insert(500,
+                 {localdb::Value(static_cast<double>((i * 13) % 100))});
+  }
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.6;
+  params.randomization = {0.9, 0.6};
+  sys.SubmitQuery(SpeedQuery(), params);
+
+  // Warm-up epoch: faults in lazily-built state outside the timed region.
+  sys.RunEpoch(1000);
+
+  Row row;
+  row.threads = sys.num_worker_threads();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t e = 0; e < bench.epochs; ++e) {
+    const system::EpochStats stats =
+        sys.RunEpoch(2000 + static_cast<int64_t>(e) * 1000);
+    row.participants += stats.participants;
+    row.shares_consumed += stats.shares_consumed;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  const double total_clients =
+      static_cast<double>(bench.clients) * static_cast<double>(bench.epochs);
+  row.clients_per_sec = total_clients / row.seconds;
+  row.shares_per_sec =
+      static_cast<double>(row.shares_consumed) / row.seconds;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      bench.clients = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      bench.epochs = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else {
+      std::fprintf(stderr, "usage: %s [--clients=N] [--epochs=N]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts{1, 2, 4};
+  if (hw > 4) {
+    thread_counts.push_back(hw);
+  }
+
+  std::printf(
+      "Epoch pipeline throughput (Table 3 config: %zu clients, s=0.6,\n"
+      "p=0.9 q=0.6, 11 buckets, 2 proxies; %zu epochs per row).\n"
+      "Host hardware_concurrency = %zu; thread counts beyond it time-slice\n"
+      "one core and cannot speed up.\n\n",
+      bench.clients, bench.epochs, hw);
+  std::printf("%8s %10s %14s %14s %9s\n", "threads", "seconds", "clients/sec",
+              "shares/sec", "speedup");
+
+  std::vector<Row> rows;
+  rows.reserve(thread_counts.size());
+  for (size_t threads : thread_counts) {
+    rows.push_back(RunAtThreads(threads, bench));
+    const Row& row = rows.back();
+    const double speedup = rows.front().seconds / row.seconds;
+    std::printf("%8zu %10.3f %14.0f %14.0f %8.2fx\n", row.threads, row.seconds,
+                row.clients_per_sec, row.shares_per_sec, speedup);
+  }
+
+  // JSON trajectory row (one line, last on stdout).
+  std::printf("\n{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
+              "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"rows\":[",
+              bench.clients, bench.epochs, hw);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%s{\"threads\":%zu,\"seconds\":%.4f,\"clients_per_sec\":%.0f,"
+                "\"shares_per_sec\":%.0f}",
+                i == 0 ? "" : ",", row.threads, row.seconds,
+                row.clients_per_sec, row.shares_per_sec);
+  }
+  const Row* four = nullptr;
+  for (const Row& row : rows) {
+    if (row.threads == 4) {
+      four = &row;
+    }
+  }
+  std::printf("],\"speedup_4_vs_1\":%.3f}\n",
+              four != nullptr ? rows.front().seconds / four->seconds : 0.0);
+  return 0;
+}

@@ -53,25 +53,41 @@ void Aggregator::UpdateParams(const core::ExecutionParams& params) {
 }
 
 uint64_t Aggregator::Drain() {
-  uint64_t consumed = 0;
-  for (size_t source = 0; source < consumers_.size(); ++source) {
+  // Phase 1: poll + decode each proxy stream, one independent task per
+  // source topic. Decoding only touches that source's consumer and local
+  // storage, so sources parallelize without synchronization.
+  const size_t num_sources = consumers_.size();
+  std::vector<proxy::Proxy::DecodedBatch> decoded(num_sources);
+  const auto drain_source = [&](size_t source) {
     broker::Consumer& consumer = *consumers_[source];
     for (;;) {
       std::vector<broker::Record> batch = consumer.Poll(4096);
       if (batch.empty()) {
         break;
       }
-      consumed += batch.size();
-      for (const auto& record : batch) {
-        crypto::MessageShare share;
-        try {
-          share = proxy::Proxy::DecodeShare(record.payload);
-        } catch (const std::invalid_argument&) {
-          ++malformed_dropped_;
-          continue;
-        }
-        joiner_->Add(share, record.timestamp_ms, source);
+      proxy::Proxy::DecodeShareBatch(std::move(batch), decoded[source]);
+    }
+  };
+  if (config_.pool != nullptr && num_sources > 1) {
+    config_.pool->ParallelFor(num_sources, [&](size_t begin, size_t end) {
+      for (size_t source = begin; source < end; ++source) {
+        drain_source(source);
       }
+    });
+  } else {
+    for (size_t source = 0; source < num_sources; ++source) {
+      drain_source(source);
+    }
+  }
+  // Phase 2: sequential join in source order — the same order the fully
+  // sequential path fed the joiner, so emission order (and therefore every
+  // downstream result) is identical.
+  uint64_t consumed = 0;
+  for (size_t source = 0; source < num_sources; ++source) {
+    consumed += decoded[source].shares.size() + decoded[source].malformed;
+    malformed_dropped_ += decoded[source].malformed;
+    for (const auto& [share, timestamp_ms] : decoded[source].shares) {
+      joiner_->Add(share, timestamp_ms, source);
     }
   }
   return consumed;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/thread_pool.h"
 #include "core/budget.h"
 #include "core/error_estimation.h"
 #include "core/query.h"
@@ -35,6 +36,10 @@ struct AggregatorConfig {
   int64_t watermark_out_of_orderness_ms = 1000;
   // De-invert results produced under query inversion (§3.3.2).
   bool answers_inverted = false;
+  // Optional worker pool (not owned). When set, Drain polls and decodes the
+  // n proxy streams in parallel — one task per source topic — before the
+  // sequential MID join. Null keeps Drain fully sequential.
+  ThreadPool* pool = nullptr;
 };
 
 struct WindowedResult {

@@ -43,6 +43,11 @@ void Broker::Produce(const std::string& topic, uint64_t key,
   GetTopic(topic).Append(key, std::move(payload), timestamp_ms);
 }
 
+void Broker::ProduceBatch(const std::string& topic,
+                          std::vector<ProduceRecord> records) {
+  GetTopic(topic).AppendBatch(std::move(records));
+}
+
 std::vector<std::string> Broker::TopicNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

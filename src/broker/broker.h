@@ -29,6 +29,11 @@ class Broker {
   void Produce(const std::string& topic, uint64_t key,
                std::vector<uint8_t> payload, int64_t timestamp_ms);
 
+  // Produce a batch in one call: one topic lookup and one lock acquisition
+  // per touched partition (see Topic::AppendBatch).
+  void ProduceBatch(const std::string& topic,
+                    std::vector<ProduceRecord> records);
+
   std::vector<std::string> TopicNames() const;
 
  private:

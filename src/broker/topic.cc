@@ -40,6 +40,46 @@ uint64_t Topic::Append(uint64_t key, std::vector<uint8_t> payload,
   return offset;
 }
 
+void Topic::AppendBatch(std::vector<ProduceRecord> records) {
+  if (records.empty()) {
+    return;
+  }
+  uint64_t bytes = 0;
+  for (const auto& record : records) {
+    bytes += record.payload.size();
+  }
+  const uint64_t count = records.size();
+  if (partitions_.size() == 1) {
+    Partition& partition = partitions_[0];
+    std::lock_guard<std::mutex> lock(partition.mu);
+    for (auto& record : records) {
+      const uint64_t offset = partition.log.size();
+      partition.log.push_back(Record{offset, record.timestamp_ms, record.key,
+                                     std::move(record.payload)});
+    }
+  } else {
+    std::vector<std::vector<size_t>> by_partition(partitions_.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      by_partition[PartitionOf(records[i].key)].push_back(i);
+    }
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if (by_partition[p].empty()) {
+        continue;
+      }
+      Partition& partition = partitions_[p];
+      std::lock_guard<std::mutex> lock(partition.mu);
+      for (size_t i : by_partition[p]) {
+        auto& record = records[i];
+        const uint64_t offset = partition.log.size();
+        partition.log.push_back(Record{offset, record.timestamp_ms,
+                                       record.key, std::move(record.payload)});
+      }
+    }
+  }
+  records_in_.fetch_add(count, std::memory_order_relaxed);
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
 std::vector<Record> Topic::Read(size_t partition_index, uint64_t offset,
                                 size_t max_records) const {
   if (partition_index >= partitions_.size()) {

@@ -24,6 +24,15 @@ struct Record {
   std::vector<uint8_t> payload;
 };
 
+// A record to be produced (no offset yet — the topic assigns it on append).
+// Batch producers build vectors of these so one lock acquisition per
+// partition covers the whole batch.
+struct ProduceRecord {
+  uint64_t key = 0;
+  std::vector<uint8_t> payload;
+  int64_t timestamp_ms = 0;
+};
+
 // Per-topic counters used by the throughput/network benchmarks.
 struct TopicMetrics {
   uint64_t records_in = 0;
@@ -45,6 +54,12 @@ class Topic {
   // Appends to the key's partition; returns the assigned offset.
   uint64_t Append(uint64_t key, std::vector<uint8_t> payload,
                   int64_t timestamp_ms);
+
+  // Appends a whole batch, grouping records by partition so each partition
+  // lock is taken once per batch instead of once per record. Relative order
+  // of records mapping to the same partition is preserved, so the resulting
+  // log is byte-identical to appending the batch one record at a time.
+  void AppendBatch(std::vector<ProduceRecord> records);
 
   // Reads up to `max_records` records from `partition` starting at `offset`.
   std::vector<Record> Read(size_t partition, uint64_t offset,

@@ -1,7 +1,10 @@
 #include "common/bitvector.h"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#include "common/xor_bytes.h"
 
 namespace privapprox {
 
@@ -43,8 +46,15 @@ void BitVector::Flip(size_t index) { Set(index, !Get(index)); }
 
 size_t BitVector::PopCount() const {
   size_t count = 0;
-  for (uint8_t b : bytes_) {
-    count += static_cast<size_t>(std::popcount(b));
+  size_t i = 0;
+  const size_t n = bytes_.size();
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes_.data() + i, 8);
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  for (; i < n; ++i) {
+    count += static_cast<size_t>(std::popcount(bytes_[i]));
   }
   return count;
 }
@@ -53,9 +63,7 @@ BitVector& BitVector::operator^=(const BitVector& other) {
   if (num_bits_ != other.num_bits_) {
     throw std::invalid_argument("BitVector::operator^=: size mismatch");
   }
-  for (size_t i = 0; i < bytes_.size(); ++i) {
-    bytes_[i] ^= other.bytes_[i];
-  }
+  XorBytesInPlace(bytes_.data(), other.bytes_.data(), bytes_.size());
   return *this;
 }
 

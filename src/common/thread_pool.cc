@@ -52,8 +52,21 @@ void ThreadPool::ParallelFor(size_t count,
     const size_t end = std::min(begin + chunk, count);
     futures.push_back(Submit([&body, begin, end] { body(begin, end); }));
   }
+  // Wait for every chunk before rethrowing: chunks capture `body` by
+  // reference, so returning while any are still queued or running would let
+  // them race the caller's frame unwinding. The first exception wins.
+  std::exception_ptr first_error;
   for (auto& future : futures) {
-    future.get();
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -1,0 +1,36 @@
+// Word-level XOR over byte buffers.
+//
+// The XOR one-time pad (crypto/xor_cipher.h) and the BitVector bulk ops are
+// the innermost loops of the client answering path and the aggregator join;
+// Table 3 / Table 2 throughput hinges on them. Chunking through uint64_t via
+// memcpy is the strict-aliasing-safe idiom — compilers lower the memcpys to
+// plain word loads/stores and vectorize the loop.
+
+#ifndef PRIVAPPROX_COMMON_XOR_BYTES_H_
+#define PRIVAPPROX_COMMON_XOR_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace privapprox {
+
+// dst[i] ^= src[i] for i in [0, len).
+inline void XorBytesInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < len; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_XOR_BYTES_H_

@@ -135,4 +135,9 @@ std::vector<uint8_t> ChaCha20Rng::Bytes(size_t len) {
   return out;
 }
 
+void ChaCha20Rng::Bytes(std::vector<uint8_t>& out, size_t len) {
+  out.resize(len);
+  FillBytes(out.data(), len);
+}
+
 }  // namespace privapprox::crypto

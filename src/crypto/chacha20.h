@@ -44,6 +44,9 @@ class ChaCha20Rng {
   uint64_t NextUint64();
   void FillBytes(uint8_t* out, size_t len);
   std::vector<uint8_t> Bytes(size_t len);
+  // Resizes `out` to `len` and fills it with keystream. Reuses the vector's
+  // capacity, so hot loops (one pad per share per epoch) avoid reallocating.
+  void Bytes(std::vector<uint8_t>& out, size_t len);
 
  private:
   void Refill();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/xor_bytes.h"
+
 namespace privapprox::crypto {
 
 XorSplitter::XorSplitter(size_t num_shares, ChaCha20Rng rng)
@@ -11,19 +13,19 @@ XorSplitter::XorSplitter(size_t num_shares, ChaCha20Rng rng)
   }
 }
 
-std::vector<MessageShare> XorSplitter::Split(
-    const std::vector<uint8_t>& plaintext) {
+std::vector<MessageShare> XorSplitter::Split(std::vector<uint8_t> plaintext) {
   const uint64_t mid = rng_.NextUint64();
+  const size_t len = plaintext.size();
   std::vector<MessageShare> shares(num_shares_);
-  // ME starts as M and absorbs every key string (Eqs 10-11).
+  // ME starts as M and absorbs every key string (Eqs 10-11). Taking the
+  // plaintext by value lets callers move their serialized message straight
+  // into share 0 instead of copying it.
   shares[0].message_id = mid;
-  shares[0].payload = plaintext;
+  shares[0].payload = std::move(plaintext);
   for (size_t i = 1; i < num_shares_; ++i) {
     shares[i].message_id = mid;
-    shares[i].payload = rng_.Bytes(plaintext.size());
-    for (size_t b = 0; b < plaintext.size(); ++b) {
-      shares[0].payload[b] ^= shares[i].payload[b];
-    }
+    rng_.Bytes(shares[i].payload, len);
+    XorBytesInPlace(shares[0].payload.data(), shares[i].payload.data(), len);
   }
   return shares;
 }
@@ -43,9 +45,7 @@ std::vector<uint8_t> XorSplitter::Combine(
     if (shares[i].payload.size() != len) {
       throw std::invalid_argument("XorSplitter::Combine: length mismatch");
     }
-    for (size_t b = 0; b < len; ++b) {
-      out[b] ^= shares[i].payload[b];
-    }
+    XorBytesInPlace(out.data(), shares[i].payload.data(), len);
   }
   return out;
 }

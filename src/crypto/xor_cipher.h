@@ -32,8 +32,9 @@ class XorSplitter {
 
   // Splits `plaintext` into n equal-length shares under a fresh random MID.
   // Share 0 carries ME; shares 1..n-1 carry the key strings. All payloads
-  // are the same length and individually uniformly random.
-  std::vector<MessageShare> Split(const std::vector<uint8_t>& plaintext);
+  // are the same length and individually uniformly random. Taken by value:
+  // pass an rvalue to move the message into share 0 without a copy.
+  std::vector<MessageShare> Split(std::vector<uint8_t> plaintext);
 
   // Recombines shares (any order): XOR of all payloads. Throws
   // std::invalid_argument on mismatched MIDs or lengths, or fewer than two

@@ -25,6 +25,10 @@ void Proxy::Receive(const crypto::MessageShare& share, int64_t timestamp_ms) {
                   timestamp_ms);
 }
 
+void Proxy::ReceiveBatch(std::vector<broker::ProduceRecord> records) {
+  broker_.ProduceBatch(in_topic_, std::move(records));
+}
+
 uint64_t Proxy::Forward() {
   broker::Topic& out = broker_.GetTopic(out_topic_);
   uint64_t count = 0;
@@ -33,10 +37,14 @@ uint64_t Proxy::Forward() {
     if (batch.empty()) {
       break;
     }
+    count += batch.size();
+    std::vector<broker::ProduceRecord> records;
+    records.reserve(batch.size());
     for (auto& record : batch) {
-      out.Append(record.key, std::move(record.payload), record.timestamp_ms);
-      ++count;
+      records.push_back(broker::ProduceRecord{
+          record.key, std::move(record.payload), record.timestamp_ms});
     }
+    out.AppendBatch(std::move(records));
   }
   forwarded_ += count;
   return count;
@@ -103,6 +111,32 @@ crypto::MessageShare Proxy::DecodeShare(const std::vector<uint8_t>& bytes) {
   }
   share.payload.assign(bytes.begin() + 8, bytes.end());
   return share;
+}
+
+crypto::MessageShare Proxy::DecodeShare(std::vector<uint8_t>&& bytes) {
+  if (bytes.size() < 8) {
+    throw std::invalid_argument("Proxy::DecodeShare: truncated share");
+  }
+  crypto::MessageShare share;
+  for (int i = 0; i < 8; ++i) {
+    share.message_id |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  bytes.erase(bytes.begin(), bytes.begin() + 8);
+  share.payload = std::move(bytes);
+  return share;
+}
+
+void Proxy::DecodeShareBatch(std::vector<broker::Record> records,
+                             DecodedBatch& out) {
+  out.shares.reserve(out.shares.size() + records.size());
+  for (auto& record : records) {
+    try {
+      out.shares.push_back(DecodedShare{DecodeShare(std::move(record.payload)),
+                                        record.timestamp_ms});
+    } catch (const std::invalid_argument&) {
+      ++out.malformed;
+    }
+  }
 }
 
 }  // namespace privapprox::proxy

@@ -39,6 +39,12 @@ class Proxy {
   // Client-facing entry: enqueue one share.
   void Receive(const crypto::MessageShare& share, int64_t timestamp_ms);
 
+  // Batched client-facing entry: enqueue pre-encoded shares (keyed by MID)
+  // in one produce call. The parallel epoch pipeline encodes shares on
+  // worker threads and hands each proxy its batch in client-id order, which
+  // keeps topic contents byte-identical to per-record Receive calls.
+  void ReceiveBatch(std::vector<broker::ProduceRecord> records);
+
   // Transmits all pending inbound records to the outbound topic. Returns the
   // number of records forwarded.
   uint64_t Forward();
@@ -58,6 +64,25 @@ class Proxy {
   // Serialization helpers shared with the aggregator side.
   static std::vector<uint8_t> EncodeShare(const crypto::MessageShare& share);
   static crypto::MessageShare DecodeShare(const std::vector<uint8_t>& bytes);
+  // Owned-buffer variant: strips the 8-byte MID header in place and moves
+  // the remaining bytes into the share payload — no fresh allocation.
+  static crypto::MessageShare DecodeShare(std::vector<uint8_t>&& bytes);
+
+  // A decoded record batch: shares paired with their record timestamps,
+  // plus the count of records that failed to decode. Shared by the
+  // aggregator's parallel drain and any sequential consumer so malformed
+  // accounting stays in one place.
+  struct DecodedShare {
+    crypto::MessageShare share;
+    int64_t timestamp_ms = 0;
+  };
+  struct DecodedBatch {
+    std::vector<DecodedShare> shares;
+    uint64_t malformed = 0;
+  };
+  // Decodes `records` (consuming their payloads) and appends into `out`.
+  static void DecodeShareBatch(std::vector<broker::Record> records,
+                               DecodedBatch& out);
 
   uint64_t forwarded() const { return forwarded_; }
 

@@ -2,7 +2,9 @@
 
 #include "core/query_wire.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace privapprox::system {
 
@@ -14,6 +16,11 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
   if (config.num_proxies < 2) {
     throw std::invalid_argument("PrivApproxSystem: need >= 2 proxies");
   }
+  const size_t threads =
+      config.num_worker_threads != 0
+          ? config.num_worker_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<ThreadPool>(threads);
   proxies_.reserve(config.num_proxies);
   for (size_t i = 0; i < config.num_proxies; ++i) {
     proxies_.push_back(std::make_unique<proxy::Proxy>(
@@ -75,6 +82,7 @@ void PrivApproxSystem::SubmitQuery(const core::Query& query,
   agg_config.population = clients_.size();
   agg_config.confidence = config_.confidence;
   agg_config.answers_inverted = config_.invert_answers;
+  agg_config.pool = pool_.get();
   aggregator_ = std::make_unique<aggregator::Aggregator>(
       agg_config, query, params, broker_,
       [this](const aggregator::WindowedResult& result) {
@@ -137,20 +145,66 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
     throw std::logic_error("PrivApproxSystem::RunEpoch: no query submitted");
   }
   EpochStats stats;
-  for (auto& client : clients_) {
-    std::optional<client::EpochAnswer> answer = client->AnswerQuery(now_ms);
-    if (!answer.has_value()) {
-      continue;
+  const size_t num_clients = clients_.size();
+  const size_t num_proxies = proxies_.size();
+
+  // Phase 1 (parallel answering): shard clients across the pool. Each client
+  // owns its RNG and database, so answering is embarrassingly parallel;
+  // workers encode the resulting shares into the client's private slot.
+  // shard[i][j] is client i's share for proxy j (empty slot = sat out).
+  std::vector<std::vector<broker::ProduceRecord>> shard(num_clients);
+  pool_->ParallelFor(num_clients, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      std::optional<client::EpochAnswer> answer =
+          clients_[i]->AnswerQuery(now_ms);
+      if (!answer.has_value()) {
+        continue;
+      }
+      std::vector<broker::ProduceRecord>& slot = shard[i];
+      slot.reserve(answer->shares.size());
+      for (const crypto::MessageShare& share : answer->shares) {
+        slot.push_back(broker::ProduceRecord{share.message_id,
+                                             proxy::Proxy::EncodeShare(share),
+                                             answer->timestamp_ms});
+      }
     }
-    ++stats.participants;
-    for (size_t i = 0; i < answer->shares.size(); ++i) {
-      proxies_[i]->Receive(answer->shares[i], answer->timestamp_ms);
-      ++stats.shares_sent;
+  });
+
+  // Phase 2 (ordered merge): concatenate the slots in client-id order into
+  // one batch per proxy — exactly the append order the sequential loop
+  // produced, so topic contents are byte-identical for any worker count.
+  for (const auto& slot : shard) {
+    if (!slot.empty()) {
+      ++stats.participants;
+      stats.shares_sent += slot.size();
     }
   }
-  for (auto& proxy : proxies_) {
-    stats.shares_forwarded += proxy->Forward();
+  std::vector<std::vector<broker::ProduceRecord>> batches(num_proxies);
+  for (auto& batch : batches) {
+    batch.reserve(stats.participants);
   }
+  for (auto& slot : shard) {
+    for (size_t j = 0; j < slot.size(); ++j) {
+      batches[j].push_back(std::move(slot[j]));
+    }
+  }
+  for (size_t j = 0; j < num_proxies; ++j) {
+    proxies_[j]->ReceiveBatch(std::move(batches[j]));
+  }
+
+  // Phase 3 (parallel forwarding): each proxy moves its own inbound topic to
+  // its own outbound topic — disjoint state, one task per proxy.
+  std::vector<uint64_t> forwarded(num_proxies, 0);
+  pool_->ParallelFor(num_proxies, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      forwarded[j] = proxies_[j]->Forward();
+    }
+  });
+  for (uint64_t count : forwarded) {
+    stats.shares_forwarded += count;
+  }
+
+  // Phase 4: drain (parallel per-source decode + sequential join inside).
   stats.shares_consumed = aggregator_->Drain();
   return stats;
 }

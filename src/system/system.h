@@ -21,6 +21,7 @@
 #include "aggregator/historical.h"
 #include "broker/broker.h"
 #include "client/client.h"
+#include "common/thread_pool.h"
 #include "core/budget.h"
 #include "core/query.h"
 #include "proxy/proxy.h"
@@ -42,6 +43,11 @@ struct SystemConfig {
   std::string historical_dir;
   // Clients answer the inverted query (§3.3.2).
   bool invert_answers = false;
+  // Worker threads for the epoch pipeline (client answering, per-proxy
+  // forwarding, per-source aggregator decode). 0 = hardware_concurrency.
+  // Results are byte-identical for every value: workers fill per-client
+  // slots and the merge into proxy topics happens in client-id order.
+  size_t num_worker_threads = 0;
 };
 
 struct EpochStats {
@@ -100,10 +106,12 @@ class PrivApproxSystem {
 
   broker::Broker& broker() { return broker_; }
   aggregator::Aggregator& aggregator() { return *aggregator_; }
+  size_t num_worker_threads() const { return pool_->num_threads(); }
 
  private:
   SystemConfig config_;
   broker::Broker broker_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
   std::unique_ptr<aggregator::Aggregator> aggregator_;

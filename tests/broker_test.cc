@@ -56,6 +56,55 @@ TEST(TopicTest, ReadRespectsOffsetAndLimit) {
   EXPECT_TRUE(topic.Read(0, 10, 5).empty());
 }
 
+TEST(TopicTest, AppendBatchMatchesSequentialAppends) {
+  Topic seq("seq", 4);
+  Topic batched("batched", 4);
+  std::vector<ProduceRecord> records;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const std::vector<uint8_t> payload{static_cast<uint8_t>(i),
+                                       static_cast<uint8_t>(i * 7)};
+    seq.Append(i * 31, payload, static_cast<int64_t>(i));
+    records.push_back(ProduceRecord{i * 31, payload, static_cast<int64_t>(i)});
+  }
+  batched.AppendBatch(std::move(records));
+  for (size_t p = 0; p < 4; ++p) {
+    const auto expected = seq.Read(p, 0, 1000);
+    const auto actual = batched.Read(p, 0, 1000);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].offset, expected[i].offset);
+      EXPECT_EQ(actual[i].key, expected[i].key);
+      EXPECT_EQ(actual[i].timestamp_ms, expected[i].timestamp_ms);
+      EXPECT_EQ(actual[i].payload, expected[i].payload);
+    }
+  }
+  EXPECT_EQ(batched.metrics().records_in, seq.metrics().records_in);
+  EXPECT_EQ(batched.metrics().bytes_in, seq.metrics().bytes_in);
+}
+
+TEST(TopicTest, AppendBatchEmptyIsNoop) {
+  Topic topic("t", 2);
+  topic.AppendBatch({});
+  EXPECT_EQ(topic.metrics().records_in, 0u);
+  EXPECT_EQ(topic.EndOffset(0), 0u);
+  EXPECT_EQ(topic.EndOffset(1), 0u);
+}
+
+TEST(BrokerTest, ProduceBatchRoutesToTopic) {
+  Broker broker;
+  broker.CreateTopic("t", 1);
+  std::vector<ProduceRecord> records;
+  records.push_back(ProduceRecord{1, Payload({1, 2}), 5});
+  records.push_back(ProduceRecord{2, Payload({3}), 6});
+  broker.ProduceBatch("t", std::move(records));
+  Consumer consumer(broker.GetTopic("t"));
+  const auto polled = consumer.Poll(10);
+  ASSERT_EQ(polled.size(), 2u);
+  EXPECT_EQ(polled[0].payload, Payload({1, 2}));
+  EXPECT_EQ(polled[1].payload, Payload({3}));
+  EXPECT_THROW(broker.ProduceBatch("missing", {}), std::invalid_argument);
+}
+
 TEST(TopicTest, BadPartitionThrows) {
   Topic topic("t", 2);
   EXPECT_THROW(topic.Read(2, 0, 1), std::out_of_range);

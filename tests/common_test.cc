@@ -371,6 +371,41 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPoolTest, ParallelForCountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.ParallelFor(3, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      touched[i]++;
+    }
+  });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t begin, size_t end) {
+                                  visited += static_cast<int>(end - begin);
+                                  if (begin == 0) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // Every chunk ran to completion before the rethrow — ParallelFor must not
+  // return while tasks still reference the caller's lambda.
+  EXPECT_EQ(visited.load(), 100);
+  // The pool stays usable after a failed ParallelFor.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t begin, size_t end) {
+    counter += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(counter.load(), 10);
+}
+
 // ------------------------------------------------------------------- Logging
 
 TEST(LoggingTest, LevelGating) {

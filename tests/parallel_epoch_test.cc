@@ -1,0 +1,142 @@
+// Determinism of the parallel epoch pipeline (system/system.cc): RunEpoch
+// with num_worker_threads=1 and num_worker_threads=N must produce identical
+// WindowedResults and byte-identical broker topic contents. The parallel
+// path shards client answering across the pool but merges shares into proxy
+// topics in client-id order, so every downstream byte and double matches the
+// sequential run exactly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "system/system.h"
+
+namespace privapprox::system {
+namespace {
+
+core::Query SpeedQuery() {
+  return core::QueryBuilder()
+      .WithId(1)
+      .WithSql("SELECT speed FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(5000)
+      .WithWindowMs(10000)
+      .WithSlideMs(5000)
+      .Build();
+}
+
+// Per-topic counters plus every fired window, captured after a fixed epoch
+// schedule — the full observable output of one run.
+struct RunSnapshot {
+  std::vector<EpochStats> epochs;
+  std::vector<aggregator::WindowedResult> results;
+  std::vector<broker::TopicMetrics> topic_metrics;
+  std::vector<std::string> topic_names;
+};
+
+RunSnapshot RunScenario(size_t num_worker_threads) {
+  SystemConfig config;
+  config.num_clients = 400;
+  config.num_proxies = 3;
+  config.seed = 99;
+  config.num_worker_threads = num_worker_threads;
+  PrivApproxSystem sys(config);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    auto& db = sys.client(i).database();
+    db.CreateTable("vehicle", {"speed"});
+    // Spread clients across buckets; refresh rows per epoch below.
+    db.GetTable("vehicle").Insert(
+        500, {localdb::Value(static_cast<double>((i * 13) % 100))});
+  }
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.6;
+  params.randomization = {0.9, 0.6};
+  sys.SubmitQuery(SpeedQuery(), params);
+
+  RunSnapshot snapshot;
+  for (int64_t now = 5000; now <= 15000; now += 5000) {
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      sys.client(i).database().GetTable("vehicle").Insert(
+          now - 100, {localdb::Value(static_cast<double>((i * 13) % 100))});
+    }
+    snapshot.epochs.push_back(sys.RunEpoch(now));
+    sys.AdvanceWatermark(now);
+  }
+  sys.Flush();
+  snapshot.results = sys.TakeResults();
+  for (const std::string& name : sys.broker().TopicNames()) {
+    snapshot.topic_names.push_back(name);
+    snapshot.topic_metrics.push_back(sys.broker().GetTopic(name).metrics());
+  }
+  return snapshot;
+}
+
+TEST(ParallelEpochTest, ParallelMatchesSequentialExactly) {
+  const RunSnapshot sequential = RunScenario(1);
+  const RunSnapshot parallel = RunScenario(4);
+
+  ASSERT_EQ(parallel.epochs.size(), sequential.epochs.size());
+  for (size_t e = 0; e < sequential.epochs.size(); ++e) {
+    EXPECT_EQ(parallel.epochs[e].participants,
+              sequential.epochs[e].participants);
+    EXPECT_EQ(parallel.epochs[e].shares_sent, sequential.epochs[e].shares_sent);
+    EXPECT_EQ(parallel.epochs[e].shares_forwarded,
+              sequential.epochs[e].shares_forwarded);
+    EXPECT_EQ(parallel.epochs[e].shares_consumed,
+              sequential.epochs[e].shares_consumed);
+  }
+
+  // Fired windows: identical order, windows, and bit-for-bit doubles.
+  ASSERT_EQ(parallel.results.size(), sequential.results.size());
+  ASSERT_GT(sequential.results.size(), 0u);
+  for (size_t w = 0; w < sequential.results.size(); ++w) {
+    const auto& a = sequential.results[w];
+    const auto& b = parallel.results[w];
+    EXPECT_EQ(b.window, a.window);
+    EXPECT_EQ(b.result.participants, a.result.participants);
+    ASSERT_EQ(b.result.buckets.size(), a.result.buckets.size());
+    for (size_t i = 0; i < a.result.buckets.size(); ++i) {
+      EXPECT_EQ(b.result.buckets[i].estimate.value,
+                a.result.buckets[i].estimate.value);
+      EXPECT_EQ(b.result.buckets[i].estimate.error,
+                a.result.buckets[i].estimate.error);
+      EXPECT_EQ(b.result.buckets[i].randomized_count,
+                a.result.buckets[i].randomized_count);
+    }
+  }
+
+  // Broker topics: identical byte and record counts in both directions.
+  ASSERT_EQ(parallel.topic_names, sequential.topic_names);
+  for (size_t t = 0; t < sequential.topic_metrics.size(); ++t) {
+    EXPECT_EQ(parallel.topic_metrics[t].records_in,
+              sequential.topic_metrics[t].records_in)
+        << sequential.topic_names[t];
+    EXPECT_EQ(parallel.topic_metrics[t].bytes_in,
+              sequential.topic_metrics[t].bytes_in)
+        << sequential.topic_names[t];
+    EXPECT_EQ(parallel.topic_metrics[t].records_out,
+              sequential.topic_metrics[t].records_out)
+        << sequential.topic_names[t];
+    EXPECT_EQ(parallel.topic_metrics[t].bytes_out,
+              sequential.topic_metrics[t].bytes_out)
+        << sequential.topic_names[t];
+  }
+}
+
+TEST(ParallelEpochTest, WorkerThreadKnobIsHonored) {
+  SystemConfig config;
+  config.num_clients = 2;
+  config.num_worker_threads = 3;
+  PrivApproxSystem sys(config);
+  EXPECT_EQ(sys.num_worker_threads(), 3u);
+}
+
+TEST(ParallelEpochTest, DefaultUsesHardwareConcurrency) {
+  SystemConfig config;
+  config.num_clients = 2;
+  PrivApproxSystem sys(config);
+  EXPECT_GE(sys.num_worker_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace privapprox::system
