@@ -1,15 +1,19 @@
-// End-to-end epoch pipeline throughput at 1/2/4/N worker threads.
+// End-to-end epoch pipeline throughput: barrier vs streaming mode at
+// 1/2/4/N worker threads.
 //
 // Runs the full client -> proxy -> aggregator epoch loop (system/system.cc)
 // on the Table 3 configuration — 100k clients, sampling fraction s=0.6,
 // (p, q) = (0.9, 0.6), the 11-bucket speed query, two proxies — and reports
-// clients/sec and shares/sec per thread count, plus the speedup over the
-// single-threaded run. The parallel pipeline is bit-deterministic
-// (tests/parallel_epoch_test.cc), so every row processes identical work.
+// clients/sec and shares/sec per (mode, thread count) row, the speedup over
+// the single-threaded barrier run, and the streaming/barrier throughput
+// ratio at equal thread counts. Both modes are bit-deterministic and
+// produce identical results (tests/parallel_epoch_test.cc), so every row
+// processes identical work.
 //
-// The last line printed is a single JSON row so the measurement lands in the
-// benchmark trajectory; later PRs diff it to see epoch-throughput movement.
-// Flags: --clients=N --epochs=N (defaults 100000 / 3).
+// The last line printed is a single JSON row, also appended to a trajectory
+// file so later PRs can diff epoch-throughput movement. Flags:
+// --clients=N --epochs=N --json-out=PATH (defaults 100000 / 3 /
+// BENCH_pipeline.json; --json-out= empty disables the file append).
 
 #include <chrono>
 #include <cstdio>
@@ -28,9 +32,11 @@ namespace {
 struct BenchConfig {
   size_t clients = 100000;
   size_t epochs = 3;
+  std::string json_out = "BENCH_pipeline.json";
 };
 
 struct Row {
+  system::EpochPipelineMode mode = system::EpochPipelineMode::kBarrier;
   size_t threads = 0;
   double seconds = 0.0;
   double clients_per_sec = 0.0;
@@ -38,6 +44,10 @@ struct Row {
   uint64_t participants = 0;
   uint64_t shares_consumed = 0;
 };
+
+const char* ModeName(system::EpochPipelineMode mode) {
+  return mode == system::EpochPipelineMode::kBarrier ? "barrier" : "streaming";
+}
 
 core::Query SpeedQuery() {
   return core::QueryBuilder()
@@ -50,12 +60,14 @@ core::Query SpeedQuery() {
       .Build();
 }
 
-Row RunAtThreads(size_t threads, const BenchConfig& bench) {
+Row RunOne(system::EpochPipelineMode mode, size_t threads,
+           const BenchConfig& bench) {
   system::SystemConfig config;
   config.num_clients = bench.clients;
   config.num_proxies = 2;
   config.seed = 42;
   config.num_worker_threads = threads;
+  config.pipeline_mode = mode;
   system::PrivApproxSystem sys(config);
   for (size_t i = 0; i < bench.clients; ++i) {
     auto& db = sys.client(i).database();
@@ -72,6 +84,7 @@ Row RunAtThreads(size_t threads, const BenchConfig& bench) {
   sys.RunEpoch(1000);
 
   Row row;
+  row.mode = mode;
   row.threads = sys.num_worker_threads();
   const auto start = std::chrono::steady_clock::now();
   for (size_t e = 0; e < bench.epochs; ++e) {
@@ -99,8 +112,12 @@ int main(int argc, char** argv) {
       bench.clients = static_cast<size_t>(std::atoll(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
       bench.epochs = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      bench.json_out = argv[i] + 11;
     } else {
-      std::fprintf(stderr, "usage: %s [--clients=N] [--epochs=N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--clients=N] [--epochs=N] [--json-out=PATH]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -115,39 +132,86 @@ int main(int argc, char** argv) {
       "Epoch pipeline throughput (Table 3 config: %zu clients, s=0.6,\n"
       "p=0.9 q=0.6, 11 buckets, 2 proxies; %zu epochs per row).\n"
       "Host hardware_concurrency = %zu; thread counts beyond it time-slice\n"
-      "one core and cannot speed up.\n\n",
+      "one core and cannot speed up. 'speedup' is vs barrier@1; 'vs barrier'\n"
+      "is streaming throughput over barrier at the same thread count.\n\n",
       bench.clients, bench.epochs, hw);
-  std::printf("%8s %10s %14s %14s %9s\n", "threads", "seconds", "clients/sec",
-              "shares/sec", "speedup");
+  std::printf("%10s %8s %10s %14s %14s %9s %11s\n", "mode", "threads",
+              "seconds", "clients/sec", "shares/sec", "speedup", "vs barrier");
 
   std::vector<Row> rows;
-  rows.reserve(thread_counts.size());
+  rows.reserve(2 * thread_counts.size());
+  double barrier_base_seconds = 0.0;
   for (size_t threads : thread_counts) {
-    rows.push_back(RunAtThreads(threads, bench));
-    const Row& row = rows.back();
-    const double speedup = rows.front().seconds / row.seconds;
-    std::printf("%8zu %10.3f %14.0f %14.0f %8.2fx\n", row.threads, row.seconds,
-                row.clients_per_sec, row.shares_per_sec, speedup);
-  }
-
-  // JSON trajectory row (one line, last on stdout).
-  std::printf("\n{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
-              "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"rows\":[",
-              bench.clients, bench.epochs, hw);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::printf("%s{\"threads\":%zu,\"seconds\":%.4f,\"clients_per_sec\":%.0f,"
-                "\"shares_per_sec\":%.0f}",
-                i == 0 ? "" : ",", row.threads, row.seconds,
-                row.clients_per_sec, row.shares_per_sec);
-  }
-  const Row* four = nullptr;
-  for (const Row& row : rows) {
-    if (row.threads == 4) {
-      four = &row;
+    double barrier_seconds = 0.0;
+    for (const auto mode : {system::EpochPipelineMode::kBarrier,
+                            system::EpochPipelineMode::kStreaming}) {
+      rows.push_back(RunOne(mode, threads, bench));
+      const Row& row = rows.back();
+      if (mode == system::EpochPipelineMode::kBarrier) {
+        barrier_seconds = row.seconds;
+        if (barrier_base_seconds == 0.0) {
+          barrier_base_seconds = row.seconds;
+        }
+      }
+      const double speedup = barrier_base_seconds / row.seconds;
+      if (mode == system::EpochPipelineMode::kBarrier) {
+        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %11s\n",
+                    ModeName(row.mode), row.threads, row.seconds,
+                    row.clients_per_sec, row.shares_per_sec, speedup, "-");
+      } else {
+        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %10.2fx\n",
+                    ModeName(row.mode), row.threads, row.seconds,
+                    row.clients_per_sec, row.shares_per_sec, speedup,
+                    barrier_seconds / row.seconds);
+      }
     }
   }
-  std::printf("],\"speedup_4_vs_1\":%.3f}\n",
-              four != nullptr ? rows.front().seconds / four->seconds : 0.0);
+
+  // JSON trajectory row (one line, last on stdout; appended to the file).
+  std::string json;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
+                "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"rows\":[",
+                bench.clients, bench.epochs, hw);
+  json += buf;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"mode\":\"%s\",\"threads\":%zu,\"seconds\":%.4f,"
+                  "\"clients_per_sec\":%.0f,\"shares_per_sec\":%.0f}",
+                  i == 0 ? "" : ",", ModeName(row.mode), row.threads,
+                  row.seconds, row.clients_per_sec, row.shares_per_sec);
+    json += buf;
+  }
+  const Row* barrier_four = nullptr;
+  const Row* streaming_four = nullptr;
+  for (const Row& row : rows) {
+    if (row.threads != 4) {
+      continue;
+    }
+    (row.mode == system::EpochPipelineMode::kBarrier ? barrier_four
+                                                     : streaming_four) = &row;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "],\"speedup_4_vs_1\":%.3f,\"streaming_vs_barrier_4\":%.3f}",
+      barrier_four != nullptr ? barrier_base_seconds / barrier_four->seconds
+                              : 0.0,
+      barrier_four != nullptr && streaming_four != nullptr
+          ? barrier_four->seconds / streaming_four->seconds
+          : 0.0);
+  json += buf;
+  std::printf("\n%s\n", json.c_str());
+
+  if (!bench.json_out.empty()) {
+    if (std::FILE* f = std::fopen(bench.json_out.c_str(), "a")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot append to %s\n",
+                   bench.json_out.c_str());
+    }
+  }
   return 0;
 }

@@ -93,6 +93,54 @@ uint64_t Aggregator::Drain() {
   return consumed;
 }
 
+uint64_t Aggregator::ConsumeShardBatch(
+    size_t source, uint64_t shard_seq,
+    const std::vector<uint32_t>& partition_counts) {
+  if (source >= consumers_.size()) {
+    throw std::out_of_range("Aggregator::ConsumeShardBatch: bad source");
+  }
+  std::vector<broker::Record> records =
+      consumers_[source]->PollPartitions(partition_counts);
+  const uint64_t consumed = records.size();
+  StreamSlot& slot = stream_pending_[shard_seq];
+  if (slot.per_source.empty()) {
+    slot.per_source.resize(consumers_.size());
+  }
+  proxy::Proxy::DecodeShareBatch(std::move(records),
+                                 slot.per_source[source]);
+  ++slot.filled;
+  // Advance the reorder buffer: feed every complete shard at the head, in
+  // (shard_seq, source) order — the streaming pipeline's canonical join
+  // feed order.
+  while (!stream_pending_.empty()) {
+    auto head = stream_pending_.begin();
+    if (head->first != stream_next_seq_ ||
+        head->second.filled != consumers_.size()) {
+      break;
+    }
+    for (size_t s = 0; s < consumers_.size(); ++s) {
+      proxy::Proxy::DecodedBatch& batch = head->second.per_source[s];
+      malformed_dropped_ += batch.malformed;
+      for (const auto& [share, timestamp_ms] : batch.shares) {
+        joiner_->Add(share, timestamp_ms, s);
+      }
+    }
+    stream_pending_.erase(head);
+    ++stream_next_seq_;
+  }
+  return consumed;
+}
+
+void Aggregator::FinishStream() {
+  const bool incomplete = !stream_pending_.empty();
+  stream_pending_.clear();
+  stream_next_seq_ = 0;
+  if (incomplete) {
+    throw std::logic_error(
+        "Aggregator::FinishStream: shard batches missing from the stream");
+  }
+}
+
 void Aggregator::OnJoined(uint64_t /*mid*/, std::vector<uint8_t> plaintext,
                           int64_t timestamp_ms) {
   crypto::AnswerMessage message;

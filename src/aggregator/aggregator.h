@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "engine/join.h"
 #include "engine/watermark.h"
 #include "engine/window.h"
+#include "proxy/proxy.h"
 
 namespace privapprox::aggregator {
 
@@ -70,6 +72,29 @@ class Aggregator {
   // Returns the number of shares consumed.
   uint64_t Drain();
 
+  // --- Streaming-mode consumption (system/system.cc) -------------------
+  //
+  // The streaming epoch pipeline calls ConsumeShardBatch from its single
+  // aggregator-stage thread, once per (shard, proxy) as forward
+  // notifications arrive. It reads exactly the records proxy `source`
+  // appended for shard `shard_seq` (per-outbound-partition counts as
+  // reported by Proxy::ReceiveAndForwardShard), decodes them, and parks
+  // the batch in a reorder buffer keyed by shard sequence number. Whenever
+  // the buffer's head shard has a batch from every source, those batches
+  // are fed to the MID join in (shard_seq, source) order — so the join
+  // feed order is deterministic for every worker count, channel depth, and
+  // thread interleaving. Returns records consumed (incl. malformed).
+  //
+  // Not thread-safe; not to be interleaved with Drain() mid-epoch.
+  uint64_t ConsumeShardBatch(size_t source, uint64_t shard_seq,
+                             const std::vector<uint32_t>& partition_counts);
+
+  // Ends one streaming epoch: resets the shard sequence expectation for the
+  // next epoch. Throws std::logic_error if shard batches are still parked
+  // (a gap in the sequence — pipeline bug); the buffer is cleared first so
+  // the aggregator stays usable after the throw.
+  void FinishStream();
+
   // Advances the event-time watermark, firing complete windows.
   void AdvanceWatermark(int64_t watermark_ms);
 
@@ -92,6 +117,12 @@ class Aggregator {
   void OnWindowFired(const engine::Window& window,
                      const std::vector<BitVector>& answers);
 
+  // One shard's decoded batches, one slot per source stream.
+  struct StreamSlot {
+    std::vector<proxy::Proxy::DecodedBatch> per_source;
+    size_t filled = 0;
+  };
+
   AggregatorConfig config_;
   core::Query query_;
   core::ExecutionParams params_;
@@ -103,6 +134,11 @@ class Aggregator {
   std::unique_ptr<engine::WindowBuffer<BitVector>> windows_;
   core::ErrorEstimator estimator_;
   engine::BoundedOutOfOrdernessWatermark stream_watermark_{1000};
+  // Streaming-mode reorder buffer: shards decoded but not yet fed to the
+  // join, keyed by shard sequence number. Bounded in practice by the
+  // pipeline's channel capacities (upstream backpressure).
+  std::map<uint64_t, StreamSlot> stream_pending_;
+  uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;
   uint64_t wrong_query_dropped_ = 0;
 };

@@ -75,6 +75,36 @@ std::vector<Record> Consumer::Poll(size_t max_records) {
   return out;
 }
 
+std::vector<Record> Consumer::PollPartitions(
+    const std::vector<uint32_t>& counts) {
+  if (counts.size() != offsets_.size()) {
+    throw std::invalid_argument(
+        "Consumer::PollPartitions: partition count mismatch");
+  }
+  size_t total = 0;
+  for (uint32_t count : counts) {
+    total += count;
+  }
+  std::vector<Record> out;
+  out.reserve(total);
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    if (counts[p] == 0) {
+      continue;
+    }
+    std::vector<Record> batch = topic_.Read(p, offsets_[p], counts[p]);
+    if (batch.size() != counts[p]) {
+      throw std::logic_error(
+          "Consumer::PollPartitions: promised records not available");
+    }
+    offsets_[p] += batch.size();
+    consumed_ += batch.size();
+    for (auto& record : batch) {
+      out.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
 bool Consumer::CaughtUp() const {
   for (size_t p = 0; p < offsets_.size(); ++p) {
     if (offsets_[p] < topic_.EndOffset(p)) {

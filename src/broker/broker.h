@@ -50,6 +50,16 @@ class Consumer {
   // Pulls up to `max_records` available records across partitions.
   std::vector<Record> Poll(size_t max_records);
 
+  // Pulls exactly `counts[p]` records from each partition p, in partition
+  // order. The streaming epoch pipeline uses this to consume precisely one
+  // forwarded shard batch: the producer reports how many records it
+  // appended per partition, so the read is deterministic even while later
+  // batches are being appended concurrently. Throws std::invalid_argument
+  // on a partition-count mismatch and std::logic_error if a partition does
+  // not (yet) hold the promised records — callers must only request counts
+  // that were appended before the call.
+  std::vector<Record> PollPartitions(const std::vector<uint32_t>& counts);
+
   // Total records consumed so far.
   uint64_t consumed() const { return consumed_; }
 

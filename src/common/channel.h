@@ -1,0 +1,203 @@
+// Bounded MPMC channel + stage runner — the streaming runtime under the
+// epoch pipeline (system/system.cc).
+//
+// A Channel<T> is a capacity-bounded queue with blocking Push/Pop: a full
+// channel blocks producers, which is how backpressure propagates upstream
+// through a pipeline of stages (a slow aggregator stage eventually stalls
+// client answering instead of buffering unboundedly). Close() flips the
+// channel into drain mode: pending items can still be popped, further
+// pushes fail, and Pop returns false once the queue is empty — the signal
+// stage workers use to exit.
+//
+// A Stage owns worker threads that pull items from one input channel and
+// run a processing function on each (typically pushing results into the
+// next channel). Joining a stage after closing its input gives the
+// producer→transform→consumer shutdown sequence: close, join, close the
+// next channel, join the next stage, ...
+
+#ifndef PRIVAPPROX_COMMON_CHANNEL_H_
+#define PRIVAPPROX_COMMON_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace privapprox {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw std::invalid_argument("Channel: capacity must be >= 1");
+    }
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Blocks while the channel is full. Returns false (dropping `value`) if
+  // the channel is closed.
+  bool Push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the channel is closed and drained.
+  // Returns false only in the latter case.
+  bool Pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return false;  // closed and fully drained
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking Pop: false when the channel is currently empty (closed or
+  // not).
+  bool TryPop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return false;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent. Wakes every blocked producer (their pushes fail) and lets
+  // consumers drain what is already queued.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// Runs `num_workers` threads, each looping `fn(item)` over items popped from
+// `in` until the channel is closed and drained. `In` must be
+// default-constructible and move-assignable.
+//
+// If `fn` throws, the first exception is captured and rethrown by Join();
+// after a failure the stage keeps draining its input without processing, so
+// upstream producers blocked on a full channel always make progress and a
+// pipeline shuts down cleanly even on error.
+template <typename In>
+class Stage {
+ public:
+  Stage(Channel<In>& in, size_t num_workers, std::function<void(In&&)> fn)
+      : in_(in), fn_(std::move(fn)) {
+    if (num_workers == 0) {
+      throw std::invalid_argument("Stage: need >= 1 worker");
+    }
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { Run(); });
+    }
+  }
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  ~Stage() { JoinWorkers(); }
+
+  // Blocks until every worker has exited (i.e. the input channel is closed
+  // and drained), then rethrows the first exception any worker hit.
+  void Join() {
+    JoinWorkers();
+    if (error_ != nullptr) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void Run() {
+    In item;
+    while (in_.Pop(item)) {
+      if (failed_.load(std::memory_order_relaxed)) {
+        continue;  // drain-only after a failure; keeps producers unblocked
+      }
+      try {
+        fn_(std::move(item));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (error_ == nullptr) {
+          error_ = std::current_exception();
+        }
+        failed_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void JoinWorkers() {
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+  }
+
+  Channel<In>& in_;
+  std::function<void(In&&)> fn_;
+  std::vector<std::thread> workers_;
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_CHANNEL_H_

@@ -49,7 +49,7 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
 
   uint8_t U8() { return bytes_[Need(1)]; }
   uint16_t U16() {
@@ -96,7 +96,7 @@ class Reader {
     return at;
   }
 
-  const std::vector<uint8_t>& bytes_;
+  std::span<const uint8_t> bytes_;
   size_t pos_ = 0;
 };
 
@@ -133,7 +133,7 @@ std::vector<uint8_t> SerializeAnnouncement(const QueryAnnouncement& ann) {
   return w.Take();
 }
 
-QueryAnnouncement DeserializeAnnouncement(const std::vector<uint8_t>& bytes) {
+QueryAnnouncement DeserializeAnnouncement(std::span<const uint8_t> bytes) {
   Reader r(bytes);
   if (r.U32() != kMagic) {
     throw WireError("bad announcement magic");

@@ -10,6 +10,7 @@
 #define PRIVAPPROX_CORE_QUERY_WIRE_H_
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -53,7 +54,13 @@ std::vector<uint8_t> SerializeAnnouncement(const QueryAnnouncement& ann);
 // Parses an announcement. Throws WireError on truncation, bad magic, an
 // unsupported version, or malformed bucket specs. Does NOT verify the
 // analyst signature — clients do that themselves (Client::Subscribe).
-QueryAnnouncement DeserializeAnnouncement(const std::vector<uint8_t>& bytes);
+// Takes a non-owning view; the vector overload exists for brace-init
+// call sites.
+QueryAnnouncement DeserializeAnnouncement(std::span<const uint8_t> bytes);
+inline QueryAnnouncement DeserializeAnnouncement(
+    const std::vector<uint8_t>& bytes) {
+  return DeserializeAnnouncement(std::span<const uint8_t>(bytes));
+}
 
 }  // namespace privapprox::core
 

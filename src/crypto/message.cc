@@ -19,7 +19,7 @@ std::vector<uint8_t> AnswerMessage::Serialize() const {
   return out;
 }
 
-AnswerMessage AnswerMessage::Deserialize(const std::vector<uint8_t>& bytes) {
+AnswerMessage AnswerMessage::Deserialize(std::span<const uint8_t> bytes) {
   if (bytes.size() < 12) {
     throw std::invalid_argument("AnswerMessage::Deserialize: truncated header");
   }

@@ -12,6 +12,7 @@
 #define PRIVAPPROX_CRYPTO_MESSAGE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -24,9 +25,13 @@ struct AnswerMessage {
   BitVector answer;
 
   // Wire format: QID (8 bytes LE) | answer bit count (4 bytes LE) | answer
-  // bytes.
+  // bytes. Deserialize takes a non-owning view so callers can parse
+  // sub-ranges of larger buffers without materializing a temporary vector.
   std::vector<uint8_t> Serialize() const;
-  static AnswerMessage Deserialize(const std::vector<uint8_t>& bytes);
+  static AnswerMessage Deserialize(std::span<const uint8_t> bytes);
+  static AnswerMessage Deserialize(const std::vector<uint8_t>& bytes) {
+    return Deserialize(std::span<const uint8_t>(bytes));
+  }
 
   bool operator==(const AnswerMessage& other) const = default;
 

@@ -50,6 +50,31 @@ uint64_t Proxy::Forward() {
   return count;
 }
 
+std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
+    std::vector<broker::ProduceRecord> records) {
+  broker_.ProduceBatch(in_topic_, std::move(records));
+  broker::Topic& out = broker_.GetTopic(out_topic_);
+  std::vector<uint32_t> counts(out.num_partitions(), 0);
+  uint64_t total = 0;
+  for (;;) {
+    std::vector<broker::Record> batch = consumer_->Poll(4096);
+    if (batch.empty()) {
+      break;
+    }
+    total += batch.size();
+    std::vector<broker::ProduceRecord> forward;
+    forward.reserve(batch.size());
+    for (auto& record : batch) {
+      ++counts[out.PartitionOf(record.key)];
+      forward.push_back(broker::ProduceRecord{
+          record.key, std::move(record.payload), record.timestamp_ms});
+    }
+    out.AppendBatch(std::move(forward));
+  }
+  forwarded_ += total;
+  return counts;
+}
+
 uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
   broker::Topic& out = broker_.GetTopic(out_topic_);
   uint64_t count = 0;
@@ -101,7 +126,7 @@ std::vector<uint8_t> Proxy::EncodeShare(const crypto::MessageShare& share) {
   return out;
 }
 
-crypto::MessageShare Proxy::DecodeShare(const std::vector<uint8_t>& bytes) {
+crypto::MessageShare Proxy::DecodeShare(std::span<const uint8_t> bytes) {
   if (bytes.size() < 8) {
     throw std::invalid_argument("Proxy::DecodeShare: truncated share");
   }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "broker/broker.h"
@@ -49,6 +50,17 @@ class Proxy {
   // number of records forwarded.
   uint64_t Forward();
 
+  // Streaming-mode entry (system/system.cc): appends one shard batch to the
+  // inbound topic, immediately forwards everything pending (the batch plus
+  // any records produced out of band), and returns the number of records
+  // forwarded per *outbound* partition. The streaming aggregator consumes
+  // exactly these counts (Consumer::PollPartitions), which is what makes
+  // the downstream read deterministic while later shards are still in
+  // flight. Must be called from a single thread per proxy — the proxy
+  // stage owns this proxy's consumer offsets.
+  std::vector<uint32_t> ReceiveAndForwardShard(
+      std::vector<broker::ProduceRecord> records);
+
   // Query distribution (§3.1, submission phase): the aggregator publishes
   // serialized query announcements into the proxy's query inbound topic;
   // ForwardQueries moves them to the client-facing outbound topic. Proxies
@@ -61,9 +73,15 @@ class Proxy {
   // the pool in record batches.
   uint64_t ForwardParallel(ThreadPool& pool);
 
-  // Serialization helpers shared with the aggregator side.
+  // Serialization helpers shared with the aggregator side. The span
+  // overload is the primary decoder: a non-owning view, so sub-ranges of
+  // larger receive buffers decode without a temporary vector (the payload
+  // itself is copied once into the share).
   static std::vector<uint8_t> EncodeShare(const crypto::MessageShare& share);
-  static crypto::MessageShare DecodeShare(const std::vector<uint8_t>& bytes);
+  static crypto::MessageShare DecodeShare(std::span<const uint8_t> bytes);
+  static crypto::MessageShare DecodeShare(const std::vector<uint8_t>& bytes) {
+    return DecodeShare(std::span<const uint8_t>(bytes));
+  }
   // Owned-buffer variant: strips the 8-byte MID header in place and moves
   // the remaining bytes into the share payload — no fresh allocation.
   static crypto::MessageShare DecodeShare(std::vector<uint8_t>&& bytes);

@@ -1,8 +1,12 @@
 #include "system/system.h"
 
+#include "common/channel.h"
 #include "core/query_wire.h"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -144,6 +148,15 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
   if (!aggregator_) {
     throw std::logic_error("PrivApproxSystem::RunEpoch: no query submitted");
   }
+  const uint64_t malformed_before = aggregator_->malformed_dropped();
+  EpochStats stats = config_.pipeline_mode == EpochPipelineMode::kStreaming
+                         ? RunEpochStreaming(now_ms)
+                         : RunEpochBarrier(now_ms);
+  stats.malformed_dropped = aggregator_->malformed_dropped() - malformed_before;
+  return stats;
+}
+
+EpochStats PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   EpochStats stats;
   const size_t num_clients = clients_.size();
   const size_t num_proxies = proxies_.size();
@@ -206,6 +219,189 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
 
   // Phase 4: drain (parallel per-source decode + sequential join inside).
   stats.shares_consumed = aggregator_->Drain();
+  return stats;
+}
+
+namespace {
+
+constexpr size_t kDefaultStreamShardSize = 1024;
+
+// One contiguous client range to answer, tagged with its position in the
+// epoch's shard sequence.
+struct ShardTask {
+  uint64_t seq = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// One shard's shares for one proxy, still tagged with the shard sequence so
+// the proxy stage can restore client-id append order.
+struct TaggedBatch {
+  uint64_t seq = 0;
+  std::vector<broker::ProduceRecord> records;
+};
+
+// "Proxy `source` forwarded shard `seq`; consume exactly these counts per
+// outbound partition."
+struct ShardNotice {
+  size_t source = 0;
+  uint64_t seq = 0;
+  std::vector<uint32_t> partition_counts;
+};
+
+}  // namespace
+
+// The streaming epoch: the same work as the barrier path, reshaped into
+// producer→transform→consumer stages over bounded channels.
+//
+//   [main] --ShardTask--> [answer xW] --TaggedBatch--> [proxy j x1] (n of
+//   them) --ShardNotice--> [aggregator x1]
+//
+// A shard's batch reaches its proxies the moment its clients finish
+// answering; each proxy appends + forwards while later shards are still
+// being answered; the aggregator decodes and joins forwarded batches as
+// notices arrive. Determinism: per-proxy reorder buffers replay batches in
+// shard order (so topic logs stay in client-id order, identical to the
+// barrier merge), and the aggregator's reorder buffer feeds the MID join in
+// (shard, source) order (see Aggregator::ConsumeShardBatch).
+EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
+  EpochStats stats;
+  const size_t num_clients = clients_.size();
+  const size_t num_proxies = proxies_.size();
+  const size_t shard_size = config_.stream_shard_size != 0
+                                ? config_.stream_shard_size
+                                : kDefaultStreamShardSize;
+  const size_t depth = std::max<size_t>(1, config_.pipeline_depth);
+  const size_t answer_workers = pool_->num_threads();
+
+  Channel<ShardTask> tasks(depth);
+  std::vector<std::unique_ptr<Channel<TaggedBatch>>> to_proxy;
+  to_proxy.reserve(num_proxies);
+  for (size_t j = 0; j < num_proxies; ++j) {
+    to_proxy.push_back(std::make_unique<Channel<TaggedBatch>>(depth));
+  }
+  Channel<ShardNotice> notices(depth * num_proxies);
+
+  std::atomic<uint64_t> participants{0};
+  std::atomic<uint64_t> shares_sent{0};
+  std::atomic<uint64_t> shares_forwarded{0};
+  std::atomic<uint64_t> shares_consumed{0};
+
+  // Consumer stage: single worker — the join and window state are
+  // sequential by design, exactly as in the barrier drain.
+  Stage<ShardNotice> aggregator_stage(
+      notices, 1, [&](ShardNotice&& notice) {
+        shares_consumed += aggregator_->ConsumeShardBatch(
+            notice.source, notice.seq, notice.partition_counts);
+      });
+
+  // Per-proxy forward stages: one worker each (a proxy owns its consumer
+  // offsets). Answer workers finish shards out of order, so each stage
+  // reorders to shard order before appending — keeping the inbound topic
+  // in client-id order, byte-identical to the barrier merge. The reorder
+  // map is small: tasks are handed out in shard order, so at most
+  // ~(answer workers + channel depth) shards are in flight.
+  std::vector<std::unique_ptr<Stage<TaggedBatch>>> proxy_stages;
+  proxy_stages.reserve(num_proxies);
+  for (size_t j = 0; j < num_proxies; ++j) {
+    auto reorder =
+        std::make_shared<std::map<uint64_t, std::vector<broker::ProduceRecord>>>();
+    auto next_seq = std::make_shared<uint64_t>(0);
+    proxy_stages.push_back(std::make_unique<Stage<TaggedBatch>>(
+        *to_proxy[j], 1, [&, j, reorder, next_seq](TaggedBatch&& batch) {
+          (*reorder)[batch.seq] = std::move(batch.records);
+          for (auto it = reorder->find(*next_seq); it != reorder->end();
+               it = reorder->find(*next_seq)) {
+            std::vector<broker::ProduceRecord> records = std::move(it->second);
+            reorder->erase(it);
+            std::vector<uint32_t> counts =
+                proxies_[j]->ReceiveAndForwardShard(std::move(records));
+            uint64_t forwarded = 0;
+            for (uint32_t count : counts) {
+              forwarded += count;
+            }
+            shares_forwarded += forwarded;
+            notices.Push(ShardNotice{j, *next_seq, std::move(counts)});
+            ++*next_seq;
+          }
+        }));
+  }
+
+  // Producer stage: workers answer one shard's clients and ship the
+  // resulting per-proxy batches downstream immediately. Every random
+  // decision draws from per-client RNG state, so which worker answers a
+  // shard cannot change any byte. Empty batches are shipped too — the
+  // shard sequence must be gapless for the reorder buffers to advance.
+  Stage<ShardTask> answer_stage(tasks, answer_workers, [&](ShardTask&& task) {
+    std::vector<std::vector<broker::ProduceRecord>> per_proxy(num_proxies);
+    for (auto& batch : per_proxy) {
+      batch.reserve(task.end - task.begin);
+    }
+    uint64_t local_participants = 0;
+    uint64_t local_shares = 0;
+    for (size_t i = task.begin; i < task.end; ++i) {
+      std::optional<client::EpochAnswer> answer =
+          clients_[i]->AnswerQuery(now_ms);
+      if (!answer.has_value()) {
+        continue;
+      }
+      ++local_participants;
+      local_shares += answer->shares.size();
+      for (size_t j = 0; j < answer->shares.size(); ++j) {
+        const crypto::MessageShare& share = answer->shares[j];
+        per_proxy[j].push_back(broker::ProduceRecord{
+            share.message_id, proxy::Proxy::EncodeShare(share),
+            answer->timestamp_ms});
+      }
+    }
+    participants += local_participants;
+    shares_sent += local_shares;
+    for (size_t j = 0; j < num_proxies; ++j) {
+      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j])});
+    }
+  });
+
+  // Feed the pipeline, then shut it down stage by stage: close input, join
+  // stage, close the next channel. Join errors are collected so the
+  // shutdown sequence always completes (a failed stage drains its input,
+  // so nothing upstream stays blocked).
+  std::exception_ptr error;
+  auto join_stage = [&error](auto& stage) {
+    try {
+      stage.Join();
+    } catch (...) {
+      if (error == nullptr) {
+        error = std::current_exception();
+      }
+    }
+  };
+  uint64_t seq = 0;
+  for (size_t begin = 0; begin < num_clients; begin += shard_size, ++seq) {
+    tasks.Push(ShardTask{seq, begin, std::min(begin + shard_size, num_clients)});
+  }
+  tasks.Close();
+  join_stage(answer_stage);
+  for (auto& channel : to_proxy) {
+    channel->Close();
+  }
+  for (auto& stage : proxy_stages) {
+    join_stage(*stage);
+  }
+  notices.Close();
+  join_stage(aggregator_stage);
+  if (error != nullptr) {
+    try {
+      aggregator_->FinishStream();  // reset reorder state; expected to throw
+    } catch (...) {
+    }
+    std::rethrow_exception(error);
+  }
+  aggregator_->FinishStream();
+
+  stats.participants = participants.load();
+  stats.shares_sent = shares_sent.load();
+  stats.shares_forwarded = shares_forwarded.load();
+  stats.shares_consumed = shares_consumed.load();
   return stats;
 }
 

@@ -29,6 +29,21 @@
 
 namespace privapprox::system {
 
+// How RunEpoch executes the answer path.
+enum class EpochPipelineMode {
+  // Four globally barriered phases: answer all clients, merge, forward all
+  // proxies, drain. Simple, but no phase overlaps another.
+  kBarrier,
+  // Stage/channel dataflow (common/channel.h): client shards, per-proxy
+  // forwarding, and aggregator decode run as concurrent stages connected by
+  // bounded channels. A shard's share batch flows to the proxies the moment
+  // it is produced; proxies forward while later shards are still answering;
+  // the aggregator decodes and joins batches as they arrive, with a reorder
+  // buffer keeping the join feed order deterministic. Results are
+  // bit-identical to kBarrier (tests/parallel_epoch_test.cc).
+  kStreaming,
+};
+
 struct SystemConfig {
   size_t num_clients = 100;
   size_t num_proxies = 2;
@@ -48,6 +63,19 @@ struct SystemConfig {
   // Results are byte-identical for every value: workers fill per-client
   // slots and the merge into proxy topics happens in client-id order.
   size_t num_worker_threads = 0;
+  // Answer-path execution shape (see EpochPipelineMode). Streaming is the
+  // default; kBarrier remains for comparison benchmarks and as the
+  // reference semantics.
+  EpochPipelineMode pipeline_mode = EpochPipelineMode::kStreaming;
+  // Streaming mode: capacity (in shard batches) of each inter-stage
+  // channel — the backpressure knob. Larger values let fast stages run
+  // further ahead; 1 degenerates to near-lockstep hand-off.
+  size_t pipeline_depth = 8;
+  // Streaming mode: clients per shard batch. Fixed (not derived from the
+  // worker count) so the dataflow — and therefore every byte in the broker
+  // and every join feed position — is identical at any thread count.
+  // 0 = default (1024).
+  size_t stream_shard_size = 0;
 };
 
 struct EpochStats {
@@ -55,6 +83,10 @@ struct EpochStats {
   uint64_t shares_sent = 0;  // client -> proxy messages
   uint64_t shares_forwarded = 0;
   uint64_t shares_consumed = 0;
+  // Records dropped this epoch because they failed to decode (truncated
+  // share or garbage plaintext after the join) — the aggregator counts
+  // them; this surfaces the per-epoch delta to RunEpoch callers.
+  uint64_t malformed_dropped = 0;
 };
 
 class PrivApproxSystem {
@@ -82,7 +114,9 @@ class PrivApproxSystem {
   // switches to the new (s, p, q).
   void UpdateParams(const core::ExecutionParams& params);
 
-  // Runs one answering epoch at `now_ms`.
+  // Runs one answering epoch at `now_ms`. Dispatches on
+  // SystemConfig::pipeline_mode; both modes produce bit-identical results,
+  // topic contents, and stats.
   EpochStats RunEpoch(int64_t now_ms);
 
   // Advances the watermark; fires completed windows into results().
@@ -109,6 +143,9 @@ class PrivApproxSystem {
   size_t num_worker_threads() const { return pool_->num_threads(); }
 
  private:
+  EpochStats RunEpochBarrier(int64_t now_ms);
+  EpochStats RunEpochStreaming(int64_t now_ms);
+
   SystemConfig config_;
   broker::Broker broker_;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,240 @@
+// The streaming runtime primitive (common/channel.h): bounded-capacity
+// blocking, close + drain semantics, many-producer/many-consumer stress,
+// and the Stage worker runner (including error propagation with a clean
+// shutdown). The MPMC stress tests are the ones the TSan job watches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+
+namespace privapprox {
+namespace {
+
+TEST(ChannelTest, RejectsZeroCapacity) {
+  EXPECT_THROW(Channel<int>(0), std::invalid_argument);
+}
+
+TEST(ChannelTest, PushPopRoundTripInFifoOrder) {
+  Channel<int> channel(4);
+  EXPECT_TRUE(channel.Push(1));
+  EXPECT_TRUE(channel.Push(2));
+  EXPECT_TRUE(channel.Push(3));
+  int out = 0;
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+TEST(ChannelTest, TryPopDoesNotBlock) {
+  Channel<int> channel(2);
+  int out = 0;
+  EXPECT_FALSE(channel.TryPop(out));
+  channel.Push(7);
+  EXPECT_TRUE(channel.TryPop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(channel.TryPop(out));
+}
+
+TEST(ChannelTest, FullChannelBlocksProducerUntilPop) {
+  Channel<int> channel(2);
+  ASSERT_TRUE(channel.Push(1));
+  ASSERT_TRUE(channel.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    channel.Push(3);  // must block: capacity 2, both slots full
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  int out = 0;
+  ASSERT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  // The freed slot was taken by the unblocked push: {2, 3} remain in order.
+  ASSERT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+TEST(ChannelTest, CloseDrainsPendingThenPopsReturnFalse) {
+  Channel<int> channel(4);
+  channel.Push(10);
+  channel.Push(20);
+  channel.Close();
+  EXPECT_FALSE(channel.Push(30));  // closed: push fails, value dropped
+  int out = 0;
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(channel.Pop(out));
+  EXPECT_EQ(out, 20);
+  EXPECT_FALSE(channel.Pop(out));  // drained
+  EXPECT_FALSE(channel.Pop(out));  // stays drained
+}
+
+TEST(ChannelTest, CloseWakesBlockedConsumer) {
+  Channel<int> channel(1);
+  std::atomic<bool> consumer_done{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(channel.Pop(out));  // blocks until Close, then false
+    consumer_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(consumer_done.load());
+  channel.Close();
+  consumer.join();
+  EXPECT_TRUE(consumer_done.load());
+}
+
+TEST(ChannelTest, CloseWakesBlockedProducer) {
+  Channel<int> channel(1);
+  channel.Push(1);
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(channel.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  channel.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+}
+
+TEST(ChannelTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  // 4 producers x 2000 distinct items through a capacity-8 channel into 4
+  // consumers; every item must arrive exactly once.
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  Channel<int> channel(8);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.Push(static_cast<int>(p) * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int item = 0;
+      while (channel.Pop(item)) {
+        seen[static_cast<size_t>(item)].fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  channel.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ChannelTest, PerProducerOrderIsPreservedThroughTheQueue) {
+  // FIFO per producer: a single consumer must see each producer's items in
+  // increasing order even when two producers interleave.
+  Channel<std::pair<int, int>> channel(4);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 500; ++i) {
+        channel.Push({p, i});
+      }
+    });
+  }
+  std::vector<int> last(2, -1);
+  std::thread consumer([&] {
+    std::pair<int, int> item;
+    while (channel.Pop(item)) {
+      EXPECT_GT(item.second, last[static_cast<size_t>(item.first)]);
+      last[static_cast<size_t>(item.first)] = item.second;
+    }
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  channel.Close();
+  consumer.join();
+  EXPECT_EQ(last[0], 499);
+  EXPECT_EQ(last[1], 499);
+}
+
+TEST(StageTest, WorkersProcessEveryItemThenExitOnCloseDrain) {
+  Channel<int> channel(4);
+  std::atomic<long> sum{0};
+  Stage<int> stage(channel, 3, [&](int&& item) { sum += item; });
+  for (int i = 1; i <= 100; ++i) {
+    channel.Push(i);
+  }
+  channel.Close();
+  stage.Join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(StageTest, RejectsZeroWorkers) {
+  Channel<int> channel(1);
+  EXPECT_THROW(Stage<int>(channel, 0, [](int&&) {}), std::invalid_argument);
+}
+
+TEST(StageTest, JoinRethrowsFirstWorkerException) {
+  Channel<int> channel(2);
+  std::atomic<int> processed{0};
+  Stage<int> stage(channel, 2, [&](int&& item) {
+    if (item == 13) {
+      throw std::runtime_error("unlucky");
+    }
+    ++processed;
+  });
+  for (int i = 0; i < 50; ++i) {
+    channel.Push(i);  // never deadlocks: a failed stage keeps draining
+  }
+  channel.Close();
+  EXPECT_THROW(stage.Join(), std::runtime_error);
+  // Everything before the failure was processed; the rest was drained.
+  EXPECT_GE(processed.load(), 13);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+TEST(StageTest, PipelineOfStagesPropagatesBackpressureEndToEnd) {
+  // Two chained stages with capacity-1 channels: the producer can only run
+  // ahead by the total buffer space, so a slow tail stage throttles the
+  // head. The test asserts completion + exact delivery, and TSan checks
+  // the synchronization.
+  Channel<int> first(1);
+  Channel<int> second(1);
+  std::atomic<long> sum{0};
+  Stage<int> tail(second, 1, [&](int&& item) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    sum += item;
+  });
+  Stage<int> head(first, 2, [&](int&& item) { second.Push(item * 2); });
+  for (int i = 1; i <= 64; ++i) {
+    first.Push(i);
+  }
+  first.Close();
+  head.Join();
+  second.Close();
+  tail.Join();
+  EXPECT_EQ(sum.load(), 2 * (64 * 65) / 2);
+}
+
+}  // namespace
+}  // namespace privapprox

@@ -144,6 +144,45 @@ TEST(FailureTest, DuplicatedRecordsInTransitAreDropped) {
   EXPECT_GT(harness.agg->join_stats().duplicates_dropped, 0u);
 }
 
+TEST(FailureTest, MalformedRecordsSurfaceInEpochStats) {
+  // A corrupted share arrives at proxy 0 out-of-band: too short to decode.
+  // The proxy forwards it blindly; the aggregator must drop it, count it,
+  // and keep every well-formed answer — in both epoch pipeline modes.
+  for (const auto mode : {system::EpochPipelineMode::kBarrier,
+                          system::EpochPipelineMode::kStreaming}) {
+    SCOPED_TRACE(mode == system::EpochPipelineMode::kBarrier ? "barrier"
+                                                             : "streaming");
+    system::SystemConfig config;
+    config.num_clients = 20;
+    config.num_proxies = 2;
+    config.seed = 7;
+    config.pipeline_mode = mode;
+    config.pipeline_depth = 2;
+    config.stream_shard_size = 7;  // 20 clients -> 3 shards
+    system::PrivApproxSystem sys(config);
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      auto& db = sys.client(i).database();
+      db.CreateTable("vehicle", {"speed"});
+      db.GetTable("vehicle").Insert(500, {localdb::Value(25.0)});
+    }
+    sys.SubmitQuery(MakeQuery(), ExactParams());
+    sys.broker().Produce("proxy0.in", /*key=*/12345,
+                         std::vector<uint8_t>{0xBA, 0xD0, 0x01}, 900);
+    const system::EpochStats stats = sys.RunEpoch(1000);
+    EXPECT_EQ(stats.malformed_dropped, 1u);
+    EXPECT_EQ(stats.participants, config.num_clients);
+    // Consumed = every well-formed share plus the injected garbage record.
+    EXPECT_EQ(stats.shares_consumed,
+              config.num_clients * config.num_proxies + 1);
+    // A clean follow-up epoch reports zero drops: the stat is per-epoch.
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      sys.client(i).database().GetTable("vehicle").Insert(
+          1500, {localdb::Value(25.0)});
+    }
+    EXPECT_EQ(sys.RunEpoch(2000).malformed_dropped, 0u);
+  }
+}
+
 // ------------------------------------------------------ out-of-order time
 
 TEST(WatermarkTest, BoundedOutOfOrderness) {

@@ -4,6 +4,12 @@
 // path shards client answering across the pool but merges shares into proxy
 // topics in client-id order, so every downstream byte and double matches the
 // sequential run exactly.
+//
+// The streaming stage/channel mode must additionally match the barrier mode
+// bit-for-bit at every worker count: per-proxy reorder buffers keep topic
+// appends in client-id order, and the aggregator's reorder buffer feeds the
+// MID join in deterministic (shard, source) order. Run this suite under
+// -DPRIVAPPROX_SANITIZE=thread to check the stage synchronization.
 
 #include <gtest/gtest.h>
 
@@ -34,12 +40,19 @@ struct RunSnapshot {
   std::vector<std::string> topic_names;
 };
 
-RunSnapshot RunScenario(size_t num_worker_threads) {
+RunSnapshot RunScenario(size_t num_worker_threads,
+                        EpochPipelineMode mode = EpochPipelineMode::kBarrier,
+                        size_t pipeline_depth = 2) {
   SystemConfig config;
   config.num_clients = 400;
   config.num_proxies = 3;
   config.seed = 99;
   config.num_worker_threads = num_worker_threads;
+  config.pipeline_mode = mode;
+  config.pipeline_depth = pipeline_depth;
+  // Small shards so the 400 clients split into 7 in-flight batches and the
+  // streaming stages genuinely overlap.
+  config.stream_shard_size = 64;
   PrivApproxSystem sys(config);
   for (size_t i = 0; i < config.num_clients; ++i) {
     auto& db = sys.client(i).database();
@@ -71,10 +84,10 @@ RunSnapshot RunScenario(size_t num_worker_threads) {
   return snapshot;
 }
 
-TEST(ParallelEpochTest, ParallelMatchesSequentialExactly) {
-  const RunSnapshot sequential = RunScenario(1);
-  const RunSnapshot parallel = RunScenario(4);
-
+// Asserts two runs are observably identical: per-epoch stats, fired windows
+// bit for bit, and per-topic record/byte counters in both directions.
+void ExpectSnapshotsIdentical(const RunSnapshot& sequential,
+                              const RunSnapshot& parallel) {
   ASSERT_EQ(parallel.epochs.size(), sequential.epochs.size());
   for (size_t e = 0; e < sequential.epochs.size(); ++e) {
     EXPECT_EQ(parallel.epochs[e].participants,
@@ -84,6 +97,8 @@ TEST(ParallelEpochTest, ParallelMatchesSequentialExactly) {
               sequential.epochs[e].shares_forwarded);
     EXPECT_EQ(parallel.epochs[e].shares_consumed,
               sequential.epochs[e].shares_consumed);
+    EXPECT_EQ(parallel.epochs[e].malformed_dropped,
+              sequential.epochs[e].malformed_dropped);
   }
 
   // Fired windows: identical order, windows, and bit-for-bit doubles.
@@ -121,6 +136,27 @@ TEST(ParallelEpochTest, ParallelMatchesSequentialExactly) {
               sequential.topic_metrics[t].bytes_out)
         << sequential.topic_names[t];
   }
+}
+
+TEST(ParallelEpochTest, ParallelMatchesSequentialExactly) {
+  ExpectSnapshotsIdentical(RunScenario(1), RunScenario(4));
+}
+
+TEST(ParallelEpochTest, StreamingMatchesBarrierBitForBitAtEveryWorkerCount) {
+  const RunSnapshot barrier = RunScenario(1, EpochPipelineMode::kBarrier);
+  for (size_t workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectSnapshotsIdentical(
+        barrier, RunScenario(workers, EpochPipelineMode::kStreaming));
+  }
+}
+
+TEST(ParallelEpochTest, StreamingIsInsensitiveToPipelineDepth) {
+  const RunSnapshot deep =
+      RunScenario(4, EpochPipelineMode::kStreaming, /*pipeline_depth=*/16);
+  const RunSnapshot shallow =
+      RunScenario(4, EpochPipelineMode::kStreaming, /*pipeline_depth=*/1);
+  ExpectSnapshotsIdentical(deep, shallow);
 }
 
 TEST(ParallelEpochTest, WorkerThreadKnobIsHonored) {

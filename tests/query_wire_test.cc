@@ -93,8 +93,10 @@ TEST(QueryWireTest, BadMagicAndVersionThrow) {
 }
 
 TEST(QueryWireTest, GarbageThrows) {
-  EXPECT_THROW(DeserializeAnnouncement({}), WireError);
-  EXPECT_THROW(DeserializeAnnouncement({1, 2, 3, 4, 5, 6, 7, 8}), WireError);
+  EXPECT_THROW(DeserializeAnnouncement(std::vector<uint8_t>{}), WireError);
+  EXPECT_THROW(
+      DeserializeAnnouncement(std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}),
+      WireError);
 }
 
 TEST(QueryDistributionTest, AnnouncementReachesClientThroughProxy) {
