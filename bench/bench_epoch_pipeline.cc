@@ -8,7 +8,10 @@
 // the single-threaded barrier run, and the streaming/barrier throughput
 // ratio at equal thread counts. Both modes are bit-deterministic and
 // produce identical results (tests/parallel_epoch_test.cc), so every row
-// processes identical work.
+// processes identical work. Each row also reports heap allocations per
+// share across the timed epochs (this binary links the counting global
+// allocator from common/alloc_counter.h), pinning down the zero-copy
+// share path's allocation bill.
 //
 // The last line printed is a single JSON row, also appended to a trajectory
 // file so later PRs can diff epoch-throughput movement. Flags:
@@ -23,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_counter.h"
 #include "system/system.h"
 
 using namespace privapprox;
@@ -43,6 +47,8 @@ struct Row {
   double shares_per_sec = 0.0;
   uint64_t participants = 0;
   uint64_t shares_consumed = 0;
+  uint64_t heap_allocs = 0;  // across the timed epochs (counting allocator)
+  double allocs_per_share = 0.0;
 };
 
 const char* ModeName(system::EpochPipelineMode mode) {
@@ -86,6 +92,7 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   Row row;
   row.mode = mode;
   row.threads = sys.num_worker_threads();
+  const uint64_t allocs_before = AllocCounter::Count();
   const auto start = std::chrono::steady_clock::now();
   for (size_t e = 0; e < bench.epochs; ++e) {
     const system::EpochStats stats =
@@ -95,6 +102,12 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   }
   const auto end = std::chrono::steady_clock::now();
   row.seconds = std::chrono::duration<double>(end - start).count();
+  row.heap_allocs = AllocCounter::Count() - allocs_before;
+  row.allocs_per_share =
+      row.shares_consumed == 0
+          ? 0.0
+          : static_cast<double>(row.heap_allocs) /
+                static_cast<double>(row.shares_consumed);
   const double total_clients =
       static_cast<double>(bench.clients) * static_cast<double>(bench.epochs);
   row.clients_per_sec = total_clients / row.seconds;
@@ -135,8 +148,9 @@ int main(int argc, char** argv) {
       "one core and cannot speed up. 'speedup' is vs barrier@1; 'vs barrier'\n"
       "is streaming throughput over barrier at the same thread count.\n\n",
       bench.clients, bench.epochs, hw);
-  std::printf("%10s %8s %10s %14s %14s %9s %11s\n", "mode", "threads",
-              "seconds", "clients/sec", "shares/sec", "speedup", "vs barrier");
+  std::printf("%10s %8s %10s %14s %14s %9s %11s %12s\n", "mode", "threads",
+              "seconds", "clients/sec", "shares/sec", "speedup", "vs barrier",
+              "allocs/share");
 
   std::vector<Row> rows;
   rows.reserve(2 * thread_counts.size());
@@ -155,14 +169,15 @@ int main(int argc, char** argv) {
       }
       const double speedup = barrier_base_seconds / row.seconds;
       if (mode == system::EpochPipelineMode::kBarrier) {
-        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %11s\n",
+        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %11s %12.2f\n",
                     ModeName(row.mode), row.threads, row.seconds,
-                    row.clients_per_sec, row.shares_per_sec, speedup, "-");
+                    row.clients_per_sec, row.shares_per_sec, speedup, "-",
+                    row.allocs_per_share);
       } else {
-        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %10.2fx\n",
+        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %10.2fx %12.2f\n",
                     ModeName(row.mode), row.threads, row.seconds,
                     row.clients_per_sec, row.shares_per_sec, speedup,
-                    barrier_seconds / row.seconds);
+                    barrier_seconds / row.seconds, row.allocs_per_share);
       }
     }
   }
@@ -179,9 +194,11 @@ int main(int argc, char** argv) {
     const Row& row = rows[i];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"mode\":\"%s\",\"threads\":%zu,\"seconds\":%.4f,"
-                  "\"clients_per_sec\":%.0f,\"shares_per_sec\":%.0f}",
+                  "\"clients_per_sec\":%.0f,\"shares_per_sec\":%.0f,"
+                  "\"allocs_per_share\":%.3f}",
                   i == 0 ? "" : ",", ModeName(row.mode), row.threads,
-                  row.seconds, row.clients_per_sec, row.shares_per_sec);
+                  row.seconds, row.clients_per_sec, row.shares_per_sec,
+                  row.allocs_per_share);
     json += buf;
   }
   const Row* barrier_four = nullptr;

@@ -10,7 +10,10 @@
 
 #include <cstdio>
 
+#include <vector>
+
 #include "client/client.h"
+#include "common/arena.h"
 #include "core/answer.h"
 #include "crypto/xor_cipher.h"
 
@@ -78,6 +81,25 @@ void BM_XorEncryption(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_XorEncryption);
+
+// Same split, zero-copy: encode all shares into an arena (no per-share
+// vectors). The gap between this and BM_XorEncryption is what the arena
+// path saves per answer.
+void BM_XorEncryptionArena(benchmark::State& state) {
+  crypto::XorSplitter splitter(2, crypto::ChaCha20Rng::FromSeed(3, 0));
+  BitVector answer(kBuckets);
+  answer.Set(3, true);
+  const crypto::AnswerMessage message{1, answer};
+  EpochArena arena;
+  std::vector<crypto::ShareView> views(2);
+  for (auto _ : state) {
+    splitter.SplitMessageInto(message, arena, views);
+    benchmark::DoNotOptimize(views.data());
+    arena.Reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorEncryptionArena);
 
 void BM_TotalAnsweringPath(benchmark::State& state) {
   client::Client c(client::ClientConfig{0, 2, 7});

@@ -55,17 +55,22 @@ void Aggregator::UpdateParams(const core::ExecutionParams& params) {
 uint64_t Aggregator::Drain() {
   // Phase 1: poll + decode each proxy stream, one independent task per
   // source topic. Decoding only touches that source's consumer and local
-  // storage, so sources parallelize without synchronization.
+  // scratch slot, so sources parallelize without synchronization. Polls and
+  // decodes are view-based: payloads stay in the broker's slabs and only
+  // the 8-byte MID header is parsed here.
   const size_t num_sources = consumers_.size();
-  std::vector<proxy::Proxy::DecodedBatch> decoded(num_sources);
+  drain_views_.resize(num_sources);
+  drain_decoded_.resize(num_sources);
   const auto drain_source = [&](size_t source) {
     broker::Consumer& consumer = *consumers_[source];
+    drain_decoded_[source].Clear();
+    std::vector<broker::RecordView>& views = drain_views_[source];
     for (;;) {
-      std::vector<broker::Record> batch = consumer.Poll(4096);
-      if (batch.empty()) {
+      views.clear();
+      if (consumer.PollViews(4096, views) == 0) {
         break;
       }
-      proxy::Proxy::DecodeShareBatch(std::move(batch), decoded[source]);
+      proxy::Proxy::DecodeShareViews(views, drain_decoded_[source]);
     }
   };
   if (config_.pool != nullptr && num_sources > 1) {
@@ -84,10 +89,12 @@ uint64_t Aggregator::Drain() {
   // downstream result) is identical.
   uint64_t consumed = 0;
   for (size_t source = 0; source < num_sources; ++source) {
-    consumed += decoded[source].shares.size() + decoded[source].malformed;
-    malformed_dropped_ += decoded[source].malformed;
-    for (const auto& [share, timestamp_ms] : decoded[source].shares) {
-      joiner_->Add(share, timestamp_ms, source);
+    const proxy::Proxy::DecodedViewBatch& batch = drain_decoded_[source];
+    consumed += batch.shares.size() + batch.malformed;
+    malformed_dropped_ += batch.malformed;
+    for (const auto& share : batch.shares) {
+      joiner_->Add(share.message_id, share.payload, share.timestamp_ms,
+                   source);
     }
   }
   return consumed;
@@ -99,15 +106,14 @@ uint64_t Aggregator::ConsumeShardBatch(
   if (source >= consumers_.size()) {
     throw std::out_of_range("Aggregator::ConsumeShardBatch: bad source");
   }
-  std::vector<broker::Record> records =
-      consumers_[source]->PollPartitions(partition_counts);
-  const uint64_t consumed = records.size();
+  shard_views_.clear();
+  const uint64_t consumed =
+      consumers_[source]->PollPartitionsViews(partition_counts, shard_views_);
   StreamSlot& slot = stream_pending_[shard_seq];
   if (slot.per_source.empty()) {
     slot.per_source.resize(consumers_.size());
   }
-  proxy::Proxy::DecodeShareBatch(std::move(records),
-                                 slot.per_source[source]);
+  proxy::Proxy::DecodeShareViews(shard_views_, slot.per_source[source]);
   ++slot.filled;
   // Advance the reorder buffer: feed every complete shard at the head, in
   // (shard_seq, source) order — the streaming pipeline's canonical join
@@ -119,10 +125,10 @@ uint64_t Aggregator::ConsumeShardBatch(
       break;
     }
     for (size_t s = 0; s < consumers_.size(); ++s) {
-      proxy::Proxy::DecodedBatch& batch = head->second.per_source[s];
+      const proxy::Proxy::DecodedViewBatch& batch = head->second.per_source[s];
       malformed_dropped_ += batch.malformed;
-      for (const auto& [share, timestamp_ms] : batch.shares) {
-        joiner_->Add(share, timestamp_ms, s);
+      for (const auto& share : batch.shares) {
+        joiner_->Add(share.message_id, share.payload, share.timestamp_ms, s);
       }
     }
     stream_pending_.erase(head);

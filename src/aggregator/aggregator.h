@@ -117,9 +117,11 @@ class Aggregator {
   void OnWindowFired(const engine::Window& window,
                      const std::vector<BitVector>& answers);
 
-  // One shard's decoded batches, one slot per source stream.
+  // One shard's decoded batches, one slot per source stream. Decoded views
+  // point into broker slab storage (valid for the topic's lifetime), so
+  // parking them here costs no payload copies.
   struct StreamSlot {
-    std::vector<proxy::Proxy::DecodedBatch> per_source;
+    std::vector<proxy::Proxy::DecodedViewBatch> per_source;
     size_t filled = 0;
   };
 
@@ -138,6 +140,14 @@ class Aggregator {
   // join, keyed by shard sequence number. Bounded in practice by the
   // pipeline's channel capacities (upstream backpressure).
   std::map<uint64_t, StreamSlot> stream_pending_;
+  // Consumption scratch, reused across calls so steady-state draining and
+  // shard consumption perform no heap allocation. drain_* are indexed by
+  // source (one slot per consumer, so the parallel Drain path stays
+  // synchronization-free); shard_views_ backs the single-threaded
+  // ConsumeShardBatch poll.
+  std::vector<std::vector<broker::RecordView>> drain_views_;
+  std::vector<proxy::Proxy::DecodedViewBatch> drain_decoded_;
+  std::vector<broker::RecordView> shard_views_;
   uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;
   uint64_t wrong_query_dropped_ = 0;

@@ -48,6 +48,11 @@ void Broker::ProduceBatch(const std::string& topic,
   GetTopic(topic).AppendBatch(std::move(records));
 }
 
+void Broker::ProduceViews(const std::string& topic,
+                          std::span<const ProduceView> records) {
+  GetTopic(topic).AppendViews(records);
+}
+
 std::vector<std::string> Broker::TopicNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -64,15 +69,28 @@ Consumer::Consumer(Topic& topic)
 std::vector<Record> Consumer::Poll(size_t max_records) {
   std::vector<Record> out;
   for (size_t p = 0; p < offsets_.size() && out.size() < max_records; ++p) {
-    std::vector<Record> batch =
-        topic_.Read(p, offsets_[p], max_records - out.size());
-    offsets_[p] += batch.size();
-    consumed_ += batch.size();
-    for (auto& record : batch) {
-      out.push_back(std::move(record));
-    }
+    // ReadInto appends straight into `out` — no per-partition staging
+    // vector and no Record moves.
+    const size_t before = out.size();
+    topic_.ReadInto(p, offsets_[p], max_records - out.size(), out);
+    const size_t pulled = out.size() - before;
+    offsets_[p] += pulled;
+    consumed_ += pulled;
   }
   return out;
+}
+
+size_t Consumer::PollViews(size_t max_records, std::vector<RecordView>& out) {
+  const size_t start = out.size();
+  for (size_t p = 0; p < offsets_.size() && out.size() - start < max_records;
+       ++p) {
+    const size_t before = out.size();
+    topic_.ReadViews(p, offsets_[p], max_records - (out.size() - start), out);
+    const size_t pulled = out.size() - before;
+    offsets_[p] += pulled;
+    consumed_ += pulled;
+  }
+  return out.size() - start;
 }
 
 std::vector<Record> Consumer::PollPartitions(
@@ -103,6 +121,30 @@ std::vector<Record> Consumer::PollPartitions(
     }
   }
   return out;
+}
+
+size_t Consumer::PollPartitionsViews(const std::vector<uint32_t>& counts,
+                                     std::vector<RecordView>& out) {
+  if (counts.size() != offsets_.size()) {
+    throw std::invalid_argument(
+        "Consumer::PollPartitions: partition count mismatch");
+  }
+  const size_t start = out.size();
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    if (counts[p] == 0) {
+      continue;
+    }
+    const size_t before = out.size();
+    topic_.ReadViews(p, offsets_[p], counts[p], out);
+    const size_t pulled = out.size() - before;
+    if (pulled != counts[p]) {
+      throw std::logic_error(
+          "Consumer::PollPartitions: promised records not available");
+    }
+    offsets_[p] += pulled;
+    consumed_ += pulled;
+  }
+  return out.size() - start;
 }
 
 bool Consumer::CaughtUp() const {

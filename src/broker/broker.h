@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,10 @@ class Broker {
   // per touched partition (see Topic::AppendBatch).
   void ProduceBatch(const std::string& topic,
                     std::vector<ProduceRecord> records);
+  // Zero-copy batch produce (see Topic::AppendViews). Spans only need to
+  // stay valid for the duration of the call.
+  void ProduceViews(const std::string& topic,
+                    std::span<const ProduceView> records);
 
   std::vector<std::string> TopicNames() const;
 
@@ -49,6 +54,10 @@ class Consumer {
 
   // Pulls up to `max_records` available records across partitions.
   std::vector<Record> Poll(size_t max_records);
+  // Zero-copy poll: appends slab-backed views into `out` (capacity is
+  // reused across calls) and returns the number of records pulled. Views
+  // stay valid for the topic's lifetime.
+  size_t PollViews(size_t max_records, std::vector<RecordView>& out);
 
   // Pulls exactly `counts[p]` records from each partition p, in partition
   // order. The streaming epoch pipeline uses this to consume precisely one
@@ -59,6 +68,11 @@ class Consumer {
   // not (yet) hold the promised records — callers must only request counts
   // that were appended before the call.
   std::vector<Record> PollPartitions(const std::vector<uint32_t>& counts);
+  // Zero-copy variant of PollPartitions: same promised-count semantics and
+  // exceptions, appending views into `out` instead of copying payloads.
+  // Returns the number of records pulled.
+  size_t PollPartitionsViews(const std::vector<uint32_t>& counts,
+                             std::vector<RecordView>& out);
 
   // Total records consumed so far.
   uint64_t consumed() const { return consumed_; }

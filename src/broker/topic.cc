@@ -1,5 +1,6 @@
 #include "broker/topic.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace privapprox::broker {
@@ -24,19 +25,51 @@ size_t Topic::PartitionOf(uint64_t key) const {
   return static_cast<size_t>(Mix64(key) % partitions_.size());
 }
 
-uint64_t Topic::Append(uint64_t key, std::vector<uint8_t> payload,
+uint8_t* Topic::SlabAlloc(Partition& partition, size_t len) {
+  if (partition.slabs.empty() ||
+      partition.slabs.back().cap - partition.slabs.back().used < len) {
+    const size_t cap = len > kSlabChunkBytes ? len : kSlabChunkBytes;
+    partition.slabs.push_back(
+        Slab{std::make_unique<uint8_t[]>(cap), 0, cap});
+  }
+  Slab& slab = partition.slabs.back();
+  uint8_t* out = slab.data.get() + slab.used;
+  slab.used += len;
+  return out;
+}
+
+void Topic::EnsureIndexCapacity(Partition& partition, size_t additional) {
+  const size_t needed = partition.index.size() + additional;
+  if (partition.index.capacity() < needed) {
+    // Grow geometrically even through explicit reserves — reserving exactly
+    // `needed` every batch would reallocate the index once per batch.
+    partition.index.reserve(
+        std::max(needed, partition.index.capacity() * 2));
+  }
+}
+
+void Topic::AppendLocked(Partition& partition, uint64_t key,
+                         std::span<const uint8_t> payload,
+                         int64_t timestamp_ms) {
+  uint8_t* dst = SlabAlloc(partition, payload.size());
+  if (!payload.empty()) {
+    std::memcpy(dst, payload.data(), payload.size());
+  }
+  partition.index.push_back(IndexEntry{
+      dst, static_cast<uint32_t>(payload.size()), timestamp_ms, key});
+}
+
+uint64_t Topic::Append(uint64_t key, std::span<const uint8_t> payload,
                        int64_t timestamp_ms) {
-  const size_t bytes = payload.size();
   Partition& partition = partitions_[PartitionOf(key)];
   uint64_t offset;
   {
     std::lock_guard<std::mutex> lock(partition.mu);
-    offset = partition.log.size();
-    partition.log.push_back(
-        Record{offset, timestamp_ms, key, std::move(payload)});
+    offset = partition.index.size();
+    AppendLocked(partition, key, payload, timestamp_ms);
   }
   records_in_.fetch_add(1, std::memory_order_relaxed);
-  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  bytes_in_.fetch_add(payload.size(), std::memory_order_relaxed);
   return offset;
 }
 
@@ -48,14 +81,13 @@ void Topic::AppendBatch(std::vector<ProduceRecord> records) {
   for (const auto& record : records) {
     bytes += record.payload.size();
   }
-  const uint64_t count = records.size();
   if (partitions_.size() == 1) {
     Partition& partition = partitions_[0];
     std::lock_guard<std::mutex> lock(partition.mu);
-    for (auto& record : records) {
-      const uint64_t offset = partition.log.size();
-      partition.log.push_back(Record{offset, record.timestamp_ms, record.key,
-                                     std::move(record.payload)});
+    EnsureIndexCapacity(partition, records.size());
+    for (const auto& record : records) {
+      AppendLocked(partition, record.key, record.payload,
+                   record.timestamp_ms);
     }
   } else {
     std::vector<std::vector<size_t>> by_partition(partitions_.size());
@@ -68,37 +100,135 @@ void Topic::AppendBatch(std::vector<ProduceRecord> records) {
       }
       Partition& partition = partitions_[p];
       std::lock_guard<std::mutex> lock(partition.mu);
+      EnsureIndexCapacity(partition, by_partition[p].size());
       for (size_t i : by_partition[p]) {
-        auto& record = records[i];
-        const uint64_t offset = partition.log.size();
-        partition.log.push_back(Record{offset, record.timestamp_ms,
-                                       record.key, std::move(record.payload)});
+        AppendLocked(partition, records[i].key, records[i].payload,
+                     records[i].timestamp_ms);
       }
     }
   }
-  records_in_.fetch_add(count, std::memory_order_relaxed);
+  records_in_.fetch_add(records.size(), std::memory_order_relaxed);
   bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Topic::AppendViews(std::span<const ProduceView> records) {
+  if (records.empty()) {
+    return;
+  }
+  uint64_t bytes = 0;
+  for (const auto& record : records) {
+    bytes += record.payload.size();
+  }
+  if (partitions_.size() == 1) {
+    Partition& partition = partitions_[0];
+    std::lock_guard<std::mutex> lock(partition.mu);
+    EnsureIndexCapacity(partition, records.size());
+    for (const auto& record : records) {
+      AppendLocked(partition, record.key, record.payload,
+                   record.timestamp_ms);
+    }
+  } else {
+    // Route once into a reused thread-local scratch (amortized
+    // allocation-free), then take each partition lock once. Partition count
+    // is bounded by the scratch element type.
+    static thread_local std::vector<uint8_t> routes;
+    static thread_local std::vector<uint32_t> counts;
+    routes.clear();
+    routes.reserve(records.size());
+    counts.assign(partitions_.size(), 0);
+    for (const auto& record : records) {
+      const uint8_t p = static_cast<uint8_t>(PartitionOf(record.key));
+      routes.push_back(p);
+      ++counts[p];
+    }
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if (counts[p] == 0) {
+        continue;
+      }
+      Partition& partition = partitions_[p];
+      std::lock_guard<std::mutex> lock(partition.mu);
+      EnsureIndexCapacity(partition, counts[p]);
+      for (size_t i = 0; i < records.size(); ++i) {
+        if (routes[i] == p) {
+          AppendLocked(partition, records[i].key, records[i].payload,
+                       records[i].timestamp_ms);
+        }
+      }
+    }
+  }
+  records_in_.fetch_add(records.size(), std::memory_order_relaxed);
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Topic::Reserve(size_t partition_index, size_t records,
+                    size_t payload_bytes) {
+  if (partition_index >= partitions_.size()) {
+    throw std::out_of_range("Topic::Reserve: bad partition");
+  }
+  Partition& partition = partitions_[partition_index];
+  std::lock_guard<std::mutex> lock(partition.mu);
+  EnsureIndexCapacity(partition, records);
+  if (payload_bytes > 0 &&
+      (partition.slabs.empty() ||
+       partition.slabs.back().cap - partition.slabs.back().used <
+           payload_bytes)) {
+    const size_t cap =
+        payload_bytes > kSlabChunkBytes ? payload_bytes : kSlabChunkBytes;
+    partition.slabs.push_back(Slab{std::make_unique<uint8_t[]>(cap), 0, cap});
+  }
 }
 
 std::vector<Record> Topic::Read(size_t partition_index, uint64_t offset,
                                 size_t max_records) const {
+  std::vector<Record> out;
+  ReadInto(partition_index, offset, max_records, out);
+  return out;
+}
+
+void Topic::ReadInto(size_t partition_index, uint64_t offset,
+                     size_t max_records, std::vector<Record>& out) const {
   if (partition_index >= partitions_.size()) {
     throw std::out_of_range("Topic::Read: bad partition");
   }
   const Partition& partition = partitions_[partition_index];
-  std::vector<Record> out;
+  size_t count = 0;
   size_t bytes = 0;
   {
     std::lock_guard<std::mutex> lock(partition.mu);
-    const uint64_t end = partition.log.size();
-    for (uint64_t i = offset; i < end && out.size() < max_records; ++i) {
-      out.push_back(partition.log[static_cast<size_t>(i)]);
-      bytes += out.back().payload.size();
+    const uint64_t end = partition.index.size();
+    for (uint64_t i = offset; i < end && count < max_records; ++i, ++count) {
+      const IndexEntry& entry = partition.index[static_cast<size_t>(i)];
+      out.push_back(Record{
+          i, entry.timestamp_ms, entry.key,
+          std::vector<uint8_t>(entry.payload,
+                               entry.payload + entry.payload_len)});
+      bytes += entry.payload_len;
     }
   }
-  records_out_.fetch_add(out.size(), std::memory_order_relaxed);
+  records_out_.fetch_add(count, std::memory_order_relaxed);
   bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
-  return out;
+}
+
+void Topic::ReadViews(size_t partition_index, uint64_t offset,
+                      size_t max_records, std::vector<RecordView>& out) const {
+  if (partition_index >= partitions_.size()) {
+    throw std::out_of_range("Topic::ReadViews: bad partition");
+  }
+  const Partition& partition = partitions_[partition_index];
+  size_t count = 0;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    const uint64_t end = partition.index.size();
+    for (uint64_t i = offset; i < end && count < max_records; ++i, ++count) {
+      const IndexEntry& entry = partition.index[static_cast<size_t>(i)];
+      out.push_back(RecordView{i, entry.timestamp_ms, entry.key,
+                               entry.payload, entry.payload_len});
+      bytes += entry.payload_len;
+    }
+  }
+  records_out_.fetch_add(count, std::memory_order_relaxed);
+  bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 uint64_t Topic::EndOffset(size_t partition_index) const {
@@ -107,7 +237,7 @@ uint64_t Topic::EndOffset(size_t partition_index) const {
   }
   const Partition& partition = partitions_[partition_index];
   std::lock_guard<std::mutex> lock(partition.mu);
-  return partition.log.size();
+  return partition.index.size();
 }
 
 TopicMetrics Topic::metrics() const {

@@ -5,23 +5,48 @@
 // the XOR-split message streams (§5). Records are opaque payloads keyed by
 // message id; a key-hash assigns partitions so one MID's shares always land
 // in the same partition of each topic.
+//
+// Storage layout (zero-copy share path): each partition stores payload
+// bytes in append-only slabs — large heap chunks that are never moved or
+// freed — plus a record index of {payload pointer, length, key, timestamp}
+// entries. Producing copies the payload once into the slab; consuming via
+// the view API (ReadViews / Consumer::PollViews) returns pointers into the
+// slabs, so consumers decode records in place with no per-record vector.
+// Slab bytes are immutable once their index entry is published under the
+// partition lock, and slabs live as long as the topic, so a RecordView
+// stays valid for the topic's lifetime even while producers keep appending.
 
 #ifndef PRIVAPPROX_BROKER_TOPIC_H_
 #define PRIVAPPROX_BROKER_TOPIC_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace privapprox::broker {
 
+// An owning record copy (legacy read path; tests and offline tools).
 struct Record {
   uint64_t offset = 0;
   int64_t timestamp_ms = 0;
   uint64_t key = 0;
   std::vector<uint8_t> payload;
+};
+
+// A non-owning view of one stored record: `payload` points into a partition
+// slab and is valid for the topic's lifetime.
+struct RecordView {
+  uint64_t offset = 0;
+  int64_t timestamp_ms = 0;
+  uint64_t key = 0;
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+
+  std::span<const uint8_t> bytes() const { return {payload, payload_len}; }
 };
 
 // A record to be produced (no offset yet — the topic assigns it on append).
@@ -30,6 +55,15 @@ struct Record {
 struct ProduceRecord {
   uint64_t key = 0;
   std::vector<uint8_t> payload;
+  int64_t timestamp_ms = 0;
+};
+
+// Zero-copy produce: the payload span (typically arena- or slab-backed)
+// only needs to stay valid for the duration of the append call — the topic
+// copies it into its own slab.
+struct ProduceView {
+  uint64_t key = 0;
+  std::span<const uint8_t> payload;
   int64_t timestamp_ms = 0;
 };
 
@@ -43,6 +77,11 @@ struct TopicMetrics {
 
 class Topic {
  public:
+  // Payload slab chunk size. Appends amortize to one heap allocation per
+  // chunk of payload bytes; records larger than a chunk get a dedicated
+  // slab so payloads are always contiguous.
+  static constexpr size_t kSlabChunkBytes = 256 * 1024;
+
   Topic(std::string name, size_t num_partitions);
 
   const std::string& name() const { return name_; }
@@ -52,18 +91,40 @@ class Topic {
   size_t PartitionOf(uint64_t key) const;
 
   // Appends to the key's partition; returns the assigned offset.
-  uint64_t Append(uint64_t key, std::vector<uint8_t> payload,
+  uint64_t Append(uint64_t key, std::span<const uint8_t> payload,
                   int64_t timestamp_ms);
+  uint64_t Append(uint64_t key, const std::vector<uint8_t>& payload,
+                  int64_t timestamp_ms) {
+    return Append(key, std::span<const uint8_t>(payload), timestamp_ms);
+  }
 
   // Appends a whole batch, grouping records by partition so each partition
-  // lock is taken once per batch instead of once per record. Relative order
-  // of records mapping to the same partition is preserved, so the resulting
-  // log is byte-identical to appending the batch one record at a time.
+  // lock is taken once per batch instead of once per record, with the
+  // per-partition index growth reserved up front. Relative order of records
+  // mapping to the same partition is preserved, so the resulting log is
+  // byte-identical to appending the batch one record at a time.
   void AppendBatch(std::vector<ProduceRecord> records);
+  // Zero-copy batch append: same ordering guarantees, payload bytes copied
+  // once from the caller's spans into partition slabs.
+  void AppendViews(std::span<const ProduceView> records);
 
-  // Reads up to `max_records` records from `partition` starting at `offset`.
+  // Pre-commits capacity in `partition`: index slots for `records` more
+  // entries and one contiguous slab run of `payload_bytes`. Appends within
+  // that budget then perform no heap allocation (allocation regression test
+  // and latency-sensitive producers).
+  void Reserve(size_t partition, size_t records, size_t payload_bytes);
+
+  // Reads up to `max_records` records from `partition` starting at `offset`,
+  // copying payloads (legacy path; tests and offline consumers).
   std::vector<Record> Read(size_t partition, uint64_t offset,
                            size_t max_records) const;
+  // Same, appending into a caller-owned buffer (reuses its capacity).
+  void ReadInto(size_t partition, uint64_t offset, size_t max_records,
+                std::vector<Record>& out) const;
+  // Zero-copy read: appends slab-backed views into `out`. Views stay valid
+  // for the topic's lifetime.
+  void ReadViews(size_t partition, uint64_t offset, size_t max_records,
+                 std::vector<RecordView>& out) const;
 
   // Next offset to be assigned in `partition` (== current log length).
   uint64_t EndOffset(size_t partition) const;
@@ -71,10 +132,29 @@ class Topic {
   TopicMetrics metrics() const;
 
  private:
+  struct Slab {
+    std::unique_ptr<uint8_t[]> data;
+    size_t used = 0;
+    size_t cap = 0;
+  };
+  struct IndexEntry {
+    const uint8_t* payload = nullptr;
+    uint32_t payload_len = 0;
+    int64_t timestamp_ms = 0;
+    uint64_t key = 0;
+  };
   struct Partition {
     mutable std::mutex mu;
-    std::vector<Record> log;
+    std::vector<Slab> slabs;
+    std::vector<IndexEntry> index;
   };
+
+  // Both helpers require the partition lock to be held.
+  static uint8_t* SlabAlloc(Partition& partition, size_t len);
+  static void EnsureIndexCapacity(Partition& partition, size_t additional);
+  static void AppendLocked(Partition& partition, uint64_t key,
+                           std::span<const uint8_t> payload,
+                           int64_t timestamp_ms);
 
   std::string name_;
   std::vector<Partition> partitions_;

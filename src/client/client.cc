@@ -91,4 +91,21 @@ std::optional<EpochAnswer> Client::AnswerQuery(int64_t now_ms) {
   return answer;
 }
 
+bool Client::AnswerQueryInto(int64_t now_ms, EpochArena& arena,
+                             std::span<crypto::ShareView> out) {
+  if (!query_.has_value()) {
+    return false;
+  }
+  const core::SamplingPolicy sampling(params_->sampling_fraction);
+  if (!sampling.ShouldParticipate(coin_rng_)) {
+    return false;
+  }
+  const BitVector truthful = ComputeTruthful(now_ms);
+  const core::RandomizedResponse rr(params_->randomization);
+  const BitVector randomized = rr.RandomizeAnswer(truthful, coin_rng_);
+  const crypto::AnswerMessage message{query_->query_id, randomized};
+  splitter_.SplitMessageInto(message, arena, out);
+  return true;
+}
+
 }  // namespace privapprox::client

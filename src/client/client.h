@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "core/budget.h"
 #include "core/query.h"
@@ -68,6 +70,16 @@ class Client {
   // installed. A client whose local query yields no rows still answers with
   // an all-zero truthful vector (its non-participation must not be visible).
   std::optional<EpochAnswer> AnswerQuery(int64_t now_ms);
+
+  // Zero-copy variant: identical sampling/randomization/split decisions (it
+  // consumes the client's RNG streams in exactly the same order), but the n
+  // share records are encoded contiguously into `arena` and returned as
+  // views in `out` (out.size() must be num_proxies). Returns false when the
+  // client does not participate this epoch — `out` and `arena` are then
+  // untouched. out[i].bytes() is the full wire record for proxy i, valid
+  // until the arena is reset.
+  bool AnswerQueryInto(int64_t now_ms, EpochArena& arena,
+                       std::span<crypto::ShareView> out);
 
   // The truthful (pre-randomization) answer, for test/benchmark reference
   // only — a real deployment never exposes this.

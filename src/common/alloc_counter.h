@@ -1,0 +1,26 @@
+// Heap-allocation counting for regression tests and benchmarks.
+//
+// Linking the privapprox_alloc_counter library into a binary replaces the
+// global operator new/delete with counting wrappers (relaxed atomics over
+// malloc/free, so the overhead is one fetch_add per allocation). Production
+// targets do NOT link it; only the allocation regression test and the epoch
+// pipeline bench do, to prove the zero-copy share path stays allocation-free
+// in steady state.
+
+#ifndef PRIVAPPROX_COMMON_ALLOC_COUNTER_H_
+#define PRIVAPPROX_COMMON_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace privapprox {
+
+struct AllocCounter {
+  // Total operator-new calls / bytes requested since process start.
+  // Monotonic; diff two snapshots around the region of interest.
+  static uint64_t Count();
+  static uint64_t Bytes();
+};
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_ALLOC_COUNTER_H_

@@ -1,0 +1,143 @@
+// Epoch-scoped bump allocation for the zero-copy share path.
+//
+// An EpochArena hands out raw byte spans from large chunks and frees nothing
+// until Reset(): the share-encoding hot loop (crypto/xor_cipher.h
+// SplitMessageInto) allocates all n shares of an answer with one pointer
+// bump, and the whole arena rewinds in O(1) when the shard batch has been
+// copied into broker slabs. Chunks are recycled across Reset() calls, so a
+// warmed arena performs no heap allocation at all in steady state.
+//
+// An ArenaPool recycles whole arenas across pipeline stages and epochs: the
+// answer stage acquires one arena per shard, encodes into it, and ships a
+// shared reference with each per-proxy batch; when the last stage drops its
+// reference the arena resets and returns to the pool. Because the streaming
+// pipeline's channels are bounded, the pool's high-water mark — and with it
+// the steady-state memory footprint — is bounded by the pipeline depth.
+
+#ifndef PRIVAPPROX_COMMON_ARENA_H_
+#define PRIVAPPROX_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace privapprox {
+
+class EpochArena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 256 * 1024;
+
+  explicit EpochArena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  EpochArena(const EpochArena&) = delete;
+  EpochArena& operator=(const EpochArena&) = delete;
+
+  // Returns `n` contiguous bytes (never split across chunks). The span stays
+  // valid until Reset(). n == 0 returns a valid (dangling-safe) pointer into
+  // the current chunk.
+  uint8_t* Alloc(size_t n) {
+    while (chunk_index_ < chunks_.size()) {
+      Chunk& chunk = chunks_[chunk_index_];
+      if (chunk.cap - used_ >= n) {
+        uint8_t* out = chunk.data.get() + used_;
+        used_ += n;
+        allocated_ += n;
+        return out;
+      }
+      ++chunk_index_;
+      used_ = 0;
+    }
+    const size_t cap = n > chunk_bytes_ ? n : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(cap), cap});
+    uint8_t* out = chunks_.back().data.get();
+    used_ = n;
+    allocated_ += n;
+    return out;
+  }
+
+  // Rewinds to empty, keeping every chunk for reuse.
+  void Reset() {
+    chunk_index_ = 0;
+    used_ = 0;
+    allocated_ = 0;
+  }
+
+  // Bytes handed out since the last Reset().
+  size_t bytes_allocated() const { return allocated_; }
+
+  // Total chunk capacity owned (survives Reset()).
+  size_t bytes_capacity() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) {
+      total += chunk.cap;
+    }
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t cap = 0;
+  };
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t chunk_index_ = 0;
+  size_t used_ = 0;
+  size_t allocated_ = 0;
+};
+
+// Shared ownership of an in-flight arena. The batches a shard fans out to
+// the n proxy stages each hold one reference; the arena returns to its pool
+// when the last one is dropped.
+using ArenaRef = std::shared_ptr<EpochArena>;
+
+// Thread-safe free list of arenas. The pool must outlive every ArenaRef it
+// hands out (the deleter touches the pool).
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t chunk_bytes = EpochArena::kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  // Hands out a reset arena, reusing a pooled one when available. The
+  // returned reference resets and returns the arena on final release.
+  ArenaRef Acquire() {
+    std::unique_ptr<EpochArena> arena;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        arena = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (arena == nullptr) {
+      arena = std::make_unique<EpochArena>(chunk_bytes_);
+    }
+    return ArenaRef(arena.release(), [this](EpochArena* released) {
+      released->Reset();
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.emplace_back(released);
+    });
+  }
+
+  size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  size_t chunk_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<EpochArena>> free_;
+};
+
+}  // namespace privapprox
+
+#endif  // PRIVAPPROX_COMMON_ARENA_H_

@@ -37,9 +37,9 @@ inline void Store32(uint8_t* p, uint32_t v) {
 
 }  // namespace
 
-std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
-                                      const std::array<uint8_t, 12>& nonce,
-                                      uint32_t counter) {
+void ChaCha20BlockInto(uint8_t* out, const std::array<uint8_t, 32>& key,
+                       const std::array<uint8_t, 12>& nonce,
+                       uint32_t counter) {
   uint32_t state[16];
   // "expand 32-byte k"
   state[0] = 0x61707865;
@@ -69,10 +69,16 @@ std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
     QuarterRound(working[3], working[4], working[9], working[14]);
   }
 
-  std::array<uint8_t, 64> out;
   for (int i = 0; i < 16; ++i) {
-    Store32(out.data() + 4 * i, working[i] + state[i]);
+    Store32(out + 4 * i, working[i] + state[i]);
   }
+}
+
+std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
+                                      const std::array<uint8_t, 12>& nonce,
+                                      uint32_t counter) {
+  std::array<uint8_t, 64> out;
+  ChaCha20BlockInto(out.data(), key, nonce, counter);
   return out;
 }
 
@@ -117,15 +123,26 @@ uint64_t ChaCha20Rng::NextUint64() {
 }
 
 void ChaCha20Rng::FillBytes(uint8_t* out, size_t len) {
-  while (len > 0) {
-    if (offset_ >= block_.size()) {
-      Refill();
-    }
+  // Drain whatever the staging block still holds from an earlier call.
+  if (offset_ < block_.size()) {
     const size_t take = std::min(len, block_.size() - offset_);
     std::memcpy(out, block_.data() + offset_, take);
     offset_ += take;
     out += take;
     len -= take;
+  }
+  // Whole blocks go straight into the destination — no staged copy.
+  while (len >= block_.size()) {
+    ChaCha20BlockInto(out, key_, nonce_, counter_++);
+    out += block_.size();
+    len -= block_.size();
+  }
+  // The tail comes out of a fresh staged block so the stream position is
+  // preserved for the next call.
+  if (len > 0) {
+    Refill();
+    std::memcpy(out, block_.data(), len);
+    offset_ = len;
   }
 }
 

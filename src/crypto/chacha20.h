@@ -22,6 +22,13 @@ std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
                                       const std::array<uint8_t, 12>& nonce,
                                       uint32_t counter);
 
+// Same block function, written into caller-provided storage (>= 64 bytes).
+// The zero-copy keystream path (ChaCha20Rng::FillBytes) uses this to
+// generate whole blocks straight into the destination buffer with no staged
+// memcpy.
+void ChaCha20BlockInto(uint8_t* out, const std::array<uint8_t, 32>& key,
+                       const std::array<uint8_t, 12>& nonce, uint32_t counter);
+
 // Stream RNG over the ChaCha20 keystream. Satisfies
 // UniformRandomBitGenerator. Distinct (key, stream_id) pairs give independent
 // streams — each simulated client gets its own stream_id.
@@ -42,6 +49,11 @@ class ChaCha20Rng {
   result_type operator()() { return NextUint64(); }
 
   uint64_t NextUint64();
+  // Fills `out` with the next `len` keystream bytes. Full 64-byte spans are
+  // generated as multiple ChaCha20 blocks directly into `out`; the staging
+  // buffer is only used for whatever was left over from a previous call and
+  // for the tail that does not fill a whole block. Byte-for-byte identical
+  // to repeated single-byte reads of the same stream.
   void FillBytes(uint8_t* out, size_t len);
   std::vector<uint8_t> Bytes(size_t len);
   // Resizes `out` to `len` and fills it with keystream. Reuses the vector's

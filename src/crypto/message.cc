@@ -1,22 +1,28 @@
 #include "crypto/message.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace privapprox::crypto {
 
 std::vector<uint8_t> AnswerMessage::Serialize() const {
-  std::vector<uint8_t> out;
-  out.reserve(WireSize(answer.size()));
+  std::vector<uint8_t> out(WireSize(answer.size()));
+  SerializeInto(out.data());
+  return out;
+}
+
+void AnswerMessage::SerializeInto(uint8_t* out) const {
   for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(query_id >> (8 * i)));
+    out[i] = static_cast<uint8_t>(query_id >> (8 * i));
   }
   const uint32_t bits = static_cast<uint32_t>(answer.size());
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+    out[8 + i] = static_cast<uint8_t>(bits >> (8 * i));
   }
   const auto& bytes = answer.bytes();
-  out.insert(out.end(), bytes.begin(), bytes.end());
-  return out;
+  if (!bytes.empty()) {
+    std::memcpy(out + 12, bytes.data(), bytes.size());
+  }
 }
 
 AnswerMessage AnswerMessage::Deserialize(std::span<const uint8_t> bytes) {

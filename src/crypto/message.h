@@ -28,6 +28,10 @@ struct AnswerMessage {
   // bytes. Deserialize takes a non-owning view so callers can parse
   // sub-ranges of larger buffers without materializing a temporary vector.
   std::vector<uint8_t> Serialize() const;
+  // Writes the wire format into caller-provided storage of at least
+  // WireSize(answer.size()) bytes — the arena-backed encode path uses this
+  // to serialize straight into share 0's slot with no temporary vector.
+  void SerializeInto(uint8_t* out) const;
   static AnswerMessage Deserialize(std::span<const uint8_t> bytes);
   static AnswerMessage Deserialize(const std::vector<uint8_t>& bytes) {
     return Deserialize(std::span<const uint8_t>(bytes));
@@ -47,6 +51,22 @@ struct MessageShare {
   std::vector<uint8_t> payload;
 
   bool operator==(const MessageShare& other) const = default;
+};
+
+// A non-owning view of one encoded share: `data` points at the full wire
+// record — MID (8 bytes LE) followed by the payload — living in an
+// EpochArena (client side) or a broker slab (consumer side). Valid only as
+// long as its backing storage: until the arena resets, or for the topic's
+// lifetime. This is the type that travels the zero-copy path
+// Client -> Broker::ProduceBatch -> Proxy::ReceiveAndForwardShard in place
+// of std::vector<uint8_t> payloads.
+struct ShareView {
+  uint64_t message_id = 0;
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  std::span<const uint8_t> bytes() const { return {data, size}; }
+  std::span<const uint8_t> payload() const { return {data + 8, size - 8}; }
 };
 
 }  // namespace privapprox::crypto

@@ -30,6 +30,32 @@ std::vector<MessageShare> XorSplitter::Split(std::vector<uint8_t> plaintext) {
   return shares;
 }
 
+void XorSplitter::SplitMessageInto(const AnswerMessage& message,
+                                   EpochArena& arena,
+                                   std::span<ShareView> out) {
+  if (out.size() != num_shares_) {
+    throw std::invalid_argument(
+        "XorSplitter::SplitMessageInto: need one view slot per share");
+  }
+  const uint64_t mid = rng_.NextUint64();
+  const size_t payload_len = AnswerMessage::WireSize(message.answer.size());
+  const size_t record_len = 8 + payload_len;
+  uint8_t* base = arena.Alloc(num_shares_ * record_len);
+  // Share 0 starts as <MID, M> and absorbs every key string (Eqs 10-11).
+  message.SerializeInto(base + 8);
+  for (size_t i = 0; i < num_shares_; ++i) {
+    uint8_t* record = base + i * record_len;
+    for (int b = 0; b < 8; ++b) {
+      record[b] = static_cast<uint8_t>(mid >> (8 * b));
+    }
+    if (i != 0) {
+      rng_.FillBytes(record + 8, payload_len);
+      XorBytesInPlace(base + 8, record + 8, payload_len);
+    }
+    out[i] = ShareView{mid, record, record_len};
+  }
+}
+
 std::vector<uint8_t> XorSplitter::Combine(
     const std::vector<MessageShare>& shares) {
   if (shares.size() < 2) {

@@ -15,8 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "crypto/chacha20.h"
 #include "crypto/message.h"
 
@@ -35,6 +37,18 @@ class XorSplitter {
   // are the same length and individually uniformly random. Taken by value:
   // pass an rvalue to move the message into share 0 without a copy.
   std::vector<MessageShare> Split(std::vector<uint8_t> plaintext);
+
+  // Zero-copy variant: serializes `message` and encodes all n shares
+  // contiguously into `arena`, each as its full wire record (8-byte MID
+  // header followed by the payload), writing one ShareView per share into
+  // `out` (out.size() must be num_shares()). Pad keystream is generated
+  // directly into the arena slots (multi-block ChaCha20, no staging copy)
+  // and XORed into share 0 in place, so a warm arena makes the entire
+  // encode allocation-free. Draws MID and pad bytes from the RNG in exactly
+  // the order Split does, so the emitted bytes match Split +
+  // Proxy::EncodeShare bit for bit.
+  void SplitMessageInto(const AnswerMessage& message, EpochArena& arena,
+                        std::span<ShareView> out);
 
   // Recombines shares (any order): XOR of all payloads. Throws
   // std::invalid_argument on mismatched MIDs or lengths, or fewer than two

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "crypto/xor_cipher.h"
+#include "common/xor_bytes.h"
 
 namespace privapprox::engine {
 
@@ -20,37 +20,59 @@ MidJoiner::MidJoiner(size_t expected_shares, int64_t timeout_ms, EmitFn emit)
 
 void MidJoiner::Add(const crypto::MessageShare& share, int64_t timestamp_ms,
                     size_t source) {
+  AddImpl(share.message_id, share.payload, timestamp_ms, source,
+          /*copy=*/true);
+}
+
+void MidJoiner::Add(uint64_t message_id, std::span<const uint8_t> payload,
+                    int64_t timestamp_ms, size_t source) {
+  AddImpl(message_id, payload, timestamp_ms, source, /*copy=*/false);
+}
+
+void MidJoiner::AddImpl(uint64_t message_id, std::span<const uint8_t> payload,
+                        int64_t timestamp_ms, size_t source, bool copy) {
   if (source >= expected_shares_) {
     throw std::out_of_range("MidJoiner::Add: bad source index");
   }
-  if (completed_mids_.contains(share.message_id)) {
+  if (completed_mids_.contains(message_id)) {
     ++stats_.duplicates_dropped;
     return;
   }
-  Group& group = pending_[share.message_id];
-  if (group.shares.empty()) {
-    group.shares.resize(expected_shares_);
+  Group& group = pending_[message_id];
+  if (group.slots.empty()) {
+    group.slots.resize(expected_shares_);
     group.first_seen_ms = timestamp_ms;
   }
-  if (group.shares[source].has_value()) {
+  Slot& slot = group.slots[source];
+  if (slot.filled) {
     // Redelivery on the same stream (or a replay through it).
     ++stats_.duplicates_dropped;
     return;
   }
-  group.shares[source] = share;
+  if (copy) {
+    slot.owned.assign(payload.begin(), payload.end());
+    slot.view = slot.owned;
+  } else {
+    slot.view = payload;
+  }
+  slot.filled = true;
   ++group.filled;
   if (group.filled == expected_shares_) {
-    std::vector<crypto::MessageShare> shares;
-    shares.reserve(expected_shares_);
-    for (auto& slot : group.shares) {
-      shares.push_back(std::move(*slot));
+    // XOR-combine all source views (Eq 12: M = ME xor MK_2 xor ... xor MK_n).
+    const std::span<const uint8_t> first = group.slots[0].view;
+    std::vector<uint8_t> plaintext(first.begin(), first.end());
+    for (size_t i = 1; i < expected_shares_; ++i) {
+      const std::span<const uint8_t> view = group.slots[i].view;
+      if (view.size() != plaintext.size()) {
+        throw std::invalid_argument("MidJoiner::Add: share length mismatch");
+      }
+      XorBytesInPlace(plaintext.data(), view.data(), view.size());
     }
-    std::vector<uint8_t> plaintext = crypto::XorSplitter::Combine(shares);
     const int64_t first_seen = group.first_seen_ms;
-    pending_.erase(share.message_id);
-    completed_mids_.insert(share.message_id);
+    pending_.erase(message_id);
+    completed_mids_.insert(message_id);
     ++stats_.joined;
-    emit_(share.message_id, std::move(plaintext), first_seen);
+    emit_(message_id, std::move(plaintext), first_seen);
   }
 }
 

@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -43,9 +43,17 @@ class MidJoiner {
   // Feeds one share from stream `source` (the proxy index, < n);
   // `timestamp_ms` is the share's event time. Emits the joined plaintext as
   // soon as every source slot of the MID is filled. Throws
-  // std::out_of_range for source >= n.
+  // std::out_of_range for source >= n and std::invalid_argument if a
+  // group's share lengths disagree at combine time.
   void Add(const crypto::MessageShare& share, int64_t timestamp_ms,
            size_t source);
+  // Zero-copy variant: `payload` must point into storage that outlives the
+  // pending group — the aggregator feeds broker slab views, which live as
+  // long as the topic, so partial groups may safely park a span across
+  // epochs. No payload bytes are copied until the group completes and is
+  // XOR-combined into the emitted plaintext.
+  void Add(uint64_t message_id, std::span<const uint8_t> payload,
+           int64_t timestamp_ms, size_t source);
 
   // Evicts partial groups whose first share is older than now - timeout.
   void EvictStale(int64_t now_ms);
@@ -54,11 +62,23 @@ class MidJoiner {
   size_t pending_groups() const { return pending_.size(); }
 
  private:
+  // One per-source slot. The copying Add stores the payload in `owned` and
+  // points `view` at it (the vector's heap buffer is stable under Group
+  // moves); the zero-copy Add leaves `owned` empty and parks the caller's
+  // span directly.
+  struct Slot {
+    std::vector<uint8_t> owned;
+    std::span<const uint8_t> view;
+    bool filled = false;
+  };
   struct Group {
-    std::vector<std::optional<crypto::MessageShare>> shares;  // per source
+    std::vector<Slot> slots;  // one per source
     size_t filled = 0;
     int64_t first_seen_ms = 0;
   };
+
+  void AddImpl(uint64_t message_id, std::span<const uint8_t> payload,
+               int64_t timestamp_ms, size_t source, bool copy);
 
   size_t expected_shares_;
   int64_t timeout_ms_;

@@ -37,7 +37,12 @@ const Table& Database::GetTable(const std::string& name) const {
 
 std::vector<Value> Database::Execute(const std::string& sql, int64_t from_ms,
                                      int64_t to_ms) {
-  const SelectStatement stmt = ParseSql(sql);
+  if (!cached_stmt_.has_value() || sql != cached_sql_) {
+    SelectStatement stmt = ParseSql(sql);  // may throw; cache stays intact
+    cached_stmt_ = std::move(stmt);
+    cached_sql_ = sql;
+  }
+  const SelectStatement& stmt = *cached_stmt_;
   const auto it = tables_.find(stmt.table);
   if (it == tables_.end()) {
     throw SqlError("unknown table '" + stmt.table + "'");

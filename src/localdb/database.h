@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,9 @@ class Database {
   Table& GetTable(const std::string& name);
   const Table& GetTable(const std::string& name) const;
 
-  // Parses and executes `sql` over rows in [from_ms, to_ms).
+  // Parses and executes `sql` over rows in [from_ms, to_ms). The parse of
+  // the most recent statement text is cached, so re-answering the same
+  // subscribed query each epoch (the client hot path) skips the parser.
   std::vector<Value> Execute(const std::string& sql,
                              int64_t from_ms = std::numeric_limits<int64_t>::min(),
                              int64_t to_ms = std::numeric_limits<int64_t>::max());
@@ -37,6 +40,9 @@ class Database {
 
  private:
   std::map<std::string, Table> tables_;
+  // Single-entry parse cache (clients answer one subscribed query).
+  std::string cached_sql_;
+  std::optional<SelectStatement> cached_stmt_;
 };
 
 }  // namespace privapprox::localdb

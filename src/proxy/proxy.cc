@@ -29,65 +29,67 @@ void Proxy::ReceiveBatch(std::vector<broker::ProduceRecord> records) {
   broker_.ProduceBatch(in_topic_, std::move(records));
 }
 
-uint64_t Proxy::Forward() {
+void Proxy::ReceiveViews(std::span<const broker::ProduceView> records) {
+  broker_.ProduceViews(in_topic_, records);
+}
+
+uint64_t Proxy::ForwardPendingViews(std::vector<uint32_t>* counts) {
   broker::Topic& out = broker_.GetTopic(out_topic_);
-  uint64_t count = 0;
+  uint64_t total = 0;
   for (;;) {
-    std::vector<broker::Record> batch = consumer_->Poll(4096);
-    if (batch.empty()) {
+    fwd_views_.clear();
+    if (consumer_->PollViews(4096, fwd_views_) == 0) {
       break;
     }
-    count += batch.size();
-    std::vector<broker::ProduceRecord> records;
-    records.reserve(batch.size());
-    for (auto& record : batch) {
-      records.push_back(broker::ProduceRecord{
-          record.key, std::move(record.payload), record.timestamp_ms});
+    total += fwd_views_.size();
+    fwd_produce_.clear();
+    fwd_produce_.reserve(fwd_views_.size());
+    for (const auto& view : fwd_views_) {
+      if (counts != nullptr) {
+        ++(*counts)[out.PartitionOf(view.key)];
+      }
+      fwd_produce_.push_back(
+          broker::ProduceView{view.key, view.bytes(), view.timestamp_ms});
     }
-    out.AppendBatch(std::move(records));
+    out.AppendViews(fwd_produce_);
   }
-  forwarded_ += count;
-  return count;
+  forwarded_ += total;
+  return total;
 }
+
+uint64_t Proxy::Forward() { return ForwardPendingViews(nullptr); }
 
 std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
     std::vector<broker::ProduceRecord> records) {
   broker_.ProduceBatch(in_topic_, std::move(records));
-  broker::Topic& out = broker_.GetTopic(out_topic_);
-  std::vector<uint32_t> counts(out.num_partitions(), 0);
-  uint64_t total = 0;
-  for (;;) {
-    std::vector<broker::Record> batch = consumer_->Poll(4096);
-    if (batch.empty()) {
-      break;
-    }
-    total += batch.size();
-    std::vector<broker::ProduceRecord> forward;
-    forward.reserve(batch.size());
-    for (auto& record : batch) {
-      ++counts[out.PartitionOf(record.key)];
-      forward.push_back(broker::ProduceRecord{
-          record.key, std::move(record.payload), record.timestamp_ms});
-    }
-    out.AppendBatch(std::move(forward));
-  }
-  forwarded_ += total;
+  std::vector<uint32_t> counts(
+      broker_.GetTopic(out_topic_).num_partitions(), 0);
+  ForwardPendingViews(&counts);
+  return counts;
+}
+
+std::vector<uint32_t> Proxy::ReceiveAndForwardShardViews(
+    std::span<const broker::ProduceView> records) {
+  broker_.ProduceViews(in_topic_, records);
+  std::vector<uint32_t> counts(
+      broker_.GetTopic(out_topic_).num_partitions(), 0);
+  ForwardPendingViews(&counts);
   return counts;
 }
 
 uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
   broker::Topic& out = broker_.GetTopic(out_topic_);
   uint64_t count = 0;
+  std::vector<broker::RecordView> batch;
   for (;;) {
-    std::vector<broker::Record> batch = consumer_->Poll(8192);
-    if (batch.empty()) {
+    batch.clear();
+    if (consumer_->PollViews(8192, batch) == 0) {
       break;
     }
     count += batch.size();
     pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        out.Append(batch[i].key, std::move(batch[i].payload),
-                   batch[i].timestamp_ms);
+        out.Append(batch[i].key, batch[i].bytes(), batch[i].timestamp_ms);
       }
     });
   }
@@ -161,6 +163,25 @@ void Proxy::DecodeShareBatch(std::vector<broker::Record> records,
     } catch (const std::invalid_argument&) {
       ++out.malformed;
     }
+  }
+}
+
+void Proxy::DecodeShareViews(std::span<const broker::RecordView> records,
+                             DecodedViewBatch& out) {
+  out.shares.reserve(out.shares.size() + records.size());
+  for (const auto& record : records) {
+    if (record.payload_len < 8) {
+      ++out.malformed;
+      continue;
+    }
+    uint64_t mid = 0;
+    for (int i = 0; i < 8; ++i) {
+      mid |= static_cast<uint64_t>(record.payload[i]) << (8 * i);
+    }
+    out.shares.push_back(DecodedView{
+        mid,
+        std::span<const uint8_t>(record.payload + 8, record.payload_len - 8),
+        record.timestamp_ms});
   }
 }
 

@@ -45,6 +45,10 @@ class Proxy {
   // worker threads and hands each proxy its batch in client-id order, which
   // keeps topic contents byte-identical to per-record Receive calls.
   void ReceiveBatch(std::vector<broker::ProduceRecord> records);
+  // Zero-copy batched entry: the views (typically arena-backed ShareView
+  // records) only need to stay valid for the duration of the call — the
+  // topic copies each payload once into its slab.
+  void ReceiveViews(std::span<const broker::ProduceView> records);
 
   // Transmits all pending inbound records to the outbound topic. Returns the
   // number of records forwarded.
@@ -60,6 +64,11 @@ class Proxy {
   // stage owns this proxy's consumer offsets.
   std::vector<uint32_t> ReceiveAndForwardShard(
       std::vector<broker::ProduceRecord> records);
+  // Zero-copy variant: identical semantics, but the shard arrives as views
+  // and the inbound->outbound hop runs over slab-backed views with reused
+  // member scratch, so a warmed-up proxy forwards without heap allocation.
+  std::vector<uint32_t> ReceiveAndForwardShardViews(
+      std::span<const broker::ProduceView> records);
 
   // Query distribution (§3.1, submission phase): the aggregator publishes
   // serialized query announcements into the proxy's query inbound topic;
@@ -102,9 +111,38 @@ class Proxy {
   static void DecodeShareBatch(std::vector<broker::Record> records,
                                DecodedBatch& out);
 
+  // Zero-copy decode: the share payload is a span into the broker's slab
+  // storage (valid for the topic's lifetime), so decoding is just header
+  // parsing — no per-share vector.
+  struct DecodedView {
+    uint64_t message_id = 0;
+    std::span<const uint8_t> payload;
+    int64_t timestamp_ms = 0;
+  };
+  struct DecodedViewBatch {
+    std::vector<DecodedView> shares;
+    uint64_t malformed = 0;
+
+    void Clear() {
+      shares.clear();
+      malformed = 0;
+    }
+  };
+  // Decodes slab-backed record views and appends into `out`. Records
+  // shorter than the 8-byte MID header count as malformed, mirroring
+  // DecodeShareBatch.
+  static void DecodeShareViews(std::span<const broker::RecordView> records,
+                               DecodedViewBatch& out);
+
   uint64_t forwarded() const { return forwarded_; }
 
  private:
+  // Drains everything pending on the inbound topic to the outbound topic
+  // over slab-backed views (no payload copies besides the one into the
+  // outbound slab). If `counts` is non-null it accumulates the forwarded
+  // records per outbound partition. Returns records forwarded.
+  uint64_t ForwardPendingViews(std::vector<uint32_t>* counts);
+
   ProxyConfig config_;
   broker::Broker& broker_;
   std::string in_topic_;
@@ -114,6 +152,11 @@ class Proxy {
   std::unique_ptr<broker::Consumer> consumer_;
   std::unique_ptr<broker::Consumer> query_consumer_;
   uint64_t forwarded_ = 0;
+  // Forwarding scratch, reused across calls so steady-state forwarding
+  // performs no heap allocation. Only touched by the single thread that
+  // owns this proxy's consumer offsets.
+  std::vector<broker::RecordView> fwd_views_;
+  std::vector<broker::ProduceView> fwd_produce_;
 };
 
 }  // namespace privapprox::proxy

@@ -7,6 +7,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -163,47 +165,50 @@ EpochStats PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
 
   // Phase 1 (parallel answering): shard clients across the pool. Each client
   // owns its RNG and database, so answering is embarrassingly parallel;
-  // workers encode the resulting shares into the client's private slot.
-  // shard[i][j] is client i's share for proxy j (empty slot = sat out).
-  std::vector<std::vector<broker::ProduceRecord>> shard(num_clients);
+  // workers encode each client's n share records into an arena acquired per
+  // pool chunk and publish views into the client's private slots
+  // (views[i * n + j] = client i's share for proxy j). The chunk arenas are
+  // kept alive until phase 2 has copied every view into broker slabs.
+  std::vector<crypto::ShareView> views(num_clients * num_proxies);
+  std::vector<uint8_t> participated(num_clients, 0);
+  std::vector<ArenaRef> chunk_arenas;
+  std::mutex chunk_arenas_mu;
   pool_->ParallelFor(num_clients, [&](size_t begin, size_t end) {
+    ArenaRef arena = arena_pool_.Acquire();
     for (size_t i = begin; i < end; ++i) {
-      std::optional<client::EpochAnswer> answer =
-          clients_[i]->AnswerQuery(now_ms);
-      if (!answer.has_value()) {
-        continue;
-      }
-      std::vector<broker::ProduceRecord>& slot = shard[i];
-      slot.reserve(answer->shares.size());
-      for (const crypto::MessageShare& share : answer->shares) {
-        slot.push_back(broker::ProduceRecord{share.message_id,
-                                             proxy::Proxy::EncodeShare(share),
-                                             answer->timestamp_ms});
+      std::span<crypto::ShareView> slot(&views[i * num_proxies], num_proxies);
+      if (clients_[i]->AnswerQueryInto(now_ms, *arena, slot)) {
+        participated[i] = 1;
       }
     }
+    std::lock_guard<std::mutex> lock(chunk_arenas_mu);
+    chunk_arenas.push_back(std::move(arena));
   });
 
   // Phase 2 (ordered merge): concatenate the slots in client-id order into
   // one batch per proxy — exactly the append order the sequential loop
   // produced, so topic contents are byte-identical for any worker count.
-  for (const auto& slot : shard) {
-    if (!slot.empty()) {
+  for (size_t i = 0; i < num_clients; ++i) {
+    if (participated[i] != 0) {
       ++stats.participants;
-      stats.shares_sent += slot.size();
+      stats.shares_sent += num_proxies;
     }
   }
-  std::vector<std::vector<broker::ProduceRecord>> batches(num_proxies);
-  for (auto& batch : batches) {
-    batch.reserve(stats.participants);
-  }
-  for (auto& slot : shard) {
-    for (size_t j = 0; j < slot.size(); ++j) {
-      batches[j].push_back(std::move(slot[j]));
-    }
-  }
+  std::vector<broker::ProduceView> batch;
+  batch.reserve(stats.participants);
   for (size_t j = 0; j < num_proxies; ++j) {
-    proxies_[j]->ReceiveBatch(std::move(batches[j]));
+    batch.clear();
+    for (size_t i = 0; i < num_clients; ++i) {
+      if (participated[i] == 0) {
+        continue;
+      }
+      const crypto::ShareView& view = views[i * num_proxies + j];
+      batch.push_back(
+          broker::ProduceView{view.message_id, view.bytes(), now_ms});
+    }
+    proxies_[j]->ReceiveViews(batch);
   }
+  chunk_arenas.clear();  // appends done: recycle the encode arenas
 
   // Phase 3 (parallel forwarding): each proxy moves its own inbound topic to
   // its own outbound topic — disjoint state, one task per proxy.
@@ -235,10 +240,16 @@ struct ShardTask {
 };
 
 // One shard's shares for one proxy, still tagged with the shard sequence so
-// the proxy stage can restore client-id append order.
+// the proxy stage can restore client-id append order. The batch shares
+// ownership of the arena holding the encoded share records: each view
+// points into it, and when the last proxy's batch for a shard is dropped
+// (after its records were copied into broker slabs) the arena resets and
+// returns to the pool — so backpressure from the bounded channels also
+// bounds the number of live arenas.
 struct TaggedBatch {
   uint64_t seq = 0;
-  std::vector<broker::ProduceRecord> records;
+  std::vector<broker::ProduceView> records;
+  ArenaRef arena;
 };
 
 // "Proxy `source` forwarded shard `seq`; consume exactly these counts per
@@ -304,18 +315,19 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   std::vector<std::unique_ptr<Stage<TaggedBatch>>> proxy_stages;
   proxy_stages.reserve(num_proxies);
   for (size_t j = 0; j < num_proxies; ++j) {
-    auto reorder =
-        std::make_shared<std::map<uint64_t, std::vector<broker::ProduceRecord>>>();
+    auto reorder = std::make_shared<std::map<uint64_t, TaggedBatch>>();
     auto next_seq = std::make_shared<uint64_t>(0);
     proxy_stages.push_back(std::make_unique<Stage<TaggedBatch>>(
         *to_proxy[j], 1, [&, j, reorder, next_seq](TaggedBatch&& batch) {
-          (*reorder)[batch.seq] = std::move(batch.records);
+          (*reorder)[batch.seq] = std::move(batch);
           for (auto it = reorder->find(*next_seq); it != reorder->end();
                it = reorder->find(*next_seq)) {
-            std::vector<broker::ProduceRecord> records = std::move(it->second);
+            TaggedBatch head = std::move(it->second);
             reorder->erase(it);
             std::vector<uint32_t> counts =
-                proxies_[j]->ReceiveAndForwardShard(std::move(records));
+                proxies_[j]->ReceiveAndForwardShardViews(head.records);
+            // `head` (and with it this proxy's arena reference) dies here —
+            // the records are now in the broker's slabs.
             uint64_t forwarded = 0;
             for (uint32_t count : counts) {
               forwarded += count;
@@ -333,31 +345,31 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   // shard cannot change any byte. Empty batches are shipped too — the
   // shard sequence must be gapless for the reorder buffers to advance.
   Stage<ShardTask> answer_stage(tasks, answer_workers, [&](ShardTask&& task) {
-    std::vector<std::vector<broker::ProduceRecord>> per_proxy(num_proxies);
+    ArenaRef arena = arena_pool_.Acquire();
+    std::vector<std::vector<broker::ProduceView>> per_proxy(num_proxies);
     for (auto& batch : per_proxy) {
       batch.reserve(task.end - task.begin);
     }
+    std::vector<crypto::ShareView> views(num_proxies);
     uint64_t local_participants = 0;
     uint64_t local_shares = 0;
     for (size_t i = task.begin; i < task.end; ++i) {
-      std::optional<client::EpochAnswer> answer =
-          clients_[i]->AnswerQuery(now_ms);
-      if (!answer.has_value()) {
+      if (!clients_[i]->AnswerQueryInto(now_ms, *arena, views)) {
         continue;
       }
       ++local_participants;
-      local_shares += answer->shares.size();
-      for (size_t j = 0; j < answer->shares.size(); ++j) {
-        const crypto::MessageShare& share = answer->shares[j];
-        per_proxy[j].push_back(broker::ProduceRecord{
-            share.message_id, proxy::Proxy::EncodeShare(share),
-            answer->timestamp_ms});
+      local_shares += num_proxies;
+      for (size_t j = 0; j < num_proxies; ++j) {
+        per_proxy[j].push_back(broker::ProduceView{
+            views[j].message_id, views[j].bytes(), now_ms});
       }
     }
     participants += local_participants;
     shares_sent += local_shares;
     for (size_t j = 0; j < num_proxies; ++j) {
-      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j])});
+      // Each batch carries a reference to the shard's arena; the arena
+      // recycles once every proxy has slab-copied its batch.
+      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j]), arena});
     }
   });
 

@@ -21,6 +21,7 @@
 #include "aggregator/historical.h"
 #include "broker/broker.h"
 #include "client/client.h"
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/budget.h"
 #include "core/query.h"
@@ -148,6 +149,10 @@ class PrivApproxSystem {
 
   SystemConfig config_;
   broker::Broker broker_;
+  // Share-encoding arenas, recycled across shards and epochs. Every
+  // ArenaRef handed out lives only within one RunEpoch call, so the pool
+  // (declared before the pipeline users) safely outlives them.
+  ArenaPool arena_pool_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::unique_ptr<proxy::Proxy>> proxies_;

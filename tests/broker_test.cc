@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "broker/broker.h"
@@ -237,6 +238,145 @@ TEST(ConsumerTest, IndependentConsumersSeeAllData) {
   }
   EXPECT_EQ(count_a, 50u);
   EXPECT_EQ(count_b, 50u);
+}
+
+// ------------------------------------------------- slab-backed view paths
+
+TEST(TopicTest, ReadViewsMatchesRead) {
+  Topic topic("t", 2);
+  for (uint64_t key = 0; key < 40; ++key) {
+    topic.Append(key, Payload({static_cast<uint8_t>(key), 0xAB}),
+                 static_cast<int64_t>(key));
+  }
+  for (size_t p = 0; p < 2; ++p) {
+    const auto owned = topic.Read(p, 0, 100);
+    std::vector<RecordView> views;
+    topic.ReadViews(p, 0, 100, views);
+    ASSERT_EQ(views.size(), owned.size());
+    for (size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_EQ(views[i].offset, owned[i].offset);
+      EXPECT_EQ(views[i].key, owned[i].key);
+      EXPECT_EQ(views[i].timestamp_ms, owned[i].timestamp_ms);
+      ASSERT_EQ(views[i].payload_len, owned[i].payload.size());
+      EXPECT_TRUE(std::equal(owned[i].payload.begin(), owned[i].payload.end(),
+                             views[i].payload));
+    }
+  }
+}
+
+TEST(TopicTest, ViewsStayValidAcrossLaterAppends) {
+  // RecordViews point into append-only slabs that are never moved or freed,
+  // so a view taken early must still read the same bytes after enough
+  // appends to force many new slabs and index reallocations.
+  Topic topic("t", 1);
+  topic.Append(7, Payload({0xDE, 0xAD, 0xBE, 0xEF}), 1);
+  std::vector<RecordView> early;
+  topic.ReadViews(0, 0, 1, early);
+  ASSERT_EQ(early.size(), 1u);
+  const std::vector<uint8_t> big(100 * 1024, 0x55);  // ~half a slab chunk
+  for (int i = 0; i < 50; ++i) {
+    topic.Append(static_cast<uint64_t>(i), big, 2);
+  }
+  ASSERT_EQ(early[0].payload_len, 4u);
+  EXPECT_EQ(early[0].payload[0], 0xDE);
+  EXPECT_EQ(early[0].payload[3], 0xEF);
+}
+
+TEST(TopicTest, AppendViewsMatchesAppendBatch) {
+  Topic owned_topic("owned", 4);
+  Topic view_topic("views", 4);
+  std::vector<ProduceRecord> records;
+  std::vector<std::vector<uint8_t>> payloads;
+  for (uint64_t key = 0; key < 200; ++key) {
+    payloads.push_back(Payload({static_cast<uint8_t>(key),
+                                static_cast<uint8_t>(key >> 1), 0x42}));
+    records.push_back(
+        ProduceRecord{key * 7919, payloads.back(), static_cast<int64_t>(key)});
+  }
+  std::vector<ProduceView> views;
+  for (const auto& record : records) {
+    views.push_back(
+        ProduceView{record.key, record.payload, record.timestamp_ms});
+  }
+  owned_topic.AppendBatch(records);
+  view_topic.AppendViews(views);
+  for (size_t p = 0; p < 4; ++p) {
+    const auto a = owned_topic.Read(p, 0, 1000);
+    const auto b = view_topic.Read(p, 0, 1000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].key, b[i].key);
+      EXPECT_EQ(a[i].timestamp_ms, b[i].timestamp_ms);
+      EXPECT_EQ(a[i].payload, b[i].payload);
+    }
+  }
+  EXPECT_EQ(owned_topic.metrics().records_in, view_topic.metrics().records_in);
+  EXPECT_EQ(owned_topic.metrics().bytes_in, view_topic.metrics().bytes_in);
+}
+
+TEST(TopicTest, ReserveMakesAppendsAllocationFreeAndHarmless) {
+  // Reserve is a capacity hint: appends within the budget must behave
+  // exactly like unreserved appends, and over-reserving must not disturb
+  // reads or offsets.
+  Topic topic("t", 2);
+  topic.Reserve(0, 100, 4096);
+  topic.Reserve(1, 100, 4096);
+  for (uint64_t key = 0; key < 50; ++key) {
+    topic.Append(key, Payload({static_cast<uint8_t>(key)}), 0);
+  }
+  size_t total = 0;
+  for (size_t p = 0; p < 2; ++p) {
+    std::vector<RecordView> views;
+    topic.ReadViews(p, 0, 100, views);
+    total += views.size();
+  }
+  EXPECT_EQ(total, 50u);
+  EXPECT_THROW(topic.Reserve(9, 1, 1), std::out_of_range);
+}
+
+TEST(ConsumerTest, PollViewsMatchesPoll) {
+  Broker broker;
+  Topic& topic = broker.CreateTopic("t", 3);
+  for (uint64_t key = 0; key < 60; ++key) {
+    topic.Append(key, Payload({static_cast<uint8_t>(key), 0x11}), 5);
+  }
+  Consumer owned(topic);
+  Consumer viewed(topic);
+  for (;;) {
+    const auto batch = owned.Poll(7);
+    std::vector<RecordView> views;
+    const size_t pulled = viewed.PollViews(7, views);
+    ASSERT_EQ(pulled, batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(views[i].key, batch[i].key);
+      ASSERT_EQ(views[i].payload_len, batch[i].payload.size());
+      EXPECT_TRUE(std::equal(batch[i].payload.begin(), batch[i].payload.end(),
+                             views[i].payload));
+    }
+    if (batch.empty()) {
+      break;
+    }
+  }
+  EXPECT_EQ(owned.consumed(), viewed.consumed());
+  EXPECT_TRUE(viewed.CaughtUp());
+}
+
+TEST(ConsumerTest, PollPartitionsViewsHonorsPromisedCounts) {
+  Broker broker;
+  Topic& topic = broker.CreateTopic("t", 2);
+  std::vector<uint32_t> counts(2, 0);
+  for (uint64_t key = 0; key < 30; ++key) {
+    topic.Append(key, Payload({static_cast<uint8_t>(key)}), 0);
+    ++counts[topic.PartitionOf(key)];
+  }
+  Consumer consumer(topic);
+  std::vector<RecordView> views;
+  EXPECT_EQ(consumer.PollPartitionsViews(counts, views), 30u);
+  EXPECT_TRUE(consumer.CaughtUp());
+  // Partition-count mismatch and over-promising throw, like PollPartitions.
+  EXPECT_THROW(consumer.PollPartitionsViews({1}, views),
+               std::invalid_argument);
+  EXPECT_THROW(consumer.PollPartitionsViews({1, 0}, views), std::logic_error);
 }
 
 }  // namespace

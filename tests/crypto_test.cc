@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "crypto/chacha20.h"
 #include "crypto/goldwasser_micali.h"
@@ -13,6 +16,7 @@
 #include "crypto/paillier.h"
 #include "crypto/rsa.h"
 #include "crypto/xor_cipher.h"
+#include "proxy/proxy.h"
 
 namespace privapprox::crypto {
 namespace {
@@ -60,6 +64,58 @@ TEST(ChaCha20Test, Rfc8439AppendixA1Vectors) {
   EXPECT_EQ(block1[3], 0xbe);
 }
 
+TEST(ChaCha20Test, Rfc8439Section242EncryptionVector) {
+  // RFC 8439 §2.4.2: the "sunscreen" plaintext encrypted under key
+  // 00 01 .. 1f, nonce 00..00 4a 00 00 00 00, initial counter 1. ChaCha20
+  // encryption is plaintext XOR keystream, so this pins down both the block
+  // function and multi-block counter sequencing.
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  const std::array<uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                         0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  ASSERT_EQ(plaintext.size(), 114u);
+  std::array<uint8_t, 128> keystream;
+  ChaCha20BlockInto(keystream.data(), key, nonce, 1);
+  ChaCha20BlockInto(keystream.data() + 64, key, nonce, 2);
+  std::vector<uint8_t> ciphertext(plaintext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    ciphertext[i] = static_cast<uint8_t>(plaintext[i]) ^ keystream[i];
+  }
+  const std::vector<uint8_t> expected = {
+      0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07,
+      0x28, 0xdd, 0x0d, 0x69, 0x81, 0xe9, 0x7e, 0x7a, 0xec, 0x1d, 0x43,
+      0x60, 0xc2, 0x0a, 0x27, 0xaf, 0xcc, 0xfd, 0x9f, 0xae, 0x0b, 0xf9,
+      0x1b, 0x65, 0xc5, 0x52, 0x47, 0x33, 0xab, 0x8f, 0x59, 0x3d, 0xab,
+      0xcd, 0x62, 0xb3, 0x57, 0x16, 0x39, 0xd6, 0x24, 0xe6, 0x51, 0x52,
+      0xab, 0x8f, 0x53, 0x0c, 0x35, 0x9f, 0x08, 0x61, 0xd8, 0x07, 0xca,
+      0x0d, 0xbf, 0x50, 0x0d, 0x6a, 0x61, 0x56, 0xa3, 0x8e, 0x08, 0x8a,
+      0x22, 0xb6, 0x5e, 0x52, 0xbc, 0x51, 0x4d, 0x16, 0xcc, 0xf8, 0x06,
+      0x81, 0x8c, 0xe9, 0x1a, 0xb7, 0x79, 0x37, 0x36, 0x5a, 0xf9, 0x0b,
+      0xbf, 0x74, 0xa3, 0x5b, 0xe6, 0xb4, 0x0b, 0x8e, 0xed, 0xf2, 0x78,
+      0x5e, 0x42, 0x87, 0x4d};
+  EXPECT_EQ(ciphertext, expected);
+}
+
+TEST(ChaCha20Test, BlockIntoMatchesBlock) {
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  const std::array<uint8_t, 12> nonce = {1, 2, 3, 4,  5,  6,
+                                         7, 8, 9, 10, 11, 12};
+  for (uint32_t counter : {0u, 1u, 77u, 0xFFFFFFFFu}) {
+    const auto block = ChaCha20Block(key, nonce, counter);
+    std::array<uint8_t, 64> direct;
+    ChaCha20BlockInto(direct.data(), key, nonce, counter);
+    EXPECT_EQ(block, direct) << "counter " << counter;
+  }
+}
+
 TEST(ChaCha20RngTest, DeterministicPerSeedAndStream) {
   ChaCha20Rng a = ChaCha20Rng::FromSeed(5, 1);
   ChaCha20Rng b = ChaCha20Rng::FromSeed(5, 1);
@@ -92,6 +148,32 @@ TEST(ChaCha20RngTest, BytesSpansBlockBoundaries) {
   for (size_t i = 0; i < 200; ++i) {
     EXPECT_EQ(chunk[i], all[13 + i]);
   }
+}
+
+TEST(ChaCha20RngTest, FillBytesMultiBlockMatchesByteAtATime) {
+  // FillBytes generates whole 64-byte blocks directly into the destination
+  // and only stages partial blocks. The resulting stream must be
+  // byte-for-byte identical to draining the same stream one byte at a time,
+  // for spans that start mid-block, cover several whole blocks, and end
+  // mid-block.
+  const std::vector<size_t> spans = {13, 64, 171, 1, 63, 65, 128, 200, 5};
+  size_t total = 0;
+  for (size_t span : spans) {
+    total += span;
+  }
+  ChaCha20Rng reference = ChaCha20Rng::FromSeed(21, 3);
+  std::vector<uint8_t> expected(total);
+  for (size_t i = 0; i < total; ++i) {
+    reference.FillBytes(&expected[i], 1);  // staging path only
+  }
+  ChaCha20Rng rng = ChaCha20Rng::FromSeed(21, 3);
+  std::vector<uint8_t> actual(total);
+  size_t at = 0;
+  for (size_t span : spans) {
+    rng.FillBytes(actual.data() + at, span);
+    at += span;
+  }
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(ChaCha20RngTest, OutputLooksUniform) {
@@ -209,6 +291,72 @@ TEST(XorSplitterTest, EmptyPayloadRoundTrips) {
   XorSplitter splitter(2, ChaCha20Rng::FromSeed(8, 0));
   const auto shares = splitter.Split({});
   EXPECT_TRUE(XorSplitter::Combine(shares).empty());
+}
+
+TEST(XorSplitterTest, SplitMessageIntoMatchesSplitPlusEncode) {
+  // The arena encoder must consume the RNG in exactly the order Split does
+  // and emit, per share, the same wire record Proxy::EncodeShare builds —
+  // so the two client encode paths produce bit-identical broker contents.
+  for (size_t num_shares : {2u, 3u, 5u}) {
+    BitVector answer(27);
+    answer.Set(0, true);
+    answer.Set(13, true);
+    answer.Set(26, true);
+    const AnswerMessage message{0x1122334455667788ULL, answer};
+
+    XorSplitter legacy(num_shares, ChaCha20Rng::FromSeed(99, 4));
+    XorSplitter arena_splitter(num_shares, ChaCha20Rng::FromSeed(99, 4));
+    EpochArena arena;
+    std::vector<ShareView> views(num_shares);
+    // Interleave several messages to exercise RNG state carry-over.
+    for (int round = 0; round < 4; ++round) {
+      const auto shares = legacy.Split(message.Serialize());
+      arena_splitter.SplitMessageInto(message, arena, views);
+      ASSERT_EQ(shares.size(), num_shares);
+      for (size_t i = 0; i < num_shares; ++i) {
+        EXPECT_EQ(views[i].message_id, shares[i].message_id);
+        const std::vector<uint8_t> wire =
+            proxy::Proxy::EncodeShare(shares[i]);
+        ASSERT_EQ(views[i].size, wire.size());
+        EXPECT_TRUE(std::equal(wire.begin(), wire.end(), views[i].data))
+            << "share " << i << " round " << round;
+        // payload() strips the 8-byte MID header.
+        ASSERT_EQ(views[i].payload().size(), shares[i].payload.size());
+        EXPECT_TRUE(std::equal(shares[i].payload.begin(),
+                               shares[i].payload.end(),
+                               views[i].payload().data()));
+      }
+    }
+  }
+}
+
+TEST(XorSplitterTest, SplitMessageIntoValidatesSlotCount) {
+  XorSplitter splitter(3, ChaCha20Rng::FromSeed(12, 0));
+  EpochArena arena;
+  std::vector<ShareView> wrong(2);
+  EXPECT_THROW(
+      splitter.SplitMessageInto(AnswerMessage{1, BitVector(4)}, arena, wrong),
+      std::invalid_argument);
+}
+
+TEST(XorSplitterTest, SplitMessageIntoCombinesToPlaintext) {
+  XorSplitter splitter(3, ChaCha20Rng::FromSeed(31, 2));
+  BitVector answer(11);
+  answer.Set(4, true);
+  const AnswerMessage message{42, answer};
+  EpochArena arena;
+  std::vector<ShareView> views(3);
+  splitter.SplitMessageInto(message, arena, views);
+  std::vector<crypto::MessageShare> shares;
+  for (const ShareView& view : views) {
+    const auto payload = view.payload();
+    shares.push_back(crypto::MessageShare{
+        view.message_id,
+        std::vector<uint8_t>(payload.begin(), payload.end())});
+  }
+  const AnswerMessage parsed =
+      AnswerMessage::Deserialize(XorSplitter::Combine(shares));
+  EXPECT_EQ(parsed, message);
 }
 
 // --------------------------------------------------------------------- RSA
