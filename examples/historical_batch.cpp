@@ -20,7 +20,7 @@ int main() {
   system::SystemConfig config;
   config.num_clients = kClients;
   config.seed = 33;
-  config.enable_historical = true;
+  config.historical.enabled = true;
   system::PrivApproxSystem sys(config);
 
   workload::TaxiGenerator generator(44);

@@ -88,5 +88,12 @@ int main() {
                 query.answer_format.BucketLabel(b).c_str(), est.value,
                 est.Lower(), est.Upper(), truth_counts[b]);
   }
+
+  // 7. Operations view: the system keeps a metrics registry (counters,
+  //    stage latency histograms, broker gauges). MetricsText() is the
+  //    Prometheus-style `/metrics` dump; MetricsJson() is the same snapshot
+  //    for programmatic scraping.
+  std::printf("\n--- /metrics (Prometheus text exposition) ---\n%s",
+              sys.MetricsText().c_str());
   return 0;
 }

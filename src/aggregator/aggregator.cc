@@ -1,5 +1,6 @@
 #include "aggregator/aggregator.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "common/histogram.h"
@@ -9,6 +10,38 @@
 #include "proxy/proxy.h"
 
 namespace privapprox::aggregator {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Times one scope into an optional histogram: reads the clock only when the
+// instrument is wired.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(metrics::Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) {
+      start_ns_ = NowNs();
+    }
+  }
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(NowNs() - start_ns_));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  metrics::Histogram* hist_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace
 
 Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
                        const core::ExecutionParams& params,
@@ -70,28 +103,32 @@ uint64_t Aggregator::Drain() {
       if (consumer.PollViews(4096, views) == 0) {
         break;
       }
-      proxy::Proxy::DecodeShareViews(views, drain_decoded_[source]);
+      proxy::Proxy::DecodeShares(views, drain_decoded_[source]);
     }
   };
-  if (config_.pool != nullptr && num_sources > 1) {
-    config_.pool->ParallelFor(num_sources, [&](size_t begin, size_t end) {
-      for (size_t source = begin; source < end; ++source) {
+  {
+    ScopedTimer timer(config_.decode_ns);
+    if (config_.pool != nullptr && num_sources > 1) {
+      config_.pool->ParallelFor(num_sources, [&](size_t begin, size_t end) {
+        for (size_t source = begin; source < end; ++source) {
+          drain_source(source);
+        }
+      });
+    } else {
+      for (size_t source = 0; source < num_sources; ++source) {
         drain_source(source);
       }
-    });
-  } else {
-    for (size_t source = 0; source < num_sources; ++source) {
-      drain_source(source);
     }
   }
   // Phase 2: sequential join in source order — the same order the fully
   // sequential path fed the joiner, so emission order (and therefore every
   // downstream result) is identical.
+  ScopedTimer timer(config_.join_ns);
   uint64_t consumed = 0;
   for (size_t source = 0; source < num_sources; ++source) {
-    const proxy::Proxy::DecodedViewBatch& batch = drain_decoded_[source];
+    const proxy::Proxy::DecodedShares& batch = drain_decoded_[source];
     consumed += batch.shares.size() + batch.malformed;
-    malformed_dropped_ += batch.malformed;
+    NoteMalformed(batch.malformed);
     for (const auto& share : batch.shares) {
       joiner_->Add(share.message_id, share.payload, share.timestamp_ms,
                    source);
@@ -100,24 +137,39 @@ uint64_t Aggregator::Drain() {
   return consumed;
 }
 
+void Aggregator::NoteMalformed(uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  malformed_dropped_ += n;
+  if (config_.malformed_total != nullptr) {
+    config_.malformed_total->Increment(n);
+  }
+}
+
 uint64_t Aggregator::ConsumeShardBatch(
     size_t source, uint64_t shard_seq,
     const std::vector<uint32_t>& partition_counts) {
   if (source >= consumers_.size()) {
     throw std::out_of_range("Aggregator::ConsumeShardBatch: bad source");
   }
-  shard_views_.clear();
-  const uint64_t consumed =
-      consumers_[source]->PollPartitionsViews(partition_counts, shard_views_);
-  StreamSlot& slot = stream_pending_[shard_seq];
-  if (slot.per_source.empty()) {
-    slot.per_source.resize(consumers_.size());
+  uint64_t consumed = 0;
+  {
+    ScopedTimer timer(config_.decode_ns);
+    shard_views_.clear();
+    consumed =
+        consumers_[source]->PollPartitionsViews(partition_counts, shard_views_);
+    StreamSlot& slot = stream_pending_[shard_seq];
+    if (slot.per_source.empty()) {
+      slot.per_source.resize(consumers_.size());
+    }
+    proxy::Proxy::DecodeShares(shard_views_, slot.per_source[source]);
+    ++slot.filled;
   }
-  proxy::Proxy::DecodeShareViews(shard_views_, slot.per_source[source]);
-  ++slot.filled;
   // Advance the reorder buffer: feed every complete shard at the head, in
   // (shard_seq, source) order — the streaming pipeline's canonical join
   // feed order.
+  ScopedTimer timer(config_.join_ns);
   while (!stream_pending_.empty()) {
     auto head = stream_pending_.begin();
     if (head->first != stream_next_seq_ ||
@@ -125,8 +177,8 @@ uint64_t Aggregator::ConsumeShardBatch(
       break;
     }
     for (size_t s = 0; s < consumers_.size(); ++s) {
-      const proxy::Proxy::DecodedViewBatch& batch = head->second.per_source[s];
-      malformed_dropped_ += batch.malformed;
+      const proxy::Proxy::DecodedShares& batch = head->second.per_source[s];
+      NoteMalformed(batch.malformed);
       for (const auto& share : batch.shares) {
         joiner_->Add(share.message_id, share.payload, share.timestamp_ms, s);
       }
@@ -153,7 +205,7 @@ void Aggregator::OnJoined(uint64_t /*mid*/, std::vector<uint8_t> plaintext,
   try {
     message = crypto::AnswerMessage::Deserialize(plaintext);
   } catch (const std::invalid_argument&) {
-    ++malformed_dropped_;
+    NoteMalformed(1);
     return;
   }
   if (message.query_id != query_.query_id ||
@@ -170,6 +222,7 @@ void Aggregator::OnJoined(uint64_t /*mid*/, std::vector<uint8_t> plaintext,
 
 void Aggregator::OnWindowFired(const engine::Window& window,
                                const std::vector<BitVector>& answers) {
+  ScopedTimer timer(config_.window_ns);
   core::AnswerAccumulator acc(query_.answer_format.num_buckets());
   for (const BitVector& answer : answers) {
     acc.Add(answer);

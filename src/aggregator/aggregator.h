@@ -24,6 +24,7 @@
 #include "engine/join.h"
 #include "engine/watermark.h"
 #include "engine/window.h"
+#include "metrics/metrics.h"
 #include "proxy/proxy.h"
 
 namespace privapprox::aggregator {
@@ -42,6 +43,13 @@ struct AggregatorConfig {
   // n proxy streams in parallel — one task per source topic — before the
   // sequential MID join. Null keeps Drain fully sequential.
   ThreadPool* pool = nullptr;
+  // Optional instruments, not owned (null = uninstrumented). Wired by
+  // PrivApproxSystem from its metrics registry. malformed_total mirrors
+  // malformed_dropped() so the registry exposition matches EpochStats.
+  metrics::Counter* malformed_total = nullptr;
+  metrics::Histogram* decode_ns = nullptr;  // per poll+decode pass
+  metrics::Histogram* join_ns = nullptr;    // per join feed pass
+  metrics::Histogram* window_ns = nullptr;  // per fired window
 };
 
 struct WindowedResult {
@@ -117,13 +125,14 @@ class Aggregator {
   void OnWindowFired(const engine::Window& window,
                      const std::vector<BitVector>& answers);
 
-  // One shard's decoded batches, one slot per source stream. Decoded views
-  // point into broker slab storage (valid for the topic's lifetime), so
-  // parking them here costs no payload copies.
+  // One shard's decoded batches, one slot per source stream. Decoded share
+  // payloads point into broker slab storage (valid for the topic's
+  // lifetime), so parking them here costs no payload copies.
   struct StreamSlot {
-    std::vector<proxy::Proxy::DecodedViewBatch> per_source;
+    std::vector<proxy::Proxy::DecodedShares> per_source;
     size_t filled = 0;
   };
+  void NoteMalformed(uint64_t n);
 
   AggregatorConfig config_;
   core::Query query_;
@@ -146,7 +155,7 @@ class Aggregator {
   // synchronization-free); shard_views_ backs the single-threaded
   // ConsumeShardBatch poll.
   std::vector<std::vector<broker::RecordView>> drain_views_;
-  std::vector<proxy::Proxy::DecodedViewBatch> drain_decoded_;
+  std::vector<proxy::Proxy::DecodedShares> drain_decoded_;
   std::vector<broker::RecordView> shard_views_;
   uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;

@@ -249,4 +249,17 @@ TopicMetrics Topic::metrics() const {
   return metrics;
 }
 
+SlabStats Topic::slab_stats() const {
+  SlabStats stats;
+  for (const Partition& partition : partitions_) {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    stats.slabs += partition.slabs.size();
+    for (const Slab& slab : partition.slabs) {
+      stats.allocated_bytes += slab.cap;
+      stats.used_bytes += slab.used;
+    }
+  }
+  return stats;
+}
+
 }  // namespace privapprox::broker

@@ -75,6 +75,15 @@ struct TopicMetrics {
   uint64_t bytes_out = 0;
 };
 
+// Slab-storage occupancy across all partitions of a topic: how much payload
+// memory the topic holds and how full the allocated slabs are. Feeds the
+// metrics registry's broker collector.
+struct SlabStats {
+  uint64_t slabs = 0;
+  uint64_t allocated_bytes = 0;
+  uint64_t used_bytes = 0;
+};
+
 class Topic {
  public:
   // Payload slab chunk size. Appends amortize to one heap allocation per
@@ -130,6 +139,10 @@ class Topic {
   uint64_t EndOffset(size_t partition) const;
 
   TopicMetrics metrics() const;
+
+  // Takes each partition lock briefly; intended for collection at exposition
+  // time, not the hot path.
+  SlabStats slab_stats() const;
 
  private:
   struct Slab {

@@ -77,7 +77,13 @@ std::optional<EpochAnswer> Client::AnswerQuery(int64_t now_ms) {
   // Step I: the sampling coin.
   const core::SamplingPolicy sampling(params_->sampling_fraction);
   if (!sampling.ShouldParticipate(coin_rng_)) {
+    if (config_.skips_total != nullptr) {
+      config_.skips_total->Increment();
+    }
     return std::nullopt;
+  }
+  if (config_.answers_total != nullptr) {
+    config_.answers_total->Increment();
   }
   // Step II: local execution + randomized response.
   const BitVector truthful = ComputeTruthful(now_ms);
@@ -98,7 +104,13 @@ bool Client::AnswerQueryInto(int64_t now_ms, EpochArena& arena,
   }
   const core::SamplingPolicy sampling(params_->sampling_fraction);
   if (!sampling.ShouldParticipate(coin_rng_)) {
+    if (config_.skips_total != nullptr) {
+      config_.skips_total->Increment();
+    }
     return false;
+  }
+  if (config_.answers_total != nullptr) {
+    config_.answers_total->Increment();
   }
   const BitVector truthful = ComputeTruthful(now_ms);
   const core::RandomizedResponse rr(params_->randomization);

@@ -26,6 +26,7 @@
 #include "core/sampling.h"
 #include "crypto/xor_cipher.h"
 #include "localdb/database.h"
+#include "metrics/metrics.h"
 
 namespace privapprox::client {
 
@@ -36,6 +37,12 @@ struct ClientConfig {
   // When true, the client answers the inverted query (§3.3.2): bucket bits
   // are flipped before randomization, and the aggregator de-inverts.
   bool invert_answers = false;
+  // Optional shared instruments, not owned (null = uninstrumented): epochs
+  // where this client answered vs. sat out on the sampling coin. Typically
+  // one counter pair shared by every client in the system (relaxed atomics,
+  // so concurrent answering shards update them without synchronization).
+  metrics::Counter* answers_total = nullptr;
+  metrics::Counter* skips_total = nullptr;
 };
 
 // Everything a client ships in one epoch: one share per proxy.

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/metrics.h"
+
 namespace privapprox {
 
 template <typename T>
@@ -44,6 +46,12 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  // Attaches a high-watermark gauge (not owned; null detaches): every Push
+  // records the post-push queue depth via Gauge::SetMax, making sustained
+  // backpressure visible in the metrics registry. Set before the channel
+  // goes live — the pointer is read unsynchronized on the push path.
+  void set_depth_gauge(metrics::Gauge* gauge) { depth_hwm_ = gauge; }
+
   // Blocks while the channel is full. Returns false (dropping `value`) if
   // the channel is closed.
   bool Push(T value) {
@@ -55,6 +63,9 @@ class Channel {
         return false;
       }
       items_.push_back(std::move(value));
+      if (depth_hwm_ != nullptr) {
+        depth_hwm_->SetMax(static_cast<int64_t>(items_.size()));
+      }
     }
     not_empty_.notify_one();
     return true;
@@ -116,6 +127,7 @@ class Channel {
 
  private:
   const size_t capacity_;
+  metrics::Gauge* depth_hwm_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -1,14 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <mutex>
 
 namespace privapprox {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,18 +23,63 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Nanoseconds of the first log call; 0 until then. All timestamps are
+// relative to it, so logs start near 000000.000 and stay monotonic.
+int64_t LogOriginNs() {
+  static std::atomic<int64_t> origin{0};
+  int64_t value = origin.load(std::memory_order_relaxed);
+  if (value == 0) {
+    int64_t expected = 0;
+    const int64_t now = MonotonicNowNs();
+    if (origin.compare_exchange_strong(expected, now,
+                                       std::memory_order_relaxed)) {
+      return now;
+    }
+    return expected;
+  }
+  return value;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 
 LogLevel GetLogLevel() { return g_level.load(); }
 
+std::string FormatLogLine(LogLevel level, const std::string& message,
+                          int64_t elapsed_ns) {
+  if (elapsed_ns < 0) {
+    elapsed_ns = 0;
+  }
+  const long long seconds = elapsed_ns / 1000000000LL;
+  const long long millis = (elapsed_ns / 1000000LL) % 1000;
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%06lld.%03lld] [%s] ", seconds,
+                millis, LevelName(level));
+  std::string line;
+  line.reserve(sizeof(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_emit_mu);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  const std::string line =
+      FormatLogLine(level, message, MonotonicNowNs() - LogOriginNs());
+  // One fwrite for the whole line: stdio streams are locked per call
+  // (POSIX), so concurrent writers never interleave mid-line and no
+  // process-level mutex is needed.
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace privapprox

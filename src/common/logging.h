@@ -1,5 +1,11 @@
 // Minimal leveled logging. Off by default below kWarning so benchmarks stay
 // quiet; tests and examples can raise verbosity.
+//
+// Each emitted line carries a level tag and a monotonic timestamp (seconds
+// since the first log call, steady clock — immune to wall-clock jumps), and
+// is written to stderr with a single formatted fwrite. Concurrent stage
+// workers therefore never interleave within a line, and lines sort in
+// emission order, which is what makes streaming-mode logs readable.
 
 #ifndef PRIVAPPROX_COMMON_LOGGING_H_
 #define PRIVAPPROX_COMMON_LOGGING_H_
@@ -17,6 +23,12 @@ LogLevel GetLogLevel();
 
 // Emits `message` to stderr if `level` >= the global level.
 void LogMessage(LogLevel level, const std::string& message);
+
+// Formats one log line: "[ssssss.mmm] [LEVEL] message\n" where the
+// timestamp is `elapsed_ns` rendered as seconds.milliseconds. Exposed for
+// the logging tests; LogMessage uses it with the time since first log.
+std::string FormatLogLine(LogLevel level, const std::string& message,
+                          int64_t elapsed_ns);
 
 namespace internal {
 

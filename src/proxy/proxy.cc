@@ -1,8 +1,19 @@
 #include "proxy/proxy.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace privapprox::proxy {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
     : config_(config), broker_(broker) {
@@ -20,20 +31,32 @@ Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
       std::make_unique<broker::Consumer>(broker_.GetTopic(query_in_topic_));
 }
 
+void Proxy::NoteReceived(uint64_t n) {
+  if (config_.received_total != nullptr) {
+    config_.received_total->Increment(n);
+  }
+}
+
+void Proxy::NoteForwarded(uint64_t n) {
+  forwarded_ += n;
+  if (config_.forwarded_total != nullptr) {
+    config_.forwarded_total->Increment(n);
+  }
+}
+
+void Proxy::Receive(std::span<const broker::ProduceView> records) {
+  broker_.ProduceViews(in_topic_, records);
+  NoteReceived(records.size());
+}
+
 void Proxy::Receive(const crypto::MessageShare& share, int64_t timestamp_ms) {
   broker_.Produce(in_topic_, share.message_id, EncodeShare(share),
                   timestamp_ms);
-}
-
-void Proxy::ReceiveBatch(std::vector<broker::ProduceRecord> records) {
-  broker_.ProduceBatch(in_topic_, std::move(records));
-}
-
-void Proxy::ReceiveViews(std::span<const broker::ProduceView> records) {
-  broker_.ProduceViews(in_topic_, records);
+  NoteReceived(1);
 }
 
 uint64_t Proxy::ForwardPendingViews(std::vector<uint32_t>* counts) {
+  const int64_t start_ns = config_.forward_ns != nullptr ? NowNs() : 0;
   broker::Topic& out = broker_.GetTopic(out_topic_);
   uint64_t total = 0;
   for (;;) {
@@ -53,24 +76,19 @@ uint64_t Proxy::ForwardPendingViews(std::vector<uint32_t>* counts) {
     }
     out.AppendViews(fwd_produce_);
   }
-  forwarded_ += total;
+  NoteForwarded(total);
+  if (config_.forward_ns != nullptr) {
+    config_.forward_ns->Observe(static_cast<uint64_t>(NowNs() - start_ns));
+  }
   return total;
 }
 
 uint64_t Proxy::Forward() { return ForwardPendingViews(nullptr); }
 
 std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
-    std::vector<broker::ProduceRecord> records) {
-  broker_.ProduceBatch(in_topic_, std::move(records));
-  std::vector<uint32_t> counts(
-      broker_.GetTopic(out_topic_).num_partitions(), 0);
-  ForwardPendingViews(&counts);
-  return counts;
-}
-
-std::vector<uint32_t> Proxy::ReceiveAndForwardShardViews(
     std::span<const broker::ProduceView> records) {
   broker_.ProduceViews(in_topic_, records);
+  NoteReceived(records.size());
   std::vector<uint32_t> counts(
       broker_.GetTopic(out_topic_).num_partitions(), 0);
   ForwardPendingViews(&counts);
@@ -93,7 +111,7 @@ uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
       }
     });
   }
-  forwarded_ += count;
+  NoteForwarded(count);
   return count;
 }
 
@@ -140,34 +158,8 @@ crypto::MessageShare Proxy::DecodeShare(std::span<const uint8_t> bytes) {
   return share;
 }
 
-crypto::MessageShare Proxy::DecodeShare(std::vector<uint8_t>&& bytes) {
-  if (bytes.size() < 8) {
-    throw std::invalid_argument("Proxy::DecodeShare: truncated share");
-  }
-  crypto::MessageShare share;
-  for (int i = 0; i < 8; ++i) {
-    share.message_id |= static_cast<uint64_t>(bytes[i]) << (8 * i);
-  }
-  bytes.erase(bytes.begin(), bytes.begin() + 8);
-  share.payload = std::move(bytes);
-  return share;
-}
-
-void Proxy::DecodeShareBatch(std::vector<broker::Record> records,
-                             DecodedBatch& out) {
-  out.shares.reserve(out.shares.size() + records.size());
-  for (auto& record : records) {
-    try {
-      out.shares.push_back(DecodedShare{DecodeShare(std::move(record.payload)),
-                                        record.timestamp_ms});
-    } catch (const std::invalid_argument&) {
-      ++out.malformed;
-    }
-  }
-}
-
-void Proxy::DecodeShareViews(std::span<const broker::RecordView> records,
-                             DecodedViewBatch& out) {
+void Proxy::DecodeShares(std::span<const broker::RecordView> records,
+                         DecodedShares& out) {
   out.shares.reserve(out.shares.size() + records.size());
   for (const auto& record : records) {
     if (record.payload_len < 8) {
@@ -178,7 +170,7 @@ void Proxy::DecodeShareViews(std::span<const broker::RecordView> records,
     for (int i = 0; i < 8; ++i) {
       mid |= static_cast<uint64_t>(record.payload[i]) << (8 * i);
     }
-    out.shares.push_back(DecodedView{
+    out.shares.push_back(DecodedShare{
         mid,
         std::span<const uint8_t>(record.payload + 8, record.payload_len - 8),
         record.timestamp_ms});

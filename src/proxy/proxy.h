@@ -7,6 +7,11 @@
 // inbound topic (clients produce into it) and an outbound topic (the
 // aggregator consumes from it); Forward() moves pending records across,
 // which is the operation Fig 5b / Fig 8a measure.
+//
+// API shape: span-first. Batched entries take spans of non-owning views
+// (arena- or slab-backed) and decode produces spans into broker slab
+// storage; the only owning calls are the single-record adapters
+// (Receive(share, ts), DecodeShare) kept for tests and simple clients.
 
 #ifndef PRIVAPPROX_PROXY_PROXY_H_
 #define PRIVAPPROX_PROXY_PROXY_H_
@@ -19,12 +24,19 @@
 #include "broker/broker.h"
 #include "common/thread_pool.h"
 #include "crypto/message.h"
+#include "metrics/metrics.h"
 
 namespace privapprox::proxy {
 
 struct ProxyConfig {
   size_t proxy_index = 0;
   size_t num_partitions = 4;  // Kafka brokers per proxy in the paper's setup
+  // Optional instruments, not owned (null = uninstrumented). The system
+  // wires these to its registry's per-proxy families; the Counters are the
+  // source of truth behind EpochStats.shares_forwarded.
+  metrics::Counter* received_total = nullptr;   // records accepted inbound
+  metrics::Counter* forwarded_total = nullptr;  // records moved in -> out
+  metrics::Histogram* forward_ns = nullptr;     // latency per forward call
 };
 
 class Proxy {
@@ -37,18 +49,15 @@ class Proxy {
   const std::string& query_in_topic() const { return query_in_topic_; }
   const std::string& query_out_topic() const { return query_out_topic_; }
 
-  // Client-facing entry: enqueue one share.
-  void Receive(const crypto::MessageShare& share, int64_t timestamp_ms);
+  // Client-facing entry: enqueue a batch of pre-encoded shares (keyed by
+  // MID) in one produce call. The views (typically arena-backed ShareView
+  // records, in client-id order so topic contents stay byte-identical to
+  // per-record produce calls) only need to stay valid for the duration of
+  // the call — the topic copies each payload once into its slab.
+  void Receive(std::span<const broker::ProduceView> records);
 
-  // Batched client-facing entry: enqueue pre-encoded shares (keyed by MID)
-  // in one produce call. The parallel epoch pipeline encodes shares on
-  // worker threads and hands each proxy its batch in client-id order, which
-  // keeps topic contents byte-identical to per-record Receive calls.
-  void ReceiveBatch(std::vector<broker::ProduceRecord> records);
-  // Zero-copy batched entry: the views (typically arena-backed ShareView
-  // records) only need to stay valid for the duration of the call — the
-  // topic copies each payload once into its slab.
-  void ReceiveViews(std::span<const broker::ProduceView> records);
+  // Owning single-record adapter: encodes and enqueues one share.
+  void Receive(const crypto::MessageShare& share, int64_t timestamp_ms);
 
   // Transmits all pending inbound records to the outbound topic. Returns the
   // number of records forwarded.
@@ -61,13 +70,10 @@ class Proxy {
   // exactly these counts (Consumer::PollPartitions), which is what makes
   // the downstream read deterministic while later shards are still in
   // flight. Must be called from a single thread per proxy — the proxy
-  // stage owns this proxy's consumer offsets.
+  // stage owns this proxy's consumer offsets. The inbound -> outbound hop
+  // runs over slab-backed views with reused member scratch, so a warmed-up
+  // proxy forwards without heap allocation.
   std::vector<uint32_t> ReceiveAndForwardShard(
-      std::vector<broker::ProduceRecord> records);
-  // Zero-copy variant: identical semantics, but the shard arrives as views
-  // and the inbound->outbound hop runs over slab-backed views with reused
-  // member scratch, so a warmed-up proxy forwards without heap allocation.
-  std::vector<uint32_t> ReceiveAndForwardShardViews(
       std::span<const broker::ProduceView> records);
 
   // Query distribution (§3.1, submission phase): the aggregator publishes
@@ -82,45 +88,25 @@ class Proxy {
   // the pool in record batches.
   uint64_t ForwardParallel(ThreadPool& pool);
 
-  // Serialization helpers shared with the aggregator side. The span
-  // overload is the primary decoder: a non-owning view, so sub-ranges of
-  // larger receive buffers decode without a temporary vector (the payload
-  // itself is copied once into the share).
+  // Serialization helpers shared with the aggregator side. DecodeShare is
+  // the owning single-record adapter: it parses the 8-byte MID header and
+  // copies the remaining bytes into the share's payload.
   static std::vector<uint8_t> EncodeShare(const crypto::MessageShare& share);
   static crypto::MessageShare DecodeShare(std::span<const uint8_t> bytes);
-  static crypto::MessageShare DecodeShare(const std::vector<uint8_t>& bytes) {
-    return DecodeShare(std::span<const uint8_t>(bytes));
-  }
-  // Owned-buffer variant: strips the 8-byte MID header in place and moves
-  // the remaining bytes into the share payload — no fresh allocation.
-  static crypto::MessageShare DecodeShare(std::vector<uint8_t>&& bytes);
 
-  // A decoded record batch: shares paired with their record timestamps,
-  // plus the count of records that failed to decode. Shared by the
-  // aggregator's parallel drain and any sequential consumer so malformed
-  // accounting stays in one place.
+  // Span-first batch decode, shared by the aggregator's parallel drain and
+  // streaming shard consumption so malformed accounting stays in one place.
+  // A decoded share's payload is a span into the broker's slab storage
+  // (valid for the topic's lifetime), so decoding is just header parsing —
+  // no per-share vector. Records shorter than the 8-byte MID header count
+  // as malformed.
   struct DecodedShare {
-    crypto::MessageShare share;
-    int64_t timestamp_ms = 0;
-  };
-  struct DecodedBatch {
-    std::vector<DecodedShare> shares;
-    uint64_t malformed = 0;
-  };
-  // Decodes `records` (consuming their payloads) and appends into `out`.
-  static void DecodeShareBatch(std::vector<broker::Record> records,
-                               DecodedBatch& out);
-
-  // Zero-copy decode: the share payload is a span into the broker's slab
-  // storage (valid for the topic's lifetime), so decoding is just header
-  // parsing — no per-share vector.
-  struct DecodedView {
     uint64_t message_id = 0;
     std::span<const uint8_t> payload;
     int64_t timestamp_ms = 0;
   };
-  struct DecodedViewBatch {
-    std::vector<DecodedView> shares;
+  struct DecodedShares {
+    std::vector<DecodedShare> shares;
     uint64_t malformed = 0;
 
     void Clear() {
@@ -128,11 +114,9 @@ class Proxy {
       malformed = 0;
     }
   };
-  // Decodes slab-backed record views and appends into `out`. Records
-  // shorter than the 8-byte MID header count as malformed, mirroring
-  // DecodeShareBatch.
-  static void DecodeShareViews(std::span<const broker::RecordView> records,
-                               DecodedViewBatch& out);
+  // Decodes slab-backed record views and appends into `out`.
+  static void DecodeShares(std::span<const broker::RecordView> records,
+                           DecodedShares& out);
 
   uint64_t forwarded() const { return forwarded_; }
 
@@ -142,6 +126,8 @@ class Proxy {
   // outbound slab). If `counts` is non-null it accumulates the forwarded
   // records per outbound partition. Returns records forwarded.
   uint64_t ForwardPendingViews(std::vector<uint32_t>* counts);
+  void NoteReceived(uint64_t n);
+  void NoteForwarded(uint64_t n);
 
   ProxyConfig config_;
   broker::Broker& broker_;

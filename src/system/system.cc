@@ -14,29 +14,207 @@
 
 namespace privapprox::system {
 
+SystemConfig SystemConfig::Resolved() const {
+  SystemConfig resolved = *this;
+  // Fold each legacy alias into its nested field unless the nested field
+  // was itself changed from its default (nested wins over legacy).
+  if (enable_historical && !resolved.historical.enabled) {
+    resolved.historical.enabled = true;
+  }
+  if (!historical_dir.empty() && resolved.historical.dir.empty()) {
+    resolved.historical.dir = historical_dir;
+  }
+  if (num_worker_threads != 0 && resolved.pipeline.num_worker_threads == 0) {
+    resolved.pipeline.num_worker_threads = num_worker_threads;
+  }
+  if (pipeline_mode != EpochPipelineMode::kStreaming &&
+      resolved.pipeline.mode == EpochPipelineMode::kStreaming) {
+    resolved.pipeline.mode = pipeline_mode;
+  }
+  if (pipeline_depth != 8 && resolved.pipeline.depth == 8) {
+    resolved.pipeline.depth = pipeline_depth;
+  }
+  if (stream_shard_size != 0 && resolved.pipeline.shard_size == 0) {
+    resolved.pipeline.shard_size = stream_shard_size;
+  }
+  // Mirror back so code reading either name sees the resolved value.
+  resolved.enable_historical = resolved.historical.enabled;
+  resolved.historical_dir = resolved.historical.dir;
+  resolved.num_worker_threads = resolved.pipeline.num_worker_threads;
+  resolved.pipeline_mode = resolved.pipeline.mode;
+  resolved.pipeline_depth = resolved.pipeline.depth;
+  resolved.stream_shard_size = resolved.pipeline.shard_size;
+  return resolved;
+}
+
+namespace {
+
+// Times one pipeline stage into an optional histogram and, when tracing is
+// on, records it as a timeline span. Reads the clock only when at least one
+// sink is active, so disabled metrics keep the hot path clock-free.
+class StageScope {
+ public:
+  StageScope(const char* name, metrics::Histogram* hist,
+             metrics::EpochTimeline& timeline)
+      : name_(name),
+        hist_(hist),
+        timeline_(timeline.enabled() ? &timeline : nullptr) {
+    if (hist_ != nullptr || timeline_ != nullptr) {
+      start_ns_ = metrics::EpochTimeline::NowNs();
+    }
+  }
+  ~StageScope() {
+    if (hist_ == nullptr && timeline_ == nullptr) {
+      return;
+    }
+    const int64_t end_ns = metrics::EpochTimeline::NowNs();
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(end_ns - start_ns_));
+    }
+    if (timeline_ != nullptr) {
+      timeline_->Record(name_, start_ns_, end_ns);
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  const char* name_;
+  metrics::Histogram* hist_;
+  metrics::EpochTimeline* timeline_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace
+
 PrivApproxSystem::PrivApproxSystem(SystemConfig config)
-    : config_(config), historical_rng_(config.seed ^ 0xA5A5A5A5ULL) {
-  if (config.num_clients == 0) {
+    : config_(config.Resolved()),
+      timeline_(config_.metrics.timeline),
+      historical_rng_(config.seed ^ 0xA5A5A5A5ULL) {
+  if (config_.num_clients == 0) {
     throw std::invalid_argument("PrivApproxSystem: need >= 1 client");
   }
-  if (config.num_proxies < 2) {
+  if (config_.num_proxies < 2) {
     throw std::invalid_argument("PrivApproxSystem: need >= 2 proxies");
   }
+
+  // Always-on core counters: EpochStats is a per-epoch delta of these.
+  counters_.epochs = &registry_.GetCounter(
+      "privapprox_epochs_total", "Answering epochs run");
+  counters_.participants = &registry_.GetCounter(
+      "privapprox_participants_total",
+      "Clients that passed the sampling coin, summed over epochs");
+  counters_.shares_sent = &registry_.GetCounter(
+      "privapprox_shares_sent_total", "Client -> proxy share messages");
+  counters_.shares_forwarded = &registry_.GetCounter(
+      "privapprox_shares_forwarded_total",
+      "Shares moved proxy inbound -> outbound");
+  counters_.shares_consumed = &registry_.GetCounter(
+      "privapprox_shares_consumed_total",
+      "Records consumed by the aggregator (including malformed)");
+  counters_.malformed = &registry_.GetCounter(
+      "privapprox_malformed_dropped_total",
+      "Records dropped as undecodable (truncated share or garbage "
+      "plaintext)");
+  if (config_.metrics.enabled) {
+    const std::string stage_help =
+        "Stage latency in nanoseconds (one observation per stage execution)";
+    stage_ns_.answer_shard_ns = &registry_.GetHistogram(
+        "privapprox_stage_ns", stage_help, {{"stage", "answer_shard"}});
+    stage_ns_.proxy_forward_ns = &registry_.GetHistogram(
+        "privapprox_stage_ns", stage_help, {{"stage", "proxy_forward"}});
+    stage_ns_.agg_consume_ns = &registry_.GetHistogram(
+        "privapprox_stage_ns", stage_help, {{"stage", "agg_consume"}});
+    stage_ns_.epoch_ns = &registry_.GetHistogram(
+        "privapprox_stage_ns", stage_help, {{"stage", "epoch"}});
+  }
+
   const size_t threads =
-      config.num_worker_threads != 0
-          ? config.num_worker_threads
+      config_.pipeline.num_worker_threads != 0
+          ? config_.pipeline.num_worker_threads
           : std::max<size_t>(1, std::thread::hardware_concurrency());
   pool_ = std::make_unique<ThreadPool>(threads);
-  proxies_.reserve(config.num_proxies);
-  for (size_t i = 0; i < config.num_proxies; ++i) {
-    proxies_.push_back(std::make_unique<proxy::Proxy>(
-        proxy::ProxyConfig{i, /*num_partitions=*/4}, broker_));
+
+  proxies_.reserve(config_.num_proxies);
+  for (size_t i = 0; i < config_.num_proxies; ++i) {
+    proxy::ProxyConfig proxy_config;
+    proxy_config.proxy_index = i;
+    proxy_config.num_partitions = 4;
+    const metrics::Labels labels{{"proxy", std::to_string(i)}};
+    proxy_config.received_total = &registry_.GetCounter(
+        "privapprox_proxy_received_total",
+        "Records accepted into each proxy's inbound topic", labels);
+    proxy_config.forwarded_total = &registry_.GetCounter(
+        "privapprox_proxy_forwarded_total",
+        "Records each proxy moved inbound -> outbound", labels);
+    if (config_.metrics.enabled) {
+      proxy_config.forward_ns = &registry_.GetHistogram(
+          "privapprox_proxy_forward_ns",
+          "Per-call proxy forward latency in nanoseconds", labels);
+    }
+    proxies_.push_back(
+        std::make_unique<proxy::Proxy>(proxy_config, broker_));
   }
-  clients_.reserve(config.num_clients);
-  for (size_t i = 0; i < config.num_clients; ++i) {
-    clients_.push_back(std::make_unique<client::Client>(client::ClientConfig{
-        /*client_id=*/i, config.num_proxies, config.seed,
-        config.invert_answers}));
+
+  metrics::Counter* client_answers = nullptr;
+  metrics::Counter* client_skips = nullptr;
+  if (config_.metrics.enabled) {
+    client_answers = &registry_.GetCounter(
+        "privapprox_client_answers_total",
+        "Client epochs answered (sampling coin heads)");
+    client_skips = &registry_.GetCounter(
+        "privapprox_client_skips_total",
+        "Client epochs skipped (sampling coin tails)");
+  }
+  clients_.reserve(config_.num_clients);
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    client::ClientConfig client_config;
+    client_config.client_id = i;
+    client_config.num_proxies = config_.num_proxies;
+    client_config.seed = config_.seed;
+    client_config.invert_answers = config_.invert_answers;
+    client_config.answers_total = client_answers;
+    client_config.skips_total = client_skips;
+    clients_.push_back(std::make_unique<client::Client>(client_config));
+  }
+
+  if (config_.metrics.enabled) {
+    // Exposition-time collector: pulls broker topic counters and slab
+    // occupancy into gauges, so the broker hot path never touches the
+    // registry.
+    registry_.AddCollector([this] {
+      for (const std::string& name : broker_.TopicNames()) {
+        const broker::Topic& topic =
+            static_cast<const broker::Broker&>(broker_).GetTopic(name);
+        const metrics::Labels labels{{"topic", name}};
+        const broker::TopicMetrics m = topic.metrics();
+        registry_
+            .GetGauge("privapprox_topic_records_in",
+                      "Records appended to the topic", labels)
+            .Set(static_cast<int64_t>(m.records_in));
+        registry_
+            .GetGauge("privapprox_topic_records_out",
+                      "Records read from the topic", labels)
+            .Set(static_cast<int64_t>(m.records_out));
+        registry_
+            .GetGauge("privapprox_topic_bytes_in",
+                      "Payload bytes appended to the topic", labels)
+            .Set(static_cast<int64_t>(m.bytes_in));
+        registry_
+            .GetGauge("privapprox_topic_bytes_out",
+                      "Payload bytes read from the topic", labels)
+            .Set(static_cast<int64_t>(m.bytes_out));
+        const broker::SlabStats slabs = topic.slab_stats();
+        registry_
+            .GetGauge("privapprox_topic_slab_allocated_bytes",
+                      "Slab bytes allocated for the topic's payloads", labels)
+            .Set(static_cast<int64_t>(slabs.allocated_bytes));
+        registry_
+            .GetGauge("privapprox_topic_slab_used_bytes",
+                      "Slab bytes holding payload data", labels)
+            .Set(static_cast<int64_t>(slabs.used_bytes));
+      }
+    });
   }
 }
 
@@ -89,15 +267,27 @@ void PrivApproxSystem::SubmitQuery(const core::Query& query,
   agg_config.confidence = config_.confidence;
   agg_config.answers_inverted = config_.invert_answers;
   agg_config.pool = pool_.get();
+  agg_config.malformed_total = counters_.malformed;
+  if (config_.metrics.enabled) {
+    agg_config.decode_ns = &registry_.GetHistogram(
+        "privapprox_agg_decode_ns",
+        "Aggregator poll+decode pass latency in nanoseconds");
+    agg_config.join_ns = &registry_.GetHistogram(
+        "privapprox_agg_join_ns",
+        "Aggregator join feed pass latency in nanoseconds");
+    agg_config.window_ns = &registry_.GetHistogram(
+        "privapprox_agg_window_ns",
+        "Window fire (de-bias + error estimation) latency in nanoseconds");
+  }
   aggregator_ = std::make_unique<aggregator::Aggregator>(
       agg_config, query, params, broker_,
       [this](const aggregator::WindowedResult& result) {
         results_.push_back(result);
       });
-  if (config_.enable_historical) {
-    if (!config_.historical_dir.empty() && historical_log_ == nullptr) {
+  if (config_.historical.enabled) {
+    if (!config_.historical.dir.empty() && historical_log_ == nullptr) {
       historical_log_ = std::make_unique<storage::SegmentedAnswerLog>(
-          std::filesystem::path(config_.historical_dir));
+          std::filesystem::path(config_.historical.dir));
     }
     aggregator_->set_answer_tap(
         [this](int64_t timestamp_ms, const BitVector& answer) {
@@ -150,16 +340,32 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
   if (!aggregator_) {
     throw std::logic_error("PrivApproxSystem::RunEpoch: no query submitted");
   }
-  const uint64_t malformed_before = aggregator_->malformed_dropped();
-  EpochStats stats = config_.pipeline_mode == EpochPipelineMode::kStreaming
-                         ? RunEpochStreaming(now_ms)
-                         : RunEpochBarrier(now_ms);
-  stats.malformed_dropped = aggregator_->malformed_dropped() - malformed_before;
+  const uint64_t participants_before = counters_.participants->Value();
+  const uint64_t sent_before = counters_.shares_sent->Value();
+  const uint64_t forwarded_before = counters_.shares_forwarded->Value();
+  const uint64_t consumed_before = counters_.shares_consumed->Value();
+  const uint64_t malformed_before = counters_.malformed->Value();
+  {
+    StageScope epoch_scope("epoch", stage_ns_.epoch_ns, timeline_);
+    if (config_.pipeline.mode == EpochPipelineMode::kStreaming) {
+      RunEpochStreaming(now_ms);
+    } else {
+      RunEpochBarrier(now_ms);
+    }
+  }
+  counters_.epochs->Increment();
+  EpochStats stats;
+  stats.participants = static_cast<size_t>(counters_.participants->Value() -
+                                           participants_before);
+  stats.shares_sent = counters_.shares_sent->Value() - sent_before;
+  stats.shares_forwarded =
+      counters_.shares_forwarded->Value() - forwarded_before;
+  stats.shares_consumed = counters_.shares_consumed->Value() - consumed_before;
+  stats.malformed_dropped = counters_.malformed->Value() - malformed_before;
   return stats;
 }
 
-EpochStats PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
-  EpochStats stats;
+void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   const size_t num_clients = clients_.size();
   const size_t num_proxies = proxies_.size();
 
@@ -173,58 +379,70 @@ EpochStats PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   std::vector<uint8_t> participated(num_clients, 0);
   std::vector<ArenaRef> chunk_arenas;
   std::mutex chunk_arenas_mu;
-  pool_->ParallelFor(num_clients, [&](size_t begin, size_t end) {
-    ArenaRef arena = arena_pool_.Acquire();
-    for (size_t i = begin; i < end; ++i) {
-      std::span<crypto::ShareView> slot(&views[i * num_proxies], num_proxies);
-      if (clients_[i]->AnswerQueryInto(now_ms, *arena, slot)) {
-        participated[i] = 1;
+  {
+    StageScope scope("barrier_answer", stage_ns_.answer_shard_ns, timeline_);
+    pool_->ParallelFor(num_clients, [&](size_t begin, size_t end) {
+      ArenaRef arena = arena_pool_.Acquire();
+      for (size_t i = begin; i < end; ++i) {
+        std::span<crypto::ShareView> slot(&views[i * num_proxies],
+                                          num_proxies);
+        if (clients_[i]->AnswerQueryInto(now_ms, *arena, slot)) {
+          participated[i] = 1;
+        }
       }
-    }
-    std::lock_guard<std::mutex> lock(chunk_arenas_mu);
-    chunk_arenas.push_back(std::move(arena));
-  });
+      std::lock_guard<std::mutex> lock(chunk_arenas_mu);
+      chunk_arenas.push_back(std::move(arena));
+    });
+  }
 
   // Phase 2 (ordered merge): concatenate the slots in client-id order into
   // one batch per proxy — exactly the append order the sequential loop
   // produced, so topic contents are byte-identical for any worker count.
+  uint64_t participants = 0;
   for (size_t i = 0; i < num_clients; ++i) {
     if (participated[i] != 0) {
-      ++stats.participants;
-      stats.shares_sent += num_proxies;
+      ++participants;
     }
   }
-  std::vector<broker::ProduceView> batch;
-  batch.reserve(stats.participants);
-  for (size_t j = 0; j < num_proxies; ++j) {
-    batch.clear();
-    for (size_t i = 0; i < num_clients; ++i) {
-      if (participated[i] == 0) {
-        continue;
+  counters_.participants->Increment(participants);
+  counters_.shares_sent->Increment(participants * num_proxies);
+  {
+    StageScope scope("barrier_merge", nullptr, timeline_);
+    std::vector<broker::ProduceView> batch;
+    batch.reserve(participants);
+    for (size_t j = 0; j < num_proxies; ++j) {
+      batch.clear();
+      for (size_t i = 0; i < num_clients; ++i) {
+        if (participated[i] == 0) {
+          continue;
+        }
+        const crypto::ShareView& view = views[i * num_proxies + j];
+        batch.push_back(
+            broker::ProduceView{view.message_id, view.bytes(), now_ms});
       }
-      const crypto::ShareView& view = views[i * num_proxies + j];
-      batch.push_back(
-          broker::ProduceView{view.message_id, view.bytes(), now_ms});
+      proxies_[j]->Receive(batch);
     }
-    proxies_[j]->ReceiveViews(batch);
+    chunk_arenas.clear();  // appends done: recycle the encode arenas
   }
-  chunk_arenas.clear();  // appends done: recycle the encode arenas
 
   // Phase 3 (parallel forwarding): each proxy moves its own inbound topic to
   // its own outbound topic — disjoint state, one task per proxy.
-  std::vector<uint64_t> forwarded(num_proxies, 0);
-  pool_->ParallelFor(num_proxies, [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      forwarded[j] = proxies_[j]->Forward();
+  {
+    StageScope scope("barrier_forward", stage_ns_.proxy_forward_ns, timeline_);
+    std::vector<uint64_t> forwarded(num_proxies, 0);
+    pool_->ParallelFor(num_proxies, [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        forwarded[j] = proxies_[j]->Forward();
+      }
+    });
+    for (uint64_t count : forwarded) {
+      counters_.shares_forwarded->Increment(count);
     }
-  });
-  for (uint64_t count : forwarded) {
-    stats.shares_forwarded += count;
   }
 
   // Phase 4: drain (parallel per-source decode + sequential join inside).
-  stats.shares_consumed = aggregator_->Drain();
-  return stats;
+  StageScope scope("barrier_drain", stage_ns_.agg_consume_ns, timeline_);
+  counters_.shares_consumed->Increment(aggregator_->Drain());
 }
 
 namespace {
@@ -275,14 +493,13 @@ struct ShardNotice {
 // shard order (so topic logs stay in client-id order, identical to the
 // barrier merge), and the aggregator's reorder buffer feeds the MID join in
 // (shard, source) order (see Aggregator::ConsumeShardBatch).
-EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
-  EpochStats stats;
+void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   const size_t num_clients = clients_.size();
   const size_t num_proxies = proxies_.size();
-  const size_t shard_size = config_.stream_shard_size != 0
-                                ? config_.stream_shard_size
+  const size_t shard_size = config_.pipeline.shard_size != 0
+                                ? config_.pipeline.shard_size
                                 : kDefaultStreamShardSize;
-  const size_t depth = std::max<size_t>(1, config_.pipeline_depth);
+  const size_t depth = std::max<size_t>(1, config_.pipeline.depth);
   const size_t answer_workers = pool_->num_threads();
 
   Channel<ShardTask> tasks(depth);
@@ -292,18 +509,27 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
     to_proxy.push_back(std::make_unique<Channel<TaggedBatch>>(depth));
   }
   Channel<ShardNotice> notices(depth * num_proxies);
-
-  std::atomic<uint64_t> participants{0};
-  std::atomic<uint64_t> shares_sent{0};
-  std::atomic<uint64_t> shares_forwarded{0};
-  std::atomic<uint64_t> shares_consumed{0};
+  if (config_.metrics.enabled) {
+    // Backpressure visibility: high-watermark of each channel's depth.
+    const std::string help = "Channel depth high-watermark (shard batches)";
+    tasks.set_depth_gauge(&registry_.GetGauge("privapprox_channel_depth_hwm",
+                                              help, {{"channel", "tasks"}}));
+    for (size_t j = 0; j < num_proxies; ++j) {
+      to_proxy[j]->set_depth_gauge(&registry_.GetGauge(
+          "privapprox_channel_depth_hwm", help,
+          {{"channel", "to_proxy" + std::to_string(j)}}));
+    }
+    notices.set_depth_gauge(&registry_.GetGauge(
+        "privapprox_channel_depth_hwm", help, {{"channel", "notices"}}));
+  }
 
   // Consumer stage: single worker — the join and window state are
   // sequential by design, exactly as in the barrier drain.
   Stage<ShardNotice> aggregator_stage(
       notices, 1, [&](ShardNotice&& notice) {
-        shares_consumed += aggregator_->ConsumeShardBatch(
-            notice.source, notice.seq, notice.partition_counts);
+        StageScope scope("agg_consume", stage_ns_.agg_consume_ns, timeline_);
+        counters_.shares_consumed->Increment(aggregator_->ConsumeShardBatch(
+            notice.source, notice.seq, notice.partition_counts));
       });
 
   // Per-proxy forward stages: one worker each (a proxy owns its consumer
@@ -324,15 +550,17 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
                it = reorder->find(*next_seq)) {
             TaggedBatch head = std::move(it->second);
             reorder->erase(it);
+            StageScope scope("proxy_forward", stage_ns_.proxy_forward_ns,
+                             timeline_);
             std::vector<uint32_t> counts =
-                proxies_[j]->ReceiveAndForwardShardViews(head.records);
+                proxies_[j]->ReceiveAndForwardShard(head.records);
             // `head` (and with it this proxy's arena reference) dies here —
             // the records are now in the broker's slabs.
             uint64_t forwarded = 0;
             for (uint32_t count : counts) {
               forwarded += count;
             }
-            shares_forwarded += forwarded;
+            counters_.shares_forwarded->Increment(forwarded);
             notices.Push(ShardNotice{j, *next_seq, std::move(counts)});
             ++*next_seq;
           }
@@ -345,6 +573,7 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   // shard cannot change any byte. Empty batches are shipped too — the
   // shard sequence must be gapless for the reorder buffers to advance.
   Stage<ShardTask> answer_stage(tasks, answer_workers, [&](ShardTask&& task) {
+    StageScope scope("answer_shard", stage_ns_.answer_shard_ns, timeline_);
     ArenaRef arena = arena_pool_.Acquire();
     std::vector<std::vector<broker::ProduceView>> per_proxy(num_proxies);
     for (auto& batch : per_proxy) {
@@ -364,8 +593,8 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
             views[j].message_id, views[j].bytes(), now_ms});
       }
     }
-    participants += local_participants;
-    shares_sent += local_shares;
+    counters_.participants->Increment(local_participants);
+    counters_.shares_sent->Increment(local_shares);
     for (size_t j = 0; j < num_proxies; ++j) {
       // Each batch carries a reference to the shard's arena; the arena
       // recycles once every proxy has slab-copied its batch.
@@ -409,12 +638,6 @@ EpochStats PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
     std::rethrow_exception(error);
   }
   aggregator_->FinishStream();
-
-  stats.participants = participants.load();
-  stats.shares_sent = shares_sent.load();
-  stats.shares_forwarded = shares_forwarded.load();
-  stats.shares_consumed = shares_consumed.load();
-  return stats;
 }
 
 void PrivApproxSystem::AdvanceWatermark(int64_t watermark_ms) {
@@ -446,7 +669,7 @@ uint64_t PrivApproxSystem::ClientToProxyBytes() const {
 core::QueryResult PrivApproxSystem::RunHistorical(
     int64_t from_ms, int64_t to_ms,
     const aggregator::BatchQueryBudget& budget) {
-  if (!config_.enable_historical) {
+  if (!config_.historical.enabled) {
     throw std::logic_error(
         "PrivApproxSystem::RunHistorical: historical store disabled");
   }

@@ -7,6 +7,13 @@
 // through every proxy, join/decrypt/window at the aggregator — and window
 // results surface through the analyst callback once the event-time
 // watermark passes their end.
+//
+// Observability: the system owns a metrics::Registry. The core pipeline
+// counters (epochs, participants, shares sent/forwarded/consumed, malformed
+// drops) are always on — EpochStats is a per-epoch delta snapshot of them —
+// while stage latency histograms, per-proxy families, channel depth
+// high-watermarks, broker topic gauges, and the EpochTimeline trace are
+// gated behind SystemConfig::metrics.
 
 #ifndef PRIVAPPROX_SYSTEM_SYSTEM_H_
 #define PRIVAPPROX_SYSTEM_SYSTEM_H_
@@ -15,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "aggregator/aggregator.h"
@@ -25,6 +33,8 @@
 #include "common/thread_pool.h"
 #include "core/budget.h"
 #include "core/query.h"
+#include "metrics/metrics.h"
+#include "metrics/timeline.h"
 #include "proxy/proxy.h"
 #include "storage/segment_log.h"
 
@@ -45,20 +55,8 @@ enum class EpochPipelineMode {
   kStreaming,
 };
 
-struct SystemConfig {
-  size_t num_clients = 100;
-  size_t num_proxies = 2;
-  uint64_t seed = 42;
-  double confidence = 0.95;
-  // Tee joined answers into the historical store (§3.3.1).
-  bool enable_historical = false;
-  // When non-empty (and historical is enabled), persist the historical
-  // store to a durable segmented log under this directory — the HDFS
-  // stand-in — instead of keeping it only in memory. RunHistorical then
-  // reads back from disk.
-  std::string historical_dir;
-  // Clients answer the inverted query (§3.3.2).
-  bool invert_answers = false;
+// Epoch pipeline execution knobs.
+struct PipelineOptions {
   // Worker threads for the epoch pipeline (client answering, per-proxy
   // forwarding, per-source aggregator decode). 0 = hardware_concurrency.
   // Results are byte-identical for every value: workers fill per-client
@@ -67,16 +65,70 @@ struct SystemConfig {
   // Answer-path execution shape (see EpochPipelineMode). Streaming is the
   // default; kBarrier remains for comparison benchmarks and as the
   // reference semantics.
-  EpochPipelineMode pipeline_mode = EpochPipelineMode::kStreaming;
+  EpochPipelineMode mode = EpochPipelineMode::kStreaming;
   // Streaming mode: capacity (in shard batches) of each inter-stage
   // channel — the backpressure knob. Larger values let fast stages run
   // further ahead; 1 degenerates to near-lockstep hand-off.
-  size_t pipeline_depth = 8;
+  size_t depth = 8;
   // Streaming mode: clients per shard batch. Fixed (not derived from the
   // worker count) so the dataflow — and therefore every byte in the broker
   // and every join feed position — is identical at any thread count.
   // 0 = default (1024).
-  size_t stream_shard_size = 0;
+  size_t shard_size = 0;
+};
+
+// Historical analytics store (§3.3.1).
+struct HistoricalOptions {
+  // Tee joined answers into the historical store.
+  bool enabled = false;
+  // When non-empty (and the store is enabled), persist the historical store
+  // to a durable segmented log under this directory — the HDFS stand-in —
+  // instead of keeping it only in memory. RunHistorical then reads back
+  // from disk.
+  std::string dir;
+};
+
+// Observability knobs (see the header comment). Core counters stay on even
+// when `enabled` is false — they are what EpochStats snapshots.
+struct MetricsOptions {
+  // Stage latency histograms, per-proxy/per-client families, channel depth
+  // high-watermarks, and the broker topic collector.
+  bool enabled = true;
+  // Per-stage spans recorded into the EpochTimeline (dump via
+  // TimelineJson() as chrome://tracing JSON). Off by default: spans cost a
+  // mutexed append per shard batch.
+  bool timeline = false;
+};
+
+struct SystemConfig {
+  size_t num_clients = 100;
+  size_t num_proxies = 2;
+  uint64_t seed = 42;
+  double confidence = 0.95;
+  // Clients answer the inverted query (§3.3.2).
+  bool invert_answers = false;
+
+  PipelineOptions pipeline;
+  HistoricalOptions historical;
+  MetricsOptions metrics;
+
+  // --- Deprecated aliases (pre-observability flat names) ----------------
+  // Kept for one release so existing call sites keep compiling; a value
+  // set here is folded into the nested struct by Resolved() unless the
+  // nested field was itself changed from its default (nested wins). Use
+  // `historical.*`, `pipeline.*` instead.
+  bool enable_historical = false;            // -> historical.enabled
+  std::string historical_dir;                // -> historical.dir
+  size_t num_worker_threads = 0;             // -> pipeline.num_worker_threads
+  EpochPipelineMode pipeline_mode =
+      EpochPipelineMode::kStreaming;         // -> pipeline.mode
+  size_t pipeline_depth = 8;                 // -> pipeline.depth
+  size_t stream_shard_size = 0;              // -> pipeline.shard_size
+
+  // Returns a copy with every legacy alias folded into its nested field.
+  // PrivApproxSystem resolves its config on construction; call this
+  // directly when reading a config that may still use the flat names.
+  SystemConfig Resolved() const;
 };
 
 struct EpochStats {
@@ -116,8 +168,9 @@ class PrivApproxSystem {
   void UpdateParams(const core::ExecutionParams& params);
 
   // Runs one answering epoch at `now_ms`. Dispatches on
-  // SystemConfig::pipeline_mode; both modes produce bit-identical results,
-  // topic contents, and stats.
+  // SystemConfig::pipeline.mode; both modes produce bit-identical results,
+  // topic contents, and stats. The returned stats are the epoch's delta of
+  // the registry's core pipeline counters.
   EpochStats RunEpoch(int64_t now_ms);
 
   // Advances the watermark; fires completed windows into results().
@@ -135,19 +188,54 @@ class PrivApproxSystem {
   uint64_t ClientToProxyBytes() const;
 
   // Historical analytics over everything collected so far (§3.3.1);
-  // requires enable_historical.
+  // requires historical.enabled.
   core::QueryResult RunHistorical(int64_t from_ms, int64_t to_ms,
                                   const aggregator::BatchQueryBudget& budget);
+
+  // --- Observability ----------------------------------------------------
+  metrics::Registry& metrics_registry() { return registry_; }
+  metrics::EpochTimeline& timeline() { return timeline_; }
+  // Prometheus-style text exposition of every registered family — the
+  // `/metrics` dump (README quickstart).
+  std::string MetricsText() { return registry_.RenderText(); }
+  std::string MetricsJson() { return registry_.RenderJson(); }
+  // chrome://tracing JSON of the spans recorded so far (empty trace unless
+  // SystemConfig::metrics.timeline is on).
+  std::string TimelineJson() const { return timeline_.ToChromeTracingJson(); }
 
   broker::Broker& broker() { return broker_; }
   aggregator::Aggregator& aggregator() { return *aggregator_; }
   size_t num_worker_threads() const { return pool_->num_threads(); }
 
  private:
-  EpochStats RunEpochBarrier(int64_t now_ms);
-  EpochStats RunEpochStreaming(int64_t now_ms);
+  void RunEpochBarrier(int64_t now_ms);
+  void RunEpochStreaming(int64_t now_ms);
 
   SystemConfig config_;
+  // Declared before every pipeline component: proxies, clients, and the
+  // aggregator hold bare pointers to registry instruments, so the registry
+  // must outlive them (members destroy in reverse declaration order).
+  metrics::Registry registry_;
+  metrics::EpochTimeline timeline_;
+  // Always-on core pipeline counters backing EpochStats (owned by the
+  // registry; registered once at construction).
+  struct CoreCounters {
+    metrics::Counter* epochs = nullptr;
+    metrics::Counter* participants = nullptr;
+    metrics::Counter* shares_sent = nullptr;
+    metrics::Counter* shares_forwarded = nullptr;
+    metrics::Counter* shares_consumed = nullptr;
+    metrics::Counter* malformed = nullptr;
+  };
+  CoreCounters counters_;
+  // Stage latency histograms; null unless metrics.enabled.
+  struct StageHistograms {
+    metrics::Histogram* answer_shard_ns = nullptr;
+    metrics::Histogram* proxy_forward_ns = nullptr;
+    metrics::Histogram* agg_consume_ns = nullptr;
+    metrics::Histogram* epoch_ns = nullptr;
+  };
+  StageHistograms stage_ns_;
   broker::Broker broker_;
   // Share-encoding arenas, recycled across shards and epochs. Every
   // ArenaRef handed out lives only within one RunEpoch call, so the pool

@@ -75,7 +75,7 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
   produce.reserve(kAnswersPerEpoch * kNumShares);
   std::vector<broker::RecordView> polled;
   polled.reserve(total_records);
-  proxy::Proxy::DecodedViewBatch decoded;
+  proxy::Proxy::DecodedShares decoded;
   decoded.shares.reserve(total_records);
 
   const auto run_epoch = [&]() {
@@ -92,7 +92,7 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
     while (consumer.PollViews(4096, polled) != 0) {
     }
     decoded.Clear();
-    proxy::Proxy::DecodeShareViews(polled, decoded);
+    proxy::Proxy::DecodeShares(polled, decoded);
     arena.Reset();
   };
 
@@ -110,11 +110,37 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
   EXPECT_EQ(decoded.malformed, 0u);
 }
 
+// The pre-arena owning decode path, reimplemented locally as the comparison
+// baseline now that the production API is span-first: one owned vector per
+// payload, MID header stripped by erase, bytes moved into a MessageShare.
+struct OwnedDecodedBatch {
+  std::vector<crypto::MessageShare> shares;
+  uint64_t malformed = 0;
+};
+
+void DecodeOwnedBatch(std::vector<broker::Record> records,
+                      OwnedDecodedBatch& out) {
+  out.shares.reserve(out.shares.size() + records.size());
+  for (auto& record : records) {
+    if (record.payload.size() < 8) {
+      ++out.malformed;
+      continue;
+    }
+    crypto::MessageShare share;
+    for (int i = 0; i < 8; ++i) {
+      share.message_id |= static_cast<uint64_t>(record.payload[i]) << (8 * i);
+    }
+    record.payload.erase(record.payload.begin(), record.payload.begin() + 8);
+    share.payload = std::move(record.payload);
+    out.shares.push_back(std::move(share));
+  }
+}
+
 TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
   const crypto::AnswerMessage message = MakeMessage();
 
   // Owning path: Split -> EncodeShare -> ProduceRecord batch -> owned Poll
-  // -> DecodeShareBatch. This is what every epoch paid before the arena.
+  // -> DecodeOwnedBatch. This is what every epoch paid before the arena.
   const auto run_owned = [&](broker::Topic& topic, broker::Consumer& consumer,
                              crypto::XorSplitter& splitter) {
     std::vector<broker::ProduceRecord> records;
@@ -126,13 +152,13 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
       }
     }
     topic.AppendBatch(std::move(records));
-    proxy::Proxy::DecodedBatch decoded;
+    OwnedDecodedBatch decoded;
     for (;;) {
       std::vector<broker::Record> batch = consumer.Poll(4096);
       if (batch.empty()) {
         break;
       }
-      proxy::Proxy::DecodeShareBatch(std::move(batch), decoded);
+      DecodeOwnedBatch(std::move(batch), decoded);
     }
     return decoded.shares.size();
   };
@@ -158,7 +184,7 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
   std::vector<crypto::ShareView> views(kNumShares);
   std::vector<broker::ProduceView> produce;
   std::vector<broker::RecordView> polled;
-  proxy::Proxy::DecodedViewBatch decoded;
+  proxy::Proxy::DecodedShares decoded;
   const auto run_views = [&]() {
     produce.clear();
     for (size_t i = 0; i < kAnswersPerEpoch; ++i) {
@@ -173,7 +199,7 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
     while (view_consumer.PollViews(4096, polled) != 0) {
     }
     decoded.Clear();
-    proxy::Proxy::DecodeShareViews(polled, decoded);
+    proxy::Proxy::DecodeShares(polled, decoded);
     arena.Reset();
   };
   run_views();  // warm-up
@@ -205,8 +231,8 @@ TEST(AllocRegressionTest, StreamingEpochAllocationsStayFlat) {
   config.num_clients = 1024;
   config.num_proxies = kNumShares;
   config.seed = 7;
-  config.num_worker_threads = 1;
-  config.pipeline_mode = system::EpochPipelineMode::kStreaming;
+  config.pipeline.num_worker_threads = 1;
+  config.pipeline.mode = system::EpochPipelineMode::kStreaming;
   system::PrivApproxSystem system(config);
   for (size_t i = 0; i < config.num_clients; ++i) {
     auto& db = system.client(i).database();

@@ -156,9 +156,9 @@ TEST(FailureTest, MalformedRecordsSurfaceInEpochStats) {
     config.num_clients = 20;
     config.num_proxies = 2;
     config.seed = 7;
-    config.pipeline_mode = mode;
-    config.pipeline_depth = 2;
-    config.stream_shard_size = 7;  // 20 clients -> 3 shards
+    config.pipeline.mode = mode;
+    config.pipeline.depth = 2;
+    config.pipeline.shard_size = 7;  // 20 clients -> 3 shards
     system::PrivApproxSystem sys(config);
     for (size_t i = 0; i < config.num_clients; ++i) {
       auto& db = sys.client(i).database();
@@ -236,8 +236,8 @@ TEST(FailureTest, DurableHistoricalSurvivesSystemRestart) {
 
   system::SystemConfig config;
   config.num_clients = 40;
-  config.enable_historical = true;
-  config.historical_dir = dir.string();
+  config.historical.enabled = true;
+  config.historical.dir = dir.string();
   {
     system::PrivApproxSystem sys(config);
     for (size_t i = 0; i < 40; ++i) {

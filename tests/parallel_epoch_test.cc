@@ -47,12 +47,12 @@ RunSnapshot RunScenario(size_t num_worker_threads,
   config.num_clients = 400;
   config.num_proxies = 3;
   config.seed = 99;
-  config.num_worker_threads = num_worker_threads;
-  config.pipeline_mode = mode;
-  config.pipeline_depth = pipeline_depth;
+  config.pipeline.num_worker_threads = num_worker_threads;
+  config.pipeline.mode = mode;
+  config.pipeline.depth = pipeline_depth;
   // Small shards so the 400 clients split into 7 in-flight batches and the
   // streaming stages genuinely overlap.
-  config.stream_shard_size = 64;
+  config.pipeline.shard_size = 64;
   PrivApproxSystem sys(config);
   for (size_t i = 0; i < config.num_clients; ++i) {
     auto& db = sys.client(i).database();
@@ -162,7 +162,15 @@ TEST(ParallelEpochTest, StreamingIsInsensitiveToPipelineDepth) {
 TEST(ParallelEpochTest, WorkerThreadKnobIsHonored) {
   SystemConfig config;
   config.num_clients = 2;
-  config.num_worker_threads = 3;
+  config.pipeline.num_worker_threads = 3;
+  PrivApproxSystem sys(config);
+  EXPECT_EQ(sys.num_worker_threads(), 3u);
+}
+
+TEST(ParallelEpochTest, DeprecatedWorkerThreadAliasStillHonored) {
+  SystemConfig config;
+  config.num_clients = 2;
+  config.num_worker_threads = 3;  // legacy flat name
   PrivApproxSystem sys(config);
   EXPECT_EQ(sys.num_worker_threads(), 3u);
 }
@@ -172,6 +180,64 @@ TEST(ParallelEpochTest, DefaultUsesHardwareConcurrency) {
   config.num_clients = 2;
   PrivApproxSystem sys(config);
   EXPECT_GE(sys.num_worker_threads(), 1u);
+}
+
+// EpochStats is defined as the per-epoch delta of the registry's core
+// pipeline counters; summing the deltas over a run must reproduce the
+// cumulative registry values exactly, in both pipeline modes.
+void ExpectStatsMatchRegistry(EpochPipelineMode mode) {
+  SystemConfig config;
+  config.num_clients = 150;
+  config.num_proxies = 2;
+  config.seed = 31;
+  config.pipeline.num_worker_threads = 2;
+  config.pipeline.mode = mode;
+  config.pipeline.shard_size = 32;
+  PrivApproxSystem sys(config);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    auto& db = sys.client(i).database();
+    db.CreateTable("vehicle", {"speed"});
+    db.GetTable("vehicle").Insert(
+        500, {localdb::Value(static_cast<double>((i * 13) % 100))});
+  }
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.6;
+  params.randomization = {0.9, 0.6};
+  sys.SubmitQuery(SpeedQuery(), params);
+
+  EpochStats total;
+  size_t epochs = 0;
+  for (int64_t now = 5000; now <= 15000; now += 5000) {
+    const EpochStats stats = sys.RunEpoch(now);
+    total.participants += stats.participants;
+    total.shares_sent += stats.shares_sent;
+    total.shares_forwarded += stats.shares_forwarded;
+    total.shares_consumed += stats.shares_consumed;
+    total.malformed_dropped += stats.malformed_dropped;
+    ++epochs;
+  }
+
+  auto& reg = sys.metrics_registry();
+  EXPECT_EQ(reg.GetCounter("privapprox_epochs_total", "").Value(), epochs);
+  EXPECT_EQ(reg.GetCounter("privapprox_participants_total", "").Value(),
+            total.participants);
+  EXPECT_EQ(reg.GetCounter("privapprox_shares_sent_total", "").Value(),
+            total.shares_sent);
+  EXPECT_EQ(reg.GetCounter("privapprox_shares_forwarded_total", "").Value(),
+            total.shares_forwarded);
+  EXPECT_EQ(reg.GetCounter("privapprox_shares_consumed_total", "").Value(),
+            total.shares_consumed);
+  EXPECT_EQ(reg.GetCounter("privapprox_malformed_dropped_total", "").Value(),
+            total.malformed_dropped);
+  EXPECT_GT(total.shares_sent, 0u);
+}
+
+TEST(ParallelEpochTest, EpochStatsMatchesRegistryBarrier) {
+  ExpectStatsMatchRegistry(EpochPipelineMode::kBarrier);
+}
+
+TEST(ParallelEpochTest, EpochStatsMatchesRegistryStreaming) {
+  ExpectStatsMatchRegistry(EpochPipelineMode::kStreaming);
 }
 
 }  // namespace

@@ -25,7 +25,8 @@ TEST(ProxyTest, ShareEncodeDecodeRoundTrip) {
 }
 
 TEST(ProxyTest, DecodeRejectsTruncatedShare) {
-  EXPECT_THROW(Proxy::DecodeShare({1, 2, 3}), std::invalid_argument);
+  const std::vector<uint8_t> truncated{1, 2, 3};
+  EXPECT_THROW(Proxy::DecodeShare(truncated), std::invalid_argument);
 }
 
 TEST(ProxyTest, DecodeOfEmptyPayloadShare) {

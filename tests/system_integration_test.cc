@@ -40,6 +40,98 @@ void LoadSpeed(PrivApproxSystem& sys, size_t index, double speed) {
   db.GetTable("vehicle").Insert(500, {localdb::Value(speed)});
 }
 
+TEST(SystemConfigTest, ResolvedFoldsDeprecatedAliasesIntoNestedFields) {
+  SystemConfig config;
+  config.enable_historical = true;
+  config.historical_dir = "/tmp/hist";
+  config.num_worker_threads = 5;
+  config.pipeline_mode = EpochPipelineMode::kBarrier;
+  config.pipeline_depth = 3;
+  config.stream_shard_size = 17;
+  const SystemConfig resolved = config.Resolved();
+  EXPECT_TRUE(resolved.historical.enabled);
+  EXPECT_EQ(resolved.historical.dir, "/tmp/hist");
+  EXPECT_EQ(resolved.pipeline.num_worker_threads, 5u);
+  EXPECT_EQ(resolved.pipeline.mode, EpochPipelineMode::kBarrier);
+  EXPECT_EQ(resolved.pipeline.depth, 3u);
+  EXPECT_EQ(resolved.pipeline.shard_size, 17u);
+  // Resolved values mirror back to the flat names too, so code reading
+  // either spelling sees the same config.
+  EXPECT_TRUE(resolved.enable_historical);
+  EXPECT_EQ(resolved.num_worker_threads, 5u);
+}
+
+TEST(SystemConfigTest, NestedFieldWinsOverDeprecatedAlias) {
+  SystemConfig config;
+  config.pipeline.depth = 4;   // explicitly set nested field...
+  config.pipeline_depth = 99;  // ...beats a conflicting legacy alias
+  const SystemConfig resolved = config.Resolved();
+  EXPECT_EQ(resolved.pipeline.depth, 4u);
+  EXPECT_EQ(resolved.pipeline_depth, 4u);
+}
+
+TEST(SystemConfigTest, ResolvedIsIdentityOnDefaults) {
+  const SystemConfig resolved = SystemConfig{}.Resolved();
+  EXPECT_FALSE(resolved.historical.enabled);
+  EXPECT_TRUE(resolved.historical.dir.empty());
+  EXPECT_EQ(resolved.pipeline.mode, EpochPipelineMode::kStreaming);
+  EXPECT_EQ(resolved.pipeline.depth, 8u);
+  EXPECT_EQ(resolved.pipeline.shard_size, 0u);
+  EXPECT_TRUE(resolved.metrics.enabled);
+  EXPECT_FALSE(resolved.metrics.timeline);
+}
+
+TEST(SystemTest, MetricsExpositionCoversPipelineFamilies) {
+  SystemConfig config;
+  config.num_clients = 30;
+  config.num_proxies = 2;
+  config.metrics.timeline = true;
+  PrivApproxSystem sys(config);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    LoadSpeed(sys, i, 25.0);
+  }
+  sys.SubmitQuery(SpeedQuery(), ExactParams());
+  sys.RunEpoch(1000);
+
+  const std::string text = sys.MetricsText();
+  for (const char* family :
+       {"privapprox_epochs_total", "privapprox_participants_total",
+        "privapprox_shares_sent_total", "privapprox_shares_forwarded_total",
+        "privapprox_shares_consumed_total",
+        "privapprox_malformed_dropped_total", "privapprox_stage_ns",
+        "privapprox_proxy_received_total", "privapprox_proxy_forwarded_total",
+        "privapprox_agg_decode_ns", "privapprox_agg_join_ns",
+        "privapprox_topic_records_in", "privapprox_topic_slab_used_bytes",
+        "privapprox_channel_depth_hwm"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  const std::string json = sys.MetricsJson();
+  EXPECT_NE(json.find("\"privapprox_epochs_total\":1"), std::string::npos);
+  // The timeline captured the epoch's stage spans.
+  const std::string trace = sys.TimelineJson();
+  EXPECT_NE(trace.find("\"name\":\"epoch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"answer_shard\""), std::string::npos);
+}
+
+TEST(SystemTest, MetricsDisabledKeepsCoreCountersOnly) {
+  SystemConfig config;
+  config.num_clients = 10;
+  config.metrics.enabled = false;
+  PrivApproxSystem sys(config);
+  for (size_t i = 0; i < config.num_clients; ++i) {
+    LoadSpeed(sys, i, 25.0);
+  }
+  sys.SubmitQuery(SpeedQuery(), ExactParams());
+  const EpochStats stats = sys.RunEpoch(1000);
+  EXPECT_EQ(stats.participants, 10u);
+  const std::string text = sys.MetricsText();
+  EXPECT_NE(text.find("privapprox_epochs_total 1"), std::string::npos);
+  EXPECT_EQ(text.find("privapprox_stage_ns"), std::string::npos);
+  EXPECT_EQ(text.find("privapprox_agg_decode_ns"), std::string::npos);
+  // Timeline off by default: no spans recorded.
+  EXPECT_NE(sys.TimelineJson().find("\"traceEvents\":[]"), std::string::npos);
+}
+
 TEST(SystemTest, ValidatesConfig) {
   SystemConfig config;
   config.num_clients = 0;
@@ -178,7 +270,7 @@ TEST(SystemTest, MultiEpochSlidingWindows) {
 TEST(SystemTest, HistoricalAnalyticsOverCollectedAnswers) {
   SystemConfig config;
   config.num_clients = 100;
-  config.enable_historical = true;
+  config.historical.enabled = true;
   PrivApproxSystem sys(config);
   for (size_t i = 0; i < 100; ++i) {
     LoadSpeed(sys, i, i < 70 ? 25.0 : 55.0);
