@@ -69,6 +69,17 @@ Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
       [this](uint64_t mid, std::vector<uint8_t> plaintext, int64_t ts) {
         OnJoined(mid, std::move(plaintext), ts);
       });
+  if (config_.track_fault_losses) {
+    // Attribute every watermark-expired join group to its window for CI
+    // widening. Wired only under a fault plan so the fault-free estimate
+    // path stays bit-identical.
+    joiner_->set_evict_fn([this](uint64_t mid, int64_t first_seen_ms) {
+      if (config_.expired_mids_total != nullptr) {
+        config_.expired_mids_total->Increment();
+      }
+      NoteLostMid(mid, first_seen_ms);
+    });
+  }
   windows_ = std::make_unique<engine::WindowBuffer<BitVector>>(
       engine::SlidingWindowAssigner(query_.window_length_ms,
                                     query_.sliding_interval_ms),
@@ -135,6 +146,33 @@ uint64_t Aggregator::Drain() {
     }
   }
   return consumed;
+}
+
+void Aggregator::NoteLostMid(uint64_t mid, int64_t ts) {
+  // Dedup: a MID the injector already reported lost also lingers as a
+  // partial join group until eviction — count it once.
+  fault_lost_mids_.try_emplace(mid, ts);
+}
+
+size_t Aggregator::CountLossesInWindow(const engine::Window& window) const {
+  size_t lost = 0;
+  for (const auto& [mid, ts] : fault_lost_mids_) {
+    if (ts >= window.start_ms && ts < window.end_ms) {
+      ++lost;
+    }
+  }
+  return lost;
+}
+
+void Aggregator::NoteFaultLostMids(std::span<const uint64_t> mids,
+                                   int64_t now_ms) {
+  if (!config_.track_fault_losses) {
+    throw std::logic_error(
+        "Aggregator::NoteFaultLostMids: track_fault_losses is off");
+  }
+  for (const uint64_t mid : mids) {
+    NoteLostMid(mid, now_ms);
+  }
 }
 
 void Aggregator::NoteMalformed(uint64_t n) {
@@ -227,8 +265,10 @@ void Aggregator::OnWindowFired(const engine::Window& window,
   for (const BitVector& answer : answers) {
     acc.Add(answer);
   }
+  const size_t lost_in_window =
+      config_.track_fault_losses ? CountLossesInWindow(window) : 0;
   core::QueryResult result =
-      estimator_.Estimate(acc.histogram(), acc.num_answers());
+      estimator_.Estimate(acc.histogram(), acc.num_answers(), lost_in_window);
   if (config_.answers_inverted) {
     // De-invert: yes-count = participants - no-count, bucket-wise, scaled to
     // the population.
@@ -244,6 +284,14 @@ void Aggregator::OnWindowFired(const engine::Window& window,
 void Aggregator::AdvanceWatermark(int64_t watermark_ms) {
   joiner_->EvictStale(watermark_ms);
   windows_->AdvanceWatermark(watermark_ms);
+  if (config_.track_fault_losses && !fault_lost_mids_.empty()) {
+    // Losses too old to fall into any window still unfired can go: every
+    // window containing their event time ended at or before the watermark.
+    const int64_t cutoff = watermark_ms - query_.window_length_ms;
+    for (auto it = fault_lost_mids_.begin(); it != fault_lost_mids_.end();) {
+      it = it->second < cutoff ? fault_lost_mids_.erase(it) : std::next(it);
+    }
+  }
 }
 
 void Aggregator::AdvanceWatermarkToStream() {

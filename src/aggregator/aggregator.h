@@ -14,6 +14,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "broker/broker.h"
@@ -50,6 +52,15 @@ struct AggregatorConfig {
   metrics::Histogram* decode_ns = nullptr;  // per poll+decode pass
   metrics::Histogram* join_ns = nullptr;    // per join feed pass
   metrics::Histogram* window_ns = nullptr;  // per fired window
+  // Fault-loss accounting (wired by PrivApproxSystem when a FaultPlan is
+  // configured). When true, MIDs reported lost by the fault injector
+  // (NoteFaultLostMids) and incomplete MIDs expired from the join at the
+  // watermark widen the confidence interval of every window containing
+  // their event time (ErrorEstimator::Estimate's lost_to_faults). False
+  // keeps the estimate path bit-identical to a fault-free build.
+  bool track_fault_losses = false;
+  metrics::Counter* expired_mids_total = nullptr;  // join groups expired at
+                                                   // the watermark
 };
 
 struct WindowedResult {
@@ -103,6 +114,12 @@ class Aggregator {
   // the aggregator stays usable after the throw.
   void FinishStream();
 
+  // Fault-recovery input (requires track_fault_losses): the system reports
+  // the MIDs its injector knows can never join (dropped or corrupted
+  // shares, failed failovers) at the end of each epoch. Each MID is counted
+  // once — a later join-group expiry of the same MID does not double-widen.
+  void NoteFaultLostMids(std::span<const uint64_t> mids, int64_t now_ms);
+
   // Advances the event-time watermark, firing complete windows.
   void AdvanceWatermark(int64_t watermark_ms);
 
@@ -133,6 +150,8 @@ class Aggregator {
     size_t filled = 0;
   };
   void NoteMalformed(uint64_t n);
+  void NoteLostMid(uint64_t mid, int64_t ts);
+  size_t CountLossesInWindow(const engine::Window& window) const;
 
   AggregatorConfig config_;
   core::Query query_;
@@ -160,6 +179,12 @@ class Aggregator {
   uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;
   uint64_t wrong_query_dropped_ = 0;
+  // Fault-loss bookkeeping (track_fault_losses): MID -> event time of each
+  // loss, deduplicating injector reports against join-group expiries. A
+  // sliding window counts the losses whose event time it covers when it
+  // fires; entries too old to reach any future window are pruned as the
+  // watermark advances.
+  std::unordered_map<uint64_t, int64_t> fault_lost_mids_;
 };
 
 }  // namespace privapprox::aggregator

@@ -15,6 +15,21 @@ Topic& Broker::CreateTopic(const std::string& name, size_t num_partitions) {
   return *it->second;
 }
 
+Topic& Broker::EnsureTopic(const std::string& name, size_t num_partitions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = topics_.find(name);
+  if (it != topics_.end()) {
+    if (it->second->num_partitions() != num_partitions) {
+      throw std::invalid_argument(
+          "Broker::EnsureTopic: topic '" + name +
+          "' exists with a different partition count");
+    }
+    return *it->second;
+  }
+  return *topics_.emplace(name, std::make_unique<Topic>(name, num_partitions))
+              .first->second;
+}
+
 bool Broker::HasTopic(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return topics_.contains(name);

@@ -22,6 +22,13 @@ class Broker {
   // Creates a topic; throws if it exists.
   Topic& CreateTopic(const std::string& name, size_t num_partitions);
 
+  // Returns the topic, creating it if absent. An existing topic must have
+  // the same partition count (std::invalid_argument otherwise). Used where
+  // two producers legitimately share one topic — a standby proxy routes
+  // into its primary's outbound topic so the aggregator's n-source join is
+  // untouched by failover.
+  Topic& EnsureTopic(const std::string& name, size_t num_partitions);
+
   bool HasTopic(const std::string& name) const;
   Topic& GetTopic(const std::string& name);
   const Topic& GetTopic(const std::string& name) const;

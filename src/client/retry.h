@@ -1,0 +1,37 @@
+// Bounded retry with exponential backoff for the client -> proxy forward
+// path. Header-only so the fault layer (src/fault/) can model the client's
+// recovery protocol without linking the client runtime.
+//
+// The paper's clients are fire-and-forget (§3.2 step III); a deployment
+// needs a forward that survives a proxy restart. The policy is the standard
+// one: retry up to max_attempts with base * 2^attempt backoff, capped. The
+// fault injector advances this backoff in simulated virtual time (it never
+// sleeps), observing each wait into a histogram so recovery latency is
+// visible in the metrics exposition.
+
+#ifndef PRIVAPPROX_CLIENT_RETRY_H_
+#define PRIVAPPROX_CLIENT_RETRY_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace privapprox::client {
+
+struct RetryPolicy {
+  size_t max_attempts = 4;       // total forward attempts per share (>= 1)
+  double base_backoff_ms = 50.0;  // wait before the first retry
+  double max_backoff_ms = 2000.0;
+
+  // Backoff after failed attempt `attempt` (0-based): base * 2^attempt,
+  // capped at max_backoff_ms.
+  double BackoffForAttempt(size_t attempt) const {
+    const size_t shift = std::min<size_t>(attempt, 52);
+    const double backoff =
+        base_backoff_ms * static_cast<double>(std::size_t{1} << shift);
+    return std::min(backoff, max_backoff_ms);
+  }
+};
+
+}  // namespace privapprox::client
+
+#endif  // PRIVAPPROX_CLIENT_RETRY_H_

@@ -78,10 +78,12 @@ double ErrorEstimator::RandomizationStdDev(double debiased_fraction,
 }
 
 QueryResult ErrorEstimator::Estimate(const Histogram& randomized_counts,
-                                     size_t participants) const {
+                                     size_t participants,
+                                     size_t lost_to_faults) const {
   QueryResult result;
   result.participants = participants;
   result.population = population_;
+  result.lost_to_faults = lost_to_faults;
   result.confidence = confidence_;
   result.buckets.resize(randomized_counts.num_buckets());
 
@@ -109,6 +111,17 @@ QueryResult ErrorEstimator::Estimate(const Histogram& randomized_counts,
     // Independent components (§6 #II): variances add.
     bucket.estimate.error =
         t * std::sqrt(sd_sampling * sd_sampling + sd_rr * sd_rr);
+  }
+  if (lost_to_faults > 0) {
+    // Fault widening: the intended sample was n + L answers; losing L of
+    // them at random scales the estimator variance by (n + L) / n (see the
+    // header). Applied only when L > 0 so fault-free estimates stay
+    // bit-identical.
+    const double widen = std::sqrt((n + static_cast<double>(lost_to_faults)) /
+                                   n);
+    for (auto& bucket : result.buckets) {
+      bucket.estimate.error *= widen;
+    }
   }
   return result;
 }

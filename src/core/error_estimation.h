@@ -33,6 +33,10 @@ struct QueryResult {
   std::vector<BucketEstimate> buckets;
   size_t participants = 0;   // U' (answers aggregated in this window)
   size_t population = 0;     // U
+  // Answers that should have reached this window but were lost to faults
+  // (dropped/corrupted shares, expired join groups). A non-zero count
+  // widens every bucket's error bound — see ErrorEstimator::Estimate.
+  size_t lost_to_faults = 0;
   double confidence = 0.95;
 
   // Per-bucket point estimates as a histogram.
@@ -54,8 +58,16 @@ class ErrorEstimator {
   // Turns the aggregator's raw per-bucket randomized counts (out of
   // `participants` answers) into de-biased, population-scaled estimates with
   // combined error bounds.
-  QueryResult Estimate(const Histogram& randomized_counts,
-                       size_t participants) const;
+  //
+  // `lost_to_faults` = answers the window should have held but that faults
+  // removed before the join. Losing L answers at random from the intended
+  // sample of n+L leaves the estimator with the smaller effective sample n;
+  // the population-scaled variance grows by ~(n+L)/n, so each bucket's
+  // margin widens by sqrt((n+L)/n) — the same sampling-error model as
+  // Eq 4, applied to the fault-shrunk sample. L = 0 leaves every double
+  // bit-identical to the two-argument call.
+  QueryResult Estimate(const Histogram& randomized_counts, size_t participants,
+                       size_t lost_to_faults = 0) const;
 
   // The two error components for one bucket, exposed for Fig 4b's
   // decomposition bench: stddev of the population-scaled count.

@@ -38,6 +38,13 @@ void MidJoiner::AddImpl(uint64_t message_id, std::span<const uint8_t> payload,
     ++stats_.duplicates_dropped;
     return;
   }
+  if (expired_mids_.contains(message_id)) {
+    // Straggler for a group already evicted at the watermark: starting a
+    // fresh group could never complete (its siblings are gone) and would
+    // double-count the loss on the next eviction pass.
+    ++stats_.late_dropped;
+    return;
+  }
   Group& group = pending_[message_id];
   if (group.slots.empty()) {
     group.slots.resize(expected_shares_);
@@ -81,7 +88,13 @@ void MidJoiner::EvictStale(int64_t now_ms) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.first_seen_ms < cutoff) {
       ++stats_.evicted_partial;
+      const uint64_t mid = it->first;
+      const int64_t first_seen = it->second.first_seen_ms;
+      expired_mids_.insert(mid);
       it = pending_.erase(it);
+      if (evict_fn_) {
+        evict_fn_(mid, first_seen);
+      }
     } else {
       ++it;
     }

@@ -28,6 +28,8 @@ struct JoinStats {
   uint64_t joined = 0;            // complete messages emitted
   uint64_t duplicates_dropped = 0;  // replayed MIDs
   uint64_t evicted_partial = 0;     // timed-out incomplete groups
+  uint64_t late_dropped = 0;        // shares arriving after their group's
+                                    // eviction (stragglers past the timeout)
 };
 
 class MidJoiner {
@@ -36,9 +38,16 @@ class MidJoiner {
       std::function<void(uint64_t mid, std::vector<uint8_t> plaintext,
                          int64_t timestamp_ms)>;
 
+  // Called for every group EvictStale expires, with the group's MID and
+  // first-seen event time — the fault-recovery layer uses it to attribute
+  // the loss to the right window for confidence-interval widening.
+  using EvictFn = std::function<void(uint64_t mid, int64_t first_seen_ms)>;
+
   // `expected_shares` = number of proxies n; `timeout_ms` bounds how long a
   // partial group may wait for its remaining shares.
   MidJoiner(size_t expected_shares, int64_t timeout_ms, EmitFn emit);
+
+  void set_evict_fn(EvictFn fn) { evict_fn_ = std::move(fn); }
 
   // Feeds one share from stream `source` (the proxy index, < n);
   // `timestamp_ms` is the share's event time. Emits the joined plaintext as
@@ -55,7 +64,11 @@ class MidJoiner {
   void Add(uint64_t message_id, std::span<const uint8_t> payload,
            int64_t timestamp_ms, size_t source);
 
-  // Evicts partial groups whose first share is older than now - timeout.
+  // Evicts partial groups whose first share is older than now - timeout
+  // (strictly: first_seen < now - timeout, so a group whose last share
+  // lands exactly at the cutoff still joins). Evicted MIDs are remembered:
+  // a straggler share arriving later is dropped as late (it must not start
+  // a fresh, never-completable group).
   void EvictStale(int64_t now_ms);
 
   const JoinStats& stats() const { return stats_; }
@@ -83,8 +96,10 @@ class MidJoiner {
   size_t expected_shares_;
   int64_t timeout_ms_;
   EmitFn emit_;
+  EvictFn evict_fn_;
   std::unordered_map<uint64_t, Group> pending_;
   std::unordered_set<uint64_t> completed_mids_;
+  std::unordered_set<uint64_t> expired_mids_;
   JoinStats stats_;
 };
 

@@ -1,0 +1,229 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace privapprox::fault {
+
+namespace {
+
+// Decision-kind salts: each independent random decision about the same
+// (mid, proxy) pair hashes with a distinct salt so the draws are
+// uncorrelated.
+constexpr uint64_t kSaltFate = 0x01;       // drop/corrupt/duplicate/delay
+constexpr uint64_t kSaltCorruptLen = 0x02;  // truncation length
+constexpr uint64_t kSaltCrash = 0x03;       // per (epoch, proxy)
+constexpr uint64_t kSaltCrashPos = 0x04;    // sent before/after the crash
+constexpr uint64_t kSaltTimeout = 0x05;     // per forward attempt
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void CheckProbability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::Validate() const {
+  CheckProbability(drop_probability, "drop_probability");
+  CheckProbability(corrupt_probability, "corrupt_probability");
+  CheckProbability(duplicate_probability, "duplicate_probability");
+  CheckProbability(delay_probability, "delay_probability");
+  CheckProbability(timeout_probability, "timeout_probability");
+  CheckProbability(crash_probability, "crash_probability");
+  CheckProbability(crash_point, "crash_point");
+  if (drop_probability + corrupt_probability + duplicate_probability +
+          delay_probability >
+      1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: share fate probabilities must sum to <= 1");
+  }
+  if (late_deadline_ms < 0.0) {
+    throw std::invalid_argument("FaultPlan: late_deadline_ms must be >= 0");
+  }
+  if (degraded_link.bandwidth_bytes_per_ms <= 0.0 ||
+      degraded_link.latency_ms < 0.0) {
+    throw std::invalid_argument("FaultPlan: bad degraded_link");
+  }
+  if (retry.max_attempts == 0) {
+    throw std::invalid_argument("FaultPlan: retry.max_attempts must be >= 1");
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, FaultCounters counters,
+                             bool has_standby)
+    : plan_(plan), counters_(counters), has_standby_(has_standby) {
+  plan_.Validate();
+}
+
+// Uniform in [0, 1) from a pure hash of (seed, salt, a, b): bit-identical
+// for a given plan regardless of call order, thread, or pipeline mode.
+double FaultInjector::UnitUniform(uint64_t salt, uint64_t a,
+                                  uint64_t b) const {
+  uint64_t h = SplitMix64(plan_.seed ^ salt);
+  h = SplitMix64(h ^ a);
+  h = SplitMix64(h ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::ProxyCrashes(uint64_t epoch, size_t proxy) const {
+  if (plan_.crash_probability <= 0.0) {
+    return false;
+  }
+  return UnitUniform(kSaltCrash, epoch, proxy) < plan_.crash_probability;
+}
+
+void FaultInjector::NoteLostMid(uint64_t mid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lost_mids_.insert(mid).second && counters_.lost_mids != nullptr) {
+    counters_.lost_mids->Increment();
+  }
+}
+
+ShareOutcome FaultInjector::RouteShare(uint64_t mid, size_t proxy,
+                                       uint64_t epoch, size_t record_bytes) {
+  ShareOutcome out;
+
+  // --- In-transit fate: one uniform cascaded through the (mutually
+  // exclusive) fault probabilities in fixed priority order.
+  double u = UnitUniform(kSaltFate, mid, proxy);
+  if (u < plan_.drop_probability) {
+    if (counters_.shares_dropped != nullptr) {
+      counters_.shares_dropped->Increment();
+    }
+    NoteLostMid(mid);  // a missing share makes the whole MID unjoinable
+    out.route = ShareRoute::kLost;
+    return out;
+  }
+  u -= plan_.drop_probability;
+  if (u < plan_.corrupt_probability) {
+    // Truncate below the 8-byte MID header: the decode path counts the
+    // record malformed, so the corrupted share can never join (and can
+    // never reach the joiner with a mismatched payload length).
+    out.corrupt_to = static_cast<size_t>(
+        UnitUniform(kSaltCorruptLen, mid, proxy) * 8.0);
+    out.corrupt_to = std::min<size_t>(out.corrupt_to, 7);
+    if (counters_.shares_corrupted != nullptr) {
+      counters_.shares_corrupted->Increment();
+    }
+    NoteLostMid(mid);  // the MID cannot join without this share's bytes
+  } else {
+    u -= plan_.corrupt_probability;
+    if (u < plan_.duplicate_probability) {
+      if (counters_.shares_duplicated != nullptr) {
+        counters_.shares_duplicated->Increment();
+      }
+      out.duplicate = true;
+    } else {
+      u -= plan_.duplicate_probability;
+      if (u < plan_.delay_probability) {
+        // Degraded path: deterministic transfer-time model decides whether
+        // the share still makes this epoch's deadline.
+        const double arrival_ms =
+            net::TransferTimeMs(plan_.degraded_link, record_bytes);
+        if (arrival_ms > plan_.late_deadline_ms) {
+          if (counters_.shares_delayed != nullptr) {
+            counters_.shares_delayed->Increment();
+          }
+          out.route = ShareRoute::kDeferred;
+          return out;
+        }
+      }
+    }
+  }
+
+  // --- Forward protocol: per-attempt timeouts, bounded exponential backoff
+  // between attempts (simulated virtual time), failover once exhausted. A
+  // share sent after a crashing proxy's crash point times out every attempt.
+  const bool proxy_down =
+      ProxyCrashes(epoch, proxy) &&
+      UnitUniform(kSaltCrashPos, mid, proxy) >= plan_.crash_point;
+  if (plan_.timeout_probability <= 0.0 && !proxy_down) {
+    return out;
+  }
+  for (size_t attempt = 0; attempt < plan_.retry.max_attempts; ++attempt) {
+    const bool timed_out =
+        proxy_down ||
+        UnitUniform(kSaltTimeout + 16 * attempt, mid, proxy) <
+            plan_.timeout_probability;
+    if (!timed_out) {
+      return out;  // delivered (possibly after retries already counted)
+    }
+    if (counters_.forward_timeouts != nullptr) {
+      counters_.forward_timeouts->Increment();
+    }
+    if (attempt + 1 < plan_.retry.max_attempts) {
+      if (counters_.retries != nullptr) {
+        counters_.retries->Increment();
+      }
+      if (counters_.backoff_ms != nullptr) {
+        counters_.backoff_ms->Observe(static_cast<uint64_t>(
+            plan_.retry.BackoffForAttempt(attempt)));
+      }
+    }
+  }
+  // Retries exhausted against the primary.
+  if (has_standby_) {
+    if (counters_.failovers != nullptr) {
+      counters_.failovers->Increment();
+    }
+    out.route = ShareRoute::kStandby;
+    return out;
+  }
+  NoteLostMid(mid);
+  out.route = ShareRoute::kLost;
+  return out;
+}
+
+void FaultInjector::Defer(size_t proxy, uint64_t mid,
+                          std::span<const uint8_t> record,
+                          int64_t timestamp_ms) {
+  DeferredShare share;
+  share.proxy = proxy;
+  share.message_id = mid;
+  share.record.assign(record.begin(), record.end());
+  share.timestamp_ms = timestamp_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  deferred_.push_back(std::move(share));
+}
+
+std::vector<DeferredShare> FaultInjector::TakeDeferred() {
+  std::vector<DeferredShare> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(deferred_);
+  }
+  // Arrival order at the injector depends on thread interleaving; sorting
+  // by (proxy, MID) restores a deterministic redelivery order.
+  std::sort(out.begin(), out.end(),
+            [](const DeferredShare& a, const DeferredShare& b) {
+              return a.proxy != b.proxy ? a.proxy < b.proxy
+                                        : a.message_id < b.message_id;
+            });
+  if (counters_.late_delivered != nullptr && !out.empty()) {
+    counters_.late_delivered->Increment(out.size());
+  }
+  return out;
+}
+
+std::vector<uint64_t> FaultInjector::TakeLostMids() {
+  std::vector<uint64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(lost_mids_.begin(), lost_mids_.end());
+    lost_mids_.clear();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace privapprox::fault

@@ -17,13 +17,17 @@ int64_t NowNs() {
 
 Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
     : config_(config), broker_(broker) {
-  const std::string prefix = "proxy" + std::to_string(config.proxy_index);
+  const std::string prefix =
+      config.topic_prefix.empty()
+          ? "proxy" + std::to_string(config.proxy_index)
+          : config.topic_prefix;
   in_topic_ = prefix + ".in";
-  out_topic_ = prefix + ".out";
+  out_topic_ = config.out_topic.empty() ? prefix + ".out" : config.out_topic;
   query_in_topic_ = prefix + ".query.in";
   query_out_topic_ = prefix + ".query.out";
   broker_.CreateTopic(in_topic_, config.num_partitions);
-  broker_.CreateTopic(out_topic_, config.num_partitions);
+  // EnsureTopic: a standby proxy's outbound is its primary's existing topic.
+  broker_.EnsureTopic(out_topic_, config.num_partitions);
   broker_.CreateTopic(query_in_topic_, 1);
   broker_.CreateTopic(query_out_topic_, 1);
   consumer_ = std::make_unique<broker::Consumer>(broker_.GetTopic(in_topic_));

@@ -31,6 +31,13 @@ namespace privapprox::proxy {
 struct ProxyConfig {
   size_t proxy_index = 0;
   size_t num_partitions = 4;  // Kafka brokers per proxy in the paper's setup
+  // Topic naming. Empty prefix = "proxy<index>". A standby proxy (fault
+  // failover target) uses its own prefix for the inbound/query topics while
+  // out_topic overrides the outbound to its primary's — shares delivered
+  // via failover land in the same stream the aggregator already joins, so
+  // the n-source join is untouched.
+  std::string topic_prefix;
+  std::string out_topic;  // empty = "<prefix>.out"
   // Optional instruments, not owned (null = uninstrumented). The system
   // wires these to its registry's per-proxy families; the Counters are the
   // source of truth behind EpochStats.shares_forwarded.

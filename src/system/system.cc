@@ -156,6 +156,69 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
         std::make_unique<proxy::Proxy>(proxy_config, broker_));
   }
 
+  if (config_.fault.has_value()) {
+    const fault::FaultPlan& plan = *config_.fault;
+    plan.Validate();
+    fault_counters_.shares_dropped = &registry_.GetCounter(
+        "privapprox_fault_shares_dropped_total",
+        "Shares dropped in transit by the fault injector");
+    fault_counters_.shares_corrupted = &registry_.GetCounter(
+        "privapprox_fault_shares_corrupted_total",
+        "Shares truncated below the MID header by the fault injector");
+    fault_counters_.shares_duplicated = &registry_.GetCounter(
+        "privapprox_fault_shares_duplicated_total",
+        "Shares delivered twice by the fault injector");
+    fault_counters_.shares_delayed = &registry_.GetCounter(
+        "privapprox_fault_shares_delayed_total",
+        "Shares deferred to the next epoch by the degraded link");
+    fault_counters_.forward_timeouts = &registry_.GetCounter(
+        "privapprox_fault_forward_timeouts_total",
+        "Client -> proxy forward attempts that timed out");
+    fault_counters_.proxy_crashes = &registry_.GetCounter(
+        "privapprox_fault_proxy_crashes_total",
+        "Proxy-epochs spent crashed (restart at the next epoch)");
+    fault_counters_.lost_mids = &registry_.GetCounter(
+        "privapprox_fault_lost_mids_total",
+        "Distinct MIDs the injector knows can never join");
+    fault_counters_.retries = &registry_.GetCounter(
+        "privapprox_recovery_retries_total",
+        "Forward attempts retried after a timeout");
+    fault_counters_.failovers = &registry_.GetCounter(
+        "privapprox_recovery_failovers_total",
+        "Shares delivered via a standby proxy after retries were exhausted");
+    fault_counters_.late_delivered = &registry_.GetCounter(
+        "privapprox_recovery_late_delivered_total",
+        "Deferred shares replayed at the start of a later epoch");
+    fault_counters_.backoff_ms = &registry_.GetHistogram(
+        "privapprox_recovery_backoff_ms",
+        "Simulated retry backoff per timed-out forward in milliseconds");
+    // Standbys exist only for plans that can time a forward out — an
+    // always-reachable plan must not alter the broker topic set.
+    const bool standby = plan.standby_proxies && plan.CanTimeOut();
+    if (standby) {
+      standby_proxies_.reserve(config_.num_proxies);
+      for (size_t i = 0; i < config_.num_proxies; ++i) {
+        proxy::ProxyConfig standby_config;
+        standby_config.proxy_index = i;
+        standby_config.num_partitions = 4;
+        standby_config.topic_prefix = "standby" + std::to_string(i);
+        standby_config.out_topic = proxies_[i]->out_topic();
+        const metrics::Labels labels{{"proxy", std::to_string(i)}};
+        standby_config.received_total = &registry_.GetCounter(
+            "privapprox_standby_received_total",
+            "Records accepted into each standby proxy's inbound topic",
+            labels);
+        standby_config.forwarded_total = &registry_.GetCounter(
+            "privapprox_standby_forwarded_total",
+            "Records each standby proxy moved inbound -> outbound", labels);
+        standby_proxies_.push_back(
+            std::make_unique<proxy::Proxy>(standby_config, broker_));
+      }
+    }
+    injector_ = std::make_unique<fault::FaultInjector>(plan, fault_counters_,
+                                                       standby);
+  }
+
   metrics::Counter* client_answers = nullptr;
   metrics::Counter* client_skips = nullptr;
   if (config_.metrics.enabled) {
@@ -268,6 +331,12 @@ void PrivApproxSystem::SubmitQuery(const core::Query& query,
   agg_config.answers_inverted = config_.invert_answers;
   agg_config.pool = pool_.get();
   agg_config.malformed_total = counters_.malformed;
+  if (injector_ != nullptr) {
+    agg_config.track_fault_losses = true;
+    agg_config.expired_mids_total = &registry_.GetCounter(
+        "privapprox_fault_expired_mids_total",
+        "Incomplete join groups expired at the watermark");
+  }
   if (config_.metrics.enabled) {
     agg_config.decode_ns = &registry_.GetHistogram(
         "privapprox_agg_decode_ns",
@@ -345,14 +414,54 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
   const uint64_t forwarded_before = counters_.shares_forwarded->Value();
   const uint64_t consumed_before = counters_.shares_consumed->Value();
   const uint64_t malformed_before = counters_.malformed->Value();
+  struct FaultSnapshot {
+    uint64_t dropped = 0, corrupted = 0, duplicated = 0, delayed = 0;
+    uint64_t timeouts = 0, crashes = 0, lost = 0;
+    uint64_t retries = 0, failovers = 0, late = 0;
+  };
+  const auto snapshot_faults = [this] {
+    FaultSnapshot s;
+    if (injector_ != nullptr) {
+      s.dropped = fault_counters_.shares_dropped->Value();
+      s.corrupted = fault_counters_.shares_corrupted->Value();
+      s.duplicated = fault_counters_.shares_duplicated->Value();
+      s.delayed = fault_counters_.shares_delayed->Value();
+      s.timeouts = fault_counters_.forward_timeouts->Value();
+      s.crashes = fault_counters_.proxy_crashes->Value();
+      s.lost = fault_counters_.lost_mids->Value();
+      s.retries = fault_counters_.retries->Value();
+      s.failovers = fault_counters_.failovers->Value();
+      s.late = fault_counters_.late_delivered->Value();
+    }
+    return s;
+  };
+  const FaultSnapshot fault_before = snapshot_faults();
   {
     StageScope epoch_scope("epoch", stage_ns_.epoch_ns, timeline_);
+    if (injector_ != nullptr) {
+      ReplayDeferredShares();
+      for (size_t j = 0; j < proxies_.size(); ++j) {
+        if (injector_->ProxyCrashes(epoch_index_, j)) {
+          fault_counters_.proxy_crashes->Increment();
+        }
+      }
+    }
     if (config_.pipeline.mode == EpochPipelineMode::kStreaming) {
       RunEpochStreaming(now_ms);
     } else {
       RunEpochBarrier(now_ms);
     }
   }
+  if (injector_ != nullptr) {
+    // Hand the epoch's unjoinable MIDs to the aggregator so every window
+    // covering now_ms widens its error bound (paper Eq. 2 with the lost
+    // answers removed from the effective sample).
+    const std::vector<uint64_t> lost = injector_->TakeLostMids();
+    if (!lost.empty()) {
+      aggregator_->NoteFaultLostMids(lost, now_ms);
+    }
+  }
+  ++epoch_index_;
   counters_.epochs->Increment();
   EpochStats stats;
   stats.participants = static_cast<size_t>(counters_.participants->Value() -
@@ -362,7 +471,39 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
       counters_.shares_forwarded->Value() - forwarded_before;
   stats.shares_consumed = counters_.shares_consumed->Value() - consumed_before;
   stats.malformed_dropped = counters_.malformed->Value() - malformed_before;
+  if (injector_ != nullptr) {
+    const FaultSnapshot after = snapshot_faults();
+    stats.fault_shares_dropped = after.dropped - fault_before.dropped;
+    stats.fault_shares_corrupted = after.corrupted - fault_before.corrupted;
+    stats.fault_shares_duplicated = after.duplicated - fault_before.duplicated;
+    stats.fault_shares_delayed = after.delayed - fault_before.delayed;
+    stats.fault_forward_timeouts = after.timeouts - fault_before.timeouts;
+    stats.fault_proxy_crashes = after.crashes - fault_before.crashes;
+    stats.fault_lost_mids = after.lost - fault_before.lost;
+    stats.recovery_retries = after.retries - fault_before.retries;
+    stats.recovery_failovers = after.failovers - fault_before.failovers;
+    stats.recovery_late_delivered = after.late - fault_before.late;
+  }
   return stats;
+}
+
+// Delivers the shares the degraded link held back, at the start of the next
+// epoch: they land at the head of each primary's inbound topic (before this
+// epoch's shards) with their original event time, so both pipeline modes
+// forward them first and the join sees them in the same order.
+void PrivApproxSystem::ReplayDeferredShares() {
+  const std::vector<fault::DeferredShare> deferred = injector_->TakeDeferred();
+  std::vector<broker::ProduceView> batch;
+  for (size_t i = 0; i < deferred.size();) {
+    const size_t proxy = deferred[i].proxy;
+    batch.clear();
+    for (; i < deferred.size() && deferred[i].proxy == proxy; ++i) {
+      batch.push_back(broker::ProduceView{deferred[i].message_id,
+                                          deferred[i].record,
+                                          deferred[i].timestamp_ms});
+    }
+    proxies_[proxy]->Receive(batch);
+  }
 }
 
 void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
@@ -409,18 +550,50 @@ void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   {
     StageScope scope("barrier_merge", nullptr, timeline_);
     std::vector<broker::ProduceView> batch;
+    std::vector<broker::ProduceView> standby_batch;
     batch.reserve(participants);
     for (size_t j = 0; j < num_proxies; ++j) {
       batch.clear();
+      standby_batch.clear();
       for (size_t i = 0; i < num_clients; ++i) {
         if (participated[i] == 0) {
           continue;
         }
         const crypto::ShareView& view = views[i * num_proxies + j];
-        batch.push_back(
-            broker::ProduceView{view.message_id, view.bytes(), now_ms});
+        if (injector_ == nullptr) {
+          batch.push_back(
+              broker::ProduceView{view.message_id, view.bytes(), now_ms});
+          continue;
+        }
+        // Fault path: route each share through the injector. Same code as
+        // the streaming answer stage — decisions are (MID, proxy) hashes,
+        // so both modes inject identical faults.
+        const std::span<const uint8_t> record = view.bytes();
+        const fault::ShareOutcome outcome = injector_->RouteShare(
+            view.message_id, j, epoch_index_, record.size());
+        if (outcome.route == fault::ShareRoute::kLost) {
+          continue;
+        }
+        if (outcome.route == fault::ShareRoute::kDeferred) {
+          injector_->Defer(j, view.message_id, record, now_ms);
+          continue;
+        }
+        const std::span<const uint8_t> payload =
+            outcome.corrupt_to != SIZE_MAX ? record.first(outcome.corrupt_to)
+                                           : record;
+        auto& dest = outcome.route == fault::ShareRoute::kStandby
+                         ? standby_batch
+                         : batch;
+        dest.push_back(broker::ProduceView{view.message_id, payload, now_ms});
+        if (outcome.duplicate) {
+          dest.push_back(
+              broker::ProduceView{view.message_id, payload, now_ms});
+        }
       }
       proxies_[j]->Receive(batch);
+      if (!standby_proxies_.empty()) {
+        standby_proxies_[j]->Receive(standby_batch);
+      }
     }
     chunk_arenas.clear();  // appends done: recycle the encode arenas
   }
@@ -433,6 +606,11 @@ void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
     pool_->ParallelFor(num_proxies, [&](size_t begin, size_t end) {
       for (size_t j = begin; j < end; ++j) {
         forwarded[j] = proxies_[j]->Forward();
+        // Standby j shares primary j's outbound topic — forwarding it from
+        // the same task keeps the append interleave deterministic.
+        if (!standby_proxies_.empty()) {
+          forwarded[j] += standby_proxies_[j]->Forward();
+        }
       }
     });
     for (uint64_t count : forwarded) {
@@ -467,6 +645,10 @@ struct ShardTask {
 struct TaggedBatch {
   uint64_t seq = 0;
   std::vector<broker::ProduceView> records;
+  // Shares failed over to this proxy's standby (empty without a fault
+  // plan): delivered through the standby's inbound topic into the same
+  // outbound topic.
+  std::vector<broker::ProduceView> standby;
   ArenaRef arena;
 };
 
@@ -554,6 +736,16 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
                              timeline_);
             std::vector<uint32_t> counts =
                 proxies_[j]->ReceiveAndForwardShard(head.records);
+            if (!standby_proxies_.empty()) {
+              // The standby appends to the same outbound topic; merging the
+              // per-partition counts keeps the aggregator's promised-read
+              // contract exact.
+              const std::vector<uint32_t> standby_counts =
+                  standby_proxies_[j]->ReceiveAndForwardShard(head.standby);
+              for (size_t p = 0; p < counts.size(); ++p) {
+                counts[p] += standby_counts[p];
+              }
+            }
             // `head` (and with it this proxy's arena reference) dies here —
             // the records are now in the broker's slabs.
             uint64_t forwarded = 0;
@@ -576,6 +768,7 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
     StageScope scope("answer_shard", stage_ns_.answer_shard_ns, timeline_);
     ArenaRef arena = arena_pool_.Acquire();
     std::vector<std::vector<broker::ProduceView>> per_proxy(num_proxies);
+    std::vector<std::vector<broker::ProduceView>> per_standby(num_proxies);
     for (auto& batch : per_proxy) {
       batch.reserve(task.end - task.begin);
     }
@@ -589,8 +782,38 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
       ++local_participants;
       local_shares += num_proxies;
       for (size_t j = 0; j < num_proxies; ++j) {
-        per_proxy[j].push_back(broker::ProduceView{
-            views[j].message_id, views[j].bytes(), now_ms});
+        if (injector_ == nullptr) {
+          per_proxy[j].push_back(broker::ProduceView{
+              views[j].message_id, views[j].bytes(), now_ms});
+          continue;
+        }
+        // Fault path — mirror of the barrier merge: (MID, proxy)-hashed
+        // decisions, so faults are identical across modes and worker
+        // counts. Defer copies the record (the arena recycles at shard
+        // end); corrupted views stay arena-backed, truncation is just a
+        // shorter span.
+        const std::span<const uint8_t> record = views[j].bytes();
+        const fault::ShareOutcome outcome = injector_->RouteShare(
+            views[j].message_id, j, epoch_index_, record.size());
+        if (outcome.route == fault::ShareRoute::kLost) {
+          continue;
+        }
+        if (outcome.route == fault::ShareRoute::kDeferred) {
+          injector_->Defer(j, views[j].message_id, record, now_ms);
+          continue;
+        }
+        const std::span<const uint8_t> payload =
+            outcome.corrupt_to != SIZE_MAX ? record.first(outcome.corrupt_to)
+                                           : record;
+        auto& dest = outcome.route == fault::ShareRoute::kStandby
+                         ? per_standby[j]
+                         : per_proxy[j];
+        dest.push_back(
+            broker::ProduceView{views[j].message_id, payload, now_ms});
+        if (outcome.duplicate) {
+          dest.push_back(
+              broker::ProduceView{views[j].message_id, payload, now_ms});
+        }
       }
     }
     counters_.participants->Increment(local_participants);
@@ -598,7 +821,8 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
     for (size_t j = 0; j < num_proxies; ++j) {
       // Each batch carries a reference to the shard's arena; the arena
       // recycles once every proxy has slab-copied its batch.
-      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j]), arena});
+      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j]),
+                                    std::move(per_standby[j]), arena});
     }
   });
 

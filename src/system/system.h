@@ -33,6 +33,7 @@
 #include "common/thread_pool.h"
 #include "core/budget.h"
 #include "core/query.h"
+#include "fault/fault.h"
 #include "metrics/metrics.h"
 #include "metrics/timeline.h"
 #include "proxy/proxy.h"
@@ -111,6 +112,13 @@ struct SystemConfig {
   PipelineOptions pipeline;
   HistoricalOptions historical;
   MetricsOptions metrics;
+  // Deterministic fault injection + recovery (src/fault/fault.h). Unset
+  // means no injector is built and every epoch is byte-identical to a
+  // build without the fault layer — results, broker topic contents, and
+  // EpochStats (the bit-identity invariant tests/fault_test.cc pins).
+  // A set plan derives every fault from (plan.seed, MID, proxy) hashes,
+  // so both pipeline modes see identical faults at any worker count.
+  std::optional<fault::FaultPlan> fault;
 
   // --- Deprecated aliases (pre-observability flat names) ----------------
   // Kept for one release so existing call sites keep compiling; a value
@@ -140,6 +148,19 @@ struct EpochStats {
   // share or garbage plaintext after the join) — the aggregator counts
   // them; this surfaces the per-epoch delta to RunEpoch callers.
   uint64_t malformed_dropped = 0;
+  // Fault-injection and recovery deltas (all zero when SystemConfig::fault
+  // is unset). Per-epoch deltas of the privapprox_fault_* /
+  // privapprox_recovery_* registry counters.
+  uint64_t fault_shares_dropped = 0;
+  uint64_t fault_shares_corrupted = 0;
+  uint64_t fault_shares_duplicated = 0;
+  uint64_t fault_shares_delayed = 0;
+  uint64_t fault_forward_timeouts = 0;
+  uint64_t fault_proxy_crashes = 0;
+  uint64_t fault_lost_mids = 0;  // MIDs the injector knows can never join
+  uint64_t recovery_retries = 0;
+  uint64_t recovery_failovers = 0;
+  uint64_t recovery_late_delivered = 0;  // deferred shares replayed
 };
 
 class PrivApproxSystem {
@@ -210,6 +231,7 @@ class PrivApproxSystem {
  private:
   void RunEpochBarrier(int64_t now_ms);
   void RunEpochStreaming(int64_t now_ms);
+  void ReplayDeferredShares();
 
   SystemConfig config_;
   // Declared before every pipeline component: proxies, clients, and the
@@ -244,6 +266,13 @@ class PrivApproxSystem {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
+  // Fault layer (null/empty unless SystemConfig::fault is set). Standby
+  // proxy j shares primary j's outbound topic, so failover is invisible to
+  // the aggregator's n-source join.
+  fault::FaultCounters fault_counters_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::unique_ptr<proxy::Proxy>> standby_proxies_;
+  uint64_t epoch_index_ = 0;  // keys the per-epoch proxy crash draw
   std::unique_ptr<aggregator::Aggregator> aggregator_;
   std::optional<core::Query> query_;
   std::optional<core::ExecutionParams> params_;

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
 #include "crypto/xor_cipher.h"
 #include "engine/join.h"
@@ -197,9 +199,66 @@ TEST(MidJoinerTest, EvictsStalePartialGroups) {
   joiner.EvictStale(200);
   EXPECT_EQ(joiner.pending_groups(), 0u);
   EXPECT_EQ(joiner.stats().evicted_partial, 1u);
-  // The straggler share now starts a fresh (doomed) group, not a crash.
+  // The straggler share is dropped as late — it must not start a fresh,
+  // never-completable group (which would double-count the loss on the next
+  // eviction pass).
   joiner.Add(Share(9, {2}), 201, 1);
   EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  EXPECT_EQ(joiner.stats().late_dropped, 1u);
+}
+
+TEST(MidJoinerTest, LastShareExactlyAtEvictionCutoffStillJoins) {
+  // Eviction is strict (first_seen < now - timeout): the watermark landing
+  // exactly on first_seen + timeout does not expire the group, so a sibling
+  // arriving in the same instant still completes the join.
+  int emitted = 0;
+  MidJoiner joiner(2, 100,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  joiner.Add(Share(4, {0x0F}), 50, 0);
+  joiner.EvictStale(150);  // cutoff = 50: 50 < 50 is false -> keep waiting
+  EXPECT_EQ(joiner.pending_groups(), 1u);
+  EXPECT_EQ(joiner.stats().evicted_partial, 0u);
+  joiner.Add(Share(4, {0xF0}), 150, 1);
+  EXPECT_EQ(emitted, 1);
+  // One more millisecond and it would have been evicted.
+  joiner.Add(Share(6, {1}), 50, 0);
+  joiner.EvictStale(151);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  EXPECT_EQ(joiner.stats().evicted_partial, 1u);
+}
+
+TEST(MidJoinerTest, DuplicateShareAfterExpiryIsLateDropped) {
+  int emitted = 0;
+  MidJoiner joiner(2, 100,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  joiner.Add(Share(8, {1}), 0, 0);
+  joiner.EvictStale(200);
+  EXPECT_EQ(joiner.stats().evicted_partial, 1u);
+  // Even a redelivery of the share the group already had counts as late,
+  // not as a same-slot duplicate — the group no longer exists.
+  joiner.Add(Share(8, {1}), 205, 0);
+  joiner.Add(Share(8, {2}), 206, 1);
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  EXPECT_EQ(joiner.stats().late_dropped, 2u);
+  EXPECT_EQ(joiner.stats().duplicates_dropped, 0u);
+}
+
+TEST(MidJoinerTest, EvictFnReportsMidAndFirstSeen) {
+  std::vector<std::pair<uint64_t, int64_t>> evicted;
+  MidJoiner joiner(2, 100,
+                   [](uint64_t, std::vector<uint8_t>, int64_t) {});
+  joiner.set_evict_fn([&](uint64_t mid, int64_t first_seen_ms) {
+    evicted.emplace_back(mid, first_seen_ms);
+  });
+  joiner.Add(Share(11, {1}), 10, 0);
+  joiner.Add(Share(12, {2}), 20, 1);
+  joiner.EvictStale(500);
+  ASSERT_EQ(evicted.size(), 2u);
+  std::sort(evicted.begin(), evicted.end());
+  EXPECT_EQ(evicted[0], (std::pair<uint64_t, int64_t>{11, 10}));
+  EXPECT_EQ(evicted[1], (std::pair<uint64_t, int64_t>{12, 20}));
 }
 
 TEST(MidJoinerTest, RejectsBadConfig) {

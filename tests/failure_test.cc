@@ -174,12 +174,24 @@ TEST(FailureTest, MalformedRecordsSurfaceInEpochStats) {
     // Consumed = every well-formed share plus the injected garbage record.
     EXPECT_EQ(stats.shares_consumed,
               config.num_clients * config.num_proxies + 1);
+    // EpochStats is defined as a per-epoch delta of the registry counters —
+    // after one epoch, delta and cumulative value must agree exactly.
+    metrics::Registry& reg = sys.metrics_registry();
+    EXPECT_EQ(stats.malformed_dropped,
+              reg.GetCounter("privapprox_malformed_dropped_total", "").Value());
+    EXPECT_EQ(stats.shares_consumed,
+              reg.GetCounter("privapprox_shares_consumed_total", "").Value());
+    EXPECT_EQ(stats.participants,
+              reg.GetCounter("privapprox_participants_total", "").Value());
     // A clean follow-up epoch reports zero drops: the stat is per-epoch.
     for (size_t i = 0; i < config.num_clients; ++i) {
       sys.client(i).database().GetTable("vehicle").Insert(
           1500, {localdb::Value(25.0)});
     }
     EXPECT_EQ(sys.RunEpoch(2000).malformed_dropped, 0u);
+    // Cumulative counter keeps the first epoch's drop.
+    EXPECT_EQ(
+        reg.GetCounter("privapprox_malformed_dropped_total", "").Value(), 1u);
   }
 }
 
