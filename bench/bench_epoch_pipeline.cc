@@ -15,11 +15,14 @@
 //
 // The last line printed is a single JSON row, also appended to a trajectory
 // file so later PRs can diff epoch-throughput movement. Flags:
-// --clients=N --epochs=N --json-out=PATH --metrics=0|1 (defaults 100000 /
-// 3 / BENCH_pipeline.json / 0; --json-out= empty disables the file append).
-// --metrics=1 turns on the full observability layer (stage histograms,
-// per-proxy families, channel depth gauges) so CI can check its overhead
-// stays under 5%; core counters are always on either way.
+// --clients=N --epochs=N --json-out=PATH --metrics=0|1 --agg-shards=N
+// (defaults 100000 / 3 / BENCH_pipeline.json / 0 / 0; --json-out= empty
+// disables the file append). --metrics=1 turns on the full observability
+// layer (stage histograms, per-proxy families, channel depth gauges) so CI
+// can check its overhead stays under 5%; core counters are always on either
+// way. --agg-shards pins the aggregator join shard count; 0 (the default)
+// follows the worker thread count of each row, so every row is tagged with
+// the shard count it actually ran.
 
 #include <chrono>
 #include <cstdio>
@@ -40,7 +43,8 @@ struct BenchConfig {
   size_t clients = 100000;
   size_t epochs = 3;
   std::string json_out = "BENCH_pipeline.json";
-  bool metrics = false;  // full observability layer on (--metrics=1)
+  bool metrics = false;   // full observability layer on (--metrics=1)
+  size_t agg_shards = 0;  // aggregator join shards; 0 = worker thread count
 };
 
 struct Row {
@@ -53,6 +57,7 @@ struct Row {
   uint64_t shares_consumed = 0;
   uint64_t heap_allocs = 0;  // across the timed epochs (counting allocator)
   double allocs_per_share = 0.0;
+  size_t agg_shards = 0;  // resolved aggregator shard count for this row
 };
 
 const char* ModeName(system::EpochPipelineMode mode) {
@@ -78,6 +83,7 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   config.seed = 42;
   config.pipeline.num_worker_threads = threads;
   config.pipeline.mode = mode;
+  config.aggregator.num_shards = bench.agg_shards;
   config.metrics.enabled = bench.metrics;
   system::PrivApproxSystem sys(config);
   for (size_t i = 0; i < bench.clients; ++i) {
@@ -97,6 +103,8 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   Row row;
   row.mode = mode;
   row.threads = sys.num_worker_threads();
+  row.agg_shards =
+      bench.agg_shards != 0 ? bench.agg_shards : sys.num_worker_threads();
   const uint64_t allocs_before = AllocCounter::Count();
   const auto start = std::chrono::steady_clock::now();
   for (size_t e = 0; e < bench.epochs; ++e) {
@@ -134,10 +142,12 @@ int main(int argc, char** argv) {
       bench.json_out = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       bench.metrics = std::atoi(argv[i] + 10) != 0;
+    } else if (std::strncmp(argv[i], "--agg-shards=", 13) == 0) {
+      bench.agg_shards = static_cast<size_t>(std::atoll(argv[i] + 13));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--clients=N] [--epochs=N] [--json-out=PATH] "
-                   "[--metrics=0|1]\n",
+                   "[--metrics=0|1] [--agg-shards=N]\n",
                    argv[0]);
       return 1;
     }
@@ -202,17 +212,22 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"mode\":\"%s\",\"threads\":%zu,\"seconds\":%.4f,"
+                  "%s{\"mode\":\"%s\",\"threads\":%zu,\"agg_shards\":%zu,"
+                  "\"seconds\":%.4f,"
                   "\"clients_per_sec\":%.0f,\"shares_per_sec\":%.0f,"
                   "\"allocs_per_share\":%.3f}",
                   i == 0 ? "" : ",", ModeName(row.mode), row.threads,
-                  row.seconds, row.clients_per_sec, row.shares_per_sec,
-                  row.allocs_per_share);
+                  row.agg_shards, row.seconds, row.clients_per_sec,
+                  row.shares_per_sec, row.allocs_per_share);
     json += buf;
   }
+  const Row* barrier_two = nullptr;
   const Row* barrier_four = nullptr;
   const Row* streaming_four = nullptr;
   for (const Row& row : rows) {
+    if (row.mode == system::EpochPipelineMode::kBarrier && row.threads == 2) {
+      barrier_two = &row;
+    }
     if (row.threads != 4) {
       continue;
     }
@@ -221,7 +236,10 @@ int main(int argc, char** argv) {
   }
   std::snprintf(
       buf, sizeof(buf),
-      "],\"speedup_4_vs_1\":%.3f,\"streaming_vs_barrier_4\":%.3f}",
+      "],\"speedup_2_vs_1\":%.3f,\"speedup_4_vs_1\":%.3f,"
+      "\"streaming_vs_barrier_4\":%.3f}",
+      barrier_two != nullptr ? barrier_base_seconds / barrier_two->seconds
+                             : 0.0,
       barrier_four != nullptr ? barrier_base_seconds / barrier_four->seconds
                               : 0.0,
       barrier_four != nullptr && streaming_four != nullptr

@@ -1,13 +1,13 @@
 #include "aggregator/aggregator.h"
 
+#include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <stdexcept>
 
 #include "common/histogram.h"
-#include "core/answer.h"
 #include "core/inversion.h"
 #include "crypto/message.h"
-#include "proxy/proxy.h"
 
 namespace privapprox::aggregator {
 
@@ -41,6 +41,18 @@ class ScopedTimer {
   int64_t start_ns_ = 0;
 };
 
+// SplitMix64 finalizer: MIDs are drawn from client RNGs but may share
+// low-bit structure; the mix spreads them uniformly so `mix % num_shards`
+// balances shards for any shard count, not just powers of two.
+uint64_t MixMid(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
@@ -59,34 +71,38 @@ Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
   if (config.population == 0) {
     throw std::invalid_argument("Aggregator: population must be > 0");
   }
+  if (config.num_shards == 0) {
+    throw std::invalid_argument("Aggregator: num_shards must be > 0");
+  }
   for (size_t i = 0; i < config.num_proxies; ++i) {
     const std::string topic = "proxy" + std::to_string(i) + ".out";
     consumers_.push_back(
         std::make_unique<broker::Consumer>(broker_.GetTopic(topic)));
   }
-  joiner_ = std::make_unique<engine::MidJoiner>(
-      config.num_proxies, config.join_timeout_ms,
-      [this](uint64_t mid, std::vector<uint8_t> plaintext, int64_t ts) {
-        OnJoined(mid, std::move(plaintext), ts);
+  const engine::SlidingWindowAssigner assigner(query_.window_length_ms,
+                                               query_.sliding_interval_ms);
+  for (size_t s = 0; s < config.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(assigner);
+    Shard* sp = shard.get();
+    sp->joiner = std::make_unique<engine::MidJoiner>(
+        config.num_proxies, config.join_timeout_ms,
+        [this, sp](uint64_t mid, std::vector<uint8_t> plaintext, int64_t ts) {
+          OnJoinedShard(*sp, mid, std::move(plaintext), ts);
+        });
+    if (config_.track_fault_losses) {
+      // Attribute every watermark-expired join group to its window for CI
+      // widening. Wired only under a fault plan so the fault-free estimate
+      // path stays bit-identical. Evictions only run from AdvanceWatermark's
+      // sequential shard loop, so touching coordinator state here is safe.
+      sp->joiner->set_evict_fn([this](uint64_t mid, int64_t first_seen_ms) {
+        if (config_.expired_mids_total != nullptr) {
+          config_.expired_mids_total->Increment();
+        }
+        NoteLostMid(mid, first_seen_ms);
       });
-  if (config_.track_fault_losses) {
-    // Attribute every watermark-expired join group to its window for CI
-    // widening. Wired only under a fault plan so the fault-free estimate
-    // path stays bit-identical.
-    joiner_->set_evict_fn([this](uint64_t mid, int64_t first_seen_ms) {
-      if (config_.expired_mids_total != nullptr) {
-        config_.expired_mids_total->Increment();
-      }
-      NoteLostMid(mid, first_seen_ms);
-    });
+    }
+    shards_.push_back(std::move(shard));
   }
-  windows_ = std::make_unique<engine::WindowBuffer<BitVector>>(
-      engine::SlidingWindowAssigner(query_.window_length_ms,
-                                    query_.sliding_interval_ms),
-      [this](const engine::Window& window,
-             const std::vector<BitVector>& answers) {
-        OnWindowFired(window, answers);
-      });
 }
 
 void Aggregator::UpdateParams(const core::ExecutionParams& params) {
@@ -94,6 +110,13 @@ void Aggregator::UpdateParams(const core::ExecutionParams& params) {
   params_ = params;
   estimator_ = core::ErrorEstimator(params, config_.population,
                                     config_.confidence);
+}
+
+size_t Aggregator::ShardOf(uint64_t mid) const {
+  if (shards_.size() == 1) {
+    return 0;
+  }
+  return static_cast<size_t>(MixMid(mid) % shards_.size());
 }
 
 uint64_t Aggregator::Drain() {
@@ -131,21 +154,96 @@ uint64_t Aggregator::Drain() {
       }
     }
   }
-  // Phase 2: sequential join in source order — the same order the fully
-  // sequential path fed the joiner, so emission order (and therefore every
-  // downstream result) is identical.
-  ScopedTimer timer(config_.join_ns);
+  // Phase 2: feed the join shards. Decode-level malformed records are the
+  // coordinator's to count (they never reach a shard).
   uint64_t consumed = 0;
   for (size_t source = 0; source < num_sources; ++source) {
     const proxy::Proxy::DecodedShares& batch = drain_decoded_[source];
     consumed += batch.shares.size() + batch.malformed;
     NoteMalformed(batch.malformed);
-    for (const auto& share : batch.shares) {
-      joiner_->Add(share.message_id, share.payload, share.timestamp_ms,
-                   source);
+  }
+  FeedShards(drain_decoded_);
+  return consumed;
+}
+
+void Aggregator::FeedShards(
+    std::span<const proxy::Proxy::DecodedShares> per_source) {
+  ScopedTimer timer(config_.join_ns);
+  // Each shard scans every batch and picks out its own MIDs, so a shard's
+  // joiner (and everything its emit path mutates) is touched by exactly one
+  // task. Within a shard the feed order is (source, record) order — the
+  // same order a single shard would see its subset in, which keeps
+  // per-shard join stats and emission order canonical.
+  const auto feed_shard = [&](size_t shard_index) {
+    Shard& shard = *shards_[shard_index];
+    for (size_t source = 0; source < per_source.size(); ++source) {
+      for (const auto& share : per_source[source].shares) {
+        if (ShardOf(share.message_id) != shard_index) {
+          continue;
+        }
+        ++shard.shares_fed;
+        shard.joiner->Add(share.message_id, share.payload, share.timestamp_ms,
+                          source);
+      }
+    }
+  };
+  if (config_.pool != nullptr && shards_.size() > 1) {
+    config_.pool->ParallelFor(shards_.size(), [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        feed_shard(s);
+      }
+    });
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      feed_shard(s);
     }
   }
-  return consumed;
+  MergeShardDeltas();
+}
+
+void Aggregator::MergeShardDeltas() {
+  // Sequential, in shard order. Every fold below is a sum, max, or
+  // insertion keyed by data the shards partition disjointly, so the merged
+  // totals are independent of how work interleaved inside the parallel
+  // region — only this loop's fixed order shows up in observable output
+  // (the answer-tap order).
+  uint64_t routed_max = 0;
+  uint64_t routed_sum = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    NoteMalformed(shard.malformed);
+    shard.malformed = 0;
+    wrong_query_dropped_ += shard.wrong_query;
+    shard.wrong_query = 0;
+    if (shard.max_event_ms != INT64_MIN) {
+      stream_watermark_.Observe(shard.max_event_ms);
+      shard.max_event_ms = INT64_MIN;
+    }
+    if (answer_tap_) {
+      for (const auto& [ts, answer] : shard.tap) {
+        answer_tap_(ts, answer);
+      }
+    }
+    shard.tap.clear();
+    if (!config_.shard_shares_total.empty() && shard.shares_fed > 0) {
+      config_.shard_shares_total[s]->Increment(shard.shares_fed);
+    }
+    const uint64_t joined = shard.joiner->stats().joined;
+    if (!config_.shard_joined_total.empty() && joined > shard.last_joined) {
+      config_.shard_joined_total[s]->Increment(joined - shard.last_joined);
+    }
+    shard.last_joined = joined;
+    shard.routed_total += shard.shares_fed;
+    shard.shares_fed = 0;
+    routed_max = std::max(routed_max, shard.routed_total);
+    routed_sum += shard.routed_total;
+  }
+  if (config_.shard_imbalance_milli != nullptr && routed_sum > 0) {
+    const double mean =
+        static_cast<double>(routed_sum) / static_cast<double>(shards_.size());
+    config_.shard_imbalance_milli->Set(
+        static_cast<int64_t>(static_cast<double>(routed_max) * 1000.0 / mean));
+  }
 }
 
 void Aggregator::NoteLostMid(uint64_t mid, int64_t ts) {
@@ -207,20 +305,16 @@ uint64_t Aggregator::ConsumeShardBatch(
   // Advance the reorder buffer: feed every complete shard at the head, in
   // (shard_seq, source) order — the streaming pipeline's canonical join
   // feed order.
-  ScopedTimer timer(config_.join_ns);
   while (!stream_pending_.empty()) {
     auto head = stream_pending_.begin();
     if (head->first != stream_next_seq_ ||
         head->second.filled != consumers_.size()) {
       break;
     }
-    for (size_t s = 0; s < consumers_.size(); ++s) {
-      const proxy::Proxy::DecodedShares& batch = head->second.per_source[s];
+    for (const proxy::Proxy::DecodedShares& batch : head->second.per_source) {
       NoteMalformed(batch.malformed);
-      for (const auto& share : batch.shares) {
-        joiner_->Add(share.message_id, share.payload, share.timestamp_ms, s);
-      }
     }
+    FeedShards(head->second.per_source);
     stream_pending_.erase(head);
     ++stream_next_seq_;
   }
@@ -237,34 +331,64 @@ void Aggregator::FinishStream() {
   }
 }
 
-void Aggregator::OnJoined(uint64_t /*mid*/, std::vector<uint8_t> plaintext,
-                          int64_t timestamp_ms) {
+void Aggregator::OnJoinedShard(Shard& shard, uint64_t /*mid*/,
+                               std::vector<uint8_t> plaintext,
+                               int64_t timestamp_ms) {
   crypto::AnswerMessage message;
   try {
     message = crypto::AnswerMessage::Deserialize(plaintext);
   } catch (const std::invalid_argument&) {
-    NoteMalformed(1);
+    ++shard.malformed;
     return;
   }
   if (message.query_id != query_.query_id ||
       message.answer.size() != query_.answer_format.num_buckets()) {
-    ++wrong_query_dropped_;
+    ++shard.wrong_query;
     return;
   }
+  shard.max_event_ms = std::max(shard.max_event_ms, timestamp_ms);
+  shard.windows.Fold(timestamp_ms, message.answer, [this] {
+    return core::AnswerAccumulator(query_.answer_format.num_buckets());
+  });
   if (answer_tap_) {
-    answer_tap_(timestamp_ms, message.answer);
+    shard.tap.emplace_back(timestamp_ms, std::move(message.answer));
   }
-  stream_watermark_.Observe(timestamp_ms);
-  windows_->Add(timestamp_ms, message.answer);
+}
+
+void Aggregator::FireWindows(int64_t watermark_ms, bool flush) {
+  // Drain each shard's completed windows in shard order and merge
+  // accumulators per window. The element-wise histogram add is exact (every
+  // count is a whole number of 1.0 increments, far below 2^53), so the
+  // merged accumulator is bit-identical to the one a single shard would
+  // have built — shard count and merge order cannot change a result.
+  for (auto& shard : shards_) {
+    fired_scratch_.clear();
+    if (flush) {
+      shard->windows.DrainAll(fired_scratch_);
+    } else {
+      shard->windows.DrainFired(watermark_ms, fired_scratch_);
+    }
+    for (auto& [window, acc] : fired_scratch_) {
+      auto it = merged_scratch_.find(window);
+      if (it == merged_scratch_.end()) {
+        merged_scratch_.emplace(window, std::move(acc));
+      } else {
+        it->second.Merge(acc);
+      }
+    }
+  }
+  fired_scratch_.clear();
+  // Emit in ascending window order — the same order the single-shard
+  // WindowBuffer fired in.
+  for (const auto& [window, acc] : merged_scratch_) {
+    OnWindowFired(window, acc);
+  }
+  merged_scratch_.clear();
 }
 
 void Aggregator::OnWindowFired(const engine::Window& window,
-                               const std::vector<BitVector>& answers) {
+                               const core::AnswerAccumulator& acc) {
   ScopedTimer timer(config_.window_ns);
-  core::AnswerAccumulator acc(query_.answer_format.num_buckets());
-  for (const BitVector& answer : answers) {
-    acc.Add(answer);
-  }
   const size_t lost_in_window =
       config_.track_fault_losses ? CountLossesInWindow(window) : 0;
   core::QueryResult result =
@@ -282,8 +406,13 @@ void Aggregator::OnWindowFired(const engine::Window& window,
 }
 
 void Aggregator::AdvanceWatermark(int64_t watermark_ms) {
-  joiner_->EvictStale(watermark_ms);
-  windows_->AdvanceWatermark(watermark_ms);
+  // Evictions run shard by shard in shard order; each MID lives in exactly
+  // one shard, so the coordinator-side loss map and expired counter end up
+  // identical for every shard count.
+  for (auto& shard : shards_) {
+    shard->joiner->EvictStale(watermark_ms);
+  }
+  FireWindows(watermark_ms, /*flush=*/false);
   if (config_.track_fault_losses && !fault_lost_mids_.empty()) {
     // Losses too old to fall into any window still unfired can go: every
     // window containing their event time ended at or before the watermark.
@@ -301,14 +430,26 @@ void Aggregator::AdvanceWatermarkToStream() {
   }
 }
 
-void Aggregator::Flush() { windows_->Flush(); }
+void Aggregator::Flush() { FireWindows(0, /*flush=*/true); }
 
 const engine::JoinStats& Aggregator::join_stats() const {
-  return joiner_->stats();
+  merged_join_stats_ = {};
+  for (const auto& shard : shards_) {
+    const engine::JoinStats& s = shard->joiner->stats();
+    merged_join_stats_.joined += s.joined;
+    merged_join_stats_.duplicates_dropped += s.duplicates_dropped;
+    merged_join_stats_.evicted_partial += s.evicted_partial;
+    merged_join_stats_.late_dropped += s.late_dropped;
+  }
+  return merged_join_stats_;
 }
 
 size_t Aggregator::pending_join_groups() const {
-  return joiner_->pending_groups();
+  size_t pending = 0;
+  for (const auto& shard : shards_) {
+    pending += shard->joiner->pending_groups();
+  }
+  return pending;
 }
 
 }  // namespace privapprox::aggregator

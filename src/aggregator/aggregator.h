@@ -6,6 +6,13 @@
 // error bound (sampling + randomized response). Results reach the analyst
 // via a callback; joined randomized answers are optionally teed into the
 // historical store (§3.3.1).
+//
+// The join + window stage is sharded by hash(MID): each shard owns an
+// independent MidJoiner and per-window accumulators, so feeding shards can
+// run in parallel with no shared mutable state, and per-window results are
+// merged deterministically in shard order at fire time (see DESIGN.md §6g
+// for why the merge is order-free and the N-shard result is bit-identical
+// to the single-shard run).
 
 #ifndef PRIVAPPROX_AGGREGATOR_AGGREGATOR_H_
 #define PRIVAPPROX_AGGREGATOR_AGGREGATOR_H_
@@ -16,10 +23,12 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "broker/broker.h"
 #include "common/thread_pool.h"
+#include "core/answer.h"
 #include "core/budget.h"
 #include "core/error_estimation.h"
 #include "core/query.h"
@@ -41,9 +50,15 @@ struct AggregatorConfig {
   int64_t watermark_out_of_orderness_ms = 1000;
   // De-invert results produced under query inversion (§3.3.2).
   bool answers_inverted = false;
+  // Join/window shards: shares route to shard hash(MID) % num_shards, each
+  // with its own MidJoiner and window accumulators. 1 = the classic
+  // sequential aggregator. Any N produces bit-identical results; N > 1 only
+  // goes parallel when `pool` is also set.
+  size_t num_shards = 1;
   // Optional worker pool (not owned). When set, Drain polls and decodes the
-  // n proxy streams in parallel — one task per source topic — before the
-  // sequential MID join. Null keeps Drain fully sequential.
+  // n proxy streams in parallel — one task per source topic — and both
+  // consume paths feed the join shards in parallel (one task per shard).
+  // Null keeps everything sequential.
   ThreadPool* pool = nullptr;
   // Optional instruments, not owned (null = uninstrumented). Wired by
   // PrivApproxSystem from its metrics registry. malformed_total mirrors
@@ -52,6 +67,13 @@ struct AggregatorConfig {
   metrics::Histogram* decode_ns = nullptr;  // per poll+decode pass
   metrics::Histogram* join_ns = nullptr;    // per join feed pass
   metrics::Histogram* window_ns = nullptr;  // per fired window
+  // Per-shard instruments, indexed by shard (empty or size num_shards):
+  // shares routed to the shard and answers its joiner completed. The
+  // imbalance gauge holds max-shard-routed * 1000 / mean-shard-routed
+  // (1000 = perfectly balanced), updated after every feed pass.
+  std::vector<metrics::Counter*> shard_shares_total;
+  std::vector<metrics::Counter*> shard_joined_total;
+  metrics::Gauge* shard_imbalance_milli = nullptr;
   // Fault-loss accounting (wired by PrivApproxSystem when a FaultPlan is
   // configured). When true, MIDs reported lost by the fault injector
   // (NoteFaultLostMids) and incomplete MIDs expired from the join at the
@@ -104,7 +126,9 @@ class Aggregator {
   // feed order is deterministic for every worker count, channel depth, and
   // thread interleaving. Returns records consumed (incl. malformed).
   //
-  // Not thread-safe; not to be interleaved with Drain() mid-epoch.
+  // Not thread-safe; not to be interleaved with Drain() mid-epoch. (The
+  // internal fan-out to join shards may borrow the pool, but callers see a
+  // single-threaded surface.)
   uint64_t ConsumeShardBatch(size_t source, uint64_t shard_seq,
                              const std::vector<uint32_t>& partition_counts);
 
@@ -120,7 +144,9 @@ class Aggregator {
   // once — a later join-group expiry of the same MID does not double-widen.
   void NoteFaultLostMids(std::span<const uint64_t> mids, int64_t now_ms);
 
-  // Advances the event-time watermark, firing complete windows.
+  // Advances the event-time watermark: evicts stale join groups and fires
+  // complete windows, shard by shard in shard order, merging same-window
+  // accumulators across shards before emitting each result.
   void AdvanceWatermark(int64_t watermark_ms);
 
   // Stream-driven alternative: advances to the bounded-out-of-orderness
@@ -131,16 +157,33 @@ class Aggregator {
   // Fires everything left (end of stream).
   void Flush();
 
+  // Join statistics summed across shards (recomputed per call).
   const engine::JoinStats& join_stats() const;
   size_t pending_join_groups() const;
   uint64_t malformed_dropped() const { return malformed_dropped_; }
   uint64_t wrong_query_dropped() const { return wrong_query_dropped_; }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
-  void OnJoined(uint64_t mid, std::vector<uint8_t> plaintext,
-                int64_t timestamp_ms);
-  void OnWindowFired(const engine::Window& window,
-                     const std::vector<BitVector>& answers);
+  // One join/window shard. Owns every piece of mutable state its joiner
+  // emit path touches, so shards feed in parallel without synchronization;
+  // the cross-shard deltas (malformed, wrong_query, max event time, tap)
+  // are folded into the coordinator sequentially after the parallel region.
+  struct Shard {
+    explicit Shard(const engine::SlidingWindowAssigner& assigner)
+        : windows(assigner) {}
+    std::unique_ptr<engine::MidJoiner> joiner;
+    engine::AccumulatingWindowBuffer<core::AnswerAccumulator> windows;
+    // Deltas since the last MergeShardDeltas:
+    uint64_t malformed = 0;      // joined plaintexts that failed to parse
+    uint64_t wrong_query = 0;    // parsed answers for the wrong query/width
+    uint64_t shares_fed = 0;     // shares routed to this shard
+    int64_t max_event_ms = INT64_MIN;  // max valid-answer event time
+    std::vector<std::pair<int64_t, BitVector>> tap;  // buffered answer tap
+    // Lifetime counters for metrics deltas / imbalance:
+    uint64_t last_joined = 0;    // joiner stats().joined at last merge
+    uint64_t routed_total = 0;   // lifetime shares routed
+  };
 
   // One shard's decoded batches, one slot per source stream. Decoded share
   // payloads point into broker slab storage (valid for the topic's
@@ -149,6 +192,22 @@ class Aggregator {
     std::vector<proxy::Proxy::DecodedShares> per_source;
     size_t filled = 0;
   };
+
+  size_t ShardOf(uint64_t mid) const;
+  // Feeds every decoded batch (indexed by source) to the join shards — in
+  // parallel via the pool when num_shards > 1 and a pool is wired,
+  // sequentially otherwise — then folds shard deltas into the coordinator
+  // in shard order.
+  void FeedShards(std::span<const proxy::Proxy::DecodedShares> per_source);
+  void MergeShardDeltas();
+  // Fires windows up to `watermark_ms` (or everything when `flush`):
+  // drains each shard's completed windows in shard order, merges
+  // accumulators per window, then emits results in ascending window order.
+  void FireWindows(int64_t watermark_ms, bool flush);
+  void OnJoinedShard(Shard& shard, uint64_t mid,
+                     std::vector<uint8_t> plaintext, int64_t timestamp_ms);
+  void OnWindowFired(const engine::Window& window,
+                     const core::AnswerAccumulator& acc);
   void NoteMalformed(uint64_t n);
   void NoteLostMid(uint64_t mid, int64_t ts);
   size_t CountLossesInWindow(const engine::Window& window) const;
@@ -160,8 +219,9 @@ class Aggregator {
   ResultFn on_result_;
   AnswerTapFn answer_tap_;
   std::vector<std::unique_ptr<broker::Consumer>> consumers_;
-  std::unique_ptr<engine::MidJoiner> joiner_;
-  std::unique_ptr<engine::WindowBuffer<BitVector>> windows_;
+  // unique_ptr for stable addresses: each shard's joiner emit callback
+  // captures its Shard*.
+  std::vector<std::unique_ptr<Shard>> shards_;
   core::ErrorEstimator estimator_;
   engine::BoundedOutOfOrdernessWatermark stream_watermark_{1000};
   // Streaming-mode reorder buffer: shards decoded but not yet fed to the
@@ -172,10 +232,15 @@ class Aggregator {
   // shard consumption perform no heap allocation. drain_* are indexed by
   // source (one slot per consumer, so the parallel Drain path stays
   // synchronization-free); shard_views_ backs the single-threaded
-  // ConsumeShardBatch poll.
+  // ConsumeShardBatch poll; fired_/merged_scratch_ back the per-watermark
+  // window merge.
   std::vector<std::vector<broker::RecordView>> drain_views_;
   std::vector<proxy::Proxy::DecodedShares> drain_decoded_;
   std::vector<broker::RecordView> shard_views_;
+  std::vector<std::pair<engine::Window, core::AnswerAccumulator>>
+      fired_scratch_;
+  std::map<engine::Window, core::AnswerAccumulator> merged_scratch_;
+  mutable engine::JoinStats merged_join_stats_;
   uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;
   uint64_t wrong_query_dropped_ = 0;
@@ -183,7 +248,9 @@ class Aggregator {
   // loss, deduplicating injector reports against join-group expiries. A
   // sliding window counts the losses whose event time it covers when it
   // fires; entries too old to reach any future window are pruned as the
-  // watermark advances.
+  // watermark advances. Coordinator-level: evictions run shard-by-shard in
+  // shard order, and each MID belongs to exactly one shard, so the map's
+  // content is independent of shard count.
   std::unordered_map<uint64_t, int64_t> fault_lost_mids_;
 };
 

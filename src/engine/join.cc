@@ -1,5 +1,6 @@
 #include "engine/join.h"
 
+#include <iterator>
 #include <stdexcept>
 
 #include "common/xor_bytes.h"
@@ -77,7 +78,7 @@ void MidJoiner::AddImpl(uint64_t message_id, std::span<const uint8_t> payload,
     }
     const int64_t first_seen = group.first_seen_ms;
     pending_.erase(message_id);
-    completed_mids_.insert(message_id);
+    completed_mids_[message_id] = timestamp_ms;
     ++stats_.joined;
     emit_(message_id, std::move(plaintext), first_seen);
   }
@@ -90,7 +91,7 @@ void MidJoiner::EvictStale(int64_t now_ms) {
       ++stats_.evicted_partial;
       const uint64_t mid = it->first;
       const int64_t first_seen = it->second.first_seen_ms;
-      expired_mids_.insert(mid);
+      expired_mids_[mid] = now_ms;
       it = pending_.erase(it);
       if (evict_fn_) {
         evict_fn_(mid, first_seen);
@@ -98,6 +99,16 @@ void MidJoiner::EvictStale(int64_t now_ms) {
     } else {
       ++it;
     }
+  }
+  // Prune the remembered sets behind the same cutoff: a completed MID is
+  // forgotten one timeout after its completing share's event time, an
+  // expired MID one timeout after its eviction — keeping the sets bounded
+  // by roughly two timeouts of distinct MIDs in steady state.
+  for (auto it = completed_mids_.begin(); it != completed_mids_.end();) {
+    it = it->second < cutoff ? completed_mids_.erase(it) : std::next(it);
+  }
+  for (auto it = expired_mids_.begin(); it != expired_mids_.end();) {
+    it = it->second < cutoff ? expired_mids_.erase(it) : std::next(it);
   }
 }
 

@@ -17,7 +17,6 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "crypto/message.h"
@@ -68,11 +67,19 @@ class MidJoiner {
   // (strictly: first_seen < now - timeout, so a group whose last share
   // lands exactly at the cutoff still joins). Evicted MIDs are remembered:
   // a straggler share arriving later is dropped as late (it must not start
-  // a fresh, never-completable group).
+  // a fresh, never-completable group). The remembered completed/expired
+  // sets are pruned behind the same cutoff, so their size is bounded by
+  // the MIDs seen within the last join timeout instead of growing for the
+  // life of the run.
   void EvictStale(int64_t now_ms);
 
   const JoinStats& stats() const { return stats_; }
   size_t pending_groups() const { return pending_.size(); }
+  // Size of the remembered (completed + expired) MID sets — bounded by the
+  // pruning in EvictStale; the boundedness test pins it.
+  size_t remembered_mids() const {
+    return completed_mids_.size() + expired_mids_.size();
+  }
 
  private:
   // One per-source slot. The copying Add stores the payload in `owned` and
@@ -98,8 +105,15 @@ class MidJoiner {
   EmitFn emit_;
   EvictFn evict_fn_;
   std::unordered_map<uint64_t, Group> pending_;
-  std::unordered_set<uint64_t> completed_mids_;
-  std::unordered_set<uint64_t> expired_mids_;
+  // Remembered MIDs, stamped for pruning: completed_mids_ holds the event
+  // time of the completing share (a replay within one timeout of it is
+  // still detected), expired_mids_ the eviction watermark (a straggler
+  // within one timeout of the eviction is still dropped as late). EvictStale
+  // drops entries whose stamp fell behind its cutoff — anything older is
+  // beyond the join horizon anyway: at worst an ancient replay restarts a
+  // group that can never complete and expires again at the next pass.
+  std::unordered_map<uint64_t, int64_t> completed_mids_;
+  std::unordered_map<uint64_t, int64_t> expired_mids_;
   JoinStats stats_;
 };
 

@@ -18,18 +18,29 @@ SlidingWindowAssigner::SlidingWindowAssigner(int64_t length_ms,
 
 std::vector<Window> SlidingWindowAssigner::WindowsFor(
     int64_t timestamp_ms) const {
+  std::vector<Window> windows;
+  AppendWindowsFor(timestamp_ms, windows);
+  return windows;
+}
+
+void SlidingWindowAssigner::AppendWindowsFor(int64_t timestamp_ms,
+                                             std::vector<Window>& out) const {
+  out.clear();
   // The most recent window start at or before the timestamp (floor division
   // that also works for negative timestamps).
   int64_t last_start = timestamp_ms / slide_ms_ * slide_ms_;
   if (timestamp_ms < 0 && last_start > timestamp_ms) {
     last_start -= slide_ms_;
   }
-  std::vector<Window> windows;
+  if (length_ms_ == slide_ms_) {
+    // Tumbling windows: exactly one window contains the timestamp.
+    out.push_back(Window{last_start, last_start + length_ms_});
+    return;
+  }
   for (int64_t start = last_start; start > timestamp_ms - length_ms_;
        start -= slide_ms_) {
-    windows.push_back(Window{start, start + length_ms_});
+    out.push_back(Window{start, start + length_ms_});
   }
-  return windows;
 }
 
 }  // namespace privapprox::engine

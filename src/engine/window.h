@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace privapprox::engine {
@@ -35,6 +36,11 @@ class SlidingWindowAssigner {
   // All windows [start, start + length) that contain `timestamp`.
   std::vector<Window> WindowsFor(int64_t timestamp_ms) const;
 
+  // Allocation-free variant for the hot path: clears `out` and appends the
+  // same windows, newest first. Tumbling windows (length == slide) resolve
+  // to the single containing window without the backwards scan.
+  void AppendWindowsFor(int64_t timestamp_ms, std::vector<Window>& out) const;
+
  private:
   int64_t length_ms_;
   int64_t slide_ms_;
@@ -50,16 +56,12 @@ class WindowBuffer {
   WindowBuffer(SlidingWindowAssigner assigner, FireFn on_fire)
       : assigner_(assigner), on_fire_(std::move(on_fire)) {}
 
-  void Add(int64_t timestamp_ms, const T& item) {
-    // Late data (behind the watermark) is dropped, as in the prototype's
-    // event-time join.
-    if (timestamp_ms < watermark_ms_) {
-      ++late_dropped_;
-      return;
-    }
-    for (const Window& window : assigner_.WindowsFor(timestamp_ms)) {
-      pending_[window].push_back(item);
-    }
+  void Add(int64_t timestamp_ms, const T& item) { AddImpl(timestamp_ms, item); }
+  // Rvalue path: the item is copied into all but its last assigned window
+  // and moved into the last, saving one copy per add (the only copy, for
+  // tumbling windows).
+  void Add(int64_t timestamp_ms, T&& item) {
+    AddImpl(timestamp_ms, std::move(item));
   }
 
   // Advances the watermark and fires every window that is now complete.
@@ -75,12 +77,104 @@ class WindowBuffer {
     }
   }
 
-  // Fires all remaining windows regardless of the watermark (end of stream).
+  // Fires all remaining windows regardless of the watermark (end of
+  // stream), then pins the watermark at INT64_MAX: the stream is over, so a
+  // later Add counts as late_dropped instead of silently starting a window
+  // that could never fire.
   void Flush() {
     for (const auto& [window, items] : pending_) {
       on_fire_(window, items);
     }
     pending_.clear();
+    watermark_ms_ = INT64_MAX;
+  }
+
+  size_t pending_windows() const { return pending_.size(); }
+  uint64_t late_dropped() const { return late_dropped_; }
+  int64_t watermark_ms() const { return watermark_ms_; }
+
+ private:
+  template <typename U>
+  void AddImpl(int64_t timestamp_ms, U&& item) {
+    // Late data (behind the watermark) is dropped, as in the prototype's
+    // event-time join.
+    if (timestamp_ms < watermark_ms_) {
+      ++late_dropped_;
+      return;
+    }
+    assigner_.AppendWindowsFor(timestamp_ms, windows_scratch_);
+    for (size_t i = 0; i + 1 < windows_scratch_.size(); ++i) {
+      pending_[windows_scratch_[i]].push_back(item);
+    }
+    pending_[windows_scratch_.back()].push_back(std::forward<U>(item));
+  }
+
+  SlidingWindowAssigner assigner_;
+  FireFn on_fire_;
+  std::map<Window, std::vector<T>> pending_;
+  std::vector<Window> windows_scratch_;  // reused across adds: no per-add
+                                         // window-list allocation
+  int64_t watermark_ms_ = INT64_MIN;
+  uint64_t late_dropped_ = 0;
+};
+
+// Shard-local window state for additive aggregates (aggregator scale-out):
+// instead of buffering every item, each pending window keeps one
+// accumulator that items are folded into on arrival. Fired accumulators
+// are handed back to the caller rather than a callback, so a coordinator
+// can merge the same window's accumulators from many shards (in shard
+// order — the merge is order-free for additive counts, but a fixed order
+// keeps runs bit-identical) before acting on the window. Watermark and
+// late-drop semantics mirror WindowBuffer exactly, including the
+// INT64_MAX pin after a drain-all flush.
+template <typename Acc>
+class AccumulatingWindowBuffer {
+ public:
+  explicit AccumulatingWindowBuffer(SlidingWindowAssigner assigner)
+      : assigner_(assigner) {}
+
+  // Folds `item` into every window containing `timestamp_ms` via
+  // `Acc::Add(item)`; a window touched for the first time gets its
+  // accumulator from `make()`.
+  template <typename Item, typename MakeFn>
+  void Fold(int64_t timestamp_ms, const Item& item, MakeFn make) {
+    if (timestamp_ms < watermark_ms_) {
+      ++late_dropped_;
+      return;
+    }
+    assigner_.AppendWindowsFor(timestamp_ms, windows_scratch_);
+    for (const Window& window : windows_scratch_) {
+      auto it = pending_.find(window);
+      if (it == pending_.end()) {
+        it = pending_.emplace(window, make()).first;
+      }
+      it->second.Add(item);
+    }
+  }
+
+  // Advances the watermark and moves every now-complete window's
+  // accumulator into `out` (appended in ascending window order).
+  void DrainFired(int64_t watermark_ms,
+                  std::vector<std::pair<Window, Acc>>& out) {
+    if (watermark_ms <= watermark_ms_) {
+      return;
+    }
+    watermark_ms_ = watermark_ms;
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first.end_ms <= watermark_ms_) {
+      out.emplace_back(it->first, std::move(it->second));
+      it = pending_.erase(it);
+    }
+  }
+
+  // Moves everything pending into `out` (end of stream) and pins the
+  // watermark at INT64_MAX so later folds count as late.
+  void DrainAll(std::vector<std::pair<Window, Acc>>& out) {
+    for (auto& [window, acc] : pending_) {
+      out.emplace_back(window, std::move(acc));
+    }
+    pending_.clear();
+    watermark_ms_ = INT64_MAX;
   }
 
   size_t pending_windows() const { return pending_.size(); }
@@ -89,8 +183,8 @@ class WindowBuffer {
 
  private:
   SlidingWindowAssigner assigner_;
-  FireFn on_fire_;
-  std::map<Window, std::vector<T>> pending_;
+  std::map<Window, Acc> pending_;
+  std::vector<Window> windows_scratch_;
   int64_t watermark_ms_ = INT64_MIN;
   uint64_t late_dropped_ = 0;
 };

@@ -329,6 +329,9 @@ void PrivApproxSystem::SubmitQuery(const core::Query& query,
   agg_config.population = clients_.size();
   agg_config.confidence = config_.confidence;
   agg_config.answers_inverted = config_.invert_answers;
+  agg_config.num_shards = config_.aggregator.num_shards != 0
+                              ? config_.aggregator.num_shards
+                              : pool_->num_threads();
   agg_config.pool = pool_.get();
   agg_config.malformed_total = counters_.malformed;
   if (injector_ != nullptr) {
@@ -347,6 +350,19 @@ void PrivApproxSystem::SubmitQuery(const core::Query& query,
     agg_config.window_ns = &registry_.GetHistogram(
         "privapprox_agg_window_ns",
         "Window fire (de-bias + error estimation) latency in nanoseconds");
+    for (size_t s = 0; s < agg_config.num_shards; ++s) {
+      const metrics::Labels labels = {{"shard", std::to_string(s)}};
+      agg_config.shard_shares_total.push_back(&registry_.GetCounter(
+          "privapprox_agg_shard_shares_total",
+          "Shares routed to this aggregator join shard", labels));
+      agg_config.shard_joined_total.push_back(&registry_.GetCounter(
+          "privapprox_agg_shard_joined_total",
+          "Answers completed by this aggregator join shard", labels));
+    }
+    agg_config.shard_imbalance_milli = &registry_.GetGauge(
+        "privapprox_agg_shard_imbalance_milli",
+        "Max-shard routed shares over the per-shard mean, x1000 "
+        "(1000 = perfectly balanced)");
   }
   aggregator_ = std::make_unique<aggregator::Aggregator>(
       agg_config, query, params, broker_,

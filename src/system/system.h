@@ -78,6 +78,15 @@ struct PipelineOptions {
   size_t shard_size = 0;
 };
 
+// Aggregator scale-out knobs.
+struct AggregatorOptions {
+  // Join/window shards inside the aggregator: shares route to shard
+  // hash(MID) % num_shards, feeding in parallel on the worker pool with a
+  // deterministic shard-order merge at window-fire time. Results are
+  // bit-identical for every value. 0 = one shard per worker thread.
+  size_t num_shards = 0;
+};
+
 // Historical analytics store (§3.3.1).
 struct HistoricalOptions {
   // Tee joined answers into the historical store.
@@ -110,6 +119,7 @@ struct SystemConfig {
   bool invert_answers = false;
 
   PipelineOptions pipeline;
+  AggregatorOptions aggregator;
   HistoricalOptions historical;
   MetricsOptions metrics;
   // Deterministic fault injection + recovery (src/fault/fault.h). Unset

@@ -34,7 +34,7 @@ core::ExecutionParams NoNoiseParams() {
 
 struct Harness {
   explicit Harness(size_t population, core::ExecutionParams params,
-                   bool inverted = false)
+                   bool inverted = false, size_t num_shards = 1)
       : query(MakeQuery()),
         proxy0(proxy::ProxyConfig{0, 2}, broker),
         proxy1(proxy::ProxyConfig{1, 2}, broker) {
@@ -42,6 +42,7 @@ struct Harness {
     config.num_proxies = 2;
     config.population = population;
     config.answers_inverted = inverted;
+    config.num_shards = num_shards;
     aggregator = std::make_unique<Aggregator>(
         config, query, params, broker,
         [this](const WindowedResult& r) { results.push_back(r); });
@@ -236,6 +237,101 @@ TEST(AggregatorTest, RejectsBadConfig) {
   EXPECT_THROW(Aggregator(config, MakeQuery(), NoNoiseParams(), b,
                           [](const WindowedResult&) {}),
                std::invalid_argument);
+  config.population = 10;
+  config.num_shards = 0;
+  EXPECT_THROW(Aggregator(config, MakeQuery(), NoNoiseParams(), b,
+                          [](const WindowedResult&) {}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- sharding
+
+// Runs `population` clients through a harness with the given shard count
+// and returns the fired results. No pool is wired, so the shards feed
+// sequentially — this isolates the partition/merge logic itself.
+std::vector<WindowedResult> RunSharded(size_t num_shards) {
+  const size_t population = 60;
+  Harness harness(population, NoNoiseParams(), /*inverted=*/false,
+                  num_shards);
+  for (size_t i = 0; i < population; ++i) {
+    client::Client c = MakeClient(i, i % 2 == 0 ? 15.0 : 42.0);
+    c.Subscribe(harness.query, NoNoiseParams());
+    const auto answer = c.AnswerQuery(5000);
+    harness.Ship(answer->shares, answer->timestamp_ms);
+  }
+  harness.Pump();
+  harness.aggregator->AdvanceWatermark(10000);
+  EXPECT_EQ(harness.aggregator->join_stats().joined, population);
+  EXPECT_EQ(harness.aggregator->num_shards(), num_shards);
+  return harness.results;
+}
+
+TEST(AggregatorTest, ShardedJoinIsBitIdenticalToSingleShard) {
+  const std::vector<WindowedResult> oracle = RunSharded(1);
+  ASSERT_EQ(oracle.size(), 1u);
+  for (size_t shards : {2u, 3u, 4u, 7u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const std::vector<WindowedResult> sharded = RunSharded(shards);
+    ASSERT_EQ(sharded.size(), oracle.size());
+    for (size_t w = 0; w < oracle.size(); ++w) {
+      EXPECT_EQ(sharded[w].window, oracle[w].window);
+      EXPECT_EQ(sharded[w].result.participants, oracle[w].result.participants);
+      ASSERT_EQ(sharded[w].result.buckets.size(),
+                oracle[w].result.buckets.size());
+      for (size_t i = 0; i < oracle[w].result.buckets.size(); ++i) {
+        EXPECT_EQ(sharded[w].result.buckets[i].estimate.value,
+                  oracle[w].result.buckets[i].estimate.value);
+        EXPECT_EQ(sharded[w].result.buckets[i].estimate.error,
+                  oracle[w].result.buckets[i].estimate.error);
+        EXPECT_EQ(sharded[w].result.buckets[i].randomized_count,
+                  oracle[w].result.buckets[i].randomized_count);
+      }
+    }
+  }
+}
+
+TEST(AggregatorTest, ShardMetricsAccountForEveryShare) {
+  // Per-shard counters partition the totals: routed shares sum to the
+  // joiner's input and per-shard joins sum to the joined count.
+  const size_t population = 40;
+  const size_t num_shards = 4;
+  metrics::Registry registry;
+  Harness harness(population, NoNoiseParams(), /*inverted=*/false, 1);
+  // Rebuild the aggregator with instrumented shards.
+  AggregatorConfig config;
+  config.num_proxies = 2;
+  config.population = population;
+  config.num_shards = num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const metrics::Labels labels = {{"shard", std::to_string(s)}};
+    config.shard_shares_total.push_back(
+        &registry.GetCounter("shard_shares", "", labels));
+    config.shard_joined_total.push_back(
+        &registry.GetCounter("shard_joined", "", labels));
+  }
+  config.shard_imbalance_milli = &registry.GetGauge("shard_imbalance", "");
+  harness.aggregator = std::make_unique<Aggregator>(
+      config, harness.query, NoNoiseParams(), harness.broker,
+      [&harness](const WindowedResult& r) { harness.results.push_back(r); });
+  for (size_t i = 0; i < population; ++i) {
+    client::Client c = MakeClient(i, 15.0);
+    c.Subscribe(harness.query, NoNoiseParams());
+    const auto answer = c.AnswerQuery(5000);
+    harness.Ship(answer->shares, answer->timestamp_ms);
+  }
+  harness.Pump();
+  uint64_t routed = 0;
+  uint64_t joined = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    routed += config.shard_shares_total[s]->Value();
+    joined += config.shard_joined_total[s]->Value();
+  }
+  EXPECT_EQ(routed, population * 2);  // one share per proxy per client
+  EXPECT_EQ(joined, population);
+  // Both proxies saw a balanced MID mix: the gauge is near 1000 (per-mille
+  // of the mean) — loosely bounded, the point is that it was set at all.
+  EXPECT_GE(config.shard_imbalance_milli->Value(), 1000);
+  EXPECT_LT(config.shard_imbalance_milli->Value(), 3000);
 }
 
 // ------------------------------------------------------------- historical

@@ -220,19 +220,22 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
       << "owned=" << owned_allocs << " view=" << view_allocs;
 }
 
-TEST(AllocRegressionTest, StreamingEpochAllocationsStayFlat) {
-  // Whole-system sanity: in streaming mode the warm per-epoch allocation
-  // bill is flat — arenas, slabs, and stage scratch are reused, so epoch N
-  // and epoch N+1 cost the same. What remains per epoch (localdb query
-  // execution per client, join groups, stage threads) is bounded work, not
-  // growth; a reintroduced per-share copy or a leaked warm structure shows
-  // up here as a rising count.
+// Whole-system sanity: in streaming mode the warm per-epoch allocation
+// bill is flat — arenas, slabs, and stage scratch are reused, so epoch N
+// and epoch N+1 cost the same. What remains per epoch (localdb query
+// execution per client, join groups, stage threads) is bounded work, not
+// growth; a reintroduced per-share copy or a leaked warm structure shows
+// up here as a rising count. Runs at a given aggregator shard count so the
+// sharded feed path proves its scratch (per-shard joiners, window
+// accumulators, merge buffers) is reused across epochs too.
+void ExpectStreamingEpochAllocationsFlat(size_t agg_shards) {
   system::SystemConfig config;
   config.num_clients = 1024;
   config.num_proxies = kNumShares;
   config.seed = 7;
   config.pipeline.num_worker_threads = 1;
   config.pipeline.mode = system::EpochPipelineMode::kStreaming;
+  config.aggregator.num_shards = agg_shards;
   system::PrivApproxSystem system(config);
   for (size_t i = 0; i < config.num_clients; ++i) {
     auto& db = system.client(i).database();
@@ -276,6 +279,14 @@ TEST(AllocRegressionTest, StreamingEpochAllocationsStayFlat) {
   // and reallocated (or a per-share copy crept back in).
   EXPECT_LE(hi - lo, lo / 20 + 64)
       << "per-epoch allocations drifted: min=" << lo << " max=" << hi;
+}
+
+TEST(AllocRegressionTest, StreamingEpochAllocationsStayFlat) {
+  ExpectStreamingEpochAllocationsFlat(1);
+}
+
+TEST(AllocRegressionTest, ShardedStreamingEpochAllocationsStayFlat) {
+  ExpectStreamingEpochAllocationsFlat(2);
 }
 
 }  // namespace

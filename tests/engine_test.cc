@@ -63,6 +63,67 @@ TEST(SlidingWindowAssignerTest, RejectsBadPeriods) {
   EXPECT_THROW(SlidingWindowAssigner(10, 20), std::invalid_argument);
 }
 
+TEST(SlidingWindowAssignerTest, TimestampExactlyOnWindowStart) {
+  // Tumbling: a timestamp on a boundary belongs to the window starting
+  // there, never the one ending there ([start, end) semantics).
+  const SlidingWindowAssigner assigner(10, 10);
+  const auto windows = assigner.WindowsFor(20);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ms, 20);
+  EXPECT_EQ(windows[0].end_ms, 30);
+}
+
+TEST(SlidingWindowAssignerTest, TimestampJustBeforeWindowEnd) {
+  const SlidingWindowAssigner assigner(10, 10);
+  const auto windows = assigner.WindowsFor(19);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ms, 10);
+  EXPECT_EQ(windows[0].end_ms, 20);
+}
+
+TEST(SlidingWindowAssignerTest, SlidingBoundaryExcludesEndingWindow) {
+  // Length 30, slide 10: ts 30 is in [30,60), [20,50), [10,40) — but not
+  // [0,30), which ends exactly at 30.
+  const SlidingWindowAssigner assigner(30, 10);
+  const auto windows = assigner.WindowsFor(30);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start_ms, 30);
+  EXPECT_EQ(windows[1].start_ms, 20);
+  EXPECT_EQ(windows[2].start_ms, 10);
+}
+
+TEST(SlidingWindowAssignerTest, NegativeTimestampOnBoundary) {
+  const SlidingWindowAssigner assigner(10, 10);
+  const auto windows = assigner.WindowsFor(-10);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_ms, -10);
+  EXPECT_EQ(windows[0].end_ms, 0);
+}
+
+TEST(SlidingWindowAssignerTest, NegativeTimestampsSliding) {
+  const SlidingWindowAssigner assigner(20, 10);
+  const auto windows = assigner.WindowsFor(-15);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start_ms, -20);  // [-20, 0)
+  EXPECT_EQ(windows[1].start_ms, -30);  // [-30, -10)
+}
+
+TEST(SlidingWindowAssignerTest, AppendWindowsForMatchesWindowsFor) {
+  // The allocation-free fast path (including the tumbling shortcut) must
+  // agree with the reference implementation everywhere, and must clear any
+  // stale content in the output vector.
+  for (const auto& [length, slide] :
+       {std::pair<int64_t, int64_t>{10, 10}, {30, 10}, {20, 10}, {7, 3}}) {
+    const SlidingWindowAssigner assigner(length, slide);
+    std::vector<Window> scratch = {Window{-999, -999}};
+    for (int64_t ts = -45; ts <= 45; ++ts) {
+      assigner.AppendWindowsFor(ts, scratch);
+      EXPECT_EQ(scratch, assigner.WindowsFor(ts))
+          << "length=" << length << " slide=" << slide << " ts=" << ts;
+    }
+  }
+}
+
 TEST(WindowBufferTest, FiresOnWatermark) {
   std::map<int64_t, size_t> fired;  // window start -> item count
   WindowBuffer<int> buffer(SlidingWindowAssigner(10, 10),
@@ -125,6 +186,107 @@ TEST(WindowBufferTest, SlidingWindowsShareItems) {
   ASSERT_EQ(fired.size(), 2u);
   EXPECT_EQ(fired[0], std::vector<int>{7});
   EXPECT_EQ(fired[10], std::vector<int>{7});
+}
+
+TEST(WindowBufferTest, AddAfterFlushCountsAsLate) {
+  // Regression: Flush used to leave the watermark where it was, so a
+  // post-flush Add would silently start a window that could never fire.
+  int fired = 0;
+  WindowBuffer<int> buffer(SlidingWindowAssigner(10, 10),
+                           [&](const Window&, const std::vector<int>&) {
+                             ++fired;
+                           });
+  buffer.Add(5, 1);
+  buffer.Flush();
+  EXPECT_EQ(fired, 1);
+  buffer.Add(100, 2);  // stream is over: must not buffer
+  EXPECT_EQ(buffer.pending_windows(), 0u);
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+  buffer.AdvanceWatermark(INT64_MAX);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(WindowBufferTest, RvalueAddMovesIntoLastWindow) {
+  // An item spanning k windows is copied k-1 times and moved once (into
+  // the last-assigned window). Observable: the moved-from source is empty,
+  // and every fired window holds the full item.
+  std::map<int64_t, std::vector<std::vector<int>>> fired;
+  WindowBuffer<std::vector<int>> buffer(
+      SlidingWindowAssigner(20, 10),
+      [&](const Window& w, const std::vector<std::vector<int>>& items) {
+        fired[w.start_ms] = items;
+      });
+  std::vector<int> item = {1, 2, 3};
+  buffer.Add(15, std::move(item));  // in [0,20) and [10,30)
+  EXPECT_TRUE(item.empty());        // NOLINT(bugprone-use-after-move)
+  buffer.AdvanceWatermark(40);
+  ASSERT_EQ(fired.size(), 2u);
+  const std::vector<int> expected = {1, 2, 3};
+  EXPECT_EQ(fired[0], std::vector<std::vector<int>>{expected});
+  EXPECT_EQ(fired[10], std::vector<std::vector<int>>{expected});
+}
+
+// --------------------------------------------- accumulating window buffer
+
+// Minimal additive accumulator for AccumulatingWindowBuffer tests.
+struct SumAcc {
+  int64_t sum = 0;
+  size_t n = 0;
+  void Add(int v) {
+    sum += v;
+    ++n;
+  }
+};
+
+TEST(AccumulatingWindowBufferTest, FoldsAndDrainsOnWatermark) {
+  AccumulatingWindowBuffer<SumAcc> buffer{SlidingWindowAssigner(10, 10)};
+  buffer.Fold(1, 100, [] { return SumAcc{}; });
+  buffer.Fold(5, 10, [] { return SumAcc{}; });
+  buffer.Fold(12, 7, [] { return SumAcc{}; });
+  EXPECT_EQ(buffer.pending_windows(), 2u);
+
+  std::vector<std::pair<Window, SumAcc>> fired;
+  buffer.DrainFired(10, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first.start_ms, 0);
+  EXPECT_EQ(fired[0].second.sum, 110);
+  EXPECT_EQ(fired[0].second.n, 2u);
+  EXPECT_EQ(buffer.pending_windows(), 1u);
+
+  // Watermark never moves backwards; nothing re-fires.
+  buffer.DrainFired(5, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(buffer.watermark_ms(), 10);
+}
+
+TEST(AccumulatingWindowBufferTest, SlidingWindowsEachAccumulate) {
+  AccumulatingWindowBuffer<SumAcc> buffer{SlidingWindowAssigner(20, 10)};
+  buffer.Fold(15, 3, [] { return SumAcc{}; });  // in [0,20) and [10,30)
+  std::vector<std::pair<Window, SumAcc>> fired;
+  buffer.DrainFired(40, fired);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first.start_ms, 0);   // ascending window order
+  EXPECT_EQ(fired[1].first.start_ms, 10);
+  EXPECT_EQ(fired[0].second.sum, 3);
+  EXPECT_EQ(fired[1].second.sum, 3);
+}
+
+TEST(AccumulatingWindowBufferTest, LateFoldsDropAndDrainAllPinsWatermark) {
+  AccumulatingWindowBuffer<SumAcc> buffer{SlidingWindowAssigner(10, 10)};
+  std::vector<std::pair<Window, SumAcc>> none;
+  buffer.DrainFired(50, none);
+  EXPECT_TRUE(none.empty());
+  buffer.Fold(30, 1, [] { return SumAcc{}; });  // behind the watermark
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+  buffer.Fold(60, 2, [] { return SumAcc{}; });
+  std::vector<std::pair<Window, SumAcc>> fired;
+  buffer.DrainAll(fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].second.sum, 2);
+  // Stream over: later folds are late, mirroring WindowBuffer::Flush.
+  buffer.Fold(1000, 3, [] { return SumAcc{}; });
+  EXPECT_EQ(buffer.pending_windows(), 0u);
+  EXPECT_EQ(buffer.late_dropped(), 2u);
 }
 
 // --------------------------------------------------------------------- join
@@ -243,6 +405,62 @@ TEST(MidJoinerTest, DuplicateShareAfterExpiryIsLateDropped) {
   EXPECT_EQ(joiner.pending_groups(), 0u);
   EXPECT_EQ(joiner.stats().late_dropped, 2u);
   EXPECT_EQ(joiner.stats().duplicates_dropped, 0u);
+}
+
+TEST(MidJoinerTest, RememberedMidSetsStayBoundedOverManyEpochs) {
+  // Regression: completed_mids_/expired_mids_ used to grow for the life of
+  // the run — one entry per MID ever seen. EvictStale now prunes both
+  // behind its cutoff, so across many epochs the remembered set stays
+  // bounded by the MIDs seen within the last join timeout, while replay
+  // and straggler defense still hold inside that horizon.
+  int emitted = 0;
+  MidJoiner joiner(2, 100,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  size_t max_remembered = 0;
+  uint64_t next_mid = 1;
+  for (int64_t epoch = 0; epoch < 200; ++epoch) {
+    const int64_t now = epoch * 100;
+    for (int i = 0; i < 10; ++i) {
+      const uint64_t mid = next_mid++;
+      joiner.Add(Share(mid, {1}), now, 0);
+      if (i % 2 == 0) {
+        joiner.Add(Share(mid, {2}), now, 1);  // completes
+      }  // else: partial, expires at the watermark
+    }
+    joiner.EvictStale(now + 100);
+    max_remembered = std::max(max_remembered, joiner.remembered_mids());
+  }
+  // Strict cutoff: the final epoch's partials outlive its own watermark by
+  // design; one more advance expires them.
+  joiner.EvictStale(200 * 100 + 100);
+  EXPECT_EQ(emitted, 200 * 5);
+  EXPECT_EQ(joiner.stats().evicted_partial, 200u * 5u);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  // Each epoch remembers at most its own 10 MIDs plus the previous epoch's
+  // (stamps within one timeout of the watermark) — far below the 2000 MIDs
+  // an unbounded set would hold.
+  EXPECT_LE(max_remembered, 40u);
+  EXPECT_LE(joiner.remembered_mids(), 40u);
+}
+
+TEST(MidJoinerTest, ReplayAfterPruneRestartsButReexpires) {
+  // Beyond the remembered horizon, a replayed MID is indistinguishable from
+  // a new one: it restarts a group that can never complete and is evicted
+  // again at the next watermark — counted as evicted, never double-joined.
+  int emitted = 0;
+  MidJoiner joiner(2, 100,
+                   [&](uint64_t, std::vector<uint8_t>, int64_t) { ++emitted; });
+  joiner.Add(Share(7, {1}), 0, 0);
+  joiner.Add(Share(7, {2}), 0, 1);
+  EXPECT_EQ(emitted, 1);
+  joiner.EvictStale(1000);  // prunes the completed-MID memory of 7
+  EXPECT_EQ(joiner.remembered_mids(), 0u);
+  joiner.Add(Share(7, {1}), 1001, 0);  // ancient replay
+  EXPECT_EQ(joiner.pending_groups(), 1u);
+  joiner.EvictStale(2000);
+  EXPECT_EQ(emitted, 1);
+  EXPECT_EQ(joiner.pending_groups(), 0u);
+  EXPECT_EQ(joiner.stats().evicted_partial, 1u);
 }
 
 TEST(MidJoinerTest, EvictFnReportsMidAndFirstSeen) {

@@ -49,7 +49,8 @@ core::Query SpeedQuery() {
 }
 
 SystemConfig BaseConfig(EpochPipelineMode mode,
-                        std::optional<fault::FaultPlan> plan) {
+                        std::optional<fault::FaultPlan> plan,
+                        size_t agg_shards = 1) {
   SystemConfig config;
   config.num_clients = kNumClients;
   config.num_proxies = kNumProxies;
@@ -59,6 +60,7 @@ SystemConfig BaseConfig(EpochPipelineMode mode,
   config.pipeline.num_worker_threads = 4;
   config.pipeline.depth = 2;
   config.pipeline.shard_size = 64;  // 400 clients -> 7 in-flight shards
+  config.aggregator.num_shards = agg_shards;
   config.fault = std::move(plan);
   return config;
 }
@@ -88,9 +90,10 @@ const char* const kFaultCounterNames[] = {
 };
 
 RunSnapshot RunScenario(EpochPipelineMode mode,
-                        std::optional<fault::FaultPlan> plan) {
+                        std::optional<fault::FaultPlan> plan,
+                        size_t agg_shards = 1) {
   const bool has_plan = plan.has_value();
-  PrivApproxSystem sys(BaseConfig(mode, std::move(plan)));
+  PrivApproxSystem sys(BaseConfig(mode, std::move(plan), agg_shards));
   for (size_t i = 0; i < kNumClients; ++i) {
     auto& db = sys.client(i).database();
     db.CreateTable("vehicle", {"speed"});
@@ -316,6 +319,36 @@ TEST(FaultTest, ChaosSeedsRecoverWithinWidenedCI) {
       any_lost = any_lost || windowed.result.lost_to_faults > 0;
     }
     EXPECT_TRUE(any_lost);  // CI widening actually engaged somewhere
+  }
+}
+
+TEST(FaultTest, ChaosSeedsAreBitIdenticalAcrossAggregatorShardCounts) {
+  // Faults stress exactly the state the shard merge must keep order-free:
+  // lost-MID attribution, expired join groups, CI widening. Every chaos
+  // seed must produce the same results, stats, and fault counters whether
+  // the aggregator runs 1, 2, or 4 join shards, in both pipeline modes.
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RunSnapshot oracle =
+        RunScenario(EpochPipelineMode::kBarrier, ChaosPlan(seed),
+                    /*agg_shards=*/1);
+    for (const auto mode : {EpochPipelineMode::kBarrier,
+                            EpochPipelineMode::kStreaming}) {
+      for (size_t shards : {2u, 4u}) {
+        SCOPED_TRACE("mode=" +
+                     std::string(mode == EpochPipelineMode::kBarrier
+                                     ? "barrier"
+                                     : "streaming") +
+                     " shards=" + std::to_string(shards));
+        const RunSnapshot sharded = RunScenario(mode, ChaosPlan(seed), shards);
+        ExpectResultsIdentical(oracle, sharded);
+        ASSERT_EQ(oracle.epochs.size(), sharded.epochs.size());
+        for (size_t e = 0; e < oracle.epochs.size(); ++e) {
+          ExpectEpochStatsEqual(oracle.epochs[e], sharded.epochs[e]);
+        }
+        EXPECT_EQ(oracle.fault_counters, sharded.fault_counters);
+      }
+    }
   }
 }
 

@@ -42,7 +42,7 @@ struct RunSnapshot {
 
 RunSnapshot RunScenario(size_t num_worker_threads,
                         EpochPipelineMode mode = EpochPipelineMode::kBarrier,
-                        size_t pipeline_depth = 2) {
+                        size_t pipeline_depth = 2, size_t agg_shards = 1) {
   SystemConfig config;
   config.num_clients = 400;
   config.num_proxies = 3;
@@ -50,6 +50,7 @@ RunSnapshot RunScenario(size_t num_worker_threads,
   config.pipeline.num_worker_threads = num_worker_threads;
   config.pipeline.mode = mode;
   config.pipeline.depth = pipeline_depth;
+  config.aggregator.num_shards = agg_shards;
   // Small shards so the 400 clients split into 7 in-flight batches and the
   // streaming stages genuinely overlap.
   config.pipeline.shard_size = 64;
@@ -149,6 +150,39 @@ TEST(ParallelEpochTest, StreamingMatchesBarrierBitForBitAtEveryWorkerCount) {
     ExpectSnapshotsIdentical(
         barrier, RunScenario(workers, EpochPipelineMode::kStreaming));
   }
+}
+
+TEST(ParallelEpochTest, ShardedAggregatorIsBitIdenticalToSingleShard) {
+  // The shard/merge determinism invariant (DESIGN.md §6g): any shard count,
+  // in either pipeline mode, at any worker count, produces the same
+  // results, stats, and broker traffic as the 1-shard 1-thread run.
+  const RunSnapshot oracle =
+      RunScenario(1, EpochPipelineMode::kBarrier, 2, /*agg_shards=*/1);
+  for (const auto mode :
+       {EpochPipelineMode::kBarrier, EpochPipelineMode::kStreaming}) {
+    for (size_t shards : {1u, 2u, 4u}) {
+      for (size_t workers : {1u, 4u}) {
+        SCOPED_TRACE("mode=" +
+                     std::string(mode == EpochPipelineMode::kBarrier
+                                     ? "barrier"
+                                     : "streaming") +
+                     " shards=" + std::to_string(shards) +
+                     " workers=" + std::to_string(workers));
+        ExpectSnapshotsIdentical(oracle,
+                                 RunScenario(workers, mode, 2, shards));
+      }
+    }
+  }
+}
+
+TEST(ParallelEpochTest, DefaultShardCountFollowsWorkerThreads) {
+  // aggregator.num_shards = 0 resolves to one shard per worker thread;
+  // the result must still match the explicit 1-shard oracle.
+  const RunSnapshot oracle =
+      RunScenario(1, EpochPipelineMode::kBarrier, 2, /*agg_shards=*/1);
+  ExpectSnapshotsIdentical(
+      oracle, RunScenario(4, EpochPipelineMode::kStreaming, 2,
+                          /*agg_shards=*/0));
 }
 
 TEST(ParallelEpochTest, StreamingIsInsensitiveToPipelineDepth) {
