@@ -16,13 +16,16 @@
 // The last line printed is a single JSON row, also appended to a trajectory
 // file so later PRs can diff epoch-throughput movement. Flags:
 // --clients=N --epochs=N --json-out=PATH --metrics=0|1 --agg-shards=N
-// (defaults 100000 / 3 / BENCH_pipeline.json / 0 / 0; --json-out= empty
-// disables the file append). --metrics=1 turns on the full observability
-// layer (stage histograms, per-proxy families, channel depth gauges) so CI
-// can check its overhead stays under 5%; core counters are always on either
-// way. --agg-shards pins the aggregator join shard count; 0 (the default)
-// follows the worker thread count of each row, so every row is tagged with
-// the shard count it actually ran.
+// --queries=N (defaults 100000 / 3 / BENCH_pipeline.json / 0 / 0 / 1;
+// --json-out= empty disables the file append). --metrics=1 turns on the
+// full observability layer (stage histograms, per-proxy families, channel
+// depth gauges) so CI can check its overhead stays under 5%; core counters
+// are always on either way. --agg-shards pins the aggregator join shard
+// count; 0 (the default) follows the worker thread count of each row, so
+// every row is tagged with the shard count it actually ran. --queries runs
+// N identical concurrent queries (QIDs 1..N) over the shared fleet, so a
+// 2-query row shows the per-lane cost of the multi-query runtime; the JSON
+// row carries a "queries" tag.
 
 #include <chrono>
 #include <cstdio>
@@ -45,6 +48,7 @@ struct BenchConfig {
   std::string json_out = "BENCH_pipeline.json";
   bool metrics = false;   // full observability layer on (--metrics=1)
   size_t agg_shards = 0;  // aggregator join shards; 0 = worker thread count
+  size_t queries = 1;     // concurrent queries sharing the fleet
 };
 
 struct Row {
@@ -64,9 +68,9 @@ const char* ModeName(system::EpochPipelineMode mode) {
   return mode == system::EpochPipelineMode::kBarrier ? "barrier" : "streaming";
 }
 
-core::Query SpeedQuery() {
+core::Query SpeedQuery(uint64_t qid) {
   return core::QueryBuilder()
-      .WithId(1)
+      .WithId(qid)
       .WithSql("SELECT speed FROM vehicle")
       .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
       .WithFrequencyMs(1000)
@@ -95,7 +99,11 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   core::ExecutionParams params;
   params.sampling_fraction = 0.6;
   params.randomization = {0.9, 0.6};
-  sys.SubmitQuery(SpeedQuery(), params);
+  // N concurrent queries over the same column: every query pays the full
+  // RR/split/lane/join bill, so the row measures multi-query scaling.
+  for (size_t q = 1; q <= bench.queries; ++q) {
+    sys.SubmitQuery(SpeedQuery(q), params);
+  }
 
   // Warm-up epoch: faults in lazily-built state outside the timed region.
   sys.RunEpoch(1000);
@@ -144,13 +152,19 @@ int main(int argc, char** argv) {
       bench.metrics = std::atoi(argv[i] + 10) != 0;
     } else if (std::strncmp(argv[i], "--agg-shards=", 13) == 0) {
       bench.agg_shards = static_cast<size_t>(std::atoll(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      bench.queries = static_cast<size_t>(std::atoll(argv[i] + 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--clients=N] [--epochs=N] [--json-out=PATH] "
-                   "[--metrics=0|1] [--agg-shards=N]\n",
+                   "[--metrics=0|1] [--agg-shards=N] [--queries=N]\n",
                    argv[0]);
       return 1;
     }
+  }
+  if (bench.queries == 0) {
+    std::fprintf(stderr, "--queries must be >= 1\n");
+    return 1;
   }
 
   const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -161,11 +175,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Epoch pipeline throughput (Table 3 config: %zu clients, s=0.6,\n"
-      "p=0.9 q=0.6, 11 buckets, 2 proxies; %zu epochs per row).\n"
+      "p=0.9 q=0.6, 11 buckets, 2 proxies, %zu concurrent queries;\n"
+      "%zu epochs per row).\n"
       "Host hardware_concurrency = %zu; thread counts beyond it time-slice\n"
       "one core and cannot speed up. 'speedup' is vs barrier@1; 'vs barrier'\n"
       "is streaming throughput over barrier at the same thread count.\n\n",
-      bench.clients, bench.epochs, hw);
+      bench.clients, bench.queries, bench.epochs, hw);
   std::printf("%10s %8s %10s %14s %14s %9s %11s %12s\n", "mode", "threads",
               "seconds", "clients/sec", "shares/sec", "speedup", "vs barrier",
               "allocs/share");
@@ -205,9 +220,11 @@ int main(int argc, char** argv) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
+                "\"queries\":%zu,"
                 "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"metrics\":%d,"
                 "\"rows\":[",
-                bench.clients, bench.epochs, hw, bench.metrics ? 1 : 0);
+                bench.clients, bench.epochs, bench.queries, hw,
+                bench.metrics ? 1 : 0);
   json += buf;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

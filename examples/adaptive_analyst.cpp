@@ -1,14 +1,22 @@
-// Adaptive analyst session: the §5 feedback loop from the analyst's chair.
+// Adaptive analyst session: the §5 feedback loop from the analyst's chair,
+// now with two analysts sharing one client fleet under a fleet-wide
+// zero-knowledge privacy budget.
 //
-// The analyst wants the taxi distance distribution within a 6% (mass-
-// weighted) accuracy-loss target, but starts deliberately cheap at a 10%
-// sampling fraction. Each epoch the analyst compares the windowed result
-// against a public prior, feeds the measured loss to the controller, and
-// the controller redistributes re-tuned parameters to all clients before
-// the next epoch — raising s until the target holds, then holding (or
-// decaying) it. Everything travels the real paths: announcements through
-// the proxies' query topics, answers through sampling / randomization /
-// XOR shares / MID join.
+// Analyst 9 wants the taxi distance distribution within a 6% (mass-
+// weighted) accuracy-loss target, starting deliberately cheap at a 10%
+// sampling fraction and letting the feedback controller walk s upward.
+// Analyst 12 wants the fare distribution and pays for a fixed, much more
+// generous budget up front (s = 0.8 with gentler randomization). Both
+// queries run concurrently: clients make one shared sampling draw per
+// epoch but answer each query through its own randomized-response and
+// share streams, and every (query, proxy) pair has its own broker lane.
+//
+// The fleet budget (SystemConfig::budget.max_epsilon_zk) caps the SUM of
+// eps_zk across queries — sequential composition. When analyst 9's
+// controller asks for more s than the residual budget allows, the budget
+// manager down-samples the update to fit, so the printed s plateaus at
+// the cap instead of the target; and a third, greedy exact query (p = 1,
+// infinite eps_dp) is refused outright mid-run.
 //
 // Build & run:  ./build/examples/adaptive_analyst
 
@@ -16,6 +24,7 @@
 #include <cstdio>
 
 #include "analyst/analyst.h"
+#include "core/budget_manager.h"
 #include "core/privacy.h"
 #include "workload/taxi.h"
 
@@ -26,10 +35,12 @@ int main() {
   constexpr int64_t kSlideMs = 10 * 1000;
   constexpr int kEpochs = 14;
   constexpr double kTarget = 0.06;
+  constexpr double kFleetCap = 7.0;  // total eps_zk across all queries
 
   system::SystemConfig config;
   config.num_clients = kClients;
   config.seed = 101;
+  config.budget.max_epsilon_zk = kFleetCap;
   system::PrivApproxSystem sys(config);
 
   workload::TaxiGenerator generator(55);
@@ -37,8 +48,9 @@ int main() {
     generator.PopulateClient(sys.client(i).database(), 2, 0, kSlideMs);
   }
 
+  // --- Query 1: adaptive distance distribution (analyst 9) -------------
   analyst::Analyst analyst(analyst::AnalystConfig{9, kTarget});
-  const core::Query query =
+  const core::Query distance_query =
       analyst.NewQuery()
           .WithSql("SELECT distance FROM rides")
           .WithAnswerFormat(workload::TaxiGenerator::DistanceBuckets())
@@ -46,22 +58,49 @@ int main() {
           .WithWindowMs(kSlideMs)
           .WithSlideMs(kSlideMs)
           .Build();
-
   // Deliberately under-sample at first: the analyst pays for as little as
   // possible and lets the controller discover the necessary s.
   core::ExecutionParams cheap;
   cheap.sampling_fraction = 0.10;
   cheap.randomization = {0.9, 0.3};
-  analyst.Submit(sys, query, cheap, kTarget);
+  analyst.Submit(sys, distance_query, cheap, kTarget);
 
-  std::printf("Query %llx, target weighted loss <= %.0f%%, starting at "
-              "s = %.2f (p=%.1f, q=%.1f, eps_zk=%.2f)\n\n",
-              static_cast<unsigned long long>(query.query_id),
-              100.0 * kTarget, cheap.sampling_fraction,
-              cheap.randomization.p, cheap.randomization.q,
-              core::EpsilonZk(cheap.randomization, cheap.sampling_fraction));
+  // --- Query 2: fixed fare distribution (analyst 12) --------------------
+  const core::Query fare_query =
+      core::QueryBuilder()
+          .WithId((12ULL << 32) | 1)
+          .WithAnalyst(12)
+          .WithSql("SELECT fare FROM rides")
+          .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 60, 6, true))
+          .WithFrequencyMs(kSlideMs)
+          .WithWindowMs(kSlideMs)
+          .WithSlideMs(kSlideMs)
+          .Build();
+  core::ExecutionParams generous;
+  generous.sampling_fraction = 0.80;
+  generous.randomization = {0.85, 0.5};
+  const core::ExecutionParams fare_admitted =
+      sys.SubmitQuery(fare_query, generous);
 
-  // Public prior the analyst steers against.
+  core::PrivacyBudgetManager& ledger = sys.budget_manager();
+  std::printf(
+      "Fleet budget: eps_zk <= %.2f across all queries.\n"
+      "  q%llx (distance, adaptive) starts at s=%.2f  eps_zk=%.2f\n"
+      "  q%llx (fare, fixed)     admitted at s=%.2f  eps_zk=%.2f%s\n"
+      "  spent %.2f, remaining %.2f\n\n",
+      kFleetCap, static_cast<unsigned long long>(distance_query.query_id),
+      cheap.sampling_fraction,
+      core::EpsilonZk(cheap.randomization, cheap.sampling_fraction),
+      static_cast<unsigned long long>(fare_query.query_id),
+      fare_admitted.sampling_fraction,
+      core::EpsilonZk(fare_admitted.randomization,
+                      fare_admitted.sampling_fraction),
+      fare_admitted.sampling_fraction < generous.sampling_fraction
+          ? "  (down-sampled to fit)"
+          : "",
+      ledger.spent(), ledger.remaining());
+
+  // Public prior analyst 9 steers against.
   const auto probs = workload::TaxiGenerator::TrueBucketProbabilities();
   analyst.set_reference([&](const engine::Window&) {
     Histogram reference(probs.size());
@@ -71,8 +110,8 @@ int main() {
     return reference;
   });
 
-  std::printf("%6s %14s %10s %10s %12s\n", "epoch", "participants", "loss",
-              "s(next)", "eps_zk");
+  std::printf("%6s %12s %8s %8s %12s %10s %10s\n", "epoch", "dist_parts",
+              "loss", "s(next)", "fare_parts", "spent", "remaining");
   for (int epoch = 1; epoch <= kEpochs; ++epoch) {
     const int64_t now = epoch * kSlideMs;
     for (size_t i = 0; i < kClients; ++i) {
@@ -81,25 +120,56 @@ int main() {
       sys.client(i).database().EvictBefore(now - kSlideMs);
     }
     const auto results = analyst.RunEpoch(sys, now);
-    size_t participants = 0;
+    size_t distance_parts = 0;
+    size_t fare_parts = 0;
     for (const auto& windowed : results) {
-      participants += windowed.result.participants;
+      (windowed.query_id == distance_query.query_id ? distance_parts
+                                                    : fare_parts) +=
+          windowed.result.participants;
     }
     const double loss = analyst.loss_history().empty()
                             ? 0.0
                             : analyst.loss_history().back();
     const core::ExecutionParams& params = analyst.current_params();
-    std::printf("%6d %14zu %9.2f%% %10.2f %12.2f\n", epoch, participants,
-                100.0 * loss, params.sampling_fraction,
-                core::EpsilonZk(params.randomization,
-                                std::min(0.999, params.sampling_fraction)));
+    std::printf("%6d %12zu %7.2f%% %8.2f %12zu %10.2f %10.2f\n", epoch,
+                distance_parts, 100.0 * loss, params.sampling_fraction,
+                fare_parts, ledger.spent(), ledger.remaining());
+
+    if (epoch == 8) {
+      // A third analyst shows up asking for exact answers (p = 1): the
+      // base mechanism has infinite eps_dp, so no sampling fraction can
+      // fit a finite budget — the admission control refuses it while both
+      // running queries are untouched.
+      const core::Query greedy =
+          core::QueryBuilder()
+              .WithId((13ULL << 32) | 1)
+              .WithAnalyst(13)
+              .WithSql("SELECT distance FROM rides")
+              .WithAnswerFormat(workload::TaxiGenerator::DistanceBuckets())
+              .WithFrequencyMs(kSlideMs)
+              .WithWindowMs(kSlideMs)
+              .WithSlideMs(kSlideMs)
+              .Build();
+      core::ExecutionParams exact;
+      exact.sampling_fraction = 1.0;
+      exact.randomization = {1.0, 0.5};
+      try {
+        sys.SubmitQuery(greedy, exact);
+      } catch (const core::BudgetExceededError& e) {
+        std::printf("   -> exact query from analyst 13 refused: %s\n",
+                    e.what());
+      }
+    }
   }
   std::printf(
       "\nThe controller walks s upward until the measured loss sits at the\n"
-      "target, then holds — each change shipped to all %zu clients through\n"
-      "the proxies' query topics (the paper's §5 loop, end to end). Note\n"
-      "the privacy ledger: every increase in s raises eps_zk, which is why\n"
-      "an analyst would also set a privacy cap (see analyst_test.cc).\n",
-      kClients);
+      "target — or until the fleet's zero-knowledge budget pinches: every\n"
+      "parameter update is re-admitted against eps_zk(q1) + eps_zk(q2) <=\n"
+      "%.1f, and an update that does not fit is down-sampled to the residual\n"
+      "budget, which is why s can plateau below the controller's ask. Both\n"
+      "queries ride the same %zu clients and one shared sampling draw per\n"
+      "epoch, but independent randomization streams and broker lanes — so\n"
+      "each result is exactly what a single-query run would have produced.\n",
+      kFleetCap, kClients);
   return 0;
 }

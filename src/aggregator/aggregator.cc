@@ -55,16 +55,9 @@ uint64_t MixMid(uint64_t x) {
 
 }  // namespace
 
-Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
-                       const core::ExecutionParams& params,
-                       broker::Broker& broker, ResultFn on_result)
-    : config_(config),
-      query_(query),
-      params_(params),
-      broker_(broker),
-      on_result_(std::move(on_result)),
-      estimator_(params, config.population, config.confidence),
-      stream_watermark_(config.watermark_out_of_orderness_ms) {
+Aggregator::Aggregator(AggregatorConfig config, broker::Broker& broker,
+                       ResultFn on_result)
+    : config_(config), broker_(broker), on_result_(std::move(on_result)) {
   if (config.num_proxies < 2) {
     throw std::invalid_argument("Aggregator: need at least two proxies");
   }
@@ -74,62 +67,144 @@ Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
   if (config.num_shards == 0) {
     throw std::invalid_argument("Aggregator: num_shards must be > 0");
   }
-  for (size_t i = 0; i < config.num_proxies; ++i) {
-    const std::string topic = "proxy" + std::to_string(i) + ".out";
-    consumers_.push_back(
+}
+
+Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
+                       const core::ExecutionParams& params,
+                       broker::Broker& broker, ResultFn on_result)
+    : Aggregator(config, broker, std::move(on_result)) {
+  RegisterQuery(query, params);
+}
+
+void Aggregator::RegisterQuery(const core::Query& query,
+                               const core::ExecutionParams& params,
+                               QueryLaneOptions options) {
+  if (query.query_id == 0) {
+    throw std::invalid_argument("Aggregator::RegisterQuery: query id 0");
+  }
+  if (lanes_.count(query.query_id) != 0) {
+    throw std::invalid_argument(
+        "Aggregator::RegisterQuery: duplicate query id " +
+        std::to_string(query.query_id));
+  }
+  if (options.source_topics.empty()) {
+    // Single-query compatibility: the legacy per-proxy outbound topics.
+    for (size_t i = 0; i < config_.num_proxies; ++i) {
+      options.source_topics.push_back("proxy" + std::to_string(i) + ".out");
+    }
+  }
+  if (options.source_topics.size() != config_.num_proxies) {
+    throw std::invalid_argument(
+        "Aggregator::RegisterQuery: need one source topic per proxy");
+  }
+  auto lane_ptr = std::make_unique<Lane>(query, params, config_);
+  Lane* lane = lane_ptr.get();
+  for (const std::string& topic : options.source_topics) {
+    lane->consumers.push_back(
         std::make_unique<broker::Consumer>(broker_.GetTopic(topic)));
   }
-  const engine::SlidingWindowAssigner assigner(query_.window_length_ms,
-                                               query_.sliding_interval_ms);
-  for (size_t s = 0; s < config.num_shards; ++s) {
+  lane->shard_shares_total = options.shard_shares_total.empty()
+                                 ? config_.shard_shares_total
+                                 : std::move(options.shard_shares_total);
+  lane->shard_joined_total = options.shard_joined_total.empty()
+                                 ? config_.shard_joined_total
+                                 : std::move(options.shard_joined_total);
+  lane->shard_imbalance_milli = options.shard_imbalance_milli != nullptr
+                                    ? options.shard_imbalance_milli
+                                    : config_.shard_imbalance_milli;
+  const engine::SlidingWindowAssigner assigner(query.window_length_ms,
+                                               query.sliding_interval_ms);
+  for (size_t s = 0; s < config_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>(assigner);
     Shard* sp = shard.get();
     sp->joiner = std::make_unique<engine::MidJoiner>(
-        config.num_proxies, config.join_timeout_ms,
-        [this, sp](uint64_t mid, std::vector<uint8_t> plaintext, int64_t ts) {
-          OnJoinedShard(*sp, mid, std::move(plaintext), ts);
+        config_.num_proxies, config_.join_timeout_ms,
+        [this, lane, sp](uint64_t mid, std::vector<uint8_t> plaintext,
+                         int64_t ts) {
+          OnJoinedShard(*lane, *sp, mid, std::move(plaintext), ts);
         });
     if (config_.track_fault_losses) {
       // Attribute every watermark-expired join group to its window for CI
       // widening. Wired only under a fault plan so the fault-free estimate
       // path stays bit-identical. Evictions only run from AdvanceWatermark's
-      // sequential shard loop, so touching coordinator state here is safe.
-      sp->joiner->set_evict_fn([this](uint64_t mid, int64_t first_seen_ms) {
+      // sequential shard loop, so touching lane state here is safe.
+      sp->joiner->set_evict_fn([this, lane](uint64_t mid,
+                                            int64_t first_seen_ms) {
         if (config_.expired_mids_total != nullptr) {
           config_.expired_mids_total->Increment();
         }
-        NoteLostMid(mid, first_seen_ms);
+        NoteLostMid(*lane, mid, first_seen_ms);
       });
     }
-    shards_.push_back(std::move(shard));
+    lane->shards.push_back(std::move(shard));
   }
+  lanes_.emplace(query.query_id, std::move(lane_ptr));
+}
+
+Aggregator::Lane& Aggregator::GetLane(uint64_t query_id, const char* caller) {
+  const auto it = lanes_.find(query_id);
+  if (it == lanes_.end()) {
+    throw std::invalid_argument(std::string(caller) +
+                                ": unknown query id " +
+                                std::to_string(query_id));
+  }
+  return *it->second;
+}
+
+const Aggregator::Lane& Aggregator::SingleLane(const char* caller) const {
+  if (lanes_.size() != 1) {
+    throw std::logic_error(std::string(caller) +
+                           ": requires exactly one registered query (have " +
+                           std::to_string(lanes_.size()) +
+                           "); pass a query id");
+  }
+  return *lanes_.begin()->second;
+}
+
+Aggregator::Lane& Aggregator::SingleLane(const char* caller) {
+  return const_cast<Lane&>(
+      static_cast<const Aggregator*>(this)->SingleLane(caller));
+}
+
+void Aggregator::UpdateParams(uint64_t query_id,
+                              const core::ExecutionParams& params) {
+  params.Validate();
+  Lane& lane = GetLane(query_id, "Aggregator::UpdateParams");
+  lane.params = params;
+  lane.estimator =
+      core::ErrorEstimator(params, config_.population, config_.confidence);
 }
 
 void Aggregator::UpdateParams(const core::ExecutionParams& params) {
-  params.Validate();
-  params_ = params;
-  estimator_ = core::ErrorEstimator(params, config_.population,
-                                    config_.confidence);
+  UpdateParams(SingleLane("Aggregator::UpdateParams").query.query_id, params);
 }
 
 size_t Aggregator::ShardOf(uint64_t mid) const {
-  if (shards_.size() == 1) {
+  if (config_.num_shards == 1) {
     return 0;
   }
-  return static_cast<size_t>(MixMid(mid) % shards_.size());
+  return static_cast<size_t>(MixMid(mid) % config_.num_shards);
 }
 
 uint64_t Aggregator::Drain() {
+  uint64_t consumed = 0;
+  for (auto& [qid, lane] : lanes_) {
+    consumed += DrainLane(*lane);
+  }
+  return consumed;
+}
+
+uint64_t Aggregator::DrainLane(Lane& lane) {
   // Phase 1: poll + decode each proxy stream, one independent task per
   // source topic. Decoding only touches that source's consumer and local
   // scratch slot, so sources parallelize without synchronization. Polls and
   // decodes are view-based: payloads stay in the broker's slabs and only
   // the 8-byte MID header is parsed here.
-  const size_t num_sources = consumers_.size();
+  const size_t num_sources = lane.consumers.size();
   drain_views_.resize(num_sources);
   drain_decoded_.resize(num_sources);
   const auto drain_source = [&](size_t source) {
-    broker::Consumer& consumer = *consumers_[source];
+    broker::Consumer& consumer = *lane.consumers[source];
     drain_decoded_[source].Clear();
     std::vector<broker::RecordView>& views = drain_views_[source];
     for (;;) {
@@ -162,12 +237,12 @@ uint64_t Aggregator::Drain() {
     consumed += batch.shares.size() + batch.malformed;
     NoteMalformed(batch.malformed);
   }
-  FeedShards(drain_decoded_);
+  FeedShards(lane, drain_decoded_);
   return consumed;
 }
 
 void Aggregator::FeedShards(
-    std::span<const proxy::Proxy::DecodedShares> per_source) {
+    Lane& lane, std::span<const proxy::Proxy::DecodedShares> per_source) {
   ScopedTimer timer(config_.join_ns);
   // Each shard scans every batch and picks out its own MIDs, so a shard's
   // joiner (and everything its emit path mutates) is touched by exactly one
@@ -175,7 +250,7 @@ void Aggregator::FeedShards(
   // same order a single shard would see its subset in, which keeps
   // per-shard join stats and emission order canonical.
   const auto feed_shard = [&](size_t shard_index) {
-    Shard& shard = *shards_[shard_index];
+    Shard& shard = *lane.shards[shard_index];
     for (size_t source = 0; source < per_source.size(); ++source) {
       for (const auto& share : per_source[source].shares) {
         if (ShardOf(share.message_id) != shard_index) {
@@ -187,21 +262,22 @@ void Aggregator::FeedShards(
       }
     }
   };
-  if (config_.pool != nullptr && shards_.size() > 1) {
-    config_.pool->ParallelFor(shards_.size(), [&](size_t begin, size_t end) {
-      for (size_t s = begin; s < end; ++s) {
-        feed_shard(s);
-      }
-    });
+  if (config_.pool != nullptr && lane.shards.size() > 1) {
+    config_.pool->ParallelFor(lane.shards.size(),
+                              [&](size_t begin, size_t end) {
+                                for (size_t s = begin; s < end; ++s) {
+                                  feed_shard(s);
+                                }
+                              });
   } else {
-    for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t s = 0; s < lane.shards.size(); ++s) {
       feed_shard(s);
     }
   }
-  MergeShardDeltas();
+  MergeShardDeltas(lane);
 }
 
-void Aggregator::MergeShardDeltas() {
+void Aggregator::MergeShardDeltas(Lane& lane) {
   // Sequential, in shard order. Every fold below is a sum, max, or
   // insertion keyed by data the shards partition disjointly, so the merged
   // totals are independent of how work interleaved inside the parallel
@@ -209,14 +285,14 @@ void Aggregator::MergeShardDeltas() {
   // (the answer-tap order).
   uint64_t routed_max = 0;
   uint64_t routed_sum = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    Shard& shard = *shards_[s];
+  for (size_t s = 0; s < lane.shards.size(); ++s) {
+    Shard& shard = *lane.shards[s];
     NoteMalformed(shard.malformed);
     shard.malformed = 0;
-    wrong_query_dropped_ += shard.wrong_query;
+    lane.wrong_query_dropped += shard.wrong_query;
     shard.wrong_query = 0;
     if (shard.max_event_ms != INT64_MIN) {
-      stream_watermark_.Observe(shard.max_event_ms);
+      lane.stream_watermark.Observe(shard.max_event_ms);
       shard.max_event_ms = INT64_MIN;
     }
     if (answer_tap_) {
@@ -225,12 +301,12 @@ void Aggregator::MergeShardDeltas() {
       }
     }
     shard.tap.clear();
-    if (!config_.shard_shares_total.empty() && shard.shares_fed > 0) {
-      config_.shard_shares_total[s]->Increment(shard.shares_fed);
+    if (!lane.shard_shares_total.empty() && shard.shares_fed > 0) {
+      lane.shard_shares_total[s]->Increment(shard.shares_fed);
     }
     const uint64_t joined = shard.joiner->stats().joined;
-    if (!config_.shard_joined_total.empty() && joined > shard.last_joined) {
-      config_.shard_joined_total[s]->Increment(joined - shard.last_joined);
+    if (!lane.shard_joined_total.empty() && joined > shard.last_joined) {
+      lane.shard_joined_total[s]->Increment(joined - shard.last_joined);
     }
     shard.last_joined = joined;
     shard.routed_total += shard.shares_fed;
@@ -238,23 +314,24 @@ void Aggregator::MergeShardDeltas() {
     routed_max = std::max(routed_max, shard.routed_total);
     routed_sum += shard.routed_total;
   }
-  if (config_.shard_imbalance_milli != nullptr && routed_sum > 0) {
-    const double mean =
-        static_cast<double>(routed_sum) / static_cast<double>(shards_.size());
-    config_.shard_imbalance_milli->Set(
+  if (lane.shard_imbalance_milli != nullptr && routed_sum > 0) {
+    const double mean = static_cast<double>(routed_sum) /
+                        static_cast<double>(lane.shards.size());
+    lane.shard_imbalance_milli->Set(
         static_cast<int64_t>(static_cast<double>(routed_max) * 1000.0 / mean));
   }
 }
 
-void Aggregator::NoteLostMid(uint64_t mid, int64_t ts) {
+void Aggregator::NoteLostMid(Lane& lane, uint64_t mid, int64_t ts) {
   // Dedup: a MID the injector already reported lost also lingers as a
   // partial join group until eviction — count it once.
-  fault_lost_mids_.try_emplace(mid, ts);
+  lane.fault_lost_mids.try_emplace(mid, ts);
 }
 
-size_t Aggregator::CountLossesInWindow(const engine::Window& window) const {
+size_t Aggregator::CountLossesInWindow(const Lane& lane,
+                                       const engine::Window& window) const {
   size_t lost = 0;
-  for (const auto& [mid, ts] : fault_lost_mids_) {
+  for (const auto& [mid, ts] : lane.fault_lost_mids) {
     if (ts >= window.start_ms && ts < window.end_ms) {
       ++lost;
     }
@@ -262,15 +339,23 @@ size_t Aggregator::CountLossesInWindow(const engine::Window& window) const {
   return lost;
 }
 
-void Aggregator::NoteFaultLostMids(std::span<const uint64_t> mids,
+void Aggregator::NoteFaultLostMids(uint64_t query_id,
+                                   std::span<const uint64_t> mids,
                                    int64_t now_ms) {
   if (!config_.track_fault_losses) {
     throw std::logic_error(
         "Aggregator::NoteFaultLostMids: track_fault_losses is off");
   }
+  Lane& lane = GetLane(query_id, "Aggregator::NoteFaultLostMids");
   for (const uint64_t mid : mids) {
-    NoteLostMid(mid, now_ms);
+    NoteLostMid(lane, mid, now_ms);
   }
+}
+
+void Aggregator::NoteFaultLostMids(std::span<const uint64_t> mids,
+                                   int64_t now_ms) {
+  NoteFaultLostMids(SingleLane("Aggregator::NoteFaultLostMids").query.query_id,
+                    mids, now_ms);
 }
 
 void Aggregator::NoteMalformed(uint64_t n) {
@@ -284,20 +369,21 @@ void Aggregator::NoteMalformed(uint64_t n) {
 }
 
 uint64_t Aggregator::ConsumeShardBatch(
-    size_t source, uint64_t shard_seq,
+    uint64_t query_id, size_t source, uint64_t shard_seq,
     const std::vector<uint32_t>& partition_counts) {
-  if (source >= consumers_.size()) {
+  Lane& lane = GetLane(query_id, "Aggregator::ConsumeShardBatch");
+  if (source >= lane.consumers.size()) {
     throw std::out_of_range("Aggregator::ConsumeShardBatch: bad source");
   }
   uint64_t consumed = 0;
   {
     ScopedTimer timer(config_.decode_ns);
     shard_views_.clear();
-    consumed =
-        consumers_[source]->PollPartitionsViews(partition_counts, shard_views_);
-    StreamSlot& slot = stream_pending_[shard_seq];
+    consumed = lane.consumers[source]->PollPartitionsViews(partition_counts,
+                                                           shard_views_);
+    StreamSlot& slot = lane.stream_pending[shard_seq];
     if (slot.per_source.empty()) {
-      slot.per_source.resize(consumers_.size());
+      slot.per_source.resize(lane.consumers.size());
     }
     proxy::Proxy::DecodeShares(shard_views_, slot.per_source[source]);
     ++slot.filled;
@@ -305,33 +391,44 @@ uint64_t Aggregator::ConsumeShardBatch(
   // Advance the reorder buffer: feed every complete shard at the head, in
   // (shard_seq, source) order — the streaming pipeline's canonical join
   // feed order.
-  while (!stream_pending_.empty()) {
-    auto head = stream_pending_.begin();
-    if (head->first != stream_next_seq_ ||
-        head->second.filled != consumers_.size()) {
+  while (!lane.stream_pending.empty()) {
+    auto head = lane.stream_pending.begin();
+    if (head->first != lane.stream_next_seq ||
+        head->second.filled != lane.consumers.size()) {
       break;
     }
     for (const proxy::Proxy::DecodedShares& batch : head->second.per_source) {
       NoteMalformed(batch.malformed);
     }
-    FeedShards(head->second.per_source);
-    stream_pending_.erase(head);
-    ++stream_next_seq_;
+    FeedShards(lane, head->second.per_source);
+    lane.stream_pending.erase(head);
+    ++lane.stream_next_seq;
   }
   return consumed;
 }
 
+uint64_t Aggregator::ConsumeShardBatch(
+    size_t source, uint64_t shard_seq,
+    const std::vector<uint32_t>& partition_counts) {
+  return ConsumeShardBatch(
+      SingleLane("Aggregator::ConsumeShardBatch").query.query_id, source,
+      shard_seq, partition_counts);
+}
+
 void Aggregator::FinishStream() {
-  const bool incomplete = !stream_pending_.empty();
-  stream_pending_.clear();
-  stream_next_seq_ = 0;
+  bool incomplete = false;
+  for (auto& [qid, lane] : lanes_) {
+    incomplete = incomplete || !lane->stream_pending.empty();
+    lane->stream_pending.clear();
+    lane->stream_next_seq = 0;
+  }
   if (incomplete) {
     throw std::logic_error(
         "Aggregator::FinishStream: shard batches missing from the stream");
   }
 }
 
-void Aggregator::OnJoinedShard(Shard& shard, uint64_t /*mid*/,
+void Aggregator::OnJoinedShard(Lane& lane, Shard& shard, uint64_t /*mid*/,
                                std::vector<uint8_t> plaintext,
                                int64_t timestamp_ms) {
   crypto::AnswerMessage message;
@@ -341,27 +438,27 @@ void Aggregator::OnJoinedShard(Shard& shard, uint64_t /*mid*/,
     ++shard.malformed;
     return;
   }
-  if (message.query_id != query_.query_id ||
-      message.answer.size() != query_.answer_format.num_buckets()) {
+  if (message.query_id != lane.query.query_id ||
+      message.answer.size() != lane.query.answer_format.num_buckets()) {
     ++shard.wrong_query;
     return;
   }
   shard.max_event_ms = std::max(shard.max_event_ms, timestamp_ms);
-  shard.windows.Fold(timestamp_ms, message.answer, [this] {
-    return core::AnswerAccumulator(query_.answer_format.num_buckets());
+  shard.windows.Fold(timestamp_ms, message.answer, [&lane] {
+    return core::AnswerAccumulator(lane.query.answer_format.num_buckets());
   });
   if (answer_tap_) {
     shard.tap.emplace_back(timestamp_ms, std::move(message.answer));
   }
 }
 
-void Aggregator::FireWindows(int64_t watermark_ms, bool flush) {
+void Aggregator::FireWindows(Lane& lane, int64_t watermark_ms, bool flush) {
   // Drain each shard's completed windows in shard order and merge
   // accumulators per window. The element-wise histogram add is exact (every
   // count is a whole number of 1.0 increments, far below 2^53), so the
   // merged accumulator is bit-identical to the one a single shard would
   // have built — shard count and merge order cannot change a result.
-  for (auto& shard : shards_) {
+  for (auto& shard : lane.shards) {
     fired_scratch_.clear();
     if (flush) {
       shard->windows.DrainAll(fired_scratch_);
@@ -381,18 +478,18 @@ void Aggregator::FireWindows(int64_t watermark_ms, bool flush) {
   // Emit in ascending window order — the same order the single-shard
   // WindowBuffer fired in.
   for (const auto& [window, acc] : merged_scratch_) {
-    OnWindowFired(window, acc);
+    OnWindowFired(lane, window, acc);
   }
   merged_scratch_.clear();
 }
 
-void Aggregator::OnWindowFired(const engine::Window& window,
+void Aggregator::OnWindowFired(Lane& lane, const engine::Window& window,
                                const core::AnswerAccumulator& acc) {
   ScopedTimer timer(config_.window_ns);
   const size_t lost_in_window =
-      config_.track_fault_losses ? CountLossesInWindow(window) : 0;
-  core::QueryResult result =
-      estimator_.Estimate(acc.histogram(), acc.num_answers(), lost_in_window);
+      config_.track_fault_losses ? CountLossesInWindow(lane, window) : 0;
+  core::QueryResult result = lane.estimator.Estimate(
+      acc.histogram(), acc.num_answers(), lost_in_window);
   if (config_.answers_inverted) {
     // De-invert: yes-count = participants - no-count, bucket-wise, scaled to
     // the population.
@@ -402,54 +499,86 @@ void Aggregator::OnWindowFired(const engine::Window& window,
           core::YesCountFromInverted(bucket.estimate.value, scaled_total);
     }
   }
-  on_result_(WindowedResult{window, std::move(result)});
+  on_result_(
+      WindowedResult{lane.query.query_id, window, std::move(result)});
 }
 
-void Aggregator::AdvanceWatermark(int64_t watermark_ms) {
+void Aggregator::AdvanceLaneWatermark(Lane& lane, int64_t watermark_ms) {
   // Evictions run shard by shard in shard order; each MID lives in exactly
-  // one shard, so the coordinator-side loss map and expired counter end up
+  // one shard, so the lane-side loss map and expired counter end up
   // identical for every shard count.
-  for (auto& shard : shards_) {
+  for (auto& shard : lane.shards) {
     shard->joiner->EvictStale(watermark_ms);
   }
-  FireWindows(watermark_ms, /*flush=*/false);
-  if (config_.track_fault_losses && !fault_lost_mids_.empty()) {
+  FireWindows(lane, watermark_ms, /*flush=*/false);
+  if (config_.track_fault_losses && !lane.fault_lost_mids.empty()) {
     // Losses too old to fall into any window still unfired can go: every
     // window containing their event time ended at or before the watermark.
-    const int64_t cutoff = watermark_ms - query_.window_length_ms;
-    for (auto it = fault_lost_mids_.begin(); it != fault_lost_mids_.end();) {
-      it = it->second < cutoff ? fault_lost_mids_.erase(it) : std::next(it);
+    const int64_t cutoff = watermark_ms - lane.query.window_length_ms;
+    for (auto it = lane.fault_lost_mids.begin();
+         it != lane.fault_lost_mids.end();) {
+      it = it->second < cutoff ? lane.fault_lost_mids.erase(it)
+                               : std::next(it);
     }
   }
 }
 
-void Aggregator::AdvanceWatermarkToStream() {
-  const int64_t watermark = stream_watermark_.Current();
-  if (watermark != INT64_MIN) {
-    AdvanceWatermark(watermark);
+void Aggregator::AdvanceWatermark(int64_t watermark_ms) {
+  for (auto& [qid, lane] : lanes_) {
+    AdvanceLaneWatermark(*lane, watermark_ms);
   }
 }
 
-void Aggregator::Flush() { FireWindows(0, /*flush=*/true); }
+void Aggregator::AdvanceWatermarkToStream() {
+  for (auto& [qid, lane] : lanes_) {
+    const int64_t watermark = lane->stream_watermark.Current();
+    if (watermark != INT64_MIN) {
+      AdvanceLaneWatermark(*lane, watermark);
+    }
+  }
+}
+
+int64_t Aggregator::StreamWatermark() const {
+  return SingleLane("Aggregator::StreamWatermark")
+      .stream_watermark.Current();
+}
+
+void Aggregator::Flush() {
+  for (auto& [qid, lane] : lanes_) {
+    FireWindows(*lane, 0, /*flush=*/true);
+  }
+}
 
 const engine::JoinStats& Aggregator::join_stats() const {
   merged_join_stats_ = {};
-  for (const auto& shard : shards_) {
-    const engine::JoinStats& s = shard->joiner->stats();
-    merged_join_stats_.joined += s.joined;
-    merged_join_stats_.duplicates_dropped += s.duplicates_dropped;
-    merged_join_stats_.evicted_partial += s.evicted_partial;
-    merged_join_stats_.late_dropped += s.late_dropped;
+  for (const auto& [qid, lane] : lanes_) {
+    for (const auto& shard : lane->shards) {
+      const engine::JoinStats& s = shard->joiner->stats();
+      merged_join_stats_.joined += s.joined;
+      merged_join_stats_.duplicates_dropped += s.duplicates_dropped;
+      merged_join_stats_.evicted_partial += s.evicted_partial;
+      merged_join_stats_.late_dropped += s.late_dropped;
+    }
   }
   return merged_join_stats_;
 }
 
 size_t Aggregator::pending_join_groups() const {
   size_t pending = 0;
-  for (const auto& shard : shards_) {
-    pending += shard->joiner->pending_groups();
+  for (const auto& [qid, lane] : lanes_) {
+    for (const auto& shard : lane->shards) {
+      pending += shard->joiner->pending_groups();
+    }
   }
   return pending;
+}
+
+uint64_t Aggregator::wrong_query_dropped() const {
+  uint64_t total = 0;
+  for (const auto& [qid, lane] : lanes_) {
+    total += lane->wrong_query_dropped;
+  }
+  return total;
 }
 
 }  // namespace privapprox::aggregator

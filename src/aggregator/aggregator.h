@@ -7,6 +7,14 @@
 // via a callback; joined randomized answers are optionally teed into the
 // historical store (§3.3.1).
 //
+// Multi-query: the aggregator is a coordinator over per-query *lanes*. A
+// lane owns everything one query needs — its n source-topic consumers, its
+// MID joiner + window shards, its error estimator, its stream watermark and
+// reorder buffer, its fault-loss ledger — so queries share nothing but the
+// broker and the worker pool, and each query's results are bit-identical to
+// a run where it is the only query registered. Lanes are processed in
+// ascending-QID order everywhere order is observable.
+//
 // The join + window stage is sharded by hash(MID): each shard owns an
 // independent MidJoiner and per-window accumulators, so feeding shards can
 // run in parallel with no shared mutable state, and per-window results are
@@ -22,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -50,10 +59,10 @@ struct AggregatorConfig {
   int64_t watermark_out_of_orderness_ms = 1000;
   // De-invert results produced under query inversion (§3.3.2).
   bool answers_inverted = false;
-  // Join/window shards: shares route to shard hash(MID) % num_shards, each
-  // with its own MidJoiner and window accumulators. 1 = the classic
-  // sequential aggregator. Any N produces bit-identical results; N > 1 only
-  // goes parallel when `pool` is also set.
+  // Join/window shards per lane: shares route to shard hash(MID) %
+  // num_shards, each with its own MidJoiner and window accumulators. 1 =
+  // the classic sequential aggregator. Any N produces bit-identical
+  // results; N > 1 only goes parallel when `pool` is also set.
   size_t num_shards = 1;
   // Optional worker pool (not owned). When set, Drain polls and decodes the
   // n proxy streams in parallel — one task per source topic — and both
@@ -70,7 +79,9 @@ struct AggregatorConfig {
   // Per-shard instruments, indexed by shard (empty or size num_shards):
   // shares routed to the shard and answers its joiner completed. The
   // imbalance gauge holds max-shard-routed * 1000 / mean-shard-routed
-  // (1000 = perfectly balanced), updated after every feed pass.
+  // (1000 = perfectly balanced), updated after every feed pass. These
+  // config-level instruments serve lanes that do not bring their own
+  // (QueryLaneOptions) — i.e. the single-query compatibility path.
   std::vector<metrics::Counter*> shard_shares_total;
   std::vector<metrics::Counter*> shard_joined_total;
   metrics::Gauge* shard_imbalance_milli = nullptr;
@@ -85,7 +96,19 @@ struct AggregatorConfig {
                                                    // the watermark
 };
 
+// Per-query registration options. source_topics empty = the legacy
+// "proxy<i>.out" topics; the multi-query system passes the query's lane
+// outbound topics. The shard instruments (empty/null = fall back to the
+// config-level ones) let the system label shard families per query.
+struct QueryLaneOptions {
+  std::vector<std::string> source_topics;
+  std::vector<metrics::Counter*> shard_shares_total;
+  std::vector<metrics::Counter*> shard_joined_total;
+  metrics::Gauge* shard_imbalance_milli = nullptr;
+};
+
 struct WindowedResult {
+  uint64_t query_id = 0;
   engine::Window window;
   core::QueryResult result;
 };
@@ -97,9 +120,27 @@ class Aggregator {
   // analytics): (timestamp, answer bit-vector).
   using AnswerTapFn = std::function<void(int64_t, const BitVector&)>;
 
+  // Coordinator with no lanes yet; add queries with RegisterQuery.
+  Aggregator(AggregatorConfig config, broker::Broker& broker,
+             ResultFn on_result);
+
+  // Single-query compatibility: coordinator plus one lane for `query` over
+  // the legacy "proxy<i>.out" topics, using the config-level shard
+  // instruments.
   Aggregator(AggregatorConfig config, const core::Query& query,
              const core::ExecutionParams& params, broker::Broker& broker,
              ResultFn on_result);
+
+  // Adds a lane for `query`. Throws std::invalid_argument for QID 0, a QID
+  // already registered, or options.source_topics of the wrong cardinality.
+  void RegisterQuery(const core::Query& query,
+                     const core::ExecutionParams& params,
+                     QueryLaneOptions options = {});
+
+  bool HasQuery(uint64_t query_id) const {
+    return lanes_.count(query_id) != 0;
+  }
+  size_t num_queries() const { return lanes_.size(); }
 
   void set_answer_tap(AnswerTapFn tap) { answer_tap_ = std::move(tap); }
 
@@ -107,62 +148,78 @@ class Aggregator {
   // windows de-bias and error-estimate with the new (s, p, q). Windows
   // already buffered keep their answers; their estimates use the new
   // parameters, which is the correct choice once clients have switched.
+  // The QID-less overload is the single-lane shim.
+  void UpdateParams(uint64_t query_id, const core::ExecutionParams& params);
   void UpdateParams(const core::ExecutionParams& params);
 
-  // Drains all proxy outbound topics through join -> decrypt -> window.
-  // Returns the number of shares consumed.
+  // Drains every lane's source topics through join -> decrypt -> window,
+  // lanes in ascending-QID order. Returns the number of shares consumed.
   uint64_t Drain();
 
   // --- Streaming-mode consumption (system/system.cc) -------------------
   //
   // The streaming epoch pipeline calls ConsumeShardBatch from its single
-  // aggregator-stage thread, once per (shard, proxy) as forward
+  // aggregator-stage thread, once per (query, shard, proxy) as forward
   // notifications arrive. It reads exactly the records proxy `source`
-  // appended for shard `shard_seq` (per-outbound-partition counts as
-  // reported by Proxy::ReceiveAndForwardShard), decodes them, and parks
-  // the batch in a reorder buffer keyed by shard sequence number. Whenever
-  // the buffer's head shard has a batch from every source, those batches
-  // are fed to the MID join in (shard_seq, source) order — so the join
-  // feed order is deterministic for every worker count, channel depth, and
-  // thread interleaving. Returns records consumed (incl. malformed).
+  // appended to the query's lane for shard `shard_seq`
+  // (per-outbound-partition counts as reported by
+  // Proxy::ReceiveAndForwardShard), decodes them, and parks the batch in
+  // the lane's reorder buffer keyed by shard sequence number. Whenever the
+  // buffer's head shard has a batch from every source, those batches are
+  // fed to the MID join in (shard_seq, source) order — so the join feed
+  // order is deterministic per lane for every worker count, channel depth,
+  // and thread interleaving. Returns records consumed (incl. malformed).
   //
   // Not thread-safe; not to be interleaved with Drain() mid-epoch. (The
   // internal fan-out to join shards may borrow the pool, but callers see a
-  // single-threaded surface.)
+  // single-threaded surface.) The QID-less overload is the single-lane
+  // shim.
+  uint64_t ConsumeShardBatch(uint64_t query_id, size_t source,
+                             uint64_t shard_seq,
+                             const std::vector<uint32_t>& partition_counts);
   uint64_t ConsumeShardBatch(size_t source, uint64_t shard_seq,
                              const std::vector<uint32_t>& partition_counts);
 
-  // Ends one streaming epoch: resets the shard sequence expectation for the
-  // next epoch. Throws std::logic_error if shard batches are still parked
-  // (a gap in the sequence — pipeline bug); the buffer is cleared first so
-  // the aggregator stays usable after the throw.
+  // Ends one streaming epoch: resets every lane's shard sequence
+  // expectation for the next epoch. Throws std::logic_error if shard
+  // batches are still parked in any lane (a gap in the sequence — pipeline
+  // bug); the buffers are cleared first so the aggregator stays usable
+  // after the throw.
   void FinishStream();
 
   // Fault-recovery input (requires track_fault_losses): the system reports
   // the MIDs its injector knows can never join (dropped or corrupted
-  // shares, failed failovers) at the end of each epoch. Each MID is counted
-  // once — a later join-group expiry of the same MID does not double-widen.
+  // shares, failed failovers) at the end of each epoch, per query. Each
+  // (query, MID) is counted once — a later join-group expiry of the same
+  // MID does not double-widen. The QID-less overload is the single-lane
+  // shim.
+  void NoteFaultLostMids(uint64_t query_id, std::span<const uint64_t> mids,
+                         int64_t now_ms);
   void NoteFaultLostMids(std::span<const uint64_t> mids, int64_t now_ms);
 
-  // Advances the event-time watermark: evicts stale join groups and fires
-  // complete windows, shard by shard in shard order, merging same-window
-  // accumulators across shards before emitting each result.
+  // Advances the event-time watermark on every lane: evicts stale join
+  // groups and fires complete windows, shard by shard in shard order,
+  // merging same-window accumulators across shards before emitting each
+  // result. Lanes fire in ascending-QID order; windows within a lane in
+  // ascending window order.
   void AdvanceWatermark(int64_t watermark_ms);
 
-  // Stream-driven alternative: advances to the bounded-out-of-orderness
-  // watermark derived from the event times seen so far (engine/watermark.h).
+  // Stream-driven alternative: advances each lane to the
+  // bounded-out-of-orderness watermark derived from the event times that
+  // lane has seen so far (engine/watermark.h). Lanes run independent
+  // watermarks, so a stalled query never holds back another's windows.
   void AdvanceWatermarkToStream();
-  int64_t StreamWatermark() const { return stream_watermark_.Current(); }
+  int64_t StreamWatermark() const;  // single-lane shim
 
-  // Fires everything left (end of stream).
+  // Fires everything left (end of stream), all lanes.
   void Flush();
 
-  // Join statistics summed across shards (recomputed per call).
+  // Join statistics summed across lanes and shards (recomputed per call).
   const engine::JoinStats& join_stats() const;
   size_t pending_join_groups() const;
   uint64_t malformed_dropped() const { return malformed_dropped_; }
-  uint64_t wrong_query_dropped() const { return wrong_query_dropped_; }
-  size_t num_shards() const { return shards_.size(); }
+  uint64_t wrong_query_dropped() const;
+  size_t num_shards() const { return config_.num_shards; }
 
  private:
   // One join/window shard. Owns every piece of mutable state its joiner
@@ -193,47 +250,81 @@ class Aggregator {
     size_t filled = 0;
   };
 
+  // Everything one registered query owns. unique_ptr'd in lanes_ so the
+  // Lane* captured by its shards' joiner callbacks stays stable.
+  struct Lane {
+    core::Query query;
+    core::ExecutionParams params;
+    core::ErrorEstimator estimator;
+    std::vector<std::unique_ptr<broker::Consumer>> consumers;
+    // unique_ptr for stable addresses: each shard's joiner emit callback
+    // captures its Shard*.
+    std::vector<std::unique_ptr<Shard>> shards;
+    engine::BoundedOutOfOrdernessWatermark stream_watermark;
+    // Streaming-mode reorder buffer: shards decoded but not yet fed to the
+    // join, keyed by shard sequence number. Bounded in practice by the
+    // pipeline's channel capacities (upstream backpressure).
+    std::map<uint64_t, StreamSlot> stream_pending;
+    uint64_t stream_next_seq = 0;
+    uint64_t wrong_query_dropped = 0;
+    // Fault-loss bookkeeping (track_fault_losses): MID -> event time of
+    // each loss, deduplicating injector reports against join-group
+    // expiries. A sliding window counts the losses whose event time it
+    // covers when it fires; entries too old to reach any future window are
+    // pruned as the watermark advances. Lane-level: evictions run
+    // shard-by-shard in shard order, and each MID belongs to exactly one
+    // shard, so the map's content is independent of shard count.
+    std::unordered_map<uint64_t, int64_t> fault_lost_mids;
+    // Effective shard instruments (lane options or config-level fallback).
+    std::vector<metrics::Counter*> shard_shares_total;
+    std::vector<metrics::Counter*> shard_joined_total;
+    metrics::Gauge* shard_imbalance_milli = nullptr;
+
+    Lane(const core::Query& q, const core::ExecutionParams& p,
+         const AggregatorConfig& config)
+        : query(q),
+          params(p),
+          estimator(p, config.population, config.confidence),
+          stream_watermark(config.watermark_out_of_orderness_ms) {}
+  };
+
+  Lane& SingleLane(const char* caller);
+  const Lane& SingleLane(const char* caller) const;
+  Lane& GetLane(uint64_t query_id, const char* caller);
   size_t ShardOf(uint64_t mid) const;
-  // Feeds every decoded batch (indexed by source) to the join shards — in
-  // parallel via the pool when num_shards > 1 and a pool is wired,
-  // sequentially otherwise — then folds shard deltas into the coordinator
-  // in shard order.
-  void FeedShards(std::span<const proxy::Proxy::DecodedShares> per_source);
-  void MergeShardDeltas();
-  // Fires windows up to `watermark_ms` (or everything when `flush`):
-  // drains each shard's completed windows in shard order, merges
+  uint64_t DrainLane(Lane& lane);
+  // Feeds every decoded batch (indexed by source) to the lane's join
+  // shards — in parallel via the pool when num_shards > 1 and a pool is
+  // wired, sequentially otherwise — then folds shard deltas into the
+  // coordinator in shard order.
+  void FeedShards(Lane& lane,
+                  std::span<const proxy::Proxy::DecodedShares> per_source);
+  void MergeShardDeltas(Lane& lane);
+  // Fires the lane's windows up to `watermark_ms` (or everything when
+  // `flush`): drains each shard's completed windows in shard order, merges
   // accumulators per window, then emits results in ascending window order.
-  void FireWindows(int64_t watermark_ms, bool flush);
-  void OnJoinedShard(Shard& shard, uint64_t mid,
+  void FireWindows(Lane& lane, int64_t watermark_ms, bool flush);
+  void AdvanceLaneWatermark(Lane& lane, int64_t watermark_ms);
+  void OnJoinedShard(Lane& lane, Shard& shard, uint64_t mid,
                      std::vector<uint8_t> plaintext, int64_t timestamp_ms);
-  void OnWindowFired(const engine::Window& window,
+  void OnWindowFired(Lane& lane, const engine::Window& window,
                      const core::AnswerAccumulator& acc);
   void NoteMalformed(uint64_t n);
-  void NoteLostMid(uint64_t mid, int64_t ts);
-  size_t CountLossesInWindow(const engine::Window& window) const;
+  void NoteLostMid(Lane& lane, uint64_t mid, int64_t ts);
+  size_t CountLossesInWindow(const Lane& lane,
+                             const engine::Window& window) const;
 
   AggregatorConfig config_;
-  core::Query query_;
-  core::ExecutionParams params_;
   broker::Broker& broker_;
   ResultFn on_result_;
   AnswerTapFn answer_tap_;
-  std::vector<std::unique_ptr<broker::Consumer>> consumers_;
-  // unique_ptr for stable addresses: each shard's joiner emit callback
-  // captures its Shard*.
-  std::vector<std::unique_ptr<Shard>> shards_;
-  core::ErrorEstimator estimator_;
-  engine::BoundedOutOfOrdernessWatermark stream_watermark_{1000};
-  // Streaming-mode reorder buffer: shards decoded but not yet fed to the
-  // join, keyed by shard sequence number. Bounded in practice by the
-  // pipeline's channel capacities (upstream backpressure).
-  std::map<uint64_t, StreamSlot> stream_pending_;
-  // Consumption scratch, reused across calls so steady-state draining and
-  // shard consumption perform no heap allocation. drain_* are indexed by
-  // source (one slot per consumer, so the parallel Drain path stays
-  // synchronization-free); shard_views_ backs the single-threaded
-  // ConsumeShardBatch poll; fired_/merged_scratch_ back the per-watermark
-  // window merge.
+  std::map<uint64_t, std::unique_ptr<Lane>> lanes_;  // QID -> lane, ascending
+  // Consumption scratch, reused across calls and lanes (lanes are always
+  // processed sequentially) so steady-state draining and shard consumption
+  // perform no heap allocation. drain_* are indexed by source (one slot per
+  // consumer, so the parallel Drain path stays synchronization-free);
+  // shard_views_ backs the single-threaded ConsumeShardBatch poll;
+  // fired_/merged_scratch_ back the per-watermark window merge.
   std::vector<std::vector<broker::RecordView>> drain_views_;
   std::vector<proxy::Proxy::DecodedShares> drain_decoded_;
   std::vector<broker::RecordView> shard_views_;
@@ -241,17 +332,7 @@ class Aggregator {
       fired_scratch_;
   std::map<engine::Window, core::AnswerAccumulator> merged_scratch_;
   mutable engine::JoinStats merged_join_stats_;
-  uint64_t stream_next_seq_ = 0;
   uint64_t malformed_dropped_ = 0;
-  uint64_t wrong_query_dropped_ = 0;
-  // Fault-loss bookkeeping (track_fault_losses): MID -> event time of each
-  // loss, deduplicating injector reports against join-group expiries. A
-  // sliding window counts the losses whose event time it covers when it
-  // fires; entries too old to reach any future window are pruned as the
-  // watermark advances. Coordinator-level: evictions run shard-by-shard in
-  // shard order, and each MID belongs to exactly one shard, so the map's
-  // content is independent of shard count.
-  std::unordered_map<uint64_t, int64_t> fault_lost_mids_;
 };
 
 }  // namespace privapprox::aggregator

@@ -1,6 +1,7 @@
 #include "client/client.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/answer.h"
 #include "core/inversion.h"
@@ -8,11 +9,23 @@
 
 namespace privapprox::client {
 
+namespace {
+
+// Expands (seed, client_id, query_id) into the per-subscription randomness
+// streams. A pure function of its inputs: a query's RR coins and pad bytes
+// do not depend on which other queries the client happens to hold, which is
+// what makes per-query results identical between joint and isolated runs.
+SplitMix64 SubscriptionMixer(uint64_t seed, uint64_t client_id,
+                             uint64_t query_id) {
+  return SplitMix64(seed ^ (client_id * 0x9E3779B97F4A7C15ULL) ^
+                    (query_id * 0xBF58476D1CE4E5B9ULL));
+}
+
+}  // namespace
+
 Client::Client(ClientConfig config)
     : config_(config),
-      coin_rng_(config.seed ^ (config.client_id * 0x9E3779B97F4A7C15ULL)),
-      splitter_(config.num_proxies,
-                crypto::ChaCha20Rng::FromSeed(config.seed, config.client_id)) {}
+      coin_rng_(config.seed ^ (config.client_id * 0x9E3779B97F4A7C15ULL)) {}
 
 void Client::Subscribe(const core::Query& query,
                        const core::ExecutionParams& params) {
@@ -20,8 +33,24 @@ void Client::Subscribe(const core::Query& query,
     throw std::invalid_argument("Client::Subscribe: bad query signature");
   }
   params.Validate();
-  query_ = query;
-  params_ = params;
+  const auto it = subs_.find(query.query_id);
+  if (it != subs_.end()) {
+    // Parameter/plan update for a live query: keep the RNG streams running.
+    it->second.query = query;
+    it->second.params = params;
+    return;
+  }
+  SplitMix64 mixer =
+      SubscriptionMixer(config_.seed, config_.client_id, query.query_id);
+  const uint64_t rr_seed = mixer.Next();
+  const uint64_t pad_seed = mixer.Next();
+  subs_.emplace(
+      query.query_id,
+      Subscription{query, params, Xoshiro256(rr_seed),
+                   crypto::XorSplitter(
+                       config_.num_proxies,
+                       crypto::ChaCha20Rng::FromSeed(pad_seed,
+                                                     query.query_id))});
 }
 
 void Client::OnAnnouncement(const std::vector<uint8_t>& announcement) {
@@ -30,15 +59,45 @@ void Client::OnAnnouncement(const std::vector<uint8_t>& announcement) {
   Subscribe(ann.query, ann.params);
 }
 
-const core::Query& Client::query() const {
-  if (!query_.has_value()) {
-    throw std::logic_error("Client::query: no subscription");
+std::vector<uint64_t> Client::subscribed_query_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(subs_.size());
+  for (const auto& [qid, sub] : subs_) {
+    ids.push_back(qid);
   }
-  return *query_;
+  return ids;
 }
 
-BitVector Client::ComputeTruthful(int64_t now_ms) {
-  const core::Query& query = *query_;
+const Client::Subscription& Client::SingleSub(const char* caller) const {
+  if (subs_.empty()) {
+    throw std::logic_error(std::string(caller) + ": no subscription");
+  }
+  if (subs_.size() > 1) {
+    throw std::logic_error(std::string(caller) +
+                           ": multiple subscriptions; pass a query id");
+  }
+  return subs_.begin()->second;
+}
+
+Client::Subscription& Client::SingleSub(const char* caller) {
+  return const_cast<Subscription&>(
+      static_cast<const Client*>(this)->SingleSub(caller));
+}
+
+const core::Query& Client::query() const {
+  return SingleSub("Client::query").query;
+}
+
+const core::Query& Client::query(uint64_t query_id) const {
+  const auto it = subs_.find(query_id);
+  if (it == subs_.end()) {
+    throw std::logic_error("Client::query: not subscribed to query " +
+                           std::to_string(query_id));
+  }
+  return it->second.query;
+}
+
+BitVector Client::ComputeTruthful(const core::Query& query, int64_t now_ms) {
   const int64_t from_ms = now_ms - query.window_length_ms;
   std::vector<localdb::Value> values;
   try {
@@ -64,19 +123,33 @@ BitVector Client::ComputeTruthful(int64_t now_ms) {
 }
 
 BitVector Client::TruthfulAnswer(int64_t now_ms) {
-  if (!query_.has_value()) {
-    throw std::logic_error("Client::TruthfulAnswer: no subscription");
-  }
-  return ComputeTruthful(now_ms);
+  return ComputeTruthful(SingleSub("Client::TruthfulAnswer").query, now_ms);
+}
+
+BitVector Client::TruthfulAnswer(uint64_t query_id, int64_t now_ms) {
+  return ComputeTruthful(query(query_id), now_ms);
+}
+
+void Client::EncodeAnswerInto(Subscription& sub, int64_t now_ms,
+                              EpochArena& arena,
+                              std::span<crypto::ShareView> out) {
+  // Step II: local execution + randomized response (per-query coin stream).
+  const BitVector truthful = ComputeTruthful(sub.query, now_ms);
+  const core::RandomizedResponse rr(sub.params.randomization);
+  const BitVector randomized = rr.RandomizeAnswer(truthful, sub.rr_rng);
+  // Step III: frame and split.
+  const crypto::AnswerMessage message{sub.query.query_id, randomized};
+  sub.splitter.SplitMessageInto(message, arena, out);
 }
 
 std::optional<EpochAnswer> Client::AnswerQuery(int64_t now_ms) {
-  if (!query_.has_value()) {
+  if (subs_.empty()) {
     return std::nullopt;
   }
+  Subscription& sub = SingleSub("Client::AnswerQuery");
   // Step I: the sampling coin.
-  const core::SamplingPolicy sampling(params_->sampling_fraction);
-  if (!sampling.ShouldParticipate(coin_rng_)) {
+  const double u = coin_rng_.NextDouble();
+  if (!(u < sub.params.sampling_fraction)) {
     if (config_.skips_total != nullptr) {
       config_.skips_total->Increment();
     }
@@ -85,25 +158,24 @@ std::optional<EpochAnswer> Client::AnswerQuery(int64_t now_ms) {
   if (config_.answers_total != nullptr) {
     config_.answers_total->Increment();
   }
-  // Step II: local execution + randomized response.
-  const BitVector truthful = ComputeTruthful(now_ms);
-  const core::RandomizedResponse rr(params_->randomization);
-  const BitVector randomized = rr.RandomizeAnswer(truthful, coin_rng_);
-  // Step III: frame and split.
-  const crypto::AnswerMessage message{query_->query_id, randomized};
+  const BitVector truthful = ComputeTruthful(sub.query, now_ms);
+  const core::RandomizedResponse rr(sub.params.randomization);
+  const BitVector randomized = rr.RandomizeAnswer(truthful, sub.rr_rng);
+  const crypto::AnswerMessage message{sub.query.query_id, randomized};
   EpochAnswer answer;
   answer.timestamp_ms = now_ms;
-  answer.shares = splitter_.Split(message.Serialize());
+  answer.shares = sub.splitter.Split(message.Serialize());
   return answer;
 }
 
 bool Client::AnswerQueryInto(int64_t now_ms, EpochArena& arena,
                              std::span<crypto::ShareView> out) {
-  if (!query_.has_value()) {
+  if (subs_.empty()) {
     return false;
   }
-  const core::SamplingPolicy sampling(params_->sampling_fraction);
-  if (!sampling.ShouldParticipate(coin_rng_)) {
+  Subscription& sub = SingleSub("Client::AnswerQueryInto");
+  const double u = coin_rng_.NextDouble();
+  if (!(u < sub.params.sampling_fraction)) {
     if (config_.skips_total != nullptr) {
       config_.skips_total->Increment();
     }
@@ -112,12 +184,42 @@ bool Client::AnswerQueryInto(int64_t now_ms, EpochArena& arena,
   if (config_.answers_total != nullptr) {
     config_.answers_total->Increment();
   }
-  const BitVector truthful = ComputeTruthful(now_ms);
-  const core::RandomizedResponse rr(params_->randomization);
-  const BitVector randomized = rr.RandomizeAnswer(truthful, coin_rng_);
-  const crypto::AnswerMessage message{query_->query_id, randomized};
-  splitter_.SplitMessageInto(message, arena, out);
+  EncodeAnswerInto(sub, now_ms, arena, out);
   return true;
+}
+
+void Client::AnswerSubscribedInto(int64_t now_ms, EpochArena& arena,
+                                  std::span<crypto::ShareView> out,
+                                  std::vector<uint64_t>& answered) {
+  answered.clear();
+  if (subs_.empty()) {
+    return;
+  }
+  if (out.size() != subs_.size() * config_.num_proxies) {
+    throw std::invalid_argument(
+        "Client::AnswerSubscribedInto: out must hold subscriptions * "
+        "proxies share slots");
+  }
+  // Step I, shared across subscriptions: one uniform draw per epoch, query
+  // q participates iff u < s_q. The draw count per epoch is independent of
+  // how many queries are live, and each query sees exactly the
+  // participation sequence it would see running alone.
+  const double u = coin_rng_.NextDouble();
+  size_t slot = 0;
+  for (auto& [qid, sub] : subs_) {
+    if (u < sub.params.sampling_fraction) {
+      if (config_.answers_total != nullptr) {
+        config_.answers_total->Increment();
+      }
+      answered.push_back(qid);
+      EncodeAnswerInto(sub, now_ms, arena,
+                       out.subspan(slot * config_.num_proxies,
+                                   config_.num_proxies));
+    } else if (config_.skips_total != nullptr) {
+      config_.skips_total->Increment();
+    }
+    ++slot;
+  }
 }
 
 }  // namespace privapprox::client

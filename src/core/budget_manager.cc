@@ -1,0 +1,126 @@
+#include "core/budget_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/privacy.h"
+
+namespace privapprox::core {
+
+PrivacyBudgetManager::PrivacyBudgetManager(BudgetManagerConfig config)
+    : config_(config) {
+  if (std::isnan(config_.max_epsilon_zk) || config_.max_epsilon_zk <= 0.0) {
+    throw std::invalid_argument(
+        "PrivacyBudgetManager: max_epsilon_zk must be positive");
+  }
+  if (!(config_.min_sampling_fraction > 0.0 &&
+        config_.min_sampling_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "PrivacyBudgetManager: min_sampling_fraction must be in (0, 1]");
+  }
+}
+
+BudgetAdmission PrivacyBudgetManager::Admit(uint64_t query_id,
+                                            const ExecutionParams& params) {
+  if (query_id == 0) {
+    throw std::invalid_argument("PrivacyBudgetManager: query id 0");
+  }
+  if (Has(query_id)) {
+    throw std::invalid_argument("PrivacyBudgetManager: duplicate query id " +
+                                std::to_string(query_id));
+  }
+  params.Validate();
+
+  BudgetAdmission admission;
+  admission.params = params;
+
+  if (!std::isfinite(config_.max_epsilon_zk)) {
+    // Unlimited fleet: record the (possibly infinite) cost and admit as-is.
+    admission.epsilon_zk = EpsilonZk(params.randomization,
+                                     params.sampling_fraction);
+    admission.remaining = std::numeric_limits<double>::infinity();
+    spend_.emplace(query_id, admission.epsilon_zk);
+    return admission;
+  }
+
+  const double budget_left = remaining();
+  const double cost =
+      EpsilonZk(params.randomization, params.sampling_fraction);
+  if (cost <= budget_left) {
+    admission.epsilon_zk = cost;
+    spend_.emplace(query_id, cost);
+    admission.remaining = remaining();
+    return admission;
+  }
+
+  // Over cap as requested. With p = 1 the base mechanism has infinite
+  // eps_dp, so no sampling fraction yields a finite eps_zk — refuse.
+  const bool infinite_base = !std::isfinite(EpsilonDp(params.randomization));
+  if (!config_.downsample_to_fit || infinite_base || budget_left <= 0.0) {
+    throw BudgetExceededError(
+        "query " + std::to_string(query_id) + " needs eps_zk " +
+        std::to_string(cost) + " but only " + std::to_string(budget_left) +
+        " of " + std::to_string(config_.max_epsilon_zk) + " remains");
+  }
+
+  // eps_zk is monotone in s for fixed (p, q); find the s that exactly
+  // spends the residual budget and shrink to it.
+  const double s_fit =
+      SamplingFractionForEpsilonZk(params.randomization, budget_left);
+  const double s_new = std::min(params.sampling_fraction, s_fit);
+  if (s_new < config_.min_sampling_fraction) {
+    throw BudgetExceededError(
+        "query " + std::to_string(query_id) + " fits only at s=" +
+        std::to_string(s_new) + ", below the floor " +
+        std::to_string(config_.min_sampling_fraction));
+  }
+  admission.params.sampling_fraction = s_new;
+  admission.downsampled = true;
+  admission.epsilon_zk =
+      EpsilonZk(admission.params.randomization, s_new);
+  spend_.emplace(query_id, admission.epsilon_zk);
+  admission.remaining = remaining();
+  return admission;
+}
+
+BudgetAdmission PrivacyBudgetManager::Update(uint64_t query_id,
+                                             const ExecutionParams& params) {
+  const auto it = spend_.find(query_id);
+  if (it == spend_.end()) {
+    throw std::invalid_argument("PrivacyBudgetManager: unknown query id " +
+                                std::to_string(query_id));
+  }
+  const double previous = it->second;
+  spend_.erase(it);
+  try {
+    return Admit(query_id, params);
+  } catch (...) {
+    spend_.emplace(query_id, previous);
+    throw;
+  }
+}
+
+void PrivacyBudgetManager::Release(uint64_t query_id) {
+  if (spend_.erase(query_id) == 0) {
+    throw std::invalid_argument("PrivacyBudgetManager: unknown query id " +
+                                std::to_string(query_id));
+  }
+}
+
+double PrivacyBudgetManager::spent() const {
+  double total = 0.0;
+  for (const auto& [qid, eps] : spend_) {
+    total += eps;
+  }
+  return total;
+}
+
+double PrivacyBudgetManager::remaining() const {
+  if (!std::isfinite(config_.max_epsilon_zk)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(0.0, config_.max_epsilon_zk - spent());
+}
+
+}  // namespace privapprox::core

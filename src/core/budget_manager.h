@@ -1,0 +1,98 @@
+// Fleet-wide privacy-budget ledger for the multi-query runtime.
+//
+// Every client answers every registered query, so the privacy cost a client
+// pays is the *composition* of all live queries' mechanisms. Each query's
+// per-epoch spend is its zero-knowledge privacy level eps_zk(s, p, q)
+// (tech report Eq 19, core/privacy.h); queries draw independent
+// randomized-response coins, so sequential composition applies and the
+// cumulative spend is the sum over registered queries. The manager admits a
+// query only while that sum stays under the configured fleet cap —
+// refusing it outright, or (when allowed) down-sampling its `s` until the
+// residual budget covers it. Down-sampling trades accuracy for admission:
+// the reduced s widens the query's error bounds, which the estimator
+// reports per result via QueryResult::sampling_fraction.
+//
+// The default cap is +infinity (admission never refused) so single-query
+// deployments and exact-mode tests (p = 1, where eps is infinite by
+// construction) keep working unchanged; the arithmetic only engages for a
+// finite cap.
+
+#ifndef PRIVAPPROX_CORE_BUDGET_MANAGER_H_
+#define PRIVAPPROX_CORE_BUDGET_MANAGER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/budget.h"
+
+namespace privapprox::core {
+
+// Thrown when a query cannot be admitted without blowing the fleet cap
+// (and down-sampling is disabled, impossible, or insufficient).
+class BudgetExceededError : public std::runtime_error {
+ public:
+  explicit BudgetExceededError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+struct BudgetManagerConfig {
+  // Fleet-wide cap on the summed eps_zk across registered queries.
+  // +infinity (the default) admits everything.
+  double max_epsilon_zk = std::numeric_limits<double>::infinity();
+  // When a query does not fit as requested, shrink its sampling fraction
+  // until it does instead of refusing. Refusal still happens when even the
+  // floor below cannot fit, or when eps_dp is infinite (p = 1), where no
+  // finite sampling fraction has a finite cost.
+  bool downsample_to_fit = true;
+  // Floor under down-sampling: an s below this would make the query's
+  // answers statistically useless, so refuse instead.
+  double min_sampling_fraction = 1e-3;
+};
+
+// Outcome of an admission: the (possibly down-sampled) parameters the
+// query must run with, plus the ledger arithmetic behind the decision.
+struct BudgetAdmission {
+  ExecutionParams params;
+  bool downsampled = false;
+  // eps_zk cost recorded for this query (may be +infinity under an
+  // infinite cap).
+  double epsilon_zk = 0.0;
+  // Budget left after this admission (+infinity when the cap is).
+  double remaining = 0.0;
+};
+
+class PrivacyBudgetManager {
+ public:
+  explicit PrivacyBudgetManager(BudgetManagerConfig config = {});
+
+  // Admits `query_id` at `params`, down-sampling `s` if allowed and
+  // needed. Throws std::invalid_argument for QID 0 or a QID already
+  // registered, BudgetExceededError when the query cannot fit.
+  BudgetAdmission Admit(uint64_t query_id, const ExecutionParams& params);
+
+  // Re-prices an already-admitted query (the §5 feedback loop re-tunes
+  // (s, p, q) between epochs). Equivalent to Release + Admit, atomically:
+  // on refusal the previous registration is restored untouched.
+  BudgetAdmission Update(uint64_t query_id, const ExecutionParams& params);
+
+  // Removes a query from the ledger, returning its budget.
+  void Release(uint64_t query_id);
+
+  bool Has(uint64_t query_id) const { return spend_.count(query_id) != 0; }
+  size_t num_queries() const { return spend_.size(); }
+  // Summed eps_zk across registered queries.
+  double spent() const;
+  // max(0, cap - spent); +infinity when the cap is infinite.
+  double remaining() const;
+  const BudgetManagerConfig& config() const { return config_; }
+
+ private:
+  BudgetManagerConfig config_;
+  std::map<uint64_t, double> spend_;  // QID -> admitted eps_zk
+};
+
+}  // namespace privapprox::core
+
+#endif  // PRIVAPPROX_CORE_BUDGET_MANAGER_H_

@@ -85,6 +85,7 @@ QueryResult ErrorEstimator::Estimate(const Histogram& randomized_counts,
   result.population = population_;
   result.lost_to_faults = lost_to_faults;
   result.confidence = confidence_;
+  result.sampling_fraction = params_.sampling_fraction;
   result.buckets.resize(randomized_counts.num_buckets());
 
   if (participants == 0) {

@@ -38,6 +38,10 @@ struct QueryResult {
   // widens every bucket's error bound — see ErrorEstimator::Estimate.
   size_t lost_to_faults = 0;
   double confidence = 0.95;
+  // The sampling fraction the estimate was computed under. Surfaces
+  // budget-manager down-sampling in the result itself: a query admitted at
+  // a reduced s reports that s (and the matching wider error bounds) here.
+  double sampling_fraction = 1.0;
 
   // Per-bucket point estimates as a histogram.
   Histogram PointEstimates() const;

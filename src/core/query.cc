@@ -173,6 +173,12 @@ Query QueryBuilder::Build() const {
     throw std::invalid_argument(
         "QueryBuilder: sliding interval must not exceed window length");
   }
+  if (query_.query_id == 0) {
+    // QID 0 is the wire default; letting it through would make an
+    // unregistered announcement indistinguishable from a real one, and the
+    // multi-query runtime uses 0 as "no lane".
+    throw std::invalid_argument("QueryBuilder: query id must be non-zero");
+  }
   Query query = query_;
   query.Sign();
   return query;

@@ -62,6 +62,10 @@ struct MessageShare {
 // of std::vector<uint8_t> payloads.
 struct ShareView {
   uint64_t message_id = 0;
+  // QID of the query this share answers. Carried out-of-band (the payload is
+  // ciphertext/pad material), so the multi-query pipeline can route shares
+  // to per-(query, proxy) topics without decrypting anything.
+  uint64_t query_id = 0;
   const uint8_t* data = nullptr;
   size_t size = 0;
 

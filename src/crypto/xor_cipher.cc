@@ -52,7 +52,7 @@ void XorSplitter::SplitMessageInto(const AnswerMessage& message,
       rng_.FillBytes(record + 8, payload_len);
       XorBytesInPlace(base + 8, record + 8, payload_len);
     }
-    out[i] = ShareView{mid, record, record_len};
+    out[i] = ShareView{mid, message.query_id, record, record_len};
   }
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/query_wire.h"
+
 namespace privapprox::fault {
 
 namespace {
@@ -65,11 +67,14 @@ FaultInjector::FaultInjector(FaultPlan plan, FaultCounters counters,
   plan_.Validate();
 }
 
-// Uniform in [0, 1) from a pure hash of (seed, salt, a, b): bit-identical
-// for a given plan regardless of call order, thread, or pipeline mode.
-double FaultInjector::UnitUniform(uint64_t salt, uint64_t a,
-                                  uint64_t b) const {
+// Uniform in [0, 1) from a pure hash of (seed, salt, query, a, b):
+// bit-identical for a given plan regardless of call order, thread, or
+// pipeline mode. Folding the query id in gives each query its own
+// independent fault stream over the same (mid, proxy) space.
+double FaultInjector::UnitUniform(uint64_t salt, uint64_t query_id,
+                                  uint64_t a, uint64_t b) const {
   uint64_t h = SplitMix64(plan_.seed ^ salt);
+  h = SplitMix64(h ^ query_id);
   h = SplitMix64(h ^ a);
   h = SplitMix64(h ^ b);
   return static_cast<double>(h >> 11) * 0x1.0p-53;
@@ -79,28 +84,32 @@ bool FaultInjector::ProxyCrashes(uint64_t epoch, size_t proxy) const {
   if (plan_.crash_probability <= 0.0) {
     return false;
   }
-  return UnitUniform(kSaltCrash, epoch, proxy) < plan_.crash_probability;
+  // query_id 0 (never a real QID): crashes are per proxy, not per lane.
+  return UnitUniform(kSaltCrash, 0, epoch, proxy) < plan_.crash_probability;
 }
 
-void FaultInjector::NoteLostMid(uint64_t mid) {
+void FaultInjector::NoteLostMid(uint64_t query_id, uint64_t mid) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (lost_mids_.insert(mid).second && counters_.lost_mids != nullptr) {
+  if (lost_mids_.insert({query_id, mid}).second &&
+      counters_.lost_mids != nullptr) {
     counters_.lost_mids->Increment();
   }
 }
 
-ShareOutcome FaultInjector::RouteShare(uint64_t mid, size_t proxy,
-                                       uint64_t epoch, size_t record_bytes) {
+ShareOutcome FaultInjector::RouteShare(uint64_t query_id, uint64_t mid,
+                                       size_t proxy, uint64_t epoch,
+                                       size_t record_bytes) {
   ShareOutcome out;
 
   // --- In-transit fate: one uniform cascaded through the (mutually
   // exclusive) fault probabilities in fixed priority order.
-  double u = UnitUniform(kSaltFate, mid, proxy);
+  double u = UnitUniform(kSaltFate, query_id, mid, proxy);
   if (u < plan_.drop_probability) {
     if (counters_.shares_dropped != nullptr) {
       counters_.shares_dropped->Increment();
     }
-    NoteLostMid(mid);  // a missing share makes the whole MID unjoinable
+    // A missing share makes the whole MID unjoinable (for this query).
+    NoteLostMid(query_id, mid);
     out.route = ShareRoute::kLost;
     return out;
   }
@@ -110,12 +119,12 @@ ShareOutcome FaultInjector::RouteShare(uint64_t mid, size_t proxy,
     // record malformed, so the corrupted share can never join (and can
     // never reach the joiner with a mismatched payload length).
     out.corrupt_to = static_cast<size_t>(
-        UnitUniform(kSaltCorruptLen, mid, proxy) * 8.0);
+        UnitUniform(kSaltCorruptLen, query_id, mid, proxy) * 8.0);
     out.corrupt_to = std::min<size_t>(out.corrupt_to, 7);
     if (counters_.shares_corrupted != nullptr) {
       counters_.shares_corrupted->Increment();
     }
-    NoteLostMid(mid);  // the MID cannot join without this share's bytes
+    NoteLostMid(query_id, mid);  // cannot join without this share's bytes
   } else {
     u -= plan_.corrupt_probability;
     if (u < plan_.duplicate_probability) {
@@ -146,14 +155,14 @@ ShareOutcome FaultInjector::RouteShare(uint64_t mid, size_t proxy,
   // share sent after a crashing proxy's crash point times out every attempt.
   const bool proxy_down =
       ProxyCrashes(epoch, proxy) &&
-      UnitUniform(kSaltCrashPos, mid, proxy) >= plan_.crash_point;
+      UnitUniform(kSaltCrashPos, query_id, mid, proxy) >= plan_.crash_point;
   if (plan_.timeout_probability <= 0.0 && !proxy_down) {
     return out;
   }
   for (size_t attempt = 0; attempt < plan_.retry.max_attempts; ++attempt) {
     const bool timed_out =
         proxy_down ||
-        UnitUniform(kSaltTimeout + 16 * attempt, mid, proxy) <
+        UnitUniform(kSaltTimeout + 16 * attempt, query_id, mid, proxy) <
             plan_.timeout_probability;
     if (!timed_out) {
       return out;  // delivered (possibly after retries already counted)
@@ -179,18 +188,22 @@ ShareOutcome FaultInjector::RouteShare(uint64_t mid, size_t proxy,
     out.route = ShareRoute::kStandby;
     return out;
   }
-  NoteLostMid(mid);
+  NoteLostMid(query_id, mid);
   out.route = ShareRoute::kLost;
   return out;
 }
 
-void FaultInjector::Defer(size_t proxy, uint64_t mid,
-                          std::span<const uint8_t> record,
+void FaultInjector::Defer(uint64_t query_id, size_t proxy, uint64_t mid,
+                          std::span<const uint8_t> lane_record,
                           int64_t timestamp_ms) {
   DeferredShare share;
+  share.query_id = query_id;
   share.proxy = proxy;
   share.message_id = mid;
-  share.record.assign(record.begin(), record.end());
+  // Tag the lane record with its QID: the deferral buffer holds shares
+  // from every lane mixed together, so the frame must say where each one
+  // goes back.
+  share.record = core::SerializeTaggedShare(query_id, lane_record);
   share.timestamp_ms = timestamp_ms;
   std::lock_guard<std::mutex> lock(mu_);
   deferred_.push_back(std::move(share));
@@ -203,11 +216,17 @@ std::vector<DeferredShare> FaultInjector::TakeDeferred() {
     out.swap(deferred_);
   }
   // Arrival order at the injector depends on thread interleaving; sorting
-  // by (proxy, MID) restores a deterministic redelivery order.
+  // by (proxy, QID, MID) restores a deterministic redelivery order that
+  // also groups each lane's records for batched replay.
   std::sort(out.begin(), out.end(),
             [](const DeferredShare& a, const DeferredShare& b) {
-              return a.proxy != b.proxy ? a.proxy < b.proxy
-                                        : a.message_id < b.message_id;
+              if (a.proxy != b.proxy) {
+                return a.proxy < b.proxy;
+              }
+              if (a.query_id != b.query_id) {
+                return a.query_id < b.query_id;
+              }
+              return a.message_id < b.message_id;
             });
   if (counters_.late_delivered != nullptr && !out.empty()) {
     counters_.late_delivered->Increment(out.size());
@@ -215,14 +234,13 @@ std::vector<DeferredShare> FaultInjector::TakeDeferred() {
   return out;
 }
 
-std::vector<uint64_t> FaultInjector::TakeLostMids() {
-  std::vector<uint64_t> out;
+std::vector<std::pair<uint64_t, uint64_t>> FaultInjector::TakeLostMids() {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
   {
     std::lock_guard<std::mutex> lock(mu_);
     out.assign(lost_mids_.begin(), lost_mids_.end());
     lost_mids_.clear();
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -8,11 +8,14 @@
 // crashes; the FaultInjector turns the plan into decisions.
 //
 // Determinism contract: every decision is a pure hash of
-// (plan seed, MID, proxy index, decision kind) — never of wall-clock time,
-// thread identity, or arrival order — so a given plan injects the *same*
-// faults in the barrier and streaming pipeline modes at any worker count.
-// That is what lets tests assert streaming == barrier results under faults
-// and lets a CI chaos matrix replay a seed exactly.
+// (plan seed, query id, MID, proxy index, decision kind) — never of
+// wall-clock time, thread identity, or arrival order — so a given plan
+// injects the *same* faults in the barrier and streaming pipeline modes at
+// any worker count. That is what lets tests assert streaming == barrier
+// results under faults and lets a CI chaos matrix replay a seed exactly.
+// Salting with the query id gives every query an independent (but still
+// replayable) fault sequence; proxy crashes are infrastructure-level and
+// stay per (epoch, proxy), hitting every query's lane alike.
 //
 // Recovery is modeled client-side: a forward that times out is retried with
 // bounded exponential backoff (client::RetryPolicy; backoff is simulated
@@ -26,8 +29,9 @@
 
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <span>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "client/retry.h"
@@ -112,11 +116,16 @@ struct ShareOutcome {
   size_t corrupt_to = SIZE_MAX;
 };
 
-// A share held back by the degraded link, owned until redelivery.
+// A share held back by the degraded link, owned until redelivery. The
+// record is a core::query_wire tagged-share frame (QID | MID | payload):
+// the deferral buffer is the one place shares sit outside their
+// per-(query, proxy) lane, so the bytes must carry the QID themselves for
+// next-epoch replay to route them back to the right lane.
 struct DeferredShare {
+  uint64_t query_id = 0;
   size_t proxy = 0;
   uint64_t message_id = 0;
-  std::vector<uint8_t> record;  // full wire record (MID header + payload)
+  std::vector<uint8_t> record;  // tagged frame (QID | MID header | payload)
   int64_t timestamp_ms = 0;     // original event time
 };
 
@@ -129,36 +138,41 @@ class FaultInjector {
 
   // Decides one share's fate and runs the client-side forward protocol
   // (retry with backoff, then failover). Deterministic per
-  // (seed, mid, proxy, epoch); counts everything it injects and recovers.
-  // `record_bytes` sizes the degraded-link transfer for delay fates.
-  ShareOutcome RouteShare(uint64_t mid, size_t proxy, uint64_t epoch,
-                          size_t record_bytes);
+  // (seed, query, mid, proxy, epoch); counts everything it injects and
+  // recovers. `record_bytes` sizes the degraded-link transfer for delay
+  // fates.
+  ShareOutcome RouteShare(uint64_t query_id, uint64_t mid, size_t proxy,
+                          uint64_t epoch, size_t record_bytes);
 
   // True when `proxy` crashes during `epoch` (restarts for epoch + 1).
+  // Query-independent: a crashed proxy is down for every lane it serves.
   bool ProxyCrashes(uint64_t epoch, size_t proxy) const;
 
-  // Parks a deferred share until the next epoch (copies the record — the
+  // Parks a deferred share until the next epoch (copies `lane_record`, the
+  // <MID, payload> wire record, into an owned QID-tagged frame — the
   // caller's arena does not outlive the epoch). Thread-safe.
-  void Defer(size_t proxy, uint64_t mid, std::span<const uint8_t> record,
-             int64_t timestamp_ms);
-  // Drains the deferred shares in deterministic (proxy, MID) order,
+  void Defer(uint64_t query_id, size_t proxy, uint64_t mid,
+             std::span<const uint8_t> lane_record, int64_t timestamp_ms);
+  // Drains the deferred shares in deterministic (proxy, QID, MID) order,
   // counting them as late-delivered. Called at the next epoch's start.
   std::vector<DeferredShare> TakeDeferred();
 
-  // Drains the MIDs lost so far (sorted, each counted once) so the system
-  // can hand them to the aggregator for CI widening.
-  std::vector<uint64_t> TakeLostMids();
+  // Drains the (query, MID) pairs lost so far (sorted, each counted once)
+  // so the system can hand them to the right aggregator lane for CI
+  // widening.
+  std::vector<std::pair<uint64_t, uint64_t>> TakeLostMids();
 
  private:
-  double UnitUniform(uint64_t salt, uint64_t a, uint64_t b) const;
-  void NoteLostMid(uint64_t mid);
+  double UnitUniform(uint64_t salt, uint64_t query_id, uint64_t a,
+                     uint64_t b) const;
+  void NoteLostMid(uint64_t query_id, uint64_t mid);
 
   FaultPlan plan_;
   FaultCounters counters_;
   bool has_standby_;
   std::mutex mu_;
   std::vector<DeferredShare> deferred_;
-  std::unordered_set<uint64_t> lost_mids_;
+  std::set<std::pair<uint64_t, uint64_t>> lost_mids_;  // (QID, MID)
 };
 
 }  // namespace privapprox::fault

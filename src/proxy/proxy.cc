@@ -17,14 +17,14 @@ int64_t NowNs() {
 
 Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
     : config_(config), broker_(broker) {
-  const std::string prefix =
-      config.topic_prefix.empty()
-          ? "proxy" + std::to_string(config.proxy_index)
-          : config.topic_prefix;
-  in_topic_ = prefix + ".in";
-  out_topic_ = config.out_topic.empty() ? prefix + ".out" : config.out_topic;
-  query_in_topic_ = prefix + ".query.in";
-  query_out_topic_ = prefix + ".query.out";
+  prefix_ = config.topic_prefix.empty()
+                ? "proxy" + std::to_string(config.proxy_index)
+                : config.topic_prefix;
+  out_prefix_ = config.out_prefix.empty() ? prefix_ : config.out_prefix;
+  in_topic_ = prefix_ + ".in";
+  out_topic_ = config.out_topic.empty() ? prefix_ + ".out" : config.out_topic;
+  query_in_topic_ = prefix_ + ".query.in";
+  query_out_topic_ = prefix_ + ".query.out";
   broker_.CreateTopic(in_topic_, config.num_partitions);
   // EnsureTopic: a standby proxy's outbound is its primary's existing topic.
   broker_.EnsureTopic(out_topic_, config.num_partitions);
@@ -33,6 +33,51 @@ Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
   consumer_ = std::make_unique<broker::Consumer>(broker_.GetTopic(in_topic_));
   query_consumer_ =
       std::make_unique<broker::Consumer>(broker_.GetTopic(query_in_topic_));
+}
+
+void Proxy::EnsureLane(uint64_t query_id) {
+  if (query_id == 0) {
+    throw std::invalid_argument("Proxy::EnsureLane: query id 0");
+  }
+  if (lanes_.count(query_id) != 0) {
+    return;
+  }
+  const std::string qid = std::to_string(query_id);
+  Lane lane;
+  lane.in_topic = prefix_ + ".q" + qid + ".in";
+  lane.out_topic = out_prefix_ + ".q" + qid + ".out";
+  broker_.EnsureTopic(lane.in_topic, config_.num_partitions);
+  broker_.EnsureTopic(lane.out_topic, config_.num_partitions);
+  lane.consumer =
+      std::make_unique<broker::Consumer>(broker_.GetTopic(lane.in_topic));
+  lanes_.emplace(query_id, std::move(lane));
+}
+
+bool Proxy::HasLane(uint64_t query_id) const {
+  return lanes_.count(query_id) != 0;
+}
+
+const Proxy::Lane& Proxy::GetLane(uint64_t query_id,
+                                  const char* caller) const {
+  const auto it = lanes_.find(query_id);
+  if (it == lanes_.end()) {
+    throw std::invalid_argument(std::string(caller) + ": no lane for query " +
+                                std::to_string(query_id));
+  }
+  return it->second;
+}
+
+Proxy::Lane& Proxy::GetLane(uint64_t query_id, const char* caller) {
+  return const_cast<Lane&>(
+      static_cast<const Proxy*>(this)->GetLane(query_id, caller));
+}
+
+const std::string& Proxy::lane_in_topic(uint64_t query_id) const {
+  return GetLane(query_id, "Proxy::lane_in_topic").in_topic;
+}
+
+const std::string& Proxy::lane_out_topic(uint64_t query_id) const {
+  return GetLane(query_id, "Proxy::lane_out_topic").out_topic;
 }
 
 void Proxy::NoteReceived(uint64_t n) {
@@ -53,19 +98,28 @@ void Proxy::Receive(std::span<const broker::ProduceView> records) {
   NoteReceived(records.size());
 }
 
+void Proxy::Receive(uint64_t query_id,
+                    std::span<const broker::ProduceView> records) {
+  const Lane& lane = GetLane(query_id, "Proxy::Receive");
+  broker_.ProduceViews(lane.in_topic, records);
+  NoteReceived(records.size());
+}
+
 void Proxy::Receive(const crypto::MessageShare& share, int64_t timestamp_ms) {
   broker_.Produce(in_topic_, share.message_id, EncodeShare(share),
                   timestamp_ms);
   NoteReceived(1);
 }
 
-uint64_t Proxy::ForwardPendingViews(std::vector<uint32_t>* counts) {
+uint64_t Proxy::ForwardPendingViews(broker::Consumer& consumer,
+                                    const std::string& out_topic,
+                                    std::vector<uint32_t>* counts) {
   const int64_t start_ns = config_.forward_ns != nullptr ? NowNs() : 0;
-  broker::Topic& out = broker_.GetTopic(out_topic_);
+  broker::Topic& out = broker_.GetTopic(out_topic);
   uint64_t total = 0;
   for (;;) {
     fwd_views_.clear();
-    if (consumer_->PollViews(4096, fwd_views_) == 0) {
+    if (consumer.PollViews(4096, fwd_views_) == 0) {
       break;
     }
     total += fwd_views_.size();
@@ -87,7 +141,17 @@ uint64_t Proxy::ForwardPendingViews(std::vector<uint32_t>* counts) {
   return total;
 }
 
-uint64_t Proxy::Forward() { return ForwardPendingViews(nullptr); }
+uint64_t Proxy::Forward() {
+  return ForwardPendingViews(*consumer_, out_topic_, nullptr);
+}
+
+uint64_t Proxy::ForwardLanes() {
+  uint64_t total = 0;
+  for (auto& [qid, lane] : lanes_) {
+    total += ForwardPendingViews(*lane.consumer, lane.out_topic, nullptr);
+  }
+  return total;
+}
 
 std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
     std::span<const broker::ProduceView> records) {
@@ -95,7 +159,18 @@ std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
   NoteReceived(records.size());
   std::vector<uint32_t> counts(
       broker_.GetTopic(out_topic_).num_partitions(), 0);
-  ForwardPendingViews(&counts);
+  ForwardPendingViews(*consumer_, out_topic_, &counts);
+  return counts;
+}
+
+std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
+    uint64_t query_id, std::span<const broker::ProduceView> records) {
+  Lane& lane = GetLane(query_id, "Proxy::ReceiveAndForwardShard");
+  broker_.ProduceViews(lane.in_topic, records);
+  NoteReceived(records.size());
+  std::vector<uint32_t> counts(
+      broker_.GetTopic(lane.out_topic).num_partitions(), 0);
+  ForwardPendingViews(*lane.consumer, lane.out_topic, &counts);
   return counts;
 }
 

@@ -3,10 +3,17 @@
 // A PrivApprox proxy does exactly one thing on the answer path: transmit
 // opaque shares from clients to the aggregator. There is no noise addition,
 // no answer intersection, no shuffling and — crucially — no synchronization
-// with the other proxies (contrast: baseline::SplitX). Each proxy owns an
-// inbound topic (clients produce into it) and an outbound topic (the
-// aggregator consumes from it); Forward() moves pending records across,
-// which is the operation Fig 5b / Fig 8a measure.
+// with the other proxies (contrast: baseline::SplitX). Forward() moves
+// pending records from inbound to outbound topics, which is the operation
+// Fig 5b / Fig 8a measure.
+//
+// Multi-query: share traffic runs over per-(query, proxy) *lanes*. A lane is
+// an inbound/outbound topic pair named "<prefix>.q<QID>.in" / ".out", so a
+// record's topic implies its query — batches stay query-pure end to end and
+// the hot path never parses a QID out of a payload. The legacy QID-less
+// topics ("<prefix>.in"/".out") and their Receive/Forward entry points
+// remain as the single-query compatibility surface for tests and simple
+// deployments; the system runtime itself only speaks lanes.
 //
 // API shape: span-first. Batched entries take spans of non-owning views
 // (arena- or slab-backed) and decode produces spans into broker slab
@@ -17,6 +24,7 @@
 #define PRIVAPPROX_PROXY_PROXY_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -38,6 +46,10 @@ struct ProxyConfig {
   // the n-source join is untouched.
   std::string topic_prefix;
   std::string out_topic;  // empty = "<prefix>.out"
+  // Lane outbound naming: lane out topics are "<out_prefix>.q<QID>.out",
+  // empty = own prefix. A standby sets this to its primary's prefix so
+  // failover shares join the primary's per-query streams.
+  std::string out_prefix;
   // Optional instruments, not owned (null = uninstrumented). The system
   // wires these to its registry's per-proxy families; the Counters are the
   // source of truth behind EpochStats.shares_forwarded.
@@ -56,19 +68,34 @@ class Proxy {
   const std::string& query_in_topic() const { return query_in_topic_; }
   const std::string& query_out_topic() const { return query_out_topic_; }
 
+  // Creates the per-query lane (topics + consumer) for `query_id` if it
+  // does not exist yet. Topics are EnsureTopic'd so a standby whose lane
+  // outbound is its primary's existing topic attaches rather than clashes.
+  // Called by the system at query submission for every proxy and standby.
+  void EnsureLane(uint64_t query_id);
+  bool HasLane(uint64_t query_id) const;
+  size_t num_lanes() const { return lanes_.size(); }
+  const std::string& lane_in_topic(uint64_t query_id) const;
+  const std::string& lane_out_topic(uint64_t query_id) const;
+
   // Client-facing entry: enqueue a batch of pre-encoded shares (keyed by
   // MID) in one produce call. The views (typically arena-backed ShareView
   // records, in client-id order so topic contents stay byte-identical to
   // per-record produce calls) only need to stay valid for the duration of
   // the call — the topic copies each payload once into its slab.
+  // The QID-less overload feeds the legacy single-query topic; the QID
+  // overload feeds that query's lane (which must exist).
   void Receive(std::span<const broker::ProduceView> records);
+  void Receive(uint64_t query_id, std::span<const broker::ProduceView> records);
 
   // Owning single-record adapter: encodes and enqueues one share.
   void Receive(const crypto::MessageShare& share, int64_t timestamp_ms);
 
   // Transmits all pending inbound records to the outbound topic. Returns the
-  // number of records forwarded.
+  // number of records forwarded. Forward() serves the legacy topic pair;
+  // ForwardLanes() drains every lane in ascending-QID order.
   uint64_t Forward();
+  uint64_t ForwardLanes();
 
   // Streaming-mode entry (system/system.cc): appends one shard batch to the
   // inbound topic, immediately forwards everything pending (the batch plus
@@ -79,9 +106,12 @@ class Proxy {
   // flight. Must be called from a single thread per proxy — the proxy
   // stage owns this proxy's consumer offsets. The inbound -> outbound hop
   // runs over slab-backed views with reused member scratch, so a warmed-up
-  // proxy forwards without heap allocation.
+  // proxy forwards without heap allocation. The QID overload runs the same
+  // hop over that query's lane.
   std::vector<uint32_t> ReceiveAndForwardShard(
       std::span<const broker::ProduceView> records);
+  std::vector<uint32_t> ReceiveAndForwardShard(
+      uint64_t query_id, std::span<const broker::ProduceView> records);
 
   // Query distribution (§3.1, submission phase): the aggregator publishes
   // serialized query announcements into the proxy's query inbound topic;
@@ -128,22 +158,37 @@ class Proxy {
   uint64_t forwarded() const { return forwarded_; }
 
  private:
-  // Drains everything pending on the inbound topic to the outbound topic
-  // over slab-backed views (no payload copies besides the one into the
-  // outbound slab). If `counts` is non-null it accumulates the forwarded
-  // records per outbound partition. Returns records forwarded.
-  uint64_t ForwardPendingViews(std::vector<uint32_t>* counts);
+  // One per-query topic pair plus the consumer that owns the inbound
+  // offsets for this proxy.
+  struct Lane {
+    std::string in_topic;
+    std::string out_topic;
+    std::unique_ptr<broker::Consumer> consumer;
+  };
+
+  // Drains everything pending on `consumer` to `out_topic` over
+  // slab-backed views (no payload copies besides the one into the outbound
+  // slab). If `counts` is non-null it accumulates the forwarded records
+  // per outbound partition. Returns records forwarded.
+  uint64_t ForwardPendingViews(broker::Consumer& consumer,
+                               const std::string& out_topic,
+                               std::vector<uint32_t>* counts);
+  const Lane& GetLane(uint64_t query_id, const char* caller) const;
+  Lane& GetLane(uint64_t query_id, const char* caller);
   void NoteReceived(uint64_t n);
   void NoteForwarded(uint64_t n);
 
   ProxyConfig config_;
   broker::Broker& broker_;
+  std::string prefix_;
+  std::string out_prefix_;
   std::string in_topic_;
   std::string out_topic_;
   std::string query_in_topic_;
   std::string query_out_topic_;
   std::unique_ptr<broker::Consumer> consumer_;
   std::unique_ptr<broker::Consumer> query_consumer_;
+  std::map<uint64_t, Lane> lanes_;  // QID -> lane, ascending
   uint64_t forwarded_ = 0;
   // Forwarding scratch, reused across calls so steady-state forwarding
   // performs no heap allocation. Only touched by the single thread that

@@ -90,6 +90,9 @@ class StageScope {
 PrivApproxSystem::PrivApproxSystem(SystemConfig config)
     : config_(config.Resolved()),
       timeline_(config_.metrics.timeline),
+      budget_manager_(core::BudgetManagerConfig{
+          config_.budget.max_epsilon_zk, config_.budget.downsample_to_fit,
+          config_.budget.min_sampling_fraction}),
       historical_rng_(config.seed ^ 0xA5A5A5A5ULL) {
   if (config_.num_clients == 0) {
     throw std::invalid_argument("PrivApproxSystem: need >= 1 client");
@@ -103,7 +106,8 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
       "privapprox_epochs_total", "Answering epochs run");
   counters_.participants = &registry_.GetCounter(
       "privapprox_participants_total",
-      "Clients that passed the sampling coin, summed over epochs");
+      "(client, query) pairs that passed the sampling coin, summed over "
+      "epochs");
   counters_.shares_sent = &registry_.GetCounter(
       "privapprox_shares_sent_total", "Client -> proxy share messages");
   counters_.shares_forwarded = &registry_.GetCounter(
@@ -179,7 +183,7 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
         "Proxy-epochs spent crashed (restart at the next epoch)");
     fault_counters_.lost_mids = &registry_.GetCounter(
         "privapprox_fault_lost_mids_total",
-        "Distinct MIDs the injector knows can never join");
+        "Distinct (query, MID) pairs the injector knows can never join");
     fault_counters_.retries = &registry_.GetCounter(
         "privapprox_recovery_retries_total",
         "Forward attempts retried after a timeout");
@@ -203,6 +207,9 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
         standby_config.num_partitions = 4;
         standby_config.topic_prefix = "standby" + std::to_string(i);
         standby_config.out_topic = proxies_[i]->out_topic();
+        // Lane outbound topics must also be the primary's, so failover
+        // shares land in the per-query streams the aggregator joins.
+        standby_config.out_prefix = "proxy" + std::to_string(i);
         const metrics::Labels labels{{"proxy", std::to_string(i)}};
         standby_config.received_total = &registry_.GetCounter(
             "privapprox_standby_received_total",
@@ -224,10 +231,10 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
   if (config_.metrics.enabled) {
     client_answers = &registry_.GetCounter(
         "privapprox_client_answers_total",
-        "Client epochs answered (sampling coin heads)");
+        "Client (query, epoch) pairs answered (sampling coin heads)");
     client_skips = &registry_.GetCounter(
         "privapprox_client_skips_total",
-        "Client epochs skipped (sampling coin tails)");
+        "Client (query, epoch) pairs skipped (sampling coin tails)");
   }
   clients_.reserve(config_.num_clients);
   for (size_t i = 0; i < config_.num_clients; ++i) {
@@ -239,6 +246,55 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
     client_config.answers_total = client_answers;
     client_config.skips_total = client_skips;
     clients_.push_back(std::make_unique<client::Client>(client_config));
+  }
+
+  // The aggregator coordinator exists from construction; queries add lanes
+  // to it as they are submitted.
+  aggregator::AggregatorConfig agg_config;
+  agg_config.num_proxies = config_.num_proxies;
+  agg_config.population = clients_.size();
+  agg_config.confidence = config_.confidence;
+  agg_config.answers_inverted = config_.invert_answers;
+  agg_config.num_shards = config_.aggregator.num_shards != 0
+                              ? config_.aggregator.num_shards
+                              : pool_->num_threads();
+  agg_config.pool = pool_.get();
+  agg_config.malformed_total = counters_.malformed;
+  if (injector_ != nullptr) {
+    agg_config.track_fault_losses = true;
+    agg_config.expired_mids_total = &registry_.GetCounter(
+        "privapprox_fault_expired_mids_total",
+        "Incomplete join groups expired at the watermark");
+  }
+  if (config_.metrics.enabled) {
+    agg_config.decode_ns = &registry_.GetHistogram(
+        "privapprox_agg_decode_ns",
+        "Aggregator poll+decode pass latency in nanoseconds");
+    agg_config.join_ns = &registry_.GetHistogram(
+        "privapprox_agg_join_ns",
+        "Aggregator join feed pass latency in nanoseconds");
+    agg_config.window_ns = &registry_.GetHistogram(
+        "privapprox_agg_window_ns",
+        "Window fire (de-bias + error estimation) latency in nanoseconds");
+  }
+  aggregator_ = std::make_unique<aggregator::Aggregator>(
+      agg_config, broker_,
+      [this](const aggregator::WindowedResult& result) {
+        results_.push_back(result);
+      });
+  if (config_.historical.enabled) {
+    if (!config_.historical.dir.empty()) {
+      historical_log_ = std::make_unique<storage::SegmentedAnswerLog>(
+          std::filesystem::path(config_.historical.dir));
+    }
+    aggregator_->set_answer_tap(
+        [this](int64_t timestamp_ms, const BitVector& answer) {
+          if (historical_log_ != nullptr) {
+            historical_log_->Append(timestamp_ms, answer);
+          } else {
+            historical_store_.Append(timestamp_ms, answer);
+          }
+        });
   }
 
   if (config_.metrics.enabled) {
@@ -279,6 +335,10 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
       }
     });
   }
+
+  for (const SystemConfig::QuerySpec& spec : config_.queries) {
+    SubmitQuery(spec.query, spec.params);
+  }
 }
 
 PrivApproxSystem::~PrivApproxSystem() = default;
@@ -290,111 +350,154 @@ core::ExecutionParams PrivApproxSystem::SubmitQuery(
   const core::ExecutionParams params = initializer.Convert(
       budget,
       core::PopulationInfo{clients_.size(), expected_yes_fraction});
-  SubmitQuery(query, params);
-  return params;
+  return SubmitQuery(query, params);
 }
 
-void PrivApproxSystem::SubmitQuery(const core::Query& query,
-                                   const core::ExecutionParams& params) {
+core::ExecutionParams PrivApproxSystem::SubmitQuery(
+    const core::Query& query, const core::ExecutionParams& params) {
   params.Validate();
   if (!query.VerifySignature()) {
     throw std::invalid_argument("PrivApproxSystem: query signature invalid");
   }
-  query_ = query;
-  params_ = params;
+  if (active_.count(query.query_id) != 0) {
+    throw std::invalid_argument(
+        "PrivApproxSystem: query id already submitted");
+  }
 
-  // Submission phase (§3.1): the announcement travels aggregator -> proxy
-  // query topics -> clients as opaque bytes; every client re-parses and
-  // re-verifies it locally.
+  // Admission: the budget manager may down-sample `s` to fit the fleet cap
+  // (or refuse the query outright). Everything downstream — announcement,
+  // estimator, ledger — uses the admitted parameters.
+  const core::BudgetAdmission admission =
+      budget_manager_.Admit(query.query_id, params);
+  try {
+    // Submission phase (§3.1): the announcement travels aggregator -> proxy
+    // query topics -> clients as opaque bytes; every client re-parses and
+    // re-verifies it locally.
+    DistributeAnnouncement(query, admission.params,
+                           "query distribution failed");
+
+    // Per-(query, proxy) lanes on every primary and standby, plus the
+    // aggregator lane consuming them.
+    for (auto& proxy : proxies_) {
+      proxy->EnsureLane(query.query_id);
+    }
+    for (auto& standby : standby_proxies_) {
+      standby->EnsureLane(query.query_id);
+    }
+    aggregator::QueryLaneOptions lane;
+    lane.source_topics.reserve(proxies_.size());
+    for (auto& proxy : proxies_) {
+      lane.source_topics.push_back(proxy->lane_out_topic(query.query_id));
+    }
+    ActiveQuery active;
+    active.query = query;
+    active.params = admission.params;
+    if (config_.metrics.enabled) {
+      const std::string qid = std::to_string(query.query_id);
+      const metrics::Labels query_labels{{"query", qid}};
+      active.participants_total = &registry_.GetCounter(
+          "privapprox_query_participants_total",
+          "Clients that passed this query's sampling coin, summed over "
+          "epochs",
+          query_labels);
+      active.shares_sent_total = &registry_.GetCounter(
+          "privapprox_query_shares_sent_total",
+          "Client -> proxy share messages for this query", query_labels);
+      for (size_t s = 0; s < aggregator_->num_shards(); ++s) {
+        const metrics::Labels labels = {{"query", qid},
+                                        {"shard", std::to_string(s)}};
+        lane.shard_shares_total.push_back(&registry_.GetCounter(
+            "privapprox_agg_shard_shares_total",
+            "Shares routed to this aggregator join shard", labels));
+        lane.shard_joined_total.push_back(&registry_.GetCounter(
+            "privapprox_agg_shard_joined_total",
+            "Answers completed by this aggregator join shard", labels));
+      }
+      lane.shard_imbalance_milli = &registry_.GetGauge(
+          "privapprox_agg_shard_imbalance_milli",
+          "Max-shard routed shares over the per-shard mean, x1000 "
+          "(1000 = perfectly balanced)",
+          query_labels);
+    }
+    aggregator_->RegisterQuery(query, admission.params, std::move(lane));
+    active_.emplace(query.query_id, std::move(active));
+  } catch (...) {
+    budget_manager_.Release(query.query_id);
+    throw;
+  }
+  return admission.params;
+}
+
+core::ExecutionParams PrivApproxSystem::UpdateParams(
+    uint64_t query_id, const core::ExecutionParams& params) {
+  ActiveQuery& active = GetActive(query_id, "UpdateParams");
+  params.Validate();
+  // Re-price atomically: on refusal the previous registration (and the
+  // parameters every client runs with) stays untouched.
+  const core::BudgetAdmission admission =
+      budget_manager_.Update(query_id, params);
+  DistributeAnnouncement(active.query, admission.params,
+                         "parameter update failed");
+  aggregator_->UpdateParams(query_id, admission.params);
+  active.params = admission.params;
+  return admission.params;
+}
+
+core::ExecutionParams PrivApproxSystem::UpdateParams(
+    const core::ExecutionParams& params) {
+  return UpdateParams(SingleActive("UpdateParams").query.query_id, params);
+}
+
+std::vector<uint64_t> PrivApproxSystem::query_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(active_.size());
+  for (const auto& [qid, active] : active_) {
+    ids.push_back(qid);
+  }
+  return ids;
+}
+
+const core::ExecutionParams& PrivApproxSystem::query_params(
+    uint64_t query_id) const {
+  const auto it = active_.find(query_id);
+  if (it == active_.end()) {
+    throw std::logic_error(
+        "PrivApproxSystem::query_params: unknown query id");
+  }
+  return it->second.params;
+}
+
+PrivApproxSystem::ActiveQuery& PrivApproxSystem::GetActive(
+    uint64_t query_id, const char* caller) {
+  const auto it = active_.find(query_id);
+  if (it == active_.end()) {
+    throw std::logic_error(std::string("PrivApproxSystem::") + caller +
+                           ": unknown query id");
+  }
+  return it->second;
+}
+
+const PrivApproxSystem::ActiveQuery& PrivApproxSystem::SingleActive(
+    const char* caller) const {
+  if (active_.empty()) {
+    throw std::logic_error(std::string("PrivApproxSystem::") + caller +
+                           ": no active query");
+  }
+  if (active_.size() != 1) {
+    throw std::logic_error(std::string("PrivApproxSystem::") + caller +
+                           ": ambiguous with multiple queries; pass a "
+                           "query id");
+  }
+  return active_.begin()->second;
+}
+
+void PrivApproxSystem::DistributeAnnouncement(
+    const core::Query& query, const core::ExecutionParams& params,
+    const char* failure_what) {
   const std::vector<uint8_t> announcement =
       core::SerializeAnnouncement(core::QueryAnnouncement{query, params});
   for (auto& proxy : proxies_) {
     proxy->AnnounceQuery(announcement, /*timestamp_ms=*/0);
-    proxy->ForwardQueries();
-  }
-  for (size_t p = 0; p < proxies_.size(); ++p) {
-    broker::Consumer consumer(
-        broker_.GetTopic(proxies_[p]->query_out_topic()));
-    std::vector<broker::Record> records = consumer.Poll(16);
-    if (records.empty()) {
-      throw std::logic_error("PrivApproxSystem: query distribution failed");
-    }
-    const std::vector<uint8_t>& bytes = records.back().payload;
-    for (size_t i = p; i < clients_.size(); i += proxies_.size()) {
-      clients_[i]->OnAnnouncement(bytes);
-    }
-  }
-  aggregator::AggregatorConfig agg_config;
-  agg_config.num_proxies = config_.num_proxies;
-  agg_config.population = clients_.size();
-  agg_config.confidence = config_.confidence;
-  agg_config.answers_inverted = config_.invert_answers;
-  agg_config.num_shards = config_.aggregator.num_shards != 0
-                              ? config_.aggregator.num_shards
-                              : pool_->num_threads();
-  agg_config.pool = pool_.get();
-  agg_config.malformed_total = counters_.malformed;
-  if (injector_ != nullptr) {
-    agg_config.track_fault_losses = true;
-    agg_config.expired_mids_total = &registry_.GetCounter(
-        "privapprox_fault_expired_mids_total",
-        "Incomplete join groups expired at the watermark");
-  }
-  if (config_.metrics.enabled) {
-    agg_config.decode_ns = &registry_.GetHistogram(
-        "privapprox_agg_decode_ns",
-        "Aggregator poll+decode pass latency in nanoseconds");
-    agg_config.join_ns = &registry_.GetHistogram(
-        "privapprox_agg_join_ns",
-        "Aggregator join feed pass latency in nanoseconds");
-    agg_config.window_ns = &registry_.GetHistogram(
-        "privapprox_agg_window_ns",
-        "Window fire (de-bias + error estimation) latency in nanoseconds");
-    for (size_t s = 0; s < agg_config.num_shards; ++s) {
-      const metrics::Labels labels = {{"shard", std::to_string(s)}};
-      agg_config.shard_shares_total.push_back(&registry_.GetCounter(
-          "privapprox_agg_shard_shares_total",
-          "Shares routed to this aggregator join shard", labels));
-      agg_config.shard_joined_total.push_back(&registry_.GetCounter(
-          "privapprox_agg_shard_joined_total",
-          "Answers completed by this aggregator join shard", labels));
-    }
-    agg_config.shard_imbalance_milli = &registry_.GetGauge(
-        "privapprox_agg_shard_imbalance_milli",
-        "Max-shard routed shares over the per-shard mean, x1000 "
-        "(1000 = perfectly balanced)");
-  }
-  aggregator_ = std::make_unique<aggregator::Aggregator>(
-      agg_config, query, params, broker_,
-      [this](const aggregator::WindowedResult& result) {
-        results_.push_back(result);
-      });
-  if (config_.historical.enabled) {
-    if (!config_.historical.dir.empty() && historical_log_ == nullptr) {
-      historical_log_ = std::make_unique<storage::SegmentedAnswerLog>(
-          std::filesystem::path(config_.historical.dir));
-    }
-    aggregator_->set_answer_tap(
-        [this](int64_t timestamp_ms, const BitVector& answer) {
-          if (historical_log_ != nullptr) {
-            historical_log_->Append(timestamp_ms, answer);
-          } else {
-            historical_store_.Append(timestamp_ms, answer);
-          }
-        });
-  }
-}
-
-void PrivApproxSystem::UpdateParams(const core::ExecutionParams& params) {
-  if (!query_.has_value() || aggregator_ == nullptr) {
-    throw std::logic_error("PrivApproxSystem::UpdateParams: no active query");
-  }
-  params.Validate();
-  params_ = params;
-  const std::vector<uint8_t> announcement =
-      core::SerializeAnnouncement(core::QueryAnnouncement{*query_, params});
-  for (auto& proxy : proxies_) {
-    proxy->AnnounceQuery(announcement, 0);
     proxy->ForwardQueries();
   }
   for (size_t p = 0; p < proxies_.size(); ++p) {
@@ -411,18 +514,19 @@ void PrivApproxSystem::UpdateParams(const core::ExecutionParams& params) {
       }
     }
     if (records.empty()) {
-      throw std::logic_error("PrivApproxSystem: parameter update failed");
+      throw std::logic_error(std::string("PrivApproxSystem: ") +
+                             failure_what);
     }
+    // The freshest announcement on the topic is the one just published.
     const std::vector<uint8_t>& bytes = records.back().payload;
     for (size_t i = p; i < clients_.size(); i += proxies_.size()) {
       clients_[i]->OnAnnouncement(bytes);
     }
   }
-  aggregator_->UpdateParams(params);
 }
 
 EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
-  if (!aggregator_) {
+  if (active_.empty()) {
     throw std::logic_error("PrivApproxSystem::RunEpoch: no query submitted");
   }
   const uint64_t participants_before = counters_.participants->Value();
@@ -469,12 +573,20 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
     }
   }
   if (injector_ != nullptr) {
-    // Hand the epoch's unjoinable MIDs to the aggregator so every window
-    // covering now_ms widens its error bound (paper Eq. 2 with the lost
-    // answers removed from the effective sample).
-    const std::vector<uint64_t> lost = injector_->TakeLostMids();
-    if (!lost.empty()) {
-      aggregator_->NoteFaultLostMids(lost, now_ms);
+    // Hand the epoch's unjoinable (query, MID) pairs to each query's lane
+    // so every window covering now_ms widens its error bound (paper Eq. 2
+    // with the lost answers removed from the effective sample). The drain
+    // is sorted by (QID, MID), so one pass groups per lane.
+    const std::vector<std::pair<uint64_t, uint64_t>> lost =
+        injector_->TakeLostMids();
+    std::vector<uint64_t> mids;
+    for (size_t i = 0; i < lost.size();) {
+      const uint64_t qid = lost[i].first;
+      mids.clear();
+      for (; i < lost.size() && lost[i].first == qid; ++i) {
+        mids.push_back(lost[i].second);
+      }
+      aggregator_->NoteFaultLostMids(qid, mids, now_ms);
     }
   }
   ++epoch_index_;
@@ -504,47 +616,66 @@ EpochStats PrivApproxSystem::RunEpoch(int64_t now_ms) {
 }
 
 // Delivers the shares the degraded link held back, at the start of the next
-// epoch: they land at the head of each primary's inbound topic (before this
+// epoch: they land at the head of each lane's inbound topic (before this
 // epoch's shards) with their original event time, so both pipeline modes
-// forward them first and the join sees them in the same order.
+// forward them first and the join sees them in the same order. The deferred
+// buffer is sorted by (proxy, QID, MID), so one pass batches per lane; each
+// record is a QID-tagged frame whose tag is stripped back off here — lane
+// topics carry plain <MID, payload> records.
 void PrivApproxSystem::ReplayDeferredShares() {
   const std::vector<fault::DeferredShare> deferred = injector_->TakeDeferred();
   std::vector<broker::ProduceView> batch;
   for (size_t i = 0; i < deferred.size();) {
     const size_t proxy = deferred[i].proxy;
+    const uint64_t qid = deferred[i].query_id;
     batch.clear();
-    for (; i < deferred.size() && deferred[i].proxy == proxy; ++i) {
+    for (; i < deferred.size() && deferred[i].proxy == proxy &&
+           deferred[i].query_id == qid;
+         ++i) {
+      const core::TaggedShareView tagged =
+          core::ParseTaggedShare(deferred[i].record);
       batch.push_back(broker::ProduceView{deferred[i].message_id,
-                                          deferred[i].record,
+                                          tagged.lane_record,
                                           deferred[i].timestamp_ms});
     }
-    proxies_[proxy]->Receive(batch);
+    proxies_[proxy]->Receive(qid, batch);
   }
 }
 
 void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   const size_t num_clients = clients_.size();
   const size_t num_proxies = proxies_.size();
+  const std::vector<uint64_t> qids = query_ids();
+  const size_t num_queries = qids.size();
 
   // Phase 1 (parallel answering): shard clients across the pool. Each client
   // owns its RNG and database, so answering is embarrassingly parallel;
-  // workers encode each client's n share records into an arena acquired per
-  // pool chunk and publish views into the client's private slots
-  // (views[i * n + j] = client i's share for proxy j). The chunk arenas are
-  // kept alive until phase 2 has copied every view into broker slabs.
-  std::vector<crypto::ShareView> views(num_clients * num_proxies);
-  std::vector<uint8_t> participated(num_clients, 0);
+  // workers encode each client's shares for every subscribed query into an
+  // arena acquired per pool chunk and publish views into the client's
+  // private slots (views[(i * nq + k) * np + j] = client i's share for
+  // query k / proxy j, queries in ascending-QID order). The chunk arenas
+  // are kept alive until phase 2 has copied every view into broker slabs.
+  std::vector<crypto::ShareView> views(num_clients * num_queries *
+                                       num_proxies);
+  std::vector<uint8_t> answered(num_clients * num_queries, 0);
   std::vector<ArenaRef> chunk_arenas;
   std::mutex chunk_arenas_mu;
   {
     StageScope scope("barrier_answer", stage_ns_.answer_shard_ns, timeline_);
     pool_->ParallelFor(num_clients, [&](size_t begin, size_t end) {
       ArenaRef arena = arena_pool_.Acquire();
+      std::vector<uint64_t> answered_qids;
       for (size_t i = begin; i < end; ++i) {
-        std::span<crypto::ShareView> slot(&views[i * num_proxies],
-                                          num_proxies);
-        if (clients_[i]->AnswerQueryInto(now_ms, *arena, slot)) {
-          participated[i] = 1;
+        std::span<crypto::ShareView> slot(
+            &views[i * num_queries * num_proxies], num_queries * num_proxies);
+        clients_[i]->AnswerSubscribedInto(now_ms, *arena, slot,
+                                          answered_qids);
+        size_t k = 0;
+        for (const uint64_t qid : answered_qids) {
+          while (qids[k] != qid) {
+            ++k;
+          }
+          answered[i * num_queries + k] = 1;
         }
       }
       std::lock_guard<std::mutex> lock(chunk_arenas_mu);
@@ -553,79 +684,98 @@ void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
   }
 
   // Phase 2 (ordered merge): concatenate the slots in client-id order into
-  // one batch per proxy — exactly the append order the sequential loop
-  // produced, so topic contents are byte-identical for any worker count.
+  // one batch per (query, proxy) lane — exactly the append order a
+  // sequential loop would produce, so topic contents are byte-identical for
+  // any worker count.
   uint64_t participants = 0;
+  std::vector<uint64_t> per_query(num_queries, 0);
   for (size_t i = 0; i < num_clients; ++i) {
-    if (participated[i] != 0) {
-      ++participants;
+    for (size_t k = 0; k < num_queries; ++k) {
+      if (answered[i * num_queries + k] != 0) {
+        ++participants;
+        ++per_query[k];
+      }
     }
   }
   counters_.participants->Increment(participants);
   counters_.shares_sent->Increment(participants * num_proxies);
   {
+    size_t k = 0;
+    for (auto& [qid, active] : active_) {
+      if (active.participants_total != nullptr && per_query[k] != 0) {
+        active.participants_total->Increment(per_query[k]);
+        active.shares_sent_total->Increment(per_query[k] * num_proxies);
+      }
+      ++k;
+    }
+  }
+  {
     StageScope scope("barrier_merge", nullptr, timeline_);
     std::vector<broker::ProduceView> batch;
     std::vector<broker::ProduceView> standby_batch;
-    batch.reserve(participants);
-    for (size_t j = 0; j < num_proxies; ++j) {
-      batch.clear();
-      standby_batch.clear();
-      for (size_t i = 0; i < num_clients; ++i) {
-        if (participated[i] == 0) {
-          continue;
+    for (size_t k = 0; k < num_queries; ++k) {
+      const uint64_t qid = qids[k];
+      for (size_t j = 0; j < num_proxies; ++j) {
+        batch.clear();
+        standby_batch.clear();
+        batch.reserve(per_query[k]);
+        for (size_t i = 0; i < num_clients; ++i) {
+          if (answered[i * num_queries + k] == 0) {
+            continue;
+          }
+          const crypto::ShareView& view =
+              views[(i * num_queries + k) * num_proxies + j];
+          if (injector_ == nullptr) {
+            batch.push_back(
+                broker::ProduceView{view.message_id, view.bytes(), now_ms});
+            continue;
+          }
+          // Fault path: route each share through the injector. Same code as
+          // the streaming answer stage — decisions are (QID, MID, proxy)
+          // hashes, so both modes inject identical faults.
+          const std::span<const uint8_t> record = view.bytes();
+          const fault::ShareOutcome outcome = injector_->RouteShare(
+              qid, view.message_id, j, epoch_index_, record.size());
+          if (outcome.route == fault::ShareRoute::kLost) {
+            continue;
+          }
+          if (outcome.route == fault::ShareRoute::kDeferred) {
+            injector_->Defer(qid, j, view.message_id, record, now_ms);
+            continue;
+          }
+          const std::span<const uint8_t> payload =
+              outcome.corrupt_to != SIZE_MAX ? record.first(outcome.corrupt_to)
+                                             : record;
+          auto& dest = outcome.route == fault::ShareRoute::kStandby
+                           ? standby_batch
+                           : batch;
+          dest.push_back(broker::ProduceView{view.message_id, payload, now_ms});
+          if (outcome.duplicate) {
+            dest.push_back(
+                broker::ProduceView{view.message_id, payload, now_ms});
+          }
         }
-        const crypto::ShareView& view = views[i * num_proxies + j];
-        if (injector_ == nullptr) {
-          batch.push_back(
-              broker::ProduceView{view.message_id, view.bytes(), now_ms});
-          continue;
+        proxies_[j]->Receive(qid, batch);
+        if (!standby_proxies_.empty()) {
+          standby_proxies_[j]->Receive(qid, standby_batch);
         }
-        // Fault path: route each share through the injector. Same code as
-        // the streaming answer stage — decisions are (MID, proxy) hashes,
-        // so both modes inject identical faults.
-        const std::span<const uint8_t> record = view.bytes();
-        const fault::ShareOutcome outcome = injector_->RouteShare(
-            view.message_id, j, epoch_index_, record.size());
-        if (outcome.route == fault::ShareRoute::kLost) {
-          continue;
-        }
-        if (outcome.route == fault::ShareRoute::kDeferred) {
-          injector_->Defer(j, view.message_id, record, now_ms);
-          continue;
-        }
-        const std::span<const uint8_t> payload =
-            outcome.corrupt_to != SIZE_MAX ? record.first(outcome.corrupt_to)
-                                           : record;
-        auto& dest = outcome.route == fault::ShareRoute::kStandby
-                         ? standby_batch
-                         : batch;
-        dest.push_back(broker::ProduceView{view.message_id, payload, now_ms});
-        if (outcome.duplicate) {
-          dest.push_back(
-              broker::ProduceView{view.message_id, payload, now_ms});
-        }
-      }
-      proxies_[j]->Receive(batch);
-      if (!standby_proxies_.empty()) {
-        standby_proxies_[j]->Receive(standby_batch);
       }
     }
     chunk_arenas.clear();  // appends done: recycle the encode arenas
   }
 
-  // Phase 3 (parallel forwarding): each proxy moves its own inbound topic to
-  // its own outbound topic — disjoint state, one task per proxy.
+  // Phase 3 (parallel forwarding): each proxy moves its own lanes' inbound
+  // topics to their outbound topics — disjoint state, one task per proxy.
   {
     StageScope scope("barrier_forward", stage_ns_.proxy_forward_ns, timeline_);
     std::vector<uint64_t> forwarded(num_proxies, 0);
     pool_->ParallelFor(num_proxies, [&](size_t begin, size_t end) {
       for (size_t j = begin; j < end; ++j) {
-        forwarded[j] = proxies_[j]->Forward();
-        // Standby j shares primary j's outbound topic — forwarding it from
-        // the same task keeps the append interleave deterministic.
+        forwarded[j] = proxies_[j]->ForwardLanes();
+        // Standby j shares primary j's outbound lane topics — forwarding it
+        // from the same task keeps the append interleave deterministic.
         if (!standby_proxies_.empty()) {
-          forwarded[j] += standby_proxies_[j]->Forward();
+          forwarded[j] += standby_proxies_[j]->ForwardLanes();
         }
       }
     });
@@ -634,7 +784,8 @@ void PrivApproxSystem::RunEpochBarrier(int64_t now_ms) {
     }
   }
 
-  // Phase 4: drain (parallel per-source decode + sequential join inside).
+  // Phase 4: drain every lane (parallel per-source decode + sequential join
+  // inside, lanes in ascending-QID order).
   StageScope scope("barrier_drain", stage_ns_.agg_consume_ns, timeline_);
   counters_.shares_consumed->Increment(aggregator_->Drain());
 }
@@ -651,7 +802,16 @@ struct ShardTask {
   size_t end = 0;
 };
 
-// One shard's shares for one proxy, still tagged with the shard sequence so
+// One shard's shares for one (query, proxy) lane: primary-bound records
+// plus the ones failed over to the proxy's standby (empty without a fault
+// plan).
+struct LaneRecords {
+  std::vector<broker::ProduceView> records;
+  std::vector<broker::ProduceView> standby;
+};
+
+// One shard's shares for one proxy across every query lane (indexed like
+// the system's ascending QID list), still tagged with the shard sequence so
 // the proxy stage can restore client-id append order. The batch shares
 // ownership of the arena holding the encoded share records: each view
 // points into it, and when the last proxy's batch for a shard is dropped
@@ -660,17 +820,14 @@ struct ShardTask {
 // bounds the number of live arenas.
 struct TaggedBatch {
   uint64_t seq = 0;
-  std::vector<broker::ProduceView> records;
-  // Shares failed over to this proxy's standby (empty without a fault
-  // plan): delivered through the standby's inbound topic into the same
-  // outbound topic.
-  std::vector<broker::ProduceView> standby;
+  std::vector<LaneRecords> lanes;
   ArenaRef arena;
 };
 
-// "Proxy `source` forwarded shard `seq`; consume exactly these counts per
-// outbound partition."
+// "Proxy `source` forwarded shard `seq` on query `query_id`'s lane; consume
+// exactly these counts per outbound partition."
 struct ShardNotice {
+  uint64_t query_id = 0;
   size_t source = 0;
   uint64_t seq = 0;
   std::vector<uint32_t> partition_counts;
@@ -685,15 +842,18 @@ struct ShardNotice {
 //   them) --ShardNotice--> [aggregator x1]
 //
 // A shard's batch reaches its proxies the moment its clients finish
-// answering; each proxy appends + forwards while later shards are still
-// being answered; the aggregator decodes and joins forwarded batches as
-// notices arrive. Determinism: per-proxy reorder buffers replay batches in
-// shard order (so topic logs stay in client-id order, identical to the
-// barrier merge), and the aggregator's reorder buffer feeds the MID join in
-// (shard, source) order (see Aggregator::ConsumeShardBatch).
+// answering; each proxy appends + forwards every query lane while later
+// shards are still being answered; the aggregator decodes and joins
+// forwarded batches as notices arrive. Determinism: per-proxy reorder
+// buffers replay batches in shard order (so lane topic logs stay in
+// client-id order, identical to the barrier merge), and each aggregator
+// lane's reorder buffer feeds its MID join in (shard, source) order (see
+// Aggregator::ConsumeShardBatch).
 void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   const size_t num_clients = clients_.size();
   const size_t num_proxies = proxies_.size();
+  const std::vector<uint64_t> qids = query_ids();
+  const size_t num_queries = qids.size();
   const size_t shard_size = config_.pipeline.shard_size != 0
                                 ? config_.pipeline.shard_size
                                 : kDefaultStreamShardSize;
@@ -706,7 +866,7 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
   for (size_t j = 0; j < num_proxies; ++j) {
     to_proxy.push_back(std::make_unique<Channel<TaggedBatch>>(depth));
   }
-  Channel<ShardNotice> notices(depth * num_proxies);
+  Channel<ShardNotice> notices(depth * num_proxies * num_queries);
   if (config_.metrics.enabled) {
     // Backpressure visibility: high-watermark of each channel's depth.
     const std::string help = "Channel depth high-watermark (shard batches)";
@@ -721,21 +881,22 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
         "privapprox_channel_depth_hwm", help, {{"channel", "notices"}}));
   }
 
-  // Consumer stage: single worker — the join and window state are
+  // Consumer stage: single worker — each lane's join and window state are
   // sequential by design, exactly as in the barrier drain.
   Stage<ShardNotice> aggregator_stage(
       notices, 1, [&](ShardNotice&& notice) {
         StageScope scope("agg_consume", stage_ns_.agg_consume_ns, timeline_);
         counters_.shares_consumed->Increment(aggregator_->ConsumeShardBatch(
-            notice.source, notice.seq, notice.partition_counts));
+            notice.query_id, notice.source, notice.seq,
+            notice.partition_counts));
       });
 
-  // Per-proxy forward stages: one worker each (a proxy owns its consumer
-  // offsets). Answer workers finish shards out of order, so each stage
-  // reorders to shard order before appending — keeping the inbound topic
-  // in client-id order, byte-identical to the barrier merge. The reorder
-  // map is small: tasks are handed out in shard order, so at most
-  // ~(answer workers + channel depth) shards are in flight.
+  // Per-proxy forward stages: one worker each (a proxy owns its lane
+  // consumer offsets). Answer workers finish shards out of order, so each
+  // stage reorders to shard order before appending — keeping every lane's
+  // inbound topic in client-id order, byte-identical to the barrier merge.
+  // The reorder map is small: tasks are handed out in shard order, so at
+  // most ~(answer workers + channel depth) shards are in flight.
   std::vector<std::unique_ptr<Stage<TaggedBatch>>> proxy_stages;
   proxy_stages.reserve(num_proxies);
   for (size_t j = 0; j < num_proxies; ++j) {
@@ -750,95 +911,123 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
             reorder->erase(it);
             StageScope scope("proxy_forward", stage_ns_.proxy_forward_ns,
                              timeline_);
-            std::vector<uint32_t> counts =
-                proxies_[j]->ReceiveAndForwardShard(head.records);
-            if (!standby_proxies_.empty()) {
-              // The standby appends to the same outbound topic; merging the
-              // per-partition counts keeps the aggregator's promised-read
-              // contract exact.
-              const std::vector<uint32_t> standby_counts =
-                  standby_proxies_[j]->ReceiveAndForwardShard(head.standby);
-              for (size_t p = 0; p < counts.size(); ++p) {
-                counts[p] += standby_counts[p];
+            uint64_t forwarded = 0;
+            for (size_t k = 0; k < num_queries; ++k) {
+              std::vector<uint32_t> counts =
+                  proxies_[j]->ReceiveAndForwardShard(qids[k],
+                                                      head.lanes[k].records);
+              if (!standby_proxies_.empty()) {
+                // The standby appends to the same lane outbound topic;
+                // merging the per-partition counts keeps the aggregator's
+                // promised-read contract exact.
+                const std::vector<uint32_t> standby_counts =
+                    standby_proxies_[j]->ReceiveAndForwardShard(
+                        qids[k], head.lanes[k].standby);
+                for (size_t p = 0; p < counts.size(); ++p) {
+                  counts[p] += standby_counts[p];
+                }
               }
+              for (uint32_t count : counts) {
+                forwarded += count;
+              }
+              notices.Push(ShardNotice{qids[k], j, *next_seq,
+                                       std::move(counts)});
             }
             // `head` (and with it this proxy's arena reference) dies here —
             // the records are now in the broker's slabs.
-            uint64_t forwarded = 0;
-            for (uint32_t count : counts) {
-              forwarded += count;
-            }
             counters_.shares_forwarded->Increment(forwarded);
-            notices.Push(ShardNotice{j, *next_seq, std::move(counts)});
             ++*next_seq;
           }
         }));
   }
 
-  // Producer stage: workers answer one shard's clients and ship the
-  // resulting per-proxy batches downstream immediately. Every random
-  // decision draws from per-client RNG state, so which worker answers a
-  // shard cannot change any byte. Empty batches are shipped too — the
-  // shard sequence must be gapless for the reorder buffers to advance.
+  // Producer stage: workers answer one shard's clients across every
+  // subscribed query and ship the resulting per-proxy batches downstream
+  // immediately. Every random decision draws from per-client RNG state, so
+  // which worker answers a shard cannot change any byte. Empty batches are
+  // shipped too — the shard sequence must be gapless for the reorder
+  // buffers to advance.
   Stage<ShardTask> answer_stage(tasks, answer_workers, [&](ShardTask&& task) {
     StageScope scope("answer_shard", stage_ns_.answer_shard_ns, timeline_);
     ArenaRef arena = arena_pool_.Acquire();
-    std::vector<std::vector<broker::ProduceView>> per_proxy(num_proxies);
-    std::vector<std::vector<broker::ProduceView>> per_standby(num_proxies);
-    for (auto& batch : per_proxy) {
-      batch.reserve(task.end - task.begin);
+    std::vector<std::vector<LaneRecords>> per_proxy(num_proxies);
+    for (auto& lanes : per_proxy) {
+      lanes.resize(num_queries);
+      for (auto& lane : lanes) {
+        lane.records.reserve(task.end - task.begin);
+      }
     }
-    std::vector<crypto::ShareView> views(num_proxies);
+    std::vector<crypto::ShareView> views(num_queries * num_proxies);
+    std::vector<uint64_t> answered_qids;
+    std::vector<uint64_t> local_per_query(num_queries, 0);
     uint64_t local_participants = 0;
     uint64_t local_shares = 0;
     for (size_t i = task.begin; i < task.end; ++i) {
-      if (!clients_[i]->AnswerQueryInto(now_ms, *arena, views)) {
-        continue;
-      }
-      ++local_participants;
-      local_shares += num_proxies;
-      for (size_t j = 0; j < num_proxies; ++j) {
-        if (injector_ == nullptr) {
-          per_proxy[j].push_back(broker::ProduceView{
-              views[j].message_id, views[j].bytes(), now_ms});
-          continue;
+      clients_[i]->AnswerSubscribedInto(now_ms, *arena, views,
+                                        answered_qids);
+      size_t k = 0;
+      for (const uint64_t qid : answered_qids) {
+        while (qids[k] != qid) {
+          ++k;
         }
-        // Fault path — mirror of the barrier merge: (MID, proxy)-hashed
-        // decisions, so faults are identical across modes and worker
-        // counts. Defer copies the record (the arena recycles at shard
-        // end); corrupted views stay arena-backed, truncation is just a
-        // shorter span.
-        const std::span<const uint8_t> record = views[j].bytes();
-        const fault::ShareOutcome outcome = injector_->RouteShare(
-            views[j].message_id, j, epoch_index_, record.size());
-        if (outcome.route == fault::ShareRoute::kLost) {
-          continue;
-        }
-        if (outcome.route == fault::ShareRoute::kDeferred) {
-          injector_->Defer(j, views[j].message_id, record, now_ms);
-          continue;
-        }
-        const std::span<const uint8_t> payload =
-            outcome.corrupt_to != SIZE_MAX ? record.first(outcome.corrupt_to)
-                                           : record;
-        auto& dest = outcome.route == fault::ShareRoute::kStandby
-                         ? per_standby[j]
-                         : per_proxy[j];
-        dest.push_back(
-            broker::ProduceView{views[j].message_id, payload, now_ms});
-        if (outcome.duplicate) {
+        ++local_participants;
+        ++local_per_query[k];
+        local_shares += num_proxies;
+        for (size_t j = 0; j < num_proxies; ++j) {
+          const crypto::ShareView& view = views[k * num_proxies + j];
+          if (injector_ == nullptr) {
+            per_proxy[j][k].records.push_back(broker::ProduceView{
+                view.message_id, view.bytes(), now_ms});
+            continue;
+          }
+          // Fault path — mirror of the barrier merge: (QID, MID,
+          // proxy)-hashed decisions, so faults are identical across modes
+          // and worker counts. Defer copies the record into a QID-tagged
+          // frame (the arena recycles at shard end); corrupted views stay
+          // arena-backed, truncation is just a shorter span.
+          const std::span<const uint8_t> record = view.bytes();
+          const fault::ShareOutcome outcome = injector_->RouteShare(
+              qid, view.message_id, j, epoch_index_, record.size());
+          if (outcome.route == fault::ShareRoute::kLost) {
+            continue;
+          }
+          if (outcome.route == fault::ShareRoute::kDeferred) {
+            injector_->Defer(qid, j, view.message_id, record, now_ms);
+            continue;
+          }
+          const std::span<const uint8_t> payload =
+              outcome.corrupt_to != SIZE_MAX
+                  ? record.first(outcome.corrupt_to)
+                  : record;
+          auto& dest = outcome.route == fault::ShareRoute::kStandby
+                           ? per_proxy[j][k].standby
+                           : per_proxy[j][k].records;
           dest.push_back(
-              broker::ProduceView{views[j].message_id, payload, now_ms});
+              broker::ProduceView{view.message_id, payload, now_ms});
+          if (outcome.duplicate) {
+            dest.push_back(
+                broker::ProduceView{view.message_id, payload, now_ms});
+          }
         }
       }
     }
     counters_.participants->Increment(local_participants);
     counters_.shares_sent->Increment(local_shares);
+    {
+      size_t k = 0;
+      for (auto& [qid, active] : active_) {
+        if (active.participants_total != nullptr && local_per_query[k] != 0) {
+          active.participants_total->Increment(local_per_query[k]);
+          active.shares_sent_total->Increment(local_per_query[k] *
+                                              num_proxies);
+        }
+        ++k;
+      }
+    }
     for (size_t j = 0; j < num_proxies; ++j) {
       // Each batch carries a reference to the shard's arena; the arena
       // recycles once every proxy has slab-copied its batch.
-      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j]),
-                                    std::move(per_standby[j]), arena});
+      to_proxy[j]->Push(TaggedBatch{task.seq, std::move(per_proxy[j]), arena});
     }
   });
 
@@ -881,15 +1070,11 @@ void PrivApproxSystem::RunEpochStreaming(int64_t now_ms) {
 }
 
 void PrivApproxSystem::AdvanceWatermark(int64_t watermark_ms) {
-  if (aggregator_) {
-    aggregator_->AdvanceWatermark(watermark_ms);
-  }
+  aggregator_->AdvanceWatermark(watermark_ms);
 }
 
 void PrivApproxSystem::Flush() {
-  if (aggregator_) {
-    aggregator_->Flush();
-  }
+  aggregator_->Flush();
 }
 
 std::vector<aggregator::WindowedResult> PrivApproxSystem::TakeResults() {
@@ -901,7 +1086,12 @@ std::vector<aggregator::WindowedResult> PrivApproxSystem::TakeResults() {
 uint64_t PrivApproxSystem::ClientToProxyBytes() const {
   uint64_t bytes = 0;
   for (const auto& proxy : proxies_) {
+    // Legacy single-query topic (untrafficked in lane mode) plus every
+    // query lane.
     bytes += broker_.GetTopic(proxy->in_topic()).metrics().bytes_in;
+    for (const auto& [qid, active] : active_) {
+      bytes += broker_.GetTopic(proxy->lane_in_topic(qid)).metrics().bytes_in;
+    }
   }
   return bytes;
 }
@@ -913,22 +1103,22 @@ core::QueryResult PrivApproxSystem::RunHistorical(
     throw std::logic_error(
         "PrivApproxSystem::RunHistorical: historical store disabled");
   }
-  if (!query_.has_value() || !params_.has_value()) {
-    throw std::logic_error("PrivApproxSystem::RunHistorical: no query");
-  }
+  // The historical store tees joined answers without a QID partition, so
+  // batch analytics only has well-defined semantics for a single query.
+  const ActiveQuery& active = SingleActive("RunHistorical");
   if (historical_log_ != nullptr) {
     // Durable path: read back from the segmented log on disk.
     const aggregator::ResponseStore store =
         historical_log_->LoadRange(from_ms, to_ms);
     const aggregator::HistoricalAnalytics analytics(
-        store, *params_, clients_.size(), config_.confidence);
+        store, active.params, clients_.size(), config_.confidence);
     return analytics.Run(from_ms, to_ms, budget, historical_rng_,
-                         query_->answer_format.num_buckets());
+                         active.query.answer_format.num_buckets());
   }
   const aggregator::HistoricalAnalytics analytics(
-      historical_store_, *params_, clients_.size(), config_.confidence);
+      historical_store_, active.params, clients_.size(), config_.confidence);
   return analytics.Run(from_ms, to_ms, budget, historical_rng_,
-                       query_->answer_format.num_buckets());
+                       active.query.answer_format.num_buckets());
 }
 
 }  // namespace privapprox::system

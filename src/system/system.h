@@ -8,18 +8,31 @@
 // results surface through the analyst callback once the event-time
 // watermark passes their end.
 //
+// Multi-query: one system hosts N concurrent queries over a single client
+// fleet, broker, proxy tier, and aggregator. Each submitted query gets its
+// own per-(query, proxy) broker lanes, its own aggregator lane (join +
+// window + estimator), and a per-query slice of every epoch: clients answer
+// all subscribed queries in one pass with a shared sampling draw but
+// independent per-query randomization, so each query's results are
+// bit-identical to a run where it is the only query. Admission runs through
+// a fleet-wide privacy-budget manager (core/budget_manager.h): a query that
+// would push the summed zero-knowledge-privacy spend past the configured
+// cap is refused or down-sampled.
+//
 // Observability: the system owns a metrics::Registry. The core pipeline
 // counters (epochs, participants, shares sent/forwarded/consumed, malformed
 // drops) are always on — EpochStats is a per-epoch delta snapshot of them —
-// while stage latency histograms, per-proxy families, channel depth
-// high-watermarks, broker topic gauges, and the EpochTimeline trace are
-// gated behind SystemConfig::metrics.
+// while stage latency histograms, per-proxy and per-query families, channel
+// depth high-watermarks, broker topic gauges, and the EpochTimeline trace
+// are gated behind SystemConfig::metrics.
 
 #ifndef PRIVAPPROX_SYSTEM_SYSTEM_H_
 #define PRIVAPPROX_SYSTEM_SYSTEM_H_
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,6 +45,7 @@
 #include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/budget.h"
+#include "core/budget_manager.h"
 #include "core/query.h"
 #include "fault/fault.h"
 #include "metrics/metrics.h"
@@ -80,10 +94,11 @@ struct PipelineOptions {
 
 // Aggregator scale-out knobs.
 struct AggregatorOptions {
-  // Join/window shards inside the aggregator: shares route to shard
-  // hash(MID) % num_shards, feeding in parallel on the worker pool with a
-  // deterministic shard-order merge at window-fire time. Results are
-  // bit-identical for every value. 0 = one shard per worker thread.
+  // Join/window shards per query lane inside the aggregator: shares route
+  // to shard hash(MID) % num_shards, feeding in parallel on the worker
+  // pool with a deterministic shard-order merge at window-fire time.
+  // Results are bit-identical for every value. 0 = one shard per worker
+  // thread.
   size_t num_shards = 0;
 };
 
@@ -101,13 +116,23 @@ struct HistoricalOptions {
 // Observability knobs (see the header comment). Core counters stay on even
 // when `enabled` is false — they are what EpochStats snapshots.
 struct MetricsOptions {
-  // Stage latency histograms, per-proxy/per-client families, channel depth
-  // high-watermarks, and the broker topic collector.
+  // Stage latency histograms, per-proxy/per-client/per-query families,
+  // channel depth high-watermarks, and the broker topic collector.
   bool enabled = true;
   // Per-stage spans recorded into the EpochTimeline (dump via
   // TimelineJson() as chrome://tracing JSON). Off by default: spans cost a
   // mutexed append per shard batch.
   bool timeline = false;
+};
+
+// Fleet-wide privacy-budget knobs (core/budget_manager.h). The default cap
+// is infinite, so single-query configs and exact-mode tests admit
+// unconditionally; set max_epsilon_zk to enforce composition across
+// queries.
+struct BudgetOptions {
+  double max_epsilon_zk = std::numeric_limits<double>::infinity();
+  bool downsample_to_fit = true;
+  double min_sampling_fraction = 1e-3;
 };
 
 struct SystemConfig {
@@ -118,6 +143,16 @@ struct SystemConfig {
   // Clients answer the inverted query (§3.3.2).
   bool invert_answers = false;
 
+  // Queries to register at construction, in order (equivalent to calling
+  // SubmitQuery for each right after the constructor). More can be
+  // submitted later; all run concurrently over the same fleet.
+  struct QuerySpec {
+    core::Query query;
+    core::ExecutionParams params;
+  };
+  std::vector<QuerySpec> queries;
+  BudgetOptions budget;
+
   PipelineOptions pipeline;
   AggregatorOptions aggregator;
   HistoricalOptions historical;
@@ -126,8 +161,9 @@ struct SystemConfig {
   // means no injector is built and every epoch is byte-identical to a
   // build without the fault layer — results, broker topic contents, and
   // EpochStats (the bit-identity invariant tests/fault_test.cc pins).
-  // A set plan derives every fault from (plan.seed, MID, proxy) hashes,
-  // so both pipeline modes see identical faults at any worker count.
+  // A set plan derives every fault from (plan.seed, QID, MID, proxy)
+  // hashes, so both pipeline modes see identical faults at any worker
+  // count and every query gets an independent replayable fault sequence.
   std::optional<fault::FaultPlan> fault;
 
   // --- Deprecated aliases (pre-observability flat names) ----------------
@@ -150,7 +186,9 @@ struct SystemConfig {
 };
 
 struct EpochStats {
-  size_t participants = 0;   // clients that passed the sampling coin
+  // (client, query) pairs that passed the sampling coin this epoch. With
+  // one query this is exactly the classic "clients that participated".
+  size_t participants = 0;
   uint64_t shares_sent = 0;  // client -> proxy messages
   uint64_t shares_forwarded = 0;
   uint64_t shares_consumed = 0;
@@ -167,7 +205,7 @@ struct EpochStats {
   uint64_t fault_shares_delayed = 0;
   uint64_t fault_forward_timeouts = 0;
   uint64_t fault_proxy_crashes = 0;
-  uint64_t fault_lost_mids = 0;  // MIDs the injector knows can never join
+  uint64_t fault_lost_mids = 0;  // (QID, MID) pairs that can never join
   uint64_t recovery_retries = 0;
   uint64_t recovery_failovers = 0;
   uint64_t recovery_late_delivered = 0;  // deferred shares replayed
@@ -182,31 +220,47 @@ class PrivApproxSystem {
   client::Client& client(size_t index) { return *clients_[index]; }
 
   // Analyst entry point: converts the budget into execution parameters via
-  // the initializer and distributes the query to all clients. Returns the
-  // chosen parameters.
+  // the initializer, runs privacy-budget admission, and distributes the
+  // query to all clients. Returns the parameters actually admitted (the
+  // budget manager may have down-sampled `s`).
   core::ExecutionParams SubmitQuery(const core::Query& query,
                                     const core::QueryBudget& budget,
                                     double expected_yes_fraction = 0.5);
 
-  // Variant with explicit parameters (micro-benchmarks sweep them directly).
-  void SubmitQuery(const core::Query& query,
-                   const core::ExecutionParams& params);
+  // Variant with explicit parameters (micro-benchmarks sweep them
+  // directly). Also returns the admitted parameters. Throws
+  // core::BudgetExceededError when the query cannot fit under
+  // SystemConfig::budget, std::invalid_argument for a duplicate QID.
+  core::ExecutionParams SubmitQuery(const core::Query& query,
+                                    const core::ExecutionParams& params);
 
-  // Redistributes re-tuned execution parameters for the active query (§5
-  // feedback loop) without disturbing in-flight window state: a fresh
-  // announcement reaches every client and the aggregator's estimator
-  // switches to the new (s, p, q).
-  void UpdateParams(const core::ExecutionParams& params);
+  // Redistributes re-tuned execution parameters for one query (§5
+  // feedback loop) without disturbing in-flight window state: the budget
+  // manager re-prices the query, a fresh announcement reaches every
+  // client, and the query's estimator switches to the admitted (s, p, q).
+  // Returns the admitted parameters. The QID-less overload is the
+  // single-query shim.
+  core::ExecutionParams UpdateParams(uint64_t query_id,
+                                     const core::ExecutionParams& params);
+  core::ExecutionParams UpdateParams(const core::ExecutionParams& params);
 
-  // Runs one answering epoch at `now_ms`. Dispatches on
-  // SystemConfig::pipeline.mode; both modes produce bit-identical results,
-  // topic contents, and stats. The returned stats are the epoch's delta of
-  // the registry's core pipeline counters.
+  size_t num_queries() const { return active_.size(); }
+  // Registered QIDs in ascending order.
+  std::vector<uint64_t> query_ids() const;
+  // The admitted execution parameters a query currently runs with.
+  const core::ExecutionParams& query_params(uint64_t query_id) const;
+  core::PrivacyBudgetManager& budget_manager() { return budget_manager_; }
+
+  // Runs one answering epoch at `now_ms`, driving every registered query.
+  // Dispatches on SystemConfig::pipeline.mode; both modes produce
+  // bit-identical results, topic contents, and stats. The returned stats
+  // are the epoch's delta of the registry's core pipeline counters.
   EpochStats RunEpoch(int64_t now_ms);
 
-  // Advances the watermark; fires completed windows into results().
+  // Advances the watermark on every query lane; fires completed windows
+  // into results().
   void AdvanceWatermark(int64_t watermark_ms);
-  // Fires everything pending (end of run).
+  // Fires everything pending (end of run), all queries.
   void Flush();
 
   const std::vector<aggregator::WindowedResult>& results() const {
@@ -214,12 +268,13 @@ class PrivApproxSystem {
   }
   std::vector<aggregator::WindowedResult> TakeResults();
 
-  // Bytes produced by clients into proxy inbound topics so far — the
-  // client->proxy network traffic of Fig 9a.
+  // Bytes produced by clients into proxy inbound topics (all lanes) so far
+  // — the client->proxy network traffic of Fig 9a.
   uint64_t ClientToProxyBytes() const;
 
   // Historical analytics over everything collected so far (§3.3.1);
-  // requires historical.enabled.
+  // requires historical.enabled and exactly one registered query (the
+  // store is not QID-partitioned).
   core::QueryResult RunHistorical(int64_t from_ms, int64_t to_ms,
                                   const aggregator::BatchQueryBudget& budget);
 
@@ -239,9 +294,23 @@ class PrivApproxSystem {
   size_t num_worker_threads() const { return pool_->num_threads(); }
 
  private:
+  // One registered query's system-side state.
+  struct ActiveQuery {
+    core::Query query;
+    core::ExecutionParams params;  // admitted (possibly down-sampled)
+    // Per-query labeled instruments; null unless metrics.enabled.
+    metrics::Counter* participants_total = nullptr;
+    metrics::Counter* shares_sent_total = nullptr;
+  };
+
   void RunEpochBarrier(int64_t now_ms);
   void RunEpochStreaming(int64_t now_ms);
   void ReplayDeferredShares();
+  void DistributeAnnouncement(const core::Query& query,
+                              const core::ExecutionParams& params,
+                              const char* failure_what);
+  ActiveQuery& GetActive(uint64_t query_id, const char* caller);
+  const ActiveQuery& SingleActive(const char* caller) const;
 
   SystemConfig config_;
   // Declared before every pipeline component: proxies, clients, and the
@@ -277,15 +346,15 @@ class PrivApproxSystem {
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
   // Fault layer (null/empty unless SystemConfig::fault is set). Standby
-  // proxy j shares primary j's outbound topic, so failover is invisible to
-  // the aggregator's n-source join.
+  // proxy j shares primary j's outbound lane topics, so failover is
+  // invisible to the aggregator's n-source join.
   fault::FaultCounters fault_counters_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::unique_ptr<proxy::Proxy>> standby_proxies_;
   uint64_t epoch_index_ = 0;  // keys the per-epoch proxy crash draw
+  core::PrivacyBudgetManager budget_manager_;
   std::unique_ptr<aggregator::Aggregator> aggregator_;
-  std::optional<core::Query> query_;
-  std::optional<core::ExecutionParams> params_;
+  std::map<uint64_t, ActiveQuery> active_;  // QID -> query, ascending
   std::vector<aggregator::WindowedResult> results_;
   aggregator::ResponseStore historical_store_;
   std::unique_ptr<storage::SegmentedAnswerLog> historical_log_;

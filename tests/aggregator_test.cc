@@ -244,6 +244,34 @@ TEST(AggregatorTest, RejectsBadConfig) {
                std::invalid_argument);
 }
 
+TEST(AggregatorTest, RejectsDuplicateQueryRegistration) {
+  // Lane state — join groups, windows, watermarks — is keyed by QID, so a
+  // second registration under the same QID would silently cross two
+  // queries' streams. The coordinator must reject it up front.
+  broker::Broker b;
+  proxy::Proxy p0(proxy::ProxyConfig{0, 2}, b);
+  proxy::Proxy p1(proxy::ProxyConfig{1, 2}, b);
+  AggregatorConfig config;
+  config.num_proxies = 2;
+  config.population = 10;
+  Aggregator agg(config, b, [](const WindowedResult&) {});
+  agg.RegisterQuery(MakeQuery(), NoNoiseParams());
+  EXPECT_THROW(agg.RegisterQuery(MakeQuery(), NoNoiseParams()),
+               std::invalid_argument);
+  // A different QID is fine; the first lane is unaffected.
+  core::Query other = core::QueryBuilder()
+                          .WithId(2)
+                          .WithSql("SELECT speed FROM vehicle")
+                          .WithAnswerFormat(
+                              core::AnswerFormat::UniformNumeric(0, 100, 10,
+                                                                 true))
+                          .WithFrequencyMs(1000)
+                          .WithWindowMs(10000)
+                          .WithSlideMs(10000)
+                          .Build();
+  EXPECT_NO_THROW(agg.RegisterQuery(other, NoNoiseParams()));
+}
+
 // ---------------------------------------------------------------- sharding
 
 // Runs `population` clients through a harness with the given shard count

@@ -228,7 +228,8 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
 // up here as a rising count. Runs at a given aggregator shard count so the
 // sharded feed path proves its scratch (per-shard joiners, window
 // accumulators, merge buffers) is reused across epochs too.
-void ExpectStreamingEpochAllocationsFlat(size_t agg_shards) {
+void ExpectStreamingEpochAllocationsFlat(size_t agg_shards,
+                                         size_t num_queries = 1) {
   system::SystemConfig config;
   config.num_clients = 1024;
   config.num_proxies = kNumShares;
@@ -239,9 +240,10 @@ void ExpectStreamingEpochAllocationsFlat(size_t agg_shards) {
   system::PrivApproxSystem system(config);
   for (size_t i = 0; i < config.num_clients; ++i) {
     auto& db = system.client(i).database();
-    db.CreateTable("vehicle", {"speed"});
+    db.CreateTable("vehicle", {"speed", "temperature"});
     db.GetTable("vehicle").Insert(
-        500, {localdb::Value(static_cast<double>((i * 13) % 100))});
+        500, {localdb::Value(static_cast<double>((i * 13) % 100)),
+              localdb::Value(static_cast<double>((i * 7) % 100))});
   }
   core::Query query =
       core::QueryBuilder()
@@ -256,6 +258,25 @@ void ExpectStreamingEpochAllocationsFlat(size_t agg_shards) {
   params.sampling_fraction = 1.0;
   params.randomization = {0.9, 0.6};
   system.SubmitQuery(query, params);
+  if (num_queries == 2) {
+    // A second concurrent lane: per-query splitters, lane topics, and
+    // aggregator lane state must reuse their warm structures just like the
+    // first query's.
+    core::Query second =
+        core::QueryBuilder()
+            .WithId(2)
+            .WithSql("SELECT temperature FROM vehicle")
+            .WithAnswerFormat(
+                core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+            .WithFrequencyMs(1000)
+            .WithWindowMs(2000)
+            .WithSlideMs(1000)
+            .Build();
+    core::ExecutionParams second_params;
+    second_params.sampling_fraction = 0.8;
+    second_params.randomization = {0.85, 0.5};
+    system.SubmitQuery(second, second_params);
+  }
 
   int64_t now = 1000;
   for (int e = 0; e < 2; ++e) {  // warm-up epochs
@@ -287,6 +308,10 @@ TEST(AllocRegressionTest, StreamingEpochAllocationsStayFlat) {
 
 TEST(AllocRegressionTest, ShardedStreamingEpochAllocationsStayFlat) {
   ExpectStreamingEpochAllocationsFlat(2);
+}
+
+TEST(AllocRegressionTest, TwoQueryStreamingEpochAllocationsStayFlat) {
+  ExpectStreamingEpochAllocationsFlat(1, /*num_queries=*/2);
 }
 
 }  // namespace

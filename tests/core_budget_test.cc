@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/budget.h"
+#include "core/budget_manager.h"
 #include "core/privacy.h"
 
 namespace privapprox::core {
@@ -185,6 +186,113 @@ TEST(FeedbackControllerTest, ConvergesTowardTarget) {
 TEST(FeedbackControllerTest, RejectsBadTarget) {
   EXPECT_THROW(FeedbackController(ExecutionParams{}, 0.0),
                std::invalid_argument);
+}
+
+// ------------------------------------------- fleet-wide budget manager
+
+ExecutionParams ApproxParams(double s) {
+  ExecutionParams params;
+  params.sampling_fraction = s;
+  params.randomization = {0.9, 0.6};
+  return params;
+}
+
+TEST(PrivacyBudgetManagerTest, InfiniteCapAdmitsEverythingUnchanged) {
+  PrivacyBudgetManager manager;  // default cap: +infinity
+  // Even exact-mode parameters (p = 1, infinite eps_dp) are admitted.
+  ExecutionParams exact;
+  exact.sampling_fraction = 1.0;
+  exact.randomization = {1.0, 0.5};
+  const BudgetAdmission a = manager.Admit(1, exact);
+  EXPECT_FALSE(a.downsampled);
+  EXPECT_DOUBLE_EQ(a.params.sampling_fraction, 1.0);
+  const BudgetAdmission b = manager.Admit(2, ApproxParams(0.6));
+  EXPECT_FALSE(b.downsampled);
+  EXPECT_EQ(manager.num_queries(), 2u);
+  EXPECT_TRUE(std::isinf(manager.remaining()));
+}
+
+TEST(PrivacyBudgetManagerTest, RejectsQidZeroAndDuplicates) {
+  PrivacyBudgetManager manager;
+  EXPECT_THROW(manager.Admit(0, ApproxParams(0.5)), std::invalid_argument);
+  manager.Admit(7, ApproxParams(0.5));
+  EXPECT_THROW(manager.Admit(7, ApproxParams(0.3)), std::invalid_argument);
+}
+
+TEST(PrivacyBudgetManagerTest, RefusesOverCapWithoutDownsampling) {
+  const double eps1 = EpsilonZk({0.9, 0.6}, 0.5);
+  BudgetManagerConfig config;
+  config.max_epsilon_zk = eps1 + 0.1;  // room for q1, not q2
+  config.downsample_to_fit = false;
+  PrivacyBudgetManager manager(config);
+  manager.Admit(1, ApproxParams(0.5));
+  EXPECT_NEAR(manager.spent(), eps1, 1e-12);
+  EXPECT_THROW(manager.Admit(2, ApproxParams(0.5)), BudgetExceededError);
+  // The refused query left no trace; releasing q1 frees its budget.
+  EXPECT_EQ(manager.num_queries(), 1u);
+  manager.Release(1);
+  EXPECT_NO_THROW(manager.Admit(2, ApproxParams(0.5)));
+}
+
+TEST(PrivacyBudgetManagerTest, DownsamplesSecondQueryToFit) {
+  const double eps1 = EpsilonZk({0.9, 0.6}, 0.5);
+  const double residual = 1.0;
+  BudgetManagerConfig config;
+  config.max_epsilon_zk = eps1 + residual;
+  PrivacyBudgetManager manager(config);
+  EXPECT_FALSE(manager.Admit(1, ApproxParams(0.5)).downsampled);
+  // q2 wants s = 0.9 (costs far more than the residual): admitted, but at
+  // the sampling fraction that exactly spends what is left.
+  const BudgetAdmission a = manager.Admit(2, ApproxParams(0.9));
+  EXPECT_TRUE(a.downsampled);
+  EXPECT_LT(a.params.sampling_fraction, 0.9);
+  EXPECT_NEAR(EpsilonZk(a.params.randomization, a.params.sampling_fraction),
+              residual, 1e-9);
+  // Only s changes under down-sampling; (p, q) are the client's coins.
+  EXPECT_DOUBLE_EQ(a.params.randomization.p, 0.9);
+  EXPECT_DOUBLE_EQ(a.params.randomization.q, 0.6);
+  EXPECT_NEAR(manager.spent(), config.max_epsilon_zk, 1e-9);
+  EXPECT_NEAR(manager.remaining(), 0.0, 1e-9);
+}
+
+TEST(PrivacyBudgetManagerTest, RefusesWhenFloorStillDoesNotFit) {
+  const double eps1 = EpsilonZk({0.9, 0.6}, 0.5);
+  BudgetManagerConfig config;
+  config.max_epsilon_zk = eps1 + 0.1;
+  // At the floor s = 0.5 the second query costs eps1 >> 0.1 residual.
+  config.min_sampling_fraction = 0.5;
+  PrivacyBudgetManager manager(config);
+  manager.Admit(1, ApproxParams(0.5));
+  EXPECT_THROW(manager.Admit(2, ApproxParams(0.9)), BudgetExceededError);
+}
+
+TEST(PrivacyBudgetManagerTest, RefusesExactModeUnderFiniteCap) {
+  // p = 1 has infinite eps_dp: no sampling fraction has a finite cost, so
+  // a finite fleet can never admit it.
+  BudgetManagerConfig config;
+  config.max_epsilon_zk = 10.0;
+  PrivacyBudgetManager manager(config);
+  ExecutionParams exact;
+  exact.sampling_fraction = 0.5;
+  exact.randomization = {1.0, 0.5};
+  EXPECT_THROW(manager.Admit(1, exact), BudgetExceededError);
+}
+
+TEST(PrivacyBudgetManagerTest, UpdateIsAtomicOnRefusal) {
+  const double eps_small = EpsilonZk({0.9, 0.6}, 0.3);
+  BudgetManagerConfig config;
+  config.max_epsilon_zk = eps_small + 0.05;
+  config.downsample_to_fit = false;
+  PrivacyBudgetManager manager(config);
+  manager.Admit(1, ApproxParams(0.3));
+  const double spent_before = manager.spent();
+  // Re-pricing to a cost over the cap must refuse AND leave the original
+  // registration (and its recorded spend) untouched.
+  EXPECT_THROW(manager.Update(1, ApproxParams(0.9)), BudgetExceededError);
+  EXPECT_TRUE(manager.Has(1));
+  EXPECT_DOUBLE_EQ(manager.spent(), spent_before);
+  // A fitting re-price goes through.
+  EXPECT_NO_THROW(manager.Update(1, ApproxParams(0.2)));
 }
 
 }  // namespace

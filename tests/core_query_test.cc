@@ -125,6 +125,18 @@ TEST(QueryBuilderTest, ValidationErrors) {
                std::invalid_argument);  // non-positive period
 }
 
+TEST(QueryBuilderTest, RejectsQueryIdZero) {
+  // QID 0 is reserved: the multi-query runtime keys lanes, budget-ledger
+  // entries, and fault draws by QID and uses 0 as the "no query" sentinel.
+  const AnswerFormat format = AnswerFormat::UniformNumeric(0, 10, 5);
+  EXPECT_THROW(QueryBuilder()
+                   .WithId(0)
+                   .WithSql("SELECT a FROM t")
+                   .WithAnswerFormat(format)
+                   .Build(),
+               std::invalid_argument);
+}
+
 TEST(EncodeAnswerTest, OneHotEncoding) {
   const AnswerFormat format = AnswerFormat::UniformNumeric(0, 10, 10, true);
   const BitVector answer = EncodeAnswer(format, 1.5);

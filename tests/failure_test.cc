@@ -166,7 +166,9 @@ TEST(FailureTest, MalformedRecordsSurfaceInEpochStats) {
       db.GetTable("vehicle").Insert(500, {localdb::Value(25.0)});
     }
     sys.SubmitQuery(MakeQuery(), ExactParams());
-    sys.broker().Produce("proxy0.in", /*key=*/12345,
+    // Shares travel on per-query lane topics; the garbage lands on query
+    // 1's lane at proxy 0 so the forward path carries it.
+    sys.broker().Produce("proxy0.q1.in", /*key=*/12345,
                          std::vector<uint8_t>{0xBA, 0xD0, 0x01}, 900);
     const system::EpochStats stats = sys.RunEpoch(1000);
     EXPECT_EQ(stats.malformed_dropped, 1u);

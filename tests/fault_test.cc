@@ -460,6 +460,168 @@ TEST(FaultTest, RejectsInvalidPlans) {
   }
 }
 
+// -------------------------------------------------------- multi-query chaos
+
+constexpr double kTemperature = 55.0;  // every client -> bucket 5
+constexpr size_t kTempTrueBucket = 5;
+
+core::Query TempQuery() {
+  return core::QueryBuilder()
+      .WithId(2)
+      .WithSql("SELECT temperature FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(5000)
+      .WithWindowMs(10000)
+      .WithSlideMs(10000)
+      .Build();
+}
+
+core::ExecutionParams SpeedChaosParams() {
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.6;
+  params.randomization = {0.9, 0.6};
+  return params;
+}
+
+core::ExecutionParams TempChaosParams() {
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.8;
+  params.randomization = {0.85, 0.5};
+  return params;
+}
+
+// Same schedule as RunScenario but the query set comes from config.queries
+// and every client carries both columns, so the speed-only, temp-only, and
+// joint runs see identical local databases.
+RunSnapshot RunMultiChaosScenario(EpochPipelineMode mode,
+                                  std::optional<fault::FaultPlan> plan,
+                                  bool with_speed, bool with_temp) {
+  SystemConfig config = BaseConfig(mode, std::move(plan));
+  if (with_speed) {
+    config.queries.push_back({SpeedQuery(), SpeedChaosParams()});
+  }
+  if (with_temp) {
+    config.queries.push_back({TempQuery(), TempChaosParams()});
+  }
+  PrivApproxSystem sys(config);
+  for (size_t i = 0; i < kNumClients; ++i) {
+    auto& db = sys.client(i).database();
+    db.CreateTable("vehicle", {"speed", "temperature"});
+    db.GetTable("vehicle").Insert(
+        500, {localdb::Value(kSpeed), localdb::Value(kTemperature)});
+  }
+  RunSnapshot snapshot;
+  for (int64_t now = 5000; now <= 20000; now += 5000) {
+    for (size_t i = 0; i < kNumClients; ++i) {
+      sys.client(i).database().GetTable("vehicle").Insert(
+          now - 100,
+          {localdb::Value(kSpeed), localdb::Value(kTemperature)});
+    }
+    snapshot.epochs.push_back(sys.RunEpoch(now));
+    sys.AdvanceWatermark(now);
+  }
+  sys.Flush();
+  snapshot.results = sys.TakeResults();
+  for (const char* name : kFaultCounterNames) {
+    snapshot.fault_counters.emplace_back(
+        name, sys.metrics_registry().GetCounter(name, "").Value());
+  }
+  return snapshot;
+}
+
+std::vector<aggregator::WindowedResult> ResultsForQuery(
+    const RunSnapshot& snapshot, uint64_t qid) {
+  std::vector<aggregator::WindowedResult> out;
+  for (const auto& windowed : snapshot.results) {
+    if (windowed.query_id == qid) {
+      out.push_back(windowed);
+    }
+  }
+  return out;
+}
+
+void ExpectWindowedResultsIdentical(
+    const std::vector<aggregator::WindowedResult>& a,
+    const std::vector<aggregator::WindowedResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  for (size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].window, b[w].window);
+    EXPECT_EQ(a[w].result.participants, b[w].result.participants);
+    EXPECT_EQ(a[w].result.lost_to_faults, b[w].result.lost_to_faults);
+    ASSERT_EQ(a[w].result.buckets.size(), b[w].result.buckets.size());
+    for (size_t i = 0; i < a[w].result.buckets.size(); ++i) {
+      EXPECT_EQ(a[w].result.buckets[i].estimate.value,
+                b[w].result.buckets[i].estimate.value);
+      EXPECT_EQ(a[w].result.buckets[i].estimate.error,
+                b[w].result.buckets[i].estimate.error);
+      EXPECT_EQ(a[w].result.buckets[i].randomized_count,
+                b[w].result.buckets[i].randomized_count);
+    }
+  }
+}
+
+TEST(MultiQueryFaultTest, TwoQueryChaosMatchesIsolatedRunsPerQuery) {
+  // Fault fates are pure (plan seed, salt, QID, MID, proxy) hashes and
+  // proxy crashes are (epoch, proxy) draws, so the chaos a query suffers
+  // must not depend on which other queries share the fleet. The joint
+  // 2-query run must agree with both pipeline modes AND, per query, be bit
+  // identical — estimates, widened errors, lost_to_faults — to the run
+  // where that query has the system to itself. This also pins that CI
+  // widening is driven by each lane's own losses, never pooled across
+  // queries.
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RunSnapshot joint = RunMultiChaosScenario(
+        EpochPipelineMode::kBarrier, ChaosPlan(seed), true, true);
+    const RunSnapshot joint_streaming = RunMultiChaosScenario(
+        EpochPipelineMode::kStreaming, ChaosPlan(seed), true, true);
+    ExpectResultsIdentical(joint, joint_streaming);
+    ASSERT_EQ(joint.epochs.size(), joint_streaming.epochs.size());
+    for (size_t e = 0; e < joint.epochs.size(); ++e) {
+      ExpectEpochStatsEqual(joint.epochs[e], joint_streaming.epochs[e]);
+    }
+    EXPECT_EQ(joint.fault_counters, joint_streaming.fault_counters);
+
+    const RunSnapshot solo_speed = RunMultiChaosScenario(
+        EpochPipelineMode::kBarrier, ChaosPlan(seed), true, false);
+    const RunSnapshot solo_temp = RunMultiChaosScenario(
+        EpochPipelineMode::kBarrier, ChaosPlan(seed), false, true);
+    ExpectWindowedResultsIdentical(ResultsForQuery(joint, 1),
+                                   solo_speed.results);
+    ExpectWindowedResultsIdentical(ResultsForQuery(joint, 2),
+                                   solo_temp.results);
+
+    // Lost MIDs are keyed (QID, MID): the joint ledger is the disjoint
+    // union of the solo ledgers.
+    EXPECT_EQ(CounterValue(joint, "privapprox_fault_lost_mids_total"),
+              CounterValue(solo_speed, "privapprox_fault_lost_mids_total") +
+                  CounterValue(solo_temp, "privapprox_fault_lost_mids_total"));
+
+    // Both lanes genuinely lost shares and both stayed honest: the true
+    // per-bucket population is covered by each query's own widened CI.
+    for (const auto& [qid, bucket_index] :
+         std::vector<std::pair<uint64_t, size_t>>{{1, kTrueBucket},
+                                                  {2, kTempTrueBucket}}) {
+      SCOPED_TRACE("qid=" + std::to_string(qid));
+      const auto windows = ResultsForQuery(joint, qid);
+      ASSERT_GT(windows.size(), 0u);
+      bool any_lost = false;
+      for (const auto& windowed : windows) {
+        const auto& bucket = windowed.result.buckets[bucket_index];
+        EXPECT_LE(std::abs(bucket.estimate.value -
+                           static_cast<double>(kNumClients)),
+                  bucket.estimate.error)
+            << "window [" << windowed.window.start_ms << ", "
+            << windowed.window.end_ms << ") estimate "
+            << bucket.estimate.value << " +/- " << bucket.estimate.error;
+        any_lost = any_lost || windowed.result.lost_to_faults > 0;
+      }
+      EXPECT_TRUE(any_lost);
+    }
+  }
+}
+
 // ------------------------------------------------------- estimator widening
 
 TEST(FaultTest, EstimatorWidensErrorBySqrtOfIntendedOverEffective) {
