@@ -25,7 +25,9 @@
 // every row is tagged with the shard count it actually ran. --queries runs
 // N identical concurrent queries (QIDs 1..N) over the shared fleet, so a
 // 2-query row shows the per-lane cost of the multi-query runtime; the JSON
-// row carries a "queries" tag.
+// row carries a "queries" tag. The row is also tagged "simd" with the
+// active crypto dispatch tier (common/simd_dispatch.h), so trajectory diffs
+// attribute throughput movement to the PRIVAPPROX_SIMD setting in force.
 
 #include <chrono>
 #include <cstdio>
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "common/alloc_counter.h"
+#include "common/simd_dispatch.h"
 #include "system/system.h"
 
 using namespace privapprox;
@@ -222,9 +225,10 @@ int main(int argc, char** argv) {
                 "{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
                 "\"queries\":%zu,"
                 "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"metrics\":%d,"
+                "\"simd\":\"%s\","
                 "\"rows\":[",
                 bench.clients, bench.epochs, bench.queries, hw,
-                bench.metrics ? 1 : 0);
+                bench.metrics ? 1 : 0, simd::IsaName(simd::ActiveIsa()));
   json += buf;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -67,6 +67,16 @@ BitVector& BitVector::operator^=(const BitVector& other) {
   return *this;
 }
 
+BitVector operator^(const BitVector& lhs, const BitVector& rhs) {
+  if (lhs.num_bits_ != rhs.num_bits_) {
+    throw std::invalid_argument("BitVector::operator^: size mismatch");
+  }
+  BitVector out(lhs.num_bits_);
+  XorBytesInto(out.bytes_.data(), lhs.bytes_.data(), rhs.bytes_.data(),
+               out.bytes_.size());
+  return out;
+}
+
 bool BitVector::operator==(const BitVector& other) const {
   return num_bits_ == other.num_bits_ && bytes_ == other.bytes_;
 }

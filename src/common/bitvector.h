@@ -36,10 +36,9 @@ class BitVector {
 
   // In-place XOR with `other`. Both vectors must have the same size.
   BitVector& operator^=(const BitVector& other);
-  friend BitVector operator^(BitVector lhs, const BitVector& rhs) {
-    lhs ^= rhs;
-    return lhs;
-  }
+  // Three-operand bulk XOR (XorBytesInto): writes lhs ^ rhs straight into
+  // the result's bytes, no copy-then-xor pass.
+  friend BitVector operator^(const BitVector& lhs, const BitVector& rhs);
 
   bool operator==(const BitVector& other) const;
   bool operator!=(const BitVector& other) const { return !(*this == other); }

@@ -1,0 +1,176 @@
+// Out-of-line vector kernels behind XorBytesInPlace / XorBytesInto. The
+// scalar uint64 kernels double as the tail handler for every vector path;
+// SSE2 and NEON are baseline ISA on their platforms and live here, AVX2
+// lives in xor_bytes_avx2.cc (compiled with -mavx2).
+
+#include "common/xor_bytes.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/xor_bytes_internal.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace privapprox {
+namespace detail {
+
+void XorScalarInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < len; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void XorScalarInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                   size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    wa ^= wb;
+    std::memcpy(dst + i, &wa, 8);
+  }
+  for (; i < len; ++i) {
+    dst[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+}
+
+namespace {
+
+#if defined(__SSE2__)
+
+void XorSse2InPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(a, b));
+  }
+  XorScalarInPlace(dst + i, src + i, len - i);
+}
+
+void XorSse2Into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                 size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i wa =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i wb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(wa, wb));
+  }
+  XorScalarInto(dst + i, a + i, b + i, len - i);
+}
+
+#endif  // __SSE2__
+
+#if defined(__ARM_NEON)
+
+void XorNeonInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  XorScalarInPlace(dst + i, src + i, len - i);
+}
+
+void XorNeonInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                 size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  XorScalarInto(dst + i, a + i, b + i, len - i);
+}
+
+#endif  // __ARM_NEON
+
+using InPlaceFn = void (*)(uint8_t*, const uint8_t*, size_t);
+using IntoFn = void (*)(uint8_t*, const uint8_t*, const uint8_t*, size_t);
+
+struct XorKernels {
+  InPlaceFn in_place = &XorScalarInPlace;
+  IntoFn into = &XorScalarInto;
+};
+
+XorKernels KernelsFor(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kScalar:
+      break;
+#if defined(__SSE2__)
+    case simd::Isa::kSse2:
+      return {&XorSse2InPlace, &XorSse2Into};
+#endif
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+    case simd::Isa::kAvx2:
+      return {&XorAvx2InPlace, &XorAvx2Into};
+#endif
+#if defined(__ARM_NEON)
+    case simd::Isa::kNeon:
+      return {&XorNeonInPlace, &XorNeonInto};
+#endif
+    default:
+      break;
+  }
+  return {};
+}
+
+const XorKernels& ActiveKernels() {
+  static const XorKernels kernels = KernelsFor(simd::ActiveIsa());
+  return kernels;
+}
+
+}  // namespace
+
+void XorVectorInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  ActiveKernels().in_place(dst, src, len);
+}
+
+void XorVectorInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                   size_t len) {
+  ActiveKernels().into(dst, a, b, len);
+}
+
+}  // namespace detail
+
+void XorBytesInPlaceWith(simd::Isa isa, uint8_t* dst, const uint8_t* src,
+                         size_t len) {
+  if (!simd::IsaAvailable(isa)) {
+    throw std::invalid_argument(
+        std::string("XorBytesInPlaceWith: ISA not available: ") +
+        simd::IsaName(isa));
+  }
+  detail::KernelsFor(isa).in_place(dst, src, len);
+}
+
+void XorBytesIntoWith(simd::Isa isa, uint8_t* dst, const uint8_t* a,
+                      const uint8_t* b, size_t len) {
+  if (!simd::IsaAvailable(isa)) {
+    throw std::invalid_argument(
+        std::string("XorBytesIntoWith: ISA not available: ") +
+        simd::IsaName(isa));
+  }
+  detail::KernelsFor(isa).into(dst, a, b, len);
+}
+
+}  // namespace privapprox

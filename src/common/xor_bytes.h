@@ -1,10 +1,15 @@
-// Word-level XOR over byte buffers.
+// Word- and vector-level XOR over byte buffers.
 //
-// The XOR one-time pad (crypto/xor_cipher.h) and the BitVector bulk ops are
-// the innermost loops of the client answering path and the aggregator join;
-// Table 3 / Table 2 throughput hinges on them. Chunking through uint64_t via
-// memcpy is the strict-aliasing-safe idiom — compilers lower the memcpys to
-// plain word loads/stores and vectorize the loop.
+// The XOR one-time pad (crypto/xor_cipher.h), the MidJoiner share combine,
+// and the BitVector bulk ops are the innermost loops of the client
+// answering path and the aggregator join; Table 3 / Table 2 throughput
+// hinges on them. Short buffers (the common case: one share payload is a
+// few dozen bytes) run an inline uint64_t loop — chunking through memcpy is
+// the strict-aliasing-safe idiom, and compilers lower it to plain word
+// loads/stores. Buffers of kXorVectorBytes or more take the out-of-line
+// vector path (common/xor_bytes.cc), which runs 16/32-byte register chunks
+// selected once per process by simd::ActiveIsa() (PRIVAPPROX_SIMD
+// override). Both paths are exact, so the split is invisible to callers.
 
 #ifndef PRIVAPPROX_COMMON_XOR_BYTES_H_
 #define PRIVAPPROX_COMMON_XOR_BYTES_H_
@@ -13,10 +18,28 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/simd_dispatch.h"
+
 namespace privapprox {
+
+namespace detail {
+
+// Buffers at least this long go through the dispatched vector kernels; the
+// threshold covers one full vector step plus the call overhead.
+inline constexpr size_t kXorVectorBytes = 64;
+
+void XorVectorInPlace(uint8_t* dst, const uint8_t* src, size_t len);
+void XorVectorInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                   size_t len);
+
+}  // namespace detail
 
 // dst[i] ^= src[i] for i in [0, len).
 inline void XorBytesInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  if (len >= detail::kXorVectorBytes) {
+    detail::XorVectorInPlace(dst, src, len);
+    return;
+  }
   size_t i = 0;
   for (; i + 8 <= len; i += 8) {
     uint64_t a;
@@ -30,6 +53,36 @@ inline void XorBytesInPlace(uint8_t* dst, const uint8_t* src, size_t len) {
     dst[i] ^= src[i];
   }
 }
+
+// dst[i] = a[i] ^ b[i] for i in [0, len). `dst` may alias `a` (that is the
+// in-place form) but must not partially overlap either input.
+inline void XorBytesInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                         size_t len) {
+  if (len >= detail::kXorVectorBytes) {
+    detail::XorVectorInto(dst, a, b, len);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    wa ^= wb;
+    std::memcpy(dst + i, &wa, 8);
+  }
+  for (; i < len; ++i) {
+    dst[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+}
+
+// Forced-ISA variants for the Table 2 bench and the per-kernel equivalence
+// tests; length-unrestricted (no small-buffer shortcut). Throw
+// std::invalid_argument if `isa` is unavailable (simd::IsaAvailable).
+void XorBytesInPlaceWith(simd::Isa isa, uint8_t* dst, const uint8_t* src,
+                         size_t len);
+void XorBytesIntoWith(simd::Isa isa, uint8_t* dst, const uint8_t* a,
+                      const uint8_t* b, size_t len);
 
 }  // namespace privapprox
 

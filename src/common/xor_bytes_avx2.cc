@@ -1,0 +1,42 @@
+// 32-byte-register XOR kernels. Only this common/ file is compiled with
+// -mavx2 (see src/CMakeLists.txt); the dispatcher in xor_bytes.cc routes
+// here only after the CPUID check passes.
+
+#include "common/xor_bytes_internal.h"
+
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace privapprox::detail {
+
+void XorAvx2InPlace(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  XorScalarInPlace(dst + i, src + i, len - i);
+}
+
+void XorAvx2Into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                 size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i wa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i wb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(wa, wb));
+  }
+  XorScalarInto(dst + i, a + i, b + i, len - i);
+}
+
+}  // namespace privapprox::detail
+
+#endif  // PRIVAPPROX_HAVE_AVX2_TU

@@ -1,0 +1,24 @@
+// Internal kernel declarations shared between xor_bytes.cc (baseline ISA:
+// scalar/SSE2/NEON kernels + dispatch) and xor_bytes_avx2.cc (the only
+// common/ file compiled with -mavx2). Not for use outside those TUs.
+
+#ifndef PRIVAPPROX_COMMON_XOR_BYTES_INTERNAL_H_
+#define PRIVAPPROX_COMMON_XOR_BYTES_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privapprox::detail {
+
+void XorScalarInPlace(uint8_t* dst, const uint8_t* src, size_t len);
+void XorScalarInto(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                   size_t len);
+
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+void XorAvx2InPlace(uint8_t* dst, const uint8_t* src, size_t len);
+void XorAvx2Into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len);
+#endif
+
+}  // namespace privapprox::detail
+
+#endif  // PRIVAPPROX_COMMON_XOR_BYTES_INTERNAL_H_

@@ -1,77 +1,18 @@
 #include "crypto/chacha20.h"
 
+#include <bit>
 #include <cstring>
 
+#include "crypto/chacha20_simd.h"
+
 namespace privapprox::crypto {
-namespace {
-
-inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
-
-inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
-  a += b;
-  d ^= a;
-  d = Rotl32(d, 16);
-  c += d;
-  b ^= c;
-  b = Rotl32(b, 12);
-  a += b;
-  d ^= a;
-  d = Rotl32(d, 8);
-  c += d;
-  b ^= c;
-  b = Rotl32(b, 7);
-}
-
-inline uint32_t Load32(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) |
-         (static_cast<uint32_t>(p[3]) << 24);
-}
-
-inline void Store32(uint8_t* p, uint32_t v) {
-  p[0] = static_cast<uint8_t>(v);
-  p[1] = static_cast<uint8_t>(v >> 8);
-  p[2] = static_cast<uint8_t>(v >> 16);
-  p[3] = static_cast<uint8_t>(v >> 24);
-}
-
-}  // namespace
 
 void ChaCha20BlockInto(uint8_t* out, const std::array<uint8_t, 32>& key,
                        const std::array<uint8_t, 12>& nonce,
                        uint32_t counter) {
   uint32_t state[16];
-  // "expand 32-byte k"
-  state[0] = 0x61707865;
-  state[1] = 0x3320646E;
-  state[2] = 0x79622D32;
-  state[3] = 0x6B206574;
-  for (int i = 0; i < 8; ++i) {
-    state[4 + i] = Load32(key.data() + 4 * i);
-  }
-  state[12] = counter;
-  for (int i = 0; i < 3; ++i) {
-    state[13 + i] = Load32(nonce.data() + 4 * i);
-  }
-
-  uint32_t working[16];
-  std::memcpy(working, state, sizeof(working));
-  for (int round = 0; round < 10; ++round) {
-    // Column rounds.
-    QuarterRound(working[0], working[4], working[8], working[12]);
-    QuarterRound(working[1], working[5], working[9], working[13]);
-    QuarterRound(working[2], working[6], working[10], working[14]);
-    QuarterRound(working[3], working[7], working[11], working[15]);
-    // Diagonal rounds.
-    QuarterRound(working[0], working[5], working[10], working[15]);
-    QuarterRound(working[1], working[6], working[11], working[12]);
-    QuarterRound(working[2], working[7], working[8], working[13]);
-    QuarterRound(working[3], working[4], working[9], working[14]);
-  }
-
-  for (int i = 0; i < 16; ++i) {
-    Store32(out + 4 * i, working[i] + state[i]);
-  }
+  internal::BuildChaChaState(state, key, nonce, counter);
+  internal::ChaCha20BlockFromState(out, state);
 }
 
 std::array<uint8_t, 64> ChaCha20Block(const std::array<uint8_t, 32>& key,
@@ -108,16 +49,29 @@ ChaCha20Rng ChaCha20Rng::FromSeed(uint64_t seed, uint64_t stream_id) {
 }
 
 void ChaCha20Rng::Refill() {
-  block_ = ChaCha20Block(key_, nonce_, counter_++);
+  ChaCha20BlockInto(block_.data(), key_, nonce_, counter_++);
   offset_ = 0;
 }
 
 uint64_t ChaCha20Rng::NextUint64() {
-  uint8_t bytes[8];
-  FillBytes(bytes, sizeof(bytes));
-  uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) {
-    out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  // Fast path for the randomized-response coin draws in the client hot
+  // loop: read the 8 bytes straight out of the staged block. Falls back to
+  // FillBytes when the read would straddle the block edge (including the
+  // offset_ == 64 "needs refill" state), which reproduces the exact
+  // drain/refill sequence — so the stream position and output are
+  // bit-identical to assembling the value from 8 single-byte reads.
+  // The keystream is a little-endian byte sequence; on a big-endian host
+  // the memcpy below would need a byte swap to keep streams portable.
+  static_assert(std::endian::native == std::endian::little,
+                "ChaCha20Rng::NextUint64 assumes little-endian layout");
+  uint64_t out;
+  if (offset_ + 8 <= block_.size()) {
+    std::memcpy(&out, block_.data() + offset_, 8);
+    offset_ += 8;
+  } else {
+    uint8_t bytes[8];
+    FillBytes(bytes, sizeof(bytes));
+    std::memcpy(&out, bytes, 8);
   }
   return out;
 }
@@ -131,11 +85,14 @@ void ChaCha20Rng::FillBytes(uint8_t* out, size_t len) {
     out += take;
     len -= take;
   }
-  // Whole blocks go straight into the destination — no staged copy.
-  while (len >= block_.size()) {
-    ChaCha20BlockInto(out, key_, nonce_, counter_++);
-    out += block_.size();
-    len -= block_.size();
+  // Whole blocks are generated as one multi-block run straight into the
+  // destination — the SIMD engine emits 4 or 8 of them per vector step.
+  const size_t whole_blocks = len / block_.size();
+  if (whole_blocks > 0) {
+    ChaCha20BlocksInto(out, key_, nonce_, counter_, whole_blocks);
+    counter_ += static_cast<uint32_t>(whole_blocks);
+    out += whole_blocks * block_.size();
+    len -= whole_blocks * block_.size();
   }
   // The tail comes out of a fresh staged block so the stream position is
   // preserved for the next call.

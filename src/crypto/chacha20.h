@@ -48,9 +48,14 @@ class ChaCha20Rng {
   }
   result_type operator()() { return NextUint64(); }
 
+  // Next 8 keystream bytes as a little-endian word. Reads straight from the
+  // staged block when it holds 8 bytes (the randomized-response coin-draw
+  // fast path); stream position and output stay bit-identical to assembling
+  // the word from single-byte reads.
   uint64_t NextUint64();
   // Fills `out` with the next `len` keystream bytes. Full 64-byte spans are
-  // generated as multiple ChaCha20 blocks directly into `out`; the staging
+  // generated directly into `out` as one multi-block run through the
+  // runtime-dispatched SIMD engine (crypto/chacha20_simd.h); the staging
   // buffer is only used for whatever was left over from a previous call and
   // for the tail that does not fill a whole block. Byte-for-byte identical
   // to repeated single-byte reads of the same stream.

@@ -1,0 +1,295 @@
+// Baseline-ISA half of the multi-block ChaCha20 engine: state expansion,
+// the scalar block core (shared with chacha20.cc), the 4-way SSE2 and NEON
+// kernels (both baseline on their platforms), and the dispatcher. The AVX2
+// kernel needs non-baseline codegen and lives in chacha20_simd_avx2.cc.
+
+#include "crypto/chacha20_simd.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace privapprox::crypto {
+namespace internal {
+namespace {
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 7);
+}
+
+}  // namespace
+
+void BuildChaChaState(uint32_t state[16], const std::array<uint8_t, 32>& key,
+                      const std::array<uint8_t, 12>& nonce, uint32_t counter) {
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646E;
+  state[2] = 0x79622D32;
+  state[3] = 0x6B206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = Load32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = Load32(nonce.data() + 4 * i);
+  }
+}
+
+void ChaCha20BlockFromState(uint8_t* out, const uint32_t state[16]) {
+  uint32_t working[16];
+  std::memcpy(working, state, 16 * sizeof(uint32_t));
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    // Diagonal rounds.
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    Store32(out + 4 * i, working[i] + state[i]);
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+#if defined(__SSE2__)
+
+template <int K>
+inline __m128i RotlSse2(__m128i x) {
+  return _mm_or_si128(_mm_slli_epi32(x, K), _mm_srli_epi32(x, 32 - K));
+}
+
+#define PRIVAPPROX_QR_SSE2(a, b, c, d)              \
+  do {                                              \
+    (a) = _mm_add_epi32((a), (b));                  \
+    (d) = RotlSse2<16>(_mm_xor_si128((d), (a)));    \
+    (c) = _mm_add_epi32((c), (d));                  \
+    (b) = RotlSse2<12>(_mm_xor_si128((b), (c)));    \
+    (a) = _mm_add_epi32((a), (b));                  \
+    (d) = RotlSse2<8>(_mm_xor_si128((d), (a)));     \
+    (c) = _mm_add_epi32((c), (d));                  \
+    (b) = RotlSse2<7>(_mm_xor_si128((b), (c)));     \
+  } while (0)
+
+// 4 blocks vertically: v[w] lane j holds word w of block (counter + j).
+void ChaCha20Blocks4Sse2(uint8_t* out, const uint32_t state[16]) {
+  __m128i init[16];
+  __m128i v[16];
+  for (int i = 0; i < 16; ++i) {
+    init[i] = _mm_set1_epi32(static_cast<int>(state[i]));
+  }
+  init[12] = _mm_add_epi32(init[12], _mm_setr_epi32(0, 1, 2, 3));
+  for (int i = 0; i < 16; ++i) {
+    v[i] = init[i];
+  }
+  for (int round = 0; round < 10; ++round) {
+    PRIVAPPROX_QR_SSE2(v[0], v[4], v[8], v[12]);
+    PRIVAPPROX_QR_SSE2(v[1], v[5], v[9], v[13]);
+    PRIVAPPROX_QR_SSE2(v[2], v[6], v[10], v[14]);
+    PRIVAPPROX_QR_SSE2(v[3], v[7], v[11], v[15]);
+    PRIVAPPROX_QR_SSE2(v[0], v[5], v[10], v[15]);
+    PRIVAPPROX_QR_SSE2(v[1], v[6], v[11], v[12]);
+    PRIVAPPROX_QR_SSE2(v[2], v[7], v[8], v[13]);
+    PRIVAPPROX_QR_SSE2(v[3], v[4], v[9], v[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    v[i] = _mm_add_epi32(v[i], init[i]);
+  }
+  // Transpose each 4-word group from (word, block) to (block, word) order
+  // and store: block b gets its 16-byte word group g at out + 64b + 16g.
+  for (int g = 0; g < 4; ++g) {
+    const __m128i t0 = _mm_unpacklo_epi32(v[4 * g + 0], v[4 * g + 1]);
+    const __m128i t1 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+    const __m128i t2 = _mm_unpackhi_epi32(v[4 * g + 0], v[4 * g + 1]);
+    const __m128i t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 * 0 + 16 * g),
+                     _mm_unpacklo_epi64(t0, t1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 * 1 + 16 * g),
+                     _mm_unpackhi_epi64(t0, t1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 * 2 + 16 * g),
+                     _mm_unpacklo_epi64(t2, t3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 * 3 + 16 * g),
+                     _mm_unpackhi_epi64(t2, t3));
+  }
+}
+
+#undef PRIVAPPROX_QR_SSE2
+
+#endif  // __SSE2__
+
+#if defined(__ARM_NEON)
+
+template <int K>
+inline uint32x4_t RotlNeon(uint32x4_t x) {
+  return vorrq_u32(vshlq_n_u32(x, K), vshrq_n_u32(x, 32 - K));
+}
+
+#define PRIVAPPROX_QR_NEON(a, b, c, d)            \
+  do {                                            \
+    (a) = vaddq_u32((a), (b));                    \
+    (d) = RotlNeon<16>(veorq_u32((d), (a)));      \
+    (c) = vaddq_u32((c), (d));                    \
+    (b) = RotlNeon<12>(veorq_u32((b), (c)));      \
+    (a) = vaddq_u32((a), (b));                    \
+    (d) = RotlNeon<8>(veorq_u32((d), (a)));       \
+    (c) = vaddq_u32((c), (d));                    \
+    (b) = RotlNeon<7>(veorq_u32((b), (c)));       \
+  } while (0)
+
+void ChaCha20Blocks4Neon(uint8_t* out, const uint32_t state[16]) {
+  uint32x4_t init[16];
+  uint32x4_t v[16];
+  for (int i = 0; i < 16; ++i) {
+    init[i] = vdupq_n_u32(state[i]);
+  }
+  const uint32_t lane_offsets[4] = {0, 1, 2, 3};
+  init[12] = vaddq_u32(init[12], vld1q_u32(lane_offsets));
+  for (int i = 0; i < 16; ++i) {
+    v[i] = init[i];
+  }
+  for (int round = 0; round < 10; ++round) {
+    PRIVAPPROX_QR_NEON(v[0], v[4], v[8], v[12]);
+    PRIVAPPROX_QR_NEON(v[1], v[5], v[9], v[13]);
+    PRIVAPPROX_QR_NEON(v[2], v[6], v[10], v[14]);
+    PRIVAPPROX_QR_NEON(v[3], v[7], v[11], v[15]);
+    PRIVAPPROX_QR_NEON(v[0], v[5], v[10], v[15]);
+    PRIVAPPROX_QR_NEON(v[1], v[6], v[11], v[12]);
+    PRIVAPPROX_QR_NEON(v[2], v[7], v[8], v[13]);
+    PRIVAPPROX_QR_NEON(v[3], v[4], v[9], v[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    v[i] = vaddq_u32(v[i], init[i]);
+  }
+  for (int g = 0; g < 4; ++g) {
+    const uint32x4x2_t t01 = vtrnq_u32(v[4 * g + 0], v[4 * g + 1]);
+    const uint32x4x2_t t23 = vtrnq_u32(v[4 * g + 2], v[4 * g + 3]);
+    const uint32x4_t c0 = vcombine_u32(vget_low_u32(t01.val[0]),
+                                       vget_low_u32(t23.val[0]));
+    const uint32x4_t c1 = vcombine_u32(vget_low_u32(t01.val[1]),
+                                       vget_low_u32(t23.val[1]));
+    const uint32x4_t c2 = vcombine_u32(vget_high_u32(t01.val[0]),
+                                       vget_high_u32(t23.val[0]));
+    const uint32x4_t c3 = vcombine_u32(vget_high_u32(t01.val[1]),
+                                       vget_high_u32(t23.val[1]));
+    vst1q_u8(out + 64 * 0 + 16 * g, vreinterpretq_u8_u32(c0));
+    vst1q_u8(out + 64 * 1 + 16 * g, vreinterpretq_u8_u32(c1));
+    vst1q_u8(out + 64 * 2 + 16 * g, vreinterpretq_u8_u32(c2));
+    vst1q_u8(out + 64 * 3 + 16 * g, vreinterpretq_u8_u32(c3));
+  }
+}
+
+#undef PRIVAPPROX_QR_NEON
+
+#endif  // __ARM_NEON
+
+// A wide kernel emits `width` blocks per call from a prebuilt state whose
+// counter word advances between calls. width 1 = scalar (fn unused).
+struct Kernel {
+  void (*wide)(uint8_t*, const uint32_t[16]) = nullptr;
+  size_t width = 1;
+};
+
+Kernel KernelFor(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kScalar:
+      break;
+#if defined(__SSE2__)
+    case simd::Isa::kSse2:
+      return {&ChaCha20Blocks4Sse2, 4};
+#endif
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+    case simd::Isa::kAvx2:
+      return {&internal::ChaCha20Blocks8Avx2, 8};
+#endif
+#if defined(__ARM_NEON)
+    case simd::Isa::kNeon:
+      return {&ChaCha20Blocks4Neon, 4};
+#endif
+    default:
+      break;
+  }
+  return {};
+}
+
+void BlocksWithKernel(const Kernel& kernel, uint8_t* out,
+                      const std::array<uint8_t, 32>& key,
+                      const std::array<uint8_t, 12>& nonce, uint32_t counter,
+                      size_t nblocks) {
+  uint32_t state[16];
+  internal::BuildChaChaState(state, key, nonce, counter);
+  while (kernel.width > 1 && nblocks >= kernel.width) {
+    kernel.wide(out, state);
+    state[12] += static_cast<uint32_t>(kernel.width);
+    out += 64 * kernel.width;
+    nblocks -= kernel.width;
+  }
+  while (nblocks > 0) {
+    internal::ChaCha20BlockFromState(out, state);
+    ++state[12];
+    out += 64;
+    --nblocks;
+  }
+}
+
+}  // namespace
+
+void ChaCha20BlocksInto(uint8_t* out, const std::array<uint8_t, 32>& key,
+                        const std::array<uint8_t, 12>& nonce, uint32_t counter,
+                        size_t nblocks) {
+  static const Kernel kernel = KernelFor(simd::ActiveIsa());
+  BlocksWithKernel(kernel, out, key, nonce, counter, nblocks);
+}
+
+void ChaCha20BlocksIntoWith(simd::Isa isa, uint8_t* out,
+                            const std::array<uint8_t, 32>& key,
+                            const std::array<uint8_t, 12>& nonce,
+                            uint32_t counter, size_t nblocks) {
+  if (!simd::IsaAvailable(isa)) {
+    throw std::invalid_argument(
+        std::string("ChaCha20BlocksIntoWith: ISA not available: ") +
+        simd::IsaName(isa));
+  }
+  BlocksWithKernel(KernelFor(isa), out, key, nonce, counter, nblocks);
+}
+
+}  // namespace privapprox::crypto

@@ -1,0 +1,66 @@
+// Multi-block ChaCha20 keystream engine with runtime SIMD dispatch.
+//
+// ChaCha20 in counter mode is embarrassingly parallel: block i depends only
+// on (key, nonce, counter + i), so a vector register can run W independent
+// blocks "vertically" — each of the 16 state words held as a W-lane vector,
+// the 20 rounds executed once for all W blocks, and the result transposed
+// back into W contiguous 64-byte blocks. This file is the engine behind
+// ChaCha20Rng::FillBytes: 8 blocks per AVX2 step, 4 per SSE2/NEON step,
+// scalar otherwise, all bit-identical to repeated ChaCha20Block calls.
+//
+// Kernel selection follows simd::ActiveIsa() (PRIVAPPROX_SIMD override,
+// logged once at startup); the AVX2 kernel lives in its own translation
+// unit (chacha20_simd_avx2.cc, compiled with -mavx2) so the rest of the
+// tree stays baseline ISA.
+
+#ifndef PRIVAPPROX_CRYPTO_CHACHA20_SIMD_H_
+#define PRIVAPPROX_CRYPTO_CHACHA20_SIMD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd_dispatch.h"
+
+namespace privapprox::crypto {
+
+// Writes `nblocks` consecutive 64-byte keystream blocks — counters
+// `counter`, `counter + 1`, ... (mod 2^32, matching scalar uint32_t
+// wraparound) — into `out` (>= nblocks * 64 bytes). Uses the kernel chosen
+// by simd::ActiveIsa(); output is ISA-independent.
+void ChaCha20BlocksInto(uint8_t* out, const std::array<uint8_t, 32>& key,
+                        const std::array<uint8_t, 12>& nonce, uint32_t counter,
+                        size_t nblocks);
+
+// Same, but forcing a specific kernel — the per-ISA hook the RFC-vector
+// tests and the Table 2 keystream bench iterate over. Throws
+// std::invalid_argument if `isa` is not available on this host/build
+// (simd::IsaAvailable).
+void ChaCha20BlocksIntoWith(simd::Isa isa, uint8_t* out,
+                            const std::array<uint8_t, 32>& key,
+                            const std::array<uint8_t, 12>& nonce,
+                            uint32_t counter, size_t nblocks);
+
+namespace internal {
+
+// Expands (key, nonce, counter) into the 16-word RFC 8439 initial state.
+// Shared by the scalar block function and every vector kernel.
+void BuildChaChaState(uint32_t state[16], const std::array<uint8_t, 32>& key,
+                      const std::array<uint8_t, 12>& nonce, uint32_t counter);
+
+// The scalar block core (20 rounds + feed-forward from a prebuilt state):
+// the single-definition round function behind ChaCha20BlockInto, the scalar
+// multi-block loop, and every vector kernel's remainder handling.
+void ChaCha20BlockFromState(uint8_t* out, const uint32_t state[16]);
+
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+// 8 blocks per call; defined in chacha20_simd_avx2.cc (-mavx2). `state` is
+// the block-`counter` initial state; lanes run counters state[12]..+7.
+void ChaCha20Blocks8Avx2(uint8_t* out, const uint32_t state[16]);
+#endif
+
+}  // namespace internal
+
+}  // namespace privapprox::crypto
+
+#endif  // PRIVAPPROX_CRYPTO_CHACHA20_SIMD_H_

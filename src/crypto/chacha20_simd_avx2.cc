@@ -1,0 +1,117 @@
+// 8-way AVX2 ChaCha20 kernel. This translation unit is the only one in the
+// tree compiled with -mavx2 (see src/CMakeLists.txt); it must contain
+// nothing that runs unless simd::IsaAvailable(kAvx2) — the dispatcher in
+// chacha20_simd.cc only takes this path after the CPUID check passes.
+
+#include "crypto/chacha20_simd.h"
+
+#if defined(PRIVAPPROX_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace privapprox::crypto::internal {
+namespace {
+
+// Byte-shuffle rotations (one port-5 op instead of two shifts + an or).
+inline __m256i Rotl16Avx2(__m256i x) {
+  const __m256i mask = _mm256_set_epi8(
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2,
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+inline __m256i Rotl8Avx2(__m256i x) {
+  const __m256i mask = _mm256_set_epi8(
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3,
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+template <int K>
+inline __m256i RotlAvx2(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, K), _mm256_srli_epi32(x, 32 - K));
+}
+
+#define PRIVAPPROX_QR_AVX2(a, b, c, d)              \
+  do {                                              \
+    (a) = _mm256_add_epi32((a), (b));               \
+    (d) = Rotl16Avx2(_mm256_xor_si256((d), (a)));   \
+    (c) = _mm256_add_epi32((c), (d));               \
+    (b) = RotlAvx2<12>(_mm256_xor_si256((b), (c))); \
+    (a) = _mm256_add_epi32((a), (b));               \
+    (d) = Rotl8Avx2(_mm256_xor_si256((d), (a)));    \
+    (c) = _mm256_add_epi32((c), (d));               \
+    (b) = RotlAvx2<7>(_mm256_xor_si256((b), (c)));  \
+  } while (0)
+
+// Transposes an 8x8 u32 matrix held as rows r[0..7]; row i becomes the old
+// column i (the words of block i).
+inline void Transpose8x8(__m256i r[8]) {
+  const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+}  // namespace
+
+// 8 blocks vertically: v[w] lane j holds word w of block (state[12] + j).
+void ChaCha20Blocks8Avx2(uint8_t* out, const uint32_t state[16]) {
+  __m256i init[16];
+  __m256i v[16];
+  for (int i = 0; i < 16; ++i) {
+    init[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
+  }
+  init[12] =
+      _mm256_add_epi32(init[12], _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  for (int i = 0; i < 16; ++i) {
+    v[i] = init[i];
+  }
+  for (int round = 0; round < 10; ++round) {
+    PRIVAPPROX_QR_AVX2(v[0], v[4], v[8], v[12]);
+    PRIVAPPROX_QR_AVX2(v[1], v[5], v[9], v[13]);
+    PRIVAPPROX_QR_AVX2(v[2], v[6], v[10], v[14]);
+    PRIVAPPROX_QR_AVX2(v[3], v[7], v[11], v[15]);
+    PRIVAPPROX_QR_AVX2(v[0], v[5], v[10], v[15]);
+    PRIVAPPROX_QR_AVX2(v[1], v[6], v[11], v[12]);
+    PRIVAPPROX_QR_AVX2(v[2], v[7], v[8], v[13]);
+    PRIVAPPROX_QR_AVX2(v[3], v[4], v[9], v[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    v[i] = _mm256_add_epi32(v[i], init[i]);
+  }
+  // Two 8x8 transposes turn the vertical layout back into 8 contiguous
+  // blocks: after them, v[b] = words 0..7 of block b and v[8 + b] = words
+  // 8..15 of block b.
+  Transpose8x8(v);
+  Transpose8x8(v + 8);
+  for (int b = 0; b < 8; ++b) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 64 * b), v[b]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 64 * b + 32),
+                        v[8 + b]);
+  }
+}
+
+}  // namespace privapprox::crypto::internal
+
+#endif  // PRIVAPPROX_HAVE_AVX2_TU

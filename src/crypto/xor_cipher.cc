@@ -63,7 +63,8 @@ std::vector<uint8_t> XorSplitter::Combine(
   }
   const uint64_t mid = shares[0].message_id;
   const size_t len = shares[0].payload.size();
-  std::vector<uint8_t> out(shares[0].payload);
+  std::vector<uint8_t> out(len);
+  bool first_pair = true;
   for (size_t i = 1; i < shares.size(); ++i) {
     if (shares[i].message_id != mid) {
       throw std::invalid_argument("XorSplitter::Combine: MID mismatch");
@@ -71,7 +72,14 @@ std::vector<uint8_t> XorSplitter::Combine(
     if (shares[i].payload.size() != len) {
       throw std::invalid_argument("XorSplitter::Combine: length mismatch");
     }
-    XorBytesInPlace(out.data(), shares[i].payload.data(), len);
+    if (first_pair) {
+      // Combine the first two shares straight into the output buffer.
+      XorBytesInto(out.data(), shares[0].payload.data(),
+                   shares[i].payload.data(), len);
+      first_pair = false;
+    } else {
+      XorBytesInPlace(out.data(), shares[i].payload.data(), len);
+    }
   }
   return out;
 }

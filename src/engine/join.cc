@@ -67,9 +67,17 @@ void MidJoiner::AddImpl(uint64_t message_id, std::span<const uint8_t> payload,
   ++group.filled;
   if (group.filled == expected_shares_) {
     // XOR-combine all source views (Eq 12: M = ME xor MK_2 xor ... xor MK_n).
+    // The first pair goes through the three-operand XorBytesInto, combining
+    // the two slab spans straight into the plaintext buffer instead of
+    // copying share 0 and XORing over it.
     const std::span<const uint8_t> first = group.slots[0].view;
-    std::vector<uint8_t> plaintext(first.begin(), first.end());
-    for (size_t i = 1; i < expected_shares_; ++i) {
+    const std::span<const uint8_t> second = group.slots[1].view;
+    if (second.size() != first.size()) {
+      throw std::invalid_argument("MidJoiner::Add: share length mismatch");
+    }
+    std::vector<uint8_t> plaintext(first.size());
+    XorBytesInto(plaintext.data(), first.data(), second.data(), first.size());
+    for (size_t i = 2; i < expected_shares_; ++i) {
       const std::span<const uint8_t> view = group.slots[i].view;
       if (view.size() != plaintext.size()) {
         throw std::invalid_argument("MidJoiner::Add: share length mismatch");

@@ -1,6 +1,7 @@
 #include "system/system.h"
 
 #include "common/channel.h"
+#include "common/simd_dispatch.h"
 #include "core/query_wire.h"
 
 #include <algorithm>
@@ -100,6 +101,16 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
   if (config_.num_proxies < 2) {
     throw std::invalid_argument("PrivApproxSystem: need >= 2 proxies");
   }
+
+  // The crypto hot path's SIMD tier, decided once per process
+  // (PRIVAPPROX_SIMD override; common/simd_dispatch.h) — surfaced so bench
+  // artifacts and scrapes record which kernels produced the numbers.
+  registry_
+      .GetGauge("privapprox_simd_isa",
+                "Active SIMD dispatch tier for the ChaCha20/XOR hot path "
+                "(1 = the labeled ISA is active)",
+                {{"isa", simd::IsaName(simd::ActiveIsa())}})
+      .Set(1);
 
   // Always-on core counters: EpochStats is a per-epoch delta of these.
   counters_.epochs = &registry_.GetCounter(

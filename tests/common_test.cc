@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -13,7 +16,9 @@
 #include "common/histogram.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
+#include "common/xor_bytes.h"
 
 namespace privapprox {
 namespace {
@@ -434,6 +439,123 @@ TEST(LoggingTest, FormatLogLineLayout) {
   // rendering garbage.
   EXPECT_EQ(FormatLogLine(LogLevel::kInfo, "x", -5),
             "[000000.000] [INFO] x\n");
+}
+
+// ------------------------------------------------------------ SIMD dispatch
+
+TEST(SimdDispatchTest, IsaNameParseRoundTrip) {
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
+                              simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    const auto parsed = simd::ParseIsaName(simd::IsaName(isa));
+    ASSERT_TRUE(parsed.has_value()) << simd::IsaName(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+  // "scalar" is accepted as an alias for the "off" tier.
+  ASSERT_TRUE(simd::ParseIsaName("scalar").has_value());
+  EXPECT_EQ(*simd::ParseIsaName("scalar"), simd::Isa::kScalar);
+  EXPECT_FALSE(simd::ParseIsaName("avx512").has_value());
+  EXPECT_FALSE(simd::ParseIsaName("").has_value());
+  EXPECT_FALSE(simd::ParseIsaName(nullptr).has_value());
+}
+
+TEST(SimdDispatchTest, ActiveIsaIsAvailableAndStable) {
+  const auto isas = simd::AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::kScalar);
+  for (const simd::Isa isa : isas) {
+    EXPECT_TRUE(simd::IsaAvailable(isa)) << simd::IsaName(isa);
+  }
+  const simd::Isa first = simd::ActiveIsa();
+  EXPECT_TRUE(std::find(isas.begin(), isas.end(), first) != isas.end());
+  // The decision is made once and cached.
+  EXPECT_EQ(simd::ActiveIsa(), first);
+}
+
+// ----------------------------------------------------------------- XorBytes
+
+std::vector<uint8_t> PatternBytes(size_t len, uint8_t salt) {
+  std::vector<uint8_t> out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(i * 131 + salt);
+  }
+  return out;
+}
+
+TEST(XorBytesTest, InPlaceMatchesReferenceAcrossLengthsAndAlignments) {
+  // Lengths straddle the 64-byte vector threshold, the 16/32-byte vector
+  // widths, and odd tails; the offset shifts both operands off natural
+  // alignment so the unaligned load/store paths are the ones exercised.
+  const std::vector<size_t> lengths = {0,  1,  7,   8,   9,   15,  16,  17,
+                                       31, 32, 33,  63,  64,  65,  96,  127,
+                                       128, 129, 255, 256, 1000, 4097};
+  for (const size_t len : lengths) {
+    for (const size_t offset : {0u, 1u, 3u}) {
+      std::vector<uint8_t> dst_buf = PatternBytes(len + offset, 5);
+      std::vector<uint8_t> src_buf = PatternBytes(len + offset, 91);
+      std::vector<uint8_t> expected(len);
+      for (size_t i = 0; i < len; ++i) {
+        expected[i] =
+            static_cast<uint8_t>(dst_buf[offset + i] ^ src_buf[offset + i]);
+      }
+      std::vector<uint8_t> dispatched = dst_buf;
+      XorBytesInPlace(dispatched.data() + offset, src_buf.data() + offset,
+                      len);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             dispatched.begin() + offset))
+          << "dispatched len=" << len << " offset=" << offset;
+      for (const simd::Isa isa : simd::AvailableIsas()) {
+        std::vector<uint8_t> forced = dst_buf;
+        XorBytesInPlaceWith(isa, forced.data() + offset,
+                            src_buf.data() + offset, len);
+        EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                               forced.begin() + offset))
+            << simd::IsaName(isa) << " len=" << len << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(XorBytesTest, IntoMatchesReferenceAndSupportsAliasedDst) {
+  const std::vector<size_t> lengths = {0, 1, 15, 16, 31, 32, 33,
+                                       63, 64, 65, 200, 1024};
+  for (const size_t len : lengths) {
+    const std::vector<uint8_t> a = PatternBytes(len, 17);
+    const std::vector<uint8_t> b = PatternBytes(len, 201);
+    std::vector<uint8_t> expected(len);
+    for (size_t i = 0; i < len; ++i) {
+      expected[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+    }
+    std::vector<uint8_t> out(len, 0xCC);
+    XorBytesInto(out.data(), a.data(), b.data(), len);
+    EXPECT_EQ(out, expected) << "dispatched len=" << len;
+    // dst == a aliasing is part of the contract (MidJoiner reuses buffers).
+    std::vector<uint8_t> aliased = a;
+    XorBytesInto(aliased.data(), aliased.data(), b.data(), len);
+    EXPECT_EQ(aliased, expected) << "aliased len=" << len;
+    for (const simd::Isa isa : simd::AvailableIsas()) {
+      std::vector<uint8_t> forced(len, 0xCC);
+      XorBytesIntoWith(isa, forced.data(), a.data(), b.data(), len);
+      EXPECT_EQ(forced, expected) << simd::IsaName(isa) << " len=" << len;
+    }
+  }
+}
+
+TEST(XorBytesTest, ForcingUnavailableIsaThrows) {
+  const auto isas = simd::AvailableIsas();
+  for (const simd::Isa isa : {simd::Isa::kSse2, simd::Isa::kAvx2,
+                              simd::Isa::kNeon}) {
+    if (std::find(isas.begin(), isas.end(), isa) != isas.end()) {
+      continue;
+    }
+    uint8_t buf[8] = {0};
+    uint8_t src[8] = {0};
+    EXPECT_THROW(XorBytesInPlaceWith(isa, buf, src, sizeof(buf)),
+                 std::invalid_argument)
+        << simd::IsaName(isa);
+    EXPECT_THROW(XorBytesIntoWith(isa, buf, buf, src, sizeof(buf)),
+                 std::invalid_argument)
+        << simd::IsaName(isa);
+  }
 }
 
 TEST(LoggingTest, ConcurrentWritersDoNotCrash) {

@@ -6,11 +6,14 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "common/arena.h"
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "crypto/chacha20.h"
+#include "crypto/chacha20_simd.h"
 #include "crypto/goldwasser_micali.h"
 #include "crypto/message.h"
 #include "crypto/paillier.h"
@@ -80,8 +83,7 @@ TEST(ChaCha20Test, Rfc8439Section242EncryptionVector) {
       "only one tip for the future, sunscreen would be it.";
   ASSERT_EQ(plaintext.size(), 114u);
   std::array<uint8_t, 128> keystream;
-  ChaCha20BlockInto(keystream.data(), key, nonce, 1);
-  ChaCha20BlockInto(keystream.data() + 64, key, nonce, 2);
+  ChaCha20BlocksInto(keystream.data(), key, nonce, 1, 2);
   std::vector<uint8_t> ciphertext(plaintext.size());
   for (size_t i = 0; i < plaintext.size(); ++i) {
     ciphertext[i] = static_cast<uint8_t>(plaintext[i]) ^ keystream[i];
@@ -101,18 +103,97 @@ TEST(ChaCha20Test, Rfc8439Section242EncryptionVector) {
   EXPECT_EQ(ciphertext, expected);
 }
 
-TEST(ChaCha20Test, BlockIntoMatchesBlock) {
+// ----------------------------------------------------- ChaCha20 SIMD engine
+
+TEST(ChaCha20SimdTest, ScalarIsaIsAlwaysAvailable) {
+  const auto isas = simd::AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::kScalar);
+  // The dispatched default must be one of the available ISAs.
+  EXPECT_TRUE(std::find(isas.begin(), isas.end(), simd::ActiveIsa()) !=
+              isas.end());
+}
+
+TEST(ChaCha20SimdTest, EveryAvailableKernelMatchesRfc8439Vectors) {
+  // §2.3.2 block vector and the A.1 #1/#2 blocks, generated through every
+  // compiled-in kernel (forced, bypassing the PRIVAPPROX_SIMD default). The
+  // nblocks=9 run makes the wide kernels take their vector path (8-way AVX2
+  // + scalar remainder; 2x 4-way SSE2/NEON + remainder).
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  const std::array<uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                         0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::array<uint8_t, 12> zero_nonce{};
+  const std::array<uint8_t, 32> zero_key{};
+  for (const simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    std::vector<uint8_t> keystream(9 * 64);
+    // §2.3.2: key 00 01 .. 1f, counter 1 — first block of the run.
+    ChaCha20BlocksIntoWith(isa, keystream.data(), key, nonce, 1, 9);
+    const auto expected_first = ChaCha20Block(key, nonce, 1);
+    EXPECT_TRUE(std::equal(expected_first.begin(), expected_first.end(),
+                           keystream.begin()));
+    EXPECT_EQ(keystream[0], 0x10);
+    EXPECT_EQ(keystream[1], 0xf1);
+    EXPECT_EQ(keystream[2], 0xe7);
+    EXPECT_EQ(keystream[3], 0xe4);
+    // A.1 #1 and #2: zero key/nonce, counters 0 and 1, one multi-block run.
+    ChaCha20BlocksIntoWith(isa, keystream.data(), zero_key, zero_nonce, 0, 9);
+    EXPECT_EQ(keystream[0], 0x76);
+    EXPECT_EQ(keystream[1], 0xb8);
+    EXPECT_EQ(keystream[2], 0xe0);
+    EXPECT_EQ(keystream[3], 0xad);
+    EXPECT_EQ(keystream[64 + 0], 0x9f);
+    EXPECT_EQ(keystream[64 + 1], 0x07);
+    EXPECT_EQ(keystream[64 + 2], 0xe7);
+    EXPECT_EQ(keystream[64 + 3], 0xbe);
+  }
+}
+
+TEST(ChaCha20SimdTest, MultiBlockMatchesRepeatedSingleBlock) {
   std::array<uint8_t, 32> key;
   for (int i = 0; i < 32; ++i) {
     key[i] = static_cast<uint8_t>(0xA0 + i);
   }
   const std::array<uint8_t, 12> nonce = {1, 2, 3, 4,  5,  6,
                                          7, 8, 9, 10, 11, 12};
-  for (uint32_t counter : {0u, 1u, 77u, 0xFFFFFFFFu}) {
-    const auto block = ChaCha20Block(key, nonce, counter);
-    std::array<uint8_t, 64> direct;
-    ChaCha20BlockInto(direct.data(), key, nonce, counter);
-    EXPECT_EQ(block, direct) << "counter " << counter;
+  // Counter bases include the uint32 wraparound edge: lane counters must
+  // wrap exactly like the scalar `counter++`.
+  for (const uint32_t base : {0u, 1u, 1000u, 0xFFFFFFFAu}) {
+    for (size_t nblocks = 1; nblocks <= 9; ++nblocks) {
+      std::vector<uint8_t> expected(nblocks * 64);
+      for (size_t b = 0; b < nblocks; ++b) {
+        const auto block = ChaCha20Block(
+            key, nonce, base + static_cast<uint32_t>(b));  // wraps mod 2^32
+        std::copy(block.begin(), block.end(), expected.begin() + 64 * b);
+      }
+      for (const simd::Isa isa : simd::AvailableIsas()) {
+        std::vector<uint8_t> actual(nblocks * 64, 0);
+        ChaCha20BlocksIntoWith(isa, actual.data(), key, nonce, base, nblocks);
+        EXPECT_EQ(actual, expected)
+            << simd::IsaName(isa) << " nblocks=" << nblocks
+            << " base=" << base;
+      }
+      std::vector<uint8_t> dispatched(nblocks * 64, 0);
+      ChaCha20BlocksInto(dispatched.data(), key, nonce, base, nblocks);
+      EXPECT_EQ(dispatched, expected) << "dispatched nblocks=" << nblocks;
+    }
+  }
+}
+
+TEST(ChaCha20SimdTest, ForcingUnavailableIsaThrows) {
+  const auto isas = simd::AvailableIsas();
+  for (const simd::Isa isa : {simd::Isa::kSse2, simd::Isa::kAvx2,
+                              simd::Isa::kNeon}) {
+    if (std::find(isas.begin(), isas.end(), isa) != isas.end()) {
+      continue;
+    }
+    std::array<uint8_t, 64> out;
+    EXPECT_THROW(ChaCha20BlocksIntoWith(isa, out.data(), {}, {}, 0, 1),
+                 std::invalid_argument)
+        << simd::IsaName(isa);
   }
 }
 
@@ -174,6 +255,59 @@ TEST(ChaCha20RngTest, FillBytesMultiBlockMatchesByteAtATime) {
     at += span;
   }
   EXPECT_EQ(actual, expected);
+}
+
+TEST(ChaCha20RngTest, FillBytesWideSpansMatchByteAtATime) {
+  // Spans long enough to push the dispatched multi-block engine through its
+  // widest kernel (>= 8 blocks for AVX2) plus remainder blocks and staged
+  // tails, with odd offsets in between so whole-block runs start at every
+  // staging state. The one-byte drain only ever uses the scalar Refill path,
+  // so agreement here is the scalar-vs-SIMD keystream identity pin.
+  const std::vector<size_t> spans = {513, 3,  640, 64 * 8, 1,  64 * 9 + 7,
+                                     62,  65, 7,   1024,   129};
+  size_t total = 0;
+  for (size_t span : spans) {
+    total += span;
+  }
+  ChaCha20Rng reference = ChaCha20Rng::FromSeed(33, 4);
+  std::vector<uint8_t> expected(total);
+  for (size_t i = 0; i < total; ++i) {
+    reference.FillBytes(&expected[i], 1);
+  }
+  ChaCha20Rng rng = ChaCha20Rng::FromSeed(33, 4);
+  std::vector<uint8_t> actual(total);
+  size_t at = 0;
+  for (size_t span : spans) {
+    rng.FillBytes(actual.data() + at, span);
+    at += span;
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ChaCha20RngTest, NextUint64MatchesFillBytesAssembly) {
+  // NextUint64's fast path reads 8 bytes straight out of the staged block;
+  // it must consume exactly the same stream positions as a FillBytes(8) call
+  // assembled little-endian — including when odd-length draws leave fewer
+  // than 8 staged bytes and the fallback path kicks in.
+  ChaCha20Rng a = ChaCha20Rng::FromSeed(77, 9);
+  ChaCha20Rng b = ChaCha20Rng::FromSeed(77, 9);
+  const std::vector<size_t> interleave = {0, 3, 13, 61, 1, 7, 0, 200};
+  for (size_t skip : interleave) {
+    if (skip > 0) {
+      std::vector<uint8_t> scratch(skip);
+      a.FillBytes(scratch.data(), skip);
+      b.FillBytes(scratch.data(), skip);
+    }
+    for (int i = 0; i < 10; ++i) {
+      uint8_t bytes[8];
+      b.FillBytes(bytes, 8);
+      uint64_t expected = 0;
+      for (int j = 7; j >= 0; --j) {
+        expected = (expected << 8) | bytes[j];
+      }
+      EXPECT_EQ(a.NextUint64(), expected) << "skip=" << skip << " i=" << i;
+    }
+  }
 }
 
 TEST(ChaCha20RngTest, OutputLooksUniform) {
