@@ -28,17 +28,26 @@
 // row carries a "queries" tag. The row is also tagged "simd" with the
 // active crypto dispatch tier (common/simd_dispatch.h), so trajectory diffs
 // attribute throughput movement to the PRIVAPPROX_SIMD setting in force.
+// --transport=inproc|tcp (default inproc) picks the MessageBus backend:
+// tcp runs the same fleet through real loopback sockets — two proxy
+// daemons plus an aggregator daemon driven by a FleetDriver — and reports
+// the loopback shares/sec figure as a single row; the JSON row carries a
+// "transport" tag either way so trajectory diffs never mix the two.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/alloc_counter.h"
 #include "common/simd_dispatch.h"
+#include "deploy/aggregator_daemon.h"
+#include "deploy/fleet_driver.h"
+#include "deploy/proxy_daemon.h"
 #include "system/system.h"
 
 using namespace privapprox;
@@ -52,10 +61,12 @@ struct BenchConfig {
   bool metrics = false;   // full observability layer on (--metrics=1)
   size_t agg_shards = 0;  // aggregator join shards; 0 = worker thread count
   size_t queries = 1;     // concurrent queries sharing the fleet
+  std::string transport = "inproc";  // "inproc" | "tcp" (loopback daemons)
 };
 
 struct Row {
   system::EpochPipelineMode mode = system::EpochPipelineMode::kBarrier;
+  std::string label;  // mode name, or "tcp" for the socket row
   size_t threads = 0;
   double seconds = 0.0;
   double clients_per_sec = 0.0;
@@ -113,6 +124,7 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
 
   Row row;
   row.mode = mode;
+  row.label = ModeName(mode);
   row.threads = sys.num_worker_threads();
   row.agg_shards =
       bench.agg_shards != 0 ? bench.agg_shards : sys.num_worker_threads();
@@ -121,6 +133,79 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   for (size_t e = 0; e < bench.epochs; ++e) {
     const system::EpochStats stats =
         sys.RunEpoch(2000 + static_cast<int64_t>(e) * 1000);
+    row.participants += stats.participants;
+    row.shares_consumed += stats.shares_consumed;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  row.heap_allocs = AllocCounter::Count() - allocs_before;
+  row.allocs_per_share =
+      row.shares_consumed == 0
+          ? 0.0
+          : static_cast<double>(row.heap_allocs) /
+                static_cast<double>(row.shares_consumed);
+  const double total_clients =
+      static_cast<double>(bench.clients) * static_cast<double>(bench.epochs);
+  row.clients_per_sec = total_clients / row.seconds;
+  row.shares_per_sec =
+      static_cast<double>(row.shares_consumed) / row.seconds;
+  return row;
+}
+
+// The same fleet/query configuration pushed through real loopback TCP: two
+// proxy daemons and one aggregator daemon on ephemeral ports, driven by a
+// FleetDriver. Single-threaded by construction (the daemons' epoll loops do
+// the socket work; epoch sequencing is the driver thread), so the row is
+// the loopback shares/sec figure, not a scaling curve.
+Row RunOneTcp(const BenchConfig& bench) {
+  std::vector<std::unique_ptr<deploy::ProxyDaemon>> proxyds;
+  std::vector<deploy::Endpoint> proxy_endpoints;
+  for (size_t j = 0; j < 2; ++j) {
+    deploy::ProxyDaemonConfig config;
+    config.proxy_index = j;
+    proxyds.push_back(std::make_unique<deploy::ProxyDaemon>(config));
+    proxyds.back()->Start();
+    proxy_endpoints.push_back(
+        deploy::Endpoint{"127.0.0.1", proxyds.back()->port()});
+  }
+  deploy::AggregatorDaemonConfig agg_config;
+  agg_config.proxies = proxy_endpoints;
+  agg_config.population = bench.clients;
+  agg_config.num_shards = bench.agg_shards == 0 ? 1 : bench.agg_shards;
+  deploy::AggregatorDaemon aggregatord(agg_config);
+  aggregatord.Start();
+
+  deploy::FleetDriverConfig fleet_config;
+  fleet_config.num_clients = bench.clients;
+  fleet_config.seed = 42;
+  fleet_config.proxies = proxy_endpoints;
+  fleet_config.aggregator = deploy::Endpoint{"127.0.0.1", aggregatord.port()};
+  deploy::FleetDriver fleet(fleet_config);
+  for (size_t i = 0; i < bench.clients; ++i) {
+    auto& db = fleet.client(i).database();
+    auto& table = db.CreateTable("vehicle", {"speed"});
+    table.Insert(500,
+                 {localdb::Value(static_cast<double>((i * 13) % 100))});
+  }
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.6;
+  params.randomization = {0.9, 0.6};
+  for (size_t q = 1; q <= bench.queries; ++q) {
+    fleet.SubmitQuery(SpeedQuery(q), params);
+  }
+
+  // Warm-up epoch: faults in lazily-built lanes and socket buffers.
+  fleet.RunEpoch(1000);
+
+  Row row;
+  row.label = "tcp";
+  row.threads = 1;
+  row.agg_shards = agg_config.num_shards;
+  const uint64_t allocs_before = AllocCounter::Count();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t e = 0; e < bench.epochs; ++e) {
+    const deploy::FleetEpochStats stats =
+        fleet.RunEpoch(2000 + static_cast<int64_t>(e) * 1000);
     row.participants += stats.participants;
     row.shares_consumed += stats.shares_consumed;
   }
@@ -157,16 +242,23 @@ int main(int argc, char** argv) {
       bench.agg_shards = static_cast<size_t>(std::atoll(argv[i] + 13));
     } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
       bench.queries = static_cast<size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      bench.transport = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--clients=N] [--epochs=N] [--json-out=PATH] "
-                   "[--metrics=0|1] [--agg-shards=N] [--queries=N]\n",
+                   "[--metrics=0|1] [--agg-shards=N] [--queries=N] "
+                   "[--transport=inproc|tcp]\n",
                    argv[0]);
       return 1;
     }
   }
   if (bench.queries == 0) {
     std::fprintf(stderr, "--queries must be >= 1\n");
+    return 1;
+  }
+  if (bench.transport != "inproc" && bench.transport != "tcp") {
+    std::fprintf(stderr, "--transport must be 'inproc' or 'tcp'\n");
     return 1;
   }
 
@@ -176,44 +268,62 @@ int main(int argc, char** argv) {
     thread_counts.push_back(hw);
   }
 
-  std::printf(
-      "Epoch pipeline throughput (Table 3 config: %zu clients, s=0.6,\n"
-      "p=0.9 q=0.6, 11 buckets, 2 proxies, %zu concurrent queries;\n"
-      "%zu epochs per row).\n"
-      "Host hardware_concurrency = %zu; thread counts beyond it time-slice\n"
-      "one core and cannot speed up. 'speedup' is vs barrier@1; 'vs barrier'\n"
-      "is streaming throughput over barrier at the same thread count.\n\n",
-      bench.clients, bench.queries, bench.epochs, hw);
-  std::printf("%10s %8s %10s %14s %14s %9s %11s %12s\n", "mode", "threads",
-              "seconds", "clients/sec", "shares/sec", "speedup", "vs barrier",
-              "allocs/share");
-
   std::vector<Row> rows;
-  rows.reserve(2 * thread_counts.size());
   double barrier_base_seconds = 0.0;
-  for (size_t threads : thread_counts) {
-    double barrier_seconds = 0.0;
-    for (const auto mode : {system::EpochPipelineMode::kBarrier,
-                            system::EpochPipelineMode::kStreaming}) {
-      rows.push_back(RunOne(mode, threads, bench));
-      const Row& row = rows.back();
-      if (mode == system::EpochPipelineMode::kBarrier) {
-        barrier_seconds = row.seconds;
-        if (barrier_base_seconds == 0.0) {
-          barrier_base_seconds = row.seconds;
+  if (bench.transport == "tcp") {
+    std::printf(
+        "Epoch pipeline throughput over loopback TCP (Table 3 config:\n"
+        "%zu clients, s=0.6, p=0.9 q=0.6, 11 buckets, 2 proxy daemons +\n"
+        "1 aggregator daemon on ephemeral ports, %zu concurrent queries;\n"
+        "%zu timed epochs). Every share crosses a real socket.\n\n",
+        bench.clients, bench.queries, bench.epochs);
+    std::printf("%10s %8s %10s %14s %14s %12s\n", "transport", "threads",
+                "seconds", "clients/sec", "shares/sec", "allocs/share");
+    rows.push_back(RunOneTcp(bench));
+    const Row& row = rows.back();
+    std::printf("%10s %8zu %10.3f %14.0f %14.0f %12.2f\n", row.label.c_str(),
+                row.threads, row.seconds, row.clients_per_sec,
+                row.shares_per_sec, row.allocs_per_share);
+  } else {
+    std::printf(
+        "Epoch pipeline throughput (Table 3 config: %zu clients, s=0.6,\n"
+        "p=0.9 q=0.6, 11 buckets, 2 proxies, %zu concurrent queries;\n"
+        "%zu epochs per row).\n"
+        "Host hardware_concurrency = %zu; thread counts beyond it time-slice\n"
+        "one core and cannot speed up. 'speedup' is vs barrier@1; 'vs "
+        "barrier'\n"
+        "is streaming throughput over barrier at the same thread count.\n\n",
+        bench.clients, bench.queries, bench.epochs, hw);
+    std::printf("%10s %8s %10s %14s %14s %9s %11s %12s\n", "mode", "threads",
+                "seconds", "clients/sec", "shares/sec", "speedup",
+                "vs barrier", "allocs/share");
+
+    rows.reserve(2 * thread_counts.size());
+    for (size_t threads : thread_counts) {
+      double barrier_seconds = 0.0;
+      for (const auto mode : {system::EpochPipelineMode::kBarrier,
+                              system::EpochPipelineMode::kStreaming}) {
+        rows.push_back(RunOne(mode, threads, bench));
+        const Row& row = rows.back();
+        if (mode == system::EpochPipelineMode::kBarrier) {
+          barrier_seconds = row.seconds;
+          if (barrier_base_seconds == 0.0) {
+            barrier_base_seconds = row.seconds;
+          }
         }
-      }
-      const double speedup = barrier_base_seconds / row.seconds;
-      if (mode == system::EpochPipelineMode::kBarrier) {
-        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %11s %12.2f\n",
-                    ModeName(row.mode), row.threads, row.seconds,
-                    row.clients_per_sec, row.shares_per_sec, speedup, "-",
-                    row.allocs_per_share);
-      } else {
-        std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %10.2fx %12.2f\n",
-                    ModeName(row.mode), row.threads, row.seconds,
-                    row.clients_per_sec, row.shares_per_sec, speedup,
-                    barrier_seconds / row.seconds, row.allocs_per_share);
+        const double speedup = barrier_base_seconds / row.seconds;
+        if (mode == system::EpochPipelineMode::kBarrier) {
+          std::printf("%10s %8zu %10.3f %14.0f %14.0f %8.2fx %11s %12.2f\n",
+                      row.label.c_str(), row.threads, row.seconds,
+                      row.clients_per_sec, row.shares_per_sec, speedup, "-",
+                      row.allocs_per_share);
+        } else {
+          std::printf(
+              "%10s %8zu %10.3f %14.0f %14.0f %8.2fx %10.2fx %12.2f\n",
+              row.label.c_str(), row.threads, row.seconds,
+              row.clients_per_sec, row.shares_per_sec, speedup,
+              barrier_seconds / row.seconds, row.allocs_per_share);
+        }
       }
     }
   }
@@ -223,12 +333,13 @@ int main(int argc, char** argv) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
-                "\"queries\":%zu,"
+                "\"queries\":%zu,\"transport\":\"%s\","
                 "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"metrics\":%d,"
                 "\"simd\":\"%s\","
                 "\"rows\":[",
-                bench.clients, bench.epochs, bench.queries, hw,
-                bench.metrics ? 1 : 0, simd::IsaName(simd::ActiveIsa()));
+                bench.clients, bench.epochs, bench.queries,
+                bench.transport.c_str(), hw, bench.metrics ? 1 : 0,
+                simd::IsaName(simd::ActiveIsa()));
   json += buf;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
@@ -237,7 +348,7 @@ int main(int argc, char** argv) {
                   "\"seconds\":%.4f,"
                   "\"clients_per_sec\":%.0f,\"shares_per_sec\":%.0f,"
                   "\"allocs_per_share\":%.3f}",
-                  i == 0 ? "" : ",", ModeName(row.mode), row.threads,
+                  i == 0 ? "" : ",", row.label.c_str(), row.threads,
                   row.agg_shards, row.seconds, row.clients_per_sec,
                   row.shares_per_sec, row.allocs_per_share);
     json += buf;

@@ -55,9 +55,9 @@ uint64_t MixMid(uint64_t x) {
 
 }  // namespace
 
-Aggregator::Aggregator(AggregatorConfig config, broker::Broker& broker,
-                       ResultFn on_result)
-    : config_(config), broker_(broker), on_result_(std::move(on_result)) {
+namespace {
+
+void ValidateAggregatorConfig(const AggregatorConfig& config) {
   if (config.num_proxies < 2) {
     throw std::invalid_argument("Aggregator: need at least two proxies");
   }
@@ -67,6 +67,23 @@ Aggregator::Aggregator(AggregatorConfig config, broker::Broker& broker,
   if (config.num_shards == 0) {
     throw std::invalid_argument("Aggregator: num_shards must be > 0");
   }
+}
+
+}  // namespace
+
+Aggregator::Aggregator(AggregatorConfig config, transport::MessageBus& bus,
+                       ResultFn on_result)
+    : config_(config), bus_(&bus), on_result_(std::move(on_result)) {
+  ValidateAggregatorConfig(config_);
+}
+
+Aggregator::Aggregator(AggregatorConfig config, broker::Broker& broker,
+                       ResultFn on_result)
+    : config_(config),
+      owned_bus_(std::make_unique<transport::InProcessBus>(broker)),
+      bus_(owned_bus_.get()),
+      on_result_(std::move(on_result)) {
+  ValidateAggregatorConfig(config_);
 }
 
 Aggregator::Aggregator(AggregatorConfig config, const core::Query& query,
@@ -101,7 +118,7 @@ void Aggregator::RegisterQuery(const core::Query& query,
   Lane* lane = lane_ptr.get();
   for (const std::string& topic : options.source_topics) {
     lane->consumers.push_back(
-        std::make_unique<broker::Consumer>(broker_.GetTopic(topic)));
+        std::make_unique<transport::BusConsumer>(*bus_, topic));
   }
   lane->shard_shares_total = options.shard_shares_total.empty()
                                  ? config_.shard_shares_total
@@ -204,12 +221,12 @@ uint64_t Aggregator::DrainLane(Lane& lane) {
   drain_views_.resize(num_sources);
   drain_decoded_.resize(num_sources);
   const auto drain_source = [&](size_t source) {
-    broker::Consumer& consumer = *lane.consumers[source];
+    transport::BusConsumer& consumer = *lane.consumers[source];
     drain_decoded_[source].Clear();
     std::vector<broker::RecordView>& views = drain_views_[source];
     for (;;) {
       views.clear();
-      if (consumer.PollViews(4096, views) == 0) {
+      if (consumer.PollInto(4096, views) == 0) {
         break;
       }
       proxy::Proxy::DecodeShares(views, drain_decoded_[source]);
@@ -379,8 +396,8 @@ uint64_t Aggregator::ConsumeShardBatch(
   {
     ScopedTimer timer(config_.decode_ns);
     shard_views_.clear();
-    consumed = lane.consumers[source]->PollPartitionsViews(partition_counts,
-                                                           shard_views_);
+    consumed = lane.consumers[source]->PollExactInto(partition_counts,
+                                                     shard_views_);
     StreamSlot& slot = lane.stream_pending[shard_seq];
     if (slot.per_source.empty()) {
       slot.per_source.resize(lane.consumers.size());

@@ -46,6 +46,8 @@
 #include "engine/window.h"
 #include "metrics/metrics.h"
 #include "proxy/proxy.h"
+#include "transport/inproc_bus.h"
+#include "transport/message_bus.h"
 
 namespace privapprox::aggregator {
 
@@ -120,7 +122,13 @@ class Aggregator {
   // analytics): (timestamp, answer bit-vector).
   using AnswerTapFn = std::function<void(int64_t, const BitVector&)>;
 
-  // Coordinator with no lanes yet; add queries with RegisterQuery.
+  // Coordinator with no lanes yet; add queries with RegisterQuery. The bus
+  // must outlive the aggregator; in a daemon it is a TopicRouterBus over
+  // the TcpBusClients dialed at each proxy daemon.
+  Aggregator(AggregatorConfig config, transport::MessageBus& bus,
+             ResultFn on_result);
+  // In-process convenience: wraps `broker` in an internally owned
+  // InProcessBus.
   Aggregator(AggregatorConfig config, broker::Broker& broker,
              ResultFn on_result);
 
@@ -256,7 +264,7 @@ class Aggregator {
     core::Query query;
     core::ExecutionParams params;
     core::ErrorEstimator estimator;
-    std::vector<std::unique_ptr<broker::Consumer>> consumers;
+    std::vector<std::unique_ptr<transport::BusConsumer>> consumers;
     // unique_ptr for stable addresses: each shard's joiner emit callback
     // captures its Shard*.
     std::vector<std::unique_ptr<Shard>> shards;
@@ -315,7 +323,10 @@ class Aggregator {
                              const engine::Window& window) const;
 
   AggregatorConfig config_;
-  broker::Broker& broker_;
+  // Set only by the Broker& convenience constructors; declared before bus_
+  // so the pointer below can bind to it.
+  std::unique_ptr<transport::InProcessBus> owned_bus_;
+  transport::MessageBus* bus_ = nullptr;  // never null after construction
   ResultFn on_result_;
   AnswerTapFn answer_tap_;
   std::map<uint64_t, std::unique_ptr<Lane>> lanes_;  // QID -> lane, ascending

@@ -58,16 +58,6 @@ void Broker::Produce(const std::string& topic, uint64_t key,
   GetTopic(topic).Append(key, std::move(payload), timestamp_ms);
 }
 
-void Broker::ProduceBatch(const std::string& topic,
-                          std::vector<ProduceRecord> records) {
-  GetTopic(topic).AppendBatch(std::move(records));
-}
-
-void Broker::ProduceViews(const std::string& topic,
-                          std::span<const ProduceView> records) {
-  GetTopic(topic).AppendViews(records);
-}
-
 std::vector<std::string> Broker::TopicNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -93,73 +83,6 @@ std::vector<Record> Consumer::Poll(size_t max_records) {
     consumed_ += pulled;
   }
   return out;
-}
-
-size_t Consumer::PollViews(size_t max_records, std::vector<RecordView>& out) {
-  const size_t start = out.size();
-  for (size_t p = 0; p < offsets_.size() && out.size() - start < max_records;
-       ++p) {
-    const size_t before = out.size();
-    topic_.ReadViews(p, offsets_[p], max_records - (out.size() - start), out);
-    const size_t pulled = out.size() - before;
-    offsets_[p] += pulled;
-    consumed_ += pulled;
-  }
-  return out.size() - start;
-}
-
-std::vector<Record> Consumer::PollPartitions(
-    const std::vector<uint32_t>& counts) {
-  if (counts.size() != offsets_.size()) {
-    throw std::invalid_argument(
-        "Consumer::PollPartitions: partition count mismatch");
-  }
-  size_t total = 0;
-  for (uint32_t count : counts) {
-    total += count;
-  }
-  std::vector<Record> out;
-  out.reserve(total);
-  for (size_t p = 0; p < offsets_.size(); ++p) {
-    if (counts[p] == 0) {
-      continue;
-    }
-    std::vector<Record> batch = topic_.Read(p, offsets_[p], counts[p]);
-    if (batch.size() != counts[p]) {
-      throw std::logic_error(
-          "Consumer::PollPartitions: promised records not available");
-    }
-    offsets_[p] += batch.size();
-    consumed_ += batch.size();
-    for (auto& record : batch) {
-      out.push_back(std::move(record));
-    }
-  }
-  return out;
-}
-
-size_t Consumer::PollPartitionsViews(const std::vector<uint32_t>& counts,
-                                     std::vector<RecordView>& out) {
-  if (counts.size() != offsets_.size()) {
-    throw std::invalid_argument(
-        "Consumer::PollPartitions: partition count mismatch");
-  }
-  const size_t start = out.size();
-  for (size_t p = 0; p < offsets_.size(); ++p) {
-    if (counts[p] == 0) {
-      continue;
-    }
-    const size_t before = out.size();
-    topic_.ReadViews(p, offsets_[p], counts[p], out);
-    const size_t pulled = out.size() - before;
-    if (pulled != counts[p]) {
-      throw std::logic_error(
-          "Consumer::PollPartitions: promised records not available");
-    }
-    offsets_[p] += pulled;
-    consumed_ += pulled;
-  }
-  return out.size() - start;
 }
 
 bool Consumer::CaughtUp() const {

@@ -1,7 +1,10 @@
-// The broker: topic management plus producer/consumer facades. Consumers
-// track per-partition offsets, so independent consumer groups (e.g. the
-// aggregator's join stage and the historical-analytics sink) can read the
-// same streams at their own pace.
+// The broker: topic management. Producing and consuming go through the
+// span-first transport::MessageBus contract (transport/message_bus.h) —
+// InProcessBus wraps a Broker directly; TcpBusClient reaches one in another
+// process. The produce/poll method families that used to live here
+// (owning, batched, and view-based triplets) collapsed into that single
+// contract; what remains below are the topic registry and two thin owning
+// adapters kept for one release.
 
 #ifndef PRIVAPPROX_BROKER_BROKER_H_
 #define PRIVAPPROX_BROKER_BROKER_H_
@@ -9,7 +12,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -33,18 +35,10 @@ class Broker {
   Topic& GetTopic(const std::string& name);
   const Topic& GetTopic(const std::string& name) const;
 
-  // Produce one record to a topic.
+  // DEPRECATED one-release adapter: produce one owning record. New code
+  // produces through transport::MessageBus::Produce (span-first, batched).
   void Produce(const std::string& topic, uint64_t key,
                std::vector<uint8_t> payload, int64_t timestamp_ms);
-
-  // Produce a batch in one call: one topic lookup and one lock acquisition
-  // per touched partition (see Topic::AppendBatch).
-  void ProduceBatch(const std::string& topic,
-                    std::vector<ProduceRecord> records);
-  // Zero-copy batch produce (see Topic::AppendViews). Spans only need to
-  // stay valid for the duration of the call.
-  void ProduceViews(const std::string& topic,
-                    std::span<const ProduceView> records);
 
   std::vector<std::string> TopicNames() const;
 
@@ -53,33 +47,18 @@ class Broker {
   std::map<std::string, std::unique_ptr<Topic>> topics_;
 };
 
-// A polling consumer over one topic, reading all partitions round-robin and
-// remembering its offsets.
+// DEPRECATED one-release adapter: an owning polling consumer over one
+// topic, reading all partitions round-robin and remembering its offsets.
+// New code consumes through transport::BusConsumer, whose view-based
+// PollInto/PollExactInto replace the copy- and view-poll families that
+// previously lived here.
 class Consumer {
  public:
   explicit Consumer(Topic& topic);
 
-  // Pulls up to `max_records` available records across partitions.
+  // Pulls up to `max_records` available records across partitions, copying
+  // payloads.
   std::vector<Record> Poll(size_t max_records);
-  // Zero-copy poll: appends slab-backed views into `out` (capacity is
-  // reused across calls) and returns the number of records pulled. Views
-  // stay valid for the topic's lifetime.
-  size_t PollViews(size_t max_records, std::vector<RecordView>& out);
-
-  // Pulls exactly `counts[p]` records from each partition p, in partition
-  // order. The streaming epoch pipeline uses this to consume precisely one
-  // forwarded shard batch: the producer reports how many records it
-  // appended per partition, so the read is deterministic even while later
-  // batches are being appended concurrently. Throws std::invalid_argument
-  // on a partition-count mismatch and std::logic_error if a partition does
-  // not (yet) hold the promised records — callers must only request counts
-  // that were appended before the call.
-  std::vector<Record> PollPartitions(const std::vector<uint32_t>& counts);
-  // Zero-copy variant of PollPartitions: same promised-count semantics and
-  // exceptions, appending views into `out` instead of copying payloads.
-  // Returns the number of records pulled.
-  size_t PollPartitionsViews(const std::vector<uint32_t>& counts,
-                             std::vector<RecordView>& out);
 
   // Total records consumed so far.
   uint64_t consumed() const { return consumed_; }

@@ -14,6 +14,10 @@ uint64_t Mix64(uint64_t z) {
 
 }  // namespace
 
+size_t PartitionForKey(uint64_t key, size_t num_partitions) {
+  return static_cast<size_t>(Mix64(key) % std::max<size_t>(1, num_partitions));
+}
+
 Topic::Topic(std::string name, size_t num_partitions)
     : name_(std::move(name)), partitions_(std::max<size_t>(1, num_partitions)) {
   if (name_.empty()) {

@@ -10,7 +10,7 @@
 // bytes in append-only slabs — large heap chunks that are never moved or
 // freed — plus a record index of {payload pointer, length, key, timestamp}
 // entries. Producing copies the payload once into the slab; consuming via
-// the view API (ReadViews / Consumer::PollViews) returns pointers into the
+// the view API (ReadViews / transport::BusConsumer) returns pointers into the
 // slabs, so consumers decode records in place with no per-record vector.
 // Slab bytes are immutable once their index entry is published under the
 // partition lock, and slabs live as long as the topic, so a RecordView
@@ -83,6 +83,13 @@ struct SlabStats {
   uint64_t allocated_bytes = 0;
   uint64_t used_bytes = 0;
 };
+
+// The partition a key maps to in a topic with `num_partitions` partitions
+// (splitmix hash of the key; counts below 1 clamp to 1, matching the Topic
+// constructor). Exposed as a free function so transport-side producers can
+// compute per-partition record counts without holding the topic object —
+// the hash is part of the wire contract between processes.
+size_t PartitionForKey(uint64_t key, size_t num_partitions);
 
 class Topic {
  public:

@@ -58,7 +58,7 @@ struct MessageShare {
 // EpochArena (client side) or a broker slab (consumer side). Valid only as
 // long as its backing storage: until the arena resets, or for the topic's
 // lifetime. This is the type that travels the zero-copy path
-// Client -> Broker::ProduceBatch -> Proxy::ReceiveAndForwardShard in place
+// Client -> MessageBus::Produce -> Proxy::ReceiveAndForwardShard in place
 // of std::vector<uint8_t> payloads.
 struct ShareView {
   uint64_t message_id = 0;

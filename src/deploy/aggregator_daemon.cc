@@ -1,0 +1,126 @@
+#include "deploy/aggregator_daemon.h"
+
+#include <stdexcept>
+
+#include "core/query_wire.h"
+#include "deploy/result_wire.h"
+#include "transport/wire.h"
+
+namespace privapprox::deploy {
+
+AggregatorDaemon::AggregatorDaemon(AggregatorDaemonConfig config)
+    : config_(std::move(config)) {
+  if (config_.proxies.size() < 2) {
+    throw std::invalid_argument("AggregatorDaemon: need at least two proxies");
+  }
+  metrics::Counter* reconnects = &registry_.GetCounter(
+      "privapprox_transport_reconnects_total",
+      "Proxy-bus re-dials after the first established connection");
+  metrics::Counter* client_bytes_in = &registry_.GetCounter(
+      "privapprox_transport_bytes_in_total", "Bytes received from peers");
+  metrics::Counter* client_bytes_out = &registry_.GetCounter(
+      "privapprox_transport_bytes_out_total", "Bytes sent to peers");
+  metrics::Counter* client_frames_in = &registry_.GetCounter(
+      "privapprox_transport_frames_in_total", "Request frames received");
+  metrics::Counter* client_frames_out = &registry_.GetCounter(
+      "privapprox_transport_frames_out_total", "Response frames sent");
+  proxy_buses_.reserve(config_.proxies.size());
+  for (size_t j = 0; j < config_.proxies.size(); ++j) {
+    transport::TcpBusClientConfig client_config;
+    client_config.host = config_.proxies[j].host;
+    client_config.port = config_.proxies[j].port;
+    client_config.counters.reconnects = reconnects;
+    client_config.counters.bytes_in = client_bytes_in;
+    client_config.counters.bytes_out = client_bytes_out;
+    client_config.counters.frames_in = client_frames_in;
+    client_config.counters.frames_out = client_frames_out;
+    proxy_buses_.push_back(
+        std::make_unique<transport::TcpBusClient>(client_config));
+    router_.AddRoute("proxy" + std::to_string(j) + ".", *proxy_buses_[j]);
+  }
+
+  aggregator::AggregatorConfig agg_config;
+  agg_config.num_proxies = config_.proxies.size();
+  agg_config.population = config_.population;
+  agg_config.confidence = config_.confidence;
+  agg_config.answers_inverted = config_.answers_inverted;
+  agg_config.num_shards = config_.num_shards;
+  aggregator_ = std::make_unique<aggregator::Aggregator>(
+      agg_config, router_, [this](const aggregator::WindowedResult& result) {
+        results_.push_back(result);
+      });
+
+  transport::TcpBusServerConfig server_config;
+  server_config.bind_host = config_.bind_host;
+  server_config.port = config_.port;
+  server_config.counters.accepts = &registry_.GetCounter(
+      "privapprox_transport_accepts_total", "Connections accepted");
+  server_config.counters.disconnects = &registry_.GetCounter(
+      "privapprox_transport_disconnects_total", "Peers hung up");
+  server_config.counters.protocol_errors = &registry_.GetCounter(
+      "privapprox_transport_protocol_errors_total",
+      "Connections quarantined for framing errors");
+  server_ = std::make_unique<transport::TcpBusServer>(
+      server_config, control_broker_,
+      [this](const std::string& verb, std::span<const uint8_t> payload) {
+        return HandleControl(verb, payload);
+      });
+}
+
+AggregatorDaemon::~AggregatorDaemon() { Stop(); }
+
+void AggregatorDaemon::Start() { server_->Start(); }
+
+void AggregatorDaemon::Stop() { server_->Stop(); }
+
+uint16_t AggregatorDaemon::port() const { return server_->port(); }
+
+std::vector<uint8_t> AggregatorDaemon::HandleControl(
+    const std::string& verb, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> response;
+  if (verb == "ping") {
+    return response;
+  }
+  if (verb == "register_query") {
+    // The announcement is the registration unit — the same bytes every
+    // client parses, so daemon and in-process lanes run identical (query,
+    // params) pairs by construction.
+    const core::QueryAnnouncement ann = core::DeserializeAnnouncement(payload);
+    aggregator::QueryLaneOptions lane;
+    lane.source_topics.reserve(config_.proxies.size());
+    for (size_t j = 0; j < config_.proxies.size(); ++j) {
+      lane.source_topics.push_back("proxy" + std::to_string(j) + ".q" +
+                                   std::to_string(ann.query.query_id) +
+                                   ".out");
+    }
+    aggregator_->RegisterQuery(ann.query, ann.params, std::move(lane));
+    return response;
+  }
+  if (verb == "drain") {
+    transport::PutU64(aggregator_->Drain(), response);
+    return response;
+  }
+  if (verb == "advance_watermark") {
+    transport::WireReader reader(payload);
+    aggregator_->AdvanceWatermark(static_cast<int64_t>(reader.TakeU64()));
+    return response;
+  }
+  if (verb == "flush") {
+    aggregator_->Flush();
+    return response;
+  }
+  if (verb == "take_results") {
+    response = SerializeResults(results_);
+    results_.clear();
+    return response;
+  }
+  if (verb == "metrics") {
+    const std::string text = registry_.RenderText();
+    response.assign(text.begin(), text.end());
+    return response;
+  }
+  throw std::invalid_argument("AggregatorDaemon: unknown control verb '" +
+                              verb + "'");
+}
+
+}  // namespace privapprox::deploy

@@ -1,0 +1,91 @@
+// The aggregator as a standalone process: the unchanged aggregator::
+// Aggregator running over a TopicRouterBus of TcpBusClients — one dialed at
+// each proxy daemon — plus a control TcpBusServer for the analyst-facing
+// verbs.
+//
+// Topic routing: every topic the aggregator consumes is named
+// "proxy<j>.q<QID>.out", so the router resolves prefix "proxy<j>." to the
+// client dialed at proxy daemon j, and the n-source join code runs
+// byte-for-byte the code that runs in process (DESIGN.md §6j's bit-identity
+// argument leans on this).
+//
+// Control verbs (executed on the server's event-loop thread, so the
+// aggregator — single-threaded by contract — needs no locking):
+//
+//   register_query     announcement bytes          -> (empty)
+//   drain              (empty)                     -> u64 shares consumed
+//   advance_watermark  u64 (bit-cast i64 ms)       -> (empty)
+//   flush              (empty)                     -> (empty)
+//   take_results       (empty)                     -> result_wire bytes
+//   metrics            (empty)                     -> Prometheus text
+//   ping               (empty)                     -> (empty)
+//
+// privapprox_aggregatord (deploy/aggregatord_main.cc) is this class plus
+// flag parsing and signal handling.
+
+#ifndef PRIVAPPROX_DEPLOY_AGGREGATOR_DAEMON_H_
+#define PRIVAPPROX_DEPLOY_AGGREGATOR_DAEMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aggregator/aggregator.h"
+#include "broker/broker.h"
+#include "deploy/endpoint.h"
+#include "metrics/metrics.h"
+#include "transport/message_bus.h"
+#include "transport/tcp_bus.h"
+
+namespace privapprox::deploy {
+
+struct AggregatorDaemonConfig {
+  // One endpoint per proxy daemon, indexed by proxy index.
+  std::vector<Endpoint> proxies;
+  // Estimator inputs — must match the fleet they describe for results to be
+  // comparable with an in-process run (population = number of clients).
+  size_t population = 0;
+  double confidence = 0.95;
+  bool answers_inverted = false;
+  // Join/window shards. Results are bit-identical for every value (DESIGN.md
+  // §6g); the daemon defaults to 1 because it runs without a worker pool.
+  size_t num_shards = 1;
+  std::string bind_host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral
+};
+
+class AggregatorDaemon {
+ public:
+  explicit AggregatorDaemon(AggregatorDaemonConfig config);
+  ~AggregatorDaemon();
+
+  AggregatorDaemon(const AggregatorDaemon&) = delete;
+  AggregatorDaemon& operator=(const AggregatorDaemon&) = delete;
+
+  void Start();
+  void Stop();
+  uint16_t port() const;
+
+  std::string MetricsText() { return registry_.RenderText(); }
+
+ private:
+  std::vector<uint8_t> HandleControl(const std::string& verb,
+                                     std::span<const uint8_t> payload);
+
+  AggregatorDaemonConfig config_;
+  metrics::Registry registry_;
+  // The control server fronts this (otherwise unused) broker — the daemon's
+  // topic traffic all flows through the proxy-bound TCP clients below.
+  broker::Broker control_broker_;
+  std::vector<std::unique_ptr<transport::TcpBusClient>> proxy_buses_;
+  transport::TopicRouterBus router_;
+  std::unique_ptr<aggregator::Aggregator> aggregator_;
+  std::vector<aggregator::WindowedResult> results_;
+  std::unique_ptr<transport::TcpBusServer> server_;
+};
+
+}  // namespace privapprox::deploy
+
+#endif  // PRIVAPPROX_DEPLOY_AGGREGATOR_DAEMON_H_

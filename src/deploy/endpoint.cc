@@ -1,0 +1,34 @@
+#include "deploy/endpoint.h"
+
+#include <stdexcept>
+
+namespace privapprox::deploy {
+
+Endpoint Endpoint::Parse(const std::string& spec) {
+  Endpoint out;
+  std::string port_part = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    out.host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (out.host.empty() || port_part.empty()) {
+    throw std::invalid_argument("Endpoint::Parse: malformed '" + spec + "'");
+  }
+  unsigned long port = 0;  // NOLINT(google-runtime-int): stoul's type
+  size_t consumed = 0;
+  try {
+    port = std::stoul(port_part, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Endpoint::Parse: bad port in '" + spec +
+                                "'");
+  }
+  if (consumed != port_part.size() || port == 0 || port > 65535) {
+    throw std::invalid_argument("Endpoint::Parse: bad port in '" + spec +
+                                "'");
+  }
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+}  // namespace privapprox::deploy

@@ -1,0 +1,23 @@
+// A (host, port) pair naming one daemon, shared by every deploy-layer
+// config. Parse accepts "host:port" and bare "port" (host defaults to
+// loopback), the two spellings the daemon flags take.
+
+#ifndef PRIVAPPROX_DEPLOY_ENDPOINT_H_
+#define PRIVAPPROX_DEPLOY_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace privapprox::deploy {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  // Throws std::invalid_argument on a malformed or out-of-range port.
+  static Endpoint Parse(const std::string& spec);
+};
+
+}  // namespace privapprox::deploy
+
+#endif  // PRIVAPPROX_DEPLOY_ENDPOINT_H_

@@ -1,0 +1,84 @@
+#include "deploy/proxy_daemon.h"
+
+#include <stdexcept>
+
+#include "transport/wire.h"
+
+namespace privapprox::deploy {
+
+ProxyDaemon::ProxyDaemon(ProxyDaemonConfig config) : config_(config) {
+  proxy::ProxyConfig proxy_config;
+  proxy_config.proxy_index = config_.proxy_index;
+  proxy_config.num_partitions = config_.num_partitions;
+  const metrics::Labels labels{
+      {"proxy", std::to_string(config_.proxy_index)}};
+  proxy_config.received_total = &registry_.GetCounter(
+      "privapprox_proxy_received_total",
+      "Records accepted into the proxy's inbound topic", labels);
+  proxy_config.forwarded_total = &registry_.GetCounter(
+      "privapprox_proxy_forwarded_total",
+      "Records the proxy moved inbound -> outbound", labels);
+  proxy_ = std::make_unique<proxy::Proxy>(proxy_config, broker_);
+
+  transport::TcpBusServerConfig server_config;
+  server_config.bind_host = config_.bind_host;
+  server_config.port = config_.port;
+  server_config.counters.frames_in = &registry_.GetCounter(
+      "privapprox_transport_frames_in_total", "Request frames received");
+  server_config.counters.frames_out = &registry_.GetCounter(
+      "privapprox_transport_frames_out_total", "Response frames sent");
+  server_config.counters.bytes_in = &registry_.GetCounter(
+      "privapprox_transport_bytes_in_total", "Bytes received from peers");
+  server_config.counters.bytes_out = &registry_.GetCounter(
+      "privapprox_transport_bytes_out_total", "Bytes sent to peers");
+  server_config.counters.accepts = &registry_.GetCounter(
+      "privapprox_transport_accepts_total", "Connections accepted");
+  server_config.counters.disconnects = &registry_.GetCounter(
+      "privapprox_transport_disconnects_total", "Peers hung up");
+  server_config.counters.protocol_errors = &registry_.GetCounter(
+      "privapprox_transport_protocol_errors_total",
+      "Connections quarantined for framing errors");
+  server_ = std::make_unique<transport::TcpBusServer>(
+      server_config, broker_,
+      [this](const std::string& verb, std::span<const uint8_t> payload) {
+        return HandleControl(verb, payload);
+      });
+}
+
+ProxyDaemon::~ProxyDaemon() { Stop(); }
+
+void ProxyDaemon::Start() { server_->Start(); }
+
+void ProxyDaemon::Stop() { server_->Stop(); }
+
+uint16_t ProxyDaemon::port() const { return server_->port(); }
+
+std::vector<uint8_t> ProxyDaemon::HandleControl(
+    const std::string& verb, std::span<const uint8_t> payload) {
+  std::vector<uint8_t> response;
+  if (verb == "ping") {
+    return response;
+  }
+  if (verb == "ensure_lane") {
+    transport::WireReader reader(payload);
+    proxy_->EnsureLane(reader.TakeU64());
+    return response;
+  }
+  if (verb == "forward_lanes") {
+    transport::PutU64(proxy_->ForwardLanes(), response);
+    return response;
+  }
+  if (verb == "forward_queries") {
+    transport::PutU64(proxy_->ForwardQueries(), response);
+    return response;
+  }
+  if (verb == "metrics") {
+    const std::string text = registry_.RenderText();
+    response.assign(text.begin(), text.end());
+    return response;
+  }
+  throw std::invalid_argument("ProxyDaemon: unknown control verb '" + verb +
+                              "'");
+}
+
+}  // namespace privapprox::deploy

@@ -1,0 +1,76 @@
+// privapprox_proxyd: one PrivApprox proxy as a standalone process.
+//
+//   privapprox_proxyd --index=0 --port=9100 [--host=127.0.0.1]
+//                     [--partitions=4]
+//
+// Prints "listening <host>:<port>" once ready (the socket-smoke harness
+// waits for this line), then serves until SIGINT/SIGTERM.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore.h>
+#include <string>
+
+#include "deploy/proxy_daemon.h"
+
+namespace {
+
+sem_t g_stop_sem;
+
+void HandleSignal(int) { sem_post(&g_stop_sem); }
+
+bool ParseFlag(const char* arg, const char* name, std::string& value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  value = arg + prefix.size();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: privapprox_proxyd --index=N --port=P "
+               "[--host=H] [--partitions=K]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  privapprox::deploy::ProxyDaemonConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "index", value)) {
+      config.proxy_index = std::stoul(value);
+    } else if (ParseFlag(argv[i], "port", value)) {
+      config.port = static_cast<uint16_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "host", value)) {
+      config.bind_host = value;
+    } else if (ParseFlag(argv[i], "partitions", value)) {
+      config.num_partitions = std::stoul(value);
+    } else {
+      return Usage();
+    }
+  }
+  try {
+    privapprox::deploy::ProxyDaemon daemon(config);
+    daemon.Start();
+    std::printf("listening %s:%u\n", config.bind_host.c_str(),
+                static_cast<unsigned>(daemon.port()));
+    std::fflush(stdout);
+    sem_init(&g_stop_sem, 0, 0);
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
+    }
+    daemon.Stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "privapprox_proxyd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

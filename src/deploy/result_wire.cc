@@ -1,0 +1,83 @@
+#include "deploy/result_wire.h"
+
+#include <bit>
+
+#include "transport/wire.h"
+
+namespace privapprox::deploy {
+
+namespace {
+
+void PutF64(double v, std::vector<uint8_t>& out) {
+  transport::PutU64(std::bit_cast<uint64_t>(v), out);
+}
+
+double TakeF64(transport::WireReader& reader) {
+  return std::bit_cast<double>(reader.TakeU64());
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeResults(
+    std::span<const aggregator::WindowedResult> results) {
+  std::vector<uint8_t> out;
+  transport::PutU32(static_cast<uint32_t>(results.size()), out);
+  for (const aggregator::WindowedResult& result : results) {
+    transport::PutU64(result.query_id, out);
+    transport::PutU64(static_cast<uint64_t>(result.window.start_ms), out);
+    transport::PutU64(static_cast<uint64_t>(result.window.end_ms), out);
+    const core::QueryResult& qr = result.result;
+    transport::PutU64(qr.participants, out);
+    transport::PutU64(qr.population, out);
+    transport::PutU64(qr.lost_to_faults, out);
+    PutF64(qr.confidence, out);
+    PutF64(qr.sampling_fraction, out);
+    transport::PutU32(static_cast<uint32_t>(qr.buckets.size()), out);
+    for (const core::BucketEstimate& bucket : qr.buckets) {
+      PutF64(bucket.estimate.value, out);
+      PutF64(bucket.estimate.error, out);
+      PutF64(bucket.estimate.confidence, out);
+      transport::PutU64(bucket.estimate.sample_size, out);
+      PutF64(bucket.randomized_count, out);
+    }
+  }
+  return out;
+}
+
+std::vector<aggregator::WindowedResult> DeserializeResults(
+    std::span<const uint8_t> bytes) {
+  transport::WireReader reader(bytes);
+  const uint32_t count = reader.TakeU32();
+  std::vector<aggregator::WindowedResult> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    aggregator::WindowedResult result;
+    result.query_id = reader.TakeU64();
+    result.window.start_ms = static_cast<int64_t>(reader.TakeU64());
+    result.window.end_ms = static_cast<int64_t>(reader.TakeU64());
+    core::QueryResult& qr = result.result;
+    qr.participants = static_cast<size_t>(reader.TakeU64());
+    qr.population = static_cast<size_t>(reader.TakeU64());
+    qr.lost_to_faults = static_cast<size_t>(reader.TakeU64());
+    qr.confidence = TakeF64(reader);
+    qr.sampling_fraction = TakeF64(reader);
+    const uint32_t num_buckets = reader.TakeU32();
+    qr.buckets.reserve(num_buckets);
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      core::BucketEstimate bucket;
+      bucket.estimate.value = TakeF64(reader);
+      bucket.estimate.error = TakeF64(reader);
+      bucket.estimate.confidence = TakeF64(reader);
+      bucket.estimate.sample_size = static_cast<size_t>(reader.TakeU64());
+      bucket.randomized_count = TakeF64(reader);
+      qr.buckets.push_back(bucket);
+    }
+    results.push_back(std::move(result));
+  }
+  if (!reader.AtEnd()) {
+    throw std::invalid_argument("DeserializeResults: trailing bytes");
+  }
+  return results;
+}
+
+}  // namespace privapprox::deploy

@@ -15,24 +15,36 @@ int64_t NowNs() {
 
 }  // namespace
 
+Proxy::Proxy(ProxyConfig config, transport::MessageBus& bus)
+    : config_(config), bus_(&bus) {
+  Init();
+}
+
 Proxy::Proxy(ProxyConfig config, broker::Broker& broker)
-    : config_(config), broker_(broker) {
-  prefix_ = config.topic_prefix.empty()
-                ? "proxy" + std::to_string(config.proxy_index)
-                : config.topic_prefix;
-  out_prefix_ = config.out_prefix.empty() ? prefix_ : config.out_prefix;
+    : config_(config),
+      owned_bus_(std::make_unique<transport::InProcessBus>(broker)),
+      bus_(owned_bus_.get()) {
+  Init();
+}
+
+void Proxy::Init() {
+  prefix_ = config_.topic_prefix.empty()
+                ? "proxy" + std::to_string(config_.proxy_index)
+                : config_.topic_prefix;
+  out_prefix_ = config_.out_prefix.empty() ? prefix_ : config_.out_prefix;
   in_topic_ = prefix_ + ".in";
-  out_topic_ = config.out_topic.empty() ? prefix_ + ".out" : config.out_topic;
+  out_topic_ =
+      config_.out_topic.empty() ? prefix_ + ".out" : config_.out_topic;
   query_in_topic_ = prefix_ + ".query.in";
   query_out_topic_ = prefix_ + ".query.out";
-  broker_.CreateTopic(in_topic_, config.num_partitions);
+  bus_->EnsureTopic(in_topic_, config_.num_partitions);
   // EnsureTopic: a standby proxy's outbound is its primary's existing topic.
-  broker_.EnsureTopic(out_topic_, config.num_partitions);
-  broker_.CreateTopic(query_in_topic_, 1);
-  broker_.CreateTopic(query_out_topic_, 1);
-  consumer_ = std::make_unique<broker::Consumer>(broker_.GetTopic(in_topic_));
+  bus_->EnsureTopic(out_topic_, config_.num_partitions);
+  bus_->EnsureTopic(query_in_topic_, 1);
+  bus_->EnsureTopic(query_out_topic_, 1);
+  consumer_ = std::make_unique<transport::BusConsumer>(*bus_, in_topic_);
   query_consumer_ =
-      std::make_unique<broker::Consumer>(broker_.GetTopic(query_in_topic_));
+      std::make_unique<transport::BusConsumer>(*bus_, query_in_topic_);
 }
 
 void Proxy::EnsureLane(uint64_t query_id) {
@@ -46,10 +58,9 @@ void Proxy::EnsureLane(uint64_t query_id) {
   Lane lane;
   lane.in_topic = prefix_ + ".q" + qid + ".in";
   lane.out_topic = out_prefix_ + ".q" + qid + ".out";
-  broker_.EnsureTopic(lane.in_topic, config_.num_partitions);
-  broker_.EnsureTopic(lane.out_topic, config_.num_partitions);
-  lane.consumer =
-      std::make_unique<broker::Consumer>(broker_.GetTopic(lane.in_topic));
+  bus_->EnsureTopic(lane.in_topic, config_.num_partitions);
+  bus_->EnsureTopic(lane.out_topic, config_.num_partitions);
+  lane.consumer = std::make_unique<transport::BusConsumer>(*bus_, lane.in_topic);
   lanes_.emplace(query_id, std::move(lane));
 }
 
@@ -94,32 +105,36 @@ void Proxy::NoteForwarded(uint64_t n) {
 }
 
 void Proxy::Receive(std::span<const broker::ProduceView> records) {
-  broker_.ProduceViews(in_topic_, records);
+  bus_->Produce(in_topic_, records);
   NoteReceived(records.size());
 }
 
 void Proxy::Receive(uint64_t query_id,
                     std::span<const broker::ProduceView> records) {
   const Lane& lane = GetLane(query_id, "Proxy::Receive");
-  broker_.ProduceViews(lane.in_topic, records);
+  bus_->Produce(lane.in_topic, records);
   NoteReceived(records.size());
 }
 
 void Proxy::Receive(const crypto::MessageShare& share, int64_t timestamp_ms) {
-  broker_.Produce(in_topic_, share.message_id, EncodeShare(share),
-                  timestamp_ms);
+  const std::vector<uint8_t> encoded = EncodeShare(share);
+  const broker::ProduceView view{share.message_id, encoded, timestamp_ms};
+  bus_->Produce(in_topic_, std::span<const broker::ProduceView>(&view, 1));
   NoteReceived(1);
 }
 
-uint64_t Proxy::ForwardPendingViews(broker::Consumer& consumer,
+uint64_t Proxy::ForwardPendingViews(transport::BusConsumer& consumer,
                                     const std::string& out_topic,
                                     std::vector<uint32_t>* counts) {
   const int64_t start_ns = config_.forward_ns != nullptr ? NowNs() : 0;
-  broker::Topic& out = broker_.GetTopic(out_topic);
+  // Every share topic is created with config_.num_partitions (EnsureTopic
+  // enforces agreement), so the outbound partition of a key is computable
+  // without a topic lookup.
+  const size_t out_partitions = config_.num_partitions;
   uint64_t total = 0;
   for (;;) {
     fwd_views_.clear();
-    if (consumer.PollViews(4096, fwd_views_) == 0) {
+    if (consumer.PollInto(4096, fwd_views_) == 0) {
       break;
     }
     total += fwd_views_.size();
@@ -127,12 +142,12 @@ uint64_t Proxy::ForwardPendingViews(broker::Consumer& consumer,
     fwd_produce_.reserve(fwd_views_.size());
     for (const auto& view : fwd_views_) {
       if (counts != nullptr) {
-        ++(*counts)[out.PartitionOf(view.key)];
+        ++(*counts)[transport::PartitionForKey(view.key, out_partitions)];
       }
       fwd_produce_.push_back(
           broker::ProduceView{view.key, view.bytes(), view.timestamp_ms});
     }
-    out.AppendViews(fwd_produce_);
+    bus_->Produce(out_topic, fwd_produce_);
   }
   NoteForwarded(total);
   if (config_.forward_ns != nullptr) {
@@ -155,10 +170,9 @@ uint64_t Proxy::ForwardLanes() {
 
 std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
     std::span<const broker::ProduceView> records) {
-  broker_.ProduceViews(in_topic_, records);
+  bus_->Produce(in_topic_, records);
   NoteReceived(records.size());
-  std::vector<uint32_t> counts(
-      broker_.GetTopic(out_topic_).num_partitions(), 0);
+  std::vector<uint32_t> counts(config_.num_partitions, 0);
   ForwardPendingViews(*consumer_, out_topic_, &counts);
   return counts;
 }
@@ -166,27 +180,28 @@ std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
 std::vector<uint32_t> Proxy::ReceiveAndForwardShard(
     uint64_t query_id, std::span<const broker::ProduceView> records) {
   Lane& lane = GetLane(query_id, "Proxy::ReceiveAndForwardShard");
-  broker_.ProduceViews(lane.in_topic, records);
+  bus_->Produce(lane.in_topic, records);
   NoteReceived(records.size());
-  std::vector<uint32_t> counts(
-      broker_.GetTopic(lane.out_topic).num_partitions(), 0);
+  std::vector<uint32_t> counts(config_.num_partitions, 0);
   ForwardPendingViews(*lane.consumer, lane.out_topic, &counts);
   return counts;
 }
 
 uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
-  broker::Topic& out = broker_.GetTopic(out_topic_);
   uint64_t count = 0;
   std::vector<broker::RecordView> batch;
   for (;;) {
     batch.clear();
-    if (consumer_->PollViews(8192, batch) == 0) {
+    if (consumer_->PollInto(8192, batch) == 0) {
       break;
     }
     count += batch.size();
     pool.ParallelFor(batch.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        out.Append(batch[i].key, batch[i].bytes(), batch[i].timestamp_ms);
+        const broker::ProduceView view{batch[i].key, batch[i].bytes(),
+                                       batch[i].timestamp_ms};
+        bus_->Produce(out_topic_,
+                     std::span<const broker::ProduceView>(&view, 1));
       }
     });
   }
@@ -196,21 +211,26 @@ uint64_t Proxy::ForwardParallel(ThreadPool& pool) {
 
 void Proxy::AnnounceQuery(const std::vector<uint8_t>& announcement,
                           int64_t timestamp_ms) {
-  broker_.Produce(query_in_topic_, /*key=*/0, announcement, timestamp_ms);
+  const broker::ProduceView view{/*key=*/0, announcement, timestamp_ms};
+  bus_->Produce(query_in_topic_, std::span<const broker::ProduceView>(&view, 1));
 }
 
 uint64_t Proxy::ForwardQueries() {
-  broker::Topic& out = broker_.GetTopic(query_out_topic_);
   uint64_t count = 0;
+  std::vector<broker::RecordView> batch;
+  std::vector<broker::ProduceView> produce;
   for (;;) {
-    std::vector<broker::Record> batch = query_consumer_->Poll(64);
-    if (batch.empty()) {
+    batch.clear();
+    if (query_consumer_->PollInto(64, batch) == 0) {
       break;
     }
-    for (auto& record : batch) {
-      out.Append(record.key, std::move(record.payload), record.timestamp_ms);
-      ++count;
+    produce.clear();
+    for (const auto& record : batch) {
+      produce.push_back(
+          broker::ProduceView{record.key, record.bytes(), record.timestamp_ms});
     }
+    bus_->Produce(query_out_topic_, produce);
+    count += batch.size();
   }
   return count;
 }

@@ -15,6 +15,13 @@
 // remain as the single-query compatibility surface for tests and simple
 // deployments; the system runtime itself only speaks lanes.
 //
+// Transport: the proxy speaks transport::MessageBus, never a broker
+// directly. In process that is an InProcessBus over the shared broker; in a
+// proxy daemon the same code runs against the daemon's local broker while
+// remote peers reach the topics over TCP. The Broker& constructor is the
+// in-process convenience: it owns an InProcessBus internally so existing
+// call sites keep working.
+//
 // API shape: span-first. Batched entries take spans of non-owning views
 // (arena- or slab-backed) and decode produces spans into broker slab
 // storage; the only owning calls are the single-record adapters
@@ -28,11 +35,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "broker/broker.h"
 #include "common/thread_pool.h"
 #include "crypto/message.h"
 #include "metrics/metrics.h"
+#include "transport/inproc_bus.h"
+#include "transport/message_bus.h"
 
 namespace privapprox::proxy {
 
@@ -60,6 +70,10 @@ struct ProxyConfig {
 
 class Proxy {
  public:
+  // The bus must outlive the proxy.
+  Proxy(ProxyConfig config, transport::MessageBus& bus);
+  // In-process convenience: wraps `broker` in an internally owned
+  // InProcessBus.
   Proxy(ProxyConfig config, broker::Broker& broker);
 
   size_t index() const { return config_.proxy_index; }
@@ -101,13 +115,13 @@ class Proxy {
   // inbound topic, immediately forwards everything pending (the batch plus
   // any records produced out of band), and returns the number of records
   // forwarded per *outbound* partition. The streaming aggregator consumes
-  // exactly these counts (Consumer::PollPartitions), which is what makes
-  // the downstream read deterministic while later shards are still in
-  // flight. Must be called from a single thread per proxy — the proxy
-  // stage owns this proxy's consumer offsets. The inbound -> outbound hop
-  // runs over slab-backed views with reused member scratch, so a warmed-up
-  // proxy forwards without heap allocation. The QID overload runs the same
-  // hop over that query's lane.
+  // exactly these counts (transport::BusConsumer::PollExactInto), which is
+  // what makes the downstream read deterministic while later shards are
+  // still in flight. Must be called from a single thread per proxy — the
+  // proxy stage owns this proxy's consumer offsets. The inbound -> outbound
+  // hop runs over slab-backed views with reused member scratch, so a
+  // warmed-up proxy forwards without heap allocation. The QID overload runs
+  // the same hop over that query's lane.
   std::vector<uint32_t> ReceiveAndForwardShard(
       std::span<const broker::ProduceView> records);
   std::vector<uint32_t> ReceiveAndForwardShard(
@@ -163,14 +177,14 @@ class Proxy {
   struct Lane {
     std::string in_topic;
     std::string out_topic;
-    std::unique_ptr<broker::Consumer> consumer;
+    std::unique_ptr<transport::BusConsumer> consumer;
   };
 
   // Drains everything pending on `consumer` to `out_topic` over
   // slab-backed views (no payload copies besides the one into the outbound
   // slab). If `counts` is non-null it accumulates the forwarded records
   // per outbound partition. Returns records forwarded.
-  uint64_t ForwardPendingViews(broker::Consumer& consumer,
+  uint64_t ForwardPendingViews(transport::BusConsumer& consumer,
                                const std::string& out_topic,
                                std::vector<uint32_t>* counts);
   const Lane& GetLane(uint64_t query_id, const char* caller) const;
@@ -178,16 +192,21 @@ class Proxy {
   void NoteReceived(uint64_t n);
   void NoteForwarded(uint64_t n);
 
+  void Init();
+
   ProxyConfig config_;
-  broker::Broker& broker_;
+  // Set only by the Broker& convenience constructor; declared before bus_
+  // so the pointer below can bind to it.
+  std::unique_ptr<transport::InProcessBus> owned_bus_;
+  transport::MessageBus* bus_ = nullptr;  // never null after construction
   std::string prefix_;
   std::string out_prefix_;
   std::string in_topic_;
   std::string out_topic_;
   std::string query_in_topic_;
   std::string query_out_topic_;
-  std::unique_ptr<broker::Consumer> consumer_;
-  std::unique_ptr<broker::Consumer> query_consumer_;
+  std::unique_ptr<transport::BusConsumer> consumer_;
+  std::unique_ptr<transport::BusConsumer> query_consumer_;
   std::map<uint64_t, Lane> lanes_;  // QID -> lane, ascending
   uint64_t forwarded_ = 0;
   // Forwarding scratch, reused across calls so steady-state forwarding

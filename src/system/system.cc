@@ -168,7 +168,7 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
           "Per-call proxy forward latency in nanoseconds", labels);
     }
     proxies_.push_back(
-        std::make_unique<proxy::Proxy>(proxy_config, broker_));
+        std::make_unique<proxy::Proxy>(proxy_config, bus_));
   }
 
   if (config_.fault.has_value()) {
@@ -230,7 +230,7 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
             "privapprox_standby_forwarded_total",
             "Records each standby proxy moved inbound -> outbound", labels);
         standby_proxies_.push_back(
-            std::make_unique<proxy::Proxy>(standby_config, broker_));
+            std::make_unique<proxy::Proxy>(standby_config, bus_));
       }
     }
     injector_ = std::make_unique<fault::FaultInjector>(plan, fault_counters_,
@@ -289,7 +289,7 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
         "Window fire (de-bias + error estimation) latency in nanoseconds");
   }
   aggregator_ = std::make_unique<aggregator::Aggregator>(
-      agg_config, broker_,
+      agg_config, bus_,
       [this](const aggregator::WindowedResult& result) {
         results_.push_back(result);
       });
@@ -512,24 +512,19 @@ void PrivApproxSystem::DistributeAnnouncement(
     proxy->ForwardQueries();
   }
   for (size_t p = 0; p < proxies_.size(); ++p) {
-    broker::Consumer consumer(
-        broker_.GetTopic(proxies_[p]->query_out_topic()));
-    std::vector<broker::Record> records;
-    for (;;) {
-      auto batch = consumer.Poll(64);
-      if (batch.empty()) {
-        break;
-      }
-      for (auto& r : batch) {
-        records.push_back(std::move(r));
-      }
+    transport::BusConsumer consumer(bus_,
+                                    proxies_[p]->query_out_topic());
+    std::vector<broker::RecordView> records;
+    while (consumer.PollInto(64, records) != 0) {
     }
     if (records.empty()) {
       throw std::logic_error(std::string("PrivApproxSystem: ") +
                              failure_what);
     }
     // The freshest announcement on the topic is the one just published.
-    const std::vector<uint8_t>& bytes = records.back().payload;
+    const broker::RecordView& last = records.back();
+    const std::vector<uint8_t> bytes(last.payload,
+                                     last.payload + last.payload_len);
     for (size_t i = p; i < clients_.size(); i += proxies_.size()) {
       clients_[i]->OnAnnouncement(bytes);
     }

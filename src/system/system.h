@@ -52,6 +52,7 @@
 #include "metrics/timeline.h"
 #include "proxy/proxy.h"
 #include "storage/segment_log.h"
+#include "transport/inproc_bus.h"
 
 namespace privapprox::system {
 
@@ -290,6 +291,9 @@ class PrivApproxSystem {
   std::string TimelineJson() const { return timeline_.ToChromeTracingJson(); }
 
   broker::Broker& broker() { return broker_; }
+  // The in-process transport every component speaks — the deterministic
+  // counterpart of the daemons' TCP buses.
+  transport::InProcessBus& bus() { return bus_; }
   aggregator::Aggregator& aggregator() { return *aggregator_; }
   size_t num_worker_threads() const { return pool_->num_threads(); }
 
@@ -338,6 +342,10 @@ class PrivApproxSystem {
   };
   StageHistograms stage_ns_;
   broker::Broker broker_;
+  // The single in-process MessageBus all proxies, the aggregator, and
+  // announcement distribution run over (declared right after the broker it
+  // wraps, before every component holding a reference to it).
+  transport::InProcessBus bus_{broker_};
   // Share-encoding arenas, recycled across shards and epochs. Every
   // ArenaRef handed out lives only within one RunEpoch call, so the pool
   // (declared before the pipeline users) safely outlives them.

@@ -1,0 +1,65 @@
+#include "transport/frame.h"
+
+#include "storage/crc32.h"
+
+namespace privapprox::transport {
+
+namespace {
+
+void PutU32(uint32_t value, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(value));
+  out.push_back(static_cast<uint8_t>(value >> 8));
+  out.push_back(static_cast<uint8_t>(value >> 16));
+  out.push_back(static_cast<uint8_t>(value >> 24));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// An empty span's data() may be null; the CRC of zero bytes never reads it,
+// but keep the pointer arithmetic defined for the sanitizer builds.
+uint32_t CrcOf(const uint8_t* data, size_t len) {
+  static constexpr uint8_t kNone = 0;
+  return storage::Crc32(len == 0 ? &kNone : data, len);
+}
+
+}  // namespace
+
+void EncodeFrame(std::span<const uint8_t> payload, std::vector<uint8_t>& out) {
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(CrcOf(payload.data(), payload.size()), out);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameDecodeResult TryDecodeFrame(std::span<const uint8_t> buffer,
+                                 size_t max_frame_bytes) {
+  FrameDecodeResult result;
+  if (buffer.size() < kFrameHeaderBytes) {
+    result.status = FrameStatus::kNeedMore;
+    return result;
+  }
+  const uint32_t payload_len = GetU32(buffer.data());
+  if (payload_len > max_frame_bytes) {
+    result.status = FrameStatus::kTooLarge;
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderBytes + payload_len) {
+    result.status = FrameStatus::kNeedMore;
+    return result;
+  }
+  const uint32_t want_crc = GetU32(buffer.data() + 4);
+  const uint8_t* payload = buffer.data() + kFrameHeaderBytes;
+  if (CrcOf(payload, payload_len) != want_crc) {
+    result.status = FrameStatus::kCrcMismatch;
+    return result;
+  }
+  result.status = FrameStatus::kFrame;
+  result.payload = std::span<const uint8_t>(payload, payload_len);
+  result.consumed = kFrameHeaderBytes + payload_len;
+  return result;
+}
+
+}  // namespace privapprox::transport

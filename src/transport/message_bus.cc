@@ -1,0 +1,121 @@
+#include "transport/message_bus.h"
+
+#include <stdexcept>
+
+namespace privapprox::transport {
+
+size_t PartitionForKey(uint64_t key, size_t num_partitions) {
+  return broker::PartitionForKey(key, num_partitions);
+}
+
+BusConsumer::BusConsumer(MessageBus& bus, std::string topic)
+    : bus_(bus), topic_(std::move(topic)) {
+  offsets_.assign(bus_.NumPartitions(topic_), 0);
+}
+
+size_t BusConsumer::PollInto(size_t max_records,
+                             std::vector<broker::RecordView>& out) {
+  const size_t start = out.size();
+  for (size_t p = 0; p < offsets_.size() && out.size() - start < max_records;
+       ++p) {
+    // A backend may return partial batches (the TCP client budgets response
+    // bytes per round-trip), so drain the partition until it reports empty
+    // or the caller's budget is spent.
+    for (;;) {
+      const size_t budget = max_records - (out.size() - start);
+      if (budget == 0) {
+        break;
+      }
+      const size_t pulled = bus_.Poll(topic_, p, offsets_[p], budget, out);
+      if (pulled == 0) {
+        break;
+      }
+      offsets_[p] += pulled;
+      consumed_ += pulled;
+    }
+  }
+  return out.size() - start;
+}
+
+size_t BusConsumer::PollExactInto(const std::vector<uint32_t>& counts,
+                                  std::vector<broker::RecordView>& out) {
+  // The promised-count validation for partition polls lives here and only
+  // here: both streaming consumers (in-process and over the wire) share it.
+  if (counts.size() != offsets_.size()) {
+    throw std::invalid_argument(
+        "BusConsumer::PollExactInto: partition count mismatch");
+  }
+  const size_t start = out.size();
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    size_t got = 0;
+    while (got < counts[p]) {
+      const size_t pulled =
+          bus_.Poll(topic_, p, offsets_[p] + got, counts[p] - got, out);
+      if (pulled == 0) {
+        throw std::logic_error(
+            "BusConsumer::PollExactInto: promised records not available");
+      }
+      got += pulled;
+    }
+    offsets_[p] += got;
+    consumed_ += got;
+  }
+  return out.size() - start;
+}
+
+bool BusConsumer::CaughtUp() {
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    if (offsets_[p] < bus_.EndOffset(topic_, p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TopicRouterBus::AddRoute(std::string topic_prefix, MessageBus& target) {
+  routes_.emplace_back(std::move(topic_prefix), &target);
+}
+
+MessageBus& TopicRouterBus::Route(const std::string& topic) {
+  MessageBus* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, bus] : routes_) {
+    if (topic.starts_with(prefix) &&
+        (best == nullptr || prefix.size() > best_len)) {
+      best = bus;
+      best_len = prefix.size();
+    }
+  }
+  if (best == nullptr) {
+    throw std::invalid_argument("TopicRouterBus: no route for topic '" +
+                                topic + "'");
+  }
+  return *best;
+}
+
+void TopicRouterBus::EnsureTopic(const std::string& topic,
+                                 size_t num_partitions) {
+  Route(topic).EnsureTopic(topic, num_partitions);
+}
+
+size_t TopicRouterBus::NumPartitions(const std::string& topic) {
+  return Route(topic).NumPartitions(topic);
+}
+
+void TopicRouterBus::Produce(const std::string& topic,
+                             std::span<const broker::ProduceView> records) {
+  Route(topic).Produce(topic, records);
+}
+
+size_t TopicRouterBus::Poll(const std::string& topic, size_t partition,
+                            uint64_t offset, size_t max_records,
+                            std::vector<broker::RecordView>& out) {
+  return Route(topic).Poll(topic, partition, offset, max_records, out);
+}
+
+uint64_t TopicRouterBus::EndOffset(const std::string& topic,
+                                   size_t partition) {
+  return Route(topic).EndOffset(topic, partition);
+}
+
+}  // namespace privapprox::transport

@@ -1,0 +1,186 @@
+// The socket MessageBus backend: a single-threaded epoll server fronting a
+// broker::Broker, and a synchronous RPC client implementing MessageBus over
+// one TCP connection.
+//
+// Server model (TcpBusServer): one event-loop thread, non-blocking
+// listen/accept, per-peer receive accumulation buffers and bounded send
+// queues. A peer whose queued response bytes exceed the cap has its reads
+// paused (EPOLLIN dropped from its interest set) until the queue drains —
+// backpressure by suspension, never by unbounded buffering. Framing errors
+// (oversized length prefix, CRC mismatch) quarantine the connection: it is
+// closed immediately and counted in protocol_errors; framing cannot
+// resynchronize mid-stream. Request semantics live in wire.h's
+// HandleRequest; the loop only moves bytes.
+//
+// Client model (TcpBusClient): blocking, mutex-serialized request/response
+// — one in-flight RPC per connection, which is exactly the discipline
+// BusConsumer's offset-explicit polls need. Connecting is non-blocking with
+// a timeout and bounded retry/backoff (counted in reconnects); an I/O error
+// poisons the connection, throws, and the next call re-dials. Polled
+// payload bytes are copied into client-owned append-only slabs so
+// RecordViews stay valid for the bus's lifetime — the same guarantee the
+// in-process slabs give, which the aggregator's join relies on when it
+// parks share spans across calls.
+
+#ifndef PRIVAPPROX_TRANSPORT_TCP_BUS_H_
+#define PRIVAPPROX_TRANSPORT_TCP_BUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "metrics/metrics.h"
+#include "transport/frame.h"
+#include "transport/message_bus.h"
+#include "transport/wire.h"
+
+namespace privapprox::transport {
+
+// Optional instruments, not owned (null = uninstrumented) — the metrics
+// house style. The daemons wire these to privapprox_transport_* families.
+struct TransportCounters {
+  metrics::Counter* frames_in = nullptr;
+  metrics::Counter* frames_out = nullptr;
+  metrics::Counter* bytes_in = nullptr;
+  metrics::Counter* bytes_out = nullptr;
+  metrics::Counter* accepts = nullptr;      // server: connections accepted
+  metrics::Counter* disconnects = nullptr;  // server: peers hung up
+  metrics::Counter* protocol_errors = nullptr;  // quarantined connections
+  metrics::Counter* reconnects = nullptr;   // client: re-dials after the
+                                            // first established connection
+};
+
+struct TcpBusServerConfig {
+  std::string bind_host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port with port()
+  size_t max_frame_bytes = kMaxFrameBytes;
+  // Backpressure cap: queued-but-unsent response bytes per peer above which
+  // the peer's reads are paused until the queue drains below it.
+  size_t max_send_queue_bytes = 8u << 20;
+  TransportCounters counters;
+};
+
+class TcpBusServer {
+ public:
+  // Serves `broker` topic I/O; `control` handles daemon verbs (may be
+  // empty). Both must outlive the server.
+  TcpBusServer(TcpBusServerConfig config, broker::Broker& broker,
+               ControlHandler control = {});
+  ~TcpBusServer();
+
+  TcpBusServer(const TcpBusServer&) = delete;
+  TcpBusServer& operator=(const TcpBusServer&) = delete;
+
+  // Binds + listens (throws std::runtime_error on failure) and starts the
+  // event-loop thread. port() is valid once Start returns.
+  void Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<uint8_t> recv;
+    std::vector<uint8_t> send;
+    size_t send_off = 0;  // bytes of `send` already written
+    bool want_write = false;
+    bool reads_paused = false;
+  };
+
+  void Loop();
+  void AcceptPeers();
+  // Returns false if the peer was closed/quarantined and must be erased.
+  bool ReadPeer(Peer& peer);
+  bool FlushPeer(Peer& peer);
+  void UpdateInterest(Peer& peer);
+  void ClosePeer(Peer& peer);
+  void Bump(metrics::Counter* counter, uint64_t n = 1);
+
+  TcpBusServerConfig config_;
+  broker::Broker& broker_;
+  ControlHandler control_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::map<int, Peer> peers_;
+  std::vector<uint8_t> response_;  // HandleRequest scratch
+};
+
+struct TcpBusClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 30000;
+  // Dial attempts per (re)connect, with linear backoff between them — lets
+  // a fleet driver start before its daemons finish binding.
+  int max_connect_attempts = 40;
+  int connect_backoff_ms = 25;
+  size_t max_frame_bytes = kMaxFrameBytes;
+  // Poll response byte budget per round-trip (server packs at least one
+  // record regardless, so progress is guaranteed).
+  uint32_t poll_byte_budget = kDefaultPollByteBudget;
+  TransportCounters counters;
+};
+
+class TcpBusClient final : public MessageBus {
+ public:
+  explicit TcpBusClient(TcpBusClientConfig config);
+  ~TcpBusClient() override;
+
+  TcpBusClient(const TcpBusClient&) = delete;
+  TcpBusClient& operator=(const TcpBusClient&) = delete;
+
+  void EnsureTopic(const std::string& topic, size_t num_partitions) override;
+  size_t NumPartitions(const std::string& topic) override;
+  void Produce(const std::string& topic,
+               std::span<const broker::ProduceView> records) override;
+  size_t Poll(const std::string& topic, size_t partition, uint64_t offset,
+              size_t max_records, std::vector<broker::RecordView>& out) override;
+  uint64_t EndOffset(const std::string& topic, size_t partition) override;
+
+  // Daemon control verb round-trip; throws std::runtime_error with the
+  // server-side message on a remote error.
+  std::vector<uint8_t> Control(const std::string& verb,
+                               std::span<const uint8_t> payload = {});
+
+ private:
+  // One request/response round-trip; `mu_` must be held. Returns the
+  // response body (status byte already checked and stripped... see .cc).
+  std::span<const uint8_t> Rpc();
+  void EnsureConnectedLocked();
+  void Disconnect();
+  const uint8_t* StorePayload(std::span<const uint8_t> payload);
+  void Bump(metrics::Counter* counter, uint64_t n = 1);
+
+  TcpBusClientConfig config_;
+  std::mutex mu_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::vector<uint8_t> request_;   // wire body being built
+  std::vector<uint8_t> frame_;     // framed request bytes
+  std::vector<uint8_t> recv_;      // response accumulation
+  std::vector<uint8_t> body_;      // decoded response body copy
+  // Append-only payload slabs backing polled RecordViews for the bus's
+  // lifetime (mirrors broker::Topic's slab guarantee across the wire).
+  struct Slab {
+    std::unique_ptr<uint8_t[]> data;
+    size_t used = 0;
+    size_t cap = 0;
+  };
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace privapprox::transport
+
+#endif  // PRIVAPPROX_TRANSPORT_TCP_BUS_H_

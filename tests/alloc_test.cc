@@ -28,6 +28,8 @@
 #include "crypto/xor_cipher.h"
 #include "proxy/proxy.h"
 #include "system/system.h"
+#include "transport/inproc_bus.h"
+#include "transport/message_bus.h"
 
 namespace privapprox {
 namespace {
@@ -59,7 +61,11 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
   crypto::XorSplitter splitter(kNumShares,
                                crypto::ChaCha20Rng::FromSeed(17, 5));
 
-  broker::Topic topic("answers", 4);
+  // The hot path is pinned over the production transport stack: an
+  // InProcessBus over a broker topic, drained by a BusConsumer.
+  broker::Broker broker;
+  broker::Topic& topic = broker.CreateTopic("answers", 4);
+  transport::InProcessBus bus(broker);
   // Budget every partition for the whole run: Reserve pre-commits index
   // slots and one contiguous slab run, making in-budget appends
   // allocation-free.
@@ -67,7 +73,7 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
   for (size_t p = 0; p < topic.num_partitions(); ++p) {
     topic.Reserve(p, total_records, total_records * record_len);
   }
-  broker::Consumer consumer(topic);
+  transport::BusConsumer consumer(bus, "answers");
 
   EpochArena arena;
   std::vector<crypto::ShareView> views(kNumShares);
@@ -89,7 +95,7 @@ TEST(AllocRegressionTest, SteadyStateSharePathIsAllocationFree) {
     }
     topic.AppendViews(produce);
     polled.clear();
-    while (consumer.PollViews(4096, polled) != 0) {
+    while (consumer.PollInto(4096, polled) != 0) {
     }
     decoded.Clear();
     proxy::Proxy::DecodeShares(polled, decoded);
@@ -175,9 +181,12 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
   }
   const uint64_t owned_allocs = AllocCounter::Count() - owned_before;
 
-  // View path: same work, arena + slab views, reusing scratch.
-  broker::Topic view_topic("views", 4);
-  broker::Consumer view_consumer(view_topic);
+  // View path: same work, arena + slab views, reusing scratch, drained
+  // through the production transport stack (InProcessBus + BusConsumer).
+  broker::Broker view_broker;
+  broker::Topic& view_topic = view_broker.CreateTopic("views", 4);
+  transport::InProcessBus view_bus(view_broker);
+  transport::BusConsumer view_consumer(view_bus, "views");
   crypto::XorSplitter view_splitter(kNumShares,
                                     crypto::ChaCha20Rng::FromSeed(17, 5));
   EpochArena arena;
@@ -196,7 +205,7 @@ TEST(AllocRegressionTest, ViewPathAllocatesAtLeast90PercentLess) {
     }
     view_topic.AppendViews(produce);
     polled.clear();
-    while (view_consumer.PollViews(4096, polled) != 0) {
+    while (view_consumer.PollInto(4096, polled) != 0) {
     }
     decoded.Clear();
     proxy::Proxy::DecodeShares(polled, decoded);

@@ -91,19 +91,13 @@ TEST(TopicTest, AppendBatchEmptyIsNoop) {
   EXPECT_EQ(topic.EndOffset(1), 0u);
 }
 
-TEST(BrokerTest, ProduceBatchRoutesToTopic) {
+TEST(BrokerTest, EnsureTopicAttachesOrCreates) {
   Broker broker;
-  broker.CreateTopic("t", 1);
-  std::vector<ProduceRecord> records;
-  records.push_back(ProduceRecord{1, Payload({1, 2}), 5});
-  records.push_back(ProduceRecord{2, Payload({3}), 6});
-  broker.ProduceBatch("t", std::move(records));
-  Consumer consumer(broker.GetTopic("t"));
-  const auto polled = consumer.Poll(10);
-  ASSERT_EQ(polled.size(), 2u);
-  EXPECT_EQ(polled[0].payload, Payload({1, 2}));
-  EXPECT_EQ(polled[1].payload, Payload({3}));
-  EXPECT_THROW(broker.ProduceBatch("missing", {}), std::invalid_argument);
+  Topic& created = broker.EnsureTopic("t", 2);
+  Topic& attached = broker.EnsureTopic("t", 2);
+  EXPECT_EQ(&created, &attached);
+  // Partition-count disagreement on an existing topic is a config error.
+  EXPECT_THROW(broker.EnsureTopic("t", 3), std::invalid_argument);
 }
 
 TEST(TopicTest, BadPartitionThrows) {
@@ -334,49 +328,15 @@ TEST(TopicTest, ReserveMakesAppendsAllocationFreeAndHarmless) {
   EXPECT_THROW(topic.Reserve(9, 1, 1), std::out_of_range);
 }
 
-TEST(ConsumerTest, PollViewsMatchesPoll) {
-  Broker broker;
-  Topic& topic = broker.CreateTopic("t", 3);
-  for (uint64_t key = 0; key < 60; ++key) {
-    topic.Append(key, Payload({static_cast<uint8_t>(key), 0x11}), 5);
+TEST(TopicTest, PartitionForKeyMatchesTopicPartitionOf) {
+  // The free function is part of the wire contract: a remote producer
+  // computes shard counts without a Topic object, so it must agree with
+  // the topic's own routing for every key.
+  Topic topic("t", 4);
+  for (uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(PartitionForKey(key * 7919, 4), topic.PartitionOf(key * 7919));
   }
-  Consumer owned(topic);
-  Consumer viewed(topic);
-  for (;;) {
-    const auto batch = owned.Poll(7);
-    std::vector<RecordView> views;
-    const size_t pulled = viewed.PollViews(7, views);
-    ASSERT_EQ(pulled, batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      EXPECT_EQ(views[i].key, batch[i].key);
-      ASSERT_EQ(views[i].payload_len, batch[i].payload.size());
-      EXPECT_TRUE(std::equal(batch[i].payload.begin(), batch[i].payload.end(),
-                             views[i].payload));
-    }
-    if (batch.empty()) {
-      break;
-    }
-  }
-  EXPECT_EQ(owned.consumed(), viewed.consumed());
-  EXPECT_TRUE(viewed.CaughtUp());
-}
-
-TEST(ConsumerTest, PollPartitionsViewsHonorsPromisedCounts) {
-  Broker broker;
-  Topic& topic = broker.CreateTopic("t", 2);
-  std::vector<uint32_t> counts(2, 0);
-  for (uint64_t key = 0; key < 30; ++key) {
-    topic.Append(key, Payload({static_cast<uint8_t>(key)}), 0);
-    ++counts[topic.PartitionOf(key)];
-  }
-  Consumer consumer(topic);
-  std::vector<RecordView> views;
-  EXPECT_EQ(consumer.PollPartitionsViews(counts, views), 30u);
-  EXPECT_TRUE(consumer.CaughtUp());
-  // Partition-count mismatch and over-promising throw, like PollPartitions.
-  EXPECT_THROW(consumer.PollPartitionsViews({1}, views),
-               std::invalid_argument);
-  EXPECT_THROW(consumer.PollPartitionsViews({1, 0}, views), std::logic_error);
+  EXPECT_EQ(PartitionForKey(123, 0), 0u);  // degenerate: clamps to 1
 }
 
 }  // namespace

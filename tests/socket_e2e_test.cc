@@ -1,0 +1,186 @@
+// The PR's acceptance criterion: a 2-proxy, 1-aggregator deployment over
+// real loopback TCP sockets produces bit-identical query results to the
+// in-process run — including per-query under the multi-query runtime.
+//
+// The daemons run as in-process objects (each TcpBusServer owns its epoll
+// thread), but every byte between fleet, proxies, and aggregator crosses a
+// real socket: shares are produced over the wire into proxy lane topics,
+// the aggregator joins by polling those topics through TcpBusClients, and
+// results come back serialized. The reference run is a plain
+// PrivApproxSystem (streaming pipeline, worker pool) over the same seed and
+// databases; comparison is on result_wire bytes, where every double is its
+// raw IEEE-754 bit pattern.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "deploy/aggregator_daemon.h"
+#include "deploy/fleet_driver.h"
+#include "deploy/proxy_daemon.h"
+#include "deploy/result_wire.h"
+#include "localdb/database.h"
+#include "system/system.h"
+
+namespace privapprox::deploy {
+namespace {
+
+constexpr size_t kClients = 120;
+constexpr size_t kProxies = 2;
+constexpr uint64_t kSeed = 42;
+constexpr size_t kEpochs = 3;
+
+core::Query SpeedQuery() {
+  return core::QueryBuilder()
+      .WithId(1)
+      .WithSql("SELECT speed FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 100, 10, true))
+      .WithFrequencyMs(1000)
+      .WithWindowMs(1000)
+      .WithSlideMs(1000)
+      .Build();
+}
+
+core::Query FareQuery() {
+  return core::QueryBuilder()
+      .WithId(2)
+      .WithSql("SELECT fare FROM vehicle")
+      .WithAnswerFormat(core::AnswerFormat::UniformNumeric(0, 50, 5, true))
+      .WithFrequencyMs(1000)
+      .WithWindowMs(2000)
+      .WithSlideMs(2000)
+      .Build();
+}
+
+core::ExecutionParams RandomizedParams() {
+  core::ExecutionParams params;
+  params.sampling_fraction = 0.9;
+  params.randomization = {0.85, 0.5};
+  return params;
+}
+
+void FillDatabase(localdb::Database& db, size_t client_index) {
+  db.CreateTable("vehicle", {"speed", "fare"});
+  db.GetTable("vehicle").Insert(
+      500, {localdb::Value(static_cast<double>((client_index * 7) % 100)),
+            localdb::Value(static_cast<double>((client_index * 3) % 50))});
+}
+
+// One full socket deployment: 2 proxy daemons + 1 aggregator daemon on
+// ephemeral loopback ports, driven by a FleetDriver. Returns the results
+// stream after `kEpochs` epochs and a flush.
+std::vector<aggregator::WindowedResult> RunSocketDeployment(
+    const std::vector<core::Query>& queries) {
+  std::vector<std::unique_ptr<ProxyDaemon>> proxyds;
+  std::vector<Endpoint> proxy_endpoints;
+  for (size_t j = 0; j < kProxies; ++j) {
+    ProxyDaemonConfig config;
+    config.proxy_index = j;
+    proxyds.push_back(std::make_unique<ProxyDaemon>(config));
+    proxyds.back()->Start();
+    proxy_endpoints.push_back(Endpoint{"127.0.0.1", proxyds.back()->port()});
+  }
+  AggregatorDaemonConfig agg_config;
+  agg_config.proxies = proxy_endpoints;
+  agg_config.population = kClients;
+  AggregatorDaemon aggregatord(agg_config);
+  aggregatord.Start();
+
+  FleetDriverConfig fleet_config;
+  fleet_config.num_clients = kClients;
+  fleet_config.seed = kSeed;
+  fleet_config.proxies = proxy_endpoints;
+  fleet_config.aggregator = Endpoint{"127.0.0.1", aggregatord.port()};
+  FleetDriver fleet(fleet_config);
+  for (size_t i = 0; i < fleet.num_clients(); ++i) {
+    FillDatabase(fleet.client(i).database(), i);
+  }
+  for (const core::Query& query : queries) {
+    fleet.SubmitQuery(query, RandomizedParams());
+  }
+  for (size_t e = 0; e < kEpochs; ++e) {
+    const FleetEpochStats stats =
+        fleet.RunEpoch(static_cast<int64_t>(1000 * (e + 1)));
+    // Conservation over the wire: everything sent was forwarded and
+    // consumed (loopback TCP loses nothing).
+    EXPECT_EQ(stats.shares_forwarded, stats.shares_sent);
+    EXPECT_EQ(stats.shares_consumed, stats.shares_sent);
+  }
+  fleet.Flush();
+  return fleet.TakeResults();
+}
+
+// The in-process reference over identical inputs (streaming pipeline and
+// thread pool — the default mode, pinned bit-identical to the barrier path
+// by parallel_epoch_test).
+std::vector<aggregator::WindowedResult> RunInProcessReference(
+    const std::vector<core::Query>& queries) {
+  system::SystemConfig config;
+  config.num_clients = kClients;
+  config.num_proxies = kProxies;
+  config.seed = kSeed;
+  system::PrivApproxSystem sys(config);
+  for (size_t i = 0; i < kClients; ++i) {
+    FillDatabase(sys.client(i).database(), i);
+  }
+  for (const core::Query& query : queries) {
+    sys.SubmitQuery(query, RandomizedParams());
+  }
+  for (size_t e = 0; e < kEpochs; ++e) {
+    sys.RunEpoch(static_cast<int64_t>(1000 * (e + 1)));
+  }
+  sys.Flush();
+  return sys.TakeResults();
+}
+
+TEST(SocketDeploymentTest, SingleQueryMatchesInProcessBitForBit) {
+  const std::vector<core::Query> queries = {SpeedQuery()};
+  const std::vector<uint8_t> socket_wire =
+      SerializeResults(RunSocketDeployment(queries));
+  const std::vector<uint8_t> inproc_wire =
+      SerializeResults(RunInProcessReference(queries));
+  ASSERT_FALSE(socket_wire.empty());
+  EXPECT_EQ(socket_wire, inproc_wire);
+}
+
+TEST(SocketDeploymentTest, MultiQueryMatchesInProcessPerQuery) {
+  const std::vector<core::Query> queries = {SpeedQuery(), FareQuery()};
+  const std::vector<aggregator::WindowedResult> socket_results =
+      RunSocketDeployment(queries);
+  const std::vector<aggregator::WindowedResult> inproc_results =
+      RunInProcessReference(queries);
+
+  // Whole-stream equality...
+  EXPECT_EQ(SerializeResults(socket_results),
+            SerializeResults(inproc_results));
+
+  // ...and per-query bit-identity under the multi-query runtime: each QID's
+  // result subsequence matches independently.
+  for (const uint64_t qid : {uint64_t{1}, uint64_t{2}}) {
+    std::vector<aggregator::WindowedResult> socket_lane, inproc_lane;
+    for (const auto& result : socket_results) {
+      if (result.query_id == qid) {
+        socket_lane.push_back(result);
+      }
+    }
+    for (const auto& result : inproc_results) {
+      if (result.query_id == qid) {
+        inproc_lane.push_back(result);
+      }
+    }
+    ASSERT_FALSE(socket_lane.empty()) << "query " << qid;
+    EXPECT_EQ(SerializeResults(socket_lane), SerializeResults(inproc_lane))
+        << "query " << qid;
+  }
+}
+
+TEST(SocketDeploymentTest, RerunningTheSocketDeploymentIsDeterministic) {
+  const std::vector<core::Query> queries = {SpeedQuery()};
+  EXPECT_EQ(SerializeResults(RunSocketDeployment(queries)),
+            SerializeResults(RunSocketDeployment(queries)));
+}
+
+}  // namespace
+}  // namespace privapprox::deploy

@@ -1,0 +1,428 @@
+// The transport layer minus sockets: frame codec edges, the wire protocol
+// dispatch, BusConsumer semantics (including the promised-count error
+// paths), the InProcessBus facade with its link accounting, and topic
+// routing. Socket-level behavior lives in tcp_bus_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "deploy/result_wire.h"
+#include "net/link.h"
+#include "storage/crc32.h"
+#include "transport/frame.h"
+#include "transport/inproc_bus.h"
+#include "transport/message_bus.h"
+#include "transport/wire.h"
+
+namespace privapprox::transport {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+broker::ProduceView View(const std::vector<uint8_t>& payload, uint64_t key,
+                         int64_t ts = 0) {
+  return broker::ProduceView{key, payload, ts};
+}
+
+TEST(FrameTest, RoundTrip) {
+  const std::vector<uint8_t> payload = Bytes("hello frame");
+  std::vector<uint8_t> encoded;
+  EncodeFrame(payload, encoded);
+  ASSERT_EQ(encoded.size(), kFrameHeaderBytes + payload.size());
+  const FrameDecodeResult result = TryDecodeFrame(encoded);
+  ASSERT_EQ(result.status, FrameStatus::kFrame);
+  EXPECT_EQ(result.consumed, encoded.size());
+  EXPECT_EQ(std::vector<uint8_t>(result.payload.begin(), result.payload.end()),
+            payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame({}, encoded);
+  ASSERT_EQ(encoded.size(), kFrameHeaderBytes);
+  const FrameDecodeResult result = TryDecodeFrame(encoded);
+  ASSERT_EQ(result.status, FrameStatus::kFrame);
+  EXPECT_EQ(result.payload.size(), 0u);
+}
+
+TEST(FrameTest, TruncatedHeaderNeedsMore) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame(Bytes("x"), encoded);
+  for (size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    const FrameDecodeResult result =
+        TryDecodeFrame(std::span<const uint8_t>(encoded.data(), len));
+    EXPECT_EQ(result.status, FrameStatus::kNeedMore) << "prefix " << len;
+  }
+}
+
+TEST(FrameTest, TruncatedPayloadNeedsMore) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame(Bytes("truncate me"), encoded);
+  for (size_t len = kFrameHeaderBytes; len < encoded.size(); ++len) {
+    const FrameDecodeResult result =
+        TryDecodeFrame(std::span<const uint8_t>(encoded.data(), len));
+    EXPECT_EQ(result.status, FrameStatus::kNeedMore) << "prefix " << len;
+  }
+}
+
+TEST(FrameTest, CrcMismatchIsProtocolError) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame(Bytes("guarded payload"), encoded);
+  encoded.back() ^= 0x01;  // flip one payload bit
+  EXPECT_EQ(TryDecodeFrame(encoded).status, FrameStatus::kCrcMismatch);
+}
+
+TEST(FrameTest, FlippedLengthShowsUpAsErrorNotHang) {
+  std::vector<uint8_t> encoded;
+  EncodeFrame(Bytes("abcdef"), encoded);
+  // Corrupt the length prefix downward: the CRC now covers the wrong bytes.
+  encoded[0] = 2;
+  const FrameDecodeResult result = TryDecodeFrame(encoded);
+  EXPECT_EQ(result.status, FrameStatus::kCrcMismatch);
+}
+
+TEST(FrameTest, MaxLengthFrameDecodes) {
+  // The cap bounds the payload length: exactly max_frame_bytes of payload
+  // is still a valid frame.
+  const size_t max_frame = 4096;
+  const std::vector<uint8_t> payload(max_frame, 0xAB);
+  std::vector<uint8_t> encoded;
+  EncodeFrame(payload, encoded);
+  const FrameDecodeResult result = TryDecodeFrame(encoded, max_frame);
+  ASSERT_EQ(result.status, FrameStatus::kFrame);
+  EXPECT_EQ(result.payload.size(), payload.size());
+}
+
+TEST(FrameTest, OversizedLengthIsQuarantined) {
+  const size_t max_frame = 4096;
+  const std::vector<uint8_t> payload(max_frame + 1, 0xCD);  // one byte over
+  std::vector<uint8_t> encoded;
+  EncodeFrame(payload, encoded);
+  EXPECT_EQ(TryDecodeFrame(encoded, max_frame).status, FrameStatus::kTooLarge);
+}
+
+TEST(FrameTest, BackToBackFramesDecodeInOrder) {
+  std::vector<uint8_t> buffer;
+  EncodeFrame(Bytes("first"), buffer);
+  EncodeFrame(Bytes("second"), buffer);
+  const FrameDecodeResult first = TryDecodeFrame(buffer);
+  ASSERT_EQ(first.status, FrameStatus::kFrame);
+  EXPECT_EQ(std::string(first.payload.begin(), first.payload.end()), "first");
+  buffer.erase(buffer.begin(),
+               buffer.begin() + static_cast<ptrdiff_t>(first.consumed));
+  const FrameDecodeResult second = TryDecodeFrame(buffer);
+  ASSERT_EQ(second.status, FrameStatus::kFrame);
+  EXPECT_EQ(std::string(second.payload.begin(), second.payload.end()),
+            "second");
+}
+
+// --- Wire protocol: request bytes -> HandleRequest -> response bytes ---
+
+class WireProtocolTest : public ::testing::Test {
+ protected:
+  // Runs one request through the pure dispatcher and strips the status byte.
+  WireReader Call(const std::vector<uint8_t>& request) {
+    HandleRequest(broker_, control_, request, response_);
+    WireReader reader(response_);
+    const uint8_t status = reader.TakeU8();
+    if (status != kWireOk) {
+      throw std::runtime_error("wire error: " + reader.TakeString());
+    }
+    return reader;
+  }
+
+  broker::Broker broker_;
+  ControlHandler control_;
+  std::vector<uint8_t> response_;
+};
+
+TEST_F(WireProtocolTest, EnsureProduceAndPollRoundTrip) {
+  std::vector<uint8_t> request;
+  BuildEnsureTopicRequest("t", 2, request);
+  Call(request);
+
+  const std::vector<uint8_t> a = Bytes("aa"), b = Bytes("bbb");
+  const std::vector<broker::ProduceView> records = {View(a, 1, 10),
+                                                    View(b, 2, 20)};
+  request.clear();
+  BuildProduceRequest("t", records, request);
+  WireReader produce_reply = Call(request);
+  EXPECT_EQ(produce_reply.TakeU32(), 2u);
+
+  // Both records landed in the partitions the shared hash names.
+  size_t found = 0;
+  for (size_t p = 0; p < 2; ++p) {
+    request.clear();
+    BuildPollRequest("t", p, 0, 16, 1 << 20, request);
+    WireReader reply = Call(request);
+    const uint32_t count = reply.TakeU32();
+    for (uint32_t i = 0; i < count; ++i) {
+      reply.TakeU64();  // offset
+      const uint64_t key = reply.TakeU64();
+      const int64_t ts = static_cast<int64_t>(reply.TakeU64());
+      const auto payload = reply.TakeBytes();
+      if (key == 1) {
+        EXPECT_EQ(ts, 10);
+        EXPECT_EQ(payload.size(), 2u);
+        EXPECT_EQ(PartitionForKey(1, 2), p);
+      } else {
+        EXPECT_EQ(key, 2u);
+        EXPECT_EQ(ts, 20);
+        EXPECT_EQ(payload.size(), 3u);
+        EXPECT_EQ(PartitionForKey(2, 2), p);
+      }
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 2u);
+}
+
+TEST_F(WireProtocolTest, PollIsByteBudgetedButAlwaysMakesProgress) {
+  std::vector<uint8_t> request;
+  BuildEnsureTopicRequest("t", 1, request);
+  Call(request);
+  const std::vector<uint8_t> big(1000, 0x55);
+  const std::vector<broker::ProduceView> records = {View(big, 0), View(big, 0),
+                                                    View(big, 0)};
+  request.clear();
+  BuildProduceRequest("t", records, request);
+  Call(request);
+
+  // Budget below one record: exactly one is packed anyway.
+  request.clear();
+  BuildPollRequest("t", 0, 0, 16, /*max_bytes=*/10, request);
+  WireReader tight = Call(request);
+  EXPECT_EQ(tight.TakeU32(), 1u);
+
+  // Budget for two records: the third is deferred to the next round-trip.
+  request.clear();
+  BuildPollRequest("t", 0, 0, 16, /*max_bytes=*/2000, request);
+  WireReader two = Call(request);
+  EXPECT_EQ(two.TakeU32(), 2u);
+}
+
+TEST_F(WireProtocolTest, ErrorsComeBackAsWireErrors) {
+  std::vector<uint8_t> request;
+  BuildTopicMetaRequest("missing", request);
+  EXPECT_THROW(Call(request), std::runtime_error);
+
+  request.clear();
+  request.push_back(0xEE);  // unknown opcode
+  EXPECT_THROW(Call(request), std::runtime_error);
+
+  // Control verb without a registered handler.
+  request.clear();
+  BuildControlRequest("ping", {}, request);
+  EXPECT_THROW(Call(request), std::runtime_error);
+}
+
+TEST_F(WireProtocolTest, ControlVerbDispatches) {
+  control_ = [](const std::string& verb, std::span<const uint8_t> payload) {
+    std::vector<uint8_t> reply;
+    PutString(verb + "/" + std::to_string(payload.size()), reply);
+    return reply;
+  };
+  std::vector<uint8_t> request;
+  const std::vector<uint8_t> payload = Bytes("abc");
+  BuildControlRequest("echo", payload, request);
+  WireReader reply = Call(request);
+  WireReader body(reply.TakeBytes());
+  EXPECT_EQ(body.TakeString(), "echo/3");
+}
+
+// --- BusConsumer over the in-process backend ---
+
+class BusConsumerTest : public ::testing::Test {
+ protected:
+  BusConsumerTest() : bus_(broker_) { bus_.EnsureTopic("t", 2); }
+
+  void Produce(uint64_t key, const std::string& payload) {
+    const std::vector<uint8_t> bytes = Bytes(payload);
+    const broker::ProduceView view{key, bytes, 0};
+    bus_.Produce("t", std::span<const broker::ProduceView>(&view, 1));
+  }
+
+  broker::Broker broker_;
+  InProcessBus bus_;
+};
+
+TEST_F(BusConsumerTest, PollIntoDrainsAllPartitions) {
+  for (uint64_t key = 0; key < 20; ++key) {
+    Produce(key, "r" + std::to_string(key));
+  }
+  BusConsumer consumer(bus_, "t");
+  EXPECT_EQ(consumer.num_partitions(), 2u);
+  std::vector<broker::RecordView> out;
+  size_t total = 0;
+  while (size_t n = consumer.PollInto(7, out)) {
+    total += n;
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_EQ(consumer.consumed(), 20u);
+  EXPECT_TRUE(consumer.CaughtUp());
+}
+
+TEST_F(BusConsumerTest, PollExactIntoHonorsPromisedCounts) {
+  // Promise exactly what was appended per partition, then append more and
+  // verify the read stopped at the promise.
+  std::vector<uint32_t> counts(2, 0);
+  for (uint64_t key = 0; key < 10; ++key) {
+    Produce(key, "first");
+    ++counts[PartitionForKey(key, 2)];
+  }
+  for (uint64_t key = 10; key < 16; ++key) {
+    Produce(key, "second");
+  }
+  BusConsumer consumer(bus_, "t");
+  std::vector<broker::RecordView> out;
+  EXPECT_EQ(consumer.PollExactInto(counts, out), 10u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_FALSE(consumer.CaughtUp());
+}
+
+TEST_F(BusConsumerTest, PollExactIntoRejectsWrongPartitionCount) {
+  BusConsumer consumer(bus_, "t");
+  std::vector<broker::RecordView> out;
+  const std::vector<uint32_t> wrong(3, 0);
+  try {
+    consumer.PollExactInto(wrong, out);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the consumer surface, not the deleted broker one.
+    EXPECT_NE(std::string(e.what()).find("BusConsumer::PollExactInto"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("partition count mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BusConsumerTest, PollExactIntoThrowsWhenPromiseNotAvailable) {
+  Produce(0, "only one");
+  BusConsumer consumer(bus_, "t");
+  std::vector<broker::RecordView> out;
+  std::vector<uint32_t> counts(2, 0);
+  counts[PartitionForKey(0, 2)] = 2;  // promise more than exists
+  try {
+    consumer.PollExactInto(counts, out);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("promised"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(InProcessBusTest, EnsureTopicMismatchThrows) {
+  broker::Broker broker;
+  InProcessBus bus(broker);
+  bus.EnsureTopic("t", 2);
+  bus.EnsureTopic("t", 2);  // attach is fine
+  EXPECT_THROW(bus.EnsureTopic("t", 3), std::invalid_argument);
+}
+
+TEST(InProcessBusTest, LinkModelAccountsEveryPayloadByte) {
+  broker::Broker broker;
+  net::LinkConfig link;
+  link.bandwidth_bytes_per_ms = 1000.0;
+  link.latency_ms = 1.0;
+  InProcessBus bus(broker, link);
+  bus.EnsureTopic("t", 1);
+  EXPECT_EQ(bus.simulated_transfer_ns(), 0u);
+
+  const std::vector<uint8_t> payload(500, 0x77);
+  const broker::ProduceView view{0, payload, 0};
+  bus.Produce("t", std::span<const broker::ProduceView>(&view, 1));
+  const uint64_t after_produce = bus.simulated_transfer_ns();
+  // latency 1ms + 500B / 1000B-per-ms = 1.5ms.
+  EXPECT_EQ(after_produce, 1500000u);
+
+  std::vector<broker::RecordView> out;
+  ASSERT_EQ(bus.Poll("t", 0, 0, 16, out), 1u);
+  EXPECT_EQ(bus.simulated_transfer_ns(), 2 * after_produce);
+}
+
+TEST(TopicRouterBusTest, RoutesByLongestPrefix) {
+  broker::Broker broker_a, broker_b;
+  InProcessBus bus_a(broker_a), bus_b(broker_b);
+  TopicRouterBus router;
+  router.AddRoute("proxy0.", bus_a);
+  router.AddRoute("proxy0.q7.", bus_b);  // longer prefix wins for q7 lanes
+
+  router.EnsureTopic("proxy0.out", 1);
+  router.EnsureTopic("proxy0.q7.out", 1);
+  const std::vector<uint8_t> payload = Bytes("x");
+  const broker::ProduceView view{0, payload, 0};
+  router.Produce("proxy0.out", std::span<const broker::ProduceView>(&view, 1));
+  router.Produce("proxy0.q7.out",
+                 std::span<const broker::ProduceView>(&view, 1));
+
+  // Each record landed only on its routed backend.
+  EXPECT_EQ(bus_a.EndOffset("proxy0.out", 0), 1u);
+  EXPECT_EQ(bus_b.EndOffset("proxy0.q7.out", 0), 1u);
+  EXPECT_THROW(broker_a.GetTopic("proxy0.q7.out"), std::invalid_argument);
+  EXPECT_THROW(broker_b.GetTopic("proxy0.out"), std::invalid_argument);
+
+  // Reads route the same way.
+  std::vector<broker::RecordView> out;
+  EXPECT_EQ(router.Poll("proxy0.q7.out", 0, 0, 16, out), 1u);
+  EXPECT_EQ(router.NumPartitions("proxy0.out"), 1u);
+  EXPECT_THROW(router.Produce("unrouted.topic", {}), std::invalid_argument);
+}
+
+TEST(PartitionForKeyTest, ZeroPartitionsClampsToZero) {
+  EXPECT_EQ(PartitionForKey(123, 0), 0u);
+}
+
+// --- result_wire: the serialization the socket e2e comparison rides on ---
+
+TEST(ResultWireTest, RoundTripsEveryFieldBitExactly) {
+  aggregator::WindowedResult result;
+  result.query_id = 42;
+  result.window = engine::Window{1000, 2000};
+  result.result.participants = 17;
+  result.result.population = 600;
+  result.result.lost_to_faults = 3;
+  result.result.confidence = 0.95;
+  result.result.sampling_fraction = 0.3125;  // exact in binary
+  core::BucketEstimate bucket;
+  bucket.estimate.value = 123.4567890123;
+  bucket.estimate.error = 0.1 + 0.2;  // a value with messy low bits
+  bucket.estimate.confidence = 0.99;
+  bucket.estimate.sample_size = 550;
+  bucket.randomized_count = 275.25;
+  result.result.buckets = {bucket, bucket};
+
+  const std::vector<uint8_t> wire =
+      deploy::SerializeResults(std::vector<aggregator::WindowedResult>{result});
+  const std::vector<aggregator::WindowedResult> back =
+      deploy::DeserializeResults(wire);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].query_id, 42u);
+  EXPECT_EQ(back[0].window, (engine::Window{1000, 2000}));
+  EXPECT_EQ(back[0].result.participants, 17u);
+  EXPECT_EQ(back[0].result.lost_to_faults, 3u);
+  ASSERT_EQ(back[0].result.buckets.size(), 2u);
+  // Bit-exact double round-trip, not approximate.
+  EXPECT_EQ(std::bit_cast<uint64_t>(back[0].result.buckets[0].estimate.error),
+            std::bit_cast<uint64_t>(bucket.estimate.error));
+  EXPECT_EQ(back[0].result.buckets[1].estimate.value, bucket.estimate.value);
+  // Re-serialization is byte-stable (the comparison CI relies on this).
+  EXPECT_EQ(deploy::SerializeResults(back), wire);
+
+  // Trailing garbage is rejected.
+  std::vector<uint8_t> trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(deploy::DeserializeResults(trailing), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace privapprox::transport
