@@ -33,21 +33,31 @@
 // daemons plus an aggregator daemon driven by a FleetDriver — and reports
 // the loopback shares/sec figure as a single row; the JSON row carries a
 // "transport" tag either way so trajectory diffs never mix the two.
+// --durability=off|on (default off) spills every broker topic through the
+// durable partition log (storage/partition_log.h) under a throwaway temp
+// dir, with --fsync=never|on_rotate|every_n_records|always picking the
+// sync policy — so the trajectory records what the durable write path
+// costs at each policy. The JSON row carries "durability" and "fsync" tags
+// so durable rows never mix with memory-only ones.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/alloc_counter.h"
 #include "common/simd_dispatch.h"
 #include "deploy/aggregator_daemon.h"
 #include "deploy/fleet_driver.h"
 #include "deploy/proxy_daemon.h"
+#include "storage/partition_log.h"
 #include "system/system.h"
 
 using namespace privapprox;
@@ -62,6 +72,27 @@ struct BenchConfig {
   size_t agg_shards = 0;  // aggregator join shards; 0 = worker thread count
   size_t queries = 1;     // concurrent queries sharing the fleet
   std::string transport = "inproc";  // "inproc" | "tcp" (loopback daemons)
+  bool durability = false;      // spill topics through the durable log
+  std::string fsync = "never";  // partition-log fsync policy when durable
+};
+
+// A throwaway data_dir for one durable bench row, wiped on scope exit so
+// rows never replay each other's logs.
+class ScratchDataDir {
+ public:
+  explicit ScratchDataDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("privapprox_bench_" + std::to_string(getpid()) + "_" + tag);
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDataDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
 };
 
 struct Row {
@@ -103,6 +134,12 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
   config.pipeline.mode = mode;
   config.aggregator.num_shards = bench.agg_shards;
   config.metrics.enabled = bench.metrics;
+  const ScratchDataDir data_dir(std::string(ModeName(mode)) + "_" +
+                                std::to_string(threads));
+  if (bench.durability) {
+    config.broker.data_dir = data_dir.str();
+    config.broker.log.fsync = storage::ParseFsyncPolicy(bench.fsync);
+  }
   system::PrivApproxSystem sys(config);
   for (size_t i = 0; i < bench.clients; ++i) {
     auto& db = sys.client(i).database();
@@ -158,11 +195,16 @@ Row RunOne(system::EpochPipelineMode mode, size_t threads,
 // the socket work; epoch sequencing is the driver thread), so the row is
 // the loopback shares/sec figure, not a scaling curve.
 Row RunOneTcp(const BenchConfig& bench) {
+  const ScratchDataDir data_dir("tcp");
   std::vector<std::unique_ptr<deploy::ProxyDaemon>> proxyds;
   std::vector<deploy::Endpoint> proxy_endpoints;
   for (size_t j = 0; j < 2; ++j) {
     deploy::ProxyDaemonConfig config;
     config.proxy_index = j;
+    if (bench.durability) {
+      config.data_dir = data_dir.str() + "/proxyd" + std::to_string(j);
+      config.log.fsync = storage::ParseFsyncPolicy(bench.fsync);
+    }
     proxyds.push_back(std::make_unique<deploy::ProxyDaemon>(config));
     proxyds.back()->Start();
     proxy_endpoints.push_back(
@@ -244,11 +286,20 @@ int main(int argc, char** argv) {
       bench.queries = static_cast<size_t>(std::atoll(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
       bench.transport = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--durability=", 13) == 0) {
+      bench.durability = std::strcmp(argv[i] + 13, "on") == 0;
+      if (!bench.durability && std::strcmp(argv[i] + 13, "off") != 0) {
+        std::fprintf(stderr, "--durability must be 'off' or 'on'\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--fsync=", 8) == 0) {
+      bench.fsync = argv[i] + 8;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--clients=N] [--epochs=N] [--json-out=PATH] "
                    "[--metrics=0|1] [--agg-shards=N] [--queries=N] "
-                   "[--transport=inproc|tcp]\n",
+                   "[--transport=inproc|tcp] [--durability=off|on] "
+                   "[--fsync=POLICY]\n",
                    argv[0]);
       return 1;
     }
@@ -259,6 +310,12 @@ int main(int argc, char** argv) {
   }
   if (bench.transport != "inproc" && bench.transport != "tcp") {
     std::fprintf(stderr, "--transport must be 'inproc' or 'tcp'\n");
+    return 1;
+  }
+  try {
+    storage::ParseFsyncPolicy(bench.fsync);  // validate before any row runs
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
 
@@ -330,16 +387,18 @@ int main(int argc, char** argv) {
 
   // JSON trajectory row (one line, last on stdout; appended to the file).
   std::string json;
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"bench\":\"epoch_pipeline\",\"clients\":%zu,\"epochs\":%zu,"
                 "\"queries\":%zu,\"transport\":\"%s\","
+                "\"durability\":\"%s\",\"fsync\":\"%s\","
                 "\"sampling\":0.6,\"hardware_concurrency\":%zu,\"metrics\":%d,"
                 "\"simd\":\"%s\","
                 "\"rows\":[",
                 bench.clients, bench.epochs, bench.queries,
-                bench.transport.c_str(), hw, bench.metrics ? 1 : 0,
-                simd::IsaName(simd::ActiveIsa()));
+                bench.transport.c_str(), bench.durability ? "on" : "off",
+                bench.durability ? bench.fsync.c_str() : "n/a", hw,
+                bench.metrics ? 1 : 0, simd::IsaName(simd::ActiveIsa()));
   json += buf;
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

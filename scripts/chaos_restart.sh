@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Kill -9 a running daemon and relaunch it on the same port and data dir.
+#
+#   chaos_restart.sh <name>
+#
+# Expects, in the current directory:
+#   <name>.pid   pid of the live daemon
+#   <name>.cmd   the exact command line to relaunch it ("exec ./... --port=...")
+#
+# The relaunched daemon's pid replaces <name>.pid and its output goes to
+# <name>.restart.log; the script blocks until the daemon prints its
+# "listening" line (i.e. crash recovery finished and the port is bound), so
+# by the time the caller's hook returns the endpoint is live again. This is
+# the CI chaos job's --chaos-cmd: SIGKILL means no destructors, no flushes —
+# whatever the fsync policy put on disk is all the restarted daemon gets.
+set -euo pipefail
+
+name="$1"
+pid="$(cat "$name.pid")"
+
+kill -9 "$pid"
+while kill -0 "$pid" 2>/dev/null; do sleep 0.05; done
+echo "chaos_restart: killed $name (pid $pid)"
+
+sh -c "$(cat "$name.cmd")" > "$name.restart.log" 2>&1 &
+echo $! > "$name.pid"
+
+for _ in $(seq 1 200); do
+  if grep -q listening "$name.restart.log" 2>/dev/null; then
+    echo "chaos_restart: $name back up (pid $(cat "$name.pid"))"
+    exit 0
+  fi
+  sleep 0.05
+done
+echo "chaos_restart: $name never came back" >&2
+cat "$name.restart.log" >&2
+exit 1

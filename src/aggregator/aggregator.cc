@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <iterator>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/histogram.h"
@@ -220,16 +222,32 @@ uint64_t Aggregator::DrainLane(Lane& lane) {
   const size_t num_sources = lane.consumers.size();
   drain_views_.resize(num_sources);
   drain_decoded_.resize(num_sources);
+  // First poll failure across sources; rethrown only after everything
+  // already committed has been fed downstream. Consumer offsets advance on
+  // each successful poll, so a record sitting in `views` when a later poll
+  // throws is committed — dropping it here would skip it forever.
+  std::exception_ptr drain_error;
+  std::mutex drain_error_mu;
   const auto drain_source = [&](size_t source) {
     transport::BusConsumer& consumer = *lane.consumers[source];
     drain_decoded_[source].Clear();
     std::vector<broker::RecordView>& views = drain_views_[source];
-    for (;;) {
-      views.clear();
-      if (consumer.PollInto(4096, views) == 0) {
-        break;
+    try {
+      for (;;) {
+        views.clear();
+        if (consumer.PollInto(4096, views) == 0) {
+          break;
+        }
+        proxy::Proxy::DecodeShares(views, drain_decoded_[source]);
       }
+    } catch (...) {
+      // Keep whatever this source committed before the failure (PollInto
+      // may have appended records whose offsets are already advanced).
       proxy::Proxy::DecodeShares(views, drain_decoded_[source]);
+      std::lock_guard<std::mutex> lock(drain_error_mu);
+      if (drain_error == nullptr) {
+        drain_error = std::current_exception();
+      }
     }
   };
   {
@@ -255,7 +273,26 @@ uint64_t Aggregator::DrainLane(Lane& lane) {
     NoteMalformed(batch.malformed);
   }
   FeedShards(lane, drain_decoded_);
+  if (drain_error != nullptr) {
+    std::rethrow_exception(drain_error);
+  }
   return consumed;
+}
+
+std::vector<std::pair<std::string, std::vector<uint64_t>>>
+Aggregator::SourceOffsets() const {
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> out;
+  for (const auto& [qid, lane] : lanes_) {
+    for (const auto& consumer : lane->consumers) {
+      std::vector<uint64_t> offsets;
+      offsets.reserve(consumer->num_partitions());
+      for (size_t p = 0; p < consumer->num_partitions(); ++p) {
+        offsets.push_back(consumer->offset(p));
+      }
+      out.emplace_back(consumer->topic(), std::move(offsets));
+    }
+  }
+  return out;
 }
 
 void Aggregator::FeedShards(

@@ -162,7 +162,21 @@ class Aggregator {
 
   // Drains every lane's source topics through join -> decrypt -> window,
   // lanes in ascending-QID order. Returns the number of shares consumed.
+  //
+  // Retry-lossless under transport failures: if a source's poll throws
+  // (e.g. its TCP peer died mid-drain), the records every source had
+  // already committed — consumer offsets advance on successful polls — are
+  // still decoded and fed to the join before the first failure is rethrown,
+  // so a caller that retries Drain after the peer returns never loses a
+  // committed record.
   uint64_t Drain();
+
+  // (topic, per-partition committed offsets) for every lane source
+  // consumer, lanes in ascending-QID order — the retention low-watermarks
+  // an operator plumbs back to the proxy daemons (advance_watermark) so
+  // their durable out-topic segments below these offsets can be deleted.
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> SourceOffsets()
+      const;
 
   // --- Streaming-mode consumption (system/system.cc) -------------------
   //

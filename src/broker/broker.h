@@ -9,9 +9,11 @@
 #ifndef PRIVAPPROX_BROKER_BROKER_H_
 #define PRIVAPPROX_BROKER_BROKER_H_
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,8 +21,34 @@
 
 namespace privapprox::broker {
 
+// Broker-wide durability: every topic created after EnableDurability spills
+// its partitions to <data_dir>/<topic name>/p<k>, and RecoverTopics
+// re-creates (and replays) every topic a previous incarnation left there.
+struct BrokerDurability {
+  std::filesystem::path data_dir;
+  storage::PartitionLogOptions log;
+};
+
 class Broker {
  public:
+  // Turns on durable spill for every topic created from now on. Must be
+  // called before any topic exists (std::logic_error otherwise) — a broker
+  // whose topics straddle the durability boundary could not recover
+  // coherently.
+  void EnableDurability(BrokerDurability durability);
+  bool durable() const;
+
+  // Re-creates every topic found under the durability data_dir — directory
+  // name = topic name, partition count = number of p<k> subdirectories —
+  // replaying each partition's log into memory. Topics that already exist
+  // in this broker are skipped. Returns the names recovered (sorted).
+  // std::logic_error if durability is not enabled.
+  std::vector<std::string> RecoverTopics();
+
+  // privapprox_storage_* sources summed over every durable topic (all zero
+  // when durability is off). Collection-time only.
+  DurableStats durable_stats() const;
+
   // Creates a topic; throws if it exists.
   Topic& CreateTopic(const std::string& name, size_t num_partitions);
 
@@ -43,7 +71,12 @@ class Broker {
   std::vector<std::string> TopicNames() const;
 
  private:
+  // Requires mu_ held.
+  std::unique_ptr<Topic> MakeTopic(const std::string& name,
+                                   size_t num_partitions) const;
+
   mutable std::mutex mu_;
+  std::optional<BrokerDurability> durability_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
 };
 

@@ -1,5 +1,6 @@
 #include "broker/topic.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,6 +23,29 @@ Topic::Topic(std::string name, size_t num_partitions)
     : name_(std::move(name)), partitions_(std::max<size_t>(1, num_partitions)) {
   if (name_.empty()) {
     throw std::invalid_argument("Topic: empty name");
+  }
+}
+
+Topic::Topic(std::string name, size_t num_partitions,
+             const TopicDurability& durability)
+    : Topic(std::move(name), num_partitions) {
+  durable_ = true;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& partition = partitions_[p];
+    partition.log = std::make_unique<storage::PartitionLog>(
+        durability.directory / ("p" + std::to_string(p)), durability.log);
+    partition.base = partition.log->base_offset();
+    // Recovery replay: rebuild the in-memory slabs/index from disk. No lock
+    // needed — the topic is not yet published. Replay goes through the
+    // memory-only append so records are not re-spilled.
+    partition.log->Replay([&partition](uint64_t /*offset*/, uint64_t key,
+                                       int64_t timestamp_ms,
+                                       std::span<const uint8_t> payload) {
+      AppendToMemory(partition, key, payload, timestamp_ms);
+    });
+    // Replayed records are not re-counted in records_in_ — that counter
+    // means "produced into this incarnation"; recovery volume is surfaced
+    // separately via durable_stats().recovered_records.
   }
 }
 
@@ -52,9 +76,9 @@ void Topic::EnsureIndexCapacity(Partition& partition, size_t additional) {
   }
 }
 
-void Topic::AppendLocked(Partition& partition, uint64_t key,
-                         std::span<const uint8_t> payload,
-                         int64_t timestamp_ms) {
+void Topic::AppendToMemory(Partition& partition, uint64_t key,
+                           std::span<const uint8_t> payload,
+                           int64_t timestamp_ms) {
   uint8_t* dst = SlabAlloc(partition, payload.size());
   if (!payload.empty()) {
     std::memcpy(dst, payload.data(), payload.size());
@@ -63,13 +87,25 @@ void Topic::AppendLocked(Partition& partition, uint64_t key,
       dst, static_cast<uint32_t>(payload.size()), timestamp_ms, key});
 }
 
+void Topic::AppendLocked(Partition& partition, uint64_t key,
+                         std::span<const uint8_t> payload,
+                         int64_t timestamp_ms) {
+  AppendToMemory(partition, key, payload, timestamp_ms);
+  if (partition.log != nullptr) {
+    // Disk stays in lockstep with memory: the log's end offset equals
+    // base + index.size() by construction (replay filled exactly
+    // [base, end), and every append lands in both under this lock).
+    partition.log->Append(key, timestamp_ms, payload);
+  }
+}
+
 uint64_t Topic::Append(uint64_t key, std::span<const uint8_t> payload,
                        int64_t timestamp_ms) {
   Partition& partition = partitions_[PartitionOf(key)];
   uint64_t offset;
   {
     std::lock_guard<std::mutex> lock(partition.mu);
-    offset = partition.index.size();
+    offset = partition.base + partition.index.size();
     AppendLocked(partition, key, payload, timestamp_ms);
   }
   records_in_.fetch_add(1, std::memory_order_relaxed);
@@ -199,9 +235,11 @@ void Topic::ReadInto(size_t partition_index, uint64_t offset,
   size_t bytes = 0;
   {
     std::lock_guard<std::mutex> lock(partition.mu);
-    const uint64_t end = partition.index.size();
-    for (uint64_t i = offset; i < end && count < max_records; ++i, ++count) {
-      const IndexEntry& entry = partition.index[static_cast<size_t>(i)];
+    const uint64_t end = partition.base + partition.index.size();
+    for (uint64_t i = std::max(offset, partition.base);
+         i < end && count < max_records; ++i, ++count) {
+      const IndexEntry& entry =
+          partition.index[static_cast<size_t>(i - partition.base)];
       out.push_back(Record{
           i, entry.timestamp_ms, entry.key,
           std::vector<uint8_t>(entry.payload,
@@ -223,9 +261,11 @@ void Topic::ReadViews(size_t partition_index, uint64_t offset,
   size_t bytes = 0;
   {
     std::lock_guard<std::mutex> lock(partition.mu);
-    const uint64_t end = partition.index.size();
-    for (uint64_t i = offset; i < end && count < max_records; ++i, ++count) {
-      const IndexEntry& entry = partition.index[static_cast<size_t>(i)];
+    const uint64_t end = partition.base + partition.index.size();
+    for (uint64_t i = std::max(offset, partition.base);
+         i < end && count < max_records; ++i, ++count) {
+      const IndexEntry& entry =
+          partition.index[static_cast<size_t>(i - partition.base)];
       out.push_back(RecordView{i, entry.timestamp_ms, entry.key,
                                entry.payload, entry.payload_len});
       bytes += entry.payload_len;
@@ -241,7 +281,48 @@ uint64_t Topic::EndOffset(size_t partition_index) const {
   }
   const Partition& partition = partitions_[partition_index];
   std::lock_guard<std::mutex> lock(partition.mu);
-  return partition.index.size();
+  return partition.base + partition.index.size();
+}
+
+size_t Topic::AdvanceWatermark(size_t partition_index, uint64_t offset) {
+  if (partition_index >= partitions_.size()) {
+    throw std::out_of_range("Topic::AdvanceWatermark: bad partition");
+  }
+  Partition& partition = partitions_[partition_index];
+  std::lock_guard<std::mutex> lock(partition.mu);
+  if (partition.log == nullptr) {
+    return 0;
+  }
+  // Never trim past what exists — a watermark from a confused consumer must
+  // not delete the active segment's future.
+  const uint64_t end = partition.base + partition.index.size();
+  return partition.log->TrimBelow(std::min(offset, end));
+}
+
+void Topic::SyncDurable() {
+  for (Partition& partition : partitions_) {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    if (partition.log != nullptr) {
+      partition.log->Sync();
+    }
+  }
+}
+
+DurableStats Topic::durable_stats() const {
+  DurableStats stats;
+  for (const Partition& partition : partitions_) {
+    std::lock_guard<std::mutex> lock(partition.mu);
+    if (partition.log == nullptr) {
+      continue;
+    }
+    const storage::PartitionLogStats log_stats = partition.log->stats();
+    stats.segments += log_stats.segments;
+    stats.bytes += log_stats.bytes;
+    stats.fsyncs += log_stats.fsyncs;
+    stats.recovered_records += log_stats.recovered_records;
+    stats.truncated_tails += log_stats.truncated_tails;
+  }
+  return stats;
 }
 
 TopicMetrics Topic::metrics() const {

@@ -21,11 +21,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "storage/partition_log.h"
 
 namespace privapprox::broker {
 
@@ -84,6 +87,27 @@ struct SlabStats {
   uint64_t used_bytes = 0;
 };
 
+// Opt-in durable spill: every append additionally lands in a
+// storage::PartitionLog at <directory>/p<k> for partition k, and the topic
+// constructor replays whatever those logs hold back into the in-memory
+// slabs — so a recovered topic serves reads and offsets exactly as if the
+// process had never died. Absent (the default), the topic is byte-identical
+// to the memory-only topic of previous releases.
+struct TopicDurability {
+  std::filesystem::path directory;
+  storage::PartitionLogOptions log;
+};
+
+// privapprox_storage_* metric sources, summed over a topic's (or broker's)
+// partition logs. All zero for a non-durable topic.
+struct DurableStats {
+  uint64_t segments = 0;
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t recovered_records = 0;
+  uint64_t truncated_tails = 0;
+};
+
 // The partition a key maps to in a topic with `num_partitions` partitions
 // (splitmix hash of the key; counts below 1 clamp to 1, matching the Topic
 // constructor). Exposed as a free function so transport-side producers can
@@ -99,9 +123,17 @@ class Topic {
   static constexpr size_t kSlabChunkBytes = 256 * 1024;
 
   Topic(std::string name, size_t num_partitions);
+  // Durable topic: appends spill through per-partition logs under
+  // `durability.directory` and the constructor recovers (replays) whatever
+  // a previous incarnation left there. Throws storage::SegmentLogError on
+  // unrecoverable on-disk corruption or a directory locked by a live
+  // instance.
+  Topic(std::string name, size_t num_partitions,
+        const TopicDurability& durability);
 
   const std::string& name() const { return name_; }
   size_t num_partitions() const { return partitions_.size(); }
+  bool durable() const { return durable_; }
 
   // The partition a key maps to (splitmix hash of the key).
   size_t PartitionOf(uint64_t key) const;
@@ -151,6 +183,20 @@ class Topic {
   // time, not the hot path.
   SlabStats slab_stats() const;
 
+  // --- Durable-spill surface (no-ops on a non-durable topic) -------------
+
+  // Retention by consumer low-watermark: deletes whole on-disk segments of
+  // `partition` whose records all sit below `offset`. Disk only — the
+  // in-memory slabs keep every record, preserving the RecordView lifetime
+  // guarantee for live consumers. Returns segments deleted.
+  size_t AdvanceWatermark(size_t partition, uint64_t offset);
+
+  // Forces every partition log to disk regardless of fsync policy.
+  void SyncDurable();
+
+  // Takes each partition lock briefly (exposition-time collection).
+  DurableStats durable_stats() const;
+
  private:
   struct Slab {
     std::unique_ptr<uint8_t[]> data;
@@ -167,16 +213,28 @@ class Topic {
     mutable std::mutex mu;
     std::vector<Slab> slabs;
     std::vector<IndexEntry> index;
+    // Durable spill; null on a memory-only topic. `base` is the offset of
+    // index[0]: fixed at recovery time to the log's base offset (non-zero
+    // when earlier segments were retention-trimmed before the restart), so
+    // EndOffset == base + index.size() continues the pre-crash numbering.
+    std::unique_ptr<storage::PartitionLog> log;
+    uint64_t base = 0;
   };
 
-  // Both helpers require the partition lock to be held.
+  // All helpers require the partition lock to be held. AppendToMemory is
+  // the slab+index half (also the recovery replay path); AppendLocked
+  // additionally spills to the partition log when one is attached.
   static uint8_t* SlabAlloc(Partition& partition, size_t len);
   static void EnsureIndexCapacity(Partition& partition, size_t additional);
+  static void AppendToMemory(Partition& partition, uint64_t key,
+                             std::span<const uint8_t> payload,
+                             int64_t timestamp_ms);
   static void AppendLocked(Partition& partition, uint64_t key,
                            std::span<const uint8_t> payload,
                            int64_t timestamp_ms);
 
   std::string name_;
+  bool durable_ = false;
   std::vector<Partition> partitions_;
   // Lock-free counters: metrics updates sit on the hot produce/consume paths
   // and must not serialize parallel workers.

@@ -1,5 +1,7 @@
 #include "deploy/aggregator_daemon.h"
 
+#include <filesystem>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/query_wire.h"
@@ -50,6 +52,42 @@ AggregatorDaemon::AggregatorDaemon(AggregatorDaemonConfig config)
         results_.push_back(result);
       });
 
+  if (!config_.data_dir.empty()) {
+    journal_ = std::make_unique<storage::PartitionLog>(
+        std::filesystem::path(config_.data_dir) / "query_journal",
+        config_.log);
+    // Re-register every query a previous incarnation accepted. The lane
+    // consumers start at offset zero, so the next drains re-consume the
+    // proxies' retained streams from the beginning.
+    journal_->Replay([this](uint64_t /*offset*/, uint64_t /*key*/,
+                            int64_t /*timestamp_ms*/,
+                            std::span<const uint8_t> payload) {
+      RegisterAnnouncement(payload, /*journal=*/false);
+    });
+
+    auto* segments = &registry_.GetGauge("privapprox_storage_segments",
+                                         "Live query-journal segments");
+    auto* bytes = &registry_.GetGauge("privapprox_storage_bytes",
+                                      "Bytes held in the query journal");
+    auto* fsyncs = &registry_.GetGauge("privapprox_storage_fsyncs",
+                                       "fsync calls issued by the journal");
+    auto* recovered = &registry_.GetGauge(
+        "privapprox_storage_recovered_records",
+        "Journal records replayed at startup");
+    auto* truncated = &registry_.GetGauge(
+        "privapprox_storage_truncated_tails",
+        "Torn journal tails truncated during recovery");
+    registry_.AddCollector(
+        [this, segments, bytes, fsyncs, recovered, truncated] {
+          const storage::PartitionLogStats s = journal_->stats();
+          segments->Set(static_cast<int64_t>(s.segments));
+          bytes->Set(static_cast<int64_t>(s.bytes));
+          fsyncs->Set(static_cast<int64_t>(s.fsyncs));
+          recovered->Set(static_cast<int64_t>(s.recovered_records));
+          truncated->Set(static_cast<int64_t>(s.truncated_tails));
+        });
+  }
+
   transport::TcpBusServerConfig server_config;
   server_config.bind_host = config_.bind_host;
   server_config.port = config_.port;
@@ -75,6 +113,32 @@ void AggregatorDaemon::Stop() { server_->Stop(); }
 
 uint16_t AggregatorDaemon::port() const { return server_->port(); }
 
+bool AggregatorDaemon::RegisterAnnouncement(
+    std::span<const uint8_t> announcement, bool journal) {
+  // The announcement is the registration unit — the same bytes every client
+  // parses, so daemon and in-process lanes run identical (query, params)
+  // pairs by construction. It is also the journal record, so replay and the
+  // live verb share this one code path.
+  const core::QueryAnnouncement ann = core::DeserializeAnnouncement(announcement);
+  if (aggregator_->HasQuery(ann.query.query_id)) {
+    return false;  // driver retry after a restart, or duplicate submission
+  }
+  if (journal && journal_ != nullptr) {
+    // Journal before registering, and sync unconditionally: once the verb
+    // acks, the query must survive kill -9 under any fsync policy.
+    journal_->Append(ann.query.query_id, /*timestamp_ms=*/0, announcement);
+    journal_->Sync();
+  }
+  aggregator::QueryLaneOptions lane;
+  lane.source_topics.reserve(config_.proxies.size());
+  for (size_t j = 0; j < config_.proxies.size(); ++j) {
+    lane.source_topics.push_back("proxy" + std::to_string(j) + ".q" +
+                                 std::to_string(ann.query.query_id) + ".out");
+  }
+  aggregator_->RegisterQuery(ann.query, ann.params, std::move(lane));
+  return true;
+}
+
 std::vector<uint8_t> AggregatorDaemon::HandleControl(
     const std::string& verb, std::span<const uint8_t> payload) {
   std::vector<uint8_t> response;
@@ -82,18 +146,7 @@ std::vector<uint8_t> AggregatorDaemon::HandleControl(
     return response;
   }
   if (verb == "register_query") {
-    // The announcement is the registration unit — the same bytes every
-    // client parses, so daemon and in-process lanes run identical (query,
-    // params) pairs by construction.
-    const core::QueryAnnouncement ann = core::DeserializeAnnouncement(payload);
-    aggregator::QueryLaneOptions lane;
-    lane.source_topics.reserve(config_.proxies.size());
-    for (size_t j = 0; j < config_.proxies.size(); ++j) {
-      lane.source_topics.push_back("proxy" + std::to_string(j) + ".q" +
-                                   std::to_string(ann.query.query_id) +
-                                   ".out");
-    }
-    aggregator_->RegisterQuery(ann.query, ann.params, std::move(lane));
+    RegisterAnnouncement(payload, /*journal=*/true);
     return response;
   }
   if (verb == "drain") {
@@ -112,6 +165,41 @@ std::vector<uint8_t> AggregatorDaemon::HandleControl(
   if (verb == "take_results") {
     response = SerializeResults(results_);
     results_.clear();
+    return response;
+  }
+  if (verb == "source_offsets") {
+    // Per-source-topic consumed offsets — the retention low-watermarks the
+    // fleet driver routes to each proxy daemon's advance_watermark verb.
+    const auto offsets = aggregator_->SourceOffsets();
+    transport::PutU32(static_cast<uint32_t>(offsets.size()), response);
+    for (const auto& [topic, parts] : offsets) {
+      transport::PutString(topic, response);
+      transport::PutU32(static_cast<uint32_t>(parts.size()), response);
+      for (const uint64_t offset : parts) {
+        transport::PutU64(offset, response);
+      }
+    }
+    return response;
+  }
+  if (verb == "snapshot_offsets") {
+    std::ostringstream out;
+    out << "aggregator\n";
+    for (const auto& [topic, parts] : aggregator_->SourceOffsets()) {
+      out << "source " << topic << " consumed=";
+      for (size_t p = 0; p < parts.size(); ++p) {
+        out << (p != 0 ? "," : "") << parts[p];
+      }
+      out << "\n";
+    }
+    if (journal_ != nullptr) {
+      const storage::PartitionLogStats s = journal_->stats();
+      out << "journal records=" << journal_->end_offset()
+          << " segments=" << s.segments << " bytes=" << s.bytes
+          << " recovered_records=" << s.recovered_records
+          << " truncated_tails=" << s.truncated_tails << "\n";
+    }
+    const std::string text = out.str();
+    response.assign(text.begin(), text.end());
     return response;
   }
   if (verb == "metrics") {

@@ -17,8 +17,21 @@
 //   advance_watermark  u64 (bit-cast i64 ms)       -> (empty)
 //   flush              (empty)                     -> (empty)
 //   take_results       (empty)                     -> result_wire bytes
+//   source_offsets     (empty)                     -> u32 n, n x {str topic,
+//                                                    u32 k, k x u64 offset}
+//   snapshot_offsets   (empty)                     -> text offset dump
 //   metrics            (empty)                     -> Prometheus text
 //   ping               (empty)                     -> (empty)
+//
+// Durability: with a non-empty data_dir the daemon keeps a *query journal*
+// — a storage::PartitionLog of raw announcement bytes at
+// <data_dir>/query_journal, fsynced per append. A restarted daemon replays
+// the journal to re-register every query, then its lane consumers restart
+// at offset zero and re-consume the (durable, retained) proxy streams;
+// because windows only fire at Flush, an interrupted epoch converges to the
+// uninterrupted result. register_query is idempotent across the restart
+// (already-registered QIDs are skipped, and skipped registrations are not
+// re-journaled).
 //
 // privapprox_aggregatord (deploy/aggregatord_main.cc) is this class plus
 // flag parsing and signal handling.
@@ -36,6 +49,7 @@
 #include "broker/broker.h"
 #include "deploy/endpoint.h"
 #include "metrics/metrics.h"
+#include "storage/partition_log.h"
 #include "transport/message_bus.h"
 #include "transport/tcp_bus.h"
 
@@ -54,6 +68,11 @@ struct AggregatorDaemonConfig {
   size_t num_shards = 1;
   std::string bind_host = "127.0.0.1";
   uint16_t port = 0;  // 0 = ephemeral
+  // Durability root. Empty = no journal (previous behavior). Non-empty =
+  // query announcements journal to <data_dir>/query_journal and the
+  // constructor replays them.
+  std::string data_dir;
+  storage::PartitionLogOptions log;
 };
 
 class AggregatorDaemon {
@@ -73,6 +92,11 @@ class AggregatorDaemon {
  private:
   std::vector<uint8_t> HandleControl(const std::string& verb,
                                      std::span<const uint8_t> payload);
+  // Registers the announcement's query (no-op if the QID already has a
+  // lane). `journal` = append the bytes to the query journal first — true on
+  // the control verb, false during replay. Returns whether it registered.
+  bool RegisterAnnouncement(std::span<const uint8_t> announcement,
+                            bool journal);
 
   AggregatorDaemonConfig config_;
   metrics::Registry registry_;
@@ -83,6 +107,8 @@ class AggregatorDaemon {
   transport::TopicRouterBus router_;
   std::unique_ptr<aggregator::Aggregator> aggregator_;
   std::vector<aggregator::WindowedResult> results_;
+  // Query journal; null when data_dir is empty.
+  std::unique_ptr<storage::PartitionLog> journal_;
   std::unique_ptr<transport::TcpBusServer> server_;
 };
 

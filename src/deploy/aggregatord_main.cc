@@ -3,7 +3,13 @@
 //
 //   privapprox_aggregatord --port=9200 --proxy=127.0.0.1:9100 \
 //       --proxy=127.0.0.1:9101 --population=600 [--confidence=0.95]
-//       [--host=127.0.0.1] [--invert] [--shards=1]
+//       [--host=127.0.0.1] [--invert] [--shards=1] [--data-dir=DIR]
+//       [--fsync=never|on_rotate|every_n_records|always]
+//       [--fsync-every-n=N] [--segment-bytes=B]
+//
+// --data-dir turns on the query journal: announcements persist to
+// <dir>/query_journal and a restarted daemon re-registers them before the
+// "listening" line prints.
 //
 // --proxy order defines proxy indices (the first --proxy is proxy 0).
 // Prints "listening <host>:<port>" once ready, then serves until
@@ -38,7 +44,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: privapprox_aggregatord --port=P --proxy=H:P "
                "--proxy=H:P [...] --population=N [--confidence=C] "
-               "[--host=H] [--invert] [--shards=K]\n");
+               "[--host=H] [--invert] [--shards=K] [--data-dir=DIR] "
+               "[--fsync=POLICY] [--fsync-every-n=N] [--segment-bytes=B]\n");
   return 2;
 }
 
@@ -60,6 +67,14 @@ int main(int argc, char** argv) {
       config.bind_host = value;
     } else if (ParseFlag(argv[i], "shards", value)) {
       config.num_shards = std::stoul(value);
+    } else if (ParseFlag(argv[i], "data-dir", value)) {
+      config.data_dir = value;
+    } else if (ParseFlag(argv[i], "fsync", value)) {
+      config.log.fsync = privapprox::storage::ParseFsyncPolicy(value);
+    } else if (ParseFlag(argv[i], "fsync-every-n", value)) {
+      config.log.fsync_every_n = std::stoull(value);
+    } else if (ParseFlag(argv[i], "segment-bytes", value)) {
+      config.log.max_segment_bytes = std::stoull(value);
     } else if (std::strcmp(argv[i], "--invert") == 0) {
       config.answers_inverted = true;
     } else {

@@ -3,7 +3,19 @@
 //
 //   privapprox_clientfleet --proxy=127.0.0.1:9100 --proxy=127.0.0.1:9101 \
 //       --aggregator=127.0.0.1:9200 --clients=600 [--epochs=3] [--seed=42]
-//       [--compare-inproc] [--metrics-dir=DIR]
+//       [--compare-inproc] [--metrics-dir=DIR] [--results-out=FILE]
+//       [--retention] [--chaos-cmd=CMD] [--chaos-epoch=E]
+//       [--chaos-point=after_produce|before_drain]
+//
+// Chaos (crash-restart CI): --chaos-cmd runs a shell command exactly once,
+// at epoch --chaos-epoch, from the --chaos-point seam inside RunEpoch —
+// after the epoch's shares are produced/acked, or right before the
+// aggregator drain. The command typically kill -9s one daemon and restarts
+// it on the same port and --data-dir; the driver's control retries absorb
+// the one failed RPC the restart costs. --results-out writes the final
+// result wire bytes to a file so an interrupted run can be byte-compared
+// with an uninterrupted one. --retention runs a fleet-wide retention sweep
+// after every epoch (and prints segments deleted).
 //
 // The workload is fixed (speed telemetry, one windowed query) and seeded,
 // so two runs against the same daemon topology are identical. With
@@ -16,9 +28,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -76,7 +90,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: privapprox_clientfleet --proxy=H:P --proxy=H:P [...] "
                "--aggregator=H:P --clients=N [--epochs=E] [--seed=S] "
-               "[--compare-inproc] [--metrics-dir=DIR]\n");
+               "[--compare-inproc] [--metrics-dir=DIR] [--results-out=FILE] "
+               "[--retention] [--chaos-cmd=CMD] [--chaos-epoch=E] "
+               "[--chaos-point=after_produce|before_drain]\n");
   return 2;
 }
 
@@ -95,7 +111,12 @@ int main(int argc, char** argv) {
   Endpoint aggregator;
   size_t epochs = 3;
   bool compare_inproc = false;
+  bool retention = false;
   std::string metrics_dir;
+  std::string results_out;
+  std::string chaos_cmd;
+  std::string chaos_point = "after_produce";
+  size_t chaos_epoch = 0;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "proxy", value)) {
@@ -110,6 +131,16 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(value);
     } else if (ParseFlag(argv[i], "metrics-dir", value)) {
       metrics_dir = value;
+    } else if (ParseFlag(argv[i], "results-out", value)) {
+      results_out = value;
+    } else if (ParseFlag(argv[i], "chaos-cmd", value)) {
+      chaos_cmd = value;
+    } else if (ParseFlag(argv[i], "chaos-epoch", value)) {
+      chaos_epoch = std::stoul(value);
+    } else if (ParseFlag(argv[i], "chaos-point", value)) {
+      chaos_point = value;
+    } else if (std::strcmp(argv[i], "--retention") == 0) {
+      retention = true;
     } else if (std::strcmp(argv[i], "--compare-inproc") == 0) {
       compare_inproc = true;
     } else {
@@ -119,6 +150,38 @@ int main(int argc, char** argv) {
   if (config.proxies.size() < 2 || config.aggregator.port == 0 ||
       config.num_clients == 0) {
     return Usage();
+  }
+  if (chaos_point != "after_produce" && chaos_point != "before_drain") {
+    return Usage();
+  }
+
+  // The chaos hook fires once, at the chosen epoch and seam. The kill +
+  // restart command runs synchronously (std::system), so by the time the
+  // hook returns the daemon is back on its port and the driver's retried
+  // control calls reconnect to it.
+  size_t current_epoch = 0;
+  bool chaos_fired = false;
+  const auto fire_chaos = [&] {
+    if (chaos_fired || current_epoch != chaos_epoch) {
+      return;
+    }
+    chaos_fired = true;
+    std::printf("chaos: epoch %zu %s: %s\n", current_epoch,
+                chaos_point.c_str(), chaos_cmd.c_str());
+    std::fflush(stdout);
+    const int rc = std::system(chaos_cmd.c_str());
+    if (rc != 0) {
+      throw std::runtime_error("chaos command failed (exit " +
+                               std::to_string(rc) + ")");
+    }
+  };
+  if (!chaos_cmd.empty()) {
+    config.control_retries = 3;
+    if (chaos_point == "after_produce") {
+      config.after_produce_hook = fire_chaos;
+    } else {
+      config.before_drain_hook = fire_chaos;
+    }
   }
 
   try {
@@ -131,6 +194,7 @@ int main(int argc, char** argv) {
     uint64_t total_shares = 0;
     const auto start = std::chrono::steady_clock::now();
     for (size_t e = 0; e < epochs; ++e) {
+      current_epoch = e;
       const FleetEpochStats stats =
           fleet.RunEpoch(static_cast<int64_t>(1000 * (e + 1)));
       total_shares += stats.shares_sent;
@@ -140,6 +204,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.shares_sent),
                   static_cast<unsigned long long>(stats.shares_forwarded),
                   static_cast<unsigned long long>(stats.shares_consumed));
+      if (retention) {
+        std::printf("epoch %zu: retention deleted %llu segment(s)\n", e,
+                    static_cast<unsigned long long>(fleet.AdvanceRetention()));
+      }
+    }
+    if (!chaos_cmd.empty() && !chaos_fired) {
+      throw std::logic_error("chaos command never fired (--chaos-epoch >= "
+                             "--epochs?)");
     }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -154,14 +226,27 @@ int main(int argc, char** argv) {
                 results.size(), static_cast<unsigned long long>(total_shares),
                 seconds, seconds > 0 ? total_shares / seconds : 0.0);
 
+    if (!results_out.empty()) {
+      std::ofstream out(results_out, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(wire.data()),
+                static_cast<std::streamsize>(wire.size()));
+      if (!out) {
+        throw std::runtime_error("cannot write " + results_out);
+      }
+    }
+
     if (!metrics_dir.empty()) {
       std::filesystem::create_directories(metrics_dir);
       for (size_t j = 0; j < config.proxies.size(); ++j) {
         WriteFile(metrics_dir + "/proxyd" + std::to_string(j) + ".metrics",
                   fleet.ProxyMetricsText(j));
+        WriteFile(metrics_dir + "/proxyd" + std::to_string(j) + ".offsets",
+                  fleet.ProxySnapshotText(j));
       }
       WriteFile(metrics_dir + "/aggregatord.metrics",
                 fleet.AggregatorMetricsText());
+      WriteFile(metrics_dir + "/aggregatord.offsets",
+                fleet.AggregatorSnapshotText());
       WriteFile(metrics_dir + "/clientfleet.metrics", fleet.MetricsText());
     }
 

@@ -189,30 +189,119 @@ FleetEpochStats FleetDriver::RunEpoch(int64_t now_ms) {
   }
   arena_.Reset();
 
+  // Chaos seams: every produce above is acked (and, on a durable fleet with
+  // fsync=always, on disk) before after_produce_hook fires, and everything
+  // below is an idempotent RPC.
+  if (config_.after_produce_hook) {
+    config_.after_produce_hook();
+  }
+
   for (size_t j = 0; j < num_proxies; ++j) {
     const std::vector<uint8_t> reply =
-        proxy_buses_[j]->Control("forward_lanes", {});
+        ControlWithRetry(*proxy_buses_[j], "forward_lanes", {});
     transport::WireReader reader(reply);
     stats.shares_forwarded += reader.TakeU64();
   }
+
+  if (config_.before_drain_hook) {
+    config_.before_drain_hook();
+  }
+
   {
-    const std::vector<uint8_t> reply = aggregator_bus_->Control("drain", {});
+    const std::vector<uint8_t> reply =
+        ControlWithRetry(*aggregator_bus_, "drain", {});
     transport::WireReader reader(reply);
     stats.shares_consumed = reader.TakeU64();
   }
   return stats;
 }
 
+std::vector<uint8_t> FleetDriver::ControlWithRetry(
+    transport::TcpBusClient& bus, const std::string& verb,
+    std::span<const uint8_t> payload) {
+  for (size_t attempt = 0;; ++attempt) {
+    try {
+      return bus.Control(verb, payload);
+    } catch (const std::exception&) {
+      if (attempt >= config_.control_retries) {
+        throw;
+      }
+      // The client re-dials on the next call (with its own backoff window),
+      // so the retry itself is the recovery wait.
+    }
+  }
+}
+
+uint64_t FleetDriver::AdvanceRetention() {
+  // source_offsets response: u32 n, n x {string topic, u32 k, k x u64}.
+  const std::vector<uint8_t> reply =
+      ControlWithRetry(*aggregator_bus_, "source_offsets", {});
+  transport::WireReader reader(reply);
+  // Regroup by hosting proxy: topic "proxy<j>.q<QID>.out" belongs to
+  // proxy_buses_[j]. Payload format to each proxy mirrors the response.
+  std::vector<std::vector<uint8_t>> payloads(proxy_buses_.size());
+  std::vector<uint32_t> counts(proxy_buses_.size(), 0);
+  const uint32_t num_topics = reader.TakeU32();
+  for (uint32_t i = 0; i < num_topics; ++i) {
+    const std::string topic = reader.TakeString();
+    const uint32_t num_parts = reader.TakeU32();
+    size_t owner = proxy_buses_.size();
+    for (size_t j = 0; j < proxy_buses_.size(); ++j) {
+      const std::string prefix = "proxy" + std::to_string(j) + ".";
+      if (topic.compare(0, prefix.size(), prefix) == 0) {
+        owner = j;
+        break;
+      }
+    }
+    if (owner == proxy_buses_.size()) {
+      throw std::logic_error("FleetDriver::AdvanceRetention: unroutable " +
+                             topic);
+    }
+    ++counts[owner];
+    transport::PutString(topic, payloads[owner]);
+    transport::PutU32(num_parts, payloads[owner]);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      transport::PutU64(reader.TakeU64(), payloads[owner]);
+    }
+  }
+  uint64_t deleted = 0;
+  for (size_t j = 0; j < proxy_buses_.size(); ++j) {
+    std::vector<uint8_t> payload;
+    transport::PutU32(counts[j], payload);
+    payload.insert(payload.end(), payloads[j].begin(), payloads[j].end());
+    const std::vector<uint8_t> proxy_reply =
+        ControlWithRetry(*proxy_buses_[j], "advance_watermark", payload);
+    transport::WireReader proxy_reader(proxy_reply);
+    deleted += proxy_reader.TakeU64();
+  }
+  return deleted;
+}
+
+std::string FleetDriver::ProxySnapshotText(size_t proxy_index) {
+  const std::vector<uint8_t> reply =
+      ControlWithRetry(*proxy_buses_.at(proxy_index), "snapshot_offsets", {});
+  return std::string(reply.begin(), reply.end());
+}
+
+std::string FleetDriver::AggregatorSnapshotText() {
+  const std::vector<uint8_t> reply =
+      ControlWithRetry(*aggregator_bus_, "snapshot_offsets", {});
+  return std::string(reply.begin(), reply.end());
+}
+
 void FleetDriver::AdvanceWatermark(int64_t watermark_ms) {
   std::vector<uint8_t> payload;
   transport::PutU64(static_cast<uint64_t>(watermark_ms), payload);
-  aggregator_bus_->Control("advance_watermark", payload);
+  ControlWithRetry(*aggregator_bus_, "advance_watermark", payload);
 }
 
-void FleetDriver::Flush() { aggregator_bus_->Control("flush", {}); }
+void FleetDriver::Flush() {
+  ControlWithRetry(*aggregator_bus_, "flush", {});
+}
 
 std::vector<aggregator::WindowedResult> FleetDriver::TakeResults() {
-  return DeserializeResults(aggregator_bus_->Control("take_results", {}));
+  return DeserializeResults(
+      ControlWithRetry(*aggregator_bus_, "take_results", {}));
 }
 
 std::string FleetDriver::ProxyMetricsText(size_t proxy_index) {

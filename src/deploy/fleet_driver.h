@@ -29,9 +29,11 @@
 #define PRIVAPPROX_DEPLOY_FLEET_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,16 @@ struct FleetDriverConfig {
   // Records per Produce frame on the share path. Bounds frame size well
   // under the transport's 64 MiB cap; chunking never reorders records.
   size_t produce_chunk_records = 2048;
+  // Chaos hooks (crash-restart CI): run between RunEpoch's wire phases —
+  // after every lane batch has been produced / acked, and right before the
+  // aggregator drain. A hook typically kill -9s and restarts a daemon, so
+  // the next RPC at that daemon fails once while the TCP client re-dials;
+  // set control_retries > 0 to absorb those one-shot failures. Retried
+  // verbs are idempotent: forward_lanes forwards whatever is still pending,
+  // and a durable daemon recovers its state before printing "listening".
+  std::function<void()> after_produce_hook;
+  std::function<void()> before_drain_hook;
+  size_t control_retries = 0;
 };
 
 // What one distributed epoch moved, mirroring the in-process EpochStats
@@ -95,6 +107,19 @@ class FleetDriver {
   void Flush();
   std::vector<aggregator::WindowedResult> TakeResults();
 
+  // Retention sweep across the durable fleet: fetches the aggregator's
+  // per-source consumed offsets (source_offsets), routes each topic's
+  // offsets to the proxy daemon that hosts it, and has every proxy trim
+  // sealed log segments below those watermarks (plus its own lane-inbound
+  // watermarks). Returns segments deleted fleet-wide. Safe (a no-op) on a
+  // non-durable fleet.
+  uint64_t AdvanceRetention();
+
+  // Human-readable offset/storage dumps (snapshot_offsets verb) — the chaos
+  // CI job uploads these as artifacts.
+  std::string ProxySnapshotText(size_t proxy_index);
+  std::string AggregatorSnapshotText();
+
   // Remote /metrics dumps, fetched via each daemon's "metrics" control verb
   // (the CI socket-smoke job uploads these as artifacts).
   std::string ProxyMetricsText(size_t proxy_index);
@@ -108,6 +133,12 @@ class FleetDriver {
     // lane_in_topics[j] = "proxy<j>.q<QID>.in", cached at submission.
     std::vector<std::string> lane_in_topics;
   };
+
+  // Control with up to config_.control_retries retried attempts — absorbs
+  // the single failed RPC a killed-and-restarted daemon costs its client.
+  std::vector<uint8_t> ControlWithRetry(transport::TcpBusClient& bus,
+                                        const std::string& verb,
+                                        std::span<const uint8_t> payload);
 
   FleetDriverConfig config_;
   metrics::Registry registry_;

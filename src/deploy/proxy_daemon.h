@@ -8,11 +8,24 @@
 // the server's single event-loop thread, so the proxy (whose consumer
 // offsets are single-writer state) needs no locking:
 //
-//   ensure_lane      u64 QID            -> (empty)
-//   forward_lanes    (empty)            -> u64 records forwarded
-//   forward_queries  (empty)            -> u64 announcements forwarded
-//   metrics          (empty)            -> Prometheus text exposition
-//   ping             (empty)            -> (empty)
+//   ensure_lane        u64 QID            -> (empty)
+//   forward_lanes      (empty)            -> u64 records forwarded
+//   forward_queries    (empty)            -> u64 announcements forwarded
+//   advance_watermark  u32 n, n x {str topic, u32 k, k x u64 offset}
+//                                         -> u64 segments deleted
+//   snapshot_offsets   (empty)            -> text offset dump (CI artifact)
+//   metrics            (empty)            -> Prometheus text exposition
+//   ping               (empty)            -> (empty)
+//
+// Durability: with a non-empty data_dir the daemon's broker spills every
+// topic to disk (per-partition segment logs) and the constructor recovers a
+// previous incarnation's state — topics replayed, lanes rediscovered from
+// the recovered topic names, and every lane consumer seeked to its outbound
+// topic's recovered end offset (forwarding preserves per-partition order
+// and mapping, so out-end == records already forwarded). advance_watermark
+// carries the aggregator's consumed offsets per out topic; the daemon trims
+// those out-topic segments and each lane's in-topic segments below the
+// proxy's own forward offsets.
 //
 // privapprox_proxyd (deploy/proxyd_main.cc) is this class plus flag parsing
 // and signal handling.
@@ -29,6 +42,7 @@
 #include "broker/broker.h"
 #include "metrics/metrics.h"
 #include "proxy/proxy.h"
+#include "storage/partition_log.h"
 #include "transport/tcp_bus.h"
 
 namespace privapprox::deploy {
@@ -38,6 +52,11 @@ struct ProxyDaemonConfig {
   size_t num_partitions = 4;  // must match the in-process system's proxies
   std::string bind_host = "127.0.0.1";
   uint16_t port = 0;  // 0 = ephemeral; read the bound port with port()
+  // Durability root. Empty = memory-only topics, byte-identical to a daemon
+  // without the durable log. Non-empty = the broker spills every topic to
+  // <data_dir>/<topic>/p<k> and the constructor runs crash recovery.
+  std::string data_dir;
+  storage::PartitionLogOptions log;
 };
 
 class ProxyDaemon {
@@ -57,6 +76,10 @@ class ProxyDaemon {
  private:
   std::vector<uint8_t> HandleControl(const std::string& verb,
                                      std::span<const uint8_t> payload);
+  // Re-creates the lanes a previous incarnation had, from the recovered
+  // topic names, then repositions every consumer. Constructor-only.
+  void RecoverLanes(const std::vector<std::string>& recovered_topics);
+  std::string SnapshotOffsetsText() const;
 
   ProxyDaemonConfig config_;
   metrics::Registry registry_;

@@ -1,7 +1,14 @@
 // privapprox_proxyd: one PrivApprox proxy as a standalone process.
 //
 //   privapprox_proxyd --index=0 --port=9100 [--host=127.0.0.1]
-//                     [--partitions=4]
+//                     [--partitions=4] [--data-dir=DIR]
+//                     [--fsync=never|on_rotate|every_n_records|always]
+//                     [--fsync-every-n=N] [--segment-bytes=B]
+//
+// --data-dir turns on the durable topic log: every topic spills to
+// <dir>/<topic>/p<k> and startup recovers a previous incarnation's state
+// (replay, lane rediscovery, consumer repositioning) before the
+// "listening" line prints.
 //
 // Prints "listening <host>:<port>" once ready (the socket-smoke harness
 // waits for this line), then serves until SIGINT/SIGTERM.
@@ -34,7 +41,8 @@ bool ParseFlag(const char* arg, const char* name, std::string& value) {
 int Usage() {
   std::fprintf(stderr,
                "usage: privapprox_proxyd --index=N --port=P "
-               "[--host=H] [--partitions=K]\n");
+               "[--host=H] [--partitions=K] [--data-dir=DIR] "
+               "[--fsync=POLICY] [--fsync-every-n=N] [--segment-bytes=B]\n");
   return 2;
 }
 
@@ -52,6 +60,14 @@ int main(int argc, char** argv) {
       config.bind_host = value;
     } else if (ParseFlag(argv[i], "partitions", value)) {
       config.num_partitions = std::stoul(value);
+    } else if (ParseFlag(argv[i], "data-dir", value)) {
+      config.data_dir = value;
+    } else if (ParseFlag(argv[i], "fsync", value)) {
+      config.log.fsync = privapprox::storage::ParseFsyncPolicy(value);
+    } else if (ParseFlag(argv[i], "fsync-every-n", value)) {
+      config.log.fsync_every_n = std::stoull(value);
+    } else if (ParseFlag(argv[i], "segment-bytes", value)) {
+      config.log.max_segment_bytes = std::stoull(value);
     } else {
       return Usage();
     }

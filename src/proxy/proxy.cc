@@ -68,6 +68,39 @@ bool Proxy::HasLane(uint64_t query_id) const {
   return lanes_.count(query_id) != 0;
 }
 
+std::vector<uint64_t> Proxy::lane_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(lanes_.size());
+  for (const auto& [qid, lane] : lanes_) {
+    ids.push_back(qid);
+  }
+  return ids;
+}
+
+void Proxy::SyncConsumersToOutbound() {
+  const auto sync = [this](transport::BusConsumer& consumer,
+                           const std::string& out_topic) {
+    for (size_t p = 0; p < consumer.num_partitions(); ++p) {
+      consumer.Seek(p, bus_->EndOffset(out_topic, p));
+    }
+  };
+  sync(*consumer_, out_topic_);
+  sync(*query_consumer_, query_out_topic_);
+  for (auto& [qid, lane] : lanes_) {
+    sync(*lane.consumer, lane.out_topic);
+  }
+}
+
+std::vector<uint64_t> Proxy::LaneInOffsets(uint64_t query_id) const {
+  const Lane& lane = GetLane(query_id, "Proxy::LaneInOffsets");
+  std::vector<uint64_t> offsets;
+  offsets.reserve(lane.consumer->num_partitions());
+  for (size_t p = 0; p < lane.consumer->num_partitions(); ++p) {
+    offsets.push_back(lane.consumer->offset(p));
+  }
+  return offsets;
+}
+
 const Proxy::Lane& Proxy::GetLane(uint64_t query_id,
                                   const char* caller) const {
   const auto it = lanes_.find(query_id);

@@ -89,8 +89,25 @@ class Proxy {
   void EnsureLane(uint64_t query_id);
   bool HasLane(uint64_t query_id) const;
   size_t num_lanes() const { return lanes_.size(); }
+  std::vector<uint64_t> lane_ids() const;  // ascending
   const std::string& lane_in_topic(uint64_t query_id) const;
   const std::string& lane_out_topic(uint64_t query_id) const;
+
+  // Crash-recovery repositioning (called once by a restarted proxy daemon
+  // after its broker replayed the durable topics, never in steady state):
+  // seeks every consumer — legacy, query, and per-lane — to its outbound
+  // topic's end offset. Valid because a forwarded record keeps its key, the
+  // in/out topics share a partition count, and forwarding preserves
+  // per-partition order: out partition p holds exactly the records already
+  // forwarded from in partition p, so out-end(p) is the count consumed from
+  // in-p. Records produced inbound but not yet forwarded before the crash
+  // remain pending and go out on the next Forward*/ReceiveAndForwardShard.
+  void SyncConsumersToOutbound();
+
+  // Per-partition committed offsets of one lane's inbound consumer — the
+  // retention low-watermark for that lane's inbound topic (everything below
+  // has been forwarded).
+  std::vector<uint64_t> LaneInOffsets(uint64_t query_id) const;
 
   // Client-facing entry: enqueue a batch of pre-encoded shares (keyed by
   // MID) in one produce call. The views (typically arena-backed ShareView

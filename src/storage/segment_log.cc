@@ -59,6 +59,7 @@ SegmentedAnswerLog::SegmentedAnswerLog(std::filesystem::path directory,
   if (ec) {
     throw SegmentLogError("cannot create log directory: " + ec.message());
   }
+  lock_.Acquire(directory_, "SegmentedAnswerLog");
   // Discover existing segments (sorted by name == by index).
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
     const std::string name = entry.path().filename().string();

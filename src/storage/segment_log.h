@@ -23,15 +23,10 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "storage/partition_log.h"  // SegmentLogError, DirLock
 #include "storage/response_store.h"
 
 namespace privapprox::storage {
-
-class SegmentLogError : public std::runtime_error {
- public:
-  explicit SegmentLogError(const std::string& message)
-      : std::runtime_error(message) {}
-};
 
 class SegmentedAnswerLog {
  public:
@@ -42,8 +37,10 @@ class SegmentedAnswerLog {
 
   // Opens (creating if needed) the log under `directory`. Recovers from a
   // torn tail record by truncating it. Throws SegmentLogError on IO
-  // failures or unrecoverable corruption (a bad record that is not at the
-  // tail of the newest segment).
+  // failures, unrecoverable corruption (a bad record that is not at the
+  // tail of the newest segment), or a directory already held by another
+  // live instance — two logs appending to one directory would silently
+  // interleave records, so the directory is exclusively flock'd.
   explicit SegmentedAnswerLog(std::filesystem::path directory);
   SegmentedAnswerLog(std::filesystem::path directory, Options options);
   ~SegmentedAnswerLog();
@@ -78,6 +75,7 @@ class SegmentedAnswerLog {
 
   std::filesystem::path directory_;
   Options options_;
+  DirLock lock_;
   std::vector<std::string> segment_names_;  // sorted, oldest first
   std::ofstream active_;
   uint64_t active_bytes_ = 0;

@@ -102,6 +102,15 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
     throw std::invalid_argument("PrivApproxSystem: need >= 2 proxies");
   }
 
+  // Durability must precede every topic: the proxies below create theirs in
+  // their constructors, and a recovered topic must replay before anything
+  // attaches to it.
+  if (!config_.broker.data_dir.empty()) {
+    broker_.EnableDurability(
+        {config_.broker.data_dir, config_.broker.log});
+    broker_.RecoverTopics();
+  }
+
   // The crypto hot path's SIMD tier, decided once per process
   // (PRIVAPPROX_SIMD override; common/simd_dispatch.h) — surfaced so bench
   // artifacts and scrapes record which kernels produced the numbers.
@@ -343,6 +352,29 @@ PrivApproxSystem::PrivApproxSystem(SystemConfig config)
             .GetGauge("privapprox_topic_slab_used_bytes",
                       "Slab bytes holding payload data", labels)
             .Set(static_cast<int64_t>(slabs.used_bytes));
+      }
+      if (broker_.durable()) {
+        const broker::DurableStats s = broker_.durable_stats();
+        registry_
+            .GetGauge("privapprox_storage_segments",
+                      "Live log segments, all durable topics")
+            .Set(static_cast<int64_t>(s.segments));
+        registry_
+            .GetGauge("privapprox_storage_bytes",
+                      "Bytes held in live log segments")
+            .Set(static_cast<int64_t>(s.bytes));
+        registry_
+            .GetGauge("privapprox_storage_fsyncs",
+                      "fsync calls issued by partition logs")
+            .Set(static_cast<int64_t>(s.fsyncs));
+        registry_
+            .GetGauge("privapprox_storage_recovered_records",
+                      "Records replayed from disk at startup")
+            .Set(static_cast<int64_t>(s.recovered_records));
+        registry_
+            .GetGauge("privapprox_storage_truncated_tails",
+                      "Torn record tails truncated during recovery")
+            .Set(static_cast<int64_t>(s.truncated_tails));
       }
     });
   }

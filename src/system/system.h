@@ -51,6 +51,7 @@
 #include "metrics/metrics.h"
 #include "metrics/timeline.h"
 #include "proxy/proxy.h"
+#include "storage/partition_log.h"
 #include "storage/segment_log.h"
 #include "transport/inproc_bus.h"
 
@@ -126,6 +127,16 @@ struct MetricsOptions {
   bool timeline = false;
 };
 
+// Durable topic spill. Empty data_dir (the default) keeps every broker
+// topic memory-only — byte-identical to previous releases; non-empty roots
+// per-partition segment logs at <data_dir>/<topic>/p<k> and the system's
+// broker recovers whatever a previous incarnation left there before any
+// component attaches.
+struct BrokerOptions {
+  std::string data_dir;
+  storage::PartitionLogOptions log;
+};
+
 // Fleet-wide privacy-budget knobs (core/budget_manager.h). The default cap
 // is infinite, so single-query configs and exact-mode tests admit
 // unconditionally; set max_epsilon_zk to enforce composition across
@@ -156,6 +167,7 @@ struct SystemConfig {
 
   PipelineOptions pipeline;
   AggregatorOptions aggregator;
+  BrokerOptions broker;
   HistoricalOptions historical;
   MetricsOptions metrics;
   // Deterministic fault injection + recovery (src/fault/fault.h). Unset

@@ -63,6 +63,10 @@ size_t BusConsumer::PollExactInto(const std::vector<uint32_t>& counts,
   return out.size() - start;
 }
 
+void BusConsumer::Seek(size_t partition, uint64_t offset) {
+  offsets_.at(partition) = offset;
+}
+
 bool BusConsumer::CaughtUp() {
   for (size_t p = 0; p < offsets_.size(); ++p) {
     if (offsets_[p] < bus_.EndOffset(topic_, p)) {

@@ -106,6 +106,17 @@ class BusConsumer {
   // Total records consumed so far.
   uint64_t consumed() const { return consumed_; }
 
+  // The committed offset of one partition (next record this consumer will
+  // poll) — the retention low-watermark this consumer contributes.
+  uint64_t offset(size_t partition) const { return offsets_.at(partition); }
+
+  // Repositions one partition's committed offset. Recovery-only: a restarted
+  // proxy daemon seeks each lane consumer to its outbound topic's recovered
+  // end offset (forwarding preserves per-partition order and mapping, so
+  // out-end == records-already-forwarded). Not for steady-state use —
+  // skipping forward silently drops records.
+  void Seek(size_t partition, uint64_t offset);
+
   // True when the consumer has caught up with every partition.
   bool CaughtUp();
 
